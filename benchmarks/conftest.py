@@ -1,0 +1,33 @@
+"""Shared helpers for the paper-reproduction benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (Section VI) and prints a paper-vs-measured comparison; run
+with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def print_table(title: str, header: Sequence[str], rows: List[Sequence]) -> None:
+    """Render one reproduction table to stdout."""
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def fmt_x(value: float) -> str:
+    """Format a speedup ratio, e.g. '3.7x'."""
+    return f"{value:.1f}x"
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f} ms"

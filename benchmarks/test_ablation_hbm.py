@@ -1,0 +1,77 @@
+"""Ablation: the HBM tier (SN40L) vs a DDR-only RDU (SN10-like).
+
+Paper Section IV-E: "SN40L is the first RDU to include HBM ... the
+addition of the HBM memory tier is critical to the feasibility of CoE."
+This ablation quantifies that: with only DDR behind the SRAM, decode
+bandwidth drops by an order of magnitude, and the expert's temporal
+locality (weights re-read every generated token) cannot be exploited.
+"""
+
+import pytest
+
+from benchmarks.conftest import fmt_ms, fmt_x, print_table
+from repro.models.catalog import LLAMA2_7B
+from repro.perf.calibration import DEFAULT_CALIBRATION
+
+TOKENS = 20
+SOCKETS = 8
+
+
+def run_hbm_ablation():
+    cal = DEFAULT_CALIBRATION
+    weights = LLAMA2_7B.weight_bytes
+    hbm_bw = SOCKETS * 2e12 * cal.fused_hbm_efficiency
+    ddr_bw = SOCKETS * 200e9  # DDR-only: every weight read at DDR speed
+    per_token_hbm = weights / hbm_bw
+    per_token_ddr = weights / ddr_bw
+    # With HBM, the expert is copied DDR->HBM once, then decoded from HBM;
+    # without, every token streams weights from DDR (no fast tier to cache
+    # the expert's temporal locality in).
+    switch = weights / cal.node_ddr_to_hbm_bandwidth
+    with_hbm = switch + TOKENS * per_token_hbm
+    without_hbm = TOKENS * per_token_ddr
+    return {
+        "per_token_hbm": per_token_hbm,
+        "per_token_ddr": per_token_ddr,
+        "with_hbm": with_hbm,
+        "without_hbm": without_hbm,
+    }
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_hbm_ablation()
+
+
+def test_hbm_ablation_report(benchmark, ablation):
+    benchmark.pedantic(lambda: ablation, rounds=1, iterations=1)
+    print_table(
+        f"Ablation: HBM tier vs DDR-only RDU ({TOKENS}-token expert run)",
+        ["Config", "Per-token", "Total (switch + decode)"],
+        [
+            ("SN40L (DDR + HBM + SRAM)", fmt_ms(ablation["per_token_hbm"]),
+             fmt_ms(ablation["with_hbm"])),
+            ("SN10-like (DDR + SRAM)", fmt_ms(ablation["per_token_ddr"]),
+             fmt_ms(ablation["without_hbm"])),
+            ("HBM advantage", fmt_x(ablation["per_token_ddr"] / ablation["per_token_hbm"]),
+             fmt_x(ablation["without_hbm"] / ablation["with_hbm"])),
+        ],
+    )
+
+
+def test_hbm_pays_for_its_switch_cost(ablation):
+    """Even including the DDR->HBM copy, the HBM path wins at 20 tokens."""
+    assert ablation["with_hbm"] < ablation["without_hbm"]
+
+
+def test_hbm_decode_order_of_magnitude_faster(ablation):
+    assert ablation["per_token_ddr"] / ablation["per_token_hbm"] > 8
+
+
+def test_break_even_is_a_few_tokens(ablation):
+    """The copy amortises after a handful of tokens — the temporal
+    locality argument of paper Section III-B."""
+    switch = LLAMA2_7B.weight_bytes / DEFAULT_CALIBRATION.node_ddr_to_hbm_bandwidth
+    per_saved = ablation["per_token_ddr"] - ablation["per_token_hbm"]
+    break_even = switch / per_saved
+    assert break_even < 3

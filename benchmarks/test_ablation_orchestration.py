@@ -1,0 +1,65 @@
+"""Ablation: software-launch overhead sweep (why HW orchestration exists).
+
+Sweeps the per-kernel software launch cost and reports decode-step latency
+for the fused llama2-7b decoder, showing where host-driven scheduling
+stops being tolerable and the AGCU's hardware orchestration becomes
+necessary (paper Section IV-D).
+"""
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import fmt_ms, print_table
+from repro.arch.config import SocketConfig
+from repro.dataflow import fusion
+from repro.models.catalog import LLAMA2_7B
+from repro.models.transformer import decode_graph
+from repro.perf.calibration import DEFAULT_CALIBRATION
+from repro.perf.kernel_cost import ExecutionTarget, Orchestration, cost_plan
+
+SW_OVERHEADS_US = [2, 6, 12, 25, 50, 100]
+
+
+def run_sweep():
+    graph = decode_graph(LLAMA2_7B, batch=1, context=4096, tp=8)
+    plan = fusion.group_by_prefix(graph)
+    rows = []
+    for sw_us in SW_OVERHEADS_US:
+        cal = dataclasses.replace(DEFAULT_CALIBRATION, sw_launch_fixed_s=sw_us * 1e-6)
+        target = ExecutionTarget.from_socket(SocketConfig(), sockets=8,
+                                             calibration=cal)
+        so = cost_plan(plan, target, Orchestration.SOFTWARE)
+        ho = cost_plan(plan, target, Orchestration.HARDWARE)
+        rows.append({
+            "sw_us": sw_us,
+            "so_s": so.total_s,
+            "ho_s": ho.total_s,
+            "ho_x": so.total_s / ho.total_s,
+        })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep()
+
+
+def test_orchestration_sweep_report(benchmark, sweep):
+    benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    print_table(
+        "Ablation: decode step vs software launch overhead (llama2-7b TP8)",
+        ["SW launch (us/kernel)", "Fused+SO", "Fused+HO", "HO speedup"],
+        [(r["sw_us"], fmt_ms(r["so_s"]), fmt_ms(r["ho_s"]), f"{r['ho_x']:.2f}x")
+         for r in sweep],
+    )
+
+
+def test_ho_speedup_grows_with_sw_overhead(sweep):
+    gains = [r["ho_x"] for r in sweep]
+    assert gains == sorted(gains)
+    assert gains[-1] > 3.0  # at 100 us/kernel, decode is launch-bound
+
+def test_ho_latency_independent_of_sw_cost(sweep):
+    ho_times = {round(r["ho_s"], 9) for r in sweep}
+    assert len(ho_times) == 1

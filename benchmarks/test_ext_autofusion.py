@@ -1,0 +1,81 @@
+"""Extension: heuristic fusion policies vs the time-optimal DP.
+
+The compiler's fusion heuristics (per-layer hints, resource-bounded
+growth) are compared against the dynamic-programming optimum under the
+same cost model, quantifying how much modeled time the heuristics leave
+on the table.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.arch.config import SocketConfig
+from repro.dataflow import fusion
+from repro.dataflow.autofusion import optimal_fusion, plan_time
+from repro.models.fftconv import fftconv_graph, monarch_fft_graph
+from repro.models.transformer import TransformerConfig, decode_graph
+from repro.perf.kernel_cost import ExecutionTarget, Orchestration
+
+SMALL = TransformerConfig("small-1b", hidden=2048, layers=4, heads=16,
+                          kv_heads=16, intermediate=5504, vocab=32000)
+
+
+def run_autofusion():
+    target = ExecutionTarget.from_socket(SocketConfig(), sockets=1)
+    workloads = {
+        "monarch-fft-1024": monarch_fft_graph(m=1024),
+        "fftconv-32k": fftconv_graph(seqlen=1 << 15, channels=8),
+        "small-1b-decode": decode_graph(SMALL, batch=1, context=512),
+    }
+    rows = []
+    for name, graph in workloads.items():
+        plans = {
+            "unfused": fusion.unfused(graph),
+            "per-layer": fusion.group_by_prefix(graph),
+            "streaming": fusion.streaming_fusion(graph),
+            "optimal": optimal_fusion(graph, target,
+                                      max_segment=min(len(graph), 120)),
+        }
+        times = {
+            policy: plan_time(plan, target, Orchestration.SOFTWARE)
+            for policy, plan in plans.items()
+        }
+        rows.append((name, plans, times))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_autofusion()
+
+
+def test_autofusion_report(benchmark, results):
+    benchmark.pedantic(lambda: results, rounds=1, iterations=1)
+    table = []
+    for name, plans, times in results:
+        optimum = times["optimal"]
+        table.append((
+            name,
+            *(f"{times[p] * 1e3:.2f} ms ({times[p] / optimum:.2f}x)"
+              for p in ("unfused", "per-layer", "streaming", "optimal")),
+        ))
+    print_table(
+        "Extension: fusion heuristics vs time-optimal DP (1 socket, SO)",
+        ["Workload", "Unfused", "Per-layer", "Streaming", "Optimal"],
+        table,
+    )
+
+
+def test_optimal_is_a_lower_bound(results):
+    for name, plans, times in results:
+        optimum = times["optimal"]
+        for policy, t in times.items():
+            assert optimum <= t * 1.0001, (name, policy)
+
+
+def test_heuristics_are_close_to_optimal(results):
+    """The shipped streaming heuristic stays within 2.5x of the DP —
+    large gaps would mean the heuristic is leaving real time on the
+    table."""
+    for name, plans, times in results:
+        assert times["streaming"] / times["optimal"] < 2.5, name

@@ -1,0 +1,74 @@
+"""Extension: scaling a CoE beyond one node.
+
+The paper notes that multi-machine serving "introduces load balancing
+challenges" (Section III-B). This extension quantifies them: sharded
+dispatch under skewed expert popularity vs hot-expert replication.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.coe.expert import build_samba_coe_library
+from repro.systems.cluster import Cluster, replicate_hot_experts
+from repro.systems.platforms import sn40l_platform
+
+NUM_NODES = 4
+REQUESTS = 80
+
+
+def _zipf_stream(library, rng):
+    weights = [1.0 / (rank + 1) for rank in range(len(library))]
+    return [
+        rng.choices(library.experts, weights=weights, k=1)[0]
+        for _ in range(REQUESTS)
+    ]
+
+
+def run_cluster():
+    library = build_samba_coe_library(40)
+    rng = random.Random(11)
+    stream = _zipf_stream(library, rng)
+    counts = {}
+    for expert in stream:
+        counts[expert.name] = counts.get(expert.name, 0) + 1
+
+    sharded = Cluster(sn40l_platform, library, num_nodes=NUM_NODES)
+    sharded.dispatch(stream, output_tokens=10)
+
+    replicated = Cluster(sn40l_platform, library, num_nodes=NUM_NODES)
+    replicate_hot_experts(replicated, counts, top_n=4)
+    replicated.dispatch(stream, output_tokens=10)
+
+    return {
+        "sharded": (sharded.makespan_s(), sharded.load_imbalance()),
+        "replicated": (replicated.makespan_s(), replicated.load_imbalance()),
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_cluster()
+
+
+def test_cluster_report(benchmark, results):
+    benchmark.pedantic(lambda: results, rounds=1, iterations=1)
+    print_table(
+        f"Extension: {REQUESTS} Zipf requests over {NUM_NODES} SN40L nodes",
+        ["Placement", "Makespan", "Load imbalance"],
+        [(name, f"{makespan:.2f} s", f"{imbalance:.2f}x")
+         for name, (makespan, imbalance) in results.items()],
+    )
+
+
+def test_skew_imbalances_sharded_dispatch(results):
+    _, imbalance = results["sharded"]
+    assert imbalance > 1.2
+
+
+def test_replication_improves_makespan_and_balance(results):
+    sharded_makespan, sharded_imbalance = results["sharded"]
+    repl_makespan, repl_imbalance = results["replicated"]
+    assert repl_makespan < sharded_makespan
+    assert repl_imbalance < sharded_imbalance

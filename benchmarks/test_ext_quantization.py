@@ -1,0 +1,59 @@
+"""Extension: INT8 experts on the three-tier memory system.
+
+Quantizing expert weights doubles every capacity-derived quantity in the
+paper's CoE story: experts per HBM, experts per node, switch speed, and
+memory-bound decode speed.
+"""
+
+import pytest
+
+from benchmarks.conftest import fmt_ms, print_table
+from repro.models.catalog import LLAMA2_7B
+from repro.models.quantize import quantize
+from repro.systems.platforms import sn40l_platform
+from repro.units import GiB
+
+
+def run_quantization():
+    platform = sn40l_platform()
+    rows = {}
+    for cfg in (LLAMA2_7B, quantize(LLAMA2_7B)):
+        reserved = cfg.weight_bytes + 8 * GiB
+        rows[cfg.name] = {
+            "hbm_slots": platform.hbm_expert_slots(cfg.weight_bytes, reserved),
+            "hosted": platform.max_hosted_experts(cfg.weight_bytes, reserved),
+            "switch_s": platform.switch_time(cfg.weight_bytes),
+            "token_s": platform.decode_token_time(cfg, 1, 1024),
+        }
+    return rows
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_quantization()
+
+
+def test_quantization_report(benchmark, rows):
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    print_table(
+        "Extension: BF16 vs INT8 experts on the SN40L node",
+        ["Model", "HBM slots", "Max hosted", "Switch", "Decode/token"],
+        [(name, d["hbm_slots"], d["hosted"], fmt_ms(d["switch_s"]),
+          fmt_ms(d["token_s"])) for name, d in rows.items()],
+    )
+
+
+def test_capacity_doubles(rows):
+    bf16, int8 = rows["llama2-7b"], rows["llama2-7b-int8"]
+    assert int8["hbm_slots"] >= 2 * bf16["hbm_slots"]
+    assert int8["hosted"] >= 2 * bf16["hosted"]
+
+
+def test_switch_and_decode_speed_up(rows):
+    bf16, int8 = rows["llama2-7b"], rows["llama2-7b-int8"]
+    assert int8["switch_s"] == pytest.approx(bf16["switch_s"] / 2, rel=0.05)
+    assert int8["token_s"] < 0.7 * bf16["token_s"]
+
+
+def test_int8_node_hosts_2000_experts(rows):
+    assert rows["llama2-7b-int8"]["hosted"] >= 2000

@@ -1,0 +1,97 @@
+"""Extension: serving-schedule policies on the three-tier memory system.
+
+Not a paper figure — an ablation of the serving-layer policies the SN40L
+architecture enables (repro.coe.scheduling): FIFO vs bounded-window
+expert-affinity batching, and speculative prefetch on workflow-chained
+traffic.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.coe.expert import build_samba_coe_library
+from repro.coe.scheduling import (
+    Request,
+    affinity_schedule,
+    fifo_schedule,
+    serve_schedule,
+    serve_with_prefetch,
+)
+from repro.coe.serving import CoEServer
+from repro.systems.platforms import sn40l_platform
+from repro.units import GiB
+
+
+def _server(library, cache_slots):
+    platform = sn40l_platform()
+    budget = cache_slots * library.experts[0].weight_bytes + 1 * GiB
+    return CoEServer(platform, library,
+                     reserved_hbm_bytes=platform.hbm_capacity_bytes - budget)
+
+
+def run_scheduling():
+    library = build_samba_coe_library(80)
+    sessions = [library.experts[i * 6] for i in range(12)]
+    requests = [
+        Request(turn * len(sessions) + user, expert)
+        for turn in range(10)
+        for user, expert in enumerate(sessions)
+    ]
+    outcomes = {}
+    for name, schedule in (
+        ("fifo", fifo_schedule(requests)),
+        ("affinity-w24", affinity_schedule(requests, window=24)),
+        ("affinity-w60", affinity_schedule(requests, window=60)),
+    ):
+        outcomes[name] = serve_schedule(
+            _server(library, 8), schedule, name, output_tokens=10
+        )
+
+    rng = random.Random(7)
+    chains = [
+        [library.experts[0], library.experts[6], library.experts[7]],
+        [library.experts[2], library.experts[9]],
+    ]
+    stream = []
+    while len(stream) < 120:
+        if rng.random() < 0.85:
+            stream.extend(rng.choice(chains))
+        else:
+            stream.append(rng.choice(library.experts[:20]))
+    prefetch = serve_with_prefetch(_server(library, 2), stream[:120],
+                                   output_tokens=10)
+    return outcomes, prefetch
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_scheduling()
+
+
+def test_scheduling_report(benchmark, results):
+    benchmark.pedantic(lambda: results, rounds=1, iterations=1)
+    outcomes, prefetch = results
+    print_table(
+        "Extension: schedule policy (120 reqs, 12 sessions, 8-slot cache)",
+        ["Policy", "Total", "Switches", "Hit rate"],
+        [(name, f"{o.total_s:.2f} s", o.switches, f"{100 * o.hit_rate:.0f}%")
+         for name, o in outcomes.items()],
+    )
+    print(f"Speculative prefetch: {100 * prefetch.predictor_accuracy:.0f}% "
+          f"accuracy, {prefetch.hidden_switch_s * 1e3:.0f} ms hidden, "
+          f"{prefetch.speedup:.3f}x")
+
+
+def test_affinity_strictly_improves(results):
+    outcomes, _ = results
+    assert outcomes["affinity-w24"].switches < outcomes["fifo"].switches
+    assert outcomes["affinity-w60"].switches < outcomes["affinity-w24"].switches
+    assert outcomes["affinity-w60"].total_s < outcomes["fifo"].total_s
+
+
+def test_prefetch_hides_switch_time(results):
+    _, prefetch = results
+    assert prefetch.hidden_switch_s > 0
+    assert prefetch.speedup > 1.0

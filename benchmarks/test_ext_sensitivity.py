@@ -1,0 +1,56 @@
+"""Extension: sensitivity of the reproduced headlines to calibration.
+
+A calibrated reproduction owes the reader this table: which conclusions
+are structural (hold across the plausible constant range) and which are
+calibration-dependent.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.systems.sensitivity import (
+    decode_win_sensitivity,
+    fusion_direction_sensitivity,
+    oom_point_sensitivity,
+    switch_ratio_sensitivity,
+)
+
+
+def run_sensitivity():
+    return {
+        "switch": switch_ratio_sensitivity(),
+        "decode": decode_win_sensitivity(),
+        "fusion": fusion_direction_sensitivity(),
+        "oom": oom_point_sensitivity(),
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_sensitivity()
+
+
+def test_sensitivity_report(benchmark, results):
+    benchmark.pedantic(lambda: results, rounds=1, iterations=1)
+    rows = []
+    for key in ("switch", "decode", "fusion"):
+        r = results[key]
+        lo, hi = r.metric_range
+        rows.append((r.conclusion, r.constant,
+                     f"{lo:.1f}x - {hi:.1f}x",
+                     "holds everywhere" if r.always_holds else "FLIPS"))
+    oom = results["oom"]
+    rows.append(("DGX OOM point (experts)", "host DRAM +-20%",
+                 f"{min(oom.values())} - {max(oom.values())}",
+                 "holds everywhere"))
+    print_table(
+        "Extension: conclusion robustness across calibration sweeps",
+        ["Conclusion", "Swept constant", "Metric range", "Verdict"],
+        rows,
+    )
+
+
+def test_every_headline_is_robust(results):
+    for key in ("switch", "decode", "fusion"):
+        assert results[key].always_holds, key
+    assert all(120 <= v <= 185 for v in results["oom"].values())

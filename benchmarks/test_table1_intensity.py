@@ -1,0 +1,63 @@
+"""Table I: operational intensity vs fusion level (Monarch FFT example).
+
+Paper values: No fusion 39.5, Gemm0-Mul-Transpose 102.6, fully spatially
+fused 410.4 ops/byte. The first two are memory-bound on an A100
+(ridge ~150 FLOPs/byte); only full fusion is compute-bound.
+
+Figure 3's exact tensor shapes are not recoverable from the paper text; we
+use a 1024-point Monarch stage, for which the fully-fused intensity lands
+exactly on the paper's 410.4. The partial levels depend on the assumed
+per-kernel on-chip capacity (see repro.dataflow.intensity); ordering and
+the memory-/compute-bound split match the paper.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.dataflow import fusion
+from repro.dataflow.intensity import (
+    GPU_FUSED,
+    GPU_UNFUSED,
+    SN40L_STREAMING,
+    operational_intensity,
+)
+from repro.models.fftconv import monarch_fft_graph
+from repro.perf.roofline import Roofline
+
+PAPER = {"No fusion": 39.5, "Gemm0 - Mul - Transpose": 102.6,
+         "Fully spatially fused": 410.4}
+A100 = Roofline("A100", peak_flops=312e12, mem_bandwidth=2.039e12)
+
+
+def compute_intensity_levels():
+    graph = monarch_fft_graph(m=1024)
+    return {
+        "No fusion": operational_intensity(fusion.unfused(graph), GPU_UNFUSED),
+        "Gemm0 - Mul - Transpose": operational_intensity(
+            fusion.manual_plan(graph, [["gemm0", "mul", "transpose"], ["gemm1"]]),
+            GPU_FUSED,
+        ),
+        "Fully spatially fused": operational_intensity(
+            fusion.streaming_fusion(graph), SN40L_STREAMING
+        ),
+    }
+
+
+def test_table1_intensity(benchmark):
+    levels = benchmark(compute_intensity_levels)
+    rows = [
+        (name, f"{PAPER[name]:.1f}", f"{value:.1f}",
+         "memory" if A100.is_memory_bound(value) else "compute")
+        for name, value in levels.items()
+    ]
+    print_table(
+        "Table I: operation intensity (ops/byte) by fusion level",
+        ["Fusion level", "Paper", "Measured", "A100-bound"],
+        rows,
+    )
+    values = list(levels.values())
+    assert values[0] < values[1] < values[2]
+    assert values[2] == pytest.approx(410.4, rel=0.01)
+    assert A100.is_memory_bound(values[0])
+    assert A100.is_memory_bound(values[1])
+    assert not A100.is_memory_bound(values[2])

@@ -1,0 +1,66 @@
+"""The Table II benchmark suite, shared by the Figure 10/11 harnesses.
+
+Each entry is (name, graph builder, sockets): the paper evaluates all
+benchmarks on eight SN40L sockets except FlashFFTConv, which runs on one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, NamedTuple
+
+from repro.dataflow.graph import DataflowGraph
+from repro.models.catalog import (
+    BLOOM_176B,
+    FALCON_40B,
+    LLAMA2_7B,
+    LLAMA2_70B,
+    MISTRAL_7B,
+)
+from repro.models.fftconv import fftconv_graph
+from repro.models.llava import llava_decode_graph, llava_prefill_graph
+from repro.models.sparse import sparsegpt_train_graph
+from repro.models.transformer import decode_graph, prefill_graph, train_graph
+
+
+class Workload(NamedTuple):
+    name: str
+    build: Callable[[], DataflowGraph]
+    sockets: int
+    phase: str  # "prefill" | "decode" | "train" | "fft"
+
+
+def table2_workloads() -> List[Workload]:
+    """All benchmark configurations of the paper's Table II."""
+    tp = 8
+    return [
+        Workload("llama2-7b-4k-prefill",
+                 lambda: prefill_graph(LLAMA2_7B, 1, 4096, tp), 8, "prefill"),
+        Workload("llama2-7b-4k-decode",
+                 lambda: decode_graph(LLAMA2_7B, 1, 4096, tp), 8, "decode"),
+        Workload("llama2-7b-4k-train",
+                 lambda: train_graph(LLAMA2_7B, 1, 4096, tp), 8, "train"),
+        Workload("sparsegpt-13b-2k-train",
+                 lambda: sparsegpt_train_graph(1, 2048, tp), 8, "train"),
+        Workload("llama2-70b-4k-prefill",
+                 lambda: prefill_graph(LLAMA2_70B, 1, 4096, tp), 8, "prefill"),
+        Workload("llama2-70b-4k-decode",
+                 lambda: decode_graph(LLAMA2_70B, 1, 4096, tp), 8, "decode"),
+        Workload("bloom-176b-8k-prefill",
+                 lambda: prefill_graph(BLOOM_176B, 1, 8192, tp), 8, "prefill"),
+        Workload("bloom-176b-8k-decode",
+                 lambda: decode_graph(BLOOM_176B, 1, 8192, tp), 8, "decode"),
+        Workload("mistral-7b-4k-prefill",
+                 lambda: prefill_graph(MISTRAL_7B, 1, 4096, tp), 8, "prefill"),
+        Workload("mistral-7b-4k-decode",
+                 lambda: decode_graph(MISTRAL_7B, 1, 4096, tp), 8, "decode"),
+        Workload("falcon-40b-2k-prefill",
+                 lambda: prefill_graph(FALCON_40B, 1, 2048, tp), 8, "prefill"),
+        Workload("falcon-40b-2k-decode",
+                 lambda: decode_graph(FALCON_40B, 1, 2048, tp), 8, "decode"),
+        Workload("llava1.5-7b-prefill",
+                 lambda: llava_prefill_graph(1, 512, tp), 8, "prefill"),
+        Workload("llava1.5-7b-decode",
+                 lambda: llava_decode_graph(1, 1088, tp), 8, "decode"),
+        Workload("flashfftconv-1m",
+                 lambda: fftconv_graph(1 << 20, channels=64), 1, "fft"),
+    ]

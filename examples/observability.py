@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Observability: traces, plans, metrics, and hotspot triage.
+
+The paper's "lessons learned" (Section VII) are about *seeing* what a
+dataflow program does: static bandwidth models, performance counters, and
+congestion/bank-conflict triage. This example tours the library's
+observability surface on one workload:
+
+1. render the fused kernel plan (stages, folded ops, stage buffers),
+2. statically check the decode kernel's bandwidth feasibility,
+3. write a Chrome trace of the kernel schedule (open in Perfetto),
+4. serve a CoE batch and report SLO metrics (p50/p99, tokens/s),
+5. synthesise performance counters from a congested mesh placement and
+   run the paper's two-bucket triage.
+
+Run:  python examples/observability.py
+"""
+
+from repro.arch.config import RDNConfig, SocketConfig
+from repro.arch.perfcounters import diagnose
+from repro.arch.rdn import Mesh
+from repro.coe import CoEServer, build_samba_coe_library, metrics_of
+from repro.dataflow import fusion
+from repro.dataflow.bandwidth import Channel, analyze_kernel_bandwidth
+from repro.dataflow.visualize import plan_summary
+from repro.models import LLAMA2_7B, decode_graph
+from repro.perf.kernel_cost import ExecutionTarget, Orchestration, cost_plan
+from repro.perf.trace import plan_cost_trace, write_trace
+from repro.sim.congestion import CongestionAnalyzer, PlacedFlow
+from repro.systems import sn40l_platform
+
+
+def main() -> None:
+    graph = decode_graph(LLAMA2_7B, batch=1, context=2048, tp=8)
+    plan = fusion.group_by_prefix(graph)
+
+    print("1) Fused kernel plan (first kernels):")
+    print(plan_summary(plan, max_kernels=2))
+    print()
+
+    print("2) Static bandwidth check of one decoder-layer kernel:")
+    layer = next(k for k in plan.kernels if k.ops[0].name.startswith("l0."))
+    duration = layer.weight_bytes / (8 * 2e12 * 0.85)
+    report = analyze_kernel_bandwidth(layer, duration, sockets=8)
+    print(f"   {report.summary()}")
+    print(f"   slowdown at target rate: {report.slowdown:.2f}x\n")
+
+    print("3) Chrome trace of the software-orchestrated schedule:")
+    target = ExecutionTarget.from_socket(SocketConfig(), sockets=8)
+    cost = cost_plan(plan, target, Orchestration.SOFTWARE)
+    events = plan_cost_trace(cost)
+    write_trace(events, "decode_schedule.json")
+    print(f"   wrote {len(events)} events to decode_schedule.json\n")
+
+    print("4) CoE serving metrics:")
+    library = build_samba_coe_library(60)
+    server = CoEServer(sn40l_platform(), library)
+    result = server.serve_experts(library.experts[:10], output_tokens=20)
+    print(f"   {metrics_of(result, 20).summary()}\n")
+
+    print("5) Congestion triage (four flows through one mesh column):")
+    analyzer = CongestionAnalyzer(Mesh(8, 8), RDNConfig())
+    link_bw = RDNConfig().link_bandwidth
+    for i in range(4):
+        analyzer.place(
+            PlacedFlow(f"stream{i}", (0, 0), ((5, 0),), rate=link_bw * 0.4)
+        )
+    hotspots = diagnose(analyzer.to_counters())
+    for hotspot in hotspots[:3]:
+        print(f"   {hotspot.unit}: {100 * hotspot.stall_fraction:.0f}% stalled "
+              f"-> {hotspot.remedy.value}")
+
+
+if __name__ == "__main__":
+    main()

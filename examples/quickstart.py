@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: compile and time a Llama2-7B decode step on the SN40L.
+
+Walks the library's core loop end-to-end:
+
+1. build the operator graph of one autoregressive decode step,
+2. compile it under three policies (unfused / conventional / streaming),
+3. time each on an eight-socket SN40L node under both orchestration
+   modes,
+4. print the fusion and orchestration speedups — the paper's Figure 10
+   story in miniature.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Orchestration, Session, compile_model
+from repro.dataflow import fusion, kernel_call_ratio
+from repro.models import LLAMA2_7B, decode_graph
+
+SOCKETS = 8
+
+
+def main() -> None:
+    graph = decode_graph(LLAMA2_7B, batch=1, context=2048, tp=SOCKETS)
+    print(f"Workload: {graph.summary()}")
+    print(f"KV cache per token: {LLAMA2_7B.kv_bytes_per_token() / 1024:.0f} KiB")
+    print()
+
+    session = Session(sockets=SOCKETS)
+    results = {}
+    for policy in ("unfused", "conventional", "streaming"):
+        model = compile_model(graph, sockets=SOCKETS, policy=policy)
+        for orch in (Orchestration.SOFTWARE, Orchestration.HARDWARE):
+            run = session.run(model, orch)
+            results[(policy, orch)] = run
+            print(
+                f"{policy:>12s} + {orch.value:>8s}: "
+                f"{run.total_s * 1e3:8.3f} ms/token "
+                f"({run.num_launches} kernel launches)"
+            )
+
+    unfused_so = results[("unfused", Orchestration.SOFTWARE)]
+    fused_so = results[("streaming", Orchestration.SOFTWARE)]
+    fused_ho = results[("streaming", Orchestration.HARDWARE)]
+    print()
+    print(f"Fusion speedup (SO):            {unfused_so.total_s / fused_so.total_s:.2f}x")
+    print(f"Hardware orchestration speedup: {fused_so.total_s / fused_ho.total_s:.2f}x")
+    print(f"Total speedup:                  {unfused_so.total_s / fused_ho.total_s:.2f}x")
+
+    layer_plan = fusion.group_by_prefix(graph)
+    print(f"Kernel-call reduction (per-layer fusion): "
+          f"{kernel_call_ratio(graph, layer_plan):.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only enables
+legacy `setup.py develop`-style editable installs offline.
+"""
+from setuptools import setup
+
+setup()

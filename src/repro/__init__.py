@@ -1,0 +1,46 @@
+"""Reproduction of "SambaNova SN40L: Scaling the AI Memory Wall with
+Dataflow and Composition of Experts" (MICRO 2024).
+
+The library models the full system described in the paper:
+
+- :mod:`repro.arch` — the SN40L RDU: PCUs, PMUs, AGCUs, the RDN
+  interconnect, tiles, sockets, and the 8-socket node,
+- :mod:`repro.memory` — the three-tier memory system and the static
+  allocator with lifetime-based reuse and bandwidth-ranked spilling,
+- :mod:`repro.dataflow` — operator graphs, fusion policies (unfused /
+  conventional / streaming-dataflow), operational-intensity analysis,
+  spatial placement, and pipeline throughput analysis,
+- :mod:`repro.perf` — roofline and kernel cost models with calibration,
+- :mod:`repro.sim` — a discrete-event simulator for streamed pipelines,
+- :mod:`repro.models` — the Table II workload zoo (Llama2, Mistral,
+  Falcon, Bloom, LLaVA, sparseGPT, FlashFFTConv),
+- :mod:`repro.coe` — Samba-CoE: experts, router, LRU runtime, serving,
+- :mod:`repro.systems` — platform models (SN40L node, DGX A100/H100) and
+  footprint analysis,
+- :mod:`repro.core` — the compile/run API tying it all together.
+
+Quickstart::
+
+    from repro import compile_model, Session
+    from repro.models import LLAMA2_7B, decode_graph
+
+    graph = decode_graph(LLAMA2_7B, batch=1, context=2048, tp=8)
+    model = compile_model(graph, sockets=8, policy="streaming")
+    result = Session(sockets=8).run(model)
+    print(result.summary())
+"""
+
+from repro.core.compile import CompiledModel, compile_model
+from repro.core.session import RunResult, Session
+from repro.perf.kernel_cost import Orchestration
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledModel",
+    "compile_model",
+    "Session",
+    "RunResult",
+    "Orchestration",
+    "__version__",
+]

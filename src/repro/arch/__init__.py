@@ -1,0 +1,41 @@
+"""SN40L hardware architecture models."""
+
+from repro.arch.config import (
+    AGCUConfig,
+    MemoryTierSpec,
+    NodeConfig,
+    PCUConfig,
+    PMUConfig,
+    RDNConfig,
+    SocketConfig,
+    TileConfig,
+    sn10_like_socket,
+    sn40l_node,
+    sn40l_socket,
+)
+from repro.arch.node import RDUNode, RDUSocket
+from repro.arch.perfcounters import (
+    CounterFile,
+    Hotspot,
+    Remedy,
+    StallCounter,
+    UnitClass,
+    diagnose,
+    pmu_counter,
+)
+from repro.arch.pcu import PCU
+from repro.arch.tail import TailUnit, Xorshift32, stochastic_round_bf16
+from repro.arch.pmu import PMU, DiagonalTileBuffer
+from repro.arch.rdn import Mesh, Packet, ReorderBuffer
+from repro.arch.tile import RDUTile, UnitKind
+from repro.arch.topology import SocketFabric, Topology, best_topology
+
+__all__ = [
+    "AGCUConfig", "MemoryTierSpec", "NodeConfig", "PCUConfig", "PMUConfig",
+    "RDNConfig", "SocketConfig", "TileConfig", "sn10_like_socket",
+    "sn40l_node", "sn40l_socket", "RDUNode", "RDUSocket", "PCU", "PMU",
+    "DiagonalTileBuffer", "Mesh", "Packet", "ReorderBuffer", "RDUTile",
+    "UnitKind", "CounterFile", "Hotspot", "Remedy", "StallCounter",
+    "UnitClass", "diagnose", "pmu_counter", "TailUnit", "Xorshift32",
+    "stochastic_round_bf16", "SocketFabric", "Topology", "best_topology",
+]

@@ -1,0 +1,204 @@
+"""Address Generation and Coalescing Unit: launches, DMA, and P2P.
+
+The AGCU (paper Section IV-D) bridges an RDU tile to the Top Level Network.
+This module models its three roles:
+
+1. **Kernel launch orchestration** — a launch is the command sequence
+   Program Load -> Argument Load -> Kernel Execute. Software orchestration
+   issues each sequence from the host (paying a per-launch, per-argument
+   overhead); hardware orchestration replays a preloaded static schedule
+   from AGCU sequencers.
+2. **Off-chip access** — coalesced reads/writes against HBM/DDR at TLN
+   bandwidth.
+3. **Peer-to-peer protocol** — streaming sends between RDUs that bypass
+   HBM/DDR, from which collectives like ring all-reduce are built.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arch.config import AGCUConfig
+
+
+class LaunchCommand(enum.Enum):
+    """The three launch commands in issue order."""
+
+    PROGRAM_LOAD = "program_load"
+    ARGUMENT_LOAD = "argument_load"
+    KERNEL_EXECUTE = "kernel_execute"
+
+
+@dataclass(frozen=True)
+class KernelDescriptor:
+    """What the orchestrator needs to know to launch one kernel."""
+
+    name: str
+    exec_time_s: float
+    num_args: int = 0
+
+    def __post_init__(self) -> None:
+        if self.exec_time_s < 0:
+            raise ValueError(f"{self.name}: negative exec time")
+        if self.num_args < 0:
+            raise ValueError(f"{self.name}: negative arg count")
+
+
+@dataclass(frozen=True)
+class LaunchEvent:
+    """One command issued during schedule execution (for traces/tests)."""
+
+    kernel: str
+    command: LaunchCommand
+    time_s: float
+
+
+@dataclass
+class ScheduleResult:
+    """Timing of one executed kernel schedule."""
+
+    total_s: float
+    overhead_s: float
+    events: List[LaunchEvent] = field(default_factory=list)
+
+    @property
+    def exec_s(self) -> float:
+        return self.total_s - self.overhead_s
+
+
+class KernelOrchestrator:
+    """Executes kernel schedules under either orchestration mode."""
+
+    def __init__(
+        self,
+        config: AGCUConfig = AGCUConfig(),
+        sw_per_arg_s: float = 2e-6,
+    ) -> None:
+        self.config = config
+        self.sw_per_arg_s = sw_per_arg_s
+
+    def run_software(self, schedule: Sequence[KernelDescriptor]) -> ScheduleResult:
+        """Host-driven launch: every kernel pays the full command round trip.
+
+        Software orchestration is more flexible (the host can make
+        data-dependent decisions between kernels) but each launch costs a
+        fixed host overhead plus argument marshalling.
+        """
+        now = 0.0
+        overhead = 0.0
+        events: List[LaunchEvent] = []
+        for kernel in schedule:
+            launch = self.config.sw_launch_overhead_s + self.sw_per_arg_s * kernel.num_args
+            for command in LaunchCommand:
+                events.append(LaunchEvent(kernel.name, command, now))
+            now += launch
+            overhead += launch
+            now += kernel.exec_time_s
+        return ScheduleResult(total_s=now, overhead_s=overhead, events=events)
+
+    def run_hardware(self, schedule: Sequence[KernelDescriptor]) -> ScheduleResult:
+        """AGCU-sequenced launch of a *static* schedule.
+
+        The schedule (program pointers, argument blocks) is loaded once;
+        each launch then costs only the hardware sequencer's issue time.
+        Data-dependent scheduling is not possible — the schedule is fixed
+        at compile time (paper Section IV-D).
+        """
+        now = 0.0
+        overhead = 0.0
+        events: List[LaunchEvent] = []
+        for kernel in schedule:
+            events.append(LaunchEvent(kernel.name, LaunchCommand.KERNEL_EXECUTE, now))
+            now += self.config.hw_launch_overhead_s
+            overhead += self.config.hw_launch_overhead_s
+            now += kernel.exec_time_s
+        return ScheduleResult(total_s=now, overhead_s=overhead, events=events)
+
+
+# ----------------------------------------------------------------------
+# Peer-to-peer protocol and collectives
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class P2PLink:
+    """A point-to-point streaming link between two RDU sockets."""
+
+    bandwidth: float
+    latency_s: float = 2e-6
+
+    def transfer_time(self, num_bytes: float) -> float:
+        if num_bytes < 0:
+            raise ValueError(f"negative transfer: {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency_s + num_bytes / self.bandwidth
+
+
+def ring_allreduce_time(
+    num_bytes: float, participants: int, link: P2PLink
+) -> float:
+    """Time of a ring all-reduce over the P2P protocol.
+
+    Standard ring: ``2 * (p - 1)`` steps each moving ``bytes / p``. The
+    SN40L's streaming protocol lets the compiler fuse this with compute
+    (paper Section VII); callers model that overlap — this function returns
+    the unoverlapped collective time.
+    """
+    if participants < 1:
+        raise ValueError(f"participants must be >= 1, got {participants}")
+    if participants == 1:
+        return 0.0
+    steps = 2 * (participants - 1)
+    return steps * link.transfer_time(num_bytes / participants)
+
+
+def all_gather_time(num_bytes: float, participants: int, link: P2PLink) -> float:
+    """Time of a ring all-gather (``p - 1`` steps of ``bytes / p``)."""
+    if participants < 1:
+        raise ValueError(f"participants must be >= 1, got {participants}")
+    if participants == 1:
+        return 0.0
+    return (participants - 1) * link.transfer_time(num_bytes / participants)
+
+
+@dataclass
+class AddressGenerator:
+    """The AGCU's scalar address pipeline: affine multi-dimensional walks.
+
+    Generates addresses for ``sum_i idx_i * stride_i + base`` loop nests,
+    the access-pattern workhorse for off-chip tensors.
+    """
+
+    base: int
+    strides: Tuple[int, ...]
+    extents: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.strides) != len(self.extents):
+            raise ValueError("strides and extents must have equal rank")
+        if any(e <= 0 for e in self.extents):
+            raise ValueError(f"extents must be positive, got {self.extents}")
+
+    def addresses(self) -> List[int]:
+        """All addresses of the walk, innermost dimension fastest."""
+        out: List[int] = []
+
+        def walk(dim: int, acc: int) -> None:
+            if dim == len(self.extents):
+                out.append(acc)
+                return
+            for i in range(self.extents[dim]):
+                walk(dim + 1, acc + i * self.strides[dim])
+
+        walk(0, self.base)
+        return out
+
+    @property
+    def count(self) -> int:
+        total = 1
+        for extent in self.extents:
+            total *= extent
+        return total

@@ -1,0 +1,126 @@
+"""RDU socket and node: stateful devices with their memory systems.
+
+An :class:`RDUSocket` is one SN40L package (two dies of tiles, HBM, DDR).
+An :class:`RDUNode` is the paper's deployment unit: eight sockets and a
+host, with the DDR->HBM copy path that makes CoE model switching fast.
+
+These are the objects the CoE runtime (:mod:`repro.coe.runtime`) manages
+memory on and the serving model (:mod:`repro.coe.serving`) times against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.arch.config import NodeConfig, SocketConfig, sn40l_node
+from repro.arch.tile import RDUTile
+from repro.memory.tiers import MemorySystem, MemoryTier, TierKind
+from repro.memory.transfer import TransferEngine
+from repro.arch.config import MemoryTierSpec
+from repro.perf.calibration import DEFAULT_CALIBRATION, Calibration
+
+
+class RDUSocket:
+    """One SN40L socket: tiles plus an HBM/DDR/SRAM memory system."""
+
+    def __init__(self, config: SocketConfig = SocketConfig(), name: str = "rdu0") -> None:
+        self.config = config
+        self.name = name
+        self.tiles: List[RDUTile] = [
+            RDUTile(config.tile, name=f"{name}.tile{i}") for i in range(config.num_tiles)
+        ]
+        sram_spec = MemoryTierSpec(
+            name="SRAM",
+            capacity_bytes=config.sram_capacity_bytes,
+            bandwidth=config.sram_bandwidth,
+            latency_s=10e-9,
+        )
+        self.memory = MemorySystem(
+            tiers={
+                TierKind.SRAM: MemoryTier(TierKind.SRAM, sram_spec),
+                TierKind.HBM: MemoryTier(TierKind.HBM, config.hbm),
+                TierKind.DDR: MemoryTier(TierKind.DDR, config.ddr),
+            }
+        )
+
+    @property
+    def num_pcus(self) -> int:
+        return sum(t.num_pcus for t in self.tiles)
+
+    @property
+    def num_pmus(self) -> int:
+        return sum(t.num_pmus for t in self.tiles)
+
+    @property
+    def peak_flops(self) -> float:
+        return self.config.peak_flops
+
+
+class RDUNode:
+    """The 8-socket SN40L node (paper Section V).
+
+    The node-level memory view pools the per-socket budgets: a TP8 model's
+    weights are sharded across all eight sockets, so capacity questions
+    ("how many experts fit in HBM?") are naturally node-level. The
+    DDR->HBM path bandwidth comes from calibration (the paper's ">1 TB/s").
+    """
+
+    def __init__(
+        self,
+        config: NodeConfig = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        name: str = "sn40l-node",
+    ) -> None:
+        self.config = config or sn40l_node()
+        self.calibration = calibration
+        self.name = name
+        self.sockets: List[RDUSocket] = [
+            RDUSocket(self.config.socket, name=f"{name}.rdu{i}")
+            for i in range(self.config.sockets)
+        ]
+        socket_cfg = self.config.socket
+        hbm_spec = MemoryTierSpec(
+            name="HBM",
+            capacity_bytes=self.config.hbm_capacity_bytes,
+            bandwidth=self.config.hbm_bandwidth,
+            latency_s=socket_cfg.hbm.latency_s,
+        )
+        ddr_spec = MemoryTierSpec(
+            name="DDR",
+            capacity_bytes=self.config.ddr_capacity_bytes,
+            bandwidth=self.config.ddr_to_hbm_bandwidth,
+            latency_s=socket_cfg.ddr.latency_s,
+        )
+        self.memory = MemorySystem(
+            tiers={
+                TierKind.HBM: MemoryTier(TierKind.HBM, hbm_spec),
+                TierKind.DDR: MemoryTier(TierKind.DDR, ddr_spec),
+                TierKind.HOST: MemoryTier(TierKind.HOST, self.config.host_dram),
+            }
+        )
+        # The node's DDR->HBM copy path is TLN-limited below raw DDR
+        # aggregate; the paper reports "over 1 TB/s".
+        self.memory.set_transfer_bandwidth(
+            TierKind.DDR, TierKind.HBM, calibration.node_ddr_to_hbm_bandwidth
+        )
+        self.memory.set_transfer_bandwidth(
+            TierKind.HBM, TierKind.DDR, calibration.node_ddr_to_hbm_bandwidth
+        )
+        self.dma = TransferEngine(self.memory)
+
+    @property
+    def num_sockets(self) -> int:
+        return self.config.sockets
+
+    @property
+    def peak_flops(self) -> float:
+        return self.config.peak_flops
+
+    @property
+    def hbm_bandwidth(self) -> float:
+        return self.config.hbm_bandwidth
+
+    def model_switch_time(self, weight_bytes: int) -> float:
+        """Seconds to copy one expert's weights from DDR into HBM."""
+        return self.memory.transfer_time(TierKind.DDR, TierKind.HBM, weight_bytes)

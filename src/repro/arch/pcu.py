@@ -1,0 +1,138 @@
+"""Pattern Compute Unit: functional and timing model (paper Section IV-A).
+
+The PCU datapath has a header (input dataflow), a body configurable as an
+output-stationary systolic array or a pipelined SIMD core, and a tail for
+transcendentals/rounding/format conversion. This module provides:
+
+- a *functional* model (`systolic_matmul`, `simd_map`) that computes real
+  results tile-by-tile the way the hardware would, so tests can check both
+  numerics and cycle counts,
+- a *timing* model (`gemm_cycles`, `simd_cycles`) used by the placer and
+  the pipeline analyzer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.arch.config import PCUConfig
+
+
+@dataclass(frozen=True)
+class SystolicTiming:
+    """Cycle breakdown of a tiled systolic GEMM on one PCU."""
+
+    tiles: int
+    cycles_per_tile: int
+    fill_drain_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.tiles * self.cycles_per_tile + self.fill_drain_cycles
+
+
+class PCU:
+    """One Pattern Compute Unit."""
+
+    def __init__(self, config: PCUConfig = PCUConfig()) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Timing model
+    # ------------------------------------------------------------------
+    def gemm_cycles(self, m: int, k: int, n: int) -> SystolicTiming:
+        """Cycles for C(m,n) = A(m,k) @ B(k,n) on the systolic body.
+
+        The body is a ``lanes x stages`` output-stationary MAC grid: each
+        tile of C sized ``(lanes, stages)`` accumulates over ``k`` cycles
+        while operands stream through the broadcast buffers. The pipeline
+        fills/drains once per kernel (tiles are back-to-back).
+        """
+        if min(m, k, n) < 1:
+            raise ValueError(f"invalid GEMM dims ({m}, {k}, {n})")
+        cfg = self.config
+        tiles = math.ceil(m / cfg.lanes) * math.ceil(n / cfg.stages)
+        return SystolicTiming(
+            tiles=tiles,
+            cycles_per_tile=k,
+            fill_drain_cycles=cfg.lanes + cfg.stages,
+        )
+
+    def gemm_time_s(self, m: int, k: int, n: int) -> float:
+        """Wall time of the tiled GEMM at the configured clock."""
+        timing = self.gemm_cycles(m, k, n)
+        return timing.total_cycles / (self.config.clock_ghz * 1e9)
+
+    def simd_cycles(self, num_elements: int, ops_per_element: int = 1) -> int:
+        """Cycles for a fully pipelined elementwise map.
+
+        Each SIMD stage applies one operation to a ``lanes``-wide vector
+        per cycle; chains up to ``stages`` long run fused at one vector
+        per cycle, longer chains take multiple passes.
+        """
+        if num_elements < 0 or ops_per_element < 0:
+            raise ValueError("num_elements and ops_per_element must be >= 0")
+        cfg = self.config
+        passes = max(1, math.ceil(ops_per_element / cfg.stages))
+        vectors = math.ceil(num_elements / cfg.lanes)
+        return passes * vectors + cfg.stages  # + pipeline fill
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+    def systolic_matmul(self, a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, SystolicTiming]:
+        """Compute ``a @ b`` tile-by-tile, returning result and timing.
+
+        The tiling mirrors the hardware: output-stationary tiles of shape
+        ``(lanes, stages)``, accumulated over the shared k dimension. The
+        result is numerically identical to ``a @ b`` in float32.
+        """
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"incompatible shapes {a.shape} @ {b.shape}")
+        m, k = a.shape
+        _, n = b.shape
+        cfg = self.config
+        out = np.zeros((m, n), dtype=np.float32)
+        a32 = a.astype(np.float32)
+        b32 = b.astype(np.float32)
+        for row in range(0, m, cfg.lanes):
+            for col in range(0, n, cfg.stages):
+                tile_a = a32[row : row + cfg.lanes, :]
+                tile_b = b32[:, col : col + cfg.stages]
+                # Output-stationary accumulation, one k-slice per cycle.
+                acc = np.zeros((tile_a.shape[0], tile_b.shape[1]), dtype=np.float32)
+                for kk in range(k):
+                    acc += np.outer(tile_a[:, kk], tile_b[kk, :])
+                out[row : row + cfg.lanes, col : col + cfg.stages] = acc
+        return out, self.gemm_cycles(m, k, n)
+
+    def simd_map(
+        self, values: np.ndarray, fn: Callable[[np.ndarray], np.ndarray]
+    ) -> Tuple[np.ndarray, int]:
+        """Apply ``fn`` lane-by-lane, returning result and cycle count."""
+        flat = values.reshape(-1)
+        lanes = self.config.lanes
+        chunks = []
+        for start in range(0, flat.size, lanes):
+            chunks.append(fn(flat[start : start + lanes]))
+        result = np.concatenate(chunks).reshape(values.shape) if chunks else flat
+        return result, self.simd_cycles(flat.size)
+
+    def cross_lane_reduce(self, values: np.ndarray) -> Tuple[float, int]:
+        """Reduce a vector through the cross-lane reduction tree.
+
+        The tree reduces ``lanes`` values in ``log2(lanes)`` cycles.
+        """
+        flat = values.reshape(-1).astype(np.float64)
+        lanes = self.config.lanes
+        total = 0.0
+        cycles = 0
+        for start in range(0, flat.size, lanes):
+            chunk = flat[start : start + lanes]
+            total += float(np.sum(chunk))
+            cycles += max(1, int(math.ceil(math.log2(max(2, chunk.size)))))
+        return total, cycles

@@ -1,0 +1,167 @@
+"""Performance counters and hotspot analysis (paper Section VII).
+
+"Performance counters in SN40L switches and PMUs count stalls and help
+identify hotspots in the SN40L tile. ... bandwidth issues often boiled
+down to one of two things: a network congestion, or a memory bank
+conflict."
+
+This module provides the counter infrastructure and the triage logic:
+
+- :class:`StallCounter` — saturating stall/busy counters as found in
+  switches and PMUs,
+- :class:`CounterFile` — a named collection with snapshot/delta support
+  (how real performance debugging sessions read the hardware),
+- :func:`diagnose` — the paper's two-bucket triage: classify each hot
+  unit as *network congestion* (switch stalls) or *bank conflict* (PMU
+  conflict cycles), with the recommended remedy (packet throttling vs
+  programmable bank-bit remapping).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arch.pmu import PMU
+
+
+class UnitClass(enum.Enum):
+    SWITCH = "switch"
+    PMU = "pmu"
+
+
+class Remedy(enum.Enum):
+    """The two remedies of the paper's performance-debugging lesson."""
+
+    THROTTLE_TRAFFIC = "program packet throttling to smooth bursty streams"
+    REMAP_BANK_BITS = "program bank bits to split buffers across banks"
+    NONE = "unit is healthy"
+
+
+@dataclass
+class StallCounter:
+    """A saturating busy/stall counter pair."""
+
+    name: str
+    unit_class: UnitClass
+    busy_cycles: int = 0
+    stall_cycles: int = 0
+    #: Saturation bound, as in real hardware counter registers.
+    max_value: int = 2**48 - 1
+
+    def record(self, busy: int = 0, stalled: int = 0) -> None:
+        if busy < 0 or stalled < 0:
+            raise ValueError("cycle counts must be non-negative")
+        self.busy_cycles = min(self.busy_cycles + busy, self.max_value)
+        self.stall_cycles = min(self.stall_cycles + stalled, self.max_value)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.busy_cycles + self.stall_cycles
+
+    @property
+    def stall_fraction(self) -> float:
+        total = self.total_cycles
+        return self.stall_cycles / total if total else 0.0
+
+    def reset(self) -> None:
+        self.busy_cycles = 0
+        self.stall_cycles = 0
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Point-in-time counter values (for delta-based profiling)."""
+
+    values: Dict[str, tuple]
+
+
+class CounterFile:
+    """A named collection of counters with snapshot/delta reads."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, StallCounter] = {}
+
+    def register(self, counter: StallCounter) -> StallCounter:
+        if counter.name in self._counters:
+            raise ValueError(f"counter {counter.name!r} already registered")
+        self._counters[counter.name] = counter
+        return counter
+
+    def __getitem__(self, name: str) -> StallCounter:
+        return self._counters[name]
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def counters(self) -> List[StallCounter]:
+        return list(self._counters.values())
+
+    def snapshot(self) -> CounterSnapshot:
+        return CounterSnapshot(
+            values={
+                name: (c.busy_cycles, c.stall_cycles)
+                for name, c in self._counters.items()
+            }
+        )
+
+    def delta(self, since: CounterSnapshot) -> Dict[str, tuple]:
+        """(busy, stall) deltas since a snapshot, for windowed profiling."""
+        out = {}
+        for name, counter in self._counters.items():
+            busy0, stall0 = since.values.get(name, (0, 0))
+            out[name] = (counter.busy_cycles - busy0, counter.stall_cycles - stall0)
+        return out
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One diagnosed problem unit."""
+
+    unit: str
+    unit_class: UnitClass
+    stall_fraction: float
+    remedy: Remedy
+
+
+def diagnose(counters: CounterFile, stall_threshold: float = 0.25) -> List[Hotspot]:
+    """The paper's two-bucket triage over a counter file.
+
+    Units stalled above ``stall_threshold`` are hotspots; switches map to
+    RDN congestion (remedy: programmable packet throttling) and PMUs map
+    to bank conflicts (remedy: programmable bank bits).
+    """
+    if not 0.0 < stall_threshold < 1.0:
+        raise ValueError(f"threshold must be in (0,1), got {stall_threshold}")
+    hotspots = []
+    for counter in counters.counters():
+        fraction = counter.stall_fraction
+        if fraction <= stall_threshold:
+            continue
+        remedy = (
+            Remedy.THROTTLE_TRAFFIC
+            if counter.unit_class is UnitClass.SWITCH
+            else Remedy.REMAP_BANK_BITS
+        )
+        hotspots.append(
+            Hotspot(
+                unit=counter.name,
+                unit_class=counter.unit_class,
+                stall_fraction=fraction,
+                remedy=remedy,
+            )
+        )
+    return sorted(hotspots, key=lambda h: -h.stall_fraction)
+
+
+def pmu_counter(name: str, pmu: PMU) -> StallCounter:
+    """Build a counter from a PMU's accumulated access statistics.
+
+    Conflict cycles (cycles beyond one per vector) count as stalls —
+    exactly what the hardware's bank-conflict counters expose.
+    """
+    counter = StallCounter(name=name, unit_class=UnitClass.PMU)
+    for stats in (pmu.read_stats, pmu.write_stats):
+        counter.record(busy=stats.vectors, stalled=stats.conflict_cycles)
+    return counter

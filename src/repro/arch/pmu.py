@@ -1,0 +1,229 @@
+"""Pattern Memory Unit: banked scratchpad with programmable addressing.
+
+Functional model of the PMU features the paper calls out (Section IV-B):
+
+- **Banked scratchpad** with software-programmable bank bits: the bank of a
+  word address is extracted from a programmable bit position, letting
+  software map multi-buffer layouts conflict-free (paper Section VII).
+- **Bank-conflict accounting**: a vector of addresses issued in one cycle
+  serializes on the most-loaded bank.
+- **Diagonal striping** for transpose: a 2-D tile written in a diagonally
+  striped layout can be read back in both row-major and column-major order
+  at full bandwidth — this is how the SN40L fuses `transpose` into an
+  access pattern instead of a kernel.
+- **Address predication**: each PMU holds a valid-address range; addresses
+  outside it are dropped, implementing tensor interleaving across PMUs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.config import PMUConfig
+
+
+@dataclass
+class BankAccessStats:
+    """Conflict accounting for a stream of vector accesses."""
+
+    vectors: int = 0
+    cycles: int = 0
+
+    @property
+    def conflict_cycles(self) -> int:
+        """Extra cycles beyond the conflict-free ideal (1/vector)."""
+        return self.cycles - self.vectors
+
+    @property
+    def conflict_rate(self) -> float:
+        return self.conflict_cycles / self.cycles if self.cycles else 0.0
+
+
+class PMU:
+    """One Pattern Memory Unit: words of 4 bytes across ``num_banks`` banks."""
+
+    WORD_BYTES = 4
+
+    def __init__(self, config: PMUConfig = PMUConfig()) -> None:
+        self.config = config
+        self.num_words = config.capacity_bytes // self.WORD_BYTES
+        self._data = np.zeros(self.num_words, dtype=np.float32)
+        #: Bank index = (word_address >> bank_shift) & (num_banks - 1).
+        #: Default shift of 0 interleaves consecutive words across banks.
+        self.bank_shift = 0
+        #: Valid-address range for predication, or None to accept all.
+        self.valid_range: Optional[Tuple[int, int]] = None
+        self.read_stats = BankAccessStats()
+        self.write_stats = BankAccessStats()
+
+    # ------------------------------------------------------------------
+    # Banking
+    # ------------------------------------------------------------------
+    def set_bank_bits(self, shift: int) -> None:
+        """Program the bank-bit position used to select banks."""
+        if shift < 0:
+            raise ValueError(f"bank shift must be >= 0, got {shift}")
+        self.bank_shift = shift
+
+    def bank_of(self, address: int) -> int:
+        return (address >> self.bank_shift) % self.config.num_banks
+
+    def _access_cycles(self, addresses: np.ndarray) -> int:
+        """Cycles to service one vector of addresses: banks serialize."""
+        if addresses.size == 0:
+            return 0
+        banks = (addresses >> self.bank_shift) % self.config.num_banks
+        _, counts = np.unique(banks, return_counts=True)
+        return int(counts.max())
+
+    # ------------------------------------------------------------------
+    # Predicated scatter/gather
+    # ------------------------------------------------------------------
+    def set_valid_range(self, start: int, end: int) -> None:
+        """Program the predication range ``[start, end)``.
+
+        Addresses outside the range are silently dropped — this is how one
+        logical tensor is interleaved across several PMUs (each PMU keeps
+        only its slice).
+        """
+        if not 0 <= start <= end <= self.num_words:
+            raise ValueError(f"bad valid range [{start}, {end})")
+        self.valid_range = (start, end)
+
+    def _predicate(self, addresses: np.ndarray) -> np.ndarray:
+        if self.valid_range is None:
+            mask = (addresses >= 0) & (addresses < self.num_words)
+        else:
+            start, end = self.valid_range
+            mask = (addresses >= start) & (addresses < end)
+        return mask
+
+    def write(self, addresses: Sequence[int], values: Sequence[float]) -> int:
+        """Scatter ``values`` to word ``addresses``; returns cycles taken.
+
+        Predicated-out addresses are dropped (their values ignored).
+        """
+        addr = np.asarray(addresses, dtype=np.int64)
+        vals = np.asarray(values, dtype=np.float32)
+        if addr.shape != vals.shape:
+            raise ValueError(f"{addr.shape} addresses vs {vals.shape} values")
+        mask = self._predicate(addr)
+        self._data[addr[mask]] = vals[mask]
+        cycles = 0
+        lanes = max(1, self.config.num_banks)
+        for start in range(0, addr.size, lanes):
+            cycles += self._access_cycles(addr[start : start + lanes][mask[start : start + lanes]])
+        self.write_stats.vectors += math.ceil(addr.size / lanes)
+        self.write_stats.cycles += cycles
+        return cycles
+
+    def read(self, addresses: Sequence[int]) -> Tuple[np.ndarray, int]:
+        """Gather from word ``addresses``; predicated-out slots read 0."""
+        addr = np.asarray(addresses, dtype=np.int64)
+        mask = self._predicate(addr)
+        out = np.zeros(addr.shape, dtype=np.float32)
+        out[mask] = self._data[addr[mask]]
+        cycles = 0
+        lanes = max(1, self.config.num_banks)
+        for start in range(0, addr.size, lanes):
+            cycles += self._access_cycles(addr[start : start + lanes][mask[start : start + lanes]])
+        self.read_stats.vectors += math.ceil(addr.size / lanes)
+        self.read_stats.cycles += cycles
+        return out, cycles
+
+
+class DiagonalTileBuffer:
+    """A 2-D tile stored diagonally striped across PMU banks.
+
+    Element ``(r, c)`` of a ``T x T`` tile lives at word address
+    ``r * T + c`` but in bank ``(r + c) mod num_banks``. With ``T`` a
+    multiple of the bank count, both a row ``(r, :)`` and a column
+    ``(:, c)`` touch every bank exactly ``T / num_banks`` times — so the
+    tile can be read in regular *and* transposed order at full bandwidth.
+    This implements the paper's "special diagonally striped format".
+    """
+
+    def __init__(self, tile_dim: int, config: PMUConfig = PMUConfig()) -> None:
+        if tile_dim <= 0:
+            raise ValueError(f"tile_dim must be positive, got {tile_dim}")
+        self.tile_dim = tile_dim
+        self.config = config
+        # When tile_dim < num_banks the diagonal walk loads banks unevenly
+        # (bank b is hit once per row whose diagonal crosses it), so size
+        # slots for the worst case of one hit per row.
+        slots = max(tile_dim, math.ceil(tile_dim * tile_dim / config.num_banks))
+        self._banks = np.zeros((config.num_banks, slots), dtype=np.float32)
+        self._slot = np.zeros(config.num_banks, dtype=np.int64)
+        # Placement map: (r, c) -> (bank, slot), filled on write.
+        self._where = {}
+
+    def bank_of(self, row: int, col: int) -> int:
+        return (row + col) % self.config.num_banks
+
+    def write_tile(self, tile: np.ndarray) -> int:
+        """Write a full tile row-by-row; returns cycles (conflict-aware)."""
+        if tile.shape != (self.tile_dim, self.tile_dim):
+            raise ValueError(f"expected {(self.tile_dim,) * 2}, got {tile.shape}")
+        cycles = 0
+        for r in range(self.tile_dim):
+            banks = [(r + c) % self.config.num_banks for c in range(self.tile_dim)]
+            for c in range(self.tile_dim):
+                bank = banks[c]
+                slot = self._slot[bank]
+                self._banks[bank, slot] = tile[r, c]
+                self._where[(r, c)] = (bank, int(slot))
+                self._slot[bank] += 1
+            cycles += self._row_cycles(banks)
+        return cycles
+
+    def _row_cycles(self, banks: Sequence[int]) -> int:
+        counts = np.bincount(np.asarray(banks), minlength=self.config.num_banks)
+        return int(counts.max()) if len(banks) else 0
+
+    def read_row(self, row: int) -> Tuple[np.ndarray, int]:
+        """Read one row in regular order; cycles reflect bank conflicts."""
+        banks = [(row + c) % self.config.num_banks for c in range(self.tile_dim)]
+        values = np.array(
+            [self._banks[self._where[(row, c)]] for c in range(self.tile_dim)],
+            dtype=np.float32,
+        )
+        return values, self._row_cycles(banks)
+
+    def read_col(self, col: int) -> Tuple[np.ndarray, int]:
+        """Read one column (transposed access) — also conflict-free."""
+        banks = [(r + col) % self.config.num_banks for r in range(self.tile_dim)]
+        values = np.array(
+            [self._banks[self._where[(r, col)]] for r in range(self.tile_dim)],
+            dtype=np.float32,
+        )
+        return values, self._row_cycles(banks)
+
+    def read_transposed(self) -> Tuple[np.ndarray, int]:
+        """Read the whole tile in transposed order."""
+        cycles = 0
+        cols = []
+        for c in range(self.tile_dim):
+            values, cyc = self.read_col(c)
+            cols.append(values)
+            cycles += cyc
+        return np.stack(cols, axis=0), cycles
+
+
+def row_major_conflict_cycles(tile_dim: int, num_banks: int) -> Tuple[int, int]:
+    """Conflict cycles of a *naive* row-major layout, for comparison.
+
+    Returns (row_read_cycles, col_read_cycles) for one row/column read.
+    In row-major layout with word interleaving, a row read is conflict-free
+    but a column read hits ``gcd``-determined conflicts — with ``tile_dim``
+    a multiple of ``num_banks``, every column element lands in the *same*
+    bank, serializing the read completely.
+    """
+    row_banks = np.arange(tile_dim) % num_banks
+    col_banks = (np.arange(tile_dim) * tile_dim) % num_banks
+    row_cycles = int(np.bincount(row_banks, minlength=num_banks).max())
+    col_cycles = int(np.bincount(col_banks, minlength=num_banks).max())
+    return row_cycles, col_cycles

@@ -1,0 +1,289 @@
+"""Reconfigurable Dataflow Network: mesh switches, flow routing, reordering.
+
+Functional model of the RDN mechanics (paper Sections IV-C, IV-E):
+
+- a 2-D mesh of non-blocking switches with N/S/E/W/local ports,
+- **dimension-order routing** for dynamically-routed packets,
+- **static flow routing** with per-switch flow tables: each packet carries
+  a flow ID that is looked up and *rewritten* at every hop (the MPLS-like
+  scheme SN40L adopted so flow IDs are switch-local, fixing SN10's global
+  allocation problem),
+- **multicast**: one flow-table entry can fan a packet out of several
+  ports,
+- **sequence IDs** for many-to-one streams: destinations reorder arriving
+  packets by sequence ID (paper: "the sequence ID field is used ... to
+  compute the write addresses to reorder the packets").
+
+Hop latency accounting lets tests check path lengths; contention/credit
+behaviour is modelled separately in :mod:`repro.sim.streams`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.arch.config import RDNConfig
+
+
+class Port(enum.Enum):
+    """Switch ports: four mesh neighbours plus the local unit."""
+
+    NORTH = (0, -1)
+    SOUTH = (0, 1)
+    EAST = (1, 0)
+    WEST = (-1, 0)
+    LOCAL = (0, 0)
+
+    @property
+    def step(self) -> Tuple[int, int]:
+        return self.value
+
+    @property
+    def opposite(self) -> "Port":
+        return _OPPOSITE[self]
+
+
+_OPPOSITE = {
+    Port.NORTH: Port.SOUTH,
+    Port.SOUTH: Port.NORTH,
+    Port.EAST: Port.WEST,
+    Port.WEST: Port.EAST,
+    Port.LOCAL: Port.LOCAL,
+}
+
+
+@dataclass
+class Packet:
+    """One vector-fabric packet."""
+
+    payload: object
+    flow_id: Optional[int] = None
+    sequence_id: Optional[int] = None
+    hops: int = 0
+
+
+@dataclass(frozen=True)
+class FlowEntry:
+    """One flow-table entry: where to send and what to relabel to.
+
+    ``out_ports`` with more than one element is a multicast fan-out; the
+    packet is replicated with the per-port next flow ID.
+    """
+
+    out_ports: Tuple[Port, ...]
+    next_flow_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.out_ports) != len(self.next_flow_ids):
+            raise ValueError("out_ports and next_flow_ids must align")
+        if not self.out_ports:
+            raise ValueError("a flow entry needs at least one output port")
+
+
+class Switch:
+    """One RDN switch with a software-programmed flow table."""
+
+    def __init__(self, coord: Tuple[int, int], config: RDNConfig) -> None:
+        self.coord = coord
+        self.config = config
+        self._flow_table: Dict[int, FlowEntry] = {}
+
+    def program_flow(self, flow_id: int, entry: FlowEntry) -> None:
+        if len(self._flow_table) >= self.config.flow_table_entries and (
+            flow_id not in self._flow_table
+        ):
+            raise RuntimeError(
+                f"switch {self.coord}: flow table full "
+                f"({self.config.flow_table_entries} entries)"
+            )
+        self._flow_table[flow_id] = entry
+
+    def lookup(self, flow_id: int) -> FlowEntry:
+        try:
+            return self._flow_table[flow_id]
+        except KeyError:
+            raise KeyError(f"switch {self.coord}: no flow {flow_id}") from None
+
+    @property
+    def flows_used(self) -> int:
+        return len(self._flow_table)
+
+
+class Mesh:
+    """A ``cols x rows`` mesh of switches with attached local units."""
+
+    def __init__(self, cols: int, rows: int, config: RDNConfig = RDNConfig()) -> None:
+        if cols < 1 or rows < 1:
+            raise ValueError(f"mesh dims must be >= 1, got ({cols}, {rows})")
+        self.cols = cols
+        self.rows = rows
+        self.config = config
+        self.switches = {
+            (x, y): Switch((x, y), config) for x in range(cols) for y in range(rows)
+        }
+        self._next_flow_id: Dict[Tuple[int, int], int] = {
+            coord: 0 for coord in self.switches
+        }
+
+    def in_bounds(self, coord: Tuple[int, int]) -> bool:
+        x, y = coord
+        return 0 <= x < self.cols and 0 <= y < self.rows
+
+    # ------------------------------------------------------------------
+    # Dimension-order (dynamic) routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def dimension_order_path(
+        src: Tuple[int, int], dst: Tuple[int, int]
+    ) -> List[Tuple[int, int]]:
+        """X-then-Y route, inclusive of both endpoints."""
+        path = [src]
+        x, y = src
+        while x != dst[0]:
+            x += 1 if dst[0] > x else -1
+            path.append((x, y))
+        while y != dst[1]:
+            y += 1 if dst[1] > y else -1
+            path.append((x, y))
+        return path
+
+    def route_dynamic(self, packet: Packet, src: Tuple[int, int], dst: Tuple[int, int]) -> int:
+        """Route one packet dimension-order; returns latency in cycles."""
+        for coord in (src, dst):
+            if not self.in_bounds(coord):
+                raise ValueError(f"coordinate {coord} outside {self.cols}x{self.rows} mesh")
+        path = self.dimension_order_path(src, dst)
+        packet.hops += len(path) - 1
+        return (len(path) - 1) * self.config.hop_latency_cycles
+
+    # ------------------------------------------------------------------
+    # Static flow routing with per-switch relabelling
+    # ------------------------------------------------------------------
+    def _alloc_flow_id(self, coord: Tuple[int, int]) -> int:
+        flow_id = self._next_flow_id[coord]
+        if flow_id >= self.config.flow_table_entries:
+            raise RuntimeError(f"switch {coord}: out of flow IDs")
+        self._next_flow_id[coord] = flow_id + 1
+        return flow_id
+
+    def program_route(
+        self, src: Tuple[int, int], destinations: Sequence[Tuple[int, int]]
+    ) -> int:
+        """Program a (possibly multicast) static flow from src to dests.
+
+        Builds the union of dimension-order paths as a multicast tree and
+        programs one flow entry per tree switch, allocating flow IDs
+        *locally* at each switch (MPLS-like). Returns the flow ID to stamp
+        on packets injected at ``src``.
+        """
+        if not destinations:
+            raise ValueError("need at least one destination")
+        for coord in list(destinations) + [src]:
+            if not self.in_bounds(coord):
+                raise ValueError(f"coordinate {coord} outside mesh")
+
+        # children[switch] = set of (port, child_switch) in the tree.
+        children: Dict[Tuple[int, int], Dict[Port, Tuple[int, int]]] = {}
+        terminal: Dict[Tuple[int, int], bool] = {}
+        for dst in destinations:
+            path = self.dimension_order_path(src, dst)
+            for here, nxt in zip(path, path[1:]):
+                port = _port_between(here, nxt)
+                children.setdefault(here, {})[port] = nxt
+            terminal[dst] = True
+
+        # Allocate local flow IDs bottom-up and program entries.
+        flow_ids: Dict[Tuple[int, int], int] = {}
+
+        def assign(coord: Tuple[int, int]) -> int:
+            if coord in flow_ids:
+                return flow_ids[coord]
+            flow_id = self._alloc_flow_id(coord)
+            flow_ids[coord] = flow_id
+            out_ports: List[Port] = []
+            next_ids: List[int] = []
+            for port, child in children.get(coord, {}).items():
+                out_ports.append(port)
+                next_ids.append(assign(child))
+            if terminal.get(coord):
+                out_ports.append(Port.LOCAL)
+                next_ids.append(flow_id)
+            if not out_ports:  # src == a destination with no tree below
+                out_ports.append(Port.LOCAL)
+                next_ids.append(flow_id)
+            self.switches[coord].program_flow(
+                flow_id, FlowEntry(tuple(out_ports), tuple(next_ids))
+            )
+            return flow_id
+
+        return assign(src)
+
+    def send_flow(
+        self, packet: Packet, src: Tuple[int, int], flow_id: int
+    ) -> List[Tuple[Tuple[int, int], Packet]]:
+        """Forward a packet along a programmed flow.
+
+        Returns the list of ``(destination_coord, packet_copy)`` deliveries
+        (several for multicast). Each delivered packet records its hop
+        count; latency is ``hops * hop_latency_cycles``.
+        """
+        deliveries: List[Tuple[Tuple[int, int], Packet]] = []
+
+        def forward(coord: Tuple[int, int], fid: int, hops: int) -> None:
+            entry = self.switches[coord].lookup(fid)
+            for port, next_fid in zip(entry.out_ports, entry.next_flow_ids):
+                if port is Port.LOCAL:
+                    delivered = Packet(
+                        payload=packet.payload,
+                        flow_id=next_fid,
+                        sequence_id=packet.sequence_id,
+                        hops=hops,
+                    )
+                    deliveries.append((coord, delivered))
+                else:
+                    step = port.step
+                    nxt = (coord[0] + step[0], coord[1] + step[1])
+                    forward(nxt, next_fid, hops + 1)
+
+        forward(src, flow_id, 0)
+        return deliveries
+
+
+def _port_between(a: Tuple[int, int], b: Tuple[int, int]) -> Port:
+    delta = (b[0] - a[0], b[1] - a[1])
+    for port in Port:
+        if port.step == delta:
+            return port
+    raise ValueError(f"{a} and {b} are not mesh neighbours")
+
+
+class ReorderBuffer:
+    """Sequence-ID reordering for many-to-one streams.
+
+    Producers stamp packets with software-programmed sequence IDs encoding
+    the logical vector order; the consumer releases packets in-order as the
+    next expected ID arrives.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, Packet] = {}
+        self._next = 0
+
+    def push(self, packet: Packet) -> List[Packet]:
+        """Accept a packet; return the (possibly empty) in-order release."""
+        if packet.sequence_id is None:
+            raise ValueError("reorder buffer requires a sequence_id")
+        if packet.sequence_id < self._next or packet.sequence_id in self._pending:
+            raise ValueError(f"duplicate sequence id {packet.sequence_id}")
+        self._pending[packet.sequence_id] = packet
+        released = []
+        while self._next in self._pending:
+            released.append(self._pending.pop(self._next))
+            self._next += 1
+        return released
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,212 @@
+"""The PCU tail unit: transcendentals, rounding, RNG, format conversion.
+
+Paper Section IV-A: "The tail section supports transcendental functions,
+random number generation, stochastic rounding, and format conversions. A
+tail operation can be fused and pipelined with compute in the body
+section."
+
+Functional models of each capability:
+
+- **Transcendentals** via piecewise-linear lookup tables, the standard
+  hardware technique: a 256-entry LUT with linear interpolation gives
+  ~1e-3 relative error over the useful range — enough for BF16 outputs.
+- **Stochastic rounding** FP32 -> BF16: rounds up with probability equal
+  to the truncated fraction, making the rounding *unbiased* in
+  expectation (the property that matters for training, asserted by
+  tests).
+- **RNG**: a xorshift32 generator, the class of cheap hardware PRNG the
+  tail uses to drive stochastic rounding.
+- **Format conversion**: FP32 <-> BF16 truncation/extension.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+
+# ----------------------------------------------------------------------
+# Format conversion
+# ----------------------------------------------------------------------
+
+
+def fp32_to_bf16_trunc(values: np.ndarray) -> np.ndarray:
+    """Round-to-zero BF16 conversion: drop the low 16 mantissa bits."""
+    bits = np.asarray(values, dtype=np.float32).view(np.uint32)
+    return (bits & np.uint32(0xFFFF0000)).view(np.float32)
+
+
+def bf16_ulp(values: np.ndarray) -> np.ndarray:
+    """The BF16 unit-in-last-place at each value's magnitude."""
+    truncated = fp32_to_bf16_trunc(values)
+    bits = truncated.view(np.uint32)
+    next_up = ((bits & np.uint32(0xFFFF0000)) + np.uint32(0x00010000)).view(
+        np.float32
+    )
+    return np.abs(next_up - truncated)
+
+
+# ----------------------------------------------------------------------
+# Hardware PRNG
+# ----------------------------------------------------------------------
+
+
+class Xorshift32:
+    """The classic 32-bit xorshift generator (cheap hardware PRNG)."""
+
+    def __init__(self, seed: int = 0x9E3779B9) -> None:
+        if seed == 0:
+            raise ValueError("xorshift seed must be non-zero")
+        self._state = seed & 0xFFFFFFFF
+
+    def next_u32(self) -> int:
+        x = self._state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._state = x
+        return x
+
+    def uniform(self, count: int) -> np.ndarray:
+        """``count`` floats uniform in [0, 1)."""
+        return np.array(
+            [self.next_u32() / 2**32 for _ in range(count)], dtype=np.float64
+        )
+
+
+# ----------------------------------------------------------------------
+# Stochastic rounding
+# ----------------------------------------------------------------------
+
+
+def stochastic_round_bf16(values: np.ndarray, rng: Xorshift32) -> np.ndarray:
+    """Stochastically round FP32 values to the BF16 grid.
+
+    A value ``x`` between adjacent BF16 values ``lo`` and ``hi`` rounds to
+    ``hi`` with probability ``(x - lo) / (hi - lo)``, so
+    ``E[round(x)] == x`` — the unbiasedness property that keeps low-
+    precision training from drifting.
+    """
+    x = np.asarray(values, dtype=np.float32)
+    lo = fp32_to_bf16_trunc(np.abs(x))
+    ulp = bf16_ulp(x)
+    fraction = np.where(ulp > 0, (np.abs(x) - lo) / np.where(ulp > 0, ulp, 1), 0.0)
+    draws = rng.uniform(x.size).reshape(x.shape)
+    rounded_mag = np.where(draws < fraction, lo + ulp, lo)
+    return np.copysign(rounded_mag, x).astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+# LUT-based transcendentals
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TranscendentalLUT:
+    """A piecewise-linear lookup table over a fixed input range.
+
+    ``geometric`` grids space entries by ratio instead of difference —
+    what hardware does for functions like rsqrt by indexing on the
+    floating-point exponent, keeping *relative* error flat across
+    magnitudes.
+    """
+
+    fn_name: str
+    lo: float
+    hi: float
+    entries: int = 256
+    geometric: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hi <= self.lo:
+            raise ValueError(f"bad LUT range [{self.lo}, {self.hi}]")
+        if self.entries < 2:
+            raise ValueError("a LUT needs at least 2 entries")
+        if self.geometric and self.lo <= 0:
+            raise ValueError("geometric grids need a positive range")
+        fn = _TRANSCENDENTALS[self.fn_name]
+        if self.geometric:
+            self._x = np.geomspace(self.lo, self.hi, self.entries)
+        else:
+            self._x = np.linspace(self.lo, self.hi, self.entries)
+        self._y = fn(self._x)
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        """Evaluate with linear interpolation; inputs clamp to the range."""
+        x = np.clip(np.asarray(values, dtype=np.float64), self.lo, self.hi)
+        return np.interp(x, self._x, self._y)
+
+    def max_error(self, samples: int = 4096) -> float:
+        """Worst error against the exact function.
+
+        Relative where the function is away from zero, absolute near its
+        zeros (relative error at a zero crossing is meaningless).
+        """
+        xs = np.linspace(self.lo, self.hi, samples)
+        exact = _TRANSCENDENTALS[self.fn_name](xs)
+        approx = self.evaluate(xs)
+        scale = max(float(np.max(np.abs(exact))), 1e-12)
+        denom = np.maximum(np.abs(exact), 1e-2 * scale)
+        return float(np.max(np.abs(approx - exact) / denom))
+
+
+_TRANSCENDENTALS = {
+    "exp": np.exp,
+    "tanh": np.tanh,
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+    "gelu": lambda x: 0.5 * x * (1.0 + np.tanh(0.7978845608 * (x + 0.044715 * x**3))),
+    "rsqrt": lambda x: 1.0 / np.sqrt(np.maximum(x, 1e-30)),
+}
+
+
+class TailUnit:
+    """One PCU tail: fused epilogue over a vector per cycle.
+
+    Chains a transcendental, an optional stochastic BF16 conversion, and
+    reports the cycle cost (one vector per cycle — the tail is fully
+    pipelined with the body, per the paper).
+    """
+
+    DEFAULT_RANGES = {
+        "exp": (-8.0, 8.0),
+        "tanh": (-4.0, 4.0),
+        "sigmoid": (-8.0, 8.0),
+        "gelu": (-6.0, 6.0),
+        "rsqrt": (0.0625, 16.0),
+    }
+
+    def __init__(self, lanes: int = 32, seed: int = 0x2545F491) -> None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self.lanes = lanes
+        self.rng = Xorshift32(seed)
+        self._luts = {
+            name: TranscendentalLUT(name, lo, hi, geometric=(name == "rsqrt"))
+            for name, (lo, hi) in self.DEFAULT_RANGES.items()
+        }
+
+    def supported_functions(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._luts))
+
+    def apply(
+        self,
+        values: np.ndarray,
+        fn_name: str,
+        stochastic_bf16: bool = False,
+    ) -> Tuple[np.ndarray, int]:
+        """Run the tail over a tensor; returns (result, cycles)."""
+        try:
+            lut = self._luts[fn_name]
+        except KeyError:
+            raise ValueError(
+                f"tail has no function {fn_name!r}; "
+                f"supported: {self.supported_functions()}"
+            ) from None
+        result = lut.evaluate(values).astype(np.float32)
+        if stochastic_bf16:
+            result = stochastic_round_bf16(result, self.rng)
+        cycles = math.ceil(np.asarray(values).size / self.lanes)
+        return result, cycles

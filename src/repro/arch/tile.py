@@ -1,0 +1,140 @@
+"""RDU tile: the checkerboard of PCUs, PMUs, switches, and AGCUs.
+
+The tile (paper Figure 6) is the unit of spatial program mapping: the
+placer allocates its PCUs and PMUs to pipeline stages and stage buffers.
+This module provides the physical inventory — unit coordinates, the switch
+mesh, and resource accounting used by :mod:`repro.dataflow.placement`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.config import TileConfig
+from repro.arch.pcu import PCU
+from repro.arch.pmu import PMU
+from repro.arch.rdn import Mesh
+
+
+class UnitKind(enum.Enum):
+    PCU = "pcu"
+    PMU = "pmu"
+
+
+@dataclass
+class UnitSlot:
+    """One grid position holding a PCU or PMU and its allocation state."""
+
+    kind: UnitKind
+    coord: Tuple[int, int]
+    allocated_to: Optional[str] = None
+
+    @property
+    def free(self) -> bool:
+        return self.allocated_to is None
+
+
+class RDUTile:
+    """A tile: ``rows x cols`` PCU/PMU pairs on a switch mesh.
+
+    Units are arranged in a checkerboard (PCU and PMU alternating), with
+    each unit attached to the local port of the switch at its coordinate.
+    """
+
+    def __init__(self, config: TileConfig = TileConfig(), name: str = "tile0") -> None:
+        self.config = config
+        self.name = name
+        # The mesh spans both checkerboard colours: 2*cols switches wide.
+        self.mesh = Mesh(cols=config.cols * 2, rows=config.rows, config=config.rdn)
+        self.slots: Dict[Tuple[int, int], UnitSlot] = {}
+        for y in range(config.rows):
+            for x in range(config.cols * 2):
+                kind = UnitKind.PCU if (x + y) % 2 == 0 else UnitKind.PMU
+                self.slots[(x, y)] = UnitSlot(kind=kind, coord=(x, y))
+        self._pcu_model = PCU(config.pcu)
+        self._pmu_model = PMU(config.pmu)
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+    def units(self, kind: UnitKind) -> List[UnitSlot]:
+        return [s for s in self.slots.values() if s.kind == kind]
+
+    def free_units(self, kind: UnitKind) -> List[UnitSlot]:
+        return [s for s in self.units(kind) if s.free]
+
+    @property
+    def num_pcus(self) -> int:
+        return len(self.units(UnitKind.PCU))
+
+    @property
+    def num_pmus(self) -> int:
+        return len(self.units(UnitKind.PMU))
+
+    @property
+    def free_pcus(self) -> int:
+        return len(self.free_units(UnitKind.PCU))
+
+    @property
+    def free_pmus(self) -> int:
+        return len(self.free_units(UnitKind.PMU))
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, kind: UnitKind, count: int, owner: str) -> List[UnitSlot]:
+        """Claim ``count`` free units of ``kind`` for ``owner``.
+
+        Units are taken in row-major order, which keeps each stage's units
+        physically clustered (shorter RDN routes).
+        """
+        if count < 0:
+            raise ValueError(f"negative allocation: {count}")
+        free = self.free_units(kind)
+        if count > len(free):
+            raise RuntimeError(
+                f"{self.name}: cannot allocate {count} {kind.value}s "
+                f"({len(free)} free of {len(self.units(kind))})"
+            )
+        taken = sorted(free, key=lambda s: (s.coord[1], s.coord[0]))[:count]
+        for slot in taken:
+            slot.allocated_to = owner
+        return taken
+
+    def release(self, owner: str) -> int:
+        """Free every unit held by ``owner``; returns the count released."""
+        released = 0
+        for slot in self.slots.values():
+            if slot.allocated_to == owner:
+                slot.allocated_to = None
+                released += 1
+        return released
+
+    def utilization(self, kind: UnitKind) -> float:
+        total = self.units(kind)
+        if not total:
+            return 0.0
+        return sum(1 for s in total if not s.free) / len(total)
+
+    # ------------------------------------------------------------------
+    # Capability views
+    # ------------------------------------------------------------------
+    @property
+    def pcu_model(self) -> PCU:
+        """Timing/functional model shared by all this tile's PCUs."""
+        return self._pcu_model
+
+    @property
+    def pmu_model(self) -> PMU:
+        """Timing/functional model shared by all this tile's PMUs."""
+        return self._pmu_model
+
+    @property
+    def sram_bytes(self) -> int:
+        return self.num_pmus * self.config.pmu.capacity_bytes
+
+    @property
+    def peak_flops(self) -> float:
+        return self.num_pcus * self.config.pcu.peak_flops

@@ -1,0 +1,139 @@
+"""Inter-socket P2P topologies and collective-time modeling.
+
+The SN40L's peer-to-peer protocol (paper Section IV-D) provides the
+primitives "to build collective communication primitives between RDUs such
+as AllReduce". How fast a collective runs depends on the socket topology;
+this module models the common ones and times the standard algorithms:
+
+- **RING** — ring all-reduce: ``2(p-1)`` steps of ``bytes/p``; bandwidth
+  optimal, latency grows linearly with sockets,
+- **FULLY_CONNECTED** — direct all-to-all reduce-scatter + all-gather:
+  2 steps, each socket moving ``bytes * (p-1)/p`` across ``p-1`` links
+  concurrently,
+- **MESH_2D** — two ring phases over the rows and columns of a 2D
+  arrangement (how an 8-socket node wires as 2x4).
+
+`best_topology` answers the co-design question: which fabric minimizes a
+given collective at a given message size — latency-dominated small decode
+messages prefer fewer steps, bandwidth-dominated training gradients are
+happy on a ring.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.arch.agcu import P2PLink
+
+
+class Topology(enum.Enum):
+    RING = "ring"
+    FULLY_CONNECTED = "fully-connected"
+    MESH_2D = "mesh-2d"
+
+
+@dataclass(frozen=True)
+class SocketFabric:
+    """``sockets`` RDUs joined by identical P2P links in one topology."""
+
+    sockets: int
+    link: P2PLink
+    topology: Topology = Topology.RING
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise ValueError(f"sockets must be >= 1, got {self.sockets}")
+        if self.topology is Topology.MESH_2D and not _has_2d_factoring(self.sockets):
+            raise ValueError(
+                f"{self.sockets} sockets cannot form a 2D mesh (need a "
+                f"non-trivial factoring)"
+            )
+
+    # ------------------------------------------------------------------
+    def allreduce_time(self, num_bytes: float) -> float:
+        """All-reduce of ``num_bytes`` (each socket holds the full tensor)."""
+        if num_bytes < 0:
+            raise ValueError(f"negative message size: {num_bytes}")
+        p = self.sockets
+        if p == 1 or num_bytes == 0:
+            return 0.0
+        if self.topology is Topology.RING:
+            steps = 2 * (p - 1)
+            return steps * self.link.transfer_time(num_bytes / p)
+        if self.topology is Topology.FULLY_CONNECTED:
+            # Reduce-scatter then all-gather, each a single step where
+            # every socket exchanges bytes/p with each of (p-1) peers over
+            # dedicated links concurrently.
+            per_step = self.link.transfer_time(num_bytes / p)
+            return 2 * per_step
+        rows, cols = _factor_2d(p)
+        row_fabric = SocketFabric(cols, self.link, Topology.RING)
+        col_fabric = SocketFabric(rows, self.link, Topology.RING)
+        # Reduce within rows, then across columns on 1/cols of the data.
+        return row_fabric.allreduce_time(num_bytes) + col_fabric.allreduce_time(
+            num_bytes / cols
+        )
+
+    def allgather_time(self, num_bytes: float) -> float:
+        """All-gather where each socket contributes ``num_bytes / p``."""
+        if num_bytes < 0:
+            raise ValueError(f"negative message size: {num_bytes}")
+        p = self.sockets
+        if p == 1 or num_bytes == 0:
+            return 0.0
+        if self.topology is Topology.RING:
+            return (p - 1) * self.link.transfer_time(num_bytes / p)
+        if self.topology is Topology.FULLY_CONNECTED:
+            return self.link.transfer_time(num_bytes / p)
+        rows, cols = _factor_2d(p)
+        row = SocketFabric(cols, self.link, Topology.RING)
+        col = SocketFabric(rows, self.link, Topology.RING)
+        return row.allgather_time(num_bytes) + col.allgather_time(num_bytes / cols)
+
+    @property
+    def links_per_socket(self) -> int:
+        """Physical port count the topology demands of each socket."""
+        if self.sockets == 1:
+            return 0
+        if self.topology is Topology.RING:
+            return 2
+        if self.topology is Topology.FULLY_CONNECTED:
+            return self.sockets - 1
+        rows, cols = _factor_2d(self.sockets)
+        ports = 0
+        if cols > 1:
+            ports += 2
+        if rows > 1:
+            ports += 2
+        return ports
+
+
+def _has_2d_factoring(p: int) -> bool:
+    return _factor_2d(p) != (1, p) or p == 1
+
+
+def _factor_2d(p: int) -> Tuple[int, int]:
+    """The most-square (rows, cols) factoring of ``p``."""
+    best = (1, p)
+    for rows in range(1, int(math.isqrt(p)) + 1):
+        if p % rows == 0:
+            best = (rows, p // rows)
+    return best
+
+
+def best_topology(
+    sockets: int, link: P2PLink, num_bytes: float
+) -> Dict[Topology, float]:
+    """All-reduce time per topology at one message size (sorted fastest
+    first). Useful for the latency-vs-port-count co-design trade."""
+    times = {}
+    for topology in Topology:
+        try:
+            fabric = SocketFabric(sockets, link, topology)
+        except ValueError:
+            continue
+        times[topology] = fabric.allreduce_time(num_bytes)
+    return dict(sorted(times.items(), key=lambda kv: kv[1]))

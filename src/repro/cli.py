@@ -1,0 +1,272 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``info`` — the SN40L hardware summary (published-spec check),
+- ``models`` — the Table II workload catalogue,
+- ``fusion MODEL PHASE`` — fusion/orchestration speedups for one workload,
+- ``coe`` — CoE serving comparison across SN40L / DGX A100 / DGX H100,
+- ``footprint`` — nodes required vs expert count (Figure 13),
+- ``intensity`` — the Table I operational-intensity analysis,
+- ``plan MODEL PHASE`` — print the fused kernel plan (stages/buffers),
+- ``trace MODEL PHASE -o FILE`` — write a Chrome trace of the schedule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.units import fmt_bandwidth, fmt_bytes, fmt_time
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.arch.config import sn40l_node, sn40l_socket
+
+    socket = sn40l_socket()
+    node = sn40l_node()
+    print("SN40L socket:")
+    print(f"  PCUs / PMUs          : {socket.num_pcus} / {socket.num_pmus}")
+    print(f"  peak BF16 compute    : {socket.peak_flops / 1e12:.0f} TFLOPS")
+    print(f"  on-chip SRAM         : {fmt_bytes(socket.sram_capacity_bytes)} "
+          f"@ {fmt_bandwidth(socket.sram_bandwidth)}")
+    print(f"  HBM                  : {fmt_bytes(socket.hbm.capacity_bytes)} "
+          f"@ {fmt_bandwidth(socket.hbm.bandwidth)}")
+    print(f"  DDR                  : {fmt_bytes(socket.ddr.capacity_bytes)} "
+          f"@ {fmt_bandwidth(socket.ddr.bandwidth)}")
+    print(f"SN40L node ({node.sockets} sockets):")
+    print(f"  peak compute         : {node.peak_flops / 1e15:.2f} PFLOPS")
+    print(f"  HBM / DDR capacity   : {fmt_bytes(node.hbm_capacity_bytes)} / "
+          f"{fmt_bytes(node.ddr_capacity_bytes)}")
+    print(f"  DDR->HBM copy path   : "
+          f"{fmt_bandwidth(1.05e12)} (calibrated; paper: >1 TB/s)")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.models.catalog import CATALOG
+
+    print(f"{'model':<16s} {'params':>9s} {'stored':>10s} "
+          f"{'layers':>6s} {'hidden':>6s} {'kv':>3s}")
+    for name, cfg in sorted(CATALOG.items()):
+        print(f"{name:<16s} {cfg.param_count / 1e9:8.2f}B "
+              f"{fmt_bytes(cfg.weight_bytes):>10s} {cfg.layers:6d} "
+              f"{cfg.hidden:6d} {cfg.kv_heads:3d}")
+    return 0
+
+
+def _cmd_fusion(args: argparse.Namespace) -> int:
+    from repro.arch.config import SocketConfig
+    from repro.dataflow import fusion
+    from repro.models.catalog import get_model
+    from repro.models.transformer import decode_graph, prefill_graph, train_graph
+    from repro.perf.kernel_cost import ExecutionTarget, Orchestration, cost_plan
+
+    builders = {"prefill": prefill_graph, "decode": decode_graph,
+                "train": train_graph}
+    try:
+        cfg = get_model(args.model)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    seq = min(args.seq, cfg.max_seq)
+    graph = builders[args.phase](cfg, args.batch, seq, tp=args.sockets)
+    target = ExecutionTarget.from_socket(SocketConfig(), sockets=args.sockets)
+    unf = cost_plan(fusion.unfused(graph), target, Orchestration.SOFTWARE)
+    fused = fusion.group_by_prefix(graph)
+    so = cost_plan(fused, target, Orchestration.SOFTWARE)
+    ho = cost_plan(fused, target, Orchestration.HARDWARE)
+    print(f"{graph.name} on {args.sockets} socket(s):")
+    print(f"  unfused ({unf.num_launches:4d} kernels): {fmt_time(unf.total_s)}")
+    print(f"  fused+SO ({so.num_launches:3d} kernels): {fmt_time(so.total_s)} "
+          f"({unf.total_s / so.total_s:.2f}x)")
+    print(f"  fused+HO ({ho.num_launches:3d} kernels): {fmt_time(ho.total_s)} "
+          f"({unf.total_s / ho.total_s:.2f}x)")
+    return 0
+
+
+def _cmd_coe(args: argparse.Namespace) -> int:
+    from repro.coe.expert import build_samba_coe_library
+    from repro.coe.serving import CoEServer
+    from repro.systems.platforms import (
+        dgx_a100_platform,
+        dgx_h100_platform,
+        sn40l_platform,
+    )
+
+    library = build_samba_coe_library(args.experts)
+    print(f"CoE: {len(library)} experts, "
+          f"{library.total_params / 1e12:.2f}T parameters")
+    baseline = None
+    for platform in (sn40l_platform(), dgx_h100_platform(), dgx_a100_platform()):
+        hosted = platform.max_hosted_experts(
+            library.experts[0].weight_bytes,
+            reserved_bytes=library.experts[0].weight_bytes,
+        )
+        if len(library) > hosted:
+            print(f"  {platform.name:<12s}: OOM ({hosted} experts max)")
+            continue
+        server = CoEServer(platform, library)
+        experts = library.experts[: args.batch]
+        result = server.serve_experts(experts, output_tokens=args.tokens)
+        note = ""
+        if baseline is None:
+            baseline = result.total_s
+        else:
+            note = f"  ({result.total_s / baseline:.1f}x slower than SN40L)"
+        print(f"  {platform.name:<12s}: {fmt_time(result.total_s)} "
+              f"({100 * result.switch_fraction:.0f}% switching){note}")
+    return 0
+
+
+def _cmd_footprint(args: argparse.Namespace) -> int:
+    from repro.models.catalog import LLAMA2_7B
+    from repro.systems.footprint import dgx_nodes_required, sn40l_nodes_required
+    from repro.systems.platforms import dgx_a100_platform, sn40l_platform
+    from repro.units import GiB
+
+    expert = LLAMA2_7B.weight_bytes
+    reserved = expert + 8 * GiB
+    sn = sn40l_nodes_required(sn40l_platform(), args.experts, expert, reserved)
+    dgx = dgx_nodes_required(dgx_a100_platform(), args.experts, expert, reserved)
+    print(f"{args.experts} Llama2-7B experts at sustained TP8 latency:")
+    print(f"  SN40L nodes : {sn}")
+    print(f"  DGX nodes   : {dgx}  ({dgx / sn:.0f}x footprint)")
+    return 0
+
+
+def _cmd_intensity(args: argparse.Namespace) -> int:
+    from repro.dataflow import fusion
+    from repro.dataflow.intensity import (
+        GPU_FUSED,
+        GPU_UNFUSED,
+        SN40L_STREAMING,
+        operational_intensity,
+    )
+    from repro.models.fftconv import monarch_fft_graph
+
+    graph = monarch_fft_graph(m=args.m)
+    rows = [
+        ("no fusion", operational_intensity(fusion.unfused(graph), GPU_UNFUSED)),
+        ("gemm0-mul-transpose", operational_intensity(
+            fusion.manual_plan(graph, [["gemm0", "mul", "transpose"], ["gemm1"]]),
+            GPU_FUSED)),
+        ("fully fused", operational_intensity(
+            fusion.streaming_fusion(graph), SN40L_STREAMING)),
+    ]
+    print(f"Monarch FFT stage (m={args.m}) operational intensity:")
+    for name, value in rows:
+        print(f"  {name:<20s}: {value:7.1f} FLOPs/byte")
+    return 0
+
+
+def _build_workload(args: argparse.Namespace):
+    from repro.models.catalog import get_model
+    from repro.models.transformer import decode_graph, prefill_graph, train_graph
+
+    builders = {"prefill": prefill_graph, "decode": decode_graph,
+                "train": train_graph}
+    cfg = get_model(args.model)
+    seq = min(args.seq, cfg.max_seq)
+    return builders[args.phase](cfg, args.batch, seq, tp=args.sockets)
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.dataflow import fusion
+    from repro.dataflow.visualize import plan_summary
+
+    try:
+        graph = _build_workload(args)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    plan = fusion.group_by_prefix(graph)
+    print(plan_summary(plan, max_kernels=args.max_kernels))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.arch.config import SocketConfig
+    from repro.dataflow import fusion
+    from repro.perf.kernel_cost import ExecutionTarget, Orchestration, cost_plan
+    from repro.perf.trace import plan_cost_trace, total_duration_s, write_trace
+
+    try:
+        graph = _build_workload(args)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    target = ExecutionTarget.from_socket(SocketConfig(), sockets=args.sockets)
+    orchestration = (Orchestration.HARDWARE if args.hardware
+                     else Orchestration.SOFTWARE)
+    cost = cost_plan(fusion.group_by_prefix(graph), target, orchestration)
+    events = plan_cost_trace(cost)
+    write_trace(events, args.output)
+    print(f"wrote {len(events)} events ({fmt_time(total_duration_s(events))}) "
+          f"to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SN40L / Samba-CoE reproduction toolkit (MICRO 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="SN40L hardware summary").set_defaults(fn=_cmd_info)
+    sub.add_parser("models", help="workload catalogue").set_defaults(fn=_cmd_models)
+
+    fusion_p = sub.add_parser("fusion", help="fusion speedup for one workload")
+    fusion_p.add_argument("model", help="catalogue name, e.g. llama2-7b")
+    fusion_p.add_argument("phase", choices=["prefill", "decode", "train"])
+    fusion_p.add_argument("--batch", type=int, default=1)
+    fusion_p.add_argument("--seq", type=int, default=4096)
+    fusion_p.add_argument("--sockets", type=int, default=8)
+    fusion_p.set_defaults(fn=_cmd_fusion)
+
+    coe_p = sub.add_parser("coe", help="CoE serving comparison")
+    coe_p.add_argument("--experts", type=int, default=150)
+    coe_p.add_argument("--batch", type=int, default=8)
+    coe_p.add_argument("--tokens", type=int, default=20)
+    coe_p.set_defaults(fn=_cmd_coe)
+
+    foot_p = sub.add_parser("footprint", help="nodes required for a CoE")
+    foot_p.add_argument("--experts", type=int, default=850)
+    foot_p.set_defaults(fn=_cmd_footprint)
+
+    int_p = sub.add_parser("intensity", help="Table I intensity analysis")
+    int_p.add_argument("--m", type=int, default=1024)
+    int_p.set_defaults(fn=_cmd_intensity)
+
+    def add_workload_args(p):
+        p.add_argument("model", help="catalogue name, e.g. llama2-7b")
+        p.add_argument("phase", choices=["prefill", "decode", "train"])
+        p.add_argument("--batch", type=int, default=1)
+        p.add_argument("--seq", type=int, default=2048)
+        p.add_argument("--sockets", type=int, default=8)
+
+    plan_p = sub.add_parser("plan", help="print the fused kernel plan")
+    add_workload_args(plan_p)
+    plan_p.add_argument("--max-kernels", type=int, default=8)
+    plan_p.set_defaults(fn=_cmd_plan)
+
+    trace_p = sub.add_parser("trace", help="write a Chrome trace of a schedule")
+    add_workload_args(trace_p)
+    trace_p.add_argument("-o", "--output", default="schedule_trace.json")
+    trace_p.add_argument("--hardware", action="store_true",
+                         help="hardware-orchestrated launches")
+    trace_p.set_defaults(fn=_cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

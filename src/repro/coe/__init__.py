@@ -1,0 +1,30 @@
+"""Composition of Experts: experts, router, runtime, serving."""
+
+from repro.coe.expert import (
+    DEFAULT_DOMAINS,
+    ExpertLibrary,
+    ExpertProfile,
+    build_heterogeneous_library,
+    build_samba_coe_library,
+)
+from repro.coe.metrics import ServingMetrics, compute_metrics, metrics_of
+from repro.coe.router import Router, RoutingDecision, embed_text
+from repro.coe.scheduling import (
+    ExpertPredictor,
+    Request,
+    affinity_schedule,
+    fifo_schedule,
+    serve_schedule,
+    serve_with_prefetch,
+)
+from repro.coe.runtime import CoERuntime, RuntimeStats, SwitchEvent
+from repro.coe.serving import CoEServer, RequestLatency, ServeResult
+
+__all__ = [
+    "DEFAULT_DOMAINS", "ExpertLibrary", "ExpertProfile",
+    "build_samba_coe_library", "build_heterogeneous_library", "Router", "RoutingDecision", "embed_text",
+    "CoERuntime", "RuntimeStats", "SwitchEvent", "CoEServer",
+    "RequestLatency", "ServeResult", "ExpertPredictor", "Request",
+    "affinity_schedule", "fifo_schedule", "serve_schedule",
+    "serve_with_prefetch", "ServingMetrics", "compute_metrics", "metrics_of",
+]

@@ -1,0 +1,139 @@
+"""The Samba-CoE router: prompt -> expert assignment.
+
+The deployed router is itself a Llama2-7B-class specialist model (paper
+Section II). Its *latency* is what matters to the serving model (one
+prompt prefill plus a classification readout); its *function* — mapping a
+prompt to the most relevant expert domain — we implement as a deterministic
+hashed bag-of-words classifier over domain keyword seeds. This keeps the
+reproduction fully functional (real prompts route to sensible domains, and
+routing is exactly reproducible) without shipping model weights.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.coe.expert import ExpertLibrary, ExpertProfile
+from repro.models.catalog import LLAMA2_7B
+from repro.models.transformer import TransformerConfig
+
+#: Seed vocabulary characterising each domain. Extendable by callers.
+DOMAIN_KEYWORDS: Dict[str, List[str]] = {
+    "code": ["code", "function", "python", "bug", "compile", "class",
+             "algorithm", "api", "debug", "implement", "javascript", "loop"],
+    "math": ["math", "solve", "equation", "integral", "integrate",
+             "derivative", "proof", "theorem", "algebra", "calculate",
+             "compute", "probability", "matrix"],
+    "translation": ["translate", "french", "spanish", "german", "japanese",
+                    "language", "english", "chinese", "sentence", "meaning"],
+    "legal": ["law", "contract", "legal", "clause", "liability", "court",
+              "regulation", "compliance", "statute", "agreement"],
+    "medical": ["symptom", "diagnosis", "patient", "treatment", "medicine",
+                "disease", "drug", "clinical", "dose", "therapy"],
+    "finance": ["stock", "finance", "investment", "portfolio", "interest",
+                "market", "revenue", "tax", "bond", "earnings"],
+    "science": ["physics", "chemistry", "biology", "experiment", "energy",
+                "molecule", "quantum", "cell", "reaction", "hypothesis"],
+    "writing": ["essay", "story", "poem", "write", "draft", "novel",
+                "paragraph", "edit", "tone", "narrative"],
+    "chat": ["hello", "hi", "thanks", "chat", "help", "please", "opinion",
+             "recommend", "favorite", "weather"],
+    "summarization": ["summarize", "summary", "tldr", "condense", "shorten",
+                      "key", "points", "abstract", "brief", "digest"],
+}
+
+_EMBED_DIM = 4096
+_TOKEN_RE = re.compile(r"[a-z0-9']+")
+
+
+def _hash_token(token: str) -> tuple:
+    """Stable token -> (dimension, sign) hash (PYTHONHASHSEED-independent).
+
+    Signed feature hashing keeps accidental collisions unbiased, so two
+    unrelated tokens colliding mostly cancel instead of reinforcing.
+    """
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    value = int.from_bytes(digest, "little")
+    return value % _EMBED_DIM, 1.0 if (value >> 32) & 1 else -1.0
+
+
+def embed_text(text: str) -> np.ndarray:
+    """Signed hashed bag-of-words embedding, L2-normalised."""
+    vec = np.zeros(_EMBED_DIM, dtype=np.float64)
+    for token in _TOKEN_RE.findall(text.lower()):
+        dim, sign = _hash_token(token)
+        vec[dim] += sign
+    norm = np.linalg.norm(vec)
+    return vec / norm if norm > 0 else vec
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """The router's verdict for one prompt."""
+
+    prompt: str
+    domain: str
+    expert: ExpertProfile
+    score: float
+
+
+@dataclass
+class Router:
+    """Deterministic domain router over an expert library.
+
+    Builds one centroid embedding per domain from its keyword seeds and
+    routes each prompt to the best-scoring domain; within a domain,
+    experts are selected round-robin (domain specialists are
+    interchangeable at this modelling granularity).
+    """
+
+    library: ExpertLibrary
+    #: Architecture of the router model itself (drives latency modelling).
+    model: TransformerConfig = LLAMA2_7B
+    keywords: Dict[str, List[str]] = field(
+        default_factory=lambda: dict(DOMAIN_KEYWORDS)
+    )
+
+    def __post_init__(self) -> None:
+        missing = [d for d in self.library.domains if d not in self.keywords]
+        if missing:
+            raise ValueError(
+                f"no keyword seeds for library domains: {missing}; "
+                f"extend Router.keywords"
+            )
+        self._centroids = {
+            domain: embed_text(" ".join(words))
+            for domain, words in self.keywords.items()
+            if domain in self.library.domains
+        }
+        self._rr: Dict[str, int] = {d: 0 for d in self.library.domains}
+
+    def route(self, prompt: str) -> RoutingDecision:
+        """Assign one prompt to an expert."""
+        if not prompt.strip():
+            raise ValueError("cannot route an empty prompt")
+        query = embed_text(prompt)
+        best_domain, best_score = None, -1.0
+        for domain in sorted(self._centroids):  # sorted: deterministic ties
+            score = float(query @ self._centroids[domain])
+            if score > best_score:
+                best_domain, best_score = domain, score
+        candidates = self.library.for_domain(best_domain)
+        index = self._rr[best_domain] % len(candidates)
+        self._rr[best_domain] += 1
+        return RoutingDecision(
+            prompt=prompt,
+            domain=best_domain,
+            expert=candidates[index],
+            score=best_score,
+        )
+
+    def route_batch(self, prompts: Sequence[str]) -> List[RoutingDecision]:
+        """Route a batch; samples are independent (paper Section VI-B:
+        "samples in a batch have no relationship with each other")."""
+        return [self.route(p) for p in prompts]

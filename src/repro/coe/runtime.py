@@ -1,0 +1,156 @@
+"""The CoE runtime: dynamic expert linking/loading with an LRU HBM cache.
+
+Reproduces paper Section V-B:
+
+- every expert is an independently compiled artifact whose HBM and DDR
+  requirements are known ahead of time,
+- all experts initially live in the capacity tier (DDR on the SN40L, host
+  DRAM on a DGX); a region of HBM acts as a software-managed cache,
+- on request, the runtime "activates" the expert by copying its
+  HBM-destined segments up; if HBM is full, the **least recently used**
+  expert is evicted first,
+- read-only symbols (weights) are *not* copied back on eviction — only the
+  mutable fraction pays the downgrade copy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.coe.expert import ExpertProfile
+
+
+@dataclass(frozen=True)
+class SwitchEvent:
+    """The outcome of one expert activation."""
+
+    expert: str
+    hit: bool
+    bytes_up: int
+    bytes_down: int
+    time_s: float
+    evicted: tuple = ()
+
+
+@dataclass
+class RuntimeStats:
+    """Cumulative cache behaviour."""
+
+    requests: int = 0
+    hits: int = 0
+    evictions: int = 0
+    bytes_up: int = 0
+    bytes_down: int = 0
+    switch_time_s: float = 0.0
+
+    @property
+    def misses(self) -> int:
+        return self.requests - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class CoERuntime:
+    """LRU expert cache over a fixed HBM byte budget.
+
+    ``upgrade_time(num_bytes)`` and ``downgrade_time(num_bytes)`` supply
+    the platform's copy costs (DDR->HBM and HBM->DDR respectively); the
+    runtime is platform-agnostic, which is how the same code models both
+    the SN40L node and the DGX baselines.
+    """
+
+    def __init__(
+        self,
+        hbm_budget_bytes: int,
+        upgrade_time: Callable[[int], float],
+        downgrade_time: Optional[Callable[[int], float]] = None,
+    ) -> None:
+        if hbm_budget_bytes < 0:
+            raise ValueError(f"negative HBM budget: {hbm_budget_bytes}")
+        self.hbm_budget_bytes = hbm_budget_bytes
+        self._upgrade_time = upgrade_time
+        self._downgrade_time = downgrade_time or upgrade_time
+        #: name -> expert, in LRU order (oldest first).
+        self._resident: "OrderedDict[str, ExpertProfile]" = OrderedDict()
+        self.stats = RuntimeStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def resident_bytes(self) -> int:
+        return sum(e.weight_bytes for e in self._resident.values())
+
+    @property
+    def resident_experts(self) -> List[str]:
+        return list(self._resident)
+
+    def is_resident(self, expert: ExpertProfile) -> bool:
+        return expert.name in self._resident
+
+    # ------------------------------------------------------------------
+    def activate(self, expert: ExpertProfile) -> SwitchEvent:
+        """Make ``expert`` resident in HBM; returns the switch record.
+
+        A hit refreshes recency and costs nothing ("if the next request is
+        for the same model, it can resume immediately with no additional
+        overhead"). A miss evicts LRU victims until the expert fits, pays
+        the copy-back for their mutable state, then copies the expert up.
+        """
+        self.stats.requests += 1
+        if expert.name in self._resident:
+            self._resident.move_to_end(expert.name)
+            self.stats.hits += 1
+            return SwitchEvent(
+                expert=expert.name, hit=True, bytes_up=0, bytes_down=0, time_s=0.0
+            )
+
+        if expert.weight_bytes > self.hbm_budget_bytes:
+            raise ValueError(
+                f"expert {expert.name} ({expert.weight_bytes} B) exceeds the "
+                f"HBM budget ({self.hbm_budget_bytes} B)"
+            )
+
+        evicted: List[str] = []
+        victims: List[ExpertProfile] = []
+        bytes_down = 0
+        while self.resident_bytes + expert.weight_bytes > self.hbm_budget_bytes:
+            victim_name, victim = self._resident.popitem(last=False)
+            evicted.append(victim_name)
+            victims.append(victim)
+            bytes_down += victim.copyback_bytes
+            self.stats.evictions += 1
+
+        bytes_up = expert.weight_bytes
+        try:
+            time_s = self._upgrade_time(bytes_up)
+            if bytes_down:
+                time_s += self._downgrade_time(bytes_down)
+        except Exception:
+            # A failed copy must not corrupt the cache: reinstate the
+            # victims (oldest first, preserving LRU order) and undo the
+            # eviction accounting before propagating the failure.
+            for victim in reversed(victims):
+                self._resident[victim.name] = victim
+                self._resident.move_to_end(victim.name, last=False)
+            self.stats.evictions -= len(victims)
+            raise
+        self._resident[expert.name] = expert
+
+        self.stats.bytes_up += bytes_up
+        self.stats.bytes_down += bytes_down
+        self.stats.switch_time_s += time_s
+        return SwitchEvent(
+            expert=expert.name,
+            hit=False,
+            bytes_up=bytes_up,
+            bytes_down=bytes_down,
+            time_s=time_s,
+            evicted=tuple(evicted),
+        )
+
+    def flush(self) -> None:
+        """Evict everything (between experiments)."""
+        self._resident.clear()

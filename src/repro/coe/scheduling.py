@@ -1,0 +1,248 @@
+"""Request scheduling and speculative prefetch for CoE serving.
+
+Two serving-layer optimisations that build on the paper's runtime design
+(the paper's Section V-B runtime is FIFO; these are the natural
+extensions its architecture enables):
+
+- **Expert-affinity batching** — within a bounded reordering window,
+  group requests that need the same expert so one DDR->HBM copy serves
+  several generations. The three-tier design makes switches cheap, but a
+  hit is still free; affinity turns random arrival streams into runs of
+  hits.
+- **Speculative prefetch** — the router takes a full model forward pass
+  to pick the expert, during which the DMA engines are idle. A Markov
+  transition predictor over past routing decisions starts copying its
+  best non-resident guess *during* routing; a correct guess hides the
+  switch behind the router pass, a wrong guess costs nothing over the
+  baseline (the mispredicted copy is abandoned; the bandwidth was
+  otherwise idle).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.coe.expert import ExpertProfile
+from repro.coe.serving import CoEServer
+
+
+@dataclass(frozen=True)
+class Request:
+    """One serving request with a pre-routed expert."""
+
+    request_id: int
+    expert: ExpertProfile
+
+
+def fifo_schedule(requests: Sequence[Request]) -> List[Request]:
+    """The baseline: serve in arrival order."""
+    return list(requests)
+
+
+def affinity_schedule(requests: Sequence[Request], window: int = 16) -> List[Request]:
+    """Group same-expert requests within a bounded reordering window.
+
+    Requests are taken ``window`` at a time; inside a window they are
+    stably grouped by expert (groups ordered by first arrival), so no
+    request is delayed by more than ``window - 1`` positions — a bounded
+    fairness guarantee.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    scheduled: List[Request] = []
+    for start in range(0, len(requests), window):
+        chunk = requests[start : start + window]
+        groups: "OrderedDict[str, List[Request]]" = OrderedDict()
+        for request in chunk:
+            groups.setdefault(request.expert.name, []).append(request)
+        for group in groups.values():
+            scheduled.extend(group)
+    return scheduled
+
+
+@dataclass
+class ScheduleOutcome:
+    """Timing and cache behaviour of one served schedule."""
+
+    policy: str
+    total_s: float
+    switch_s: float
+    switches: int
+    hits: int
+
+    @property
+    def requests(self) -> int:
+        return self.switches + self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+def serve_schedule(
+    server: CoEServer,
+    schedule: Sequence[Request],
+    policy_name: str,
+    output_tokens: int = 20,
+    prompt_tokens: int = 256,
+) -> ScheduleOutcome:
+    """Serve a schedule through a server, collecting timing totals."""
+    if not schedule:
+        raise ValueError("empty schedule")
+    result = server.serve_experts(
+        [r.expert for r in schedule],
+        output_tokens=output_tokens,
+        prompt_tokens=prompt_tokens,
+    )
+    switches = sum(1 for r in result.requests if r.switch_s > 0)
+    return ScheduleOutcome(
+        policy=policy_name,
+        total_s=result.total_s,
+        switch_s=result.switch_s,
+        switches=switches,
+        hits=len(result.requests) - switches,
+    )
+
+
+# ----------------------------------------------------------------------
+# Speculative prefetch
+# ----------------------------------------------------------------------
+
+
+class ExpertPredictor:
+    """First-order Markov predictor over expert transitions.
+
+    The paper's CoE pipeline is explicitly sequential: "Outputs from one
+    expert determine which expert(s) to execute next" (Section I), so the
+    strongest signal for the *next* expert is the identity of the current
+    one. The predictor learns transition counts (prev -> next) with a
+    global-frequency fallback, and can rank all known experts so callers
+    can pick the best candidate that is *not* already HBM-resident — the
+    only kind of guess whose prefetch hides a switch.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+        self._transitions: Dict[str, Counter] = {}
+        self._last_seen: Dict[str, int] = {}
+        self._clock = 0
+        self._prev: Optional[str] = None
+        self._experts: Dict[str, ExpertProfile] = {}
+        self.predictions = 0
+        self.correct = 0
+
+    def observe(self, expert: ExpertProfile) -> None:
+        """Record one routing decision (and the transition into it)."""
+        self._clock += 1
+        self._counts[expert.name] += 1
+        self._last_seen[expert.name] = self._clock
+        self._experts[expert.name] = expert
+        if self._prev is not None:
+            self._transitions.setdefault(self._prev, Counter())[expert.name] += 1
+        self._prev = expert.name
+
+    def _ranked_names(self) -> List[str]:
+        def global_key(name: str):
+            return (self._counts[name], self._last_seen[name])
+
+        ranked: List[str] = []
+        if self._prev is not None and self._prev in self._transitions:
+            transitions = self._transitions[self._prev]
+            ranked.extend(
+                sorted(transitions, key=lambda n: (transitions[n],
+                                                   global_key(n)), reverse=True)
+            )
+        for name in sorted(self._counts, key=global_key, reverse=True):
+            if name not in ranked:
+                ranked.append(name)
+        return ranked
+
+    def predict(self) -> Optional[ExpertProfile]:
+        """Single best guess for the next expert (None without history)."""
+        ranked = self._ranked_names()
+        return self._experts[ranked[0]] if ranked else None
+
+    def candidates(self) -> List[ExpertProfile]:
+        """All known experts, most-likely-next first."""
+        return [self._experts[name] for name in self._ranked_names()]
+
+    def score(self, actual: ExpertProfile, predicted: Optional[ExpertProfile]) -> bool:
+        """Record prediction accuracy; returns whether it was correct."""
+        if predicted is None:
+            return False
+        self.predictions += 1
+        hit = predicted.name == actual.name
+        if hit:
+            self.correct += 1
+        return hit
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0
+
+
+@dataclass
+class PrefetchOutcome:
+    """Timing of a speculatively-prefetched request stream."""
+
+    total_s: float
+    baseline_s: float
+    hidden_switch_s: float
+    predictor_accuracy: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_s / self.total_s if self.total_s > 0 else 1.0
+
+
+def serve_with_prefetch(
+    server: CoEServer,
+    experts: Sequence[ExpertProfile],
+    output_tokens: int = 20,
+    prompt_tokens: int = 256,
+    predictor: Optional[ExpertPredictor] = None,
+) -> PrefetchOutcome:
+    """Serve a request stream with speculative prefetch during routing.
+
+    For each request: the predictor guesses an expert and the copy starts
+    concurrently with the router's forward pass. If the guess matches the
+    router's decision, the switch overlaps the router time (only the
+    excess beyond router time remains visible). A wrong guess falls back
+    to the sequential baseline; an abandoned speculative copy consumes
+    otherwise-idle DMA bandwidth and is not charged.
+    """
+    if not experts:
+        raise ValueError("empty request stream")
+    predictor = predictor or ExpertPredictor()
+    router_s = server.router_time(batch=1, prompt_tokens=prompt_tokens)
+    total = 0.0
+    baseline = 0.0
+    hidden = 0.0
+    for expert in experts:
+        # Prefetch the most likely *non-resident* expert: a resident guess
+        # would have nothing to copy, so it can never hide a switch.
+        guess = next(
+            (c for c in predictor.candidates()
+             if not server.runtime.is_resident(c)),
+            None,
+        )
+        correct = predictor.score(expert, guess)
+        switch = server.runtime.activate(expert)
+        prefill, decode = server.expert_time(expert, output_tokens, prompt_tokens)
+        sequential = router_s + switch.time_s + prefill + decode
+        baseline += sequential
+        if correct and switch.time_s > 0:
+            overlapped = max(router_s, switch.time_s) + prefill + decode
+            hidden += sequential - overlapped
+            total += overlapped
+        else:
+            total += sequential
+        predictor.observe(expert)
+    return PrefetchOutcome(
+        total_s=total,
+        baseline_s=baseline,
+        hidden_switch_s=hidden,
+        predictor_accuracy=predictor.accuracy,
+    )

@@ -1,0 +1,184 @@
+"""End-to-end Samba-CoE serving: router -> expert switch -> generation.
+
+Implements the paper's Figure 9 flow on any :class:`Platform`:
+
+1. run the router (always HBM-resident) over the incoming prompt batch,
+2. activate the required experts (DDR->HBM on SN40L; host->HBM on DGX),
+3. run each (prompt, expert) pair sequentially — batch samples are
+   independent and may need different experts (paper Section VI-B).
+
+Latency is broken into router / switch / execution components, which is
+exactly the paper's Figure 1 decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.coe.expert import ExpertLibrary, ExpertProfile
+from repro.coe.router import Router, RoutingDecision
+from repro.coe.runtime import CoERuntime
+from repro.models.catalog import LLAMA2_7B
+from repro.systems.platforms import Platform
+from repro.units import GiB
+
+
+@dataclass(frozen=True)
+class RequestLatency:
+    """Latency breakdown of one served prompt."""
+
+    expert: str
+    router_s: float
+    switch_s: float
+    prefill_s: float
+    decode_s: float
+
+    @property
+    def execute_s(self) -> float:
+        """Model execution (the paper's non-switching component)."""
+        return self.router_s + self.prefill_s + self.decode_s
+
+    @property
+    def total_s(self) -> float:
+        return self.router_s + self.switch_s + self.prefill_s + self.decode_s
+
+
+@dataclass
+class ServeResult:
+    """Latency of one served batch."""
+
+    platform: str
+    requests: List[RequestLatency] = field(default_factory=list)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def total_s(self) -> float:
+        return sum(r.total_s for r in self.requests)
+
+    @property
+    def switch_s(self) -> float:
+        return sum(r.switch_s for r in self.requests)
+
+    @property
+    def execute_s(self) -> float:
+        return sum(r.execute_s for r in self.requests)
+
+    @property
+    def switch_fraction(self) -> float:
+        return self.switch_s / self.total_s if self.total_s > 0 else 0.0
+
+
+class CoEServer:
+    """Serves a CoE on one platform with an LRU-cached HBM expert region."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        library: ExpertLibrary,
+        router: Optional[Router] = None,
+        reserved_hbm_bytes: Optional[int] = None,
+    ) -> None:
+        self.platform = platform
+        self.library = library
+        self.router = router or Router(library)
+        if reserved_hbm_bytes is None:
+            # Router weights stay pinned in HBM; reserve headroom for the
+            # KV cache and activations as well (paper: "The router and
+            # KV-cache is always in HBM").
+            reserved_hbm_bytes = self.router.model.weight_bytes + 8 * GiB
+        self.reserved_hbm_bytes = reserved_hbm_bytes
+        budget = platform.hbm_capacity_bytes - reserved_hbm_bytes
+        if budget <= 0:
+            raise ValueError(
+                f"{platform.name}: reservation {reserved_hbm_bytes} exceeds HBM"
+            )
+        self.runtime = CoERuntime(
+            hbm_budget_bytes=budget,
+            upgrade_time=platform.switch_time,
+        )
+
+    # ------------------------------------------------------------------
+    def router_time(self, batch: int, prompt_tokens: int) -> float:
+        """Router latency: one batched prefill plus a classification step."""
+        prefill = self.platform.prefill_time(
+            self.router.model, batch=batch, seq=prompt_tokens
+        )
+        readout = self.platform.decode_token_time(
+            self.router.model, batch=batch, context=prompt_tokens
+        )
+        return prefill + readout
+
+    def expert_time(
+        self, expert: ExpertProfile, output_tokens: int, prompt_tokens: int
+    ) -> tuple:
+        """(prefill_s, decode_s) of one expert generation, batch of one."""
+        prefill = self.platform.prefill_time(expert.model, 1, prompt_tokens)
+        decode = 0.0
+        for step in range(output_tokens):
+            decode += self.platform.decode_token_time(
+                expert.model, 1, prompt_tokens + step
+            )
+        return prefill, decode
+
+    # ------------------------------------------------------------------
+    def serve_prompts(
+        self,
+        prompts: Sequence[str],
+        output_tokens: int = 20,
+        prompt_tokens: int = 256,
+    ) -> ServeResult:
+        """Serve a batch of text prompts through router + experts."""
+        if not prompts:
+            raise ValueError("need at least one prompt")
+        decisions = self.router.route_batch(prompts)
+        return self._serve_decisions(decisions, output_tokens, prompt_tokens)
+
+    def serve_experts(
+        self,
+        experts: Sequence[ExpertProfile],
+        output_tokens: int = 20,
+        prompt_tokens: int = 256,
+    ) -> ServeResult:
+        """Serve requests with pre-assigned experts (synthetic workloads).
+
+        Used by the Figure 12 sweep, where requests draw uniformly over an
+        expert population and the routing function itself is not under
+        test (its latency still is).
+        """
+        if not experts:
+            raise ValueError("need at least one expert request")
+        decisions = [
+            RoutingDecision(prompt="", domain=e.domain, expert=e, score=1.0)
+            for e in experts
+        ]
+        return self._serve_decisions(decisions, output_tokens, prompt_tokens)
+
+    def _serve_decisions(
+        self,
+        decisions: List[RoutingDecision],
+        output_tokens: int,
+        prompt_tokens: int,
+    ) -> ServeResult:
+        batch = len(decisions)
+        router_total = self.router_time(batch, prompt_tokens)
+        router_share = router_total / batch
+        result = ServeResult(platform=self.platform.name)
+        for decision in decisions:
+            switch = self.runtime.activate(decision.expert)
+            prefill, decode = self.expert_time(
+                decision.expert, output_tokens, prompt_tokens
+            )
+            result.requests.append(
+                RequestLatency(
+                    expert=decision.expert.name,
+                    router_s=router_share,
+                    switch_s=switch.time_s,
+                    prefill_s=prefill,
+                    decode_s=decode,
+                )
+            )
+        return result

@@ -1,0 +1,10 @@
+"""Top-level compile/run API."""
+
+from repro.core.compile import CompiledModel, build_symbols, compile_model
+from repro.core.executor import execute_graph, execute_plan, random_inputs
+from repro.core.session import RunResult, Session
+
+__all__ = [
+    "CompiledModel", "build_symbols", "compile_model", "RunResult",
+    "Session", "execute_graph", "execute_plan", "random_inputs",
+]

@@ -1,0 +1,159 @@
+"""Model compilation: graph -> fused kernels -> memory plan.
+
+This is the reproduction's equivalent of the SN40L compiler pipeline:
+
+1. a fusion policy partitions the operator graph into kernels
+   (:mod:`repro.dataflow.fusion`),
+2. the kernel schedule induces symbol lifetimes
+   (:mod:`repro.memory.symbols`),
+3. the static allocator places symbols in HBM with lifetime-based address
+   reuse, spilling the lowest-bandwidth symbols to DDR when HBM is tight
+   (:mod:`repro.memory.allocator`).
+
+The result is a :class:`CompiledModel` a :class:`~repro.core.session.Session`
+can execute (i.e. time) under either orchestration mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.arch.config import SocketConfig
+from repro.dataflow.fusion import (
+    FusionPlan,
+    conventional_fusion,
+    streaming_fusion,
+    unfused,
+)
+from repro.dataflow.graph import DataflowGraph
+from repro.memory.allocator import MemoryPlan, plan_memory
+from repro.memory.symbols import Symbol
+
+_POLICIES = {
+    "unfused": unfused,
+    "conventional": conventional_fusion,
+    "streaming": streaming_fusion,
+}
+
+
+@dataclass
+class CompiledModel:
+    """One compiled model binary: kernels plus its device memory plan.
+
+    Like the paper's compiled artifacts, it knows ahead of time exactly how
+    much HBM and DDR it needs (Section V-B) — the CoE runtime relies on
+    this to link independently compiled experts at run time.
+    """
+
+    graph: DataflowGraph
+    plan: FusionPlan
+    memory: MemoryPlan
+    sockets: int
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    @property
+    def num_kernels(self) -> int:
+        return self.plan.num_kernels
+
+    @property
+    def hbm_bytes(self) -> int:
+        from repro.memory.tiers import TierKind
+
+        return self.memory.extent(TierKind.HBM)
+
+    @property
+    def ddr_bytes(self) -> int:
+        from repro.memory.tiers import TierKind
+
+        return self.memory.extent(TierKind.DDR)
+
+
+def build_symbols(plan: FusionPlan) -> List[Symbol]:
+    """Derive the symbol table from a fusion plan's kernel schedule.
+
+    Each boundary tensor becomes one symbol whose uses are the schedule
+    indices of kernels touching it. Weights are read-only. Tensors internal
+    to a kernel never become symbols — they live in PMU SRAM.
+    """
+    uses: Dict[str, List[int]] = {}
+    specs: Dict[str, object] = {}
+    consumed = set()
+    for kernel in plan.kernels:
+        consumed.update(t.name for t in kernel.external_inputs)
+    for idx, kernel in enumerate(plan.kernels):
+        for tensor in list(kernel.external_inputs) + list(kernel.external_outputs):
+            uses.setdefault(tensor.name, []).append(idx)
+            specs[tensor.name] = tensor
+    # Program-level outputs (produced but never consumed by any kernel —
+    # e.g. the KV cache a prefill builds for the decode phase) must survive
+    # to program exit: extend their live range to the last kernel.
+    produced_only = {
+        t.name
+        for kernel in plan.kernels
+        for t in kernel.external_outputs
+        if t.name not in consumed
+    }
+    last_kernel = max(len(plan.kernels) - 1, 0)
+    symbols = []
+    for name, indices in uses.items():
+        spec = specs[name]
+        use_set = set(indices)
+        if name in produced_only:
+            use_set.add(last_kernel)
+        if spec.is_weight:
+            # Weights are persistent device state: they stay resident for
+            # the whole program (and across invocations), so their live
+            # range spans every kernel — no address reuse between layers.
+            use_set |= {0, last_kernel}
+        symbols.append(
+            Symbol(
+                name=name,
+                size_bytes=spec.size_bytes,
+                uses=tuple(sorted(use_set)),
+                read_only=spec.is_weight,
+                is_weight=spec.is_weight,
+            )
+        )
+    return symbols
+
+
+def compile_model(
+    graph: DataflowGraph,
+    socket: SocketConfig = SocketConfig(),
+    sockets: int = 1,
+    policy: str = "streaming",
+) -> CompiledModel:
+    """Compile a graph for ``sockets`` SN40L sockets under one policy.
+
+    ``policy`` is one of ``"streaming"`` (spatial fusion, the SN40L way),
+    ``"conventional"`` (GPU-style restricted fusion), or ``"unfused"``.
+    """
+    if sockets < 1:
+        raise ValueError(f"sockets must be >= 1, got {sockets}")
+    try:
+        fuse = _POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {policy!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+
+    if policy == "streaming":
+        plan = fuse(
+            graph,
+            pcu_budget=socket.num_pcus * sockets,
+            pmu_budget_bytes=socket.sram_capacity_bytes * sockets,
+        )
+    else:
+        plan = fuse(graph)
+
+    symbols = build_symbols(plan)
+    memory = plan_memory(
+        symbols,
+        hbm_capacity_bytes=socket.hbm.capacity_bytes * sockets,
+        ddr_capacity_bytes=socket.ddr.capacity_bytes * sockets,
+    )
+    return CompiledModel(graph=graph, plan=plan, memory=memory, sockets=sockets)

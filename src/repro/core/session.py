@@ -1,0 +1,140 @@
+"""Execution sessions: run compiled models on an SN40L target.
+
+A :class:`Session` owns an execution target (some number of SN40L sockets)
+and times compiled models on it, accounting for:
+
+- per-kernel execution (roofline + efficiency, pipelined when fused),
+- kernel launch orchestration (software vs hardware),
+- extra DDR traffic for symbols the allocator spilled out of HBM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.config import SocketConfig
+from repro.core.compile import CompiledModel
+from repro.perf.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.perf.kernel_cost import (
+    ExecutionTarget,
+    Orchestration,
+    PlanCost,
+    cost_plan,
+)
+
+
+@dataclass
+class RunResult:
+    """Timing of one model execution."""
+
+    model: str
+    cost: PlanCost
+    #: Extra time from symbols spilled to DDR (their traffic runs at DDR
+    #: bandwidth instead of HBM bandwidth).
+    spill_overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.cost.total_s + self.spill_overhead_s
+
+    @property
+    def num_launches(self) -> int:
+        return self.cost.num_launches
+
+    def summary(self) -> str:
+        return (
+            f"{self.model}: {self.total_s * 1e3:.3f} ms total "
+            f"({self.cost.launch_s * 1e3:.3f} ms launch, "
+            f"{self.spill_overhead_s * 1e3:.3f} ms spill)"
+        )
+
+
+class Session:
+    """Times compiled models on a multi-socket SN40L target."""
+
+    def __init__(
+        self,
+        socket: SocketConfig = SocketConfig(),
+        sockets: int = 1,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        if sockets < 1:
+            raise ValueError(f"sockets must be >= 1, got {sockets}")
+        self.socket = socket
+        self.sockets = sockets
+        self.calibration = calibration
+        self.target = ExecutionTarget.from_socket(
+            socket, sockets=sockets, calibration=calibration
+        )
+
+    def run(
+        self,
+        model: CompiledModel,
+        orchestration: Orchestration = Orchestration.HARDWARE,
+    ) -> RunResult:
+        """Execute (time) one compiled model end to end."""
+        if model.sockets != self.sockets:
+            raise ValueError(
+                f"{model.name} compiled for {model.sockets} sockets, "
+                f"session has {self.sockets}"
+            )
+        cost = cost_plan(model.plan, self.target, orchestration)
+        spill_overhead = self._spill_overhead(model)
+        return RunResult(model=model.name, cost=cost, spill_overhead_s=spill_overhead)
+
+    def schedule(
+        self,
+        model: CompiledModel,
+        orchestration: Orchestration = Orchestration.HARDWARE,
+    ):
+        """Replay the model's kernel schedule through the AGCU model.
+
+        Builds :class:`~repro.arch.agcu.KernelDescriptor` entries from the
+        cost model's per-kernel execution times and runs them through the
+        :class:`~repro.arch.agcu.KernelOrchestrator`, returning its
+        :class:`~repro.arch.agcu.ScheduleResult` (with per-command launch
+        events). The orchestrator's total agrees with :meth:`run`'s
+        kernel-cost total by construction — asserted by tests, so the two
+        launch-overhead models cannot drift apart.
+        """
+        from repro.arch.agcu import KernelDescriptor, KernelOrchestrator
+        from repro.arch.config import AGCUConfig
+
+        cost = cost_plan(model.plan, self.target, orchestration)
+        descriptors = []
+        for kernel_cost, kernel in zip(cost.kernels, model.plan.kernels):
+            num_args = len(kernel.external_inputs) + len(kernel.external_outputs)
+            descriptors.append(
+                KernelDescriptor(
+                    name=kernel.name,
+                    exec_time_s=kernel_cost.exec_s,
+                    num_args=num_args,
+                )
+            )
+        cal = self.calibration
+        orchestrator = KernelOrchestrator(
+            AGCUConfig(
+                sw_launch_overhead_s=cal.sw_launch_fixed_s,
+                hw_launch_overhead_s=cal.hw_launch_s,
+            ),
+            sw_per_arg_s=cal.sw_launch_per_arg_s,
+        )
+        if orchestration is Orchestration.HARDWARE:
+            return orchestrator.run_hardware(descriptors)
+        return orchestrator.run_software(descriptors)
+
+    def _spill_overhead(self, model: CompiledModel) -> float:
+        """Extra time for spilled symbols' traffic at DDR speed.
+
+        A spilled symbol's accesses move at DDR bandwidth instead of HBM
+        bandwidth; the overhead is the bandwidth-difference cost of its
+        whole-program transfer footprint.
+        """
+        spilled_traffic = model.memory.spill_traffic_bytes
+        if spilled_traffic == 0:
+            return 0.0
+        cal = self.calibration
+        hbm_bw = self.socket.hbm.bandwidth * self.sockets * cal.fused_hbm_efficiency
+        ddr_bw = self.socket.ddr.bandwidth * self.sockets
+        return spilled_traffic / ddr_bw - spilled_traffic / hbm_bw

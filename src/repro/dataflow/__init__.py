@@ -1,0 +1,62 @@
+"""Dataflow graphs, fusion, intensity, placement, and pipelines."""
+
+from repro.dataflow.autofusion import optimal_fusion, plan_time
+from repro.dataflow.bandwidth import (
+    BandwidthReport,
+    Channel,
+    Stream,
+    analyze_kernel_bandwidth,
+    channel_capacities,
+    throttle_recommendations,
+)
+from repro.dataflow.fusion import (
+    FusionPlan,
+    Kernel,
+    conventional_fusion,
+    group_by_prefix,
+    kernel_call_ratio,
+    manual_plan,
+    streaming_fusion,
+    unfused,
+)
+from repro.dataflow.graph import (
+    AccessPattern,
+    DataflowGraph,
+    DType,
+    GraphError,
+    Operator,
+    OpKind,
+    TensorSpec,
+)
+from repro.dataflow.intensity import (
+    GPU_FUSED,
+    GPU_UNFUSED,
+    SN40L_STREAMING,
+    TrafficModel,
+    operational_intensity,
+    plan_traffic_bytes,
+)
+from repro.dataflow.placement import (
+    DieSplit,
+    KernelPlacement,
+    PlacementError,
+    place_kernel,
+    split_across_dies,
+)
+from repro.dataflow.visualize import plan_summary, to_dot
+from repro.dataflow.pipeline import PipelineEstimate, analyze_pipeline, simulate
+
+__all__ = [
+    "optimal_fusion", "plan_time",
+    "BandwidthReport", "Channel", "Stream", "analyze_kernel_bandwidth",
+    "channel_capacities", "throttle_recommendations",
+    "FusionPlan", "Kernel", "conventional_fusion", "group_by_prefix",
+    "kernel_call_ratio", "manual_plan", "streaming_fusion", "unfused",
+    "AccessPattern", "DataflowGraph", "DType", "GraphError", "Operator",
+    "OpKind", "TensorSpec", "GPU_FUSED", "GPU_UNFUSED", "SN40L_STREAMING",
+    "TrafficModel", "operational_intensity", "plan_traffic_bytes",
+    "KernelPlacement", "PlacementError", "place_kernel", "DieSplit",
+    "split_across_dies",
+    "PipelineEstimate", "analyze_pipeline", "simulate", "plan_summary",
+    "to_dot",
+]

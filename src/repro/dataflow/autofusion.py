@@ -1,0 +1,127 @@
+"""Cost-driven fusion: choose kernel boundaries by minimizing modeled time.
+
+The heuristic policies in :mod:`repro.dataflow.fusion` (per-layer hints,
+resource-bounded greedy growth) mirror what the SN40L compiler ships. This
+module adds the principled upper bound: dynamic programming over the
+topological order that picks the *time-optimal* contiguous segmentation
+under the kernel cost model.
+
+``best[j] = min over i <= j of best[i-1] + time(kernel spanning ops i..j)``
+
+subject to each segment fitting the target's PCU/PMU budget and the
+``max_segment`` length cap. With the cap at the graph size, every policy
+in this library emits contiguous topological segments the DP also
+considers, so its result is a true lower bound on their modeled times —
+asserted by tests, which makes it a permanent regression check on the
+heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.dataflow.fusion import FusionPlan, Kernel, _build_kernel
+from repro.dataflow.graph import DataflowGraph
+
+if TYPE_CHECKING:  # perf.kernel_cost imports dataflow.fusion; resolve the
+    # package-level cycle by importing the cost model at call time.
+    from repro.perf.kernel_cost import ExecutionTarget, Orchestration
+
+
+def optimal_fusion(
+    graph: DataflowGraph,
+    target: "ExecutionTarget",
+    orchestration: "Orchestration" = None,
+    max_segment: int = 48,
+    pcu_budget: Optional[int] = None,
+) -> FusionPlan:
+    """Time-optimal contiguous fusion under the kernel cost model.
+
+    ``max_segment`` caps segment length (keeps the DP near-linear; 48 ops
+    comfortably covers a fused decoder layer). ``pcu_budget`` defaults to
+    the target's socket-aggregate PCU count; segments whose compute
+    stages exceed it are infeasible.
+    """
+    from repro.perf.kernel_cost import Orchestration, cost_kernel
+
+    if orchestration is None:
+        orchestration = Orchestration.SOFTWARE
+    if max_segment < 1:
+        raise ValueError(f"max_segment must be >= 1, got {max_segment}")
+    order = graph.topological_order()
+    n = len(order)
+    if n == 0:
+        raise ValueError("cannot fuse an empty graph")
+    if pcu_budget is None:
+        # One PCU minimum per compute stage; 32 per GEMM stage, matching
+        # the streaming policy's bandwidth-matching rule.
+        pcu_budget = 1040 * target.sockets
+
+    def segment_pcus(ops) -> int:
+        total = 0
+        for op in ops:
+            if op.kind.is_data_movement:
+                continue
+            total += 32 if op.kind.is_compute_heavy else 2
+        return total
+
+    # best[j] = (time, split) for the first j ops (1-indexed).
+    INF = float("inf")
+    best_time = [INF] * (n + 1)
+    best_split = [0] * (n + 1)
+    best_time[0] = 0.0
+    kernel_cache: List[Optional[Kernel]] = [None] * (n + 1)
+
+    for j in range(1, n + 1):
+        for i in range(max(1, j - max_segment + 1), j + 1):
+            ops = order[i - 1 : j]
+            if segment_pcus(ops) > pcu_budget:
+                continue
+            kernel = _build_kernel(f"seg{i - 1}_{j}", ops, graph)
+            cost = cost_kernel(
+                kernel, target, pipelined=len(ops) > 1, orchestration=orchestration
+            )
+            candidate = best_time[i - 1] + cost.total_s
+            if candidate < best_time[j]:
+                best_time[j] = candidate
+                best_split[j] = i - 1
+
+    if best_time[n] == INF:
+        raise ValueError(
+            "no feasible segmentation: a single operator exceeds the PCU "
+            "budget — raise pcu_budget"
+        )
+
+    # Reconstruct the segmentation.
+    boundaries: List[int] = []
+    j = n
+    while j > 0:
+        boundaries.append(j)
+        j = best_split[j]
+    boundaries.reverse()
+
+    kernels: List[Kernel] = []
+    start = 0
+    for end in boundaries:
+        kernels.append(_build_kernel(f"k{len(kernels)}", order[start:end], graph))
+        start = end
+    plan = FusionPlan(graph=graph, kernels=kernels, policy="optimal")
+    plan.validate()
+    return plan
+
+
+def plan_time(
+    plan: FusionPlan,
+    target: "ExecutionTarget",
+    orchestration: "Orchestration" = None,
+) -> float:
+    """Modeled time of any plan under the same cost rules the DP uses."""
+    from repro.perf.kernel_cost import Orchestration, cost_kernel
+
+    if orchestration is None:
+        orchestration = Orchestration.SOFTWARE
+    total = 0.0
+    for kernel in plan.kernels:
+        pipelined = plan.policy != "unfused" and kernel.num_ops > 1
+        total += cost_kernel(kernel, target, pipelined, orchestration).total_s
+    return total

@@ -1,0 +1,193 @@
+"""The compiler's static bandwidth model (paper Section VII).
+
+"Software must manage bandwidth from various entities: tile-level unit
+communication, HBM, DDR, die-to-die, peer-to-peer, and host bandwidth...
+Building a static bandwidth model in the compiler to model both
+application requirements and hardware characteristics was essential to
+enable proper bandwidth allocation and traffic management."
+
+This module reproduces that model. A fused kernel's pipeline implies a set
+of *streams* — per-tensor data flows with a sustained byte rate derived
+from the pipeline's bottleneck rate. Each stream is assigned to a hardware
+*channel* (HBM, DDR, D2D, P2P, TLN); the model reports per-channel
+subscription, flags over-subscription, and computes the slowdown the
+kernel suffers when a channel is oversubscribed — the first-order static
+tuning the paper describes ("applications can be analyzed and tuned for
+performance to a first order statically").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arch.config import SocketConfig
+from repro.dataflow.fusion import Kernel
+from repro.dataflow.graph import OpKind
+
+
+class Channel(enum.Enum):
+    """Bandwidth-carrying entities the compiler must budget."""
+
+    HBM = "hbm"
+    DDR = "ddr"
+    D2D = "d2d"
+    P2P = "p2p"
+    HOST = "host"
+
+
+@dataclass(frozen=True)
+class Stream:
+    """One sustained data flow with its required byte rate."""
+
+    name: str
+    channel: Channel
+    rate: float  # bytes/second required to sustain the pipeline
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"{self.name}: negative rate {self.rate}")
+
+
+@dataclass
+class ChannelBudget:
+    """Capacity vs demand for one channel."""
+
+    channel: Channel
+    capacity: float
+    streams: List[Stream] = field(default_factory=list)
+
+    @property
+    def demand(self) -> float:
+        return sum(s.rate for s in self.streams)
+
+    @property
+    def subscription(self) -> float:
+        """Demand as a fraction of capacity (>1 means oversubscribed)."""
+        return self.demand / self.capacity if self.capacity > 0 else float("inf")
+
+    @property
+    def oversubscribed(self) -> bool:
+        return self.subscription > 1.0
+
+
+@dataclass
+class BandwidthReport:
+    """The static analysis result for one kernel on one target."""
+
+    kernel_name: str
+    budgets: Dict[Channel, ChannelBudget]
+
+    @property
+    def bottleneck(self) -> ChannelBudget:
+        return max(self.budgets.values(), key=lambda b: b.subscription)
+
+    @property
+    def slowdown(self) -> float:
+        """Factor by which the pipeline slows due to the worst channel.
+
+        A channel at subscription S > 1 stretches the kernel by S (all
+        streams on it are served proportionally slower); S <= 1 means the
+        memory system keeps up and the pipeline runs at full rate.
+        """
+        return max(1.0, self.bottleneck.subscription)
+
+    def oversubscribed_channels(self) -> List[Channel]:
+        return [c for c, b in self.budgets.items() if b.oversubscribed]
+
+    def summary(self) -> str:
+        parts = [
+            f"{c.value}: {b.subscription * 100:.0f}%"
+            for c, b in sorted(self.budgets.items(), key=lambda kv: kv[0].value)
+            if b.streams
+        ]
+        return f"{self.kernel_name}: " + ", ".join(parts)
+
+
+def channel_capacities(
+    socket: SocketConfig, sockets: int = 1
+) -> Dict[Channel, float]:
+    """Hardware capacity of each channel for a multi-socket target."""
+    if sockets < 1:
+        raise ValueError(f"sockets must be >= 1, got {sockets}")
+    return {
+        Channel.HBM: socket.hbm.bandwidth * sockets,
+        Channel.DDR: socket.ddr.bandwidth * sockets,
+        Channel.D2D: socket.d2d_bandwidth * sockets,
+        Channel.P2P: socket.p2p_bandwidth * sockets,
+        Channel.HOST: socket.host_link_bandwidth,
+    }
+
+
+def kernel_streams(
+    kernel: Kernel,
+    duration_s: float,
+    weight_channel: Channel = Channel.HBM,
+    activation_channel: Channel = Channel.HBM,
+) -> List[Stream]:
+    """Derive the sustained streams a kernel needs over its duration.
+
+    Every external tensor becomes one stream whose rate spreads its bytes
+    over the kernel's execution; collective traffic becomes a P2P stream.
+    ``weight_channel``/``activation_channel`` let callers model spilled
+    placements (weights or activations resident in DDR).
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    streams: List[Stream] = []
+    for tensor in kernel.external_inputs:
+        channel = weight_channel if tensor.is_weight else activation_channel
+        streams.append(
+            Stream(name=f"in:{tensor.name}", channel=channel,
+                   rate=tensor.size_bytes / duration_s)
+        )
+    for tensor in kernel.external_outputs:
+        streams.append(
+            Stream(name=f"out:{tensor.name}", channel=activation_channel,
+                   rate=tensor.size_bytes / duration_s)
+        )
+    if kernel.comm_bytes > 0:
+        streams.append(
+            Stream(name=f"p2p:{kernel.name}", channel=Channel.P2P,
+                   rate=kernel.comm_bytes / duration_s)
+        )
+    return streams
+
+
+def analyze_kernel_bandwidth(
+    kernel: Kernel,
+    duration_s: float,
+    socket: SocketConfig = SocketConfig(),
+    sockets: int = 1,
+    weight_channel: Channel = Channel.HBM,
+    activation_channel: Channel = Channel.HBM,
+) -> BandwidthReport:
+    """Static bandwidth check of one kernel at a target duration.
+
+    The returned report says whether the memory system can feed the
+    pipeline at that rate, and if not, which channel throttles it and by
+    how much — the paper's first-order static performance tuning.
+    """
+    capacities = channel_capacities(socket, sockets)
+    budgets = {c: ChannelBudget(channel=c, capacity=cap)
+               for c, cap in capacities.items()}
+    for stream in kernel_streams(kernel, duration_s, weight_channel,
+                                 activation_channel):
+        budgets[stream.channel].streams.append(stream)
+    return BandwidthReport(kernel_name=kernel.name, budgets=budgets)
+
+
+def throttle_recommendations(report: BandwidthReport) -> Dict[str, float]:
+    """Per-stream throttle factors that bring every channel to <=100%.
+
+    Reproduces the packet-throttling remedy of Section VII: on an
+    oversubscribed channel every stream is scaled by the inverse
+    subscription; streams on healthy channels keep their full rate.
+    """
+    factors: Dict[str, float] = {}
+    for budget in report.budgets.values():
+        scale = min(1.0, 1.0 / budget.subscription) if budget.streams else 1.0
+        for stream in budget.streams:
+            factors[stream.name] = scale
+    return factors

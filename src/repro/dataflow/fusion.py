@@ -1,0 +1,389 @@
+"""Operator fusion: unfused, conventional (GPU-style), and streaming dataflow.
+
+The paper's central software claim (Section III-A): conventional operator
+fusion is limited to short chains with friendly access patterns, while the
+SN40L's streaming dataflow fuses *hundreds* of operators — including
+transposes and shuffles — into a single spatially-mapped kernel.
+
+Three policies are implemented against the same :class:`DataflowGraph`:
+
+- :func:`unfused` — every operator is its own kernel (the paper's baseline
+  configuration: "every PyTorch operator ... executed as one or more
+  kernels, with intermediate results materialized to DDR or HBM"),
+- :func:`conventional_fusion` — a GPU-style greedy fuser: at most one
+  GEMM per kernel, elementwise epilogues fused, regions broken at
+  transpose/shuffle/gather edges, at multi-consumer intermediates, and at
+  a small op-count cap (frameworks fuse 1-5 ops; paper Section VIII-3),
+- :func:`streaming_fusion` — the SN40L fuser: regions grow until they
+  exhaust the on-chip PCU/PMU budget; data-movement ops (transpose,
+  shuffle) are absorbed into PMU access patterns and consume no compute.
+
+All policies partition a topological order into contiguous segments, so the
+resulting kernel sequence is always a valid schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dataflow.graph import (
+    DataflowGraph,
+    Operator,
+    OpKind,
+    TensorSpec,
+)
+
+
+@dataclass
+class Kernel:
+    """A fused kernel: a set of operators launched as one unit.
+
+    Boundary analysis is performed against the owning graph: tensors
+    produced outside (or never produced — weights, graph inputs) are
+    *external inputs*; tensors consumed outside (or never consumed — graph
+    outputs) are *external outputs*; everything else is *internal* and, in
+    a streaming-dataflow mapping, never leaves the chip.
+    """
+
+    name: str
+    ops: List[Operator]
+    external_inputs: List[TensorSpec] = field(default_factory=list)
+    external_outputs: List[TensorSpec] = field(default_factory=list)
+    internal_tensors: List[TensorSpec] = field(default_factory=list)
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    @property
+    def flops(self) -> float:
+        return sum(op.flops for op in self.ops)
+
+    @property
+    def comm_bytes(self) -> float:
+        return sum(op.comm_bytes for op in self.ops)
+
+    @property
+    def external_input_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.external_inputs)
+
+    @property
+    def external_output_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.external_outputs)
+
+    @property
+    def weight_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.external_inputs if t.is_weight)
+
+    @property
+    def offchip_bytes(self) -> int:
+        """Minimum off-chip traffic: boundary tensors, counted once.
+
+        Tiling re-reads for working sets that exceed on-chip capacity are
+        layered on top by :mod:`repro.dataflow.intensity`.
+        """
+        return self.external_input_bytes + self.external_output_bytes
+
+    @property
+    def internal_bytes(self) -> int:
+        """Bytes of intermediates kept on-chip by this fusion."""
+        return sum(t.size_bytes for t in self.internal_tensors)
+
+    @property
+    def operational_intensity(self) -> float:
+        """FLOPs per byte of minimal off-chip traffic."""
+        traffic = self.offchip_bytes
+        return self.flops / traffic if traffic > 0 else float("inf")
+
+    @property
+    def compute_stages(self) -> int:
+        """Pipeline stages that occupy PCUs (data-movement ops are free:
+        they fuse into PMU access patterns on the SN40L)."""
+        return sum(1 for op in self.ops if not op.kind.is_data_movement)
+
+
+@dataclass
+class FusionPlan:
+    """The result of applying one fusion policy to one graph."""
+
+    graph: DataflowGraph
+    kernels: List[Kernel]
+    policy: str
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(k.flops for k in self.kernels)
+
+    @property
+    def total_offchip_bytes(self) -> int:
+        return sum(k.offchip_bytes for k in self.kernels)
+
+    @property
+    def operational_intensity(self) -> float:
+        traffic = self.total_offchip_bytes
+        return self.total_flops / traffic if traffic > 0 else float("inf")
+
+    def validate(self) -> None:
+        """Every graph op appears in exactly one kernel."""
+        seen: Set[str] = set()
+        for kernel in self.kernels:
+            for op in kernel.ops:
+                if op.name in seen:
+                    raise AssertionError(f"op {op.name!r} in multiple kernels")
+                seen.add(op.name)
+        graph_ops = {op.name for op in self.graph.operators}
+        if seen != graph_ops:
+            missing = graph_ops - seen
+            raise AssertionError(f"ops missing from plan: {sorted(missing)}")
+
+    def summary(self) -> str:
+        return (
+            f"{self.policy}: {self.num_kernels} kernels, "
+            f"intensity {self.operational_intensity:.1f} FLOPs/byte"
+        )
+
+
+def _build_kernel(name: str, ops: Sequence[Operator], graph: DataflowGraph) -> Kernel:
+    """Compute boundary tensors for a candidate op set."""
+    member_names = {op.name for op in ops}
+    produced: Dict[str, TensorSpec] = {}
+    for op in ops:
+        for t in op.outputs:
+            produced[t.name] = t
+
+    ext_inputs: Dict[str, TensorSpec] = {}
+    for op in ops:
+        for t in op.inputs:
+            if t.name not in produced and t.name not in ext_inputs:
+                ext_inputs[t.name] = t
+
+    ext_outputs: List[TensorSpec] = []
+    internal: List[TensorSpec] = []
+    for tname, t in produced.items():
+        consumers = graph.consumers_of(tname)
+        escapes = not consumers or any(c.name not in member_names for c in consumers)
+        if escapes:
+            ext_outputs.append(t)
+        else:
+            internal.append(t)
+
+    return Kernel(
+        name=name,
+        ops=list(ops),
+        external_inputs=list(ext_inputs.values()),
+        external_outputs=ext_outputs,
+        internal_tensors=internal,
+    )
+
+
+def unfused(graph: DataflowGraph) -> FusionPlan:
+    """One kernel per operator — the paper's unfused baseline."""
+    kernels = [
+        _build_kernel(f"k{idx}_{op.name}", [op], graph)
+        for idx, op in enumerate(graph.topological_order())
+    ]
+    plan = FusionPlan(graph=graph, kernels=kernels, policy="unfused")
+    plan.validate()
+    return plan
+
+
+def conventional_fusion(graph: DataflowGraph, max_ops: int = 5) -> FusionPlan:
+    """GPU-style fusion with documented framework restrictions.
+
+    Break conditions, following paper Section III-A:
+
+    1. edge access pattern is transpose/shuffle/gather (cross-SM exchange),
+    2. the region already contains a GEMM and the next op is another GEMM
+       (no multi-GEMM mega-kernels in PyTorch2/TensorRT-class fusers),
+    3. the producing tensor has multiple consumers (must materialise),
+    4. the region has reached ``max_ops`` operators,
+    5. the next op is a collective (ALLREDUCE) or gather-heavy op.
+    """
+    order = graph.topological_order()
+    kernels: List[Kernel] = []
+    region: List[Operator] = []
+
+    def close_region() -> None:
+        if region:
+            kernels.append(_build_kernel(f"k{len(kernels)}", list(region), graph))
+            region.clear()
+
+    for op in order:
+        if not region:
+            region.append(op)
+            continue
+        if _conventional_break(region, op, graph, max_ops):
+            close_region()
+        region.append(op)
+    close_region()
+
+    plan = FusionPlan(graph=graph, kernels=kernels, policy="conventional")
+    plan.validate()
+    return plan
+
+
+def _conventional_break(
+    region: List[Operator], op: Operator, graph: DataflowGraph, max_ops: int
+) -> bool:
+    if len(region) >= max_ops:
+        return True
+    if op.kind in (OpKind.ALLREDUCE, OpKind.EMBEDDING):
+        return True
+    member_names = {r.name for r in region}
+    region_has_gemm = any(r.kind.is_compute_heavy for r in region)
+    if region_has_gemm and op.kind.is_compute_heavy:
+        return True
+    # A transpose/shuffle in the region has already forced a cross-SM data
+    # exchange; its output materialises, so nothing further can fuse in.
+    if any(r.kind.is_data_movement and r.kind != OpKind.RESHAPE for r in region):
+        return True
+    # Examine the edges from the region into this op.
+    feeds_from_region = False
+    for t in op.inputs:
+        producer = graph.producer_of(t.name)
+        if producer is None or producer.name not in member_names:
+            continue
+        feeds_from_region = True
+        if not op.pattern_of(t.name).gpu_fusable:
+            return True
+        if len(graph.consumers_of(t.name)) > 1:
+            return True
+    # An op with no dataflow from the current region starts a new kernel:
+    # GPUs cannot co-schedule independent operators in one launch the way a
+    # spatial pipeline can.
+    if not feeds_from_region:
+        return True
+    return False
+
+
+def streaming_fusion(
+    graph: DataflowGraph,
+    pcu_budget: int = 1040,
+    pmu_budget_bytes: Optional[int] = None,
+    stage_buffer_bytes: int = 2 * 64 * 1024,
+) -> FusionPlan:
+    """SN40L streaming-dataflow fusion.
+
+    Regions grow along the topological order and only close when on-chip
+    resources run out:
+
+    - each non-data-movement op needs at least one PCU (``pcu_budget``),
+    - each internal tensor needs a double-buffered stage buffer; a stage
+      buffer holds *tiles* of the tensor, not the whole tensor, so its PMU
+      demand is ``min(tensor_bytes, stage_buffer_bytes)`` (tensors are tiled
+      and streamed — paper Section III-A),
+    - collectives do *not* break fusion: the P2P protocol lets the compiler
+      fuse and pipeline collective communication with compute into the same
+      kernel (paper Section VII).
+
+    Transposes and shuffles are absorbed as PMU access patterns; they cost
+    a stage buffer but no PCU.
+    """
+    if pmu_budget_bytes is None:
+        # Default: one socket's worth of PMU SRAM.
+        pmu_budget_bytes = 1040 * 512 * 1024
+
+    order = graph.topological_order()
+    kernels: List[Kernel] = []
+    region: List[Operator] = []
+    region_pcus = 0
+    region_pmu_bytes = 0
+
+    def close_region() -> None:
+        nonlocal region_pcus, region_pmu_bytes
+        if region:
+            kernels.append(_build_kernel(f"k{len(kernels)}", list(region), graph))
+            region.clear()
+        region_pcus = 0
+        region_pmu_bytes = 0
+
+    for op in order:
+        if op.kind.is_data_movement:
+            pcu_need = 0  # folds into PMU access patterns
+        elif op.kind.is_compute_heavy:
+            # A GEMM stage is parallelized across PCUs to match pipeline
+            # bandwidth (Figure 4 assigns Gemm0/Gemm1 multiple PCUs).
+            pcu_need = 32
+        else:
+            pcu_need = 2
+        pmu_need = sum(
+            min(t.size_bytes, stage_buffer_bytes) * 2 for t in op.outputs
+        )
+        if region and (
+            region_pcus + pcu_need > pcu_budget
+            or region_pmu_bytes + pmu_need > pmu_budget_bytes
+        ):
+            close_region()
+        region.append(op)
+        region_pcus += pcu_need
+        region_pmu_bytes += pmu_need
+    close_region()
+
+    plan = FusionPlan(graph=graph, kernels=kernels, policy="streaming")
+    plan.validate()
+    return plan
+
+
+def group_by_prefix(
+    graph: DataflowGraph,
+    key=lambda op: op.name.split(".")[0],
+    policy: str = "streaming",
+) -> FusionPlan:
+    """Hint-driven fusion: one kernel per op-name prefix group.
+
+    The paper fuses "the entire decoder layer ... into a single kernel
+    call" using "a combination of automatic compiler optimizations and
+    programmer hints" (Sections VI-A, VI-B). Model builders name operators
+    ``l<k>.<op>``, so the default key groups by decoder layer; embedding,
+    final norm, and LM head land in their own (small) kernels.
+
+    Groups follow the topological order, merging consecutive ops with the
+    same key, so the kernel sequence remains a valid schedule even when a
+    prefix reappears later (it simply opens a new kernel).
+    """
+    order = graph.topological_order()
+    kernels: List[Kernel] = []
+    region: List[Operator] = []
+    region_key = None
+    for op in order:
+        op_key = key(op)
+        if region and op_key != region_key:
+            kernels.append(_build_kernel(f"k{len(kernels)}_{region_key}", list(region), graph))
+            region = []
+        region.append(op)
+        region_key = op_key
+    if region:
+        kernels.append(_build_kernel(f"k{len(kernels)}_{region_key}", list(region), graph))
+    plan = FusionPlan(graph=graph, kernels=kernels, policy=policy)
+    plan.validate()
+    return plan
+
+
+def manual_plan(
+    graph: DataflowGraph, groups: Sequence[Sequence[str]], policy: str = "manual"
+) -> FusionPlan:
+    """Build a fusion plan from explicit op-name groups.
+
+    Used by analyses that study *hypothetical* fusion levels, like the
+    paper's Table I row "Gemm0 - Mul - Transpose", independent of what any
+    policy would choose. Groups must partition the graph's operators.
+    """
+    kernels = []
+    for idx, group in enumerate(groups):
+        ops = [graph[name] for name in group]
+        kernels.append(_build_kernel(f"k{idx}", ops, graph))
+    plan = FusionPlan(graph=graph, kernels=kernels, policy=policy)
+    plan.validate()
+    return plan
+
+
+def kernel_call_ratio(graph: DataflowGraph, fused: FusionPlan) -> float:
+    """Unfused-to-fused kernel count ratio (paper Figure 11)."""
+    if fused.num_kernels == 0:
+        raise ValueError("fused plan has no kernels")
+    return len(graph) / fused.num_kernels

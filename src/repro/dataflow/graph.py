@@ -1,0 +1,322 @@
+"""Dataflow graphs: operators connected by named tensors.
+
+This is the compiler's input representation (paper Figure 3 shows one such
+graph, a simplified Monarch FFT stage). Nodes are :class:`Operator` objects
+carrying exact FLOP counts; edges are :class:`TensorSpec` objects carrying
+exact byte sizes. Every downstream analysis — operational intensity,
+fusion, placement, the kernel cost model — is computed from these counts,
+never estimated.
+
+The graph is deliberately framework-free: model builders in
+:mod:`repro.models` construct these graphs directly from architecture
+hyperparameters (hidden size, heads, layers, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class DType(enum.Enum):
+    """Element types with their byte widths."""
+
+    BF16 = 2
+    FP32 = 4
+    INT32 = 4
+    INT8 = 1
+
+    @property
+    def size_bytes(self) -> int:
+        return self.value
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """One named tensor (a graph edge)."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: DType = DType.BF16
+    #: Weights are read-only parameters; they get HBM priority when spilling
+    #: and are skipped on copy-back when a CoE expert is evicted.
+    is_weight: bool = False
+
+    def __post_init__(self) -> None:
+        if any(d <= 0 for d in self.shape):
+            raise ValueError(f"{self.name}: non-positive dim in shape {self.shape}")
+
+    @property
+    def num_elements(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_elements * self.dtype.size_bytes
+
+
+class AccessPattern(enum.Enum):
+    """How an operator reads one of its inputs.
+
+    The distinction that matters for fusion (paper Section III-A): GPUs can
+    fuse producer/consumer pairs only when the consumer reads the producer's
+    output without crossing thread blocks. ``TRANSPOSE``, ``SHUFFLE``, and
+    ``GATHER`` all force cross-SM data exchange through the shared cache and
+    HBM, breaking the fusion region. The SN40L fuses them as PMU read/write
+    access patterns instead.
+    """
+
+    CONTIGUOUS = "contiguous"
+    STRIDED = "strided"
+    BROADCAST = "broadcast"
+    TRANSPOSE = "transpose"
+    SHUFFLE = "shuffle"
+    GATHER = "gather"
+
+    @property
+    def gpu_fusable(self) -> bool:
+        """Whether GPU-style fusion can cross this edge."""
+        return self in (AccessPattern.CONTIGUOUS, AccessPattern.BROADCAST)
+
+
+class OpKind(enum.Enum):
+    """Operator categories, used by fusion policies and the placer."""
+
+    GEMM = "gemm"
+    ELEMENTWISE = "elementwise"
+    REDUCTION = "reduction"
+    SOFTMAX = "softmax"
+    NORM = "norm"
+    TRANSPOSE = "transpose"
+    RESHAPE = "reshape"
+    ROPE = "rope"
+    EMBEDDING = "embedding"
+    SAMPLE = "sample"
+    FFT_PERMUTE = "fft_permute"
+    ALLREDUCE = "allreduce"
+    KV_APPEND = "kv_append"
+    CONV = "conv"
+
+    @property
+    def is_compute_heavy(self) -> bool:
+        """Operators that use the PCU systolic array (GEMM-like work)."""
+        return self in (OpKind.GEMM, OpKind.CONV)
+
+    @property
+    def is_data_movement(self) -> bool:
+        """Pure layout transforms: zero FLOPs, fusable into PMU patterns."""
+        return self in (OpKind.TRANSPOSE, OpKind.RESHAPE, OpKind.FFT_PERMUTE)
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One graph node.
+
+    ``flops`` is the exact floating-point work of the operator. Access
+    patterns are given per input, aligned with ``inputs``; unspecified
+    inputs default to ``CONTIGUOUS``.
+    """
+
+    name: str
+    kind: OpKind
+    inputs: Tuple[TensorSpec, ...]
+    outputs: Tuple[TensorSpec, ...]
+    flops: float
+    input_patterns: Tuple[AccessPattern, ...] = ()
+    #: Bytes exchanged over the interconnect for communication operators
+    #: (ALLREDUCE); zero for compute operators.
+    comm_bytes: float = 0.0
+    #: For GEMM-like ops, the ``(M, K, N)`` problem dims with batch folded
+    #: into M. Drives the tiled-traffic model in
+    #: :mod:`repro.dataflow.intensity`.
+    gemm_dims: Optional[Tuple[int, int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.flops < 0:
+            raise ValueError(f"{self.name}: negative flops {self.flops}")
+        if not self.outputs:
+            raise ValueError(f"{self.name}: an operator must produce output")
+        if self.input_patterns and len(self.input_patterns) != len(self.inputs):
+            raise ValueError(
+                f"{self.name}: {len(self.input_patterns)} patterns for "
+                f"{len(self.inputs)} inputs"
+            )
+
+    def pattern_of(self, tensor_name: str) -> AccessPattern:
+        """Access pattern with which this op reads ``tensor_name``."""
+        for idx, tensor in enumerate(self.inputs):
+            if tensor.name == tensor_name:
+                if self.input_patterns:
+                    return self.input_patterns[idx]
+                return AccessPattern.CONTIGUOUS
+        raise KeyError(f"{self.name} has no input {tensor_name!r}")
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.inputs)
+
+    @property
+    def output_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.outputs)
+
+    @property
+    def weight_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.inputs if t.is_weight)
+
+
+class GraphError(Exception):
+    """Raised for malformed graphs (duplicate producers, cycles, ...)."""
+
+
+class DataflowGraph:
+    """A directed acyclic graph of operators connected by tensor names.
+
+    Tensors are identified by name: an edge exists from op A to op B when B
+    consumes a tensor that A produces. Tensors consumed but never produced
+    are graph inputs (activations entering the graph, or weights); tensors
+    produced but never consumed are graph outputs.
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._ops: Dict[str, Operator] = {}
+        self._producer: Dict[str, str] = {}
+        # Lazily built tensor-name -> consumer-op-names index; invalidated
+        # on every add() so heavy analyses (fusion DP) stay O(edges).
+        self._consumer_index: Optional[Dict[str, List[str]]] = None
+
+    def add(self, op: Operator) -> Operator:
+        """Insert an operator; rejects duplicate op names and producers."""
+        if op.name in self._ops:
+            raise GraphError(f"duplicate operator name: {op.name!r}")
+        for tensor in op.outputs:
+            if tensor.name in self._producer:
+                raise GraphError(
+                    f"tensor {tensor.name!r} already produced by "
+                    f"{self._producer[tensor.name]!r}"
+                )
+        self._ops[op.name] = op
+        for tensor in op.outputs:
+            self._producer[tensor.name] = op.name
+        self._consumer_index = None
+        return op
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __contains__(self, op_name: str) -> bool:
+        return op_name in self._ops
+
+    def __getitem__(self, op_name: str) -> Operator:
+        return self._ops[op_name]
+
+    @property
+    def operators(self) -> List[Operator]:
+        return list(self._ops.values())
+
+    def producer_of(self, tensor_name: str) -> Optional[Operator]:
+        """The operator producing ``tensor_name``, or None for graph inputs."""
+        op_name = self._producer.get(tensor_name)
+        return self._ops[op_name] if op_name is not None else None
+
+    def consumers_of(self, tensor_name: str) -> List[Operator]:
+        """All operators that read ``tensor_name``."""
+        if self._consumer_index is None:
+            index: Dict[str, List[str]] = {}
+            for op in self._ops.values():
+                for t in op.inputs:
+                    index.setdefault(t.name, []).append(op.name)
+            self._consumer_index = index
+        return [self._ops[name] for name in self._consumer_index.get(tensor_name, [])]
+
+    def predecessors(self, op: Operator) -> List[Operator]:
+        preds = []
+        for tensor in op.inputs:
+            producer = self.producer_of(tensor.name)
+            if producer is not None:
+                preds.append(producer)
+        return preds
+
+    def successors(self, op: Operator) -> List[Operator]:
+        succs: List[Operator] = []
+        seen = set()
+        for tensor in op.outputs:
+            for consumer in self.consumers_of(tensor.name):
+                if consumer.name not in seen:
+                    seen.add(consumer.name)
+                    succs.append(consumer)
+        return succs
+
+    def external_inputs(self) -> List[TensorSpec]:
+        """Tensors read by some op but produced by none (incl. weights)."""
+        seen: Dict[str, TensorSpec] = {}
+        for op in self._ops.values():
+            for tensor in op.inputs:
+                if tensor.name not in self._producer and tensor.name not in seen:
+                    seen[tensor.name] = tensor
+        return list(seen.values())
+
+    def external_outputs(self) -> List[TensorSpec]:
+        """Tensors produced by some op but consumed by none."""
+        consumed = {
+            t.name for op in self._ops.values() for t in op.inputs
+        }
+        outs = []
+        for op in self._ops.values():
+            for tensor in op.outputs:
+                if tensor.name not in consumed:
+                    outs.append(tensor)
+        return outs
+
+    def topological_order(self) -> List[Operator]:
+        """Operators in dependency order; raises GraphError on cycles."""
+        in_degree: Dict[str, int] = {}
+        for op in self._ops.values():
+            in_degree[op.name] = sum(
+                1
+                for tensor in op.inputs
+                if tensor.name in self._producer
+            )
+        # Stable: prefer insertion order among ready nodes.
+        ready = [name for name, deg in in_degree.items() if deg == 0]
+        order: List[Operator] = []
+        while ready:
+            name = ready.pop(0)
+            op = self._ops[name]
+            order.append(op)
+            for succ in self.successors(op):
+                in_degree[succ.name] -= len(
+                    [
+                        t
+                        for t in succ.inputs
+                        if self._producer.get(t.name) == op.name
+                    ]
+                )
+                if in_degree[succ.name] == 0:
+                    ready.append(succ.name)
+        if len(order) != len(self._ops):
+            raise GraphError(f"cycle detected in graph {self.name!r}")
+        return order
+
+    @property
+    def total_flops(self) -> float:
+        return sum(op.flops for op in self._ops.values())
+
+    @property
+    def weight_bytes(self) -> int:
+        """Bytes of all distinct weight tensors in the graph."""
+        seen: Dict[str, int] = {}
+        for op in self._ops.values():
+            for tensor in op.inputs:
+                if tensor.is_weight:
+                    seen[tensor.name] = tensor.size_bytes
+        return sum(seen.values())
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.name}: {len(self)} ops, {self.total_flops / 1e9:.2f} GFLOPs, "
+            f"{self.weight_bytes / 2**20:.1f} MiB weights"
+        )

@@ -1,0 +1,306 @@
+"""Operator constructors with exact FLOP and byte accounting.
+
+Each helper builds an :class:`~repro.dataflow.graph.Operator` from tensor
+shapes, computing FLOPs with the standard conventions:
+
+- GEMM ``(M,K) @ (K,N)``: ``2*M*K*N`` FLOPs (multiply + accumulate),
+- elementwise: ``flops_per_element * numel``,
+- softmax: 5 FLOPs/element (max, subtract, exp, sum, divide),
+- RMS/LayerNorm: ~4-6 FLOPs/element,
+- RoPE: 6 FLOPs/element on the rotated halves.
+
+Sparsity (sparseGPT's 87.5% weight sparsity) scales both GEMM FLOPs and
+weight bytes, matching an implementation that stores and computes only
+non-zero weights.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.dataflow.graph import (
+    AccessPattern,
+    DType,
+    Operator,
+    OpKind,
+    TensorSpec,
+)
+
+
+def tensor(
+    name: str,
+    shape: Sequence[int],
+    dtype: DType = DType.BF16,
+    is_weight: bool = False,
+) -> TensorSpec:
+    """Convenience constructor for a :class:`TensorSpec`."""
+    return TensorSpec(name=name, shape=tuple(shape), dtype=dtype, is_weight=is_weight)
+
+
+def gemm(
+    name: str,
+    a: TensorSpec,
+    b: TensorSpec,
+    out_name: str,
+    m: int,
+    k: int,
+    n: int,
+    batch: int = 1,
+    sparsity: float = 0.0,
+    dtype: DType = DType.BF16,
+    a_pattern: AccessPattern = AccessPattern.CONTIGUOUS,
+    b_pattern: AccessPattern = AccessPattern.CONTIGUOUS,
+) -> Operator:
+    """A (possibly batched, possibly sparse) matrix multiplication.
+
+    ``sparsity`` is the fraction of zero weights skipped by the kernel;
+    it scales FLOPs but not activation bytes.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"{name}: sparsity must be in [0, 1), got {sparsity}")
+    flops = 2.0 * batch * m * k * n * (1.0 - sparsity)
+    out_shape: Tuple[int, ...] = (batch, m, n) if batch > 1 else (m, n)
+    return Operator(
+        name=name,
+        kind=OpKind.GEMM,
+        inputs=(a, b),
+        outputs=(tensor(out_name, out_shape, dtype),),
+        flops=flops,
+        input_patterns=(a_pattern, b_pattern),
+        gemm_dims=(batch * m, k, n),
+    )
+
+
+def linear(
+    name: str,
+    activation: TensorSpec,
+    weight_name: str,
+    in_features: int,
+    out_features: int,
+    tokens: int,
+    sparsity: float = 0.0,
+    dtype: DType = DType.BF16,
+) -> Operator:
+    """A weightful projection: ``(tokens, in) @ (in, out)``.
+
+    The weight tensor is created here and marked ``is_weight`` so memory
+    planning and CoE model-switching count it. Sparse weights store only
+    the non-zero fraction.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"{name}: sparsity must be in [0, 1), got {sparsity}")
+    dense_elems = in_features * out_features
+    stored = max(1, round(dense_elems * (1.0 - sparsity)))
+    weight = TensorSpec(
+        name=weight_name, shape=(stored,), dtype=dtype, is_weight=True
+    )
+    return Operator(
+        name=name,
+        kind=OpKind.GEMM,
+        inputs=(activation, weight),
+        outputs=(tensor(f"{name}.out", (tokens, out_features), dtype),),
+        flops=2.0 * tokens * in_features * out_features * (1.0 - sparsity),
+        gemm_dims=(tokens, in_features, out_features),
+    )
+
+
+def elementwise(
+    name: str,
+    inputs: Sequence[TensorSpec],
+    out_name: str,
+    flops_per_element: float = 1.0,
+    out_shape: Optional[Sequence[int]] = None,
+    dtype: DType = DType.BF16,
+    patterns: Optional[Sequence[AccessPattern]] = None,
+) -> Operator:
+    """An elementwise map over one or more inputs (add, mul, SiLU, ...)."""
+    if not inputs:
+        raise ValueError(f"{name}: elementwise needs at least one input")
+    shape = tuple(out_shape) if out_shape is not None else inputs[0].shape
+    numel = 1
+    for dim in shape:
+        numel *= dim
+    return Operator(
+        name=name,
+        kind=OpKind.ELEMENTWISE,
+        inputs=tuple(inputs),
+        outputs=(tensor(out_name, shape, dtype),),
+        flops=flops_per_element * numel,
+        input_patterns=tuple(patterns) if patterns is not None else (),
+    )
+
+
+def transpose(name: str, source: TensorSpec, out_name: str) -> Operator:
+    """A 2-D (last-two-axes) transpose.
+
+    Zero FLOPs; the interesting property is the ``TRANSPOSE`` access
+    pattern, which breaks GPU fusion but is absorbed into PMU
+    diagonally-striped banking on the SN40L (paper Section IV-B).
+    """
+    if len(source.shape) < 2:
+        raise ValueError(f"{name}: cannot transpose rank-{len(source.shape)} tensor")
+    shape = list(source.shape)
+    shape[-1], shape[-2] = shape[-2], shape[-1]
+    return Operator(
+        name=name,
+        kind=OpKind.TRANSPOSE,
+        inputs=(source,),
+        outputs=(tensor(out_name, shape, source.dtype),),
+        flops=0.0,
+        input_patterns=(AccessPattern.TRANSPOSE,),
+    )
+
+
+def reshape(name: str, source: TensorSpec, out_name: str, out_shape: Sequence[int]) -> Operator:
+    """A metadata-only reshape (strided view materialisation)."""
+    out = tensor(out_name, out_shape, source.dtype)
+    if out.num_elements != source.num_elements:
+        raise ValueError(
+            f"{name}: reshape changes element count "
+            f"({source.num_elements} -> {out.num_elements})"
+        )
+    return Operator(
+        name=name,
+        kind=OpKind.RESHAPE,
+        inputs=(source,),
+        outputs=(out,),
+        flops=0.0,
+        input_patterns=(AccessPattern.STRIDED,),
+    )
+
+
+def fft_permute(name: str, source: TensorSpec, out_name: str) -> Operator:
+    """A bit-reversal/stride permutation from an FFT decomposition.
+
+    Like transpose, zero FLOPs but a fusion-hostile ``SHUFFLE`` pattern.
+    """
+    return Operator(
+        name=name,
+        kind=OpKind.FFT_PERMUTE,
+        inputs=(source,),
+        outputs=(tensor(out_name, source.shape, source.dtype),),
+        flops=0.0,
+        input_patterns=(AccessPattern.SHUFFLE,),
+    )
+
+
+def softmax(name: str, source: TensorSpec, out_name: str) -> Operator:
+    """Row softmax: 5 FLOPs per element (max/sub/exp/sum/div)."""
+    return Operator(
+        name=name,
+        kind=OpKind.SOFTMAX,
+        inputs=(source,),
+        outputs=(tensor(out_name, source.shape, source.dtype),),
+        flops=5.0 * source.num_elements,
+    )
+
+
+def norm(
+    name: str,
+    source: TensorSpec,
+    weight_name: str,
+    out_name: str,
+    flops_per_element: float = 4.0,
+) -> Operator:
+    """RMSNorm (4 FLOPs/elem) or LayerNorm (pass 6) with a learned scale."""
+    hidden = source.shape[-1]
+    weight = TensorSpec(name=weight_name, shape=(hidden,), dtype=source.dtype, is_weight=True)
+    return Operator(
+        name=name,
+        kind=OpKind.NORM,
+        inputs=(source, weight),
+        outputs=(tensor(out_name, source.shape, source.dtype),),
+        flops=flops_per_element * source.num_elements,
+        input_patterns=(AccessPattern.CONTIGUOUS, AccessPattern.BROADCAST),
+    )
+
+
+def rope(name: str, source: TensorSpec, out_name: str) -> Operator:
+    """Rotary position embedding: 6 FLOPs/element, shuffled lane access."""
+    return Operator(
+        name=name,
+        kind=OpKind.ROPE,
+        inputs=(source,),
+        outputs=(tensor(out_name, source.shape, source.dtype),),
+        flops=6.0 * source.num_elements,
+        input_patterns=(AccessPattern.SHUFFLE,),
+    )
+
+
+def reduction(
+    name: str,
+    source: TensorSpec,
+    out_name: str,
+    out_shape: Sequence[int],
+    flops_per_element: float = 1.0,
+) -> Operator:
+    """A reduction (sum/max) from ``source.shape`` down to ``out_shape``."""
+    return Operator(
+        name=name,
+        kind=OpKind.REDUCTION,
+        inputs=(source,),
+        outputs=(tensor(out_name, out_shape, source.dtype),),
+        flops=flops_per_element * source.num_elements,
+    )
+
+
+def embedding(
+    name: str,
+    ids: TensorSpec,
+    table_name: str,
+    vocab: int,
+    hidden: int,
+    tokens: int,
+    dtype: DType = DType.BF16,
+) -> Operator:
+    """Embedding-table gather for ``tokens`` token ids."""
+    table = TensorSpec(name=table_name, shape=(vocab, hidden), dtype=dtype, is_weight=True)
+    return Operator(
+        name=name,
+        kind=OpKind.EMBEDDING,
+        inputs=(ids, table),
+        outputs=(tensor(f"{name}.out", (tokens, hidden), dtype),),
+        flops=0.0,
+        input_patterns=(AccessPattern.CONTIGUOUS, AccessPattern.GATHER),
+    )
+
+
+def kv_append(name: str, source: TensorSpec, cache_name: str, cache_shape: Sequence[int]) -> Operator:
+    """Append new K/V vectors to the KV cache (streaming write)."""
+    return Operator(
+        name=name,
+        kind=OpKind.KV_APPEND,
+        inputs=(source,),
+        outputs=(tensor(cache_name, cache_shape, source.dtype),),
+        flops=0.0,
+    )
+
+
+def allreduce(name: str, source: TensorSpec, out_name: str, participants: int) -> Operator:
+    """Tensor-parallel all-reduce across ``participants`` sockets.
+
+    FLOPs are the adds performed locally; ``comm_bytes`` is the per-socket
+    traffic of a ring all-reduce, ``2 * (p-1)/p * bytes``.
+    """
+    if participants < 1:
+        raise ValueError(f"{name}: participants must be >= 1, got {participants}")
+    ring_factor = 2.0 * (participants - 1) / participants if participants > 1 else 0.0
+    return Operator(
+        name=name,
+        kind=OpKind.ALLREDUCE,
+        inputs=(source,),
+        outputs=(tensor(out_name, source.shape, source.dtype),),
+        flops=float(source.num_elements) * max(participants - 1, 0),
+        comm_bytes=ring_factor * source.size_bytes,
+    )
+
+
+def sample(name: str, logits: TensorSpec, out_name: str) -> Operator:
+    """Greedy/temperature sampling over a logits vector (argmax + rng)."""
+    return Operator(
+        name=name,
+        kind=OpKind.SAMPLE,
+        inputs=(logits,),
+        outputs=(tensor(out_name, (logits.shape[0], 1), DType.INT32),),
+        flops=2.0 * logits.num_elements,
+    )

@@ -1,0 +1,105 @@
+"""Analytic throughput model for spatially fused pipelines.
+
+A fused kernel runs as a coarse-grained pipeline: tensors are tiled and
+streamed through stages (paper Section III-A). In steady state, throughput
+is set by the slowest stage; makespan is
+
+    fill_latency + num_tiles / bottleneck_rate.
+
+This module computes per-stage times from a :class:`KernelPlacement` and
+provides `simulate()` to cross-check the analytic bound against the
+discrete-event model in :mod:`repro.sim.streams`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dataflow.fusion import Kernel
+from repro.dataflow.graph import Operator
+from repro.dataflow.placement import KernelPlacement
+from repro.sim.streams import Pipeline, PipelineStage, uniform_stage
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Per-tile service time of one pipeline stage."""
+
+    op_name: str
+    time_per_tile_s: float
+
+
+@dataclass
+class PipelineEstimate:
+    """Analytic timing of one fused kernel's pipeline."""
+
+    kernel_name: str
+    num_tiles: int
+    stages: List[StageTiming]
+
+    @property
+    def bottleneck(self) -> StageTiming:
+        return max(self.stages, key=lambda s: s.time_per_tile_s)
+
+    @property
+    def fill_latency_s(self) -> float:
+        return sum(s.time_per_tile_s for s in self.stages)
+
+    @property
+    def steady_state_s(self) -> float:
+        return self.num_tiles * self.bottleneck.time_per_tile_s
+
+    @property
+    def total_s(self) -> float:
+        """Fill the pipeline once, then stream at the bottleneck rate."""
+        return self.fill_latency_s + max(0, self.num_tiles - 1) * (
+            self.bottleneck.time_per_tile_s
+        )
+
+
+def analyze_pipeline(
+    kernel: Kernel,
+    placement: KernelPlacement,
+    num_tiles: int,
+    compute_efficiency: float = 0.9,
+) -> PipelineEstimate:
+    """Per-stage tile times from the placement's PCU allocations.
+
+    Each compute stage's work divides evenly over the tiles streamed
+    through the kernel and over the PCUs assigned to the stage.
+    """
+    if num_tiles < 1:
+        raise ValueError(f"num_tiles must be >= 1, got {num_tiles}")
+    if not 0.0 < compute_efficiency <= 1.0:
+        raise ValueError(f"bad compute_efficiency {compute_efficiency}")
+    stages = []
+    for stage in placement.stages:
+        op = _find_op(kernel, stage.op_name)
+        per_tile_flops = op.flops / num_tiles
+        time = per_tile_flops / (stage.stage_flops * compute_efficiency)
+        stages.append(StageTiming(op_name=op.name, time_per_tile_s=time))
+    if not stages:
+        raise ValueError(f"{kernel.name}: no compute stages to analyze")
+    return PipelineEstimate(kernel_name=kernel.name, num_tiles=num_tiles, stages=stages)
+
+
+def _find_op(kernel: Kernel, name: str) -> Operator:
+    for op in kernel.ops:
+        if op.name == name:
+            return op
+    raise KeyError(f"{kernel.name} has no op {name!r}")
+
+
+def simulate(estimate: PipelineEstimate, buffer_capacity: int = 2) -> float:
+    """Cross-check: run the estimate's stages through the event simulator.
+
+    Returns the simulated makespan, which should approach
+    ``estimate.total_s`` (within buffering slack) — asserted by tests.
+    """
+    stages = [
+        uniform_stage(s.op_name, s.time_per_tile_s, buffer_capacity)
+        for s in estimate.stages
+    ]
+    return Pipeline(stages).run(estimate.num_tiles)

@@ -1,0 +1,263 @@
+"""Spatial placement: mapping a fused kernel onto PCUs and PMUs.
+
+This reproduces the mapping decisions visible in the paper's Figure 4:
+
+- compute units are apportioned to stages *in proportion to their share of
+  the kernel's work* ("More compute units are assigned to Gemm0 and Gemm1
+  as they account for a larger fraction of the total operations"),
+- logical stage buffers are partitioned across multiple PMUs for
+  *bandwidth* (to match the consuming stage's input rate) and for
+  *capacity* (buffers bigger than one PMU, like S0-S3),
+- data-movement operators (transpose/shuffle) consume no PCUs — they fold
+  into the stage buffer's read/write access patterns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.config import PCUConfig, PMUConfig, SocketConfig
+from repro.dataflow.fusion import Kernel
+from repro.dataflow.graph import Operator, TensorSpec
+
+
+class PlacementError(Exception):
+    """Raised when a kernel does not fit on the target's resources."""
+
+
+@dataclass(frozen=True)
+class StagePlacement:
+    """Resources assigned to one pipeline stage (one operator)."""
+
+    op_name: str
+    pcus: int
+    #: Peak FLOP/s this stage can sustain with its PCU allocation.
+    stage_flops: float
+
+
+@dataclass(frozen=True)
+class BufferPlacement:
+    """PMUs backing one stage buffer (one internal tensor)."""
+
+    tensor_name: str
+    pmus_for_capacity: int
+    pmus_for_bandwidth: int
+
+    @property
+    def pmus(self) -> int:
+        """PMUs actually allocated: the max of both requirements.
+
+        This is the Figure 4 rule: I0 is split for bandwidth, S0-S3 for
+        capacity, T00-T03 for both.
+        """
+        return max(self.pmus_for_capacity, self.pmus_for_bandwidth, 1)
+
+
+@dataclass(frozen=True)
+class DieSplit:
+    """How a kernel's stages divide across a socket's two dies.
+
+    The SN40L is a two-die package whose tiles stream directly over the
+    D2D interface (paper Section IV). A pipeline split across dies pays
+    D2D bandwidth on every tensor crossing the cut; the split below is
+    the contiguous-prefix cut that best balances PCU load (contiguous in
+    pipeline order, so exactly one crossing region).
+    """
+
+    die0_stages: Tuple[str, ...]
+    die1_stages: Tuple[str, ...]
+    #: Names of tensors streaming across the die boundary.
+    crossing_tensors: Tuple[str, ...]
+    crossing_bytes: int
+
+    def d2d_time(self, d2d_bandwidth: float) -> float:
+        """Time to move the crossing traffic once at D2D bandwidth."""
+        if d2d_bandwidth <= 0:
+            raise ValueError(f"bad D2D bandwidth {d2d_bandwidth}")
+        return self.crossing_bytes / d2d_bandwidth
+
+
+@dataclass
+class KernelPlacement:
+    """The full spatial mapping of one fused kernel."""
+
+    kernel_name: str
+    stages: List[StagePlacement] = field(default_factory=list)
+    buffers: List[BufferPlacement] = field(default_factory=list)
+
+    @property
+    def total_pcus(self) -> int:
+        return sum(s.pcus for s in self.stages)
+
+    @property
+    def total_pmus(self) -> int:
+        return sum(b.pmus for b in self.buffers)
+
+    def stage(self, op_name: str) -> StagePlacement:
+        for stage in self.stages:
+            if stage.op_name == op_name:
+                return stage
+        raise KeyError(f"no stage for op {op_name!r}")
+
+
+def place_kernel(
+    kernel: Kernel,
+    socket: SocketConfig = SocketConfig(),
+    sockets: int = 1,
+    stage_buffer_tile_bytes: int = 128 * 1024,
+    target_utilization: float = 0.9,
+) -> KernelPlacement:
+    """Place one fused kernel onto ``sockets`` sockets' worth of resources.
+
+    PCUs go to compute stages proportionally to FLOPs (minimum one per
+    stage); PMUs back each internal tensor's stage buffer, double-buffered
+    tiles of ``stage_buffer_tile_bytes``. Raises :class:`PlacementError`
+    when the kernel needs more units than the target has — the signal the
+    fusion policy uses to bound region growth.
+
+    ``target_utilization`` reserves headroom, reflecting the paper's
+    observed ~90% PCU/PMU occupancy for the fused decoder.
+    """
+    if sockets < 1:
+        raise ValueError(f"sockets must be >= 1, got {sockets}")
+    if not 0.0 < target_utilization <= 1.0:
+        raise ValueError(f"target_utilization must be in (0, 1], got {target_utilization}")
+
+    pcu_budget = int(socket.num_pcus * sockets * target_utilization)
+    pmu_budget = int(socket.num_pmus * sockets * target_utilization)
+
+    compute_ops = [op for op in kernel.ops if not op.kind.is_data_movement]
+    total_flops = sum(op.flops for op in compute_ops)
+
+    stages: List[StagePlacement] = []
+    if compute_ops:
+        if len(compute_ops) > pcu_budget:
+            raise PlacementError(
+                f"{kernel.name}: {len(compute_ops)} compute stages exceed "
+                f"{pcu_budget} PCUs"
+            )
+        remaining = pcu_budget - len(compute_ops)
+        for op in compute_ops:
+            share = op.flops / total_flops if total_flops > 0 else 0.0
+            extra = int(remaining * share)
+            pcus = 1 + extra
+            stages.append(
+                StagePlacement(
+                    op_name=op.name,
+                    pcus=pcus,
+                    stage_flops=pcus * socket.tile.pcu.peak_flops,
+                )
+            )
+    if sum(s.pcus for s in stages) > pcu_budget:
+        # Proportional rounding can only under-allocate; guard regardless.
+        raise PlacementError(f"{kernel.name}: PCU over-allocation bug")
+
+    pmu_cfg = socket.tile.pmu
+    buffers: List[BufferPlacement] = []
+    for tensor in kernel.internal_tensors:
+        buffers.append(_place_buffer(tensor, kernel, pmu_cfg, stage_buffer_tile_bytes))
+    total_pmus = sum(b.pmus for b in buffers)
+    if total_pmus > pmu_budget:
+        raise PlacementError(
+            f"{kernel.name}: stage buffers need {total_pmus} PMUs, "
+            f"budget {pmu_budget}"
+        )
+
+    return KernelPlacement(kernel_name=kernel.name, stages=stages, buffers=buffers)
+
+
+def _place_buffer(
+    tensor: TensorSpec,
+    kernel: Kernel,
+    pmu: PMUConfig,
+    tile_bytes: int,
+) -> BufferPlacement:
+    """Size one stage buffer for capacity and bandwidth.
+
+    Capacity: double-buffered tiles (or the whole tensor if smaller).
+    Bandwidth: the buffer must source the consuming stage's aggregate read
+    rate; each PMU adds one read port of ``pmu.read_bandwidth``.
+    """
+    resident = min(tensor.size_bytes, tile_bytes) * 2
+    for_capacity = math.ceil(resident / pmu.capacity_bytes)
+
+    consumers = [
+        op
+        for op in kernel.ops
+        if any(t.name == tensor.name for t in op.inputs)
+    ]
+    # Demand heuristic: a systolic consumer drains one vector per cycle per
+    # PCU; approximate stage read demand as one PMU port per 4 consuming
+    # PCUs (operand reuse inside the systolic array reduces port pressure).
+    demand_ports = 0
+    for op in consumers:
+        if op.kind.is_compute_heavy:
+            demand_ports += 2
+        else:
+            demand_ports += 1
+    return BufferPlacement(
+        tensor_name=tensor.name,
+        pmus_for_capacity=max(1, for_capacity),
+        pmus_for_bandwidth=max(1, demand_ports),
+    )
+
+
+def split_across_dies(kernel: Kernel, placement: KernelPlacement) -> DieSplit:
+    """Choose the balanced contiguous cut of the pipeline across two dies.
+
+    Stages stay in pipeline order; the cut point minimises the PCU-count
+    imbalance between dies. Tensors produced on die 0 and consumed on
+    die 1 (or vice versa) stream over the D2D interface.
+    """
+    stages = placement.stages
+    if not stages:
+        raise ValueError(f"{kernel.name}: no stages to split")
+    total_pcus = sum(s.pcus for s in stages)
+    best_cut, best_imbalance = 0, float("inf")
+    running = 0
+    for cut in range(len(stages) + 1):
+        if cut > 0:
+            running += stages[cut - 1].pcus
+        imbalance = abs(running - (total_pcus - running))
+        if imbalance < best_imbalance:
+            best_imbalance = imbalance
+            best_cut = cut
+
+    die0 = {s.op_name for s in stages[:best_cut]}
+    die1 = {s.op_name for s in stages[best_cut:]}
+    # Data-movement ops fold into the die of their producer stage.
+    op_die = {}
+    for op in kernel.ops:
+        if op.name in die0:
+            op_die[op.name] = 0
+        elif op.name in die1:
+            op_die[op.name] = 1
+    producer_of = {t.name: op for op in kernel.ops for t in op.outputs}
+    for op in kernel.ops:
+        if op.name in op_die:
+            continue
+        sources = [
+            op_die.get(producer_of[t.name].name)
+            for t in op.inputs
+            if t.name in producer_of and producer_of[t.name].name in op_die
+        ]
+        op_die[op.name] = sources[0] if sources and sources[0] is not None else 0
+
+    crossing = []
+    crossing_bytes = 0
+    for op in kernel.ops:
+        for t in op.inputs:
+            producer = producer_of.get(t.name)
+            if producer is None:
+                continue
+            if op_die[producer.name] != op_die[op.name] and t.name not in crossing:
+                crossing.append(t.name)
+                crossing_bytes += t.size_bytes
+    return DieSplit(
+        die0_stages=tuple(s.op_name for s in stages[:best_cut]),
+        die1_stages=tuple(s.op_name for s in stages[best_cut:]),
+        crossing_tensors=tuple(crossing),
+        crossing_bytes=crossing_bytes,
+    )

@@ -1,0 +1,116 @@
+"""Rendering dataflow graphs and fusion plans (DOT and text).
+
+`to_dot` emits Graphviz for papers/debugging; `plan_summary` renders a
+fusion plan the way Figure 4 describes one — stages, stage buffers, and
+which tensors were fused into access patterns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dataflow.fusion import FusionPlan
+from repro.dataflow.graph import DataflowGraph, OpKind
+from repro.units import fmt_bytes
+
+_KIND_SHAPES = {
+    OpKind.GEMM: "box",
+    OpKind.CONV: "box",
+    OpKind.ELEMENTWISE: "ellipse",
+    OpKind.SOFTMAX: "ellipse",
+    OpKind.NORM: "ellipse",
+    OpKind.ROPE: "ellipse",
+    OpKind.REDUCTION: "ellipse",
+    OpKind.SAMPLE: "ellipse",
+    OpKind.TRANSPOSE: "diamond",
+    OpKind.RESHAPE: "diamond",
+    OpKind.FFT_PERMUTE: "diamond",
+    OpKind.EMBEDDING: "house",
+    OpKind.KV_APPEND: "cylinder",
+    OpKind.ALLREDUCE: "doubleoctagon",
+}
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def to_dot(
+    graph: DataflowGraph,
+    plan: Optional[FusionPlan] = None,
+    max_ops: int = 400,
+) -> str:
+    """Graphviz DOT for a graph; with ``plan``, kernels become clusters.
+
+    ``max_ops`` guards against accidentally dotting a 70B model; pass a
+    larger value explicitly if you really want to.
+    """
+    if len(graph) > max_ops:
+        raise ValueError(
+            f"{graph.name} has {len(graph)} ops (> {max_ops}); "
+            f"raise max_ops to render anyway"
+        )
+    lines: List[str] = [f"digraph {_quote(graph.name)} {{", "  rankdir=LR;"]
+
+    def node_line(op, indent: str = "  ") -> str:
+        shape = _KIND_SHAPES.get(op.kind, "ellipse")
+        label = f"{op.name}\\n{op.kind.value}"
+        return f"{indent}{_quote(op.name)} [shape={shape}, label={_quote(label)}];"
+
+    if plan is not None:
+        for idx, kernel in enumerate(plan.kernels):
+            lines.append(f"  subgraph cluster_{idx} {{")
+            lines.append(f"    label={_quote(kernel.name)};")
+            for op in kernel.ops:
+                lines.append(node_line(op, indent="    "))
+            lines.append("  }")
+    else:
+        for op in graph.operators:
+            lines.append(node_line(op))
+
+    for op in graph.operators:
+        for tensor in op.inputs:
+            producer = graph.producer_of(tensor.name)
+            if producer is None:
+                continue
+            label = f"{tensor.name} ({fmt_bytes(tensor.size_bytes)})"
+            lines.append(
+                f"  {_quote(producer.name)} -> {_quote(op.name)} "
+                f"[label={_quote(label)}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def plan_summary(plan: FusionPlan, max_kernels: int = 50) -> str:
+    """Text rendering of a fusion plan: one block per kernel.
+
+    Shows each kernel's operators, the stage buffers its internal tensors
+    need, and the boundary traffic — the Figure 4 story in text.
+    """
+    lines: List[str] = [
+        f"plan[{plan.policy}] for {plan.graph.name}: "
+        f"{plan.num_kernels} kernels, "
+        f"intensity {plan.operational_intensity:.1f} FLOPs/byte",
+    ]
+    for kernel in plan.kernels[:max_kernels]:
+        compute = [op.name for op in kernel.ops if not op.kind.is_data_movement]
+        folded = [op.name for op in kernel.ops if op.kind.is_data_movement]
+        lines.append(
+            f"  {kernel.name}: {kernel.num_ops} ops, "
+            f"{kernel.flops / 1e9:.2f} GFLOPs, "
+            f"io {fmt_bytes(kernel.offchip_bytes)}"
+        )
+        lines.append(f"    stages : {' -> '.join(compute) if compute else '(none)'}")
+        if folded:
+            lines.append(f"    folded : {', '.join(folded)} (PMU access patterns)")
+        if kernel.internal_tensors:
+            buffers = ", ".join(
+                f"{t.name}[{fmt_bytes(t.size_bytes)}]"
+                for t in kernel.internal_tensors
+            )
+            lines.append(f"    buffers: {buffers}")
+    hidden = plan.num_kernels - max_kernels
+    if hidden > 0:
+        lines.append(f"  ... {hidden} more kernels")
+    return "\n".join(lines)

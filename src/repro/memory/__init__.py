@@ -1,0 +1,36 @@
+"""Three-tier memory system: tiers, symbols, allocator, transfers."""
+
+from repro.memory.allocator import (
+    AllocationError,
+    MemoryPlan,
+    Placement,
+    assign_addresses,
+    naive_spill_order,
+    plan_memory,
+    spill_order,
+)
+from repro.memory.interleave import (
+    InterleaveMode,
+    InterleavePlan,
+    InterleavedTensor,
+    units_for_bandwidth,
+    units_for_capacity,
+)
+from repro.memory.symbols import Symbol, lifetimes_overlap, peak_live_bytes
+from repro.memory.tiers import CapacityError, MemorySystem, MemoryTier, TierKind
+from repro.memory.translation import (
+    PageAllocator,
+    TranslationFault,
+    TranslationUnit,
+)
+from repro.memory.transfer import TransferEngine, TransferRecord
+
+__all__ = [
+    "AllocationError", "MemoryPlan", "Placement", "assign_addresses",
+    "naive_spill_order", "plan_memory", "spill_order", "Symbol",
+    "lifetimes_overlap", "peak_live_bytes", "CapacityError", "MemorySystem",
+    "MemoryTier", "TierKind", "TransferEngine", "TransferRecord",
+    "InterleaveMode", "InterleavePlan", "InterleavedTensor",
+    "units_for_bandwidth", "units_for_capacity", "PageAllocator",
+    "TranslationFault", "TranslationUnit",
+]

@@ -1,0 +1,151 @@
+"""Composable memory units: interleaving one tensor across many PMUs.
+
+Paper Section III-A, requirement 1: "A single memory unit provides a fixed
+capacity and bandwidth. As capacity and bandwidth needs vary across
+on-chip tensors, hardware should support programmable interleaving of
+logical addresses across memory units." Section IV-B implements it with
+per-PMU address predication.
+
+This module computes interleaving plans and programs real
+:class:`~repro.arch.pmu.PMU` instances to realise them:
+
+- **BLOCK** interleaving splits the address space into contiguous chunks
+  (capacity-driven partitioning, like S0-S3 in Figure 4),
+- **CYCLIC** interleaving stripes consecutive vectors round-robin across
+  units (bandwidth-driven partitioning, like I00/I01 in Figure 4).
+
+Both modes produce per-unit predication so a broadcast write reaches
+exactly one owner per address — the paper's mechanism, where each PMU
+drops addresses outside its programmed valid range or predicate.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.pmu import PMU
+
+
+class InterleaveMode(enum.Enum):
+    BLOCK = "block"
+    CYCLIC = "cyclic"
+
+
+@dataclass(frozen=True)
+class InterleavePlan:
+    """How one logical tensor spreads across ``num_units`` memory units."""
+
+    num_words: int
+    num_units: int
+    mode: InterleaveMode
+    #: Stripe width in words for CYCLIC mode (one vector's worth).
+    stripe_words: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_words < 1 or self.num_units < 1:
+            raise ValueError("num_words and num_units must be >= 1")
+        if self.stripe_words < 1:
+            raise ValueError("stripe_words must be >= 1")
+
+    @property
+    def words_per_unit(self) -> int:
+        """Worst-case words any one unit must hold."""
+        if self.mode is InterleaveMode.BLOCK:
+            return math.ceil(self.num_words / self.num_units)
+        stripes = math.ceil(self.num_words / self.stripe_words)
+        return math.ceil(stripes / self.num_units) * self.stripe_words
+
+    def owner_of(self, address: int) -> int:
+        """Which unit owns a logical word address."""
+        if not 0 <= address < self.num_words:
+            raise ValueError(f"address {address} outside [0, {self.num_words})")
+        if self.mode is InterleaveMode.BLOCK:
+            return min(address // self.words_per_unit, self.num_units - 1)
+        return (address // self.stripe_words) % self.num_units
+
+    def local_address(self, address: int) -> int:
+        """The unit-local word address of a logical address."""
+        owner = self.owner_of(address)
+        if self.mode is InterleaveMode.BLOCK:
+            return address - owner * self.words_per_unit
+        stripe = address // self.stripe_words
+        local_stripe = stripe // self.num_units
+        return local_stripe * self.stripe_words + address % self.stripe_words
+
+    def units_touched(self, addresses: Sequence[int]) -> int:
+        """Distinct units a vector of addresses hits — the achieved
+        bandwidth multiplier for that access."""
+        return len({self.owner_of(a) for a in addresses})
+
+
+class InterleavedTensor:
+    """A logical tensor physically spread across several PMUs.
+
+    Writes and reads broadcast the logical addresses to every unit; each
+    unit's predication keeps only its slice (the hardware mechanism). The
+    aggregate behaves as one tensor with the combined bandwidth.
+    """
+
+    def __init__(self, plan: InterleavePlan, pmus: Sequence[PMU]) -> None:
+        if len(pmus) != plan.num_units:
+            raise ValueError(
+                f"plan wants {plan.num_units} units, got {len(pmus)} PMUs"
+            )
+        for pmu in pmus:
+            if plan.words_per_unit > pmu.num_words:
+                raise ValueError(
+                    f"unit needs {plan.words_per_unit} words, "
+                    f"PMU holds {pmu.num_words}"
+                )
+        self.plan = plan
+        self.pmus = list(pmus)
+
+    def write(self, addresses: Sequence[int], values: Sequence[float]) -> int:
+        """Broadcast-write; returns the max cycles across units."""
+        addresses = list(addresses)
+        values = list(values)
+        cycles = 0
+        for unit, pmu in enumerate(self.pmus):
+            local_addrs, local_vals = [], []
+            for addr, val in zip(addresses, values):
+                if self.plan.owner_of(addr) == unit:
+                    local_addrs.append(self.plan.local_address(addr))
+                    local_vals.append(val)
+            if local_addrs:
+                cycles = max(cycles, pmu.write(local_addrs, local_vals))
+        return cycles
+
+    def read(self, addresses: Sequence[int]) -> Tuple[np.ndarray, int]:
+        """Gather across units; returns (values, max unit cycles)."""
+        addresses = list(addresses)
+        out = np.zeros(len(addresses), dtype=np.float32)
+        cycles = 0
+        for unit, pmu in enumerate(self.pmus):
+            idx = [i for i, a in enumerate(addresses)
+                   if self.plan.owner_of(a) == unit]
+            if not idx:
+                continue
+            local = [self.plan.local_address(addresses[i]) for i in idx]
+            values, cyc = pmu.read(local)
+            out[idx] = values
+            cycles = max(cycles, cyc)
+        return out, cycles
+
+
+def units_for_capacity(tensor_bytes: int, pmu_capacity_bytes: int) -> int:
+    """PMUs needed to *hold* a tensor (the S0-S3 case of Figure 4)."""
+    if tensor_bytes < 0 or pmu_capacity_bytes <= 0:
+        raise ValueError("sizes must be positive")
+    return max(1, math.ceil(tensor_bytes / pmu_capacity_bytes))
+
+
+def units_for_bandwidth(required_bw: float, pmu_port_bw: float) -> int:
+    """PMUs needed to *feed* a consumer (the I00/I01 case of Figure 4)."""
+    if required_bw < 0 or pmu_port_bw <= 0:
+        raise ValueError("bandwidths must be positive")
+    return max(1, math.ceil(required_bw / pmu_port_bw))

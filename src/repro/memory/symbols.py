@@ -1,0 +1,111 @@
+"""Tensor symbols and static lifetime analysis (paper Section V-A).
+
+The SN40L programming model has neither dynamic memory allocation nor
+pointer aliasing, so the compiler can compute every symbol's live range
+statically and perform "garbage collection" by assigning multiple logical
+symbols to the same device addresses whenever their lifetimes don't overlap.
+
+A :class:`Symbol` is one logical tensor in a compiled program. Its lifetime
+is the half-open interval ``[first_def, last_use + 1)`` over the program's
+kernel schedule. Symbols also carry the attributes the allocator and the CoE
+runtime need:
+
+- ``read_only`` — weights etc.; the runtime skips copying these back to DDR
+  on eviction (paper Section V-B),
+- ``is_weight`` — participates in the "weights get HBM priority" spill
+  heuristic,
+- ``uses`` — the schedule steps that touch the symbol, from which we derive
+  its aggregate transfer footprint for spill ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One logical tensor symbol in a compiled program."""
+
+    name: str
+    size_bytes: int
+    #: Schedule steps (kernel indices) at which the symbol is read or
+    #: written. Must be non-empty and sorted ascending.
+    uses: Tuple[int, ...]
+    read_only: bool = False
+    is_weight: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"{self.name}: negative size {self.size_bytes}")
+        if not self.uses:
+            raise ValueError(f"{self.name}: a symbol must have at least one use")
+        if list(self.uses) != sorted(self.uses):
+            raise ValueError(f"{self.name}: uses must be sorted, got {self.uses}")
+
+    @property
+    def first_use(self) -> int:
+        return self.uses[0]
+
+    @property
+    def last_use(self) -> int:
+        return self.uses[-1]
+
+    @property
+    def live_range(self) -> Tuple[int, int]:
+        """Half-open live interval ``[first_use, last_use + 1)``."""
+        return (self.first_use, self.last_use + 1)
+
+    @property
+    def num_uses(self) -> int:
+        return len(self.uses)
+
+    @property
+    def transfer_footprint_bytes(self) -> int:
+        """Total bytes this symbol moves over the whole program.
+
+        Every use touches the full tensor once. This is the quantity the
+        spill heuristic ranks by: a symbol touched many times wants to be in
+        the high-bandwidth tier (paper Section V-A: "we analyze the temporal
+        locality of each symbol and its transfer footprint to estimate the
+        total bandwidth requirement ... sorted by their aggregate transfer
+        size, spill symbols with the smallest bandwidth requirement first").
+        """
+        return self.size_bytes * self.num_uses
+
+
+def lifetimes_overlap(a: Symbol, b: Symbol) -> bool:
+    """Whether two symbols are ever live at the same schedule step."""
+    a_start, a_end = a.live_range
+    b_start, b_end = b.live_range
+    return a_start < b_end and b_start < a_end
+
+
+def validate_program(symbols: Sequence[Symbol]) -> None:
+    """Check that a symbol table is well-formed (unique names)."""
+    seen = set()
+    for sym in symbols:
+        if sym.name in seen:
+            raise ValueError(f"duplicate symbol name: {sym.name!r}")
+        seen.add(sym.name)
+
+
+def peak_live_bytes(symbols: Iterable[Symbol]) -> int:
+    """Maximum bytes simultaneously live at any schedule step.
+
+    This is the information-theoretic lower bound on memory needed by any
+    allocator that never spills; used to sanity-check allocator results.
+    """
+    events: List[Tuple[int, int]] = []
+    for sym in symbols:
+        start, end = sym.live_range
+        events.append((start, sym.size_bytes))
+        events.append((end, -sym.size_bytes))
+    events.sort()
+    live = 0
+    peak = 0
+    for _, delta in events:
+        live += delta
+        peak = max(peak, live)
+    return peak

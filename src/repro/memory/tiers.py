@@ -1,0 +1,173 @@
+"""The three-tier memory system of the SN40L (paper Sections III-B, IV).
+
+The SN40L exposes three software-managed memory tiers:
+
+1. **SRAM** — 520 MiB distributed across 1040 PMUs, hundreds of TB/s,
+2. **HBM** — 64 GiB per socket at ~2 TB/s,
+3. **DDR** — up to 1.5 TiB per socket at >200 GB/s.
+
+A fourth tier, **host DRAM**, exists behind the PCIe link; the paper's DGX
+baselines are forced to use it once experts overflow HBM, which is exactly
+the cliff shown in the paper's Figure 1.
+
+This module models tiers as capacity+bandwidth+latency budgets with explicit
+byte accounting. It deliberately does *not* model addresses — address-level
+placement lives in :mod:`repro.memory.allocator`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.arch.config import MemoryTierSpec
+
+
+class TierKind(enum.Enum):
+    """Which level of the hierarchy a tier occupies (fastest first)."""
+
+    SRAM = 0
+    HBM = 1
+    DDR = 2
+    HOST = 3
+
+    @property
+    def is_on_chip(self) -> bool:
+        return self is TierKind.SRAM
+
+
+class CapacityError(Exception):
+    """Raised when an allocation does not fit in a tier."""
+
+
+@dataclass
+class MemoryTier:
+    """A stateful memory tier: a spec plus current occupancy.
+
+    Occupancy is tracked per named *region* so tests and the CoE runtime can
+    reason about who owns what. Regions are just byte budgets; byte-exact
+    layout is the allocator's job.
+    """
+
+    kind: TierKind
+    spec: MemoryTierSpec
+    _regions: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.spec.capacity_bytes
+
+    @property
+    def bandwidth(self) -> float:
+        return self.spec.bandwidth
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._regions.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def fits(self, num_bytes: int) -> bool:
+        """Whether ``num_bytes`` more can be reserved."""
+        return num_bytes <= self.free_bytes
+
+    def reserve(self, region: str, num_bytes: int) -> None:
+        """Reserve ``num_bytes`` under ``region``.
+
+        Raises :class:`CapacityError` if the tier would overflow and
+        ``ValueError`` if the region already exists (regions are unique so
+        double-reservation bugs surface immediately).
+        """
+        if num_bytes < 0:
+            raise ValueError(f"negative reservation: {num_bytes}")
+        if region in self._regions:
+            raise ValueError(f"region {region!r} already reserved in {self.name}")
+        if not self.fits(num_bytes):
+            raise CapacityError(
+                f"{self.name}: cannot reserve {num_bytes} bytes for {region!r} "
+                f"(free: {self.free_bytes} of {self.capacity_bytes})"
+            )
+        self._regions[region] = num_bytes
+
+    def release(self, region: str) -> int:
+        """Release a region, returning the bytes freed."""
+        try:
+            return self._regions.pop(region)
+        except KeyError:
+            raise KeyError(f"region {region!r} not reserved in {self.name}") from None
+
+    def region_bytes(self, region: str) -> Optional[int]:
+        """Bytes reserved under ``region``, or ``None`` if absent."""
+        return self._regions.get(region)
+
+    def regions(self) -> Dict[str, int]:
+        """A snapshot of all reservations (copy; safe to mutate)."""
+        return dict(self._regions)
+
+    def clear(self) -> None:
+        """Release every region (used between experiments)."""
+        self._regions.clear()
+
+
+@dataclass
+class MemorySystem:
+    """The tier stack of one device (or one node, if byte budgets are pooled).
+
+    ``transfer_bandwidth(src, dst)`` answers "at what rate can bytes move
+    between these two tiers", which drives every model-switching experiment.
+    By default a transfer runs at the slower of the two tiers' bandwidths;
+    explicit overrides model paths whose bottleneck is elsewhere (e.g. the
+    DDR->HBM path of the full SN40L node is TLN-limited to ~1.05 TB/s, and
+    DGX host->HBM is PCIe-limited).
+    """
+
+    tiers: Dict[TierKind, MemoryTier]
+    _bandwidth_overrides: Dict[tuple, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ValueError("a MemorySystem needs at least one tier")
+
+    def __getitem__(self, kind: TierKind) -> MemoryTier:
+        return self.tiers[kind]
+
+    def __contains__(self, kind: TierKind) -> bool:
+        return kind in self.tiers
+
+    def has_tier(self, kind: TierKind) -> bool:
+        """Whether the tier exists *and* has non-zero capacity."""
+        tier = self.tiers.get(kind)
+        return tier is not None and tier.capacity_bytes > 0
+
+    def set_transfer_bandwidth(self, src: TierKind, dst: TierKind, bandwidth: float) -> None:
+        """Override the bandwidth of the ``src -> dst`` path."""
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self._bandwidth_overrides[(src, dst)] = bandwidth
+
+    def transfer_bandwidth(self, src: TierKind, dst: TierKind) -> float:
+        """Bytes/s achievable moving data from ``src`` to ``dst``."""
+        override = self._bandwidth_overrides.get((src, dst))
+        if override is not None:
+            return override
+        return min(self.tiers[src].bandwidth, self.tiers[dst].bandwidth)
+
+    def transfer_time(self, src: TierKind, dst: TierKind, num_bytes: float) -> float:
+        """Seconds to move ``num_bytes`` from ``src`` to ``dst``."""
+        if num_bytes < 0:
+            raise ValueError(f"negative transfer size: {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        latency = self.tiers[src].spec.latency_s + self.tiers[dst].spec.latency_s
+        return latency + num_bytes / self.transfer_bandwidth(src, dst)
+
+    def clear(self) -> None:
+        for tier in self.tiers.values():
+            tier.clear()

@@ -1,0 +1,79 @@
+"""DMA transfer engine model: timed bulk copies between memory tiers.
+
+Model switching in a CoE is dominated by bulk weight copies (DDR -> HBM on
+the SN40L; host DRAM -> HBM over PCIe on a DGX). This module provides a
+small queued-engine model: each engine executes transfers in FIFO order at
+the path bandwidth given by the owning :class:`~repro.memory.tiers.MemorySystem`,
+and records a trace that benchmarks and tests can inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.memory.tiers import MemorySystem, TierKind
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed transfer."""
+
+    src: TierKind
+    dst: TierKind
+    num_bytes: int
+    start_s: float
+    end_s: float
+    label: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class TransferEngine:
+    """A FIFO DMA engine between the tiers of one memory system.
+
+    The engine keeps a running clock: ``submit`` returns the completion time
+    of the transfer given everything already queued. ``now`` can be advanced
+    by callers that interleave transfers with compute.
+    """
+
+    memory: MemorySystem
+    now_s: float = 0.0
+    trace: List[TransferRecord] = field(default_factory=list)
+
+    def advance_to(self, time_s: float) -> None:
+        """Move the engine clock forward (never backward)."""
+        if time_s > self.now_s:
+            self.now_s = time_s
+
+    def submit(self, src: TierKind, dst: TierKind, num_bytes: int, label: str = "") -> float:
+        """Queue a copy and return its completion time in seconds."""
+        if num_bytes < 0:
+            raise ValueError(f"negative transfer size: {num_bytes}")
+        duration = self.memory.transfer_time(src, dst, num_bytes)
+        record = TransferRecord(
+            src=src,
+            dst=dst,
+            num_bytes=num_bytes,
+            start_s=self.now_s,
+            end_s=self.now_s + duration,
+            label=label,
+        )
+        self.trace.append(record)
+        self.now_s = record.end_s
+        return record.end_s
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.num_bytes for r in self.trace)
+
+    @property
+    def busy_time_s(self) -> float:
+        return sum(r.duration_s for r in self.trace)
+
+    def reset(self) -> None:
+        self.now_s = 0.0
+        self.trace.clear()

@@ -1,0 +1,157 @@
+"""The AGCU's address-translation layer (paper Section IV-D).
+
+"It also provides an address translation layer for memory management."
+
+Device virtual addresses decouple compiled binaries from physical
+placement: the static allocator emits VAs; at activation time the CoE
+runtime maps each model's segments to whatever physical HBM/DDR ranges
+are free. This module provides that translation unit:
+
+- page-granular VA -> PA mapping per tier,
+- contiguous-VA segments backed by possibly discontiguous physical pages
+  (what lets an evicted-and-reloaded expert land at different physical
+  addresses without recompilation),
+- a small TLB model with hit-rate accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.memory.tiers import TierKind
+
+
+class TranslationFault(Exception):
+    """Raised on access to an unmapped virtual address."""
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One page's translation."""
+
+    virtual_page: int
+    physical_page: int
+    tier: TierKind
+
+
+class PageAllocator:
+    """Physical page pool for one tier (bitmap-free free-list model)."""
+
+    def __init__(self, tier: TierKind, num_pages: int) -> None:
+        if num_pages < 0:
+            raise ValueError(f"negative page count: {num_pages}")
+        self.tier = tier
+        self._free: List[int] = list(range(num_pages - 1, -1, -1))
+        self.num_pages = num_pages
+
+    @property
+    def free_pages(self) -> int:
+        return len(self._free)
+
+    def allocate(self, count: int) -> List[int]:
+        """Grab ``count`` physical pages (not necessarily contiguous)."""
+        if count < 0:
+            raise ValueError(f"negative allocation: {count}")
+        if count > len(self._free):
+            raise MemoryError(
+                f"{self.tier.name}: need {count} pages, {len(self._free)} free"
+            )
+        return [self._free.pop() for _ in range(count)]
+
+    def release(self, pages: List[int]) -> None:
+        for page in pages:
+            if not 0 <= page < self.num_pages:
+                raise ValueError(f"page {page} outside pool")
+            self._free.append(page)
+
+
+class TranslationUnit:
+    """Page-granular VA -> (tier, PA) translation with a tiny TLB."""
+
+    def __init__(self, page_bytes: int = 2 * 1024 * 1024, tlb_entries: int = 64) -> None:
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise ValueError(f"page size must be a power of two, got {page_bytes}")
+        if tlb_entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        self.page_bytes = page_bytes
+        self.tlb_entries = tlb_entries
+        self._table: Dict[int, Mapping] = {}
+        self._tlb: Dict[int, Mapping] = {}
+        self.tlb_hits = 0
+        self.tlb_misses = 0
+
+    # ------------------------------------------------------------------
+    def map_segment(
+        self,
+        virtual_base: int,
+        num_bytes: int,
+        allocator: PageAllocator,
+    ) -> List[Mapping]:
+        """Map a contiguous VA segment onto pages from ``allocator``.
+
+        Physical pages may be discontiguous; the VA range must be unmapped
+        and page-aligned.
+        """
+        if virtual_base % self.page_bytes:
+            raise ValueError(f"virtual base {virtual_base} not page-aligned")
+        if num_bytes <= 0:
+            raise ValueError(f"segment bytes must be positive, got {num_bytes}")
+        first = virtual_base // self.page_bytes
+        count = -(-num_bytes // self.page_bytes)
+        for vp in range(first, first + count):
+            if vp in self._table:
+                raise ValueError(f"virtual page {vp} already mapped")
+        physical = allocator.allocate(count)
+        mappings = []
+        for offset, pp in enumerate(physical):
+            mapping = Mapping(
+                virtual_page=first + offset, physical_page=pp, tier=allocator.tier
+            )
+            self._table[mapping.virtual_page] = mapping
+            mappings.append(mapping)
+        return mappings
+
+    def unmap_segment(self, virtual_base: int, num_bytes: int,
+                      allocator: PageAllocator) -> int:
+        """Unmap a segment, returning its pages to ``allocator``."""
+        first = virtual_base // self.page_bytes
+        count = -(-num_bytes // self.page_bytes)
+        pages = []
+        for vp in range(first, first + count):
+            mapping = self._table.pop(vp, None)
+            if mapping is None:
+                raise TranslationFault(f"virtual page {vp} not mapped")
+            self._tlb.pop(vp, None)
+            pages.append(mapping.physical_page)
+        allocator.release(pages)
+        return count
+
+    # ------------------------------------------------------------------
+    def translate(self, virtual_address: int) -> Tuple[TierKind, int]:
+        """VA -> (tier, physical address), through the TLB."""
+        if virtual_address < 0:
+            raise ValueError(f"negative address {virtual_address}")
+        vp = virtual_address // self.page_bytes
+        offset = virtual_address % self.page_bytes
+        mapping = self._tlb.get(vp)
+        if mapping is not None:
+            self.tlb_hits += 1
+        else:
+            self.tlb_misses += 1
+            mapping = self._table.get(vp)
+            if mapping is None:
+                raise TranslationFault(f"unmapped virtual address {virtual_address}")
+            if len(self._tlb) >= self.tlb_entries:
+                self._tlb.pop(next(iter(self._tlb)))  # FIFO eviction
+            self._tlb[vp] = mapping
+        return mapping.tier, mapping.physical_page * self.page_bytes + offset
+
+    @property
+    def tlb_hit_rate(self) -> float:
+        total = self.tlb_hits + self.tlb_misses
+        return self.tlb_hits / total if total else 0.0
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._table)

@@ -1,0 +1,36 @@
+"""Workload models: the paper's Table II benchmark zoo."""
+
+from repro.models.catalog import (
+    BLOOM_176B,
+    CATALOG,
+    FALCON_40B,
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LLAMA3_8B,
+    LLAVA_15_LLM,
+    MISTRAL_7B,
+    SPARSEGPT_13B,
+    VIT_L_14,
+    get_model,
+)
+from repro.models.fftconv import fftconv_graph, monarch_fft_graph
+from repro.models.llava import llava_decode_graph, llava_prefill_graph
+from repro.models.moe import MoEConfig, mixtral_8x7b, moe_decode_graph
+from repro.models.quantize import compression_ratio, quantize
+from repro.models.sparse import sparsegpt_train_graph
+from repro.models.transformer import (
+    TransformerConfig,
+    decode_graph,
+    prefill_graph,
+    train_graph,
+)
+
+__all__ = [
+    "BLOOM_176B", "CATALOG", "FALCON_40B", "LLAMA2_7B", "LLAMA2_13B",
+    "LLAMA2_70B", "LLAMA3_8B", "LLAVA_15_LLM", "MISTRAL_7B", "SPARSEGPT_13B", "VIT_L_14",
+    "get_model", "fftconv_graph", "monarch_fft_graph", "llava_decode_graph",
+    "llava_prefill_graph", "sparsegpt_train_graph", "TransformerConfig",
+    "decode_graph", "prefill_graph", "train_graph", "MoEConfig",
+    "mixtral_8x7b", "moe_decode_graph", "compression_ratio", "quantize",
+]

@@ -1,0 +1,162 @@
+"""The paper's benchmark model zoo (Table II).
+
+Every model evaluated in the paper's case studies, specified from public
+architecture hyperparameters. Parameter counts are validated against the
+published sizes in tests/models/test_catalog.py.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.models.transformer import TransformerConfig
+
+LLAMA2_7B = TransformerConfig(
+    name="llama2-7b",
+    hidden=4096,
+    layers=32,
+    heads=32,
+    kv_heads=32,
+    intermediate=11008,
+    vocab=32000,
+    max_seq=4096,
+)
+
+LLAMA2_13B = TransformerConfig(
+    name="llama2-13b",
+    hidden=5120,
+    layers=40,
+    heads=40,
+    kv_heads=40,
+    intermediate=13824,
+    vocab=32000,
+    max_seq=4096,
+)
+
+LLAMA2_70B = TransformerConfig(
+    name="llama2-70b",
+    hidden=8192,
+    layers=80,
+    heads=64,
+    kv_heads=8,
+    intermediate=28672,
+    vocab=32000,
+    max_seq=4096,
+)
+
+LLAMA3_8B = TransformerConfig(
+    name="llama3-8b",
+    hidden=4096,
+    layers=32,
+    heads=32,
+    kv_heads=8,
+    intermediate=14336,
+    vocab=128256,
+    max_seq=8192,
+)
+
+MISTRAL_7B = TransformerConfig(
+    name="mistral-7b",
+    hidden=4096,
+    layers=32,
+    heads=32,
+    kv_heads=8,
+    intermediate=14336,
+    vocab=32000,
+    max_seq=8192,
+    sliding_window=4096,
+)
+
+FALCON_40B = TransformerConfig(
+    name="falcon-40b",
+    hidden=8192,
+    layers=60,
+    heads=128,
+    kv_heads=8,
+    intermediate=32768,
+    vocab=65024,
+    max_seq=2048,
+    gated_mlp=False,
+    norm_kind="layernorm",
+)
+
+BLOOM_176B = TransformerConfig(
+    name="bloom-176b",
+    hidden=14336,
+    layers=70,
+    heads=112,
+    kv_heads=112,
+    intermediate=57344,
+    vocab=250880,
+    max_seq=8192,
+    gated_mlp=False,
+    norm_kind="layernorm",
+    positional="alibi",
+)
+
+#: sparseGPT: a 13B model trained with 87.5% weight sparsity (paper cites
+#: the SambaNova sparse training work).
+SPARSEGPT_13B = TransformerConfig(
+    name="sparsegpt-13b",
+    hidden=5120,
+    layers=40,
+    heads=40,
+    kv_heads=40,
+    intermediate=13824,
+    vocab=32000,
+    max_seq=2048,
+    sparsity=0.875,
+)
+
+#: The CLIP ViT-L/14 vision tower used by LLaVA-1.5 (336px: 576 patches).
+VIT_L_14 = TransformerConfig(
+    name="vit-l-14",
+    hidden=1024,
+    layers=24,
+    heads=16,
+    kv_heads=16,
+    intermediate=4096,
+    vocab=1,  # no vocabulary: patches enter via a conv stem
+    max_seq=1024,
+    gated_mlp=False,
+    norm_kind="layernorm",
+    positional="alibi",  # learned positions; modelled as a bias add
+)
+
+#: LLaVA-1.5's language model is Vicuna-7B — a fine-tuned Llama2-7B.
+LLAVA_15_LLM = TransformerConfig(
+    name="llava-1.5-7b-llm",
+    hidden=4096,
+    layers=32,
+    heads=32,
+    kv_heads=32,
+    intermediate=11008,
+    vocab=32000,
+    max_seq=4096,
+)
+
+#: Models keyed by catalogue name.
+CATALOG: Dict[str, TransformerConfig] = {
+    cfg.name: cfg
+    for cfg in (
+        LLAMA2_7B,
+        LLAMA2_13B,
+        LLAMA2_70B,
+        LLAMA3_8B,
+        MISTRAL_7B,
+        FALCON_40B,
+        BLOOM_176B,
+        SPARSEGPT_13B,
+        VIT_L_14,
+        LLAVA_15_LLM,
+    )
+}
+
+
+def get_model(name: str) -> TransformerConfig:
+    """Look up a model config by name, with a helpful error."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(CATALOG))
+        raise KeyError(f"unknown model {name!r}; known: {known}") from None

@@ -1,0 +1,164 @@
+"""FlashFFTConv and Monarch FFT decomposition graphs (paper Figure 3).
+
+The Monarch decomposition factors a length-``N = m * m`` FFT into two
+batched ``m x m`` matrix multiplies with a twiddle multiplication and a
+transpose in between:
+
+    X(m, m) -> Gemm0(F_m @ X) -> Mul(twiddle) -> Transpose -> Gemm1(F_m @ .)
+
+This graph is the paper's motivating example: its transpose defeats GPU
+fusion, its small GEMMs underutilize big systolic arrays, and full spatial
+fusion lifts its operational intensity above the roofline ridge (Table I).
+
+`fftconv_graph` builds the full FlashFFTConv convolution over a 1M-token
+sequence (Table II's FlashFFTConv row) using a *higher-order* Monarch
+decomposition: the paper notes that "higher order Monarch FFT
+decompositions create many small matrix multiplies that are 32x32x32 or
+smaller" (Section III-A). With radix 32, a 1M-point FFT is four levels of
+tiny GEMMs separated by twiddles and transposes — very low operational
+intensity unfused, which is exactly why full spatial fusion wins ~13x.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dataflow.graph import DataflowGraph, DType, TensorSpec
+from repro.dataflow.operators import elementwise, fft_permute, gemm, tensor, transpose
+
+
+def monarch_fft_graph(
+    m: int = 1024, batch: int = 1, dtype: DType = DType.BF16, name: str = "monarch"
+) -> DataflowGraph:
+    """The simplified Monarch FFT stage of the paper's Figure 3.
+
+    One length-``m*m`` FFT decomposed into ``Gemm0 -> Mul -> Transpose ->
+    Gemm1``. The twiddle multiply is complex (8 FLOPs/element as a fused
+    real-pair multiply-add).
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    g = DataflowGraph(name)
+    x = tensor("x", (batch, m, m) if batch > 1 else (m, m), dtype)
+    f0 = tensor("f0", (m, m), dtype, is_weight=True)
+    twiddle = tensor("twiddle", (m, m), dtype, is_weight=True)
+    f1 = tensor("f1", (m, m), dtype, is_weight=True)
+
+    y = g.add(gemm("gemm0", f0, x, "y", m=m, k=m, n=m, batch=batch, dtype=dtype))
+    z = g.add(
+        elementwise("mul", [y.outputs[0], twiddle], "z", flops_per_element=8.0)
+    )
+    zt = g.add(transpose("transpose", z.outputs[0], "zt"))
+    g.add(gemm("gemm1", f1, zt.outputs[0], "out", m=m, k=m, n=m, batch=batch, dtype=dtype))
+    return g
+
+
+def _fft_levels(
+    g: DataflowGraph,
+    source: TensorSpec,
+    prefix: str,
+    radices,
+    bc: int,
+    n: int,
+    dtype: DType,
+) -> TensorSpec:
+    """Append one FFT direction: one level of small GEMMs per radix.
+
+    Each level is a batched small GEMM (``r x r x r`` — the "many small
+    matrix multiplies" of Section III-A) followed by a twiddle multiply
+    and a stride permutation into the next level's layout.
+    """
+    current = source
+    for level, radix in enumerate(radices):
+        L = f"{prefix}.lv{level}"
+        factor = tensor(f"{L}.f", (radix, radix), dtype, is_weight=True)
+        gemm_batch = bc * (n // (radix * radix))
+        y = g.add(
+            gemm(f"{L}.gemm", factor, current, f"{L}.y",
+                 m=radix, k=radix, n=radix, batch=gemm_batch, dtype=dtype)
+        ).outputs[0]
+        if level < len(radices) - 1:
+            tw = tensor(f"{L}.tw", (radix, radix), dtype, is_weight=True)
+            z = g.add(
+                elementwise(f"{L}.twiddle", [y, tw], f"{L}.z", 8.0)
+            ).outputs[0]
+            current = g.add(
+                transpose(f"{L}.transpose", z, f"{L}.zt")
+            ).outputs[0]
+        else:
+            current = y
+    return current
+
+
+def fftconv_graph(
+    seqlen: int = 1 << 20,
+    channels: int = 64,
+    batch: int = 1,
+    radices=None,
+    dtype: DType = DType.BF16,
+) -> DataflowGraph:
+    """FlashFFTConv: ``y = iFFT(FFT(x) * FFT(k))`` over a long sequence.
+
+    ``radices`` is the mixed-radix Monarch factorisation of ``seqlen``
+    (FlashFFTConv picks the order per problem size); the default for the
+    paper's 1M sequence is ``(64, 128, 128)`` — an order-3 decomposition
+    of small GEMMs. The filter's FFT is precomputed (a weight). About 17
+    operators, a third of them with fusion-hostile access patterns — the
+    structure behind the paper's 13x fused speedup.
+    """
+    if radices is None:
+        radices = _default_radices(seqlen)
+    radices = tuple(radices)
+    if math.prod(radices) != seqlen:
+        raise ValueError(
+            f"radices {radices} do not factor seqlen {seqlen}"
+        )
+    if channels < 1 or batch < 1:
+        raise ValueError("channels and batch must be >= 1")
+    g = DataflowGraph(f"fftconv-s{seqlen}-c{channels}-b{batch}")
+    bc = batch * channels
+
+    x = tensor("x", (bc, seqlen // radices[0], radices[0]), dtype)
+    filt = tensor("filter_fft", (channels, seqlen), dtype, is_weight=True)
+
+    xp = g.add(fft_permute("in_permute", x, "xp")).outputs[0]
+    spectrum = _fft_levels(g, xp, "fft", radices, bc, seqlen, dtype)
+
+    prod = g.add(
+        elementwise("filter_mul", [spectrum, filt], "prod", 8.0,
+                    out_shape=spectrum.shape)
+    ).outputs[0]
+
+    out = _fft_levels(g, prod, "ifft", tuple(reversed(radices)), bc, seqlen, dtype)
+    g.add(fft_permute("out_permute", out, "y"))
+    return g
+
+
+def _default_radices(seqlen: int):
+    """Pick a mixed-radix Monarch factorisation for a power-of-two size."""
+    known = {
+        1 << 20: (64, 128, 128),
+        1 << 18: (64, 64, 64),
+        1 << 15: (32, 32, 32),
+        1 << 12: (64, 64),
+        1 << 10: (32, 32),
+    }
+    if seqlen in known:
+        return known[seqlen]
+    raise ValueError(
+        f"no default radix factorisation for seqlen {seqlen}; pass radices="
+    )
+
+
+def monarch_reference(x, f0, twiddle, f1):
+    """Numpy reference of the Figure 3 pipeline for functional tests.
+
+    Computes ``f1 @ (twiddle * (f0 @ x)).T`` — the exact dataflow of
+    `monarch_fft_graph` — so the spatial-pipeline simulation can be checked
+    end-to-end against dense numpy.
+    """
+    import numpy as np
+
+    y = f0 @ x
+    z = twiddle * y
+    return f1 @ np.swapaxes(z, -1, -2)

@@ -1,0 +1,101 @@
+"""LLaVA-1.5 multimodal workload (Table II's llava1.5-multimodal row).
+
+LLaVA-1.5 = CLIP ViT-L/14 vision tower + a 2-layer MLP projector + a
+Vicuna-7B (Llama2-7B architecture) language model. Prefill runs the vision
+tower over the image patches, projects them into the LLM embedding space,
+and prefills the LLM over [image tokens + text tokens]; decode is ordinary
+LLM decoding.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.graph import DataflowGraph, DType
+from repro.dataflow.operators import elementwise, linear, tensor
+from repro.models.catalog import LLAVA_15_LLM, VIT_L_14
+from repro.models.transformer import decode_graph, prefill_graph
+
+#: ViT-L/14 at 336x336 resolution: (336/14)^2 = 576 image patches.
+IMAGE_TOKENS = 576
+
+
+def llava_prefill_graph(
+    batch: int = 1, text_tokens: int = 512, tp: int = 1
+) -> DataflowGraph:
+    """Multimodal prefill: vision tower + projector + LLM prefill.
+
+    The three phases are stitched into a single graph so fusion policies
+    see the whole workload (the paper runs LLaVA as one benchmark).
+    """
+    if text_tokens < 1:
+        raise ValueError(f"text_tokens must be >= 1, got {text_tokens}")
+    g = DataflowGraph(f"llava1.5-prefill-b{batch}-t{text_tokens}")
+
+    vision = prefill_graph(VIT_L_14, batch=batch, seq=IMAGE_TOKENS, tp=tp)
+    for op in vision.topological_order():
+        if op.name in ("lm_head", "sample"):
+            continue  # the tower output is features, not logits
+        g.add(_prefix(op, "vis:"))
+
+    feats = tensor("vis:final_norm.out", (batch * IMAGE_TOKENS, VIT_L_14.hidden))
+    proj1 = g.add(
+        linear("proj.fc1", feats, "proj.fc1.w", VIT_L_14.hidden,
+               LLAVA_15_LLM.hidden, batch * IMAGE_TOKENS)
+    )
+    act = g.add(elementwise("proj.gelu", [proj1.outputs[0]], "proj.gelu.out", 8.0))
+    g.add(
+        linear("proj.fc2", act.outputs[0], "proj.fc2.w", LLAVA_15_LLM.hidden,
+               LLAVA_15_LLM.hidden, batch * IMAGE_TOKENS)
+    )
+
+    projected = g["proj.fc2"].outputs[0]
+    llm = prefill_graph(
+        LLAVA_15_LLM, batch=batch, seq=IMAGE_TOKENS + text_tokens, tp=tp
+    )
+    for op in llm.topological_order():
+        renamed = _prefix(op, "llm:")
+        if op.name == "embed":
+            # The projected image features enter the LLM alongside the
+            # text-token embeddings: this edge makes the multimodal graph
+            # a single connected dataflow (vision -> projector -> LLM).
+            renamed = _with_extra_input(renamed, projected)
+        g.add(renamed)
+    return g
+
+
+def _with_extra_input(op, extra):
+    """Clone an operator with one more (contiguous) input tensor."""
+    from dataclasses import replace
+
+    from repro.dataflow.graph import AccessPattern
+
+    patterns = op.input_patterns or tuple(
+        AccessPattern.CONTIGUOUS for _ in op.inputs
+    )
+    return replace(
+        op,
+        inputs=op.inputs + (extra,),
+        input_patterns=patterns + (AccessPattern.CONTIGUOUS,),
+    )
+
+
+def llava_decode_graph(batch: int = 1, context: int = 1088, tp: int = 1) -> DataflowGraph:
+    """Multimodal decode: once the image is prefilled, decode is pure LLM.
+
+    Default context = 576 image tokens + 512 text tokens.
+    """
+    return decode_graph(LLAVA_15_LLM, batch=batch, context=context, tp=tp)
+
+
+def _prefix(op, prefix: str):
+    """Clone an operator with all tensor names prefixed (graph stitching)."""
+    from dataclasses import replace
+
+    def rename(t):
+        return replace(t, name=prefix + t.name)
+
+    return replace(
+        op,
+        name=prefix + op.name,
+        inputs=tuple(rename(t) for t in op.inputs),
+        outputs=tuple(rename(t) for t in op.outputs),
+    )

@@ -1,0 +1,190 @@
+"""Mixture-of-Experts models as CoE experts.
+
+The paper (Section II): "CoEs and MoEs are orthogonal techniques that can
+be easily combined: a CoE can leverage expert models that are implemented
+internally as MoEs." This module provides MoE model descriptors and graph
+builders so a Samba-CoE expert can itself be a sparse MoE:
+
+- all experts' FFN weights are stored (driving capacity and switch cost),
+- only ``top_k`` experts' FFNs execute per token (driving FLOPs and, in
+  decode, weight traffic — an MoE decode step reads only the routed
+  experts' FFN weights plus all attention weights).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataflow.graph import DataflowGraph, DType
+from repro.dataflow.operators import (
+    elementwise,
+    linear,
+    norm,
+    reduction,
+    softmax,
+    tensor,
+)
+from repro.models.transformer import TransformerConfig, decode_graph
+
+
+@dataclass(frozen=True)
+class MoEConfig:
+    """A sparse-MoE transformer: dense attention, ``num_experts`` FFNs."""
+
+    name: str
+    dense: TransformerConfig
+    num_experts: int
+    top_k: int
+
+    def __post_init__(self) -> None:
+        if self.num_experts < 1:
+            raise ValueError(f"{self.name}: num_experts must be >= 1")
+        if not 1 <= self.top_k <= self.num_experts:
+            raise ValueError(
+                f"{self.name}: top_k must be in [1, {self.num_experts}]"
+            )
+
+    @property
+    def layers(self) -> int:
+        return self.dense.layers
+
+    @property
+    def _mlp_params_per_layer(self) -> int:
+        return self.dense.mlp_matrices * self.dense.hidden * self.dense.intermediate
+
+    @property
+    def _attn_params_per_layer(self) -> int:
+        return (
+            2 * self.dense.hidden * self.dense.hidden
+            + 2 * self.dense.hidden * self.dense.kv_dim
+            + 2 * self.dense.hidden  # norms
+        )
+
+    @property
+    def _router_params_per_layer(self) -> int:
+        return self.dense.hidden * self.num_experts
+
+    @property
+    def param_count(self) -> int:
+        """Stored parameters: every expert's FFN counts."""
+        embed = 2 * self.dense.vocab * self.dense.hidden
+        per_layer = (
+            self._attn_params_per_layer
+            + self.num_experts * self._mlp_params_per_layer
+            + self._router_params_per_layer
+        )
+        return embed + self.layers * per_layer + self.dense.hidden
+
+    @property
+    def active_param_count(self) -> int:
+        """Parameters touched per token: only ``top_k`` experts execute."""
+        embed = 2 * self.dense.vocab * self.dense.hidden
+        per_layer = (
+            self._attn_params_per_layer
+            + self.top_k * self._mlp_params_per_layer
+            + self._router_params_per_layer
+        )
+        return embed + self.layers * per_layer + self.dense.hidden
+
+    @property
+    def weight_bytes(self) -> int:
+        """Stored bytes (what DDR hosting and model switching pay)."""
+        return self.param_count * self.dense.dtype.size_bytes
+
+    @property
+    def active_weight_bytes(self) -> int:
+        """Bytes read per decode step (what HBM bandwidth pays)."""
+        return self.active_param_count * self.dense.dtype.size_bytes
+
+    @property
+    def sparsity_ratio(self) -> float:
+        """Stored-to-active ratio — the MoE capacity/compute trade."""
+        return self.param_count / self.active_param_count
+
+
+def moe_ffn_subgraph(
+    g: DataflowGraph,
+    cfg: MoEConfig,
+    layer: int,
+    hidden_in,
+    tokens: int,
+) -> object:
+    """Append one MoE FFN block: router -> top-k expert FFNs -> combine.
+
+    Only the ``top_k`` routed experts contribute FLOPs and weight traffic;
+    the router is a small linear plus softmax/top-k selection.
+    """
+    dense = cfg.dense
+    L = f"l{layer}"
+    router = g.add(
+        linear(f"{L}.moe_router", hidden_in, f"{L}.moe_router.w",
+               dense.hidden, cfg.num_experts, tokens, 0.0, dense.dtype)
+    ).outputs[0]
+    probs = g.add(softmax(f"{L}.moe_softmax", router, f"{L}.moe_probs")).outputs[0]
+    g.add(
+        reduction(f"{L}.moe_topk", probs, f"{L}.moe_sel", (tokens, cfg.top_k))
+    )
+
+    expert_outs = []
+    for k in range(cfg.top_k):
+        E = f"{L}.e{k}"
+        gate = g.add(linear(f"{E}.gate", hidden_in, f"{E}.gate.w",
+                            dense.hidden, dense.intermediate, tokens,
+                            0.0, dense.dtype)).outputs[0]
+        up = g.add(linear(f"{E}.up", hidden_in, f"{E}.up.w",
+                          dense.hidden, dense.intermediate, tokens,
+                          0.0, dense.dtype)).outputs[0]
+        act = g.add(elementwise(f"{E}.silu", [gate], f"{E}.silu.out", 4.0)).outputs[0]
+        mix = g.add(elementwise(f"{E}.mul", [act, up], f"{E}.mul.out", 1.0)).outputs[0]
+        down = g.add(linear(f"{E}.down", mix, f"{E}.down.w",
+                            dense.intermediate, dense.hidden, tokens,
+                            0.0, dense.dtype)).outputs[0]
+        expert_outs.append(down)
+
+    combined = expert_outs[0]
+    for k, other in enumerate(expert_outs[1:], start=1):
+        combined = g.add(
+            elementwise(f"{L}.moe_combine{k}", [combined, other],
+                        f"{L}.moe_combined{k}", 2.0)
+        ).outputs[0]
+    return combined
+
+
+def moe_decode_graph(cfg: MoEConfig, batch: int = 1, context: int = 2048,
+                     tp: int = 1) -> DataflowGraph:
+    """One MoE decode step: dense-attention layers with MoE FFN blocks.
+
+    Built by taking the dense decode skeleton and replacing each layer's
+    FFN with the MoE block. The resulting graph's weight traffic equals
+    ``active_weight_bytes`` (only routed experts are read), while CoE
+    hosting uses ``weight_bytes`` (all experts stored).
+    """
+    base = decode_graph(cfg.dense, batch=batch, context=context, tp=tp)
+    g = DataflowGraph(f"{cfg.name}-decode-b{batch}-c{context}")
+    skip_prefixes = ("gate", "up", "silu", "gate_mul", "fc1", "gelu", "down")
+    resid_input: dict = {}
+    for op in base.topological_order():
+        parts = op.name.split(".")
+        if len(parts) == 2 and parts[1] in skip_prefixes:
+            continue  # dense FFN is replaced by the MoE block
+        if len(parts) == 2 and parts[1] == "norm2":
+            g.add(op)
+            layer = int(parts[0][1:])
+            combined = moe_ffn_subgraph(g, cfg, layer, op.outputs[0], batch)
+            resid_input[parts[0]] = combined
+            continue
+        if len(parts) == 2 and parts[1] in ("ar_mlp", "resid2") and parts[0] in resid_input:
+            from dataclasses import replace as _replace
+
+            replacement = resid_input.pop(parts[0])
+            new_inputs = (replacement,) + tuple(op.inputs[1:])
+            op = _replace(op, inputs=new_inputs, input_patterns=())
+        g.add(op)
+    return g
+
+
+#: A Mixtral-8x7B-like reference configuration (46.7B stored, 12.9B active).
+def mixtral_8x7b() -> MoEConfig:
+    from repro.models.catalog import MISTRAL_7B
+
+    return MoEConfig(name="mixtral-8x7b", dense=MISTRAL_7B, num_experts=8, top_k=2)

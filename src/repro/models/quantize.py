@@ -1,0 +1,38 @@
+"""Weight quantization for experts (capacity/bandwidth extension).
+
+The paper's capacity math assumes BF16 experts. Quantizing expert weights
+to INT8 halves both the DDR footprint (more experts hosted per node) and
+the switch/decode traffic (faster copies and faster memory-bound decode)
+— a natural extension of the three-tier design that the serving stack
+here supports end to end, since every capacity and bandwidth quantity
+derives from ``TransformerConfig.weight_bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.dataflow.graph import DType
+from repro.models.transformer import TransformerConfig
+
+
+def quantize(cfg: TransformerConfig, dtype: DType = DType.INT8) -> TransformerConfig:
+    """A copy of ``cfg`` with weights (and activations) in ``dtype``.
+
+    The returned config is a first-class model: graph builders, platform
+    timing, CoE serving, and footprint analysis all pick up the smaller
+    element size automatically.
+    """
+    if dtype.size_bytes > cfg.dtype.size_bytes:
+        raise ValueError(
+            f"quantize cannot widen {cfg.dtype.name} to {dtype.name}"
+        )
+    if dtype is cfg.dtype:
+        return cfg
+    return replace(cfg, name=f"{cfg.name}-{dtype.name.lower()}", dtype=dtype)
+
+
+def compression_ratio(cfg: TransformerConfig, dtype: DType = DType.INT8) -> float:
+    """Weight-storage reduction factor of quantizing ``cfg`` to ``dtype``."""
+    quantized = quantize(cfg, dtype)
+    return cfg.weight_bytes / quantized.weight_bytes

@@ -1,0 +1,54 @@
+"""Sparse training workload (Table II's sparseGPT row).
+
+The paper benchmarks training a 13B model with 87.5% weight sparsity
+(citing SambaNova's sparse training work [67]). Sparsity lowers GEMM FLOPs
+and weight storage proportionally, which *lowers operational intensity* —
+making fusion even more valuable (Figure 11 shows sparseGPT among the most
+aggressively fused benchmarks).
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.graph import DataflowGraph
+from repro.models.catalog import SPARSEGPT_13B
+from repro.models.transformer import TransformerConfig, train_graph
+
+
+def sparsegpt_train_graph(
+    batch: int = 1, seq: int = 2048, tp: int = 1
+) -> DataflowGraph:
+    """One sparseGPT-13B training step (87.5% sparse, 2K sequence)."""
+    return train_graph(SPARSEGPT_13B, batch=batch, seq=seq, tp=tp)
+
+
+def dense_counterpart(cfg: TransformerConfig) -> TransformerConfig:
+    """The same architecture with sparsity removed, for ablations."""
+    if cfg.sparsity == 0.0:
+        return cfg
+    return TransformerConfig(
+        name=f"{cfg.name}-dense",
+        hidden=cfg.hidden,
+        layers=cfg.layers,
+        heads=cfg.heads,
+        kv_heads=cfg.kv_heads,
+        intermediate=cfg.intermediate,
+        vocab=cfg.vocab,
+        max_seq=cfg.max_seq,
+        gated_mlp=cfg.gated_mlp,
+        norm_kind=cfg.norm_kind,
+        positional=cfg.positional,
+        sliding_window=cfg.sliding_window,
+        sparsity=0.0,
+        dtype=cfg.dtype,
+    )
+
+
+def sparsity_flop_ratio(cfg: TransformerConfig) -> float:
+    """FLOP reduction factor of the sparse model vs its dense twin.
+
+    For 87.5% sparsity this is 8x on the weighted GEMMs — the paper's
+    sparse-training speedup headroom.
+    """
+    if not 0.0 <= cfg.sparsity < 1.0:
+        raise ValueError(f"bad sparsity {cfg.sparsity}")
+    return 1.0 / (1.0 - cfg.sparsity)

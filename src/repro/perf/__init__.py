@@ -1,0 +1,20 @@
+"""Performance models: calibration, roofline, kernel costs."""
+
+from repro.perf.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.perf.kernel_cost import (
+    ExecutionTarget,
+    KernelCost,
+    Orchestration,
+    PlanCost,
+    cost_kernel,
+    cost_plan,
+    speedup,
+)
+from repro.perf.roofline import Roofline
+from repro.perf.trace import plan_cost_trace, serve_result_trace, write_trace
+
+__all__ = [
+    "DEFAULT_CALIBRATION", "Calibration", "ExecutionTarget", "KernelCost",
+    "Orchestration", "PlanCost", "cost_kernel", "cost_plan", "speedup",
+    "Roofline", "plan_cost_trace", "serve_result_trace", "write_trace",
+]

@@ -1,0 +1,93 @@
+"""Calibration constants for the SN40L performance model.
+
+Every empirical constant in the reproduction lives here, with the evidence
+used to pick it. The paper publishes architecture parameters (TFLOPS,
+bandwidths, capacities) but not micro-level efficiencies; these constants
+make the model land on the paper's *reported behaviour*:
+
+- "saturating close to 85% of HBM bandwidth" for the fused decoder
+  (Section VI-B) -> ``FUSED_HBM_EFFICIENCY = 0.85``,
+- "using almost 90% of the PCUs and PMUs" -> ``FUSED_COMPUTE_EFFICIENCY``,
+- model switching "31x faster than DGX A100 (32 GB/s)" and "16x faster
+  than H100 (64 GB/s)" with ">1 TB/s" DDR->HBM on the node ->
+  ``NODE_DDR_TO_HBM_BANDWIDTH = 1.05 TB/s`` (so 1.05e12/32e9 ~ 33x,
+  1.05e12/64e9 ~ 16x),
+- hardware-orchestrated launches give 1.4x-8x on decode but <=1.1x on
+  prefill (Section VI-A) -> software launch overhead of ~12 us + ~2 us per
+  kernel argument, hardware launch of ~0.5 us.
+
+Changing a constant here changes every benchmark consistently; the
+calibration test suite (tests/perf/test_calibration.py) pins the observable
+behaviours above so regressions are caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import GB, TB
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """The full set of tunable model constants."""
+
+    # --- SN40L kernel execution efficiencies -----------------------------
+    #: Fraction of peak HBM bandwidth sustained by a spatially fused,
+    #: pipelined kernel (paper: ~85% for the fused decoder layer).
+    fused_hbm_efficiency: float = 0.85
+    #: Fraction of peak FLOPs sustained by fused systolic pipelines.
+    fused_compute_efficiency: float = 0.90
+    #: Unfused kernels run load -> compute -> store without cross-operator
+    #: pipelining; each phase also sustains a lower fraction of peak.
+    unfused_hbm_efficiency: float = 0.55
+    unfused_compute_efficiency: float = 0.70
+
+    # --- Kernel launch orchestration (paper Section IV-D) ----------------
+    #: Fixed host-side cost of one software-orchestrated launch.
+    sw_launch_fixed_s: float = 12e-6
+    #: Per-argument cost of software argument loading (each external tensor
+    #: of the kernel is one argument the host marshals).
+    sw_launch_per_arg_s: float = 2e-6
+    #: Hardware-orchestrated launch: the AGCU sequencer replays a static
+    #: schedule without host involvement.
+    hw_launch_s: float = 0.5e-6
+
+    # --- Node-level transfer paths ----------------------------------------
+    #: Aggregate DDR->HBM copy bandwidth of the 8-socket node. The paper
+    #: reports "over 1 TB/s"; the TLN limits it below the 1.6 TB/s raw DDR
+    #: aggregate.
+    node_ddr_to_hbm_bandwidth: float = 1.05 * TB
+    #: Effective host-to-HBM copy bandwidth of a DGX A100 / H100 node when
+    #: switching models out of host DRAM. The paper uses the published
+    #: per-node figures of 32 GB/s and 64 GB/s.
+    dgx_a100_host_to_hbm: float = 32 * GB
+    dgx_h100_host_to_hbm: float = 64 * GB
+
+    # --- GPU execution model (for DGX baselines) -------------------------
+    #: Sustained fraction of HBM bandwidth during autoregressive decode.
+    gpu_a100_decode_hbm_efficiency: float = 0.50
+    gpu_h100_decode_hbm_efficiency: float = 0.55
+    #: Sustained fraction of peak tensor FLOPs during prefill/training.
+    gpu_compute_efficiency: float = 0.55
+    #: Per-layer latency of one NVLink tensor-parallel all-reduce at small
+    #: message sizes (latency-bound at decode batch sizes).
+    gpu_allreduce_latency_s: float = 20e-6
+    #: Per-kernel launch overhead on the GPU (with CUDA-graph-style
+    #: batching of launches).
+    gpu_launch_overhead_s: float = 8e-6
+
+    # --- SN40L P2P / collective model -------------------------------------
+    #: Per-hop latency of the streamed peer-to-peer collective; collectives
+    #: are fused into the pipeline so only latency (not serialized
+    #: bandwidth) is exposed per layer.
+    p2p_latency_s: float = 2e-6
+
+    def sw_launch_overhead(self, num_args: int) -> float:
+        """Software-orchestrated launch cost for a kernel with ``num_args``
+        external tensors."""
+        return self.sw_launch_fixed_s + self.sw_launch_per_arg_s * num_args
+
+
+#: The default calibration used by every benchmark.
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,58 @@
+"""The roofline model (Williams et al., CACM 2009) for any accelerator.
+
+The paper uses roofline reasoning throughout: an A100's ridge point of
+~150 FLOPs/byte decides which rows of Table I are memory-bound, and the
+whole motivation for fusion is moving kernels to the right of the ridge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """Peak compute and memory bandwidth of one machine."""
+
+    name: str
+    peak_flops: float
+    mem_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError(f"{self.name}: peaks must be positive")
+
+    @property
+    def ridge_point(self) -> float:
+        """Operational intensity at which compute and memory balance."""
+        return self.peak_flops / self.mem_bandwidth
+
+    def attainable_flops(self, intensity: float) -> float:
+        """Attainable FLOP/s at a given operational intensity."""
+        if intensity < 0:
+            raise ValueError(f"negative intensity: {intensity}")
+        return min(self.peak_flops, intensity * self.mem_bandwidth)
+
+    def is_memory_bound(self, intensity: float) -> bool:
+        return intensity < self.ridge_point
+
+    def time(self, flops: float, traffic_bytes: float) -> float:
+        """Ideal execution time: the slower of compute and memory.
+
+        This is the perfectly-overlapped (pipelined) bound; callers apply
+        efficiency factors and launch overheads on top.
+        """
+        if flops < 0 or traffic_bytes < 0:
+            raise ValueError("flops and traffic must be non-negative")
+        compute = flops / self.peak_flops
+        memory = traffic_bytes / self.mem_bandwidth
+        return max(compute, memory)
+
+    def serial_time(self, flops: float, traffic_bytes: float) -> float:
+        """Non-overlapped execution: load/store then compute, summed.
+
+        Models an unfused kernel that cannot overlap its memory phases with
+        compute (no cross-operator pipeline)."""
+        if flops < 0 or traffic_bytes < 0:
+            raise ValueError("flops and traffic must be non-negative")
+        return flops / self.peak_flops + traffic_bytes / self.mem_bandwidth

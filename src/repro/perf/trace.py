@@ -1,0 +1,99 @@
+"""Chrome-trace export of execution timelines.
+
+Serialises plan costs and CoE serving results into the Chrome tracing
+JSON format (`chrome://tracing` / Perfetto), giving the same kind of
+timeline view SN40L performance engineers use to debug kernel schedules
+and model-switching behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.perf.kernel_cost import PlanCost
+
+if TYPE_CHECKING:  # avoid a perf -> coe layering inversion at runtime
+    from repro.coe.serving import ServeResult
+
+_US = 1e6  # chrome traces use microsecond timestamps
+
+
+def _event(name: str, category: str, start_s: float, duration_s: float,
+           tid: int, args: Optional[Dict] = None) -> Dict:
+    return {
+        "name": name,
+        "cat": category,
+        "ph": "X",
+        "ts": start_s * _US,
+        "dur": duration_s * _US,
+        "pid": 0,
+        "tid": tid,
+        "args": args or {},
+    }
+
+
+def plan_cost_trace(cost: PlanCost) -> List[Dict]:
+    """Trace a kernel schedule: launch and execute phases per kernel.
+
+    Track 0 carries the launch/orchestration lane; track 1 the execution
+    lane — making orchestration overhead visually obvious (the Figure 10
+    HO story).
+    """
+    events: List[Dict] = []
+    now = 0.0
+    for kernel in cost.kernels:
+        if kernel.launch_s > 0:
+            events.append(
+                _event(f"launch:{kernel.kernel_name}", "orchestration",
+                       now, kernel.launch_s, tid=0,
+                       args={"orchestration": cost.orchestration.value})
+            )
+            now += kernel.launch_s
+        events.append(
+            _event(kernel.kernel_name, "kernel", now, kernel.exec_s, tid=1,
+                   args={
+                       "ops": kernel.num_ops,
+                       "compute_ms": kernel.compute_s * 1e3,
+                       "memory_ms": kernel.memory_s * 1e3,
+                       "pipelined": kernel.pipelined,
+                   })
+        )
+        now += kernel.exec_s
+    return events
+
+
+def serve_result_trace(result: "ServeResult") -> List[Dict]:
+    """Trace a served CoE batch: router / switch / prefill / decode lanes."""
+    events: List[Dict] = []
+    now = 0.0
+    lanes = {"router": 0, "switch": 1, "prefill": 2, "decode": 3}
+    for request in result.requests:
+        phases = [
+            ("router", request.router_s),
+            ("switch", request.switch_s),
+            ("prefill", request.prefill_s),
+            ("decode", request.decode_s),
+        ]
+        for phase, duration in phases:
+            if duration <= 0:
+                continue
+            events.append(
+                _event(f"{phase}:{request.expert}", phase, now, duration,
+                       tid=lanes[phase])
+            )
+            now += duration
+    return events
+
+
+def write_trace(events: List[Dict], path: str) -> None:
+    """Write events as a Chrome trace file."""
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
+
+
+def total_duration_s(events: List[Dict]) -> float:
+    """End timestamp of the last event, in seconds."""
+    if not events:
+        return 0.0
+    return max(e["ts"] + e["dur"] for e in events) / _US

@@ -1,0 +1,10 @@
+"""Discrete-event simulation of streamed dataflow pipelines."""
+
+from repro.sim.congestion import CongestionAnalyzer, PlacedFlow
+from repro.sim.engine import Simulator
+from repro.sim.streams import Pipeline, PipelineStage, bursty_stage, uniform_stage
+
+__all__ = [
+    "Simulator", "Pipeline", "PipelineStage", "bursty_stage",
+    "uniform_stage", "CongestionAnalyzer", "PlacedFlow",
+]

@@ -1,0 +1,143 @@
+"""Link-level congestion analysis of RDN flow placements.
+
+The paper's performance-debugging lesson (Section VII): on-chip bandwidth
+issues are usually RDN congestion or PMU bank conflicts. This module
+handles the RDN half at the link level: given the static flows a placed
+kernel creates, it accumulates per-link demand over the mesh, finds
+oversubscribed links, and produces the switch stall counters a profiling
+session would read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.arch.config import RDNConfig
+from repro.arch.perfcounters import CounterFile, StallCounter, UnitClass
+from repro.arch.rdn import Mesh
+
+#: A directed mesh link: (from_switch, to_switch).
+Link = Tuple[Tuple[int, int], Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class PlacedFlow:
+    """One data stream placed on the mesh: source, sinks, byte rate."""
+
+    name: str
+    src: Tuple[int, int]
+    destinations: Tuple[Tuple[int, int], ...]
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not self.destinations:
+            raise ValueError(f"{self.name}: needs at least one destination")
+        if self.rate < 0:
+            raise ValueError(f"{self.name}: negative rate")
+
+    def links(self) -> List[Link]:
+        """Multicast-tree links: union of dimension-order paths.
+
+        A link shared by several destinations carries the flow once —
+        the bandwidth benefit of hardware multicast.
+        """
+        seen = set()
+        ordered: List[Link] = []
+        for dst in self.destinations:
+            path = Mesh.dimension_order_path(self.src, dst)
+            for a, b in zip(path, path[1:]):
+                if (a, b) not in seen:
+                    seen.add((a, b))
+                    ordered.append((a, b))
+        return ordered
+
+
+@dataclass
+class LinkLoad:
+    """Aggregate demand on one directed link."""
+
+    link: Link
+    capacity: float
+    flows: List[PlacedFlow] = field(default_factory=list)
+
+    @property
+    def demand(self) -> float:
+        return sum(f.rate for f in self.flows)
+
+    @property
+    def utilization(self) -> float:
+        return self.demand / self.capacity if self.capacity > 0 else float("inf")
+
+    @property
+    def congested(self) -> bool:
+        return self.utilization > 1.0
+
+
+class CongestionAnalyzer:
+    """Accumulates placed flows and reports mesh congestion."""
+
+    def __init__(self, mesh: Mesh, config: RDNConfig = RDNConfig()) -> None:
+        self.mesh = mesh
+        self.config = config
+        self._loads: Dict[Link, LinkLoad] = {}
+        self._flows: List[PlacedFlow] = []
+
+    def place(self, flow: PlacedFlow) -> None:
+        for coord in (flow.src, *flow.destinations):
+            if not self.mesh.in_bounds(coord):
+                raise ValueError(f"{flow.name}: coordinate {coord} off-mesh")
+        self._flows.append(flow)
+        for link in flow.links():
+            load = self._loads.get(link)
+            if load is None:
+                load = LinkLoad(link=link, capacity=self.config.link_bandwidth)
+                self._loads[link] = load
+            load.flows.append(flow)
+
+    @property
+    def num_flows(self) -> int:
+        return len(self._flows)
+
+    def loads(self) -> List[LinkLoad]:
+        return list(self._loads.values())
+
+    def congested_links(self) -> List[LinkLoad]:
+        return sorted(
+            (l for l in self._loads.values() if l.congested),
+            key=lambda l: -l.utilization,
+        )
+
+    def worst_utilization(self) -> float:
+        if not self._loads:
+            return 0.0
+        return max(l.utilization for l in self._loads.values())
+
+    def flow_slowdown(self, flow: PlacedFlow) -> float:
+        """Factor by which a flow is throttled by its worst shared link."""
+        worst = 1.0
+        for link in flow.links():
+            load = self._loads.get(link)
+            if load is not None:
+                worst = max(worst, load.utilization)
+        return worst
+
+    def to_counters(self, window_cycles: int = 10_000) -> CounterFile:
+        """Synthesise switch stall counters from link loads.
+
+        A link at utilization U > 1 stalls its upstream switch output for
+        ``(1 - 1/U)`` of the window — the counter signature a performance
+        engineer would see in hardware.
+        """
+        counters = CounterFile()
+        for link, load in self._loads.items():
+            name = f"sw{link[0][0]}_{link[0][1]}->sw{link[1][0]}_{link[1][1]}"
+            counter = StallCounter(name=name, unit_class=UnitClass.SWITCH)
+            utilization = load.utilization
+            if utilization > 1.0:
+                stalled = round(window_cycles * (1 - 1 / utilization))
+            else:
+                stalled = 0
+            counter.record(busy=window_cycles - stalled, stalled=stalled)
+            counters.register(counter)
+        return counters

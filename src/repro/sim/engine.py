@@ -1,0 +1,64 @@
+"""A minimal discrete-event simulation engine.
+
+Used to simulate streaming-dataflow pipelines (stage buffers, credit flow
+control) at event granularity, validating the analytic bottleneck model in
+:mod:`repro.dataflow.pipeline`. The engine is a classic event-queue design:
+callbacks scheduled at absolute times, executed in time order with a
+deterministic tie-break.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+class Simulator:
+    """An event-driven simulator with a monotonic clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self._events_run = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._queue, (self.now + delay, next(self._counter), callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now {self.now}")
+        heapq.heappush(self._queue, (time, next(self._counter), callback))
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Drain the event queue; returns the final simulated time.
+
+        ``until`` stops the clock at a deadline; ``max_events`` guards
+        against runaway simulations (deadlock-free models terminate).
+        """
+        while self._queue:
+            if self._events_run >= max_events:
+                raise RuntimeError(f"exceeded {max_events} events — livelock?")
+            time, _, callback = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = time
+            self._events_run += 1
+            callback()
+        return self.now
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,106 @@
+"""System-footprint analysis (paper Figure 13).
+
+Question: how many nodes of each platform are needed to serve a CoE of N
+experts *while sustaining the TP8 single-model latency*?
+
+- On a DGX, sustaining TP8 latency means *no host-DRAM expert copies*: all
+  experts must reside in GPU HBM, so the footprint grows with HBM capacity.
+- On the SN40L, the DDR tier holds every expert and the DDR->HBM switch
+  cost is part of the sustained latency, so one node serves the CoE until
+  DDR capacity runs out. The paper: one node holds up to 850 experts; the
+  same CoE needs 19 DGX nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.systems.platforms import Platform
+
+
+@dataclass(frozen=True)
+class FootprintPoint:
+    """Nodes required on one platform for one expert count."""
+
+    platform: str
+    num_experts: int
+    nodes: int
+
+
+def dgx_nodes_required(
+    platform: Platform, num_experts: int, expert_bytes: int, reserved_bytes: int = 0
+) -> int:
+    """DGX nodes to hold ``num_experts`` entirely in HBM.
+
+    Sustaining TP8 latency forbids host-DRAM copies, so HBM capacity is the
+    only resource that counts.
+    """
+    if num_experts < 0:
+        raise ValueError(f"negative expert count: {num_experts}")
+    if num_experts == 0:
+        return 0
+    per_node = platform.hbm_expert_slots(expert_bytes, reserved_bytes)
+    if per_node == 0:
+        raise ValueError(
+            f"{platform.name}: one expert ({expert_bytes} B) does not fit in HBM"
+        )
+    return math.ceil(num_experts / per_node)
+
+
+def sn40l_nodes_required(
+    platform: Platform, num_experts: int, expert_bytes: int, reserved_bytes: int = 0
+) -> int:
+    """SN40L nodes to *hold* ``num_experts`` (DDR capacity, HBM reserved).
+
+    The DDR->HBM switch is fast enough to be inside the TP8 latency budget
+    (quantified by the Figure 12 benchmark), so DDR capacity is the limit.
+    """
+    if num_experts < 0:
+        raise ValueError(f"negative expert count: {num_experts}")
+    if num_experts == 0:
+        return 0
+    per_node = platform.max_hosted_experts(expert_bytes, reserved_bytes)
+    if per_node == 0:
+        raise ValueError(f"{platform.name}: one expert does not fit")
+    return math.ceil(num_experts / per_node)
+
+
+def max_experts_single_node(
+    platform: Platform, expert_bytes: int, reserved_bytes: int = 0, hbm_only: bool = False
+) -> int:
+    """Largest CoE one node can serve at TP8 latency."""
+    if hbm_only:
+        return platform.hbm_expert_slots(expert_bytes, reserved_bytes)
+    return platform.max_hosted_experts(expert_bytes, reserved_bytes)
+
+
+def footprint_sweep(
+    platforms_hbm_only: List[Platform],
+    platform_tiered: Platform,
+    expert_counts: List[int],
+    expert_bytes: int,
+    reserved_bytes: int = 0,
+) -> List[FootprintPoint]:
+    """Figure 13's sweep: nodes vs expert count for every platform."""
+    points: List[FootprintPoint] = []
+    for count in expert_counts:
+        for platform in platforms_hbm_only:
+            points.append(
+                FootprintPoint(
+                    platform=platform.name,
+                    num_experts=count,
+                    nodes=dgx_nodes_required(platform, count, expert_bytes, reserved_bytes),
+                )
+            )
+        points.append(
+            FootprintPoint(
+                platform=platform_tiered.name,
+                num_experts=count,
+                nodes=sn40l_nodes_required(
+                    platform_tiered, count, expert_bytes, reserved_bytes
+                ),
+            )
+        )
+    return points

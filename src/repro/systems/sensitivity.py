@@ -1,0 +1,188 @@
+"""Sensitivity analysis: how robust are the reproduced headlines?
+
+A reproduction built on calibrated constants owes the reader an answer to
+"how much does conclusion X depend on constant Y?". This module sweeps
+calibration constants and reports whether each paper-anchored conclusion
+survives:
+
+- the **switch-speedup ratios** (31x / 15x) follow directly from the
+  bandwidth constants — linear sensitivity, no tipping point,
+- the **DGX latency cliff** and **OOM point** depend on capacity
+  constants — they move but exist across the whole plausible range,
+- the **fusion speedup direction** (fused < unfused time) holds for any
+  efficiency ordering with eff_fused >= eff_unfused and any non-negative
+  launch overhead — a structural, not calibrated, conclusion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.models.catalog import LLAMA2_7B
+from repro.perf.calibration import DEFAULT_CALIBRATION, Calibration
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One conclusion evaluated at one constant setting."""
+
+    value: float
+    metric: float
+    holds: bool
+
+
+@dataclass
+class SensitivityResult:
+    """A conclusion's behaviour across a constant's sweep."""
+
+    constant: str
+    conclusion: str
+    points: List[SweepPoint]
+
+    @property
+    def always_holds(self) -> bool:
+        return all(p.holds for p in self.points)
+
+    @property
+    def metric_range(self) -> tuple:
+        metrics = [p.metric for p in self.points]
+        return (min(metrics), max(metrics))
+
+
+def sweep_constant(
+    constant: str,
+    values: Sequence[float],
+    conclusion: str,
+    evaluate: Callable[[Calibration], tuple],
+    base: Calibration = DEFAULT_CALIBRATION,
+) -> SensitivityResult:
+    """Evaluate ``evaluate(calibration) -> (metric, holds)`` over a sweep.
+
+    ``constant`` must be a field of :class:`Calibration`.
+    """
+    if not hasattr(base, constant):
+        raise ValueError(f"Calibration has no constant {constant!r}")
+    points = []
+    for value in values:
+        calibration = dataclasses.replace(base, **{constant: value})
+        metric, holds = evaluate(calibration)
+        points.append(SweepPoint(value=value, metric=metric, holds=holds))
+    return SensitivityResult(constant=constant, conclusion=conclusion, points=points)
+
+
+# ----------------------------------------------------------------------
+# The standard conclusions, packaged for benchmarks/tests
+# ----------------------------------------------------------------------
+
+
+def switch_ratio_sensitivity(
+    spread: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.2),
+) -> SensitivityResult:
+    """Paper: SN40L switches >=10x faster than a DGX A100.
+
+    Swept over +-20% of the node's DDR->HBM bandwidth: the exact ratio
+    moves linearly, the order-of-magnitude conclusion never flips.
+    """
+    base_bw = DEFAULT_CALIBRATION.node_ddr_to_hbm_bandwidth
+
+    def evaluate(cal: Calibration):
+        from repro.systems.platforms import dgx_a100_platform, sn40l_platform
+
+        sn = sn40l_platform(cal)
+        dgx = dgx_a100_platform(cal)
+        ratio = dgx.switch_time(LLAMA2_7B.weight_bytes) / sn.switch_time(
+            LLAMA2_7B.weight_bytes
+        )
+        return ratio, ratio >= 10.0
+
+    return sweep_constant(
+        "node_ddr_to_hbm_bandwidth",
+        [base_bw * s for s in spread],
+        "SN40L model switching is >=10x faster than DGX A100",
+        evaluate,
+    )
+
+
+def decode_win_sensitivity(
+    efficiencies: Sequence[float] = (0.70, 0.75, 0.80, 0.85, 0.90),
+) -> SensitivityResult:
+    """Paper: the SN40L decodes a 7B expert faster than a DGX A100.
+
+    Swept over the fused HBM efficiency (the paper reports ~0.85): the
+    win shrinks at lower sustained efficiency but holds well below it.
+    """
+
+    def evaluate(cal: Calibration):
+        from repro.systems.platforms import dgx_a100_platform, sn40l_platform
+
+        sn = sn40l_platform(cal).decode_token_time(LLAMA2_7B, 1, 1024)
+        dgx = dgx_a100_platform(cal).decode_token_time(LLAMA2_7B, 1, 1024)
+        ratio = dgx / sn
+        return ratio, ratio > 1.0
+
+    return sweep_constant(
+        "fused_hbm_efficiency",
+        list(efficiencies),
+        "SN40L 7B decode beats DGX A100",
+        evaluate,
+    )
+
+
+def oom_point_sensitivity(
+    host_fractions: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.2),
+) -> Dict[float, int]:
+    """Paper: the DGX runs out of memory around 150 experts.
+
+    Swept over usable host-DRAM capacity (+-20%): the OOM point shifts
+    with capacity (as it must) but stays within ~125-175 experts, far
+    below the SN40L node's ~1000.
+    """
+    from repro.systems.platforms import dgx_a100_platform
+    from repro.units import GiB
+
+    base = dgx_a100_platform()
+    reserved = LLAMA2_7B.weight_bytes + 8 * GiB
+    results = {}
+    for fraction in host_fractions:
+        platform = dataclasses.replace(
+            base,
+            second_tier_capacity_bytes=int(
+                base.second_tier_capacity_bytes * fraction
+            ),
+        )
+        results[fraction] = platform.max_hosted_experts(
+            LLAMA2_7B.weight_bytes, reserved
+        )
+    return results
+
+
+def fusion_direction_sensitivity(
+    unfused_efficiencies: Sequence[float] = (0.5, 0.6, 0.7, 0.8),
+) -> SensitivityResult:
+    """Structural conclusion: fused decode is faster than unfused decode
+    for *any* unfused efficiency up to the fused one."""
+    from repro.arch.config import SocketConfig
+    from repro.dataflow import fusion
+    from repro.models.transformer import decode_graph
+    from repro.perf.kernel_cost import ExecutionTarget, Orchestration, cost_plan
+
+    graph = decode_graph(LLAMA2_7B, batch=1, context=1024, tp=8)
+    unfused_plan = fusion.unfused(graph)
+    fused_plan = fusion.group_by_prefix(graph)
+
+    def evaluate(cal: Calibration):
+        target = ExecutionTarget.from_socket(SocketConfig(), sockets=8,
+                                             calibration=cal)
+        unf = cost_plan(unfused_plan, target, Orchestration.SOFTWARE).total_s
+        fus = cost_plan(fused_plan, target, Orchestration.SOFTWARE).total_s
+        ratio = unf / fus
+        return ratio, ratio > 1.0
+
+    return sweep_constant(
+        "unfused_compute_efficiency",
+        list(unfused_efficiencies),
+        "fusion speeds up 7B decode",
+        evaluate,
+    )

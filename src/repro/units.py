@@ -1,0 +1,88 @@
+"""Unit constants and helpers shared across the library.
+
+The library uses a single, consistent set of base units:
+
+- **bytes** for capacities and data sizes,
+- **bytes/second** for bandwidths,
+- **seconds** for times and latencies,
+- **FLOPs** (floating point operations) for compute work.
+
+Helpers in this module convert between human-friendly magnitudes
+(``GiB``, ``TB/s``, microseconds) and the base units.
+"""
+
+from __future__ import annotations
+
+# Binary (power-of-two) capacity units, used for memory capacities.
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+# Decimal (power-of-ten) units, used for bandwidths and FLOP rates, matching
+# vendor datasheet conventions (1 TB/s = 1e12 bytes/s, 1 TFLOPS = 1e12 FLOP/s).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+KFLOPS = 1e3
+MFLOPS = 1e6
+GFLOPS = 1e9
+TFLOPS = 1e12
+
+# Time units (base unit: second).
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+NANOSECOND = 1e-9
+
+
+def to_mib(num_bytes: float) -> float:
+    """Convert bytes to MiB."""
+    return num_bytes / MiB
+
+
+def to_gib(num_bytes: float) -> float:
+    """Convert bytes to GiB."""
+    return num_bytes / GiB
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * 1e6
+
+
+def fmt_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``'64.0 GiB'``."""
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024 or suffix == "TiB":
+            return f"{value:.1f} {suffix}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration with an adaptive suffix, e.g. ``'1.2 ms'``."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= MILLISECOND:
+        return f"{seconds / MILLISECOND:.2f} ms"
+    if seconds >= MICROSECOND:
+        return f"{seconds / MICROSECOND:.2f} us"
+    return f"{seconds / NANOSECOND:.1f} ns"
+
+
+def fmt_bandwidth(bytes_per_second: float) -> str:
+    """Render a bandwidth with a decimal suffix, e.g. ``'2.0 TB/s'``."""
+    value = float(bytes_per_second)
+    for suffix in ("B/s", "KB/s", "MB/s", "GB/s", "TB/s"):
+        if abs(value) < 1000 or suffix == "TB/s":
+            return f"{value:.1f} {suffix}"
+        value /= 1000
+    raise AssertionError("unreachable")

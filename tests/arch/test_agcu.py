@@ -1,0 +1,88 @@
+"""AGCU: kernel launch orchestration, P2P collectives, address generation."""
+
+import pytest
+
+from repro.arch.agcu import (
+    AddressGenerator,
+    KernelDescriptor,
+    KernelOrchestrator,
+    LaunchCommand,
+    P2PLink,
+    all_gather_time,
+    ring_allreduce_time,
+)
+from repro.arch.config import AGCUConfig
+
+
+@pytest.fixture
+def orchestrator():
+    return KernelOrchestrator(
+        AGCUConfig(sw_launch_overhead_s=10e-6, hw_launch_overhead_s=0.5e-6),
+        sw_per_arg_s=1e-6,
+    )
+
+
+SCHEDULE = [
+    KernelDescriptor("k0", exec_time_s=100e-6, num_args=4),
+    KernelDescriptor("k1", exec_time_s=50e-6, num_args=2),
+]
+
+
+class TestOrchestration:
+    def test_software_overhead_includes_args(self, orchestrator):
+        result = orchestrator.run_software(SCHEDULE)
+        assert result.overhead_s == pytest.approx((10 + 4) * 1e-6 + (10 + 2) * 1e-6)
+        assert result.exec_s == pytest.approx(150e-6)
+
+    def test_hardware_overhead_is_tiny(self, orchestrator):
+        result = orchestrator.run_hardware(SCHEDULE)
+        assert result.overhead_s == pytest.approx(1e-6)
+
+    def test_hardware_beats_software(self, orchestrator):
+        sw = orchestrator.run_software(SCHEDULE)
+        hw = orchestrator.run_hardware(SCHEDULE)
+        assert hw.total_s < sw.total_s
+
+    def test_software_issues_three_commands_per_kernel(self, orchestrator):
+        result = orchestrator.run_software(SCHEDULE)
+        k0_commands = [e.command for e in result.events if e.kernel == "k0"]
+        assert k0_commands == list(LaunchCommand)
+
+    def test_negative_exec_time_rejected(self):
+        with pytest.raises(ValueError):
+            KernelDescriptor("bad", exec_time_s=-1.0)
+
+
+class TestP2P:
+    def test_ring_allreduce_time_formula(self):
+        link = P2PLink(bandwidth=100e9, latency_s=1e-6)
+        t = ring_allreduce_time(800e6, participants=8, link=link)
+        expected = 14 * (1e-6 + 100e6 / 100e9)
+        assert t == pytest.approx(expected)
+
+    def test_single_participant_is_free(self):
+        link = P2PLink(bandwidth=1e9)
+        assert ring_allreduce_time(1e6, 1, link) == 0.0
+        assert all_gather_time(1e6, 1, link) == 0.0
+
+    def test_allgather_cheaper_than_allreduce(self):
+        link = P2PLink(bandwidth=100e9)
+        assert all_gather_time(1e6, 8, link) < ring_allreduce_time(1e6, 8, link)
+
+    def test_zero_bytes_transfer_is_free(self):
+        assert P2PLink(bandwidth=1e9).transfer_time(0) == 0.0
+
+
+class TestAddressGenerator:
+    def test_2d_walk(self):
+        gen = AddressGenerator(base=100, strides=(10, 1), extents=(2, 3))
+        assert gen.addresses() == [100, 101, 102, 110, 111, 112]
+
+    def test_count(self):
+        gen = AddressGenerator(base=0, strides=(4, 1), extents=(5, 4))
+        assert gen.count == 20
+        assert len(gen.addresses()) == 20
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AddressGenerator(base=0, strides=(1,), extents=(2, 2))

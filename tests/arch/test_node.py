@@ -1,0 +1,55 @@
+"""Socket and node device models."""
+
+import pytest
+
+from repro.arch.node import RDUNode, RDUSocket
+from repro.memory.tiers import TierKind
+from repro.models.catalog import LLAMA2_7B
+
+
+class TestSocket:
+    def test_memory_has_three_tiers(self):
+        sock = RDUSocket()
+        for kind in (TierKind.SRAM, TierKind.HBM, TierKind.DDR):
+            assert sock.memory.has_tier(kind)
+
+    def test_unit_counts_match_config(self):
+        sock = RDUSocket()
+        assert sock.num_pcus == 1040
+        assert sock.num_pmus == 1040
+
+
+class TestNode:
+    def test_pools_socket_capacity(self):
+        node = RDUNode()
+        assert node.memory[TierKind.HBM].capacity_bytes == 8 * 64 * 2**30
+
+    def test_ddr_to_hbm_uses_calibrated_path(self):
+        node = RDUNode()
+        bw = node.memory.transfer_bandwidth(TierKind.DDR, TierKind.HBM)
+        assert bw == pytest.approx(1.05e12)
+
+    def test_switch_time_for_7b_expert_is_milliseconds(self):
+        node = RDUNode()
+        t = node.model_switch_time(LLAMA2_7B.weight_bytes)
+        assert 5e-3 < t < 20e-3  # ~13 ms: the paper's fast-switching story
+
+    def test_dma_trace_records_transfers(self):
+        node = RDUNode()
+        node.dma.submit(TierKind.DDR, TierKind.HBM, 10**9, label="expert")
+        assert node.dma.total_bytes == 10**9
+        assert node.dma.trace[0].label == "expert"
+
+
+class TestCrossModelConsistency:
+    def test_node_switch_time_matches_platform_model(self):
+        """RDUNode's DMA path and the serving Platform use the same
+        calibrated DDR->HBM bandwidth — they must agree."""
+        from repro.systems.platforms import sn40l_platform
+
+        node = RDUNode()
+        platform = sn40l_platform()
+        weight = LLAMA2_7B.weight_bytes
+        assert node.model_switch_time(weight) == pytest.approx(
+            platform.switch_time(weight), rel=0.01
+        )

@@ -1,0 +1,78 @@
+"""PCU functional and timing model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import PCUConfig
+from repro.arch.pcu import PCU
+
+
+@pytest.fixture
+def pcu():
+    return PCU(PCUConfig(lanes=8, stages=4, clock_ghz=1.0))
+
+
+class TestSystolicMatmul:
+    def test_matches_numpy(self, pcu):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((20, 12)).astype(np.float32)
+        b = rng.standard_normal((12, 10)).astype(np.float32)
+        out, _ = pcu.systolic_matmul(a, b)
+        np.testing.assert_allclose(out, a @ b, rtol=1e-4, atol=1e-4)
+
+    def test_irregular_tail_tiles(self, pcu):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((9, 5)).astype(np.float32)
+        b = rng.standard_normal((5, 7)).astype(np.float32)
+        out, _ = pcu.systolic_matmul(a, b)
+        np.testing.assert_allclose(out, a @ b, rtol=1e-4, atol=1e-4)
+
+    def test_shape_mismatch_rejected(self, pcu):
+        with pytest.raises(ValueError):
+            pcu.systolic_matmul(np.zeros((2, 3)), np.zeros((4, 5)))
+
+    def test_cycle_count_formula(self, pcu):
+        # 16x8 output = 2 tiles of (8 lanes x 4 stages) per row-block:
+        # ceil(16/8) * ceil(8/4) = 4 tiles, k=12 cycles each.
+        timing = pcu.gemm_cycles(16, 12, 8)
+        assert timing.tiles == 4
+        assert timing.cycles_per_tile == 12
+        assert timing.total_cycles == 4 * 12 + (8 + 4)
+
+    def test_time_uses_clock(self, pcu):
+        t = pcu.gemm_time_s(8, 10, 4)
+        assert t == pytest.approx(pcu.gemm_cycles(8, 10, 4).total_cycles / 1e9)
+
+    def test_invalid_dims_rejected(self, pcu):
+        with pytest.raises(ValueError):
+            pcu.gemm_cycles(0, 1, 1)
+
+
+class TestSIMD:
+    def test_simd_map_applies_function(self, pcu):
+        x = np.arange(20, dtype=np.float32)
+        out, cycles = pcu.simd_map(x, lambda v: v * 2)
+        np.testing.assert_array_equal(out, x * 2)
+        assert cycles > 0
+
+    def test_simd_cycles_scale_with_elements(self, pcu):
+        c1 = pcu.simd_cycles(80)
+        c2 = pcu.simd_cycles(160)
+        assert c2 > c1
+
+    def test_long_chains_take_multiple_passes(self, pcu):
+        short = pcu.simd_cycles(64, ops_per_element=2)
+        long = pcu.simd_cycles(64, ops_per_element=20)
+        assert long > short
+
+
+class TestCrossLaneReduce:
+    def test_sum_is_exact(self, pcu):
+        x = np.arange(100, dtype=np.float32)
+        total, cycles = pcu.cross_lane_reduce(x)
+        assert total == pytest.approx(x.sum())
+        assert cycles > 0
+
+    def test_log_depth_per_vector(self, pcu):
+        _, cycles = pcu.cross_lane_reduce(np.ones(8, dtype=np.float32))
+        assert cycles == 3  # log2(8)

@@ -1,0 +1,118 @@
+"""Performance counters and the two-bucket hotspot triage."""
+
+import pytest
+
+from repro.arch.perfcounters import (
+    CounterFile,
+    Remedy,
+    StallCounter,
+    UnitClass,
+    diagnose,
+    pmu_counter,
+)
+from repro.arch.pmu import PMU
+from repro.arch.config import PMUConfig
+
+
+class TestStallCounter:
+    def test_accumulates(self):
+        c = StallCounter("s0", UnitClass.SWITCH)
+        c.record(busy=10, stalled=5)
+        c.record(busy=10, stalled=5)
+        assert c.stall_fraction == pytest.approx(1 / 3)
+
+    def test_saturates(self):
+        c = StallCounter("s0", UnitClass.SWITCH, max_value=100)
+        c.record(busy=500)
+        assert c.busy_cycles == 100
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StallCounter("s0", UnitClass.SWITCH).record(busy=-1)
+
+    def test_reset(self):
+        c = StallCounter("s0", UnitClass.SWITCH)
+        c.record(busy=10, stalled=10)
+        c.reset()
+        assert c.total_cycles == 0
+
+
+class TestCounterFile:
+    def test_register_and_lookup(self):
+        cf = CounterFile()
+        cf.register(StallCounter("sw0", UnitClass.SWITCH))
+        assert cf["sw0"].unit_class is UnitClass.SWITCH
+
+    def test_duplicate_rejected(self):
+        cf = CounterFile()
+        cf.register(StallCounter("sw0", UnitClass.SWITCH))
+        with pytest.raises(ValueError):
+            cf.register(StallCounter("sw0", UnitClass.PMU))
+
+    def test_snapshot_delta(self):
+        cf = CounterFile()
+        c = cf.register(StallCounter("sw0", UnitClass.SWITCH))
+        c.record(busy=5, stalled=1)
+        snap = cf.snapshot()
+        c.record(busy=3, stalled=2)
+        assert cf.delta(snap)["sw0"] == (3, 2)
+
+
+class TestDiagnose:
+    def _file(self):
+        cf = CounterFile()
+        congested = cf.register(StallCounter("sw3", UnitClass.SWITCH))
+        congested.record(busy=40, stalled=60)
+        conflicted = cf.register(StallCounter("pmu7", UnitClass.PMU))
+        conflicted.record(busy=50, stalled=50)
+        healthy = cf.register(StallCounter("sw1", UnitClass.SWITCH))
+        healthy.record(busy=99, stalled=1)
+        return cf
+
+    def test_two_bucket_remedies(self):
+        hotspots = diagnose(self._file())
+        by_unit = {h.unit: h for h in hotspots}
+        assert by_unit["sw3"].remedy is Remedy.THROTTLE_TRAFFIC
+        assert by_unit["pmu7"].remedy is Remedy.REMAP_BANK_BITS
+
+    def test_healthy_units_excluded(self):
+        hotspots = diagnose(self._file())
+        assert "sw1" not in {h.unit for h in hotspots}
+
+    def test_sorted_worst_first(self):
+        hotspots = diagnose(self._file())
+        fractions = [h.stall_fraction for h in hotspots]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            diagnose(CounterFile(), stall_threshold=0.0)
+
+
+class TestPMUIntegration:
+    def test_conflicted_pmu_shows_stalls(self):
+        pmu = PMU(PMUConfig(capacity_bytes=64 * 1024, num_banks=16))
+        # Stride of num_banks: every access hits bank 0 -> conflicts.
+        pmu.write([i * 16 for i in range(16)], [0.0] * 16)
+        counter = pmu_counter("pmu0", pmu)
+        assert counter.stall_fraction > 0.5
+
+    def test_conflict_free_pmu_is_healthy(self):
+        pmu = PMU(PMUConfig(capacity_bytes=64 * 1024, num_banks=16))
+        pmu.write(list(range(16)), [0.0] * 16)
+        counter = pmu_counter("pmu0", pmu)
+        assert counter.stall_fraction == 0.0
+
+    def test_fixing_bank_bits_clears_diagnosis(self):
+        cfg = PMUConfig(capacity_bytes=64 * 1024, num_banks=16)
+        addrs = [i * 16 for i in range(16)]
+        broken = PMU(cfg)
+        broken.write(addrs, [0.0] * 16)
+        fixed = PMU(cfg)
+        fixed.set_bank_bits(4)
+        fixed.write(addrs, [0.0] * 16)
+        cf = CounterFile()
+        cf.register(pmu_counter("broken", broken))
+        cf.register(pmu_counter("fixed", fixed))
+        hotspots = {h.unit for h in diagnose(cf)}
+        assert hotspots == {"broken"}

@@ -1,0 +1,109 @@
+"""RDN: routing, flow tables, multicast, reordering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.config import RDNConfig
+from repro.arch.rdn import FlowEntry, Mesh, Packet, Port, ReorderBuffer
+
+
+class TestDimensionOrderRouting:
+    def test_path_is_x_then_y(self):
+        path = Mesh.dimension_order_path((0, 0), (2, 2))
+        assert path == [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]
+
+    def test_self_route_is_trivial(self):
+        assert Mesh.dimension_order_path((3, 3), (3, 3)) == [(3, 3)]
+
+    def test_dynamic_route_latency(self):
+        mesh = Mesh(4, 4, RDNConfig(hop_latency_cycles=2))
+        pkt = Packet(payload=1)
+        latency = mesh.route_dynamic(pkt, (0, 0), (3, 2))
+        assert pkt.hops == 5
+        assert latency == 10
+
+    def test_out_of_bounds_rejected(self):
+        mesh = Mesh(2, 2)
+        with pytest.raises(ValueError):
+            mesh.route_dynamic(Packet(payload=1), (0, 0), (5, 5))
+
+
+class TestStaticFlowRouting:
+    def test_unicast_delivery(self):
+        mesh = Mesh(4, 4)
+        fid = mesh.program_route((0, 0), [(3, 3)])
+        deliveries = mesh.send_flow(Packet(payload="p"), (0, 0), fid)
+        assert len(deliveries) == 1
+        coord, pkt = deliveries[0]
+        assert coord == (3, 3)
+        assert pkt.hops == 6
+
+    def test_multicast_reaches_every_destination(self):
+        mesh = Mesh(6, 6)
+        dests = [(5, 0), (2, 4), (0, 5)]
+        fid = mesh.program_route((1, 1), dests)
+        deliveries = mesh.send_flow(Packet(payload="m"), (1, 1), fid)
+        assert sorted(c for c, _ in deliveries) == sorted(dests)
+
+    def test_multicast_shares_tree_prefix(self):
+        # Two destinations in the same column share the X leg of the route;
+        # the fork switch must carry a single multicast entry, not two.
+        mesh = Mesh(6, 6)
+        mesh.program_route((0, 0), [(3, 2), (3, 4)])
+        fork = mesh.switches[(3, 0)]
+        assert fork.flows_used == 1
+
+    def test_flow_ids_are_switch_local(self):
+        # MPLS-like relabelling: two flows through disjoint switches can
+        # reuse the same local flow ID (SN10 could not).
+        mesh = Mesh(8, 1)
+        fid_a = mesh.program_route((0, 0), [(1, 0)])
+        fid_b = mesh.program_route((4, 0), [(5, 0)])
+        assert fid_a == fid_b  # both allocated ID 0 locally
+
+    def test_flow_table_capacity_enforced(self):
+        mesh = Mesh(2, 1, RDNConfig(flow_table_entries=2))
+        mesh.program_route((0, 0), [(1, 0)])
+        mesh.program_route((0, 0), [(1, 0)])
+        with pytest.raises(RuntimeError):
+            mesh.program_route((0, 0), [(1, 0)])
+
+    def test_empty_destinations_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh(2, 2).program_route((0, 0), [])
+
+
+class TestFlowEntry:
+    def test_mismatched_ports_and_ids_rejected(self):
+        with pytest.raises(ValueError):
+            FlowEntry(out_ports=(Port.EAST,), next_flow_ids=(1, 2))
+
+    def test_empty_entry_rejected(self):
+        with pytest.raises(ValueError):
+            FlowEntry(out_ports=(), next_flow_ids=())
+
+
+class TestReorderBuffer:
+    def test_in_order_passthrough(self):
+        rb = ReorderBuffer()
+        released = [p.sequence_id for s in range(4) for p in rb.push(Packet(payload=s, sequence_id=s))]
+        assert released == [0, 1, 2, 3]
+
+    def test_duplicate_rejected(self):
+        rb = ReorderBuffer()
+        rb.push(Packet(payload=0, sequence_id=0))
+        with pytest.raises(ValueError):
+            rb.push(Packet(payload=0, sequence_id=0))
+
+    def test_missing_sequence_id_rejected(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer().push(Packet(payload=0))
+
+    @given(st.permutations(list(range(12))))
+    def test_any_arrival_order_releases_sorted(self, order):
+        rb = ReorderBuffer()
+        released = []
+        for sid in order:
+            released.extend(p.sequence_id for p in rb.push(Packet(payload=sid, sequence_id=sid)))
+        assert released == sorted(order)
+        assert rb.pending == 0

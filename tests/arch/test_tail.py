@@ -1,0 +1,121 @@
+"""The PCU tail unit: LUT transcendentals, stochastic rounding, RNG."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.tail import (
+    TailUnit,
+    TranscendentalLUT,
+    Xorshift32,
+    bf16_ulp,
+    fp32_to_bf16_trunc,
+    stochastic_round_bf16,
+)
+
+
+class TestFormatConversion:
+    def test_truncation_drops_low_mantissa(self):
+        x = np.array([1.0 + 2**-10], dtype=np.float32)
+        truncated = fp32_to_bf16_trunc(x)
+        assert truncated[0] == 1.0  # 2^-10 is below BF16 precision at 1.0
+
+    def test_bf16_values_pass_through(self):
+        x = np.array([1.5, -2.0, 0.0, 256.0], dtype=np.float32)
+        np.testing.assert_array_equal(fp32_to_bf16_trunc(x), x)
+
+    def test_ulp_scales_with_magnitude(self):
+        ulps = bf16_ulp(np.array([1.0, 256.0], dtype=np.float32))
+        assert ulps[1] == pytest.approx(256 * ulps[0])
+
+
+class TestXorshift:
+    def test_deterministic_sequence(self):
+        a = Xorshift32(seed=42)
+        b = Xorshift32(seed=42)
+        assert [a.next_u32() for _ in range(10)] == [b.next_u32() for _ in range(10)]
+
+    def test_uniform_in_unit_interval(self):
+        draws = Xorshift32(seed=7).uniform(1000)
+        assert np.all((0 <= draws) & (draws < 1))
+        assert 0.4 < draws.mean() < 0.6
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Xorshift32(seed=0)
+
+
+class TestStochasticRounding:
+    def test_results_land_on_bf16_grid(self):
+        rng = Xorshift32(seed=3)
+        x = np.linspace(-5, 5, 101).astype(np.float32)
+        rounded = stochastic_round_bf16(x, rng)
+        np.testing.assert_array_equal(rounded, fp32_to_bf16_trunc(rounded))
+
+    def test_unbiased_in_expectation(self):
+        """The defining property: E[round(x)] == x."""
+        x = np.full(20000, 1.0 + 0.25 * float(bf16_ulp(np.float32(1.0))),
+                    dtype=np.float32)
+        rounded = stochastic_round_bf16(x, Xorshift32(seed=11))
+        assert rounded.mean() == pytest.approx(float(x[0]), rel=1e-3)
+
+    def test_error_bounded_by_one_ulp(self):
+        x = np.linspace(-100, 100, 5001).astype(np.float32)
+        rounded = stochastic_round_bf16(x, Xorshift32(seed=5))
+        assert np.all(np.abs(rounded - x) <= bf16_ulp(x) + 1e-12)
+
+    def test_sign_preserved(self):
+        x = np.array([-3.14159, 3.14159], dtype=np.float32)
+        rounded = stochastic_round_bf16(x, Xorshift32(seed=9))
+        assert rounded[0] < 0 < rounded[1]
+
+
+class TestTranscendentalLUT:
+    @pytest.mark.parametrize("fn", ["exp", "tanh", "sigmoid", "gelu", "rsqrt"])
+    def test_error_fits_bf16(self, fn):
+        lut = TailUnit()._luts[fn]
+        # BF16 has ~3 decimal digits; the LUT must not be the bottleneck.
+        assert lut.max_error() < 5e-3
+
+    def test_geometric_grid_beats_linear_for_rsqrt(self):
+        linear = TranscendentalLUT("rsqrt", 0.0625, 16.0)
+        geometric = TranscendentalLUT("rsqrt", 0.0625, 16.0, geometric=True)
+        assert geometric.max_error() < linear.max_error() / 10
+
+    def test_geometric_needs_positive_range(self):
+        with pytest.raises(ValueError):
+            TranscendentalLUT("exp", -1.0, 1.0, geometric=True)
+
+    def test_inputs_clamp_to_range(self):
+        lut = TranscendentalLUT("tanh", -4.0, 4.0)
+        assert lut.evaluate(np.array([100.0]))[0] == pytest.approx(np.tanh(4.0))
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            TranscendentalLUT("exp", 1.0, -1.0)
+
+
+class TestTailUnit:
+    def test_apply_matches_reference(self):
+        tail = TailUnit()
+        x = np.linspace(-3, 3, 64).astype(np.float32)
+        result, cycles = tail.apply(x, "sigmoid")
+        np.testing.assert_allclose(result, 1 / (1 + np.exp(-x)), atol=5e-3)
+        assert cycles == 2  # 64 elements / 32 lanes
+
+    def test_fused_stochastic_conversion(self):
+        tail = TailUnit()
+        x = np.linspace(0.1, 4.0, 256).astype(np.float32)
+        result, _ = tail.apply(x, "exp", stochastic_bf16=True)
+        np.testing.assert_array_equal(result, fp32_to_bf16_trunc(result))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError, match="supported"):
+            TailUnit().apply(np.ones(4), "cosh")
+
+    @settings(max_examples=30)
+    @given(st.integers(1, 500))
+    def test_cycles_are_ceil_of_vectors(self, n):
+        tail = TailUnit(lanes=32)
+        _, cycles = tail.apply(np.zeros(n, dtype=np.float32), "tanh")
+        assert cycles == -(-n // 32)

@@ -1,0 +1,48 @@
+"""RDU tile inventory and allocation."""
+
+import pytest
+
+from repro.arch.config import TileConfig
+from repro.arch.tile import RDUTile, UnitKind
+
+
+@pytest.fixture
+def tile():
+    return RDUTile(TileConfig(rows=4, cols=4))
+
+
+class TestInventory:
+    def test_checkerboard_splits_evenly(self, tile):
+        assert tile.num_pcus + tile.num_pmus == 4 * 8
+        assert tile.num_pcus == tile.num_pmus
+
+    def test_default_tile_matches_socket_aggregate(self):
+        tile = RDUTile()
+        assert tile.num_pcus == 130  # x8 tiles = 1040 per socket
+        assert tile.num_pmus == 130
+
+
+class TestAllocation:
+    def test_allocate_reduces_free_count(self, tile):
+        before = tile.free_pcus
+        tile.allocate(UnitKind.PCU, 5, owner="kernelA")
+        assert tile.free_pcus == before - 5
+
+    def test_release_returns_everything(self, tile):
+        tile.allocate(UnitKind.PCU, 5, owner="kernelA")
+        tile.allocate(UnitKind.PMU, 3, owner="kernelA")
+        assert tile.release("kernelA") == 8
+        assert tile.free_pcus == tile.num_pcus
+
+    def test_over_allocation_raises(self, tile):
+        with pytest.raises(RuntimeError):
+            tile.allocate(UnitKind.PCU, tile.num_pcus + 1, owner="big")
+
+    def test_utilization_tracks_allocations(self, tile):
+        tile.allocate(UnitKind.PCU, tile.num_pcus // 2, owner="half")
+        assert tile.utilization(UnitKind.PCU) == pytest.approx(0.5)
+
+    def test_allocations_are_clustered(self, tile):
+        slots = tile.allocate(UnitKind.PCU, 4, owner="k")
+        rows = {s.coord[1] for s in slots}
+        assert len(rows) <= 2  # row-major packing keeps stages together

@@ -1,0 +1,116 @@
+"""Inter-socket P2P topologies."""
+
+import pytest
+
+from repro.arch.agcu import P2PLink
+from repro.arch.topology import (
+    SocketFabric,
+    Topology,
+    best_topology,
+    _factor_2d,
+)
+
+LINK = P2PLink(bandwidth=200e9, latency_s=2e-6)
+
+
+class TestFactoring:
+    def test_most_square(self):
+        assert _factor_2d(8) == (2, 4)
+        assert _factor_2d(16) == (4, 4)
+        assert _factor_2d(6) == (2, 3)
+
+    def test_primes_are_flat(self):
+        assert _factor_2d(7) == (1, 7)
+
+
+class TestRing:
+    def test_allreduce_formula(self):
+        fabric = SocketFabric(8, LINK, Topology.RING)
+        expected = 14 * LINK.transfer_time(1e9 / 8)
+        assert fabric.allreduce_time(1e9) == pytest.approx(expected)
+
+    def test_single_socket_is_free(self):
+        assert SocketFabric(1, LINK).allreduce_time(1e9) == 0.0
+
+    def test_zero_bytes_is_free(self):
+        assert SocketFabric(8, LINK).allreduce_time(0) == 0.0
+
+    def test_two_ports_per_socket(self):
+        assert SocketFabric(8, LINK, Topology.RING).links_per_socket == 2
+
+
+class TestFullyConnected:
+    def test_two_steps_regardless_of_size(self):
+        fabric = SocketFabric(8, LINK, Topology.FULLY_CONNECTED)
+        assert fabric.allreduce_time(1e9) == pytest.approx(
+            2 * LINK.transfer_time(1e9 / 8)
+        )
+
+    def test_needs_p_minus_1_ports(self):
+        fabric = SocketFabric(8, LINK, Topology.FULLY_CONNECTED)
+        assert fabric.links_per_socket == 7
+
+    def test_beats_ring_on_small_messages(self):
+        # Latency-bound decode collectives: fewer steps win.
+        ring = SocketFabric(8, LINK, Topology.RING)
+        full = SocketFabric(8, LINK, Topology.FULLY_CONNECTED)
+        small = 64 * 1024
+        assert full.allreduce_time(small) < ring.allreduce_time(small)
+
+
+class TestMesh2D:
+    def test_decomposes_into_two_ring_phases(self):
+        fabric = SocketFabric(8, LINK, Topology.MESH_2D)
+        rows, cols = 2, 4
+        expected = (
+            SocketFabric(cols, LINK).allreduce_time(1e9)
+            + SocketFabric(rows, LINK).allreduce_time(1e9 / cols)
+        )
+        assert fabric.allreduce_time(1e9) == pytest.approx(expected)
+
+    def test_fewer_steps_than_flat_ring(self):
+        ring = SocketFabric(16, LINK, Topology.RING)
+        mesh = SocketFabric(16, LINK, Topology.MESH_2D)
+        small = 32 * 1024
+        assert mesh.allreduce_time(small) < ring.allreduce_time(small)
+
+    def test_prime_socket_count_rejected(self):
+        with pytest.raises(ValueError):
+            SocketFabric(7, LINK, Topology.MESH_2D)
+
+
+class TestAllGather:
+    def test_ring_allgather_cheaper_than_allreduce(self):
+        fabric = SocketFabric(8, LINK)
+        assert fabric.allgather_time(1e9) < fabric.allreduce_time(1e9)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            SocketFabric(8, LINK).allgather_time(-1)
+
+
+class TestBestTopology:
+    def test_sorted_fastest_first(self):
+        times = best_topology(8, LINK, 1e6)
+        values = list(times.values())
+        assert values == sorted(values)
+
+    def test_small_messages_prefer_low_step_count(self):
+        times = best_topology(8, LINK, 16 * 1024)
+        assert next(iter(times)) is Topology.FULLY_CONNECTED
+
+    def test_prime_counts_skip_mesh(self):
+        times = best_topology(7, LINK, 1e6)
+        assert Topology.MESH_2D not in times
+
+
+class TestSquareMesh:
+    def test_2x2_needs_four_ports(self):
+        fabric = SocketFabric(4, LINK, Topology.MESH_2D)
+        assert fabric.links_per_socket == 4
+
+    def test_allgather_zero_and_negative_paths(self):
+        fabric = SocketFabric(4, LINK, Topology.FULLY_CONNECTED)
+        assert fabric.allgather_time(0) == 0.0
+        with pytest.raises(ValueError):
+            fabric.allreduce_time(-1)

@@ -1,0 +1,53 @@
+"""Expert library."""
+
+import pytest
+
+from repro.coe.expert import ExpertLibrary, ExpertProfile, build_samba_coe_library
+from repro.models.catalog import LLAMA2_7B
+
+
+class TestExpertProfile:
+    def test_weight_bytes_come_from_model(self):
+        e = ExpertProfile("e0", "code")
+        assert e.weight_bytes == LLAMA2_7B.weight_bytes
+
+    def test_copyback_is_the_mutable_fraction(self):
+        e = ExpertProfile("e0", "code", mutable_fraction=0.1)
+        assert e.copyback_bytes == pytest.approx(0.1 * e.weight_bytes, rel=0.01)
+
+    def test_bad_mutable_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            ExpertProfile("e0", "code", mutable_fraction=1.5)
+
+
+class TestSambaCoELibrary:
+    def test_150_experts_cross_a_trillion_params(self):
+        lib = build_samba_coe_library(150)
+        assert len(lib) == 150
+        assert lib.total_params > 1e12  # the paper's headline
+
+    def test_domains_are_covered(self):
+        lib = build_samba_coe_library(20)
+        assert len(lib.domains) == 10
+
+    def test_lookup_by_name_and_domain(self):
+        lib = build_samba_coe_library(10)
+        expert = lib.experts[0]
+        assert lib[expert.name] is expert
+        assert expert in lib.for_domain(expert.domain)
+
+    def test_unknown_lookups_raise(self):
+        lib = build_samba_coe_library(5)
+        with pytest.raises(KeyError):
+            lib["ghost"]
+        with pytest.raises(KeyError):
+            lib.for_domain("astrology")
+
+    def test_duplicate_names_rejected(self):
+        e = ExpertProfile("dup", "code")
+        with pytest.raises(ValueError):
+            ExpertLibrary(experts=[e, ExpertProfile("dup", "math")])
+
+    def test_zero_experts_rejected(self):
+        with pytest.raises(ValueError):
+            build_samba_coe_library(0)

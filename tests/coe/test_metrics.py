@@ -1,0 +1,77 @@
+"""Serving metrics."""
+
+import pytest
+
+from repro.coe.expert import build_samba_coe_library
+from repro.coe.metrics import compute_metrics, metrics_of, percentile
+from repro.coe.serving import CoEServer, RequestLatency
+from repro.systems.platforms import sn40l_platform
+
+
+class TestPercentile:
+    def test_nearest_rank_convention(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 0) == 1.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+
+def _request(total, switch=0.0):
+    return RequestLatency(expert="e", router_s=0.01, switch_s=switch,
+                          prefill_s=0.02, decode_s=total - 0.03 - switch)
+
+
+class TestComputeMetrics:
+    def test_aggregates_one_stream(self):
+        requests = [_request(0.1 * (i + 1)) for i in range(10)]
+        metrics = compute_metrics(requests, output_tokens_per_request=20)
+        assert metrics.requests == 10
+        assert metrics.output_tokens == 200
+        assert metrics.p50_s == pytest.approx(0.5)
+        assert metrics.p99_s == pytest.approx(1.0)
+        assert metrics.total_s == pytest.approx(sum(0.1 * (i + 1) for i in range(10)))
+
+    def test_ttft_excludes_decode(self):
+        requests = [_request(1.0, switch=0.5)]
+        metrics = compute_metrics(requests, 20)
+        assert metrics.mean_ttft_s == pytest.approx(0.01 + 0.5 + 0.02)
+
+    def test_rates(self):
+        requests = [_request(0.5), _request(0.5)]
+        metrics = compute_metrics(requests, 10)
+        assert metrics.requests_per_second == pytest.approx(2.0)
+        assert metrics.tokens_per_second == pytest.approx(20.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compute_metrics([], 20)
+
+
+class TestEndToEnd:
+    def test_metrics_of_served_batch(self):
+        library = build_samba_coe_library(20)
+        server = CoEServer(sn40l_platform(), library)
+        result = server.serve_experts(library.experts[:5], output_tokens=10)
+        metrics = metrics_of(result, output_tokens_per_request=10)
+        assert metrics.requests == 5
+        assert metrics.p99_s >= metrics.p50_s >= 0
+        assert "req/s" in metrics.summary()
+
+    def test_cache_hits_shrink_p50(self):
+        library = build_samba_coe_library(10)
+        server = CoEServer(sn40l_platform(), library)
+        expert = library.experts[0]
+        cold = server.serve_experts([expert], output_tokens=10)
+        warm = server.serve_experts([expert] * 5, output_tokens=10)
+        cold_metrics = metrics_of(cold, 10)
+        warm_metrics = metrics_of(warm, 10)
+        assert warm_metrics.p50_s < cold_metrics.p50_s

@@ -1,0 +1,68 @@
+"""The prompt router."""
+
+import pytest
+
+from repro.coe.expert import build_samba_coe_library
+from repro.coe.router import Router, embed_text
+
+
+@pytest.fixture
+def router():
+    return Router(build_samba_coe_library(30))
+
+
+class TestRouting:
+    @pytest.mark.parametrize(
+        "prompt,domain",
+        [
+            ("Write a python function to reverse a linked list", "code"),
+            ("Solve the equation x^2 + 3x - 4 = 0", "math"),
+            ("Translate this sentence into French please", "translation"),
+            ("What are the symptoms of this disease and its treatment?", "medical"),
+            ("Summarize the key points of this article, tldr", "summarization"),
+        ],
+    )
+    def test_prompts_reach_their_domain(self, router, prompt, domain):
+        assert router.route(prompt).domain == domain
+
+    def test_routing_is_deterministic(self):
+        lib = build_samba_coe_library(30)
+        a = Router(lib).route("Write a python function").expert.name
+        b = Router(lib).route("Write a python function").expert.name
+        assert a == b
+
+    def test_round_robin_within_domain(self, router):
+        first = router.route("debug this python code").expert.name
+        second = router.route("debug this python code").expert.name
+        assert first != second  # several code experts share the load
+
+    def test_empty_prompt_rejected(self, router):
+        with pytest.raises(ValueError):
+            router.route("   ")
+
+    def test_batch_routes_independently(self, router):
+        decisions = router.route_batch(
+            ["integrate x dx", "write a poem about rivers"]
+        )
+        assert decisions[0].domain == "math"
+        assert decisions[1].domain == "writing"
+
+
+class TestEmbedding:
+    def test_embedding_is_normalised(self):
+        import numpy as np
+
+        v = embed_text("hello world hello")
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_empty_text_gives_zero_vector(self):
+        import numpy as np
+
+        assert np.all(embed_text("") == 0)
+
+    def test_missing_domain_keywords_detected(self):
+        from repro.coe.expert import ExpertLibrary, ExpertProfile
+
+        lib = ExpertLibrary(experts=[ExpertProfile("e", "astrology")])
+        with pytest.raises(ValueError, match="astrology"):
+            Router(lib)

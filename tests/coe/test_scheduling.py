@@ -1,0 +1,157 @@
+"""Affinity batching and speculative prefetch."""
+
+import pytest
+
+from repro.coe.expert import build_samba_coe_library
+from repro.coe.scheduling import (
+    ExpertPredictor,
+    Request,
+    affinity_schedule,
+    fifo_schedule,
+    serve_schedule,
+    serve_with_prefetch,
+)
+from repro.coe.serving import CoEServer
+from repro.systems.platforms import sn40l_platform
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_samba_coe_library(60)
+
+
+def _interleaved_requests(library, copies=4, experts=6):
+    """e0, e1, ..., e5, e0, e1, ... — worst case for an LRU of < 6 slots."""
+    reqs = []
+    rid = 0
+    for _ in range(copies):
+        for idx in range(experts):
+            reqs.append(Request(rid, library.experts[idx]))
+            rid += 1
+    return reqs
+
+
+class TestSchedules:
+    def test_fifo_preserves_order(self, library):
+        reqs = _interleaved_requests(library)
+        assert fifo_schedule(reqs) == reqs
+
+    def test_affinity_groups_within_window(self, library):
+        reqs = _interleaved_requests(library, copies=2, experts=3)
+        scheduled = affinity_schedule(reqs, window=6)
+        experts_seen = [r.expert.name for r in scheduled]
+        # Each expert's two requests are adjacent.
+        for name in set(experts_seen):
+            positions = [i for i, n in enumerate(experts_seen) if n == name]
+            assert positions[1] - positions[0] == 1
+
+    def test_affinity_is_a_permutation(self, library):
+        reqs = _interleaved_requests(library)
+        scheduled = affinity_schedule(reqs, window=8)
+        assert sorted(r.request_id for r in scheduled) == list(range(len(reqs)))
+
+    def test_window_bounds_reordering(self, library):
+        reqs = _interleaved_requests(library, copies=3, experts=4)
+        scheduled = affinity_schedule(reqs, window=4)
+        for pos, request in enumerate(scheduled):
+            assert abs(pos - request.request_id) < 4
+
+    def test_bad_window_rejected(self, library):
+        with pytest.raises(ValueError):
+            affinity_schedule([], window=0)
+
+
+class TestServeSchedule:
+    def test_affinity_reduces_switches(self, library):
+        # HBM holds ~37 experts; an interleaved stream over 50 experts
+        # thrashes FIFO but affinity groups repeats into hits.
+        reqs = _interleaved_requests(library, copies=3, experts=50)
+        fifo_server = CoEServer(sn40l_platform(), library)
+        affinity_server = CoEServer(sn40l_platform(), library)
+        fifo = serve_schedule(fifo_server, fifo_schedule(reqs), "fifo",
+                              output_tokens=5)
+        grouped = serve_schedule(
+            affinity_server, affinity_schedule(reqs, window=150), "affinity",
+            output_tokens=5,
+        )
+        assert grouped.switches < fifo.switches
+        assert grouped.total_s < fifo.total_s
+
+    def test_outcome_accounting(self, library):
+        server = CoEServer(sn40l_platform(), library)
+        reqs = _interleaved_requests(library, copies=2, experts=2)
+        outcome = serve_schedule(server, reqs, "fifo", output_tokens=5)
+        assert outcome.requests == 4
+        assert outcome.switches == 2
+        assert outcome.hit_rate == pytest.approx(0.5)
+
+    def test_empty_schedule_rejected(self, library):
+        server = CoEServer(sn40l_platform(), library)
+        with pytest.raises(ValueError):
+            serve_schedule(server, [], "fifo")
+
+
+class TestPredictor:
+    def test_learns_transitions(self, library):
+        p = ExpertPredictor()
+        a, b, c = library.experts[:3]
+        # Workflow a -> b, a -> b, a -> c: after 'a', 'b' is most likely.
+        for e in (a, b, a, b, a, c, a):
+            p.observe(e)
+        assert p.predict().name == b.name
+
+    def test_falls_back_to_frequency(self, library):
+        p = ExpertPredictor()
+        a, b = library.experts[0], library.experts[1]
+        for e in (b, b, b, a):  # 'a' has no outgoing transitions yet
+            p.observe(e)
+        assert p.predict().name == b.name
+
+    def test_candidates_cover_all_seen_experts(self, library):
+        p = ExpertPredictor()
+        for e in library.experts[:5]:
+            p.observe(e)
+        assert {c.name for c in p.candidates()} == {
+            e.name for e in library.experts[:5]
+        }
+
+    def test_no_history_no_prediction(self):
+        assert ExpertPredictor().predict() is None
+        assert ExpertPredictor().candidates() == []
+
+    def test_accuracy_tracking(self, library):
+        p = ExpertPredictor()
+        a, b = library.experts[0], library.experts[1]
+        p.observe(a)
+        p.observe(b)
+        p.observe(a)  # transition b->a and a->b each seen once
+        assert p.score(b, p.predict())
+        assert p.accuracy == 1.0
+
+
+class TestSpeculativePrefetch:
+    def test_workflow_chain_hides_switches(self, library):
+        # A repeating expert workflow (the paper's "outputs from one
+        # expert determine which expert to execute next"): transitions
+        # are predictable, and a one-slot cache forces a switch per step.
+        a, b, c = library.experts[:3]
+        stream = [a, b, c] * 6
+        platform = sn40l_platform()
+        one_slot = int(1.5 * a.weight_bytes)
+        server = CoEServer(platform, library,
+                           reserved_hbm_bytes=platform.hbm_capacity_bytes - one_slot)
+        outcome = serve_with_prefetch(server, stream, output_tokens=5)
+        assert outcome.predictor_accuracy > 0.5
+        assert outcome.hidden_switch_s > 0
+        assert outcome.speedup > 1.0
+
+    def test_never_slower_than_baseline(self, library):
+        stream = [library.experts[i % 7] for i in range(20)]
+        server = CoEServer(sn40l_platform(), library)
+        outcome = serve_with_prefetch(server, stream, output_tokens=5)
+        assert outcome.total_s <= outcome.baseline_s + 1e-12
+
+    def test_empty_stream_rejected(self, library):
+        server = CoEServer(sn40l_platform(), library)
+        with pytest.raises(ValueError):
+            serve_with_prefetch(server, [])

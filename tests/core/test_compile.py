@@ -1,0 +1,61 @@
+"""The compile pipeline: fusion + symbols + memory planning."""
+
+import pytest
+
+from repro.core.compile import build_symbols, compile_model
+from repro.dataflow import fusion
+from repro.memory.tiers import TierKind
+from repro.models.catalog import LLAMA2_7B
+from repro.models.fftconv import monarch_fft_graph
+from repro.models.transformer import decode_graph
+
+
+class TestBuildSymbols:
+    def test_weights_are_read_only_symbols(self):
+        plan = fusion.streaming_fusion(monarch_fft_graph(m=64))
+        symbols = {s.name: s for s in build_symbols(plan)}
+        assert symbols["f0"].read_only
+        assert symbols["f0"].is_weight
+        assert not symbols["x"].is_weight
+
+    def test_internal_tensors_make_no_symbols(self):
+        plan = fusion.streaming_fusion(monarch_fft_graph(m=64))
+        names = {s.name for s in build_symbols(plan)}
+        assert "y" not in names and "z" not in names
+
+    def test_unfused_materialises_intermediates(self):
+        plan = fusion.unfused(monarch_fft_graph(m=64))
+        names = {s.name for s in build_symbols(plan)}
+        assert {"y", "z", "zt"} <= names
+
+    def test_uses_span_producing_and_consuming_kernels(self):
+        plan = fusion.unfused(monarch_fft_graph(m=64))
+        symbols = {s.name: s for s in build_symbols(plan)}
+        # y is produced by kernel 0 (gemm0) and consumed by kernel 1 (mul).
+        assert symbols["y"].uses == (0, 1)
+
+
+class TestCompileModel:
+    def test_policies_produce_expected_kernel_counts(self):
+        g = monarch_fft_graph(m=64)
+        assert compile_model(g, policy="unfused").num_kernels == 4
+        assert compile_model(g, policy="streaming").num_kernels == 1
+
+    def test_memory_plan_fits_hbm(self):
+        g = decode_graph(LLAMA2_7B, batch=1, context=512, tp=8)
+        model = compile_model(g, sockets=8, policy="streaming")
+        assert model.hbm_bytes <= 8 * 64 * 2**30
+        assert not model.memory.spilled
+
+    def test_weights_dominate_hbm_extent(self):
+        g = decode_graph(LLAMA2_7B, batch=1, context=512, tp=8)
+        model = compile_model(g, sockets=8)
+        assert model.hbm_bytes >= LLAMA2_7B.weight_bytes
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="streaming"):
+            compile_model(monarch_fft_graph(m=64), policy="magic")
+
+    def test_bad_socket_count_rejected(self):
+        with pytest.raises(ValueError):
+            compile_model(monarch_fft_graph(m=64), sockets=0)

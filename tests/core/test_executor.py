@@ -1,0 +1,123 @@
+"""Functional graph execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import (
+    ExecutionError,
+    execute_graph,
+    execute_operator,
+    execute_plan,
+    random_inputs,
+)
+from repro.dataflow import fusion
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.operators import elementwise, softmax, tensor
+from repro.models.fftconv import fftconv_graph, monarch_fft_graph, monarch_reference
+from repro.models.moe import mixtral_8x7b, moe_decode_graph
+from repro.models.transformer import TransformerConfig, decode_graph, prefill_graph
+
+TINY = TransformerConfig("tiny", hidden=32, layers=2, heads=4, kv_heads=4,
+                         intermediate=64, vocab=128, max_seq=64)
+
+
+class TestExactSemantics:
+    """Shape-consistent graphs execute with exact numerics."""
+
+    def test_monarch_matches_reference(self):
+        graph = monarch_fft_graph(m=16)
+        inputs = random_inputs(graph, seed=3)
+        outputs = execute_graph(graph, inputs)
+        expected = monarch_reference(
+            inputs["x"], inputs["f0"], inputs["twiddle"], inputs["f1"]
+        )
+        np.testing.assert_allclose(outputs["out"], expected, rtol=1e-4, atol=1e-4)
+
+    def test_softmax_rows_sum_to_one(self):
+        g = DataflowGraph()
+        g.add(softmax("sm", tensor("x", (4, 8)), "y"))
+        out = execute_graph(g, random_inputs(g))
+        np.testing.assert_allclose(out["y"].sum(axis=-1), np.ones(4), rtol=1e-5)
+
+    def test_silu_and_gelu_semantics(self):
+        g = DataflowGraph()
+        x = tensor("x", (16,))
+        g.add(elementwise("a.silu", [x], "s", 4.0))
+        g.add(elementwise("b.gelu", [x], "t", 8.0))
+        env = {"x": np.linspace(-3, 3, 16).astype(np.float32)}
+        full = execute_graph(g, env, keep_intermediates=True)
+        expected_silu = env["x"] / (1 + np.exp(-env["x"]))
+        np.testing.assert_allclose(full["s"], expected_silu, rtol=1e-5)
+        assert np.all(np.abs(full["t"]) <= np.abs(env["x"]))  # gelu shrinks
+
+
+class TestFusedEquivalence:
+    """Fusion must never change results: plan execution == graph execution."""
+
+    @pytest.mark.parametrize("policy", [fusion.unfused, fusion.conventional_fusion,
+                                        fusion.streaming_fusion])
+    def test_monarch_policies_agree(self, policy):
+        graph = monarch_fft_graph(m=16)
+        inputs = random_inputs(graph, seed=1)
+        reference = execute_graph(graph, inputs)
+        plan = policy(graph)
+        fused = execute_plan(plan, inputs)
+        assert set(fused) == set(reference)
+        for name in reference:
+            np.testing.assert_allclose(fused[name], reference[name],
+                                       rtol=1e-5, atol=1e-5)
+
+    def test_fftconv_policies_agree(self):
+        graph = fftconv_graph(seqlen=1 << 10, channels=2)
+        inputs = random_inputs(graph, seed=2)
+        reference = execute_graph(graph, inputs)
+        fused = execute_plan(fusion.streaming_fusion(graph), inputs)
+        for name in reference:
+            np.testing.assert_allclose(fused[name], reference[name],
+                                       rtol=1e-4, atol=1e-4)
+
+
+class TestModelExecution:
+    """Whole models run end to end with declared shapes."""
+
+    def test_tiny_prefill_produces_token(self):
+        graph = prefill_graph(TINY, batch=1, seq=8)
+        outputs = execute_graph(graph, random_inputs(graph))
+        assert outputs["next_token"].shape == (1, 1)
+        assert outputs["next_token"].dtype == np.int32
+
+    def test_tiny_decode_runs_and_writes_kv(self):
+        graph = decode_graph(TINY, batch=2, context=16)
+        outputs = execute_graph(graph, random_inputs(graph))
+        assert outputs["next_token"].shape == (2, 1)
+        assert outputs["l0.kcache"].shape == (2, 4, 16, 8)
+
+    def test_moe_decode_runs(self):
+        cfg = mixtral_8x7b()
+        small = moe_decode_graph(
+            type(cfg)(name="tiny-moe",
+                      dense=TINY, num_experts=4, top_k=2),
+            batch=1, context=8,
+        )
+        outputs = execute_graph(small, random_inputs(small))
+        assert outputs["next_token"].shape == (1, 1)
+
+    def test_execution_is_deterministic(self):
+        graph = prefill_graph(TINY, batch=1, seq=8)
+        a = execute_graph(graph, random_inputs(graph, seed=5))
+        b = execute_graph(graph, random_inputs(graph, seed=5))
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+
+class TestErrors:
+    def test_missing_input_fails_loudly(self):
+        graph = monarch_fft_graph(m=8)
+        with pytest.raises(ExecutionError, match="missing external inputs"):
+            execute_graph(graph, {})
+
+    def test_operator_missing_tensor(self):
+        graph = monarch_fft_graph(m=8)
+        op = graph["mul"]
+        with pytest.raises(ExecutionError):
+            execute_operator(op, {})

@@ -1,0 +1,57 @@
+"""Property tests: fused execution always equals unfused execution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.executor import execute_graph, execute_plan, random_inputs
+from repro.dataflow import fusion
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.operators import elementwise, gemm, softmax, tensor, transpose
+
+
+@st.composite
+def executable_graphs(draw):
+    """Random shape-consistent graphs (square tensors throughout)."""
+    num_ops = draw(st.integers(2, 12))
+    dim = 8
+    g = DataflowGraph("random-exec")
+    produced = [tensor("x", (dim, dim))]
+    for idx in range(num_ops):
+        src = produced[draw(st.integers(0, len(produced) - 1))]
+        kind = draw(st.sampled_from(["gemm", "mul", "transpose", "softmax"]))
+        if kind == "gemm":
+            w = tensor(f"w{idx}", (dim, dim), is_weight=True)
+            op = gemm(f"op{idx}", w, src, f"t{idx}", dim, dim, dim)
+        elif kind == "mul":
+            op = elementwise(f"op{idx}", [src], f"t{idx}", 1.0)
+        elif kind == "transpose":
+            op = transpose(f"op{idx}", src, f"t{idx}")
+        else:
+            op = softmax(f"op{idx}", src, f"t{idx}")
+        g.add(op)
+        produced.append(op.outputs[0])
+    return g
+
+
+class TestExecutionEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(executable_graphs(), st.integers(0, 2**16))
+    def test_every_policy_computes_the_same_outputs(self, graph, seed):
+        inputs = random_inputs(graph, seed=seed)
+        reference = execute_graph(graph, inputs)
+        for policy in (fusion.unfused, fusion.conventional_fusion,
+                       fusion.streaming_fusion):
+            outputs = execute_plan(policy(graph), inputs)
+            assert set(outputs) == set(reference)
+            for name in reference:
+                np.testing.assert_allclose(
+                    outputs[name], reference[name], rtol=1e-3, atol=1e-3
+                )
+
+    @settings(max_examples=30, deadline=None)
+    @given(executable_graphs())
+    def test_outputs_are_finite(self, graph):
+        outputs = execute_graph(graph, random_inputs(graph, seed=0))
+        for value in outputs.values():
+            assert np.all(np.isfinite(value))

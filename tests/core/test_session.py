@@ -1,0 +1,77 @@
+"""Sessions: timing compiled models."""
+
+import pytest
+
+from repro.core.compile import compile_model
+from repro.core.session import Session
+from repro.models.catalog import LLAMA2_7B
+from repro.models.fftconv import fftconv_graph
+from repro.models.transformer import decode_graph
+from repro.perf.kernel_cost import Orchestration
+
+
+@pytest.fixture(scope="module")
+def decode_models():
+    g = decode_graph(LLAMA2_7B, batch=1, context=1024, tp=8)
+    return {
+        policy: compile_model(g, sockets=8, policy=policy)
+        for policy in ("unfused", "streaming")
+    }
+
+
+class TestSessionRuns:
+    def test_streaming_beats_unfused(self, decode_models):
+        session = Session(sockets=8)
+        unf = session.run(decode_models["unfused"], Orchestration.SOFTWARE)
+        fus = session.run(decode_models["streaming"], Orchestration.SOFTWARE)
+        assert fus.total_s < unf.total_s
+
+    def test_hardware_orchestration_helps(self, decode_models):
+        session = Session(sockets=8)
+        so = session.run(decode_models["streaming"], Orchestration.SOFTWARE)
+        ho = session.run(decode_models["streaming"], Orchestration.HARDWARE)
+        assert ho.total_s < so.total_s
+
+    def test_socket_mismatch_rejected(self, decode_models):
+        with pytest.raises(ValueError):
+            Session(sockets=1).run(decode_models["streaming"])
+
+    def test_fft_single_socket_single_kernel(self):
+        model = compile_model(fftconv_graph(seqlen=1 << 15, channels=4),
+                              sockets=1, policy="streaming")
+        result = Session(sockets=1).run(model)
+        assert result.num_launches <= 2
+        assert result.total_s > 0
+
+    def test_spill_overhead_nonnegative(self, decode_models):
+        session = Session(sockets=8)
+        result = session.run(decode_models["streaming"])
+        assert result.spill_overhead_s >= 0.0
+
+
+class TestScheduleReplay:
+    """The AGCU orchestrator model and the kernel cost model agree."""
+
+    @pytest.mark.parametrize("orch", [Orchestration.SOFTWARE,
+                                      Orchestration.HARDWARE])
+    def test_orchestrator_total_matches_cost_model(self, decode_models, orch):
+        session = Session(sockets=8)
+        model = decode_models["streaming"]
+        cost = session.run(model, orch)
+        schedule = session.schedule(model, orch)
+        assert schedule.total_s == pytest.approx(cost.cost.total_s, rel=1e-9)
+
+    def test_software_schedule_emits_three_commands_per_kernel(self, decode_models):
+        session = Session(sockets=8)
+        schedule = session.schedule(decode_models["streaming"],
+                                    Orchestration.SOFTWARE)
+        kernels = {e.kernel for e in schedule.events}
+        commands_per_kernel = len(schedule.events) / len(kernels)
+        assert commands_per_kernel == 3  # ProgramLoad, ArgLoad, Execute
+
+    def test_hardware_schedule_has_minimal_overhead(self, decode_models):
+        session = Session(sockets=8)
+        sw = session.schedule(decode_models["streaming"], Orchestration.SOFTWARE)
+        hw = session.schedule(decode_models["streaming"], Orchestration.HARDWARE)
+        assert hw.overhead_s < sw.overhead_s / 10
+        assert hw.exec_s == pytest.approx(sw.exec_s)

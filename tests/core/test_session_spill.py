@@ -1,0 +1,45 @@
+"""Session behaviour when the memory plan is forced to spill."""
+
+import pytest
+
+from repro.arch.config import MemoryTierSpec, SocketConfig
+from repro.core.compile import compile_model
+from repro.core.session import Session
+from repro.models.transformer import TransformerConfig, prefill_graph
+from repro.units import GB, GiB, TB, TiB
+
+SMALL = TransformerConfig("spilly", hidden=1024, layers=4, heads=8,
+                          kv_heads=8, intermediate=2816, vocab=32000)
+
+
+def _tiny_hbm_socket(hbm_gib: float) -> SocketConfig:
+    return SocketConfig(
+        hbm=MemoryTierSpec("HBM", int(hbm_gib * GiB), 2 * TB, 0.4e-6),
+        ddr=MemoryTierSpec("DDR", int(1.5 * TiB), 200 * GB, 0.9e-6),
+    )
+
+
+class TestForcedSpill:
+    def test_spill_overhead_appears_and_slows_the_run(self):
+        graph = prefill_graph(SMALL, batch=8, seq=2048)
+        # Weights ~0.2 GiB; activations at batch 8 overflow a small HBM.
+        socket = _tiny_hbm_socket(0.4)
+        model = compile_model(graph, socket=socket, policy="streaming")
+        assert model.memory.spilled
+        session = Session(socket=socket)
+        spilled_run = session.run(model)
+        assert spilled_run.spill_overhead_s > 0
+
+        roomy = SocketConfig()
+        fits = compile_model(graph, socket=roomy, policy="streaming")
+        assert not fits.memory.spilled
+        clean_run = Session(socket=roomy).run(fits)
+        assert clean_run.spill_overhead_s == 0.0
+        assert spilled_run.total_s > clean_run.total_s
+
+    def test_summary_mentions_spill(self):
+        graph = prefill_graph(SMALL, batch=8, seq=2048)
+        socket = _tiny_hbm_socket(0.4)
+        model = compile_model(graph, socket=socket)
+        result = Session(socket=socket).run(model)
+        assert "spill" in result.summary()

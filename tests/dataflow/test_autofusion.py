@@ -1,0 +1,89 @@
+"""Cost-driven optimal fusion."""
+
+import pytest
+
+from repro.arch.config import SocketConfig
+from repro.dataflow import fusion
+from repro.dataflow.autofusion import optimal_fusion, plan_time
+from repro.models.catalog import LLAMA2_7B
+from repro.models.fftconv import monarch_fft_graph
+from repro.models.transformer import TransformerConfig, decode_graph
+from repro.perf.kernel_cost import ExecutionTarget, Orchestration
+
+TINY = TransformerConfig("tiny-af", hidden=256, layers=3, heads=4, kv_heads=4,
+                         intermediate=512, vocab=1000)
+
+
+@pytest.fixture(scope="module")
+def target():
+    return ExecutionTarget.from_socket(SocketConfig(), sockets=1)
+
+
+class TestOptimalFusion:
+    def test_monarch_fuses_to_one_kernel(self, target):
+        graph = monarch_fft_graph(m=512)
+        plan = optimal_fusion(graph, target)
+        assert plan.num_kernels == 1
+
+    def test_is_a_valid_partition(self, target):
+        graph = decode_graph(TINY, batch=1, context=64)
+        plan = optimal_fusion(graph, target)
+        plan.validate()
+
+    def test_never_worse_than_heuristics(self, target):
+        """With an uncapped segment length, the DP is a lower bound over
+        *all* contiguous segmentations, so the shipped heuristics can
+        never beat it — a standing regression check on both sides of the
+        model."""
+        graph = decode_graph(TINY, batch=1, context=64)
+        optimal = optimal_fusion(graph, target, max_segment=len(graph))
+        optimal_t = plan_time(optimal, target)
+        for heuristic in (fusion.unfused(graph),
+                          fusion.group_by_prefix(graph),
+                          fusion.streaming_fusion(graph)):
+            assert optimal_t <= plan_time(heuristic, target) * 1.0001, (
+                heuristic.policy
+            )
+
+    def test_respects_pcu_budget(self, target):
+        graph = monarch_fft_graph(m=256)
+        # Budget fits one GEMM stage (32) + elementwise, not two GEMMs.
+        plan = optimal_fusion(graph, target, pcu_budget=40)
+        for kernel in plan.kernels:
+            gemms = sum(1 for op in kernel.ops if op.kind.is_compute_heavy)
+            assert gemms <= 1
+
+    def test_infeasible_budget_raises(self, target):
+        graph = monarch_fft_graph(m=64)
+        with pytest.raises(ValueError, match="PCU budget"):
+            optimal_fusion(graph, target, pcu_budget=1)
+
+    def test_bad_segment_cap_rejected(self, target):
+        with pytest.raises(ValueError):
+            optimal_fusion(monarch_fft_graph(m=64), target, max_segment=0)
+
+
+class TestOrchestrationDependence:
+    def test_software_launches_push_toward_bigger_kernels(self, target):
+        """With expensive launches, the optimum fuses more aggressively
+        than with cheap hardware launches (or at least as much)."""
+        graph = decode_graph(TINY, batch=1, context=64)
+        sw = optimal_fusion(graph, target, Orchestration.SOFTWARE)
+        hw = optimal_fusion(graph, target, Orchestration.HARDWARE)
+        assert sw.num_kernels <= hw.num_kernels
+
+
+class TestScalesToRealModels:
+    def test_llama_layer_segment(self, target):
+        """DP over one real decoder layer's worth of ops stays fast and
+        lands at (or below) the per-layer heuristic's time."""
+        graph = decode_graph(LLAMA2_7B, batch=1, context=256, tp=1)
+        # Restrict to a prefix for DP speed: embedding + first two layers.
+        sub_ops = graph.topological_order()[:47]
+        from repro.dataflow.graph import DataflowGraph
+
+        sub = DataflowGraph("llama-prefix")
+        for op in sub_ops:
+            sub.add(op)
+        plan = optimal_fusion(sub, target, max_segment=32)
+        assert plan_time(plan, target) <= plan_time(fusion.unfused(sub), target)

@@ -1,0 +1,56 @@
+"""Die-aware placement: splitting a pipeline across the two-die package."""
+
+import pytest
+
+from repro.dataflow import fusion
+from repro.dataflow.placement import place_kernel, split_across_dies
+from repro.models.fftconv import monarch_fft_graph
+
+
+@pytest.fixture(scope="module")
+def placed():
+    kernel = fusion.streaming_fusion(monarch_fft_graph(m=512)).kernels[0]
+    return kernel, place_kernel(kernel)
+
+
+class TestDieSplit:
+    def test_partitions_all_stages(self, placed):
+        kernel, placement = placed
+        split = split_across_dies(kernel, placement)
+        assert set(split.die0_stages) | set(split.die1_stages) == {
+            s.op_name for s in placement.stages
+        }
+        assert not set(split.die0_stages) & set(split.die1_stages)
+
+    def test_balances_pcu_load(self, placed):
+        kernel, placement = placed
+        split = split_across_dies(kernel, placement)
+        pcus = {s.op_name: s.pcus for s in placement.stages}
+        die0 = sum(pcus[n] for n in split.die0_stages)
+        die1 = sum(pcus[n] for n in split.die1_stages)
+        total = die0 + die1
+        # The two big GEMMs dominate; the cut puts one on each die.
+        assert abs(die0 - die1) < 0.2 * total
+
+    def test_crossing_traffic_identified(self, placed):
+        kernel, placement = placed
+        split = split_across_dies(kernel, placement)
+        # The monarch pipeline is a chain: exactly one tensor crosses the
+        # single contiguous cut (the transpose folds into its producer's
+        # die, so z or zt carries the boundary).
+        assert len(split.crossing_tensors) == 1
+        assert split.crossing_bytes == 512 * 512 * 2
+
+    def test_d2d_time(self, placed):
+        kernel, placement = placed
+        split = split_across_dies(kernel, placement)
+        assert split.d2d_time(1e12) == pytest.approx(split.crossing_bytes / 1e12)
+        with pytest.raises(ValueError):
+            split.d2d_time(0)
+
+    def test_empty_placement_rejected(self, placed):
+        kernel, placement = placed
+        from repro.dataflow.placement import KernelPlacement
+
+        with pytest.raises(ValueError):
+            split_across_dies(kernel, KernelPlacement(kernel_name="empty"))

@@ -1,0 +1,164 @@
+"""Fusion policies and their invariants."""
+
+import pytest
+
+from repro.dataflow import fusion
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.operators import elementwise, gemm, tensor, transpose
+from repro.models.fftconv import monarch_fft_graph
+from repro.models.catalog import LLAMA2_7B
+from repro.models.transformer import decode_graph
+
+
+@pytest.fixture
+def monarch():
+    return monarch_fft_graph(m=64)
+
+
+class TestUnfused:
+    def test_one_kernel_per_op(self, monarch):
+        plan = fusion.unfused(monarch)
+        assert plan.num_kernels == len(monarch)
+        assert all(k.num_ops == 1 for k in plan.kernels)
+
+    def test_every_tensor_is_external(self, monarch):
+        plan = fusion.unfused(monarch)
+        assert all(not k.internal_tensors for k in plan.kernels)
+
+
+class TestConventional:
+    def test_breaks_at_transpose(self, monarch):
+        plan = fusion.conventional_fusion(monarch)
+        for kernel in plan.kernels:
+            names = [op.name for op in kernel.ops]
+            if "transpose" in names:
+                # Transpose cannot bring the downstream GEMM with it.
+                assert "gemm1" not in names
+
+    def test_single_gemm_per_kernel(self, monarch):
+        plan = fusion.conventional_fusion(monarch)
+        for kernel in plan.kernels:
+            gemms = [op for op in kernel.ops if op.kind.is_compute_heavy]
+            assert len(gemms) <= 1
+
+    def test_region_size_cap(self):
+        g = DataflowGraph("long-chain")
+        src = tensor("x", (8, 8))
+        for i in range(12):
+            op = elementwise(f"e{i}", [src], f"t{i}")
+            g.add(op)
+            src = op.outputs[0]
+        plan = fusion.conventional_fusion(g, max_ops=5)
+        assert plan.num_kernels == 3
+        assert max(k.num_ops for k in plan.kernels) <= 5
+
+    def test_multi_consumer_forces_materialization(self):
+        g = DataflowGraph("diamond")
+        x = tensor("x", (8, 8))
+        a = g.add(elementwise("a", [x], "ta"))
+        g.add(elementwise("b", [a.outputs[0]], "tb"))
+        g.add(elementwise("c", [a.outputs[0]], "tc"))
+        plan = fusion.conventional_fusion(g)
+        # 'a' has two consumers: neither can fuse with it.
+        a_kernel = next(k for k in plan.kernels if any(o.name == "a" for o in k.ops))
+        assert a_kernel.num_ops == 1
+
+
+class TestStreaming:
+    def test_monarch_fuses_to_single_kernel(self, monarch):
+        plan = fusion.streaming_fusion(monarch)
+        assert plan.num_kernels == 1
+        assert plan.kernels[0].internal_bytes > 0
+
+    def test_transpose_consumes_no_compute_stage(self, monarch):
+        plan = fusion.streaming_fusion(monarch)
+        kernel = plan.kernels[0]
+        assert kernel.compute_stages == kernel.num_ops - 1  # transpose free
+
+    def test_pcu_budget_bounds_region(self, monarch):
+        plan = fusion.streaming_fusion(monarch, pcu_budget=33)
+        # Each GEMM wants 32 PCUs: gemm0+mul fit (34 > 33? 32+2=34) -> split.
+        assert plan.num_kernels >= 2
+
+    def test_fusion_reduces_offchip_traffic(self, monarch):
+        unfused_traffic = fusion.unfused(monarch).total_offchip_bytes
+        fused_traffic = fusion.streaming_fusion(monarch).total_offchip_bytes
+        assert fused_traffic < unfused_traffic
+
+    def test_intensity_increases_with_fusion(self, monarch):
+        assert (
+            fusion.streaming_fusion(monarch).operational_intensity
+            > fusion.unfused(monarch).operational_intensity
+        )
+
+
+class TestGroupByPrefix:
+    def test_one_kernel_per_decoder_layer(self):
+        import re
+
+        g = decode_graph(LLAMA2_7B, batch=1, context=128, tp=1)
+        plan = fusion.group_by_prefix(g)
+        layer_kernels = [
+            k for k in plan.kernels if re.match(r"l\d+\.", k.ops[0].name)
+        ]
+        assert len(layer_kernels) == LLAMA2_7B.layers
+        # Each decoder layer is one kernel with ~20 fused operators.
+        assert all(k.num_ops > 15 for k in layer_kernels)
+
+    def test_partition_is_validated(self):
+        g = decode_graph(LLAMA2_7B, batch=1, context=128, tp=1)
+        fusion.group_by_prefix(g).validate()  # must not raise
+
+
+class TestManualPlan:
+    def test_paper_table1_grouping(self, monarch):
+        plan = fusion.manual_plan(
+            monarch, [["gemm0", "mul", "transpose"], ["gemm1"]]
+        )
+        assert plan.num_kernels == 2
+        assert plan.kernels[0].num_ops == 3
+
+    def test_incomplete_partition_rejected(self, monarch):
+        with pytest.raises(AssertionError):
+            fusion.manual_plan(monarch, [["gemm0"]])
+
+
+class TestKernelBoundaries:
+    def test_internal_vs_external_accounting(self, monarch):
+        plan = fusion.manual_plan(
+            monarch, [["gemm0", "mul", "transpose"], ["gemm1"]]
+        )
+        k1 = plan.kernels[0]
+        internal = {t.name for t in k1.internal_tensors}
+        external_out = {t.name for t in k1.external_outputs}
+        assert internal == {"y", "z"}
+        assert external_out == {"zt"}
+
+    def test_weight_bytes_in_kernel(self, monarch):
+        plan = fusion.streaming_fusion(monarch)
+        # f0, twiddle, f1 at 64x64 bf16 each.
+        assert plan.kernels[0].weight_bytes == 3 * 64 * 64 * 2
+
+    def test_kernel_call_ratio(self, monarch):
+        fused = fusion.streaming_fusion(monarch)
+        assert fusion.kernel_call_ratio(monarch, fused) == 4.0
+
+
+class TestStreamingBudgets:
+    def test_pmu_budget_bounds_region(self):
+        from repro.models.fftconv import monarch_fft_graph
+
+        g = monarch_fft_graph(m=64)
+        # A PMU budget below one double-buffered stage tile forces every
+        # op into its own kernel.
+        plan = fusion.streaming_fusion(g, pmu_budget_bytes=4 * 1024,
+                                       stage_buffer_bytes=64 * 1024)
+        assert plan.num_kernels == len(g)
+
+    def test_summary_strings(self):
+        from repro.models.fftconv import monarch_fft_graph
+
+        g = monarch_fft_graph(m=64)
+        plan = fusion.streaming_fusion(g)
+        assert "streaming" in plan.summary()
+        assert "kernels" in plan.summary()

@@ -1,0 +1,108 @@
+"""Property-based fusion invariants over randomly generated graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import fusion
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.operators import (
+    elementwise,
+    gemm,
+    softmax,
+    tensor,
+    transpose,
+)
+
+
+@st.composite
+def random_graphs(draw):
+    """Random layered DAGs mixing GEMMs, elementwise ops, and transposes.
+
+    Every op consumes the output of a randomly chosen earlier op (or the
+    graph input), so graphs are connected, acyclic, and varied in shape.
+    """
+    num_ops = draw(st.integers(2, 18))
+    dim = draw(st.sampled_from([4, 8, 16]))
+    g = DataflowGraph("random")
+    produced = [tensor("x", (dim, dim))]
+    for idx in range(num_ops):
+        src = produced[draw(st.integers(0, len(produced) - 1))]
+        kind = draw(st.sampled_from(["gemm", "ew", "transpose", "softmax"]))
+        if kind == "gemm":
+            w = tensor(f"w{idx}", (dim, dim), is_weight=True)
+            op = gemm(f"op{idx}", src, w, f"t{idx}", dim, dim, dim)
+        elif kind == "ew":
+            op = elementwise(f"op{idx}", [src], f"t{idx}", 2.0)
+        elif kind == "transpose":
+            op = transpose(f"op{idx}", src, f"t{idx}")
+        else:
+            op = softmax(f"op{idx}", src, f"t{idx}")
+        g.add(op)
+        produced.append(op.outputs[0])
+    return g
+
+
+POLICIES = [
+    fusion.unfused,
+    fusion.conventional_fusion,
+    fusion.streaming_fusion,
+]
+
+
+class TestFusionInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(random_graphs(), st.sampled_from(POLICIES))
+    def test_plans_partition_the_graph(self, graph, policy):
+        plan = policy(graph)
+        plan.validate()  # every op in exactly one kernel
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_graphs(), st.sampled_from(POLICIES))
+    def test_flops_are_conserved(self, graph, policy):
+        plan = policy(graph)
+        assert plan.total_flops == pytest.approx(graph.total_flops)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_graphs())
+    def test_fusion_never_increases_traffic(self, graph):
+        """Minimal off-chip traffic is monotone: more fusion, less traffic."""
+        unfused_traffic = fusion.unfused(graph).total_offchip_bytes
+        streaming_traffic = fusion.streaming_fusion(graph).total_offchip_bytes
+        assert streaming_traffic <= unfused_traffic
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_graphs())
+    def test_kernel_schedule_respects_dependencies(self, graph):
+        """Each kernel only reads tensors produced earlier (or inputs)."""
+        plan = fusion.streaming_fusion(graph)
+        available = {t.name for t in graph.external_inputs()}
+        for kernel in plan.kernels:
+            internal = {t.name for op in kernel.ops for t in op.outputs}
+            for op in kernel.ops:
+                for t in op.inputs:
+                    assert t.name in available or t.name in internal
+            available |= internal
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_graphs())
+    def test_boundary_accounting_balances(self, graph):
+        """Internal + external outputs of each kernel = its ops' outputs."""
+        plan = fusion.conventional_fusion(graph)
+        for kernel in plan.kernels:
+            produced = {t.name for op in kernel.ops for t in op.outputs}
+            accounted = (
+                {t.name for t in kernel.internal_tensors}
+                | {t.name for t in kernel.external_outputs}
+            )
+            assert produced == accounted
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_graphs())
+    def test_conventional_never_beats_streaming_on_intensity(self, graph):
+        conventional = fusion.conventional_fusion(graph)
+        streaming = fusion.streaming_fusion(graph)
+        assert (
+            streaming.operational_intensity
+            >= conventional.operational_intensity * 0.999
+        )

@@ -1,0 +1,117 @@
+"""Dataflow graph construction and analysis."""
+
+import pytest
+
+from repro.dataflow.graph import (
+    AccessPattern,
+    DataflowGraph,
+    DType,
+    GraphError,
+    Operator,
+    OpKind,
+    TensorSpec,
+)
+from repro.dataflow.operators import elementwise, gemm, tensor
+
+
+def _chain(n=3):
+    """x -> e0 -> e1 -> ... -> e(n-1)."""
+    g = DataflowGraph("chain")
+    src = tensor("x", (4, 4))
+    for i in range(n):
+        op = elementwise(f"e{i}", [src], f"t{i}")
+        g.add(op)
+        src = op.outputs[0]
+    return g
+
+
+class TestTensorSpec:
+    def test_size_accounting(self):
+        t = TensorSpec("x", (8, 4), DType.BF16)
+        assert t.num_elements == 32
+        assert t.size_bytes == 64
+
+    def test_fp32_doubles_bytes(self):
+        assert TensorSpec("x", (8,), DType.FP32).size_bytes == 32
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("x", (0, 4))
+
+
+class TestGraphStructure:
+    def test_duplicate_op_rejected(self):
+        g = DataflowGraph()
+        op = elementwise("e", [tensor("x", (2,))], "y")
+        g.add(op)
+        with pytest.raises(GraphError):
+            g.add(op)
+
+    def test_duplicate_producer_rejected(self):
+        g = DataflowGraph()
+        g.add(elementwise("a", [tensor("x", (2,))], "y"))
+        with pytest.raises(GraphError):
+            g.add(elementwise("b", [tensor("x", (2,))], "y"))
+
+    def test_producer_consumer_lookup(self):
+        g = _chain(3)
+        assert g.producer_of("t0").name == "e0"
+        assert g.producer_of("x") is None
+        assert [c.name for c in g.consumers_of("t0")] == ["e1"]
+
+    def test_external_inputs_and_outputs(self):
+        g = _chain(3)
+        assert [t.name for t in g.external_inputs()] == ["x"]
+        assert [t.name for t in g.external_outputs()] == ["t2"]
+
+    def test_topological_order_respects_dependencies(self):
+        g = _chain(5)
+        order = [op.name for op in g.topological_order()]
+        assert order == [f"e{i}" for i in range(5)]
+
+    def test_weight_bytes_counts_distinct_weights(self):
+        g = DataflowGraph()
+        w = tensor("w", (4, 4), is_weight=True)
+        x = tensor("x", (4, 4))
+        g.add(gemm("m1", x, w, "y1", 4, 4, 4))
+        y1 = g.producer_of("y1").outputs[0]
+        g.add(gemm("m2", y1, w, "y2", 4, 4, 4))  # w reused
+        assert g.weight_bytes == w.size_bytes
+
+
+class TestOperatorValidation:
+    def test_pattern_arity_checked(self):
+        with pytest.raises(ValueError):
+            Operator(
+                name="bad",
+                kind=OpKind.ELEMENTWISE,
+                inputs=(tensor("x", (2,)),),
+                outputs=(tensor("y", (2,)),),
+                flops=1.0,
+                input_patterns=(AccessPattern.CONTIGUOUS, AccessPattern.STRIDED),
+            )
+
+    def test_no_output_rejected(self):
+        with pytest.raises(ValueError):
+            Operator(
+                name="bad",
+                kind=OpKind.ELEMENTWISE,
+                inputs=(tensor("x", (2,)),),
+                outputs=(),
+                flops=1.0,
+            )
+
+    def test_pattern_of_unknown_input_raises(self):
+        op = elementwise("e", [tensor("x", (2,))], "y")
+        with pytest.raises(KeyError):
+            op.pattern_of("ghost")
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            Operator(
+                name="bad",
+                kind=OpKind.ELEMENTWISE,
+                inputs=(tensor("x", (2,)),),
+                outputs=(tensor("y", (2,)),),
+                flops=-1.0,
+            )

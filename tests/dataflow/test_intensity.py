@@ -1,0 +1,79 @@
+"""Operational intensity and the tiled traffic model (paper Table I)."""
+
+import pytest
+
+from repro.dataflow import fusion
+from repro.dataflow.intensity import (
+    GPU_FUSED,
+    GPU_UNFUSED,
+    SN40L_STREAMING,
+    TrafficModel,
+    is_memory_bound,
+    kernel_traffic_bytes,
+    operational_intensity,
+    plan_traffic_bytes,
+)
+from repro.models.fftconv import monarch_fft_graph
+
+
+@pytest.fixture
+def monarch():
+    return monarch_fft_graph(m=1024)
+
+
+class TestTrafficModel:
+    def test_tile_dim_grows_with_capacity(self):
+        small = TrafficModel("s", 64 * 1024)
+        big = TrafficModel("b", 64 * 1024 * 1024)
+        assert big.tile_dim(2) > small.tile_dim(2)
+
+    def test_tile_dim_never_zero(self):
+        assert TrafficModel("tiny", 1).tile_dim(2) == 1
+
+
+class TestTiledTraffic:
+    def test_huge_sram_means_minimal_traffic(self, monarch):
+        plan = fusion.unfused(monarch)
+        for kernel in plan.kernels:
+            assert kernel_traffic_bytes(kernel, SN40L_STREAMING) == kernel.offchip_bytes
+
+    def test_small_onchip_adds_rereads(self, monarch):
+        plan = fusion.unfused(monarch)
+        gemm_kernel = next(k for k in plan.kernels if k.ops[0].name == "gemm0")
+        assert kernel_traffic_bytes(gemm_kernel, GPU_UNFUSED) > gemm_kernel.offchip_bytes
+
+    def test_internal_operands_pay_no_rereads(self, monarch):
+        # gemm1's activation input is internal to the fully fused kernel:
+        # only weights could be re-read, and they're resident in SRAM.
+        plan = fusion.streaming_fusion(monarch)
+        assert plan_traffic_bytes(plan, SN40L_STREAMING) == plan.kernels[0].offchip_bytes
+
+
+class TestTableOneShape:
+    """The paper's Table I: intensity rises with fusion level and only the
+    fully fused version crosses the A100 ridge (~150 FLOPs/byte)."""
+
+    A100_PEAK = 312e12
+    A100_BW = 2.039e12
+
+    def _levels(self, monarch):
+        unfused_i = operational_intensity(fusion.unfused(monarch), GPU_UNFUSED)
+        partial = fusion.manual_plan(monarch, [["gemm0", "mul", "transpose"], ["gemm1"]])
+        partial_i = operational_intensity(partial, GPU_FUSED)
+        full_i = operational_intensity(fusion.streaming_fusion(monarch), SN40L_STREAMING)
+        return unfused_i, partial_i, full_i
+
+    def test_strictly_increasing(self, monarch):
+        unfused_i, partial_i, full_i = self._levels(monarch)
+        assert unfused_i < partial_i < full_i
+
+    def test_full_fusion_matches_paper_exactly(self, monarch):
+        _, _, full_i = self._levels(monarch)
+        assert full_i == pytest.approx(410.4, rel=0.01)
+
+    def test_bound_classification_matches_paper(self, monarch):
+        unfused_i, partial_i, full_i = self._levels(monarch)
+        ridge_args = (self.A100_PEAK, self.A100_BW)
+        assert is_memory_bound(unfused_i, *ridge_args)
+        assert is_memory_bound(partial_i, *ridge_args)
+        assert not is_memory_bound(full_i, *ridge_args)

@@ -1,0 +1,115 @@
+"""Operator FLOP and byte accounting."""
+
+import pytest
+
+from repro.dataflow.graph import AccessPattern, DType, OpKind
+from repro.dataflow.operators import (
+    allreduce,
+    elementwise,
+    embedding,
+    gemm,
+    linear,
+    norm,
+    reshape,
+    rope,
+    softmax,
+    tensor,
+    transpose,
+)
+
+
+class TestGemm:
+    def test_flops_is_2mkn(self):
+        op = gemm("g", tensor("a", (8, 16)), tensor("b", (16, 4)), "c", 8, 16, 4)
+        assert op.flops == 2 * 8 * 16 * 4
+
+    def test_batch_scales_flops(self):
+        op = gemm("g", tensor("a", (2, 8, 16)), tensor("b", (16, 4)), "c",
+                  8, 16, 4, batch=2)
+        assert op.flops == 2 * 2 * 8 * 16 * 4
+        assert op.gemm_dims == (16, 16, 4)
+
+    def test_sparsity_reduces_flops(self):
+        dense = gemm("d", tensor("a", (8, 8)), tensor("b", (8, 8)), "c", 8, 8, 8)
+        sparse = gemm("s", tensor("a2", (8, 8)), tensor("b2", (8, 8)), "c2",
+                      8, 8, 8, sparsity=0.875)
+        assert sparse.flops == pytest.approx(dense.flops / 8)
+
+    def test_bad_sparsity_rejected(self):
+        with pytest.raises(ValueError):
+            gemm("g", tensor("a", (2, 2)), tensor("b", (2, 2)), "c", 2, 2, 2,
+                 sparsity=1.0)
+
+
+class TestLinear:
+    def test_creates_weight_tensor(self):
+        op = linear("fc", tensor("x", (4, 16)), "fc.w", 16, 8, tokens=4)
+        weight = op.inputs[1]
+        assert weight.is_weight
+        assert weight.num_elements == 16 * 8
+
+    def test_sparse_weight_storage_shrinks(self):
+        op = linear("fc", tensor("x", (4, 16)), "fc.w", 16, 8, tokens=4,
+                    sparsity=0.875)
+        assert op.inputs[1].num_elements == 16
+
+    def test_gemm_dims_recorded(self):
+        op = linear("fc", tensor("x", (4, 16)), "fc.w", 16, 8, tokens=4)
+        assert op.gemm_dims == (4, 16, 8)
+
+
+class TestElementwiseFamily:
+    def test_softmax_is_5_flops_per_element(self):
+        op = softmax("sm", tensor("x", (4, 8)), "y")
+        assert op.flops == 5 * 32
+
+    def test_rope_is_shuffled(self):
+        op = rope("r", tensor("x", (4, 8)), "y")
+        assert op.input_patterns[0] == AccessPattern.SHUFFLE
+        assert op.flops == 6 * 32
+
+    def test_norm_weight_broadcasts(self):
+        op = norm("n", tensor("x", (4, 8)), "n.w", "y")
+        assert op.input_patterns[1] == AccessPattern.BROADCAST
+        assert op.inputs[1].shape == (8,)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            elementwise("e", [], "y")
+
+
+class TestLayoutOps:
+    def test_transpose_swaps_last_two_dims(self):
+        op = transpose("t", tensor("x", (2, 4, 8)), "y")
+        assert op.outputs[0].shape == (2, 8, 4)
+        assert op.flops == 0.0
+
+    def test_transpose_rank1_rejected(self):
+        with pytest.raises(ValueError):
+            transpose("t", tensor("x", (8,)), "y")
+
+    def test_reshape_conserves_elements(self):
+        op = reshape("r", tensor("x", (4, 8)), "y", (32,))
+        assert op.outputs[0].num_elements == 32
+
+    def test_reshape_element_change_rejected(self):
+        with pytest.raises(ValueError):
+            reshape("r", tensor("x", (4, 8)), "y", (33,))
+
+
+class TestCollectivesAndGather:
+    def test_allreduce_ring_bytes(self):
+        src = tensor("x", (1024,))  # 2048 bytes bf16
+        op = allreduce("ar", src, "y", participants=8)
+        assert op.comm_bytes == pytest.approx(2 * 7 / 8 * 2048)
+
+    def test_allreduce_single_participant_is_free(self):
+        op = allreduce("ar", tensor("x", (8,)), "y", participants=1)
+        assert op.comm_bytes == 0.0
+
+    def test_embedding_is_gather(self):
+        op = embedding("e", tensor("ids", (4,), DType.INT32), "table",
+                       vocab=100, hidden=8, tokens=4)
+        assert op.kind == OpKind.EMBEDDING
+        assert op.input_patterns[1] == AccessPattern.GATHER
+        assert op.inputs[1].is_weight

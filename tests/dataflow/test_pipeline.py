@@ -1,0 +1,44 @@
+"""Analytic pipeline model vs the discrete-event simulator."""
+
+import pytest
+
+from repro.dataflow import fusion
+from repro.dataflow.pipeline import analyze_pipeline, simulate
+from repro.dataflow.placement import place_kernel
+from repro.models.fftconv import monarch_fft_graph
+
+
+@pytest.fixture
+def estimate():
+    kernel = fusion.streaming_fusion(monarch_fft_graph(m=256)).kernels[0]
+    placement = place_kernel(kernel)
+    return analyze_pipeline(kernel, placement, num_tiles=32)
+
+
+class TestAnalyticModel:
+    def test_bottleneck_is_slowest_stage(self, estimate):
+        worst = max(s.time_per_tile_s for s in estimate.stages)
+        assert estimate.bottleneck.time_per_tile_s == worst
+
+    def test_total_is_fill_plus_steady_state(self, estimate):
+        expected = estimate.fill_latency_s + 31 * estimate.bottleneck.time_per_tile_s
+        assert estimate.total_s == pytest.approx(expected)
+
+    def test_invalid_tiles_rejected(self, estimate):
+        kernel = fusion.streaming_fusion(monarch_fft_graph(m=64)).kernels[0]
+        placement = place_kernel(kernel)
+        with pytest.raises(ValueError):
+            analyze_pipeline(kernel, placement, num_tiles=0)
+
+
+class TestSimulationAgreement:
+    def test_des_matches_analytic_within_slack(self, estimate):
+        simulated = simulate(estimate, buffer_capacity=2)
+        # The event simulation includes injection polling; agreement
+        # within 20% validates the analytic bottleneck model.
+        assert simulated == pytest.approx(estimate.total_s, rel=0.2)
+
+    def test_deeper_buffers_never_slow_down(self, estimate):
+        shallow = simulate(estimate, buffer_capacity=1)
+        deep = simulate(estimate, buffer_capacity=8)
+        assert deep <= shallow * 1.01

@@ -1,0 +1,51 @@
+"""Spatial placement of fused kernels."""
+
+import pytest
+
+from repro.arch.config import SocketConfig
+from repro.dataflow import fusion
+from repro.dataflow.placement import PlacementError, place_kernel
+from repro.models.fftconv import monarch_fft_graph
+
+
+@pytest.fixture
+def kernel():
+    return fusion.streaming_fusion(monarch_fft_graph(m=256)).kernels[0]
+
+
+class TestPlaceKernel:
+    def test_gemms_get_the_lions_share(self, kernel):
+        placement = place_kernel(kernel)
+        gemm0 = placement.stage("gemm0").pcus
+        mul = placement.stage("mul").pcus
+        assert gemm0 > mul  # proportional to FLOPs (Figure 4)
+
+    def test_transpose_gets_no_stage(self, kernel):
+        placement = place_kernel(kernel)
+        with pytest.raises(KeyError):
+            placement.stage("transpose")
+
+    def test_stays_within_budget(self, kernel):
+        placement = place_kernel(kernel, SocketConfig(), sockets=1)
+        assert placement.total_pcus <= 1040 * 0.9
+        assert placement.total_pmus <= 1040 * 0.9
+
+    def test_internal_tensors_get_buffers(self, kernel):
+        placement = place_kernel(kernel)
+        assert {b.tensor_name for b in placement.buffers} == {"y", "z", "zt"}
+
+    def test_buffer_takes_max_of_capacity_and_bandwidth(self, kernel):
+        placement = place_kernel(kernel)
+        for buf in placement.buffers:
+            assert buf.pmus == max(buf.pmus_for_capacity, buf.pmus_for_bandwidth, 1)
+
+    def test_more_sockets_more_pcus(self, kernel):
+        one = place_kernel(kernel, sockets=1)
+        eight = place_kernel(kernel, sockets=8)
+        assert eight.total_pcus > one.total_pcus
+
+    def test_invalid_args_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            place_kernel(kernel, sockets=0)
+        with pytest.raises(ValueError):
+            place_kernel(kernel, target_utilization=1.5)

@@ -1,0 +1,56 @@
+"""Graph and plan rendering."""
+
+import pytest
+
+from repro.dataflow import fusion
+from repro.dataflow.visualize import plan_summary, to_dot
+from repro.models.fftconv import monarch_fft_graph
+from repro.models.catalog import LLAMA2_7B
+from repro.models.transformer import decode_graph
+
+
+@pytest.fixture(scope="module")
+def monarch():
+    return monarch_fft_graph(m=64)
+
+
+class TestDot:
+    def test_every_op_and_edge_rendered(self, monarch):
+        dot = to_dot(monarch)
+        for op in monarch.operators:
+            assert f'"{op.name}"' in dot
+        assert '"gemm0" -> "mul"' in dot
+        assert '"transpose" -> "gemm1"' in dot
+        assert dot.startswith("digraph")
+        assert dot.endswith("}")
+
+    def test_plan_renders_kernel_clusters(self, monarch):
+        plan = fusion.manual_plan(monarch, [["gemm0", "mul", "transpose"],
+                                            ["gemm1"]])
+        dot = to_dot(monarch, plan)
+        assert dot.count("subgraph cluster_") == 2
+
+    def test_edge_labels_carry_bytes(self, monarch):
+        dot = to_dot(monarch)
+        assert "KiB" in dot or "MiB" in dot
+
+    def test_size_guard(self):
+        big = decode_graph(LLAMA2_7B, batch=1, context=128, tp=1)
+        with pytest.raises(ValueError, match="max_ops"):
+            to_dot(big)
+        assert to_dot(big, max_ops=10_000)  # explicit opt-in works
+
+
+class TestPlanSummary:
+    def test_shows_stages_and_folded_ops(self, monarch):
+        plan = fusion.streaming_fusion(monarch)
+        text = plan_summary(plan)
+        assert "gemm0 -> mul -> gemm1" in text
+        assert "folded : transpose" in text
+        assert "buffers:" in text
+
+    def test_truncates_long_plans(self):
+        graph = decode_graph(LLAMA2_7B, batch=1, context=128, tp=1)
+        plan = fusion.unfused(graph)
+        text = plan_summary(plan, max_kernels=5)
+        assert "more kernels" in text

@@ -1,0 +1,156 @@
+"""Static allocator: address reuse, spilling, and its invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.allocator import (
+    AllocationError,
+    assign_addresses,
+    naive_spill_order,
+    plan_memory,
+    spill_order,
+)
+from repro.memory.symbols import Symbol, peak_live_bytes
+from repro.memory.tiers import TierKind
+
+
+def _sym(name, size, uses, weight=False):
+    return Symbol(name, size, tuple(uses), read_only=weight, is_weight=weight)
+
+
+class TestAddressReuse:
+    def test_disjoint_lifetimes_share_addresses(self):
+        syms = [_sym("a", 1000, (0, 1)), _sym("b", 1000, (2, 3))]
+        placements, extent = assign_addresses(syms, TierKind.HBM)
+        assert extent == 1000  # b reuses a's address range
+        assert placements["a"].offset == placements["b"].offset
+
+    def test_overlapping_lifetimes_get_disjoint_ranges(self):
+        syms = [_sym("a", 1000, (0, 2)), _sym("b", 1000, (1, 3))]
+        placements, extent = assign_addresses(syms, TierKind.HBM)
+        a, b = placements["a"], placements["b"]
+        assert a.end <= b.offset or b.end <= a.offset
+        assert extent >= 2000
+
+    def test_alignment_respected(self):
+        syms = [_sym("a", 10, (0, 2)), _sym("b", 10, (0, 2))]
+        placements, _ = assign_addresses(syms, TierKind.HBM, alignment=64)
+        for p in placements.values():
+            assert p.offset % 64 == 0
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            assign_addresses([], TierKind.HBM, alignment=0)
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(st.integers(64, 4096), st.integers(0, 10), st.integers(0, 10)),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_no_live_overlap_ever(self, raw):
+        """Property: concurrently-live symbols never share bytes, and the
+        extent is at least the peak live footprint."""
+        syms = [
+            _sym(f"s{i}", size, sorted({a, b}))
+            for i, (size, a, b) in enumerate(raw)
+        ]
+        placements, extent = assign_addresses(syms, TierKind.HBM, alignment=1)
+        from repro.memory.symbols import lifetimes_overlap
+
+        items = list(placements.values())
+        for i, p in enumerate(items):
+            for q in items[i + 1 :]:
+                if lifetimes_overlap(p.symbol, q.symbol):
+                    assert p.end <= q.offset or q.end <= p.offset
+        assert extent >= peak_live_bytes(syms)
+
+
+class TestSpillRanking:
+    def test_weights_spill_last(self):
+        syms = [
+            _sym("act", 100, (0, 1)),
+            _sym("w", 100, (0,), weight=True),
+        ]
+        order = spill_order(syms)
+        assert order[0].name == "act"
+        assert order[-1].name == "w"
+
+    def test_low_footprint_spills_first(self):
+        rarely = _sym("rare", 100, (0,))
+        often = _sym("hot", 100, (0, 1, 2, 3, 4))
+        assert spill_order([often, rarely])[0].name == "rare"
+
+    def test_naive_order_prefers_large(self):
+        big = _sym("big", 1000, (0, 1, 2))
+        small = _sym("small", 10, (0,))
+        assert naive_spill_order([small, big])[0].name == "big"
+
+
+class TestPlanMemory:
+    def test_everything_fits_no_spill(self):
+        syms = [_sym("a", 100, (0, 1)), _sym("w", 200, (0, 1), weight=True)]
+        plan = plan_memory(syms, hbm_capacity_bytes=1000, ddr_capacity_bytes=1000)
+        assert plan.spilled == []
+        assert plan.extent(TierKind.DDR) == 0
+
+    def test_spills_until_fit(self):
+        syms = [
+            _sym("w", 600, (0, 1, 2, 3), weight=True),
+            _sym("act1", 300, (0, 1)),
+            _sym("act2", 300, (1, 2)),
+        ]
+        plan = plan_memory(syms, hbm_capacity_bytes=1000, ddr_capacity_bytes=5000)
+        assert plan.spilled  # something had to go
+        assert "w" not in plan.spilled  # weights keep HBM priority
+        assert plan.extent(TierKind.HBM) <= 1000
+
+    def test_impossible_program_raises(self):
+        syms = [_sym("huge", 10_000, (0, 1))]
+        with pytest.raises(AllocationError):
+            plan_memory(syms, hbm_capacity_bytes=100, ddr_capacity_bytes=100)
+
+    def test_ddr_overflow_raises(self):
+        syms = [_sym("a", 90, (0, 1)), _sym("b", 90, (0, 1))]
+        with pytest.raises(AllocationError):
+            plan_memory(syms, hbm_capacity_bytes=100, ddr_capacity_bytes=50)
+
+    def test_spill_traffic_accounts_every_use(self):
+        syms = [_sym("a", 100, (0, 1)), _sym("b", 100, (0, 1, 2))]
+        plan = plan_memory(syms, hbm_capacity_bytes=100, ddr_capacity_bytes=1000)
+        assert plan.spilled == ["a"]  # fewer uses -> smaller footprint
+        assert plan.spill_traffic_bytes == 200
+
+    def test_validate_catches_no_issue_on_good_plan(self):
+        syms = [_sym(f"s{i}", 64, (i, i + 1)) for i in range(10)]
+        plan = plan_memory(syms, hbm_capacity_bytes=10_000, ddr_capacity_bytes=0)
+        plan.validate()  # should not raise
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(64, 2048),
+                st.integers(0, 8),
+                st.integers(0, 8),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        st.integers(1024, 8192),
+    )
+    def test_plan_respects_hbm_capacity(self, raw, hbm_cap):
+        syms = [
+            _sym(f"s{i}", size, sorted({a, b}), weight=w)
+            for i, (size, a, b, w) in enumerate(raw)
+        ]
+        try:
+            plan = plan_memory(syms, hbm_capacity_bytes=hbm_cap,
+                               ddr_capacity_bytes=10**9)
+        except AllocationError:
+            return  # legitimately impossible
+        assert plan.extent(TierKind.HBM) <= hbm_cap
+        plan.validate()

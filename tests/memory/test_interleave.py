@@ -1,0 +1,111 @@
+"""Tensor interleaving across PMUs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import PMUConfig
+from repro.arch.pmu import PMU
+from repro.memory.interleave import (
+    InterleaveMode,
+    InterleavePlan,
+    InterleavedTensor,
+    units_for_bandwidth,
+    units_for_capacity,
+)
+
+
+def _pmus(n):
+    return [PMU(PMUConfig(capacity_bytes=64 * 1024, num_banks=16)) for _ in range(n)]
+
+
+class TestInterleavePlan:
+    def test_block_ownership_is_contiguous(self):
+        plan = InterleavePlan(num_words=100, num_units=4, mode=InterleaveMode.BLOCK)
+        owners = [plan.owner_of(a) for a in range(100)]
+        assert owners == sorted(owners)
+        assert set(owners) == {0, 1, 2, 3}
+
+    def test_cyclic_ownership_stripes(self):
+        plan = InterleavePlan(num_words=64, num_units=4,
+                              mode=InterleaveMode.CYCLIC, stripe_words=4)
+        assert plan.owner_of(0) == 0
+        assert plan.owner_of(4) == 1
+        assert plan.owner_of(16) == 0
+
+    def test_cyclic_spreads_a_vector_across_units(self):
+        plan = InterleavePlan(num_words=256, num_units=4,
+                              mode=InterleaveMode.CYCLIC, stripe_words=4)
+        # A 16-word contiguous vector touches all 4 units -> 4x bandwidth.
+        assert plan.units_touched(range(16)) == 4
+
+    def test_block_keeps_a_vector_on_one_unit(self):
+        plan = InterleavePlan(num_words=256, num_units=4, mode=InterleaveMode.BLOCK)
+        assert plan.units_touched(range(16)) == 1
+
+    def test_out_of_range_rejected(self):
+        plan = InterleavePlan(num_words=10, num_units=2, mode=InterleaveMode.BLOCK)
+        with pytest.raises(ValueError):
+            plan.owner_of(10)
+
+    @settings(max_examples=40)
+    @given(
+        st.integers(1, 500),
+        st.integers(1, 8),
+        st.sampled_from(list(InterleaveMode)),
+    )
+    def test_local_addresses_fit_per_unit_budget(self, words, units, mode):
+        plan = InterleavePlan(num_words=words, num_units=units, mode=mode)
+        for address in range(words):
+            assert 0 <= plan.local_address(address) < plan.words_per_unit
+
+
+class TestInterleavedTensor:
+    @pytest.mark.parametrize("mode", list(InterleaveMode))
+    def test_round_trip(self, mode):
+        plan = InterleavePlan(num_words=128, num_units=4, mode=mode,
+                              stripe_words=8)
+        tensor = InterleavedTensor(plan, _pmus(4))
+        values = [float(i) for i in range(128)]
+        tensor.write(range(128), values)
+        out, _ = tensor.read(range(128))
+        np.testing.assert_array_equal(out, np.array(values, dtype=np.float32))
+
+    def test_strided_read_round_trips(self):
+        plan = InterleavePlan(num_words=128, num_units=2,
+                              mode=InterleaveMode.CYCLIC, stripe_words=4)
+        tensor = InterleavedTensor(plan, _pmus(2))
+        tensor.write(range(128), [float(i) for i in range(128)])
+        out, _ = tensor.read(range(0, 128, 8))
+        np.testing.assert_array_equal(out, np.arange(0, 128, 8, dtype=np.float32))
+
+    def test_unit_count_mismatch_rejected(self):
+        plan = InterleavePlan(num_words=64, num_units=4, mode=InterleaveMode.BLOCK)
+        with pytest.raises(ValueError):
+            InterleavedTensor(plan, _pmus(2))
+
+    def test_over_capacity_rejected(self):
+        plan = InterleavePlan(num_words=10**7, num_units=2,
+                              mode=InterleaveMode.BLOCK)
+        with pytest.raises(ValueError):
+            InterleavedTensor(plan, _pmus(2))
+
+
+class TestSizingHelpers:
+    def test_capacity_partitioning(self):
+        # Figure 4's S0-S3: a buffer 4x one PMU needs four PMUs.
+        assert units_for_capacity(4 * 512 * 1024, 512 * 1024) == 4
+
+    def test_bandwidth_partitioning(self):
+        # Figure 4's I00/I01: twice the port bandwidth needs two PMUs.
+        assert units_for_bandwidth(800e9, 409.6e9) == 2
+
+    def test_minimum_is_one_unit(self):
+        assert units_for_capacity(1, 512 * 1024) == 1
+        assert units_for_bandwidth(0, 409.6e9) == 1
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            units_for_capacity(-1, 10)
+        with pytest.raises(ValueError):
+            units_for_bandwidth(1.0, 0)

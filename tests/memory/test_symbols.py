@@ -1,0 +1,81 @@
+"""Symbol lifetimes and static analysis."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.symbols import (
+    Symbol,
+    lifetimes_overlap,
+    peak_live_bytes,
+    validate_program,
+)
+
+
+class TestSymbol:
+    def test_live_range_is_half_open(self):
+        sym = Symbol("a", 100, uses=(2, 5, 9))
+        assert sym.live_range == (2, 10)
+
+    def test_transfer_footprint_counts_every_use(self):
+        sym = Symbol("w", 1000, uses=(0, 1, 2, 3))
+        assert sym.transfer_footprint_bytes == 4000
+
+    def test_empty_uses_rejected(self):
+        with pytest.raises(ValueError):
+            Symbol("a", 10, uses=())
+
+    def test_unsorted_uses_rejected(self):
+        with pytest.raises(ValueError):
+            Symbol("a", 10, uses=(3, 1))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Symbol("a", -1, uses=(0,))
+
+
+class TestOverlap:
+    def test_disjoint_ranges_do_not_overlap(self):
+        a = Symbol("a", 1, uses=(0, 2))
+        b = Symbol("b", 1, uses=(3, 5))
+        assert not lifetimes_overlap(a, b)
+
+    def test_adjacent_ranges_do_not_overlap(self):
+        # a dies at step 3 (last use 2); b is born at step 3.
+        a = Symbol("a", 1, uses=(0, 2))
+        b = Symbol("b", 1, uses=(3,))
+        assert not lifetimes_overlap(a, b)
+
+    def test_nested_ranges_overlap(self):
+        a = Symbol("a", 1, uses=(0, 10))
+        b = Symbol("b", 1, uses=(4, 5))
+        assert lifetimes_overlap(a, b)
+        assert lifetimes_overlap(b, a)
+
+
+class TestProgramAnalysis:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            validate_program([Symbol("x", 1, (0,)), Symbol("x", 2, (1,))])
+
+    def test_peak_live_bytes_sequential(self):
+        # Two symbols that never coexist: peak is the larger one.
+        syms = [Symbol("a", 100, uses=(0, 1)), Symbol("b", 70, uses=(2, 3))]
+        assert peak_live_bytes(syms) == 100
+
+    def test_peak_live_bytes_concurrent(self):
+        syms = [Symbol("a", 100, uses=(0, 2)), Symbol("b", 70, uses=(1, 3))]
+        assert peak_live_bytes(syms) == 170
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 100), st.integers(0, 20), st.integers(0, 20)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_peak_never_below_largest_symbol(self, raw):
+        syms = [
+            Symbol(f"s{i}", size, uses=tuple(sorted({a, b})))
+            for i, (size, a, b) in enumerate(raw)
+        ]
+        assert peak_live_bytes(syms) >= max(s.size_bytes for s in syms)

@@ -1,0 +1,85 @@
+"""Memory tiers: reservations, capacity, transfer paths."""
+
+import pytest
+
+from repro.arch.config import MemoryTierSpec
+from repro.memory.tiers import CapacityError, MemorySystem, MemoryTier, TierKind
+
+
+def _tier(kind, capacity=1000, bandwidth=100.0):
+    return MemoryTier(kind, MemoryTierSpec(kind.name, capacity, bandwidth, 0.0))
+
+
+class TestMemoryTier:
+    def test_reserve_and_release(self):
+        tier = _tier(TierKind.HBM)
+        tier.reserve("a", 400)
+        assert tier.used_bytes == 400
+        assert tier.free_bytes == 600
+        assert tier.release("a") == 400
+        assert tier.used_bytes == 0
+
+    def test_overflow_raises_capacity_error(self):
+        tier = _tier(TierKind.HBM, capacity=100)
+        tier.reserve("a", 80)
+        with pytest.raises(CapacityError):
+            tier.reserve("b", 30)
+
+    def test_duplicate_region_rejected(self):
+        tier = _tier(TierKind.HBM)
+        tier.reserve("a", 10)
+        with pytest.raises(ValueError):
+            tier.reserve("a", 10)
+
+    def test_release_unknown_region_raises(self):
+        with pytest.raises(KeyError):
+            _tier(TierKind.HBM).release("ghost")
+
+    def test_negative_reservation_rejected(self):
+        with pytest.raises(ValueError):
+            _tier(TierKind.HBM).reserve("a", -1)
+
+    def test_clear_frees_everything(self):
+        tier = _tier(TierKind.HBM)
+        tier.reserve("a", 10)
+        tier.reserve("b", 20)
+        tier.clear()
+        assert tier.used_bytes == 0
+
+
+class TestMemorySystem:
+    def _system(self):
+        return MemorySystem(
+            tiers={
+                TierKind.HBM: _tier(TierKind.HBM, bandwidth=2000.0),
+                TierKind.DDR: _tier(TierKind.DDR, bandwidth=200.0),
+            }
+        )
+
+    def test_default_transfer_is_slower_tier(self):
+        sys = self._system()
+        assert sys.transfer_bandwidth(TierKind.DDR, TierKind.HBM) == 200.0
+
+    def test_override_wins(self):
+        sys = self._system()
+        sys.set_transfer_bandwidth(TierKind.DDR, TierKind.HBM, 500.0)
+        assert sys.transfer_bandwidth(TierKind.DDR, TierKind.HBM) == 500.0
+        # The reverse direction is unaffected.
+        assert sys.transfer_bandwidth(TierKind.HBM, TierKind.DDR) == 200.0
+
+    def test_transfer_time_scales_with_bytes(self):
+        sys = self._system()
+        assert sys.transfer_time(TierKind.DDR, TierKind.HBM, 200) == pytest.approx(1.0)
+
+    def test_zero_capacity_tier_not_present(self):
+        sys = MemorySystem(tiers={TierKind.HBM: _tier(TierKind.HBM, capacity=0)})
+        assert not sys.has_tier(TierKind.HBM)
+        assert not sys.has_tier(TierKind.DDR)
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySystem(tiers={})
+
+    def test_bad_override_rejected(self):
+        with pytest.raises(ValueError):
+            self._system().set_transfer_bandwidth(TierKind.DDR, TierKind.HBM, 0)

@@ -1,0 +1,52 @@
+"""DMA transfer engine."""
+
+import pytest
+
+from repro.arch.config import MemoryTierSpec
+from repro.memory.tiers import MemorySystem, MemoryTier, TierKind
+from repro.memory.transfer import TransferEngine
+
+
+@pytest.fixture
+def engine():
+    system = MemorySystem(
+        tiers={
+            TierKind.HBM: MemoryTier(
+                TierKind.HBM, MemoryTierSpec("HBM", 10**12, 1000.0, 0.0)
+            ),
+            TierKind.DDR: MemoryTier(
+                TierKind.DDR, MemoryTierSpec("DDR", 10**13, 100.0, 0.0)
+            ),
+        }
+    )
+    return TransferEngine(system)
+
+
+class TestTransferEngine:
+    def test_fifo_transfers_accumulate_time(self, engine):
+        t1 = engine.submit(TierKind.DDR, TierKind.HBM, 100)
+        t2 = engine.submit(TierKind.DDR, TierKind.HBM, 100)
+        assert t1 == pytest.approx(1.0)
+        assert t2 == pytest.approx(2.0)
+
+    def test_advance_to_moves_clock_forward_only(self, engine):
+        engine.advance_to(5.0)
+        engine.advance_to(1.0)
+        assert engine.now_s == 5.0
+
+    def test_totals_and_busy_time(self, engine):
+        engine.submit(TierKind.DDR, TierKind.HBM, 100)
+        engine.advance_to(10.0)
+        engine.submit(TierKind.DDR, TierKind.HBM, 300)
+        assert engine.total_bytes == 400
+        assert engine.busy_time_s == pytest.approx(4.0)
+
+    def test_negative_size_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.submit(TierKind.DDR, TierKind.HBM, -5)
+
+    def test_reset_clears_state(self, engine):
+        engine.submit(TierKind.DDR, TierKind.HBM, 100)
+        engine.reset()
+        assert engine.now_s == 0.0
+        assert engine.trace == []

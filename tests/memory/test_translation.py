@@ -1,0 +1,113 @@
+"""The AGCU address-translation layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.tiers import TierKind
+from repro.memory.translation import (
+    PageAllocator,
+    TranslationFault,
+    TranslationUnit,
+)
+
+PAGE = 2 * 1024 * 1024
+
+
+@pytest.fixture
+def unit():
+    return TranslationUnit(page_bytes=PAGE, tlb_entries=4)
+
+
+@pytest.fixture
+def hbm():
+    return PageAllocator(TierKind.HBM, num_pages=32)
+
+
+class TestMapping:
+    def test_contiguous_va_discontiguous_pa(self, unit, hbm):
+        # Fragment the pool: allocate and free alternating pages.
+        held = unit.map_segment(0, 4 * PAGE, hbm)
+        unit.map_segment(4 * PAGE, 2 * PAGE, hbm)
+        unit.unmap_segment(0, 4 * PAGE, hbm)
+        mappings = unit.map_segment(16 * PAGE, 5 * PAGE, hbm)
+        # VA pages are contiguous regardless of where PAs landed.
+        assert [m.virtual_page for m in mappings] == list(range(16, 21))
+
+    def test_translate_round_trip(self, unit, hbm):
+        unit.map_segment(0, 3 * PAGE, hbm)
+        tier, pa = unit.translate(PAGE + 123)
+        assert tier is TierKind.HBM
+        assert pa % PAGE == 123
+
+    def test_remap_after_eviction_changes_physical_address(self, unit, hbm):
+        unit.map_segment(0, PAGE, hbm)
+        _, pa_before = unit.translate(0)
+        unit.unmap_segment(0, PAGE, hbm)
+        hbm.allocate(1)  # someone else takes the old page
+        unit.map_segment(0, PAGE, hbm)
+        _, pa_after = unit.translate(0)
+        assert pa_after != pa_before  # same VA, new physical home
+
+    def test_double_map_rejected(self, unit, hbm):
+        unit.map_segment(0, PAGE, hbm)
+        with pytest.raises(ValueError, match="already mapped"):
+            unit.map_segment(0, PAGE, hbm)
+
+    def test_unaligned_base_rejected(self, unit, hbm):
+        with pytest.raises(ValueError, match="aligned"):
+            unit.map_segment(123, PAGE, hbm)
+
+    def test_unmapped_access_faults(self, unit):
+        with pytest.raises(TranslationFault):
+            unit.translate(0)
+
+    def test_unmap_returns_pages(self, unit, hbm):
+        before = hbm.free_pages
+        unit.map_segment(0, 4 * PAGE, hbm)
+        unit.unmap_segment(0, 4 * PAGE, hbm)
+        assert hbm.free_pages == before
+
+
+class TestAllocator:
+    def test_exhaustion_raises(self, hbm):
+        hbm.allocate(32)
+        with pytest.raises(MemoryError):
+            hbm.allocate(1)
+
+    def test_release_out_of_pool_rejected(self, hbm):
+        with pytest.raises(ValueError):
+            hbm.release([999])
+
+
+class TestTLB:
+    def test_repeated_access_hits(self, unit, hbm):
+        unit.map_segment(0, PAGE, hbm)
+        unit.translate(0)
+        unit.translate(100)
+        unit.translate(200)
+        assert unit.tlb_hits == 2
+        assert unit.tlb_misses == 1
+
+    def test_capacity_eviction(self, hbm):
+        unit = TranslationUnit(page_bytes=PAGE, tlb_entries=2)
+        unit.map_segment(0, 4 * PAGE, hbm)
+        for vp in range(4):
+            unit.translate(vp * PAGE)
+        unit.translate(0)  # evicted by now -> miss
+        assert unit.tlb_misses == 5
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    def test_translation_is_stable_under_any_access_pattern(self, accesses):
+        unit = TranslationUnit(page_bytes=PAGE, tlb_entries=3)
+        pool = PageAllocator(TierKind.HBM, num_pages=8)
+        unit.map_segment(0, 8 * PAGE, pool)
+        reference = {vp: unit.translate(vp * PAGE)[1] for vp in range(8)}
+        for vp in accesses:
+            assert unit.translate(vp * PAGE)[1] == reference[vp]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TranslationUnit(page_bytes=3000)
+        with pytest.raises(ValueError):
+            TranslationUnit(tlb_entries=0)

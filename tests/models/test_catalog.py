@@ -1,0 +1,67 @@
+"""The model zoo must match published parameter counts."""
+
+import pytest
+
+from repro.models.catalog import (
+    BLOOM_176B,
+    CATALOG,
+    FALCON_40B,
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    MISTRAL_7B,
+    SPARSEGPT_13B,
+    get_model,
+)
+
+
+class TestPublishedSizes:
+    @pytest.mark.parametrize(
+        "cfg,published_billions,tol",
+        [
+            (LLAMA2_7B, 6.74, 0.02),
+            (LLAMA2_13B, 13.02, 0.02),
+            (LLAMA2_70B, 68.98, 0.02),
+            (MISTRAL_7B, 7.24, 0.02),
+            (FALCON_40B, 41.8, 0.06),
+            (BLOOM_176B, 176.2, 0.03),
+        ],
+    )
+    def test_param_count(self, cfg, published_billions, tol):
+        assert cfg.param_count / 1e9 == pytest.approx(published_billions, rel=tol)
+
+    def test_llama7b_weight_bytes_about_13_gib(self):
+        assert LLAMA2_7B.weight_bytes / 2**30 == pytest.approx(12.6, rel=0.02)
+
+    def test_sparse_model_stores_about_an_eighth(self):
+        dense_equiv = LLAMA2_13B.weight_bytes
+        assert SPARSEGPT_13B.weight_bytes < dense_equiv / 5
+
+    def test_gqa_shrinks_kv_cache(self):
+        assert MISTRAL_7B.kv_bytes_per_token() == LLAMA2_7B.kv_bytes_per_token() / 4
+
+
+class TestCatalog:
+    def test_lookup_by_name(self):
+        assert get_model("llama2-7b") is LLAMA2_7B
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError, match="llama2-7b"):
+            get_model("gpt-5")
+
+    def test_all_entries_keyed_by_their_name(self):
+        for name, cfg in CATALOG.items():
+            assert cfg.name == name
+
+
+class TestLlama3:
+    def test_llama3_8b_published_size(self):
+        from repro.models.catalog import LLAMA3_8B
+
+        assert LLAMA3_8B.param_count / 1e9 == pytest.approx(8.03, rel=0.01)
+
+    def test_llama3_gqa_and_big_vocab(self):
+        from repro.models.catalog import LLAMA3_8B
+
+        assert LLAMA3_8B.kv_heads == 8
+        assert LLAMA3_8B.vocab == 128256

@@ -1,0 +1,67 @@
+"""Monarch FFT / FlashFFTConv graphs."""
+
+import numpy as np
+import pytest
+
+from repro.models.fftconv import fftconv_graph, monarch_fft_graph, monarch_reference
+
+
+class TestMonarchGraph:
+    def test_has_the_four_figure3_ops(self):
+        g = monarch_fft_graph(m=64)
+        assert sorted(op.name for op in g.operators) == [
+            "gemm0", "gemm1", "mul", "transpose"
+        ]
+
+    def test_flop_count(self):
+        m = 64
+        g = monarch_fft_graph(m=m)
+        assert g.total_flops == 2 * m**3 + 8 * m**2 + 2 * m**3
+
+    def test_small_m_rejected(self):
+        with pytest.raises(ValueError):
+            monarch_fft_graph(m=1)
+
+    def test_reference_numerics(self):
+        rng = np.random.default_rng(7)
+        m = 16
+        x = rng.standard_normal((m, m))
+        f0 = rng.standard_normal((m, m))
+        tw = rng.standard_normal((m, m))
+        f1 = rng.standard_normal((m, m))
+        out = monarch_reference(x, f0, tw, f1)
+        expected = f1 @ (tw * (f0 @ x)).T
+        np.testing.assert_allclose(out, expected)
+
+
+class TestFFTConvGraph:
+    def test_million_token_conv_builds(self):
+        # 1M = 64*128*128: three levels per direction of small GEMMs with
+        # twiddles and transposes in between, plus permutes and filter mul.
+        g = fftconv_graph(seqlen=1 << 20, channels=4)
+        gemms = [op for op in g.operators if op.gemm_dims is not None]
+        assert len(gemms) == 6  # 3 forward + 3 inverse levels
+        assert all(op.gemm_dims[1] <= 128 for op in gemms)
+
+    def test_flops_match_radix_decomposition(self):
+        seqlen, channels = 1 << 20, 4
+        g = fftconv_graph(seqlen=seqlen, channels=channels)
+        gemm_flops = sum(op.flops for op in g.operators if op.gemm_dims)
+        # One 2*N*r GEMM per level per direction, radices (64, 128, 128).
+        assert gemm_flops == 2 * 2 * channels * seqlen * (64 + 128 + 128)
+
+    def test_has_hostile_access_patterns(self):
+        g = fftconv_graph(seqlen=32**3, channels=2)
+        movement = [op for op in g.operators if op.kind.is_data_movement]
+        assert len(movement) >= 6  # two permutes + four level transposes
+
+    def test_non_power_seqlen_rejected(self):
+        with pytest.raises(ValueError):
+            fftconv_graph(seqlen=1000)
+        with pytest.raises(ValueError):
+            fftconv_graph(seqlen=1 << 20, radices=(64, 64))
+
+    def test_filter_is_a_weight(self):
+        g = fftconv_graph(seqlen=32**3, channels=2)
+        weights = {t.name for t in g.external_inputs() if t.is_weight}
+        assert "filter_fft" in weights

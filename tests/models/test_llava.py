@@ -1,0 +1,34 @@
+"""LLaVA multimodal graph stitching."""
+
+from repro.models.catalog import LLAVA_15_LLM, VIT_L_14
+from repro.models.llava import IMAGE_TOKENS, llava_decode_graph, llava_prefill_graph
+
+
+class TestLLaVAPrefill:
+    def test_contains_both_towers(self):
+        g = llava_prefill_graph(batch=1, text_tokens=64)
+        names = {op.name for op in g.operators}
+        assert any(n.startswith("vis:") for n in names)
+        assert any(n.startswith("llm:") for n in names)
+        assert "proj.fc1" in names and "proj.fc2" in names
+
+    def test_llm_sees_image_plus_text_tokens(self):
+        text = 64
+        g = llava_prefill_graph(batch=1, text_tokens=text)
+        q = g["llm:l0.q"]
+        assert q.outputs[0].shape[0] == IMAGE_TOKENS + text
+
+    def test_graph_is_acyclic(self):
+        g = llava_prefill_graph(batch=1, text_tokens=32)
+        assert len(g.topological_order()) == len(g)
+
+    def test_weights_include_both_models(self):
+        g = llava_prefill_graph(batch=1, text_tokens=32)
+        # Vision tower + projector + LLM weights together.
+        assert g.weight_bytes > LLAVA_15_LLM.weight_bytes
+
+
+class TestLLaVADecode:
+    def test_decode_is_pure_llm(self):
+        g = llava_decode_graph(batch=1, context=IMAGE_TOKENS + 64)
+        assert not any(op.name.startswith("vis:") for op in g.operators)

@@ -1,0 +1,40 @@
+"""Quantized experts."""
+
+import pytest
+
+from repro.dataflow.graph import DType
+from repro.models.catalog import LLAMA2_7B
+from repro.models.quantize import compression_ratio, quantize
+
+
+class TestQuantize:
+    def test_int8_halves_weight_bytes(self):
+        q = quantize(LLAMA2_7B, DType.INT8)
+        assert q.weight_bytes * 2 == LLAMA2_7B.weight_bytes
+        assert compression_ratio(LLAMA2_7B) == pytest.approx(2.0)
+
+    def test_same_dtype_is_identity(self):
+        assert quantize(LLAMA2_7B, DType.BF16) is LLAMA2_7B
+
+    def test_widening_rejected(self):
+        with pytest.raises(ValueError):
+            quantize(LLAMA2_7B, DType.FP32)
+
+    def test_name_records_dtype(self):
+        assert quantize(LLAMA2_7B).name == "llama2-7b-int8"
+
+    def test_quantized_expert_doubles_hbm_slots(self):
+        from repro.systems.platforms import sn40l_platform
+
+        platform = sn40l_platform()
+        bf16_slots = platform.hbm_expert_slots(LLAMA2_7B.weight_bytes)
+        int8_slots = platform.hbm_expert_slots(quantize(LLAMA2_7B).weight_bytes)
+        assert int8_slots >= 2 * bf16_slots
+
+    def test_quantized_decode_is_faster(self):
+        from repro.systems.platforms import sn40l_platform
+
+        platform = sn40l_platform()
+        bf16 = platform.decode_token_time(LLAMA2_7B, 1, 1024)
+        int8 = platform.decode_token_time(quantize(LLAMA2_7B), 1, 1024)
+        assert int8 < bf16

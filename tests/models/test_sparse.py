@@ -1,0 +1,29 @@
+"""Sparse training workload."""
+
+import pytest
+
+from repro.models.catalog import LLAMA2_13B, SPARSEGPT_13B
+from repro.models.sparse import (
+    dense_counterpart,
+    sparsegpt_train_graph,
+    sparsity_flop_ratio,
+)
+from repro.models.transformer import train_graph
+
+
+class TestSparseWorkload:
+    def test_flop_ratio_is_8x_at_87_5_percent(self):
+        assert sparsity_flop_ratio(SPARSEGPT_13B) == pytest.approx(8.0)
+
+    def test_sparse_train_cheaper_than_dense(self):
+        sparse = sparsegpt_train_graph(batch=1, seq=256)
+        dense = train_graph(dense_counterpart(SPARSEGPT_13B), batch=1, seq=256)
+        assert sparse.total_flops < dense.total_flops / 3
+
+    def test_dense_counterpart_matches_13b(self):
+        dense = dense_counterpart(SPARSEGPT_13B)
+        assert dense.param_count == LLAMA2_13B.param_count
+        assert dense.sparsity == 0.0
+
+    def test_dense_counterpart_of_dense_is_identity(self):
+        assert dense_counterpart(LLAMA2_13B) is LLAMA2_13B

@@ -1,0 +1,72 @@
+"""Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.arch.config import SocketConfig
+from repro.coe.expert import build_samba_coe_library
+from repro.coe.serving import CoEServer
+from repro.dataflow import fusion
+from repro.models.fftconv import monarch_fft_graph
+from repro.perf.kernel_cost import ExecutionTarget, Orchestration, cost_plan
+from repro.perf.trace import (
+    plan_cost_trace,
+    serve_result_trace,
+    total_duration_s,
+    write_trace,
+)
+from repro.systems.platforms import sn40l_platform
+
+
+@pytest.fixture(scope="module")
+def cost():
+    graph = monarch_fft_graph(m=256)
+    target = ExecutionTarget.from_socket(SocketConfig())
+    return cost_plan(fusion.unfused(graph), target, Orchestration.SOFTWARE)
+
+
+class TestPlanTrace:
+    def test_one_exec_event_per_kernel(self, cost):
+        events = plan_cost_trace(cost)
+        execs = [e for e in events if e["cat"] == "kernel"]
+        assert len(execs) == cost.num_launches
+
+    def test_launch_events_present_under_software(self, cost):
+        events = plan_cost_trace(cost)
+        assert any(e["cat"] == "orchestration" for e in events)
+
+    def test_events_do_not_overlap_within_a_lane(self, cost):
+        events = sorted(plan_cost_trace(cost), key=lambda e: e["ts"])
+        end_by_tid = {}
+        for event in events:
+            tid = event["tid"]
+            assert event["ts"] >= end_by_tid.get(tid, 0.0) - 1e-9
+            end_by_tid[tid] = event["ts"] + event["dur"]
+
+    def test_total_duration_matches_cost(self, cost):
+        events = plan_cost_trace(cost)
+        assert total_duration_s(events) == pytest.approx(cost.total_s, rel=1e-6)
+
+
+class TestServeTrace:
+    def test_phases_appear_in_lanes(self):
+        library = build_samba_coe_library(10)
+        server = CoEServer(sn40l_platform(), library)
+        result = server.serve_experts(library.experts[:2], output_tokens=5)
+        events = serve_result_trace(result)
+        categories = {e["cat"] for e in events}
+        assert {"router", "switch", "prefill", "decode"} <= categories
+        assert total_duration_s(events) == pytest.approx(result.total_s, rel=1e-6)
+
+
+class TestWriteTrace:
+    def test_file_is_valid_chrome_trace(self, cost, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace(plan_cost_trace(cost), str(path))
+        data = json.loads(path.read_text())
+        assert "traceEvents" in data
+        assert all(e["ph"] == "X" for e in data["traceEvents"])
+
+    def test_empty_trace_duration(self):
+        assert total_duration_s([]) == 0.0

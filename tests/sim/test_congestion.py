@@ -1,0 +1,86 @@
+"""RDN link congestion analysis."""
+
+import pytest
+
+from repro.arch.config import RDNConfig
+from repro.arch.perfcounters import Remedy, diagnose
+from repro.arch.rdn import Mesh
+from repro.sim.congestion import CongestionAnalyzer, PlacedFlow
+
+
+@pytest.fixture
+def analyzer():
+    return CongestionAnalyzer(Mesh(6, 6), RDNConfig())
+
+
+LINK_BW = RDNConfig().link_bandwidth
+
+
+class TestPlacedFlow:
+    def test_links_follow_dimension_order(self):
+        flow = PlacedFlow("f", (0, 0), ((2, 0),), rate=1.0)
+        assert flow.links() == [((0, 0), (1, 0)), ((1, 0), (2, 0))]
+
+    def test_multicast_shares_tree_links(self):
+        flow = PlacedFlow("f", (0, 0), ((3, 2), (3, 4)), rate=1.0)
+        links = flow.links()
+        assert links.count(((0, 0), (1, 0))) == 1  # trunk counted once
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlacedFlow("f", (0, 0), (), rate=1.0)
+        with pytest.raises(ValueError):
+            PlacedFlow("f", (0, 0), ((1, 0),), rate=-1.0)
+
+
+class TestAnalyzer:
+    def test_disjoint_flows_stay_healthy(self, analyzer):
+        analyzer.place(PlacedFlow("a", (0, 0), ((2, 0),), rate=LINK_BW * 0.5))
+        analyzer.place(PlacedFlow("b", (0, 3), ((2, 3),), rate=LINK_BW * 0.5))
+        assert analyzer.congested_links() == []
+        assert analyzer.worst_utilization() == pytest.approx(0.5)
+
+    def test_shared_link_congests(self, analyzer):
+        for i in range(3):
+            analyzer.place(
+                PlacedFlow(f"f{i}", (0, 0), ((3, 0),), rate=LINK_BW * 0.5)
+            )
+        congested = analyzer.congested_links()
+        assert congested
+        assert congested[0].utilization == pytest.approx(1.5)
+
+    def test_flow_slowdown_comes_from_worst_link(self, analyzer):
+        analyzer.place(PlacedFlow("hot", (0, 0), ((4, 0),), rate=LINK_BW))
+        victim = PlacedFlow("victim", (0, 0), ((4, 0),), rate=LINK_BW * 0.2)
+        analyzer.place(victim)
+        assert analyzer.flow_slowdown(victim) == pytest.approx(1.2)
+
+    def test_off_mesh_flow_rejected(self, analyzer):
+        with pytest.raises(ValueError):
+            analyzer.place(PlacedFlow("f", (0, 0), ((9, 9),), rate=1.0))
+
+    def test_multicast_cheaper_than_unicasts(self):
+        multicast = CongestionAnalyzer(Mesh(6, 6))
+        multicast.place(
+            PlacedFlow("m", (0, 0), ((5, 1), (5, 3), (5, 5)), rate=LINK_BW * 0.9)
+        )
+        unicasts = CongestionAnalyzer(Mesh(6, 6))
+        for i, dst in enumerate(((5, 1), (5, 3), (5, 5))):
+            unicasts.place(PlacedFlow(f"u{i}", (0, 0), (dst,), rate=LINK_BW * 0.9))
+        assert multicast.worst_utilization() < unicasts.worst_utilization()
+
+
+class TestCounterIntegration:
+    def test_congestion_shows_up_as_switch_stalls(self, analyzer):
+        for i in range(4):
+            analyzer.place(
+                PlacedFlow(f"f{i}", (0, 0), ((3, 0),), rate=LINK_BW * 0.5)
+            )
+        counters = analyzer.to_counters()
+        hotspots = diagnose(counters)
+        assert hotspots
+        assert all(h.remedy is Remedy.THROTTLE_TRAFFIC for h in hotspots)
+
+    def test_healthy_mesh_produces_no_hotspots(self, analyzer):
+        analyzer.place(PlacedFlow("a", (0, 0), ((2, 0),), rate=LINK_BW * 0.3))
+        assert diagnose(analyzer.to_counters()) == []

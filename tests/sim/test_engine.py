@@ -1,0 +1,63 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("first"))
+        sim.schedule(1.0, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulator()
+        log = []
+
+        def fire():
+            log.append(sim.now)
+            if len(log) < 3:
+                sim.schedule(1.0, fire)
+
+        sim.schedule(1.0, fire)
+        end = sim.run()
+        assert log == [1.0, 2.0, 3.0]
+        assert end == 3.0
+
+    def test_until_stops_the_clock(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        assert sim.run(until=5.0) == 5.0
+        assert sim.pending_events == 1
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_livelock_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)

@@ -1,0 +1,62 @@
+"""Streamed pipelines with credit flow control."""
+
+import pytest
+
+from repro.sim.streams import Pipeline, bursty_stage, uniform_stage
+
+
+class TestUniformPipeline:
+    def test_single_stage_is_serial(self):
+        pipe = Pipeline([uniform_stage("a", 2.0)])
+        assert pipe.run(10) == pytest.approx(20.0)
+
+    def test_bottleneck_sets_throughput(self):
+        pipe = Pipeline(
+            [uniform_stage("a", 1.0), uniform_stage("slow", 3.0), uniform_stage("c", 1.0)]
+        )
+        makespan = pipe.run(20)
+        # Steady state: 20 items x 3.0 at the bottleneck, plus fill/drain.
+        assert makespan == pytest.approx(60.0 + pipe.fill_latency(), rel=0.15)
+
+    def test_all_items_processed(self):
+        pipe = Pipeline([uniform_stage("a", 1.0), uniform_stage("b", 1.0)])
+        pipe.run(15)
+        assert all(stage.stats.processed == 15 for stage in pipe.stages)
+
+    def test_zero_items_is_instant(self):
+        pipe = Pipeline([uniform_stage("a", 1.0)])
+        assert pipe.run(0) == 0.0
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([uniform_stage("a", 1.0)]).run(-1)
+
+
+class TestBackpressure:
+    def test_slow_consumer_stalls_producer(self):
+        pipe = Pipeline(
+            [uniform_stage("fast", 0.1, buffer_capacity=1),
+             uniform_stage("slow", 1.0, buffer_capacity=1)]
+        )
+        pipe.run(10)
+        assert pipe.stages[0].stats.stalled_s > 0
+
+    def test_bigger_buffers_absorb_bursts(self):
+        def build(capacity):
+            return Pipeline(
+                [bursty_stage("bursty", 0.5, 3.0, burst_period=4,
+                              buffer_capacity=capacity),
+                 uniform_stage("sink", 1.0, buffer_capacity=capacity)]
+            )
+
+        shallow = build(1).run(24)
+        deep = build(6).run(24)
+        assert deep <= shallow
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_stage("a", 1.0, buffer_capacity=0)
+
+    def test_bad_service_time_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_stage("a", 0.0)

@@ -1,0 +1,146 @@
+"""Multi-node CoE serving and load balancing."""
+
+import pytest
+
+from repro.coe.expert import build_heterogeneous_library, build_samba_coe_library
+from repro.systems.cluster import (
+    Cluster,
+    partition_experts,
+    replicate_hot_experts,
+)
+from repro.systems.platforms import sn40l_platform
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_samba_coe_library(40)
+
+
+class TestPartitioning:
+    def test_every_expert_lands_exactly_once(self, library):
+        shards = partition_experts(library, 4)
+        names = [e.name for shard in shards for e in shard]
+        assert sorted(names) == sorted(e.name for e in library.experts)
+
+    def test_balanced_partitioning_equalises_bytes(self):
+        library = build_heterogeneous_library()
+        shards = partition_experts(library, 5, balanced=True)
+        loads = [sum(e.weight_bytes for e in shard) for shard in shards]
+        assert max(loads) / min(loads) < 1.1
+
+    def test_contiguous_partitioning_preserves_order(self, library):
+        shards = partition_experts(library, 4, balanced=False)
+        assert [e.name for e in shards[0]] == [
+            e.name for e in library.experts[:10]
+        ]
+
+    def test_bad_node_count_rejected(self, library):
+        with pytest.raises(ValueError):
+            partition_experts(library, 0)
+
+
+class TestCluster:
+    def test_requests_route_to_owning_node(self, library):
+        cluster = Cluster(sn40l_platform, library, num_nodes=4)
+        expert = library.experts[0]
+        (owner,) = cluster.owners_of(expert)
+        records = cluster.dispatch([expert], output_tokens=5)
+        assert records[0].node == owner.name
+
+    def test_unknown_expert_rejected(self, library):
+        cluster = Cluster(sn40l_platform, library, num_nodes=2)
+        from repro.coe.expert import ExpertProfile
+
+        with pytest.raises(KeyError):
+            cluster.owners_of(ExpertProfile("ghost", "chat"))
+
+    def test_skewed_traffic_creates_imbalance(self, library):
+        cluster = Cluster(sn40l_platform, library, num_nodes=4)
+        hot = library.experts[0]
+        cluster.dispatch([hot] * 12, output_tokens=5)
+        assert cluster.load_imbalance() > 2.0  # one node does all the work
+
+    def test_uniform_traffic_balances(self, library):
+        cluster = Cluster(sn40l_platform, library, num_nodes=4)
+        cluster.dispatch(list(library.experts), output_tokens=5)
+        assert cluster.load_imbalance() < 1.3
+
+    def test_replication_fixes_the_hot_node(self, library):
+        hot = library.experts[0]
+        sharded = Cluster(sn40l_platform, library, num_nodes=4)
+        sharded.dispatch([hot] * 12, output_tokens=5)
+
+        replicated = Cluster(sn40l_platform, library, num_nodes=4)
+        replicate_hot_experts(replicated, {hot.name: 12}, top_n=1)
+        replicated.dispatch([hot] * 12, output_tokens=5)
+
+        assert replicated.makespan_s() < sharded.makespan_s()
+        assert len(replicated.owners_of(hot)) == 4
+
+    def test_bad_top_n_rejected(self, library):
+        cluster = Cluster(sn40l_platform, library, num_nodes=2)
+        with pytest.raises(ValueError):
+            replicate_hot_experts(cluster, {}, top_n=-1)
+
+
+class TestHeterogeneousLibrary:
+    def test_default_mix_has_three_architectures(self):
+        library = build_heterogeneous_library()
+        models = {e.model.name for e in library.experts}
+        assert models == {"llama2-7b", "mistral-7b", "llama2-13b"}
+
+    def test_sizes_differ(self):
+        library = build_heterogeneous_library()
+        sizes = {e.weight_bytes for e in library.experts}
+        assert len(sizes) == 3
+
+    def test_serving_handles_mixed_sizes(self):
+        from repro.coe.serving import CoEServer
+
+        library = build_heterogeneous_library(
+            size_mix=None,
+        )
+        server = CoEServer(sn40l_platform(), library)
+        big = next(e for e in library.experts if "13b" in e.model.name)
+        small = next(e for e in library.experts if "7b" in e.model.name)
+        result = server.serve_experts([big, small], output_tokens=5)
+        big_req = next(r for r in result.requests if r.expert == big.name)
+        small_req = next(r for r in result.requests if r.expert == small.name)
+        assert big_req.switch_s > small_req.switch_s
+
+    def test_lru_evicts_enough_for_a_big_expert(self):
+        """A 13B arrival may need to evict two 7B residents."""
+        from repro.coe.runtime import CoERuntime
+        from repro.models.catalog import LLAMA2_7B, LLAMA2_13B
+        from repro.coe.expert import ExpertProfile
+
+        small = [ExpertProfile(f"s{i}", "chat", LLAMA2_7B) for i in range(2)]
+        big = ExpertProfile("big", "chat", LLAMA2_13B)
+        runtime = CoERuntime(
+            hbm_budget_bytes=2 * LLAMA2_7B.weight_bytes + 1,
+            upgrade_time=lambda b: 0.0,
+        )
+        for e in small:
+            runtime.activate(e)
+        event = runtime.activate(big)
+        assert set(event.evicted) == {"s0", "s1"}
+
+    def test_negative_count_rejected(self):
+        from repro.models.catalog import LLAMA2_7B
+
+        with pytest.raises(ValueError):
+            build_heterogeneous_library(size_mix=((LLAMA2_7B, -1),))
+
+
+class TestReplicationIdempotence:
+    def test_replicating_twice_is_harmless(self, library):
+        cluster = Cluster(sn40l_platform, library, num_nodes=3)
+        hot = library.experts[0]
+        cluster.replicate(hot)
+        cluster.replicate(hot)
+        assert len(cluster.owners_of(hot)) == 3
+
+    def test_more_nodes_than_experts(self):
+        small = build_samba_coe_library(2)
+        cluster = Cluster(sn40l_platform, small, num_nodes=5)
+        assert cluster.num_nodes == 2  # empty shards are dropped

@@ -1,0 +1,54 @@
+"""Footprint analysis (paper Figure 13)."""
+
+import pytest
+
+from repro.models.catalog import LLAMA2_7B
+from repro.systems.footprint import (
+    dgx_nodes_required,
+    footprint_sweep,
+    max_experts_single_node,
+    sn40l_nodes_required,
+)
+from repro.systems.platforms import dgx_a100_platform, sn40l_platform
+from repro.units import GiB
+
+EXPERT = LLAMA2_7B.weight_bytes
+RESERVED = LLAMA2_7B.weight_bytes + 8 * GiB
+
+
+class TestPaperHeadline:
+    def test_850_experts_fit_one_sn40l_node(self):
+        assert sn40l_nodes_required(sn40l_platform(), 850, EXPERT, RESERVED) == 1
+
+    def test_same_coe_needs_about_19_dgx_nodes(self):
+        nodes = dgx_nodes_required(dgx_a100_platform(), 850, EXPERT, RESERVED)
+        assert 17 <= nodes <= 20  # paper: 19x footprint reduction
+
+
+class TestScaling:
+    def test_footprint_monotonic_in_experts(self):
+        dgx = dgx_a100_platform()
+        counts = [dgx_nodes_required(dgx, n, EXPERT, RESERVED)
+                  for n in (10, 100, 400, 850)]
+        assert counts == sorted(counts)
+
+    def test_zero_experts_zero_nodes(self):
+        assert dgx_nodes_required(dgx_a100_platform(), 0, EXPERT) == 0
+        assert sn40l_nodes_required(sn40l_platform(), 0, EXPERT) == 0
+
+    def test_max_experts_hbm_only_vs_tiered(self):
+        sn = sn40l_platform()
+        hbm_only = max_experts_single_node(sn, EXPERT, RESERVED, hbm_only=True)
+        tiered = max_experts_single_node(sn, EXPERT, RESERVED)
+        assert tiered > 10 * hbm_only  # DDR is the capacity story
+
+    def test_sweep_covers_all_platforms(self):
+        points = footprint_sweep(
+            [dgx_a100_platform()], sn40l_platform(), [100, 850], EXPERT, RESERVED
+        )
+        assert {p.platform for p in points} == {"DGX-A100", "SN40L-Node"}
+        assert len(points) == 4
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            dgx_nodes_required(dgx_a100_platform(), -1, EXPERT)

@@ -1,0 +1,68 @@
+"""Sensitivity of the reproduced conclusions to calibration constants."""
+
+import pytest
+
+from repro.perf.calibration import DEFAULT_CALIBRATION
+from repro.systems.sensitivity import (
+    decode_win_sensitivity,
+    fusion_direction_sensitivity,
+    oom_point_sensitivity,
+    switch_ratio_sensitivity,
+    sweep_constant,
+)
+
+
+class TestSwitchRatio:
+    def test_conclusion_robust_to_20_percent_bandwidth_error(self):
+        result = switch_ratio_sensitivity()
+        assert result.always_holds
+        lo, hi = result.metric_range
+        assert lo > 20 and hi < 45  # ratio moves linearly, stays ~30x
+
+    def test_ratio_scales_linearly_with_bandwidth(self):
+        result = switch_ratio_sensitivity(spread=(0.5, 1.0, 2.0))
+        metrics = [p.metric for p in result.points]
+        assert metrics[1] / metrics[0] == pytest.approx(2.0, rel=0.05)
+
+
+class TestDecodeWin:
+    def test_win_holds_down_to_70_percent_efficiency(self):
+        result = decode_win_sensitivity()
+        assert result.always_holds
+
+    def test_win_shrinks_with_lower_efficiency(self):
+        result = decode_win_sensitivity(efficiencies=(0.6, 0.9))
+        assert result.points[0].metric < result.points[1].metric
+
+
+class TestOOMPoint:
+    def test_oom_stays_far_below_sn40l_capacity(self):
+        points = oom_point_sensitivity()
+        assert all(120 <= hosted <= 185 for hosted in points.values())
+
+    def test_oom_moves_with_capacity(self):
+        points = oom_point_sensitivity(host_fractions=(0.8, 1.2))
+        assert points[0.8] < points[1.2]
+
+
+class TestFusionDirection:
+    def test_structural_win_across_efficiencies(self):
+        result = fusion_direction_sensitivity()
+        assert result.always_holds
+        # Even at matched compute efficiency, materialisation and launch
+        # overheads keep the fused plan ahead.
+        assert min(p.metric for p in result.points) > 1.5
+
+
+class TestSweepMachinery:
+    def test_unknown_constant_rejected(self):
+        with pytest.raises(ValueError, match="no constant"):
+            sweep_constant("warp_core_efficiency", [1.0], "x",
+                           lambda cal: (0.0, True))
+
+    def test_sweep_preserves_order(self):
+        result = sweep_constant(
+            "hw_launch_s", [1e-6, 2e-6, 3e-6], "launches cost time",
+            lambda cal: (cal.hw_launch_s, True),
+        )
+        assert [p.value for p in result.points] == [1e-6, 2e-6, 3e-6]

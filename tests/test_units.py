@@ -1,0 +1,55 @@
+"""Unit constants and formatting helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_binary_vs_decimal(self):
+        assert units.GiB == 2**30
+        assert units.GB == 10**9
+        assert units.TiB / units.TB == pytest.approx(1.0995, rel=1e-3)
+
+    def test_conversions(self):
+        assert units.to_gib(2**31) == 2.0
+        assert units.to_mib(2**20) == 1.0
+        assert units.to_ms(0.25) == 250.0
+        assert units.to_us(1e-3) == pytest.approx(1000.0)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (512, "512.0 B"),
+            (2048, "2.0 KiB"),
+            (64 * units.GiB, "64.0 GiB"),
+            (3 * units.TiB, "3.0 TiB"),
+        ],
+    )
+    def test_fmt_bytes(self, value, expected):
+        assert units.fmt_bytes(value) == expected
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (2.5, "2.50 s"),
+            (1.2e-3, "1.20 ms"),
+            (42e-6, "42.00 us"),
+            (5e-9, "5.0 ns"),
+        ],
+    )
+    def test_fmt_time(self, value, expected):
+        assert units.fmt_time(value) == expected
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (500, "500.0 B/s"),
+            (2e12, "2.0 TB/s"),
+            (32e9, "32.0 GB/s"),
+        ],
+    )
+    def test_fmt_bandwidth(self, value, expected):
+        assert units.fmt_bandwidth(value) == expected
