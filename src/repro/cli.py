@@ -6,6 +6,7 @@ Commands:
 - ``models`` — the Table II workload catalogue,
 - ``fusion MODEL PHASE`` — fusion/orchestration speedups for one workload,
 - ``coe`` — CoE serving comparison across SN40L / DGX A100 / DGX H100,
+- ``serve-bench`` — throughput engine benchmark (batching/overlap policies),
 - ``footprint`` — nodes required vs expert count (Figure 13),
 - ``intensity`` — the Table I operational-intensity analysis,
 - ``plan MODEL PHASE`` — print the fused kernel plan (stages/buffers),
@@ -120,6 +121,68 @@ def _cmd_coe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.coe.engine import POLICIES, compare_policies, zipf_request_stream
+    from repro.coe.expert import build_samba_coe_library
+    from repro.systems.platforms import (
+        dgx_a100_platform,
+        dgx_h100_platform,
+        sn40l_platform,
+    )
+
+    platforms = {
+        "sn40l": sn40l_platform,
+        "dgx-a100": dgx_a100_platform,
+        "dgx-h100": dgx_h100_platform,
+    }
+    selected = list(platforms) if args.platform == "all" else [args.platform]
+    policies = list(POLICIES) if args.policy == "all" else [args.policy]
+    try:
+        library = build_samba_coe_library(args.experts)
+        requests = zipf_request_stream(
+            library,
+            args.requests,
+            alpha=args.zipf,
+            seed=args.seed,
+            prompt_tokens=args.prompt,
+            output_tokens=args.tokens,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(f"{args.requests} requests over {len(library)} experts "
+          f"(Zipf alpha={args.zipf}), {args.tokens} output tokens each")
+    header = (f"{'platform':<12s} {'policy':<9s} {'req/s':>8s} {'tok/s':>9s} "
+              f"{'p50':>9s} {'p99':>9s} {'batch':>6s} {'hidden':>7s}")
+    print(header)
+    print("-" * len(header))
+    for name in selected:
+        platform = platforms[name]()
+        hosted = platform.max_hosted_experts(
+            library.experts[0].weight_bytes,
+            reserved_bytes=library.experts[0].weight_bytes,
+        )
+        if len(library) > hosted:
+            print(f"{platform.name:<12s} OOM ({hosted} experts max)")
+            continue
+        try:
+            reports = compare_policies(
+                platform, library, requests, policies=policies,
+                max_batch=args.max_batch, window=args.window,
+            )
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        for policy, report in reports.items():
+            print(f"{platform.name:<12s} {policy:<9s} "
+                  f"{report.requests_per_second:8.2f} "
+                  f"{report.tokens_per_second:9.1f} "
+                  f"{fmt_time(report.p50_s):>9s} {fmt_time(report.p99_s):>9s} "
+                  f"{report.mean_batch:6.2f} "
+                  f"{100 * report.switch_hidden_fraction:6.1f}%")
+    return 0
+
+
 def _cmd_footprint(args: argparse.Namespace) -> int:
     from repro.models.catalog import LLAMA2_7B
     from repro.systems.footprint import dgx_nodes_required, sn40l_nodes_required
@@ -231,6 +294,22 @@ def build_parser() -> argparse.ArgumentParser:
     coe_p.add_argument("--batch", type=int, default=8)
     coe_p.add_argument("--tokens", type=int, default=20)
     coe_p.set_defaults(fn=_cmd_coe)
+
+    serve_p = sub.add_parser("serve-bench",
+                             help="throughput serving engine benchmark")
+    serve_p.add_argument("--policy", default="all",
+                         choices=["fifo", "affinity", "overlap", "all"])
+    serve_p.add_argument("--platform", default="all",
+                         choices=["sn40l", "dgx-a100", "dgx-h100", "all"])
+    serve_p.add_argument("--experts", type=int, default=100)
+    serve_p.add_argument("--requests", type=int, default=256)
+    serve_p.add_argument("--tokens", type=int, default=20)
+    serve_p.add_argument("--prompt", type=int, default=256)
+    serve_p.add_argument("--max-batch", type=int, default=8)
+    serve_p.add_argument("--window", type=int, default=16)
+    serve_p.add_argument("--zipf", type=float, default=1.1)
+    serve_p.add_argument("--seed", type=int, default=1234)
+    serve_p.set_defaults(fn=_cmd_serve_bench)
 
     foot_p = sub.add_parser("footprint", help="nodes required for a CoE")
     foot_p.add_argument("--experts", type=int, default=850)

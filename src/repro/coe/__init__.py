@@ -12,10 +12,21 @@ from repro.coe.router import Router, RoutingDecision, embed_text
 from repro.coe.scheduling import (
     ExpertPredictor,
     Request,
+    RequestGroup,
     affinity_schedule,
+    coalesce_groups,
     fifo_schedule,
     serve_schedule,
     serve_with_prefetch,
+)
+from repro.coe.engine import (
+    POLICIES,
+    CompletedRequest,
+    EngineReport,
+    EngineRequest,
+    ServingEngine,
+    compare_policies,
+    zipf_request_stream,
 )
 from repro.coe.runtime import CoERuntime, RuntimeStats, SwitchEvent
 from repro.coe.serving import CoEServer, RequestLatency, ServeResult
@@ -27,4 +38,7 @@ __all__ = [
     "RequestLatency", "ServeResult", "ExpertPredictor", "Request",
     "affinity_schedule", "fifo_schedule", "serve_schedule",
     "serve_with_prefetch", "ServingMetrics", "compute_metrics", "metrics_of",
+    "RequestGroup", "coalesce_groups", "POLICIES", "CompletedRequest",
+    "EngineReport", "EngineRequest", "ServingEngine", "compare_policies",
+    "zipf_request_stream",
 ]

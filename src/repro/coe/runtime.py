@@ -36,11 +36,18 @@ class SwitchEvent:
 
 @dataclass
 class RuntimeStats:
-    """Cumulative cache behaviour."""
+    """Cumulative cache behaviour.
+
+    Every ``activate`` call counts as one request, including calls whose
+    copy fails: those additionally increment ``failures`` and contribute
+    nothing to ``bytes_up``/``bytes_down``/``switch_time_s`` (the copy
+    never happened). Failed requests are a subset of ``misses``.
+    """
 
     requests: int = 0
     hits: int = 0
     evictions: int = 0
+    failures: int = 0
     bytes_up: int = 0
     bytes_down: int = 0
     switch_time_s: float = 0.0
@@ -76,12 +83,15 @@ class CoERuntime:
         self._downgrade_time = downgrade_time or upgrade_time
         #: name -> expert, in LRU order (oldest first).
         self._resident: "OrderedDict[str, ExpertProfile]" = OrderedDict()
+        #: Running sum of resident weight bytes, maintained on insert and
+        #: evict so the eviction loop is O(victims), not O(residents²).
+        self._resident_bytes = 0
         self.stats = RuntimeStats()
 
     # ------------------------------------------------------------------
     @property
     def resident_bytes(self) -> int:
-        return sum(e.weight_bytes for e in self._resident.values())
+        return self._resident_bytes
 
     @property
     def resident_experts(self) -> List[str]:
@@ -89,6 +99,23 @@ class CoERuntime:
 
     def is_resident(self, expert: ExpertProfile) -> bool:
         return expert.name in self._resident
+
+    def would_evict(self, expert: ExpertProfile) -> tuple:
+        """Names of the LRU victims activating ``expert`` would evict.
+
+        Pure preview — no mutation. Lets a speculative prefetcher decline
+        a guess whose eviction set includes experts it must keep resident.
+        """
+        if expert.name in self._resident:
+            return ()
+        victims: List[str] = []
+        free = self.hbm_budget_bytes - self._resident_bytes
+        for name, resident in self._resident.items():  # oldest first
+            if free >= expert.weight_bytes:
+                break
+            victims.append(name)
+            free += resident.weight_bytes
+        return tuple(victims)
 
     # ------------------------------------------------------------------
     def activate(self, expert: ExpertProfile) -> SwitchEvent:
@@ -116,10 +143,11 @@ class CoERuntime:
         evicted: List[str] = []
         victims: List[ExpertProfile] = []
         bytes_down = 0
-        while self.resident_bytes + expert.weight_bytes > self.hbm_budget_bytes:
+        while self._resident_bytes + expert.weight_bytes > self.hbm_budget_bytes:
             victim_name, victim = self._resident.popitem(last=False)
             evicted.append(victim_name)
             victims.append(victim)
+            self._resident_bytes -= victim.weight_bytes
             bytes_down += victim.copyback_bytes
             self.stats.evictions += 1
 
@@ -131,13 +159,17 @@ class CoERuntime:
         except Exception:
             # A failed copy must not corrupt the cache: reinstate the
             # victims (oldest first, preserving LRU order) and undo the
-            # eviction accounting before propagating the failure.
+            # eviction accounting before propagating the failure. The
+            # request itself stays counted, as a failure.
             for victim in reversed(victims):
                 self._resident[victim.name] = victim
                 self._resident.move_to_end(victim.name, last=False)
+                self._resident_bytes += victim.weight_bytes
             self.stats.evictions -= len(victims)
+            self.stats.failures += 1
             raise
         self._resident[expert.name] = expert
+        self._resident_bytes += expert.weight_bytes
 
         self.stats.bytes_up += bytes_up
         self.stats.bytes_down += bytes_down
@@ -154,3 +186,4 @@ class CoERuntime:
     def flush(self) -> None:
         """Evict everything (between experiments)."""
         self._resident.clear()
+        self._resident_bytes = 0

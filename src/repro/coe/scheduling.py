@@ -62,6 +62,44 @@ def affinity_schedule(requests: Sequence[Request], window: int = 16) -> List[Req
     return scheduled
 
 
+@dataclass(frozen=True)
+class RequestGroup:
+    """A run of same-expert requests served as one batched generation."""
+
+    expert: ExpertProfile
+    requests: tuple
+
+    @property
+    def batch(self) -> int:
+        return len(self.requests)
+
+
+def coalesce_groups(
+    schedule: Sequence[Request], max_batch: int = 8
+) -> List[RequestGroup]:
+    """Merge *consecutive* same-expert requests into batched groups.
+
+    One group pays one expert switch and one batched prefill/decode
+    instead of ``batch`` batch-of-one generations. Only adjacent requests
+    merge (reordering is the scheduler's job — see
+    :func:`affinity_schedule`), and groups are capped at ``max_batch`` so
+    the batched roofline stays within the platform's calibrated regime.
+    """
+    if max_batch < 1:
+        raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+    groups: List[RequestGroup] = []
+    run: List[Request] = []
+    for request in schedule:
+        if run and (request.expert.name != run[0].expert.name
+                    or len(run) >= max_batch):
+            groups.append(RequestGroup(expert=run[0].expert, requests=tuple(run)))
+            run = []
+        run.append(request)
+    if run:
+        groups.append(RequestGroup(expert=run[0].expert, requests=tuple(run)))
+    return groups
+
+
 @dataclass
 class ScheduleOutcome:
     """Timing and cache behaviour of one served schedule."""

@@ -113,15 +113,21 @@ class CoEServer:
         return prefill + readout
 
     def expert_time(
-        self, expert: ExpertProfile, output_tokens: int, prompt_tokens: int
+        self,
+        expert: ExpertProfile,
+        output_tokens: int,
+        prompt_tokens: int,
+        batch: int = 1,
     ) -> tuple:
-        """(prefill_s, decode_s) of one expert generation, batch of one."""
-        prefill = self.platform.prefill_time(expert.model, 1, prompt_tokens)
-        decode = 0.0
-        for step in range(output_tokens):
-            decode += self.platform.decode_token_time(
-                expert.model, 1, prompt_tokens + step
-            )
+        """(prefill_s, decode_s) of one batched expert generation.
+
+        Decode over the growing context uses the closed-form aggregate
+        (:meth:`Platform.decode_span_time`) instead of a per-token loop.
+        """
+        prefill = self.platform.prefill_time(expert.model, batch, prompt_tokens)
+        decode = self.platform.decode_span_time(
+            expert.model, output_tokens, batch, prompt_tokens
+        )
         return prefill, decode
 
     # ------------------------------------------------------------------

@@ -39,8 +39,12 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
         """Drain the event queue; returns the final simulated time.
 
-        ``until`` stops the clock at a deadline; ``max_events`` guards
-        against runaway simulations (deadlock-free models terminate).
+        ``until`` stops the clock at a deadline (inclusive: an event
+        scheduled at exactly ``until`` still runs); ``max_events`` guards
+        against runaway simulations (deadlock-free models terminate). When
+        the queue drains before the deadline, the clock still advances to
+        ``until`` — the simulated interval elapsed even if nothing
+        happened in its tail.
         """
         while self._queue:
             if self._events_run >= max_events:
@@ -53,6 +57,8 @@ class Simulator:
             self.now = time
             self._events_run += 1
             callback()
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
 
     @property

@@ -21,6 +21,7 @@ kernel launch overhead); constants live in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 from repro.arch.config import sn40l_node
@@ -88,6 +89,7 @@ class Platform:
             return 0.0
         return self.switch_latency_s + weight_bytes / self.switch_bandwidth
 
+    @lru_cache(maxsize=None)
     def decode_token_time(
         self,
         model: TransformerConfig,
@@ -97,7 +99,10 @@ class Platform:
         """One autoregressive decode step, TP across all sockets.
 
         Memory-bound: reads all weights plus the KV cache of every sample,
-        plus per-layer collective latency and launch overheads.
+        plus per-layer collective latency and launch overheads. Memoized on
+        ``(model, batch, context)`` — both argument types are frozen
+        dataclasses, and expert sweeps re-evaluate the same roofline terms
+        for every expert of a given architecture.
         """
         if batch < 1 or context < 0:
             raise ValueError("batch must be >= 1 and context >= 0")
@@ -114,10 +119,11 @@ class Platform:
         )
         return max(memory_s, compute_s) + overhead_s
 
+    @lru_cache(maxsize=None)
     def prefill_time(
         self, model: TransformerConfig, batch: int = 1, seq: int = 1024
     ) -> float:
-        """Prompt processing (first token): compute-bound."""
+        """Prompt processing (first token): compute-bound. Memoized."""
         if batch < 1 or seq < 1:
             raise ValueError("batch and seq must be >= 1")
         flops = 2.0 * model.param_count * batch * seq
@@ -126,6 +132,68 @@ class Platform:
             self.hbm_bandwidth * self.decode_hbm_efficiency
         )
         return max(compute_s, weight_s) + model.layers * self.launch_overhead_s
+
+    @lru_cache(maxsize=None)
+    def decode_span_time(
+        self,
+        model: TransformerConfig,
+        output_tokens: int,
+        batch: int = 1,
+        prompt: int = 256,
+    ) -> float:
+        """Closed-form sum of ``decode_token_time`` over a growing context.
+
+        Each decode step is ``max(memory_s(c), compute_s) + overhead_s``
+        where only the memory term depends on the context ``c``, and it is
+        affine in ``c`` (weights plus a per-token KV read). Since the
+        memory term is non-decreasing, the steps split into a compute-bound
+        prefix and a memory-bound suffix: the prefix contributes
+        ``k * compute_s`` and the suffix is an arithmetic series with an
+        exact closed form. The crossover index is found by binary search on
+        the *same float expression* the per-token loop evaluates, so the
+        partition matches the loop exactly; agreement is asserted in
+        ``tests/systems/test_decode_closed_form.py``.
+        """
+        if output_tokens < 0:
+            raise ValueError(f"negative output_tokens: {output_tokens}")
+        if batch < 1 or prompt < 0:
+            raise ValueError("batch must be >= 1 and prompt >= 0")
+        if output_tokens == 0:
+            return 0.0
+        bw = self.hbm_bandwidth * self.decode_hbm_efficiency
+        weight_traffic = model.weight_bytes
+        kv_per_token = batch * model.kv_bytes_per_token()
+        compute_s = (2.0 * model.param_count * batch) / (
+            self.peak_flops * self.compute_efficiency
+        )
+        overhead_s = model.layers * (
+            2 * self.allreduce_latency_s + self.launch_overhead_s
+        )
+
+        def memory_s(step: int) -> float:
+            # Bit-identical to the memory term of decode_token_time.
+            return (weight_traffic + (prompt + step) * kv_per_token) / bw
+
+        # First step whose memory term reaches compute_s (binary search on
+        # a monotone predicate; O(log T) instead of the loop's O(T)).
+        lo, hi = 0, output_tokens
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if memory_s(mid) >= compute_s:
+                hi = mid
+            else:
+                lo = mid + 1
+        compute_steps = lo
+        total = compute_steps * compute_s
+        memory_steps = output_tokens - compute_steps
+        if memory_steps:
+            first = prompt + compute_steps
+            last = prompt + output_tokens - 1
+            context_sum = (first + last) * memory_steps // 2  # exact int
+            total += (
+                memory_steps * weight_traffic + context_sum * kv_per_token
+            ) / bw
+        return total + output_tokens * overhead_s
 
     def generate_time(
         self,
@@ -137,10 +205,9 @@ class Platform:
         """Prefill + ``output_tokens`` decode steps with a growing cache."""
         if output_tokens < 0:
             raise ValueError(f"negative output_tokens: {output_tokens}")
-        total = self.prefill_time(model, batch, prompt)
-        for step in range(output_tokens):
-            total += self.decode_token_time(model, batch, prompt + step)
-        return total
+        return self.prefill_time(model, batch, prompt) + self.decode_span_time(
+            model, output_tokens, batch, prompt
+        )
 
 
 def sn40l_platform(calibration: Calibration = DEFAULT_CALIBRATION) -> Platform:

@@ -1,0 +1,192 @@
+"""The throughput serving engine: grouping, overlap, and reporting."""
+
+import pytest
+
+from repro.coe.engine import (
+    POLICIES,
+    EngineRequest,
+    ServingEngine,
+    compare_policies,
+    zipf_request_stream,
+)
+from repro.coe.expert import build_samba_coe_library
+from repro.coe.scheduling import Request, coalesce_groups
+from repro.systems.platforms import (
+    dgx_a100_platform,
+    dgx_h100_platform,
+    sn40l_platform,
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_samba_coe_library(60)
+
+
+@pytest.fixture(scope="module")
+def stream(library):
+    return zipf_request_stream(library, 96, alpha=1.1, seed=7)
+
+
+class TestGroupCoalescing:
+    def test_consecutive_same_expert_merges(self, library):
+        e0, e1 = library.experts[0], library.experts[1]
+        reqs = [Request(i, e) for i, e in enumerate([e0, e0, e1, e0])]
+        groups = coalesce_groups(reqs)
+        assert [(g.expert.name, g.batch) for g in groups] == [
+            (e0.name, 2), (e1.name, 1), (e0.name, 1),
+        ]
+
+    def test_max_batch_caps_group_size(self, library):
+        e0 = library.experts[0]
+        reqs = [Request(i, e0) for i in range(10)]
+        groups = coalesce_groups(reqs, max_batch=4)
+        assert [g.batch for g in groups] == [4, 4, 2]
+
+    def test_groups_preserve_every_request(self, library):
+        reqs = [Request(i, library.experts[i % 5]) for i in range(23)]
+        groups = coalesce_groups(reqs, max_batch=3)
+        flat = [r.request_id for g in groups for r in g.requests]
+        assert flat == list(range(23))
+
+    def test_invalid_max_batch_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce_groups([], max_batch=0)
+
+
+class TestEngineBasics:
+    def test_every_request_completes_exactly_once(self, library, stream):
+        for policy in POLICIES:
+            engine = ServingEngine(sn40l_platform(), library, policy=policy)
+            report = engine.run(stream)
+            assert report.requests == len(stream)
+            ids = sorted(c.request_id for c in report.completed)
+            assert ids == sorted(r.request_id for r in stream)
+
+    def test_empty_backlog_rejected(self, library):
+        with pytest.raises(ValueError):
+            ServingEngine(sn40l_platform(), library).run([])
+
+    def test_unknown_policy_rejected(self, library):
+        with pytest.raises(ValueError):
+            ServingEngine(sn40l_platform(), library, policy="lifo")
+
+    def test_runs_event_driven(self, library, stream):
+        report = ServingEngine(sn40l_platform(), library, policy="overlap").run(
+            stream
+        )
+        # begin + finish per group at minimum, chained through the queue.
+        assert report.events_run >= 2 * report.groups
+
+    def test_percentiles_are_ordered(self, library, stream):
+        for platform in (sn40l_platform(), dgx_h100_platform()):
+            report = ServingEngine(platform, library, policy="fifo").run(stream)
+            assert report.p50_s <= report.p95_s <= report.p99_s
+            assert report.p99_s <= report.makespan_s
+
+    def test_makespan_is_last_completion(self, library, stream):
+        report = ServingEngine(sn40l_platform(), library, policy="overlap").run(
+            stream
+        )
+        assert report.makespan_s == pytest.approx(
+            max(c.finish_s for c in report.completed)
+        )
+
+    def test_batched_groups_beat_batch_of_one(self, library):
+        """One 8-wide group is faster end-to-end than 8 singleton groups
+        of the same expert (shared switch + shared weight reads)."""
+        expert = library.experts[0]
+        reqs = [EngineRequest(i, expert) for i in range(8)]
+        batched = ServingEngine(
+            sn40l_platform(), library, policy="fifo", max_batch=8
+        ).run(reqs)
+        singles = ServingEngine(
+            sn40l_platform(), library, policy="fifo", max_batch=1
+        ).run(reqs)
+        assert batched.groups == 1
+        assert singles.groups == 8
+        assert batched.makespan_s < singles.makespan_s
+
+
+class TestPolicyOrdering:
+    def test_overlap_strictly_beats_fifo_on_zipf(self, library, stream):
+        for platform in (sn40l_platform(), dgx_a100_platform()):
+            reports = compare_policies(platform, library, stream)
+            assert (reports["overlap"].requests_per_second
+                    > reports["fifo"].requests_per_second)
+            assert reports["overlap"].switch_hidden_fraction > 0
+
+    def test_affinity_not_worse_than_fifo(self, library, stream):
+        reports = compare_policies(sn40l_platform(), library, stream)
+        assert (reports["affinity"].requests_per_second
+                >= reports["fifo"].requests_per_second)
+
+    def test_hidden_fraction_bounded(self, library, stream):
+        reports = compare_policies(sn40l_platform(), library, stream)
+        for report in reports.values():
+            assert 0.0 <= report.switch_hidden_fraction <= 1.0
+        assert reports["fifo"].hidden_switch_s == 0.0
+        assert reports["affinity"].hidden_switch_s == 0.0
+
+    def test_affinity_reordering_is_window_bounded(self, library):
+        """No request may be displaced by a full window or more."""
+        stream = zipf_request_stream(library, 64, alpha=1.0, seed=3)
+        engine = ServingEngine(
+            sn40l_platform(), library, policy="affinity", window=16
+        )
+        ordered = engine._order(stream)
+        for pos, req in enumerate(ordered):
+            assert abs(pos - req.request_id) < 16
+
+
+class TestSpeculativePrefetch:
+    def test_speculation_fires_when_next_group_is_resident(self, library):
+        """With a tight HBM budget and a recurring rotation, the DMA-idle
+        windows (next group already resident) warm the predictor's guess
+        for an expert the rotation will come back to."""
+        platform = sn40l_platform()
+        hot = library.experts[0]
+        rotation = library.experts[1:4]
+        reqs = []
+        for i in range(32):
+            expert = hot if i % 2 == 0 else rotation[(i // 2) % 3]
+            reqs.append(EngineRequest(i, expert))
+        budget = 3 * hot.weight_bytes
+        reserved = platform.hbm_capacity_bytes - budget
+        report = ServingEngine(
+            platform, library, policy="overlap", max_batch=1, window=1,
+            reserved_hbm_bytes=reserved,
+        ).run(reqs)
+        assert report.speculative_prefetches > 0
+
+
+class TestReportSerialization:
+    def test_to_dict_round_trips_to_json(self, library, stream):
+        import json
+
+        report = ServingEngine(sn40l_platform(), library, policy="overlap").run(
+            stream
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["policy"] == "overlap"
+        assert payload["requests"] == len(stream)
+        assert payload["requests_per_second"] > 0
+        assert 0.0 <= payload["switch_hidden_fraction"] <= 1.0
+
+
+class TestZipfStream:
+    def test_deterministic_under_seed(self, library):
+        a = zipf_request_stream(library, 50, seed=9)
+        b = zipf_request_stream(library, 50, seed=9)
+        assert [r.expert.name for r in a] == [r.expert.name for r in b]
+
+    def test_skew_concentrates_on_head_experts(self, library):
+        stream = zipf_request_stream(library, 400, alpha=1.5, seed=2)
+        head = sum(1 for r in stream if r.expert is library.experts[0])
+        assert head > 400 / len(library)  # far above uniform share
+
+    def test_invalid_arguments_rejected(self, library):
+        with pytest.raises(ValueError):
+            zipf_request_stream(library, 0)
+        with pytest.raises(ValueError):
+            zipf_request_stream(library, 10, alpha=-1.0)

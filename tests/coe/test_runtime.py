@@ -169,3 +169,67 @@ class TestFailureInjection:
         event = rt.activate(_expert(1))
         assert not event.hit
         assert rt.resident_experts == ["e1"]
+
+    def test_failed_request_counted_with_failure_marker(self):
+        """Convention: a failed activate still counts as a request, gets a
+        ``failures`` tick, and contributes nothing to the copy totals."""
+        dma = self._FlakyDMA(fail_after=1)
+        rt = CoERuntime(hbm_budget_bytes=EXPERT_BYTES, upgrade_time=dma)
+        rt.activate(_expert(0))
+        bytes_up_before = rt.stats.bytes_up
+        switch_before = rt.stats.switch_time_s
+        with pytest.raises(IOError):
+            rt.activate(_expert(1))
+        assert rt.stats.requests == 2
+        assert rt.stats.failures == 1
+        assert rt.stats.hits == 0
+        assert rt.stats.misses == 2  # failures are a subset of misses
+        assert rt.stats.bytes_up == bytes_up_before
+        assert rt.stats.bytes_down == 0
+        assert rt.stats.switch_time_s == switch_before
+
+    def test_failure_restores_resident_byte_counter(self):
+        dma = self._FlakyDMA(fail_after=2)
+        rt = CoERuntime(hbm_budget_bytes=2 * EXPERT_BYTES, upgrade_time=dma)
+        rt.activate(_expert(0))
+        rt.activate(_expert(1))
+        with pytest.raises(IOError):
+            rt.activate(_expert(2))
+        assert rt.resident_bytes == sum(
+            e.weight_bytes for e in rt._resident.values()
+        )
+
+
+class TestByteAccounting:
+    """The O(1) resident-byte counter must always equal the true sum."""
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=80),
+           st.integers(1, 5))
+    def test_counter_matches_sum_under_churn(self, requests, capacity):
+        rt = _runtime(capacity_experts=capacity)
+        experts = [_expert(i) for i in range(10)]
+        for idx in requests:
+            rt.activate(experts[idx])
+            assert rt.resident_bytes == sum(
+                e.weight_bytes for e in rt._resident.values()
+            )
+
+    def test_would_evict_previews_lru_victims_without_mutation(self):
+        rt = _runtime(capacity_experts=2)
+        e0, e1, e2 = _expert(0), _expert(1), _expert(2)
+        rt.activate(e0)
+        rt.activate(e1)
+        assert rt.would_evict(e2) == ("e0",)
+        assert rt.would_evict(e0) == ()  # already resident
+        assert rt.resident_experts == ["e0", "e1"]  # untouched
+        assert rt.stats.evictions == 0
+
+    def test_flush_resets_counter(self):
+        rt = _runtime(capacity_experts=3)
+        for i in range(3):
+            rt.activate(_expert(i))
+        assert rt.resident_bytes == 3 * EXPERT_BYTES
+        rt.flush()
+        assert rt.resident_bytes == 0
+        assert rt.resident_experts == []

@@ -52,6 +52,27 @@ class TestSimulator:
         with pytest.raises(ValueError):
             sim.schedule_at(0.5, lambda: None)
 
+    def test_event_exactly_at_deadline_runs(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda: log.append("at-deadline"))
+        sim.schedule(5.0 + 1e-9, lambda: log.append("past-deadline"))
+        assert sim.run(until=5.0) == 5.0
+        assert log == ["at-deadline"]
+        assert sim.pending_events == 1
+
+    def test_clock_advances_to_deadline_when_queue_drains(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.run(until=10.0) == 10.0
+        assert sim.now == 10.0
+
+    def test_deadline_before_first_event_runs_nothing(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: pytest.fail("must not run"))
+        assert sim.run(until=1.0) == 1.0
+        assert sim.events_run == 0
+
     def test_livelock_guard(self):
         sim = Simulator()
 

@@ -1,0 +1,106 @@
+"""Closed-form decode aggregate vs the per-token reference loop.
+
+`Platform.decode_span_time` must agree with summing `decode_token_time`
+over the growing context — the loop is the semantic definition, the
+closed form is the fast path Figure-12-style sweeps run on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.catalog import LLAMA2_7B, LLAMA2_13B, LLAMA2_70B
+from repro.systems.platforms import (
+    dgx_a100_platform,
+    dgx_h100_platform,
+    sn40l_platform,
+)
+
+PLATFORMS = [sn40l_platform(), dgx_a100_platform(), dgx_h100_platform()]
+MODELS = [LLAMA2_7B, LLAMA2_13B, LLAMA2_70B]
+
+
+def reference_loop(platform, model, output_tokens, batch, prompt):
+    total = 0.0
+    for step in range(output_tokens):
+        total += platform.decode_token_time(model, batch, prompt + step)
+    return total
+
+
+class TestClosedFormAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        platform_idx=st.integers(0, len(PLATFORMS) - 1),
+        model_idx=st.integers(0, len(MODELS) - 1),
+        batch=st.integers(1, 64),
+        prompt=st.integers(0, 4096),
+        output_tokens=st.integers(0, 600),
+    )
+    def test_matches_per_token_loop(
+        self, platform_idx, model_idx, batch, prompt, output_tokens
+    ):
+        platform = PLATFORMS[platform_idx]
+        model = MODELS[model_idx]
+        loop = reference_loop(platform, model, output_tokens, batch, prompt)
+        closed = platform.decode_span_time(model, output_tokens, batch, prompt)
+        assert closed == pytest.approx(loop, rel=1e-9, abs=1e-18)
+
+    def test_zero_tokens_is_zero(self):
+        assert PLATFORMS[0].decode_span_time(LLAMA2_7B, 0, 1, 256) == 0.0
+
+    def test_crossover_region_exact(self):
+        """Sweep the compute->memory crossover densely on each platform.
+
+        Large batch pushes the compute term up so the crossover lands
+        mid-span; every split point must match the loop's per-step max.
+        """
+        for platform in PLATFORMS:
+            for prompt in range(0, 3000, 37):
+                loop = reference_loop(platform, LLAMA2_7B, 64, 48, prompt)
+                closed = platform.decode_span_time(LLAMA2_7B, 64, 48, prompt)
+                assert closed == pytest.approx(loop, rel=1e-9)
+
+    def test_generate_time_uses_closed_form(self):
+        platform = PLATFORMS[0]
+        expected = platform.prefill_time(LLAMA2_7B, 2, 256) + reference_loop(
+            platform, LLAMA2_7B, 33, 2, 256
+        )
+        assert platform.generate_time(
+            LLAMA2_7B, 33, batch=2, prompt=256
+        ) == pytest.approx(expected, rel=1e-9)
+
+    def test_invalid_arguments_rejected(self):
+        platform = PLATFORMS[0]
+        with pytest.raises(ValueError):
+            platform.decode_span_time(LLAMA2_7B, -1)
+        with pytest.raises(ValueError):
+            platform.decode_span_time(LLAMA2_7B, 10, batch=0)
+        with pytest.raises(ValueError):
+            platform.decode_span_time(LLAMA2_7B, 10, batch=1, prompt=-1)
+
+
+class TestMemoization:
+    def test_decode_token_time_is_cached(self):
+        platform = sn40l_platform()
+        before = platform.decode_token_time.cache_info().hits
+        first = platform.decode_token_time(LLAMA2_7B, 1, 777)
+        second = platform.decode_token_time(LLAMA2_7B, 1, 777)
+        assert first == second
+        assert platform.decode_token_time.cache_info().hits > before
+
+    def test_prefill_time_is_cached(self):
+        platform = sn40l_platform()
+        before = platform.prefill_time.cache_info().hits
+        platform.prefill_time(LLAMA2_7B, 4, 333)
+        platform.prefill_time(LLAMA2_7B, 4, 333)
+        assert platform.prefill_time.cache_info().hits > before
+
+    def test_equal_platform_instances_share_cache_entries(self):
+        """Platforms are frozen + hashable: two builds of the same config
+        hit the same memo entries, which is what lets 150-expert sweeps
+        reuse each other's roofline terms."""
+        a, b = sn40l_platform(), sn40l_platform()
+        assert a == b
+        a.decode_span_time(LLAMA2_7B, 512, 1, 1024)
+        hits_before = b.decode_span_time.cache_info().hits
+        b.decode_span_time(LLAMA2_7B, 512, 1, 1024)
+        assert b.decode_span_time.cache_info().hits == hits_before + 1
