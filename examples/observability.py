@@ -10,7 +10,9 @@ observability surface on one workload:
 2. statically check the decode kernel's bandwidth feasibility,
 3. write a Chrome trace of the kernel schedule (open in Perfetto),
 4. serve a CoE batch and report SLO metrics (p50/p99, tokens/s),
-5. synthesise performance counters from a congested mesh placement and
+5. run the throughput engine and export its sim-time span timeline,
+   showing how much expert-switch time hid behind compute,
+6. synthesise performance counters from a congested mesh placement and
    run the paper's two-bucket triage.
 
 Run:  python examples/observability.py
@@ -20,10 +22,12 @@ from repro.arch.config import RDNConfig, SocketConfig
 from repro.arch.perfcounters import diagnose
 from repro.arch.rdn import Mesh
 from repro.coe import CoEServer, build_samba_coe_library, metrics_of
+from repro.coe.engine import ServingEngine, zipf_request_stream
 from repro.dataflow import fusion
 from repro.dataflow.bandwidth import Channel, analyze_kernel_bandwidth
 from repro.dataflow.visualize import plan_summary
 from repro.models import LLAMA2_7B, decode_graph
+from repro.obs import write_chrome_trace
 from repro.perf.kernel_cost import ExecutionTarget, Orchestration, cost_plan
 from repro.perf.trace import plan_cost_trace, write_trace
 from repro.sim.congestion import CongestionAnalyzer, PlacedFlow
@@ -58,7 +62,19 @@ def main() -> None:
     result = server.serve_experts(library.experts[:10], output_tokens=20)
     print(f"   {metrics_of(result, 20).summary()}\n")
 
-    print("5) Congestion triage (four flows through one mesh column):")
+    print("5) Serve-bench span timeline (sim time, overlap policy):")
+    engine = ServingEngine(sn40l_platform(), library, policy="overlap")
+    bench = engine.run(zipf_request_stream(library, 64, alpha=1.1, seed=1234))
+    timeline = bench.timeline
+    write_chrome_trace(timeline, "serve_timeline.json",
+                       lanes=("compute", "switch", "prefetch"))
+    print(f"   wrote {len(timeline)} spans to serve_timeline.json")
+    print(f"   compute busy: {1e3 * timeline.busy_s('compute'):.2f} ms of "
+          f"{1e3 * timeline.duration_s:.2f} ms makespan")
+    print(f"   switch time hidden behind compute: "
+          f"{100 * timeline.hidden_fraction('switch', 'compute'):.1f}%\n")
+
+    print("6) Congestion triage (four flows through one mesh column):")
     analyzer = CongestionAnalyzer(Mesh(8, 8), RDNConfig())
     link_bw = RDNConfig().link_bandwidth
     for i in range(4):

@@ -155,6 +155,48 @@ def diagnose(counters: CounterFile, stall_threshold: float = 0.25) -> List[Hotsp
     return sorted(hotspots, key=lambda h: -h.stall_fraction)
 
 
+def counter_span_args(delta: Dict[str, tuple]) -> Dict:
+    """A span ``args`` payload from a :meth:`CounterFile.delta` read.
+
+    The bridge between hardware counters and the timeline substrate:
+    windowed (busy, stall) deltas become JSON-friendly annotations a
+    span can carry into a Chrome trace.
+    """
+    return {
+        "counters": {
+            name: {"busy": busy, "stall": stall}
+            for name, (busy, stall) in delta.items()
+        }
+    }
+
+
+def record_counter_span(
+    timeline,
+    counters: CounterFile,
+    since: CounterSnapshot,
+    name: str,
+    lane: str,
+    start_s: float,
+    end_s: float,
+    category: str = "counters",
+):
+    """Record a span annotated with the counter deltas over its window.
+
+    The profiling idiom: snapshot before a region, run it, then call
+    this with the region's timeline interval — the resulting span shows
+    up in Perfetto with per-unit busy/stall cycle deltas attached.
+    Returns the recorded :class:`repro.obs.Span`.
+    """
+    return timeline.record(
+        name,
+        lane=lane,
+        category=category,
+        start_s=start_s,
+        end_s=end_s,
+        args=counter_span_args(counters.delta(since)),
+    )
+
+
 def pmu_counter(name: str, pmu: PMU) -> StallCounter:
     """Build a counter from a PMU's accumulated access statistics.
 

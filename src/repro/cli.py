@@ -10,7 +10,9 @@ Commands:
 - ``footprint`` — nodes required vs expert count (Figure 13),
 - ``intensity`` — the Table I operational-intensity analysis,
 - ``plan MODEL PHASE`` — print the fused kernel plan (stages/buffers),
-- ``trace MODEL PHASE -o FILE`` — write a Chrome trace of the schedule.
+- ``trace MODEL PHASE -o FILE`` — write a Perfetto/Chrome trace of the
+  kernel schedule; ``trace --serve`` traces a seeded serve-bench run at
+  real simulated timestamps instead (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -250,8 +252,19 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.serve:
+        return _trace_serve(args)
+    if not args.model or not args.phase:
+        print("trace: model and phase are required unless --serve is given",
+              file=sys.stderr)
+        return 2
+    return _trace_plan(args)
+
+
+def _trace_plan(args: argparse.Namespace) -> int:
     from repro.arch.config import SocketConfig
     from repro.dataflow import fusion
+    from repro.obs import write_summary
     from repro.perf.kernel_cost import ExecutionTarget, Orchestration, cost_plan
     from repro.perf.trace import plan_cost_trace, total_duration_s, write_trace
 
@@ -268,6 +281,53 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     write_trace(events, args.output)
     print(f"wrote {len(events)} events ({fmt_time(total_duration_s(events))}) "
           f"to {args.output}")
+    if args.summary:
+        write_summary(cost.to_timeline(), args.summary)
+        print(f"wrote timeline summary to {args.summary}")
+    return 0
+
+
+def _trace_serve(args: argparse.Namespace) -> int:
+    """Trace a seeded serve-bench run: the engine's real sim timeline."""
+    from repro.coe.engine import ServingEngine, zipf_request_stream
+    from repro.coe.expert import build_samba_coe_library
+    from repro.obs import write_chrome_trace, write_summary
+    from repro.perf.trace import ENGINE_LANES
+    from repro.systems.platforms import (
+        dgx_a100_platform,
+        dgx_h100_platform,
+        sn40l_platform,
+    )
+
+    platforms = {
+        "sn40l": sn40l_platform,
+        "dgx-a100": dgx_a100_platform,
+        "dgx-h100": dgx_h100_platform,
+    }
+    try:
+        library = build_samba_coe_library(args.experts)
+        requests = zipf_request_stream(
+            library, args.requests, alpha=args.zipf, seed=args.seed,
+            prompt_tokens=args.prompt, output_tokens=args.tokens,
+        )
+        engine = ServingEngine(
+            platforms[args.platform](), library, policy=args.policy,
+            max_batch=args.max_batch, window=args.window,
+        )
+        report = engine.run(requests)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    spans = write_chrome_trace(report.timeline, args.output, lanes=ENGINE_LANES)
+    print(f"wrote {spans} spans ({fmt_time(report.makespan_s)} makespan) "
+          f"to {args.output}")
+    print(f"  {args.policy} on {report.platform}: "
+          f"{report.requests_per_second:.2f} req/s, "
+          f"{100 * report.switch_hidden_fraction:.1f}% of switch time "
+          f"hidden behind execution")
+    if args.summary:
+        write_summary(report.timeline, args.summary)
+        print(f"wrote timeline summary to {args.summary}")
     return 0
 
 
@@ -331,11 +391,38 @@ def build_parser() -> argparse.ArgumentParser:
     plan_p.add_argument("--max-kernels", type=int, default=8)
     plan_p.set_defaults(fn=_cmd_plan)
 
-    trace_p = sub.add_parser("trace", help="write a Chrome trace of a schedule")
-    add_workload_args(trace_p)
+    trace_p = sub.add_parser(
+        "trace",
+        help="write a Perfetto/Chrome trace of a kernel schedule or a "
+             "serve-bench run",
+    )
+    trace_p.add_argument("model", nargs="?",
+                         help="catalogue name, e.g. llama2-7b (plan mode)")
+    trace_p.add_argument("phase", nargs="?",
+                         choices=["prefill", "decode", "train"])
+    trace_p.add_argument("--batch", type=int, default=1)
+    trace_p.add_argument("--seq", type=int, default=2048)
+    trace_p.add_argument("--sockets", type=int, default=8)
     trace_p.add_argument("-o", "--output", default="schedule_trace.json")
+    trace_p.add_argument("--summary", metavar="FILE",
+                         help="also write a JSON timeline summary")
     trace_p.add_argument("--hardware", action="store_true",
-                         help="hardware-orchestrated launches")
+                         help="hardware-orchestrated launches (plan mode)")
+    trace_p.add_argument("--serve", action="store_true",
+                         help="trace a throughput serve-bench run instead "
+                              "of a compiled plan")
+    trace_p.add_argument("--policy", default="overlap",
+                         choices=["fifo", "affinity", "overlap"])
+    trace_p.add_argument("--platform", default="sn40l",
+                         choices=["sn40l", "dgx-a100", "dgx-h100"])
+    trace_p.add_argument("--experts", type=int, default=40)
+    trace_p.add_argument("--requests", type=int, default=64)
+    trace_p.add_argument("--tokens", type=int, default=20)
+    trace_p.add_argument("--prompt", type=int, default=256)
+    trace_p.add_argument("--max-batch", type=int, default=8)
+    trace_p.add_argument("--window", type=int, default=16)
+    trace_p.add_argument("--zipf", type=float, default=1.1)
+    trace_p.add_argument("--seed", type=int, default=1234)
     trace_p.set_defaults(fn=_cmd_trace)
 
     return parser

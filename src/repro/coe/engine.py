@@ -24,12 +24,20 @@ group-start, DMA-complete, and group-finish events chain through the
 queue, and the makespan is the simulator clock after the last completion.
 Per-request latency (queueing included — every request is backlogged at
 t=0) feeds the SLO percentiles via :func:`repro.coe.metrics.percentile`.
+
+Every run records a :class:`repro.obs.Timeline`: router/prefill/decode
+spans on the ``compute`` lane, demand DDR->HBM copies on the ``switch``
+lane (recorded by the runtime at true simulated timestamps), and
+speculative warms on the ``prefetch`` lane. The report's switch totals
+and hidden-switch fraction are *derived from that timeline* — the
+hidden time is literally the overlap of the switch lane with the
+compute lane, so the stat and the exported trace cannot disagree.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.coe.expert import ExpertLibrary, ExpertProfile
 from repro.coe.metrics import percentile
@@ -40,6 +48,7 @@ from repro.coe.scheduling import (
     coalesce_groups,
 )
 from repro.coe.serving import CoEServer
+from repro.obs import Timeline
 from repro.sim.engine import Simulator
 from repro.systems.platforms import Platform
 
@@ -94,6 +103,9 @@ class EngineReport:
     mean_s: float
     events_run: int
     completed: tuple = field(repr=False, default=())
+    #: The run's full span record (compute / switch / prefetch lanes);
+    #: export via :func:`repro.obs.write_chrome_trace`.
+    timeline: Optional[Timeline] = field(repr=False, compare=False, default=None)
 
     @property
     def requests_per_second(self) -> float:
@@ -165,8 +177,8 @@ class ServingEngine:
             return list(requests)
         return affinity_schedule(requests, window=self.window)
 
-    def _group_exec_time(self, group: RequestGroup) -> float:
-        """Batched router + prefill + closed-form decode for one group.
+    def _group_phase_times(self, group: RequestGroup) -> Tuple[float, float, float]:
+        """(router_s, prefill_s, decode_s) of one batched group.
 
         Requests in a group may differ in lengths; the batch pads to the
         longest prompt and generation (standard static-batching cost).
@@ -178,6 +190,11 @@ class ServingEngine:
         prefill, decode = self.server.expert_time(
             group.expert, output, prompt, batch=batch
         )
+        return router, prefill, decode
+
+    def _group_exec_time(self, group: RequestGroup) -> float:
+        """Batched router + prefill + closed-form decode for one group."""
+        router, prefill, decode = self._group_phase_times(group)
         return router + prefill + decode
 
     # ------------------------------------------------------------------
@@ -186,16 +203,32 @@ class ServingEngine:
         if not requests:
             raise ValueError("empty request backlog")
         groups = coalesce_groups(self._order(requests), self.max_batch)
-        sim = Simulator()
+        timeline = Timeline()
+        sim = Simulator(timeline=timeline)
         runtime = self.server.runtime
+        runtime.attach_timeline(timeline, clock=lambda: sim.now, lane="switch")
         n = len(groups)
         ready = [0.0] * n
-        switch_s = [0.0] * n
         completed: List[CompletedRequest] = []
-        totals = {"switch": 0.0, "hidden": 0.0, "spec": 0}
+        totals = {"spec": 0}
+        #: At most one in-flight speculative copy: (name, start_s, copy_s).
+        spec_open: List[tuple] = []
+
+        def flush_spec(now: float) -> None:
+            # A new DMA transfer aborts any in-flight speculative copy;
+            # its span ends at min(natural completion, abort time).
+            while spec_open:
+                name, start, copy_s = spec_open.pop()
+                end = min(start + copy_s, now)
+                timeline.record(
+                    name, lane="prefetch", category="prefetch",
+                    start_s=start, end_s=end,
+                    args={"copy_s": copy_s, "abandoned": end < start + copy_s},
+                )
 
         def prefetch(j: int) -> None:
             # Runs on the DMA engines at sim.now, concurrent with compute.
+            flush_spec(sim.now)
             expert = groups[j].expert
             if runtime.is_resident(expert):
                 runtime.activate(expert)  # recency refresh, free hit
@@ -214,29 +247,36 @@ class ServingEngine:
                     None,
                 )
                 if guess is not None:
-                    runtime.activate(guess)
+                    event = runtime.activate(guess, span=False)
+                    spec_open.append((f"copy:{guess.name}", sim.now, event.time_s))
                     totals["spec"] += 1
             else:
-                event = runtime.activate(expert)
-                switch_s[j] = event.time_s
-                totals["switch"] += event.time_s
+                event = runtime.activate(expert)  # records the switch span
                 ready[j] = sim.now + event.time_s
 
         def begin_group(i: int) -> None:
             group = groups[i]
+            router_s, prefill_s, decode_s = self._group_phase_times(group)
             if self.policy == "overlap":
                 self._predictor.observe(group.expert)
                 exec_start = sim.now
-                exec_s = self._group_exec_time(group)
                 if i + 1 < n:
                     prefetch(i + 1)
             else:
                 event = runtime.activate(group.expert)
-                switch_s[i] = event.time_s
-                totals["switch"] += event.time_s
                 exec_start = sim.now + event.time_s
-                exec_s = event.time_s + self._group_exec_time(group)
-            sim.schedule(exec_s, lambda: finish_group(i, exec_start))
+            end = exec_start
+            phases = (("router", router_s), ("prefill", prefill_s),
+                      ("decode", decode_s))
+            for category, duration in phases:
+                if duration > 0:
+                    sim.record_span(
+                        f"{category}:{group.expert.name}", "compute", category,
+                        start_s=end, end_s=end + duration,
+                        args={"group": i, "batch": group.batch},
+                    )
+                end += duration
+            sim.schedule_at(end, lambda: finish_group(i, exec_start))
 
         def finish_group(i: int, exec_started: float) -> None:
             group = groups[i]
@@ -255,18 +295,20 @@ class ServingEngine:
             if nxt < n:
                 if self.policy == "overlap":
                     start_at = max(sim.now, ready[nxt])
-                    visible = max(0.0, ready[nxt] - sim.now)
-                    totals["hidden"] += max(0.0, switch_s[nxt] - visible)
                     sim.schedule_at(start_at, lambda: begin_group(nxt))
                 else:
                     sim.schedule_at(sim.now, lambda: begin_group(nxt))
 
-        if self.policy == "overlap":
-            prefetch(0)  # group 0's copy has nothing to hide behind
-            sim.schedule_at(ready[0], lambda: begin_group(0))
-        else:
-            sim.schedule_at(0.0, lambda: begin_group(0))
-        makespan = sim.run()
+        try:
+            if self.policy == "overlap":
+                prefetch(0)  # group 0's copy has nothing to hide behind
+                sim.schedule_at(ready[0], lambda: begin_group(0))
+            else:
+                sim.schedule_at(0.0, lambda: begin_group(0))
+            makespan = sim.run()
+            flush_spec(makespan)
+        finally:
+            runtime.detach_timeline()
 
         latencies = [c.latency_s for c in completed]
         return EngineReport(
@@ -276,8 +318,8 @@ class ServingEngine:
             groups=n,
             makespan_s=makespan,
             output_tokens=sum(r.output_tokens for r in requests),
-            switch_s=totals["switch"],
-            hidden_switch_s=totals["hidden"],
+            switch_s=timeline.busy_s("switch"),
+            hidden_switch_s=timeline.overlap_s("switch", "compute"),
             speculative_prefetches=totals["spec"],
             p50_s=percentile(latencies, 50),
             p95_s=percentile(latencies, 95),
@@ -285,6 +327,7 @@ class ServingEngine:
             mean_s=sum(latencies) / len(latencies),
             events_run=sim.events_run,
             completed=tuple(completed),
+            timeline=timeline,
         )
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.coe.expert import ExpertProfile
+from repro.obs import Timeline
 
 
 @dataclass(frozen=True)
@@ -87,6 +88,31 @@ class CoERuntime:
         #: evict so the eviction loop is O(victims), not O(residents²).
         self._resident_bytes = 0
         self.stats = RuntimeStats()
+        self._timeline: Optional[Timeline] = None
+        self._clock: Optional[Callable[[], float]] = None
+        self._span_lane = "dma"
+
+    # ------------------------------------------------------------------
+    def attach_timeline(
+        self,
+        timeline: Timeline,
+        clock: Callable[[], float],
+        lane: str = "dma",
+    ) -> None:
+        """Record each DDR->HBM copy as a span at ``clock()`` time.
+
+        ``clock`` supplies the caller's notion of "now" (a simulator's
+        clock in the serving engine; wall time in a driver); the copy
+        span runs from ``clock()`` for the modelled transfer duration.
+        """
+        self._timeline = timeline
+        self._clock = clock
+        self._span_lane = lane
+
+    def detach_timeline(self) -> None:
+        """Stop recording copy spans (e.g. when a sim's clock dies)."""
+        self._timeline = None
+        self._clock = None
 
     # ------------------------------------------------------------------
     @property
@@ -118,13 +144,17 @@ class CoERuntime:
         return tuple(victims)
 
     # ------------------------------------------------------------------
-    def activate(self, expert: ExpertProfile) -> SwitchEvent:
+    def activate(self, expert: ExpertProfile, *, span: bool = True) -> SwitchEvent:
         """Make ``expert`` resident in HBM; returns the switch record.
 
         A hit refreshes recency and costs nothing ("if the next request is
         for the same model, it can resume immediately with no additional
         overhead"). A miss evicts LRU victims until the expert fits, pays
         the copy-back for their mutable state, then copies the expert up.
+
+        With a timeline attached, each miss's copy is recorded as a span;
+        ``span=False`` suppresses that for callers (the speculative
+        prefetcher) that account for the copy's occupancy themselves.
         """
         self.stats.requests += 1
         if expert.name in self._resident:
@@ -174,6 +204,20 @@ class CoERuntime:
         self.stats.bytes_up += bytes_up
         self.stats.bytes_down += bytes_down
         self.stats.switch_time_s += time_s
+        if span and self._timeline is not None:
+            now = self._clock()
+            self._timeline.record(
+                f"copy:{expert.name}",
+                lane=self._span_lane,
+                category="switch",
+                start_s=now,
+                end_s=now + time_s,
+                args={
+                    "bytes_up": bytes_up,
+                    "bytes_down": bytes_down,
+                    "evicted": list(evicted),
+                },
+            )
         return SwitchEvent(
             expert=expert.name,
             hit=False,

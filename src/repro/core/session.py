@@ -49,6 +49,26 @@ class RunResult:
             f"{self.spill_overhead_s * 1e3:.3f} ms spill)"
         )
 
+    def to_timeline(self):
+        """The run as a span timeline (see ``docs/OBSERVABILITY.md``).
+
+        The kernel schedule's launch/execute lanes come from
+        :meth:`PlanCost.to_timeline`; DDR spill overhead, which the cost
+        model charges after the schedule, appears as one span on a
+        ``memory`` lane so its contribution is visible in Perfetto.
+        """
+        timeline = self.cost.to_timeline()
+        if self.spill_overhead_s > 0:
+            timeline.record(
+                f"spill:{self.model}",
+                lane="memory",
+                category="spill",
+                start_s=self.cost.total_s,
+                end_s=self.total_s,
+                args={"spill_overhead_ms": self.spill_overhead_s * 1e3},
+            )
+        return timeline
+
 
 class Session:
     """Times compiled models on a multi-socket SN40L target."""

@@ -1,0 +1,28 @@
+"""``repro.obs`` — the unified span/timeline observability substrate.
+
+Every layer that reconstructs timing (the kernel cost model, the
+discrete-event simulator, the CoE serving engine, the expert runtime)
+records :class:`Span` intervals into one :class:`Timeline`, which is
+queryable (busy time, cross-lane overlap, hidden fractions) and
+exportable (Chrome trace for Perfetto, JSON summaries). See
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    lane_metadata_events,
+    to_chrome_events,
+    to_summary,
+    write_chrome_trace,
+    write_summary,
+)
+from repro.obs.timeline import Span, Timeline
+
+__all__ = [
+    "Span",
+    "Timeline",
+    "lane_metadata_events",
+    "to_chrome_events",
+    "to_summary",
+    "write_chrome_trace",
+    "write_summary",
+]

@@ -1,0 +1,123 @@
+"""Timeline export: Chrome-trace JSON (Perfetto) and summary dicts.
+
+The Chrome tracing format (``chrome://tracing`` / https://ui.perfetto.dev)
+wants complete events (``ph: "X"``) with microsecond timestamps and an
+integer thread id per lane; ``thread_name`` metadata events label the
+lanes so a trace opens self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.timeline import Timeline
+
+_US = 1e6  # chrome traces use microsecond timestamps
+
+
+def _lane_tids(
+    timeline: Timeline, lanes: Optional[Sequence[str]] = None
+) -> Dict[str, int]:
+    """Stable lane -> thread-id mapping (pinned order first, then others)."""
+    order = list(lanes) if lanes is not None else []
+    for lane in timeline.lanes:
+        if lane not in order:
+            order.append(lane)
+    return {lane: tid for tid, lane in enumerate(order)}
+
+
+def to_chrome_events(
+    timeline: Timeline,
+    pid: int = 0,
+    lanes: Optional[Sequence[str]] = None,
+) -> List[Dict]:
+    """Complete (``ph: "X"``) events for every span, sorted by time.
+
+    ``lanes`` pins the lane -> tid assignment (useful for stable track
+    ordering across exports); unlisted lanes follow in recording order.
+    """
+    tids = _lane_tids(timeline, lanes)
+    events = [
+        {
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start_s * _US,
+            "dur": span.duration_s * _US,
+            "pid": pid,
+            "tid": tids[span.lane],
+            "args": dict(span.args),
+        }
+        for span in timeline.spans()
+    ]
+    events.sort(key=lambda e: (e["ts"], e["tid"]))
+    return events
+
+
+def lane_metadata_events(
+    timeline: Timeline,
+    pid: int = 0,
+    lanes: Optional[Sequence[str]] = None,
+) -> List[Dict]:
+    """``thread_name`` metadata events labelling each lane's track."""
+    return [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": lane},
+        }
+        for lane, tid in _lane_tids(timeline, lanes).items()
+    ]
+
+
+def write_chrome_trace(
+    timeline: Timeline,
+    path: str,
+    pid: int = 0,
+    lanes: Optional[Sequence[str]] = None,
+) -> int:
+    """Write a Perfetto-loadable trace file; returns the span count."""
+    events = lane_metadata_events(timeline, pid, lanes) + to_chrome_events(
+        timeline, pid, lanes
+    )
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
+    return len(timeline)
+
+
+def to_summary(timeline: Timeline) -> Dict:
+    """JSON-friendly rollup: per-lane busy time and category breakdown."""
+    lanes: Dict[str, Dict] = {}
+    for lane in timeline.lanes:
+        spans = timeline.spans(lane)
+        categories: Dict[str, Dict] = {}
+        for span in spans:
+            bucket = categories.setdefault(
+                span.category, {"spans": 0, "busy_s": 0.0}
+            )
+            bucket["spans"] += 1
+            bucket["busy_s"] += span.duration_s
+        lanes[lane] = {
+            "spans": len(spans),
+            "busy_s": timeline.busy_s(lane),
+            "busy_fraction": timeline.busy_fraction(lane),
+            "categories": categories,
+        }
+    return {
+        "start_s": timeline.start_s,
+        "end_s": timeline.end_s,
+        "duration_s": timeline.duration_s,
+        "num_spans": len(timeline),
+        "lanes": lanes,
+    }
+
+
+def write_summary(timeline: Timeline, path: str) -> Dict:
+    """Write :func:`to_summary` as JSON; returns the summary."""
+    summary = to_summary(timeline)
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=2)
+    return summary

@@ -88,6 +88,17 @@ class Calibration:
         external tensors."""
         return self.sw_launch_fixed_s + self.sw_launch_per_arg_s * num_args
 
+    def efficiencies(self, pipelined: bool) -> "tuple[float, float]":
+        """(compute, HBM) sustained-efficiency pair for one kernel class.
+
+        The single place the fused/unfused derating split is decided;
+        consumers fold the pair into an effective roofline via
+        :meth:`repro.perf.roofline.Roofline.with_efficiency`.
+        """
+        if pipelined:
+            return self.fused_compute_efficiency, self.fused_hbm_efficiency
+        return self.unfused_compute_efficiency, self.unfused_hbm_efficiency
+
 
 #: The default calibration used by every benchmark.
 DEFAULT_CALIBRATION = Calibration()

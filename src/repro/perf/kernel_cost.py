@@ -23,7 +23,9 @@ from typing import List, Optional
 from repro.arch.config import NodeConfig, SocketConfig
 from repro.dataflow.fusion import FusionPlan, Kernel
 from repro.dataflow.intensity import SN40L_STREAMING, TrafficModel, kernel_traffic_bytes
+from repro.obs import Timeline
 from repro.perf.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.perf.roofline import Roofline
 
 
 class Orchestration(enum.Enum):
@@ -75,6 +77,22 @@ class ExecutionTarget:
         return cls.from_socket(
             node.socket, sockets=node.sockets, calibration=calibration, name="SN40L-Node"
         )
+
+    def roofline(self, pipelined: bool) -> Roofline:
+        """The effective (efficiency-derated) roofline for a kernel class.
+
+        Shared core with :meth:`repro.systems.platforms.Platform.roofline`
+        — both draw their compute/memory terms from
+        :class:`repro.perf.roofline.Roofline` derated by
+        :meth:`Calibration.efficiencies`.
+        """
+        compute_eff, hbm_eff = self.calibration.efficiencies(pipelined)
+        kind = "fused" if pipelined else "unfused"
+        return Roofline(
+            name=f"{self.name}/{kind}",
+            peak_flops=self.peak_flops,
+            mem_bandwidth=self.hbm_bandwidth,
+        ).with_efficiency(compute_eff, hbm_eff, name=f"{self.name}/{kind}")
 
 
 @dataclass(frozen=True)
@@ -141,6 +159,42 @@ class PlanCost:
             f"({self.num_launches} launches, {self.launch_s * 1e3:.3f} ms overhead)"
         )
 
+    def to_timeline(self) -> Timeline:
+        """The plan's schedule as a span timeline.
+
+        Launches occupy the ``orchestration`` lane and kernel bodies the
+        ``kernel`` lane, serialized back-to-back — the Figure 10 picture,
+        where software-orchestrated launch gaps dominate decode.
+        """
+        timeline = Timeline()
+        now = 0.0
+        for kernel in self.kernels:
+            if kernel.launch_s > 0:
+                timeline.record(
+                    f"launch:{kernel.kernel_name}",
+                    lane="orchestration",
+                    category="orchestration",
+                    start_s=now,
+                    end_s=now + kernel.launch_s,
+                    args={"orchestration": self.orchestration.value},
+                )
+                now += kernel.launch_s
+            timeline.record(
+                kernel.kernel_name,
+                lane="kernel",
+                category="kernel",
+                start_s=now,
+                end_s=now + kernel.exec_s,
+                args={
+                    "ops": kernel.num_ops,
+                    "compute_ms": kernel.compute_s * 1e3,
+                    "memory_ms": kernel.memory_s * 1e3,
+                    "pipelined": kernel.pipelined,
+                },
+            )
+            now += kernel.exec_s
+        return timeline
+
 
 def cost_kernel(
     kernel: Kernel,
@@ -151,16 +205,10 @@ def cost_kernel(
 ) -> KernelCost:
     """Estimate the time of one kernel launch on a target."""
     cal = target.calibration
-    if pipelined:
-        compute_eff = cal.fused_compute_efficiency
-        hbm_eff = cal.fused_hbm_efficiency
-    else:
-        compute_eff = cal.unfused_compute_efficiency
-        hbm_eff = cal.unfused_hbm_efficiency
-
+    roofline = target.roofline(pipelined)
     traffic = kernel_traffic_bytes(kernel, traffic_model)
-    compute_s = kernel.flops / (target.peak_flops * compute_eff)
-    memory_s = traffic / (target.hbm_bandwidth * hbm_eff)
+    compute_s = roofline.compute_time(kernel.flops)
+    memory_s = roofline.memory_time(traffic)
 
     comm_s = 0.0
     if kernel.comm_bytes > 0:

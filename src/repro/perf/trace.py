@@ -1,36 +1,33 @@
-"""Chrome-trace export of execution timelines.
+"""Chrome-trace export of execution timelines (adapter over ``repro.obs``).
 
-Serialises plan costs and CoE serving results into the Chrome tracing
-JSON format (`chrome://tracing` / Perfetto), giving the same kind of
-timeline view SN40L performance engineers use to debug kernel schedules
-and model-switching behaviour.
+Historically this module serialized plan costs and serving results into
+Chrome tracing JSON directly, inventing timestamps as it went. It is now
+a thin backward-compatible adapter over the span/timeline substrate:
+every export builds (or receives) a :class:`repro.obs.Timeline` and
+hands it to :mod:`repro.obs.export`. In particular, serving traces from
+the throughput engine carry *real simulated timestamps* — an overlapped
+expert switch visibly overlaps the previous group's decode span instead
+of being serialized after it.
 """
 
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
+from repro.obs import Timeline, to_chrome_events
 from repro.perf.kernel_cost import PlanCost
 
 if TYPE_CHECKING:  # avoid a perf -> coe layering inversion at runtime
+    from repro.coe.engine import EngineReport
     from repro.coe.serving import ServeResult
 
 _US = 1e6  # chrome traces use microsecond timestamps
 
-
-def _event(name: str, category: str, start_s: float, duration_s: float,
-           tid: int, args: Optional[Dict] = None) -> Dict:
-    return {
-        "name": name,
-        "cat": category,
-        "ph": "X",
-        "ts": start_s * _US,
-        "dur": duration_s * _US,
-        "pid": 0,
-        "tid": tid,
-        "args": args or {},
-    }
+#: Pinned lane -> tid orders, for stable track layout across exports.
+PLAN_LANES = ("orchestration", "kernel")
+SERVE_LANES = ("router", "switch", "prefill", "decode")
+ENGINE_LANES = ("compute", "switch", "prefetch")
 
 
 def plan_cost_trace(cost: PlanCost) -> List[Dict]:
@@ -40,34 +37,17 @@ def plan_cost_trace(cost: PlanCost) -> List[Dict]:
     lane — making orchestration overhead visually obvious (the Figure 10
     HO story).
     """
-    events: List[Dict] = []
-    now = 0.0
-    for kernel in cost.kernels:
-        if kernel.launch_s > 0:
-            events.append(
-                _event(f"launch:{kernel.kernel_name}", "orchestration",
-                       now, kernel.launch_s, tid=0,
-                       args={"orchestration": cost.orchestration.value})
-            )
-            now += kernel.launch_s
-        events.append(
-            _event(kernel.kernel_name, "kernel", now, kernel.exec_s, tid=1,
-                   args={
-                       "ops": kernel.num_ops,
-                       "compute_ms": kernel.compute_s * 1e3,
-                       "memory_ms": kernel.memory_s * 1e3,
-                       "pipelined": kernel.pipelined,
-                   })
-        )
-        now += kernel.exec_s
-    return events
+    return to_chrome_events(cost.to_timeline(), lanes=PLAN_LANES)
 
 
-def serve_result_trace(result: "ServeResult") -> List[Dict]:
-    """Trace a served CoE batch: router / switch / prefill / decode lanes."""
-    events: List[Dict] = []
+def serve_result_timeline(result: "ServeResult") -> Timeline:
+    """Timeline of a latency-path batch (:class:`ServeResult`).
+
+    The latency server really is serial — one request at a time, switch
+    before execute — so its phases lay end-to-end by construction.
+    """
+    timeline = Timeline()
     now = 0.0
-    lanes = {"router": 0, "switch": 1, "prefill": 2, "decode": 3}
     for request in result.requests:
         phases = [
             ("router", request.router_s),
@@ -78,12 +58,29 @@ def serve_result_trace(result: "ServeResult") -> List[Dict]:
         for phase, duration in phases:
             if duration <= 0:
                 continue
-            events.append(
-                _event(f"{phase}:{request.expert}", phase, now, duration,
-                       tid=lanes[phase])
+            timeline.record(
+                f"{phase}:{request.expert}", lane=phase, category=phase,
+                start_s=now, end_s=now + duration,
             )
             now += duration
-    return events
+    return timeline
+
+
+def serve_result_trace(
+    result: "Union[ServeResult, EngineReport]",
+) -> List[Dict]:
+    """Trace a served CoE workload.
+
+    Accepts either a latency-path :class:`ServeResult` (serial phases on
+    router / switch / prefill / decode lanes) or a throughput-engine
+    :class:`EngineReport`, whose attached timeline carries the *actual*
+    simulated schedule — overlapped switches and speculative prefetches
+    included.
+    """
+    timeline: Optional[Timeline] = getattr(result, "timeline", None)
+    if timeline is not None:
+        return to_chrome_events(timeline, lanes=ENGINE_LANES)
+    return to_chrome_events(serve_result_timeline(result), lanes=SERVE_LANES)
 
 
 def write_trace(events: List[Dict], path: str) -> None:

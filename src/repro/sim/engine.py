@@ -12,17 +12,59 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Mapping, Optional, Tuple
+
+from repro.obs import Span, Timeline
 
 
 class Simulator:
-    """An event-driven simulator with a monotonic clock."""
+    """An event-driven simulator with a monotonic clock.
 
-    def __init__(self) -> None:
+    Pass (or attach) a :class:`repro.obs.Timeline` and models built on
+    the simulator can emit spans anchored to the simulated clock via
+    :meth:`record_span`; without one, the hooks are free no-ops.
+    """
+
+    def __init__(self, timeline: Optional[Timeline] = None) -> None:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self.now = 0.0
         self._events_run = 0
+        self.timeline = timeline
+
+    def attach_timeline(self, timeline: Optional[Timeline]) -> None:
+        """Install (or with ``None``, remove) the span recorder."""
+        self.timeline = timeline
+
+    def record_span(
+        self,
+        name: str,
+        lane: str,
+        category: str,
+        duration_s: Optional[float] = None,
+        *,
+        start_s: Optional[float] = None,
+        end_s: Optional[float] = None,
+        args: Optional[Mapping] = None,
+    ) -> Optional[Span]:
+        """Record a span on the attached timeline; no-op without one.
+
+        Defaults anchor to the clock: ``start_s`` is ``now`` unless
+        given, and ``end_s`` is ``start_s + duration_s``. Models with
+        known durations record spans prospectively at schedule time.
+        """
+        if self.timeline is None:
+            return None
+        if start_s is None:
+            start_s = self.now
+        if end_s is None:
+            if duration_s is None:
+                raise ValueError("record_span needs duration_s or end_s")
+            end_s = start_s + duration_s
+        return self.timeline.record(
+            name, lane=lane, category=category,
+            start_s=start_s, end_s=end_s, args=args,
+        )
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` after ``delay`` seconds of simulated time."""
@@ -41,13 +83,16 @@ class Simulator:
 
         ``until`` stops the clock at a deadline (inclusive: an event
         scheduled at exactly ``until`` still runs); ``max_events`` guards
-        against runaway simulations (deadlock-free models terminate). When
+        against runaway simulations (deadlock-free models terminate) and
+        budgets *this call* — a fresh ``run()`` gets a fresh budget, with
+        the lifetime total still visible as :attr:`events_run`. When
         the queue drains before the deadline, the clock still advances to
         ``until`` — the simulated interval elapsed even if nothing
         happened in its tail.
         """
+        events_this_call = 0
         while self._queue:
-            if self._events_run >= max_events:
+            if events_this_call >= max_events:
                 raise RuntimeError(f"exceeded {max_events} events — livelock?")
             time, _, callback = self._queue[0]
             if until is not None and time > until:
@@ -56,6 +101,7 @@ class Simulator:
             heapq.heappop(self._queue)
             self.now = time
             self._events_run += 1
+            events_this_call += 1
             callback()
         if until is not None and until > self.now:
             self.now = until

@@ -27,6 +27,7 @@ from typing import Optional
 from repro.arch.config import sn40l_node
 from repro.models.transformer import TransformerConfig
 from repro.perf.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.perf.roofline import Roofline
 from repro.units import GB, GiB, TB, TiB
 
 
@@ -81,6 +82,27 @@ class Platform:
     # ------------------------------------------------------------------
     # Timing
     # ------------------------------------------------------------------
+    @lru_cache(maxsize=None)
+    def roofline(self) -> Roofline:
+        """The platform's effective roofline at sustained efficiencies.
+
+        Shared core with the kernel cost model
+        (:meth:`repro.perf.kernel_cost.ExecutionTarget.roofline`): both
+        derate one :class:`repro.perf.roofline.Roofline` instead of
+        re-deriving compute/memory terms locally.
+        """
+        return Roofline(
+            name=self.name,
+            peak_flops=self.peak_flops,
+            mem_bandwidth=self.hbm_bandwidth,
+        ).with_efficiency(
+            self.compute_efficiency, self.decode_hbm_efficiency, name=self.name
+        )
+
+    def step_overhead_s(self, layers: int) -> float:
+        """Per-decode-step fixed costs: collectives + kernel launches."""
+        return layers * (2 * self.allreduce_latency_s + self.launch_overhead_s)
+
     def switch_time(self, weight_bytes: int) -> float:
         """Copy one expert's weights from the second tier into HBM."""
         if weight_bytes < 0:
@@ -106,18 +128,14 @@ class Platform:
         """
         if batch < 1 or context < 0:
             raise ValueError("batch must be >= 1 and context >= 0")
+        roofline = self.roofline()
         weight_traffic = model.weight_bytes
         kv_traffic = batch * context * model.kv_bytes_per_token()
-        memory_s = (weight_traffic + kv_traffic) / (
-            self.hbm_bandwidth * self.decode_hbm_efficiency
+        return (
+            roofline.time(2.0 * model.param_count * batch,
+                          weight_traffic + kv_traffic)
+            + self.step_overhead_s(model.layers)
         )
-        compute_s = (2.0 * model.param_count * batch) / (
-            self.peak_flops * self.compute_efficiency
-        )
-        overhead_s = model.layers * (
-            2 * self.allreduce_latency_s + self.launch_overhead_s
-        )
-        return max(memory_s, compute_s) + overhead_s
 
     @lru_cache(maxsize=None)
     def prefill_time(
@@ -127,11 +145,10 @@ class Platform:
         if batch < 1 or seq < 1:
             raise ValueError("batch and seq must be >= 1")
         flops = 2.0 * model.param_count * batch * seq
-        compute_s = flops / (self.peak_flops * self.compute_efficiency)
-        weight_s = model.weight_bytes / (
-            self.hbm_bandwidth * self.decode_hbm_efficiency
+        return (
+            self.roofline().time(flops, model.weight_bytes)
+            + model.layers * self.launch_overhead_s
         )
-        return max(compute_s, weight_s) + model.layers * self.launch_overhead_s
 
     @lru_cache(maxsize=None)
     def decode_span_time(
@@ -160,15 +177,12 @@ class Platform:
             raise ValueError("batch must be >= 1 and prompt >= 0")
         if output_tokens == 0:
             return 0.0
-        bw = self.hbm_bandwidth * self.decode_hbm_efficiency
+        roofline = self.roofline()
+        bw = roofline.mem_bandwidth
         weight_traffic = model.weight_bytes
         kv_per_token = batch * model.kv_bytes_per_token()
-        compute_s = (2.0 * model.param_count * batch) / (
-            self.peak_flops * self.compute_efficiency
-        )
-        overhead_s = model.layers * (
-            2 * self.allreduce_latency_s + self.launch_overhead_s
-        )
+        compute_s = roofline.compute_time(2.0 * model.param_count * batch)
+        overhead_s = self.step_overhead_s(model.layers)
 
         def memory_s(step: int) -> float:
             # Bit-identical to the memory term of decode_token_time.

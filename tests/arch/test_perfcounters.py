@@ -7,11 +7,14 @@ from repro.arch.perfcounters import (
     Remedy,
     StallCounter,
     UnitClass,
+    counter_span_args,
     diagnose,
     pmu_counter,
+    record_counter_span,
 )
 from repro.arch.pmu import PMU
 from repro.arch.config import PMUConfig
+from repro.obs import Timeline
 
 
 class TestStallCounter:
@@ -116,3 +119,30 @@ class TestPMUIntegration:
         cf.register(pmu_counter("fixed", fixed))
         hotspots = {h.unit for h in diagnose(cf)}
         assert hotspots == {"broken"}
+
+
+class TestTimelineBridge:
+    def test_counter_span_args_shape(self):
+        args = counter_span_args({"sw0": (10, 5), "pmu0": (7, 0)})
+        assert args == {
+            "counters": {
+                "sw0": {"busy": 10, "stall": 5},
+                "pmu0": {"busy": 7, "stall": 0},
+            }
+        }
+
+    def test_record_counter_span_attaches_window_deltas(self):
+        cf = CounterFile()
+        sw = cf.register(StallCounter("sw0", UnitClass.SWITCH))
+        sw.record(busy=100, stalled=50)  # before the window: excluded
+        snap = cf.snapshot()
+        sw.record(busy=30, stalled=12)
+
+        timeline = Timeline()
+        span = record_counter_span(
+            timeline, cf, snap, "fft-step", "compute", 1.0, 2.5
+        )
+        assert span in list(timeline)
+        assert span.lane == "compute"
+        assert span.category == "counters"
+        assert span.args["counters"]["sw0"] == {"busy": 30, "stall": 12}

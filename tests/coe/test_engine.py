@@ -190,3 +190,101 @@ class TestZipfStream:
             zipf_request_stream(library, 0)
         with pytest.raises(ValueError):
             zipf_request_stream(library, 10, alpha=-1.0)
+
+
+class TestRunTimeline:
+    """The span timeline every run records (see docs/OBSERVABILITY.md)."""
+
+    def test_every_policy_attaches_a_timeline(self, library, stream):
+        for policy in POLICIES:
+            report = ServingEngine(
+                sn40l_platform(), library, policy=policy
+            ).run(stream)
+            assert report.timeline is not None
+            assert "compute" in report.timeline.lanes
+            # Per-lane non-overlap and end >= start hold by construction:
+            # Timeline.record would have raised during the run otherwise.
+            for lane in report.timeline.lanes:
+                spans = report.timeline.spans(lane)
+                for prev, nxt in zip(spans, spans[1:]):
+                    assert nxt.start_s >= prev.end_s - 1e-12
+
+    def test_compute_busy_time_covers_all_groups(self, library, stream):
+        engine = ServingEngine(sn40l_platform(), library, policy="fifo")
+        report = engine.run(stream)
+        starts = {c.start_s for c in report.completed}
+        finishes = {c.finish_s for c in report.completed}
+        busy = report.timeline.busy_s("compute")
+        expected = sum(f - s for s, f in zip(sorted(starts), sorted(finishes)))
+        assert busy == pytest.approx(expected, rel=1e-9)
+
+    def test_switch_stats_are_timeline_derived(self, library, stream):
+        """Satellite: the reported switch-hidden stat equals the timeline
+        overlap query on a seeded workload, to well within 1e-9."""
+        for policy in POLICIES:
+            report = ServingEngine(
+                sn40l_platform(), library, policy=policy
+            ).run(stream)
+            timeline = report.timeline
+            assert report.switch_s == pytest.approx(
+                timeline.busy_s("switch"), abs=1e-15
+            )
+            assert abs(
+                report.switch_hidden_fraction
+                - timeline.hidden_fraction("switch", "compute")
+            ) < 1e-9
+
+    def test_hidden_time_matches_analytic_overlap(self, library):
+        """Two groups, overlap policy: group B's copy runs concurrently
+        with group A's execution, so hidden time is min(copy, exec)."""
+        a, b = library.experts[0], library.experts[1]
+        reqs = [EngineRequest(0, a), EngineRequest(1, b)]
+        engine = ServingEngine(
+            sn40l_platform(), library, policy="overlap", max_batch=1
+        )
+        report = engine.run(reqs)
+        switch_spans = report.timeline.spans("switch")
+        assert len(switch_spans) == 2  # cold copies of A then B
+        copy_b = switch_spans[1]
+        exec_a = next(c for c in report.completed if c.expert == a.name)
+        expected = min(copy_b.duration_s, exec_a.finish_s - exec_a.start_s)
+        assert report.hidden_switch_s == pytest.approx(expected, rel=1e-9)
+
+    def test_overlap_run_has_switch_concurrent_with_decode(self, library):
+        """Regression: a switch span really overlaps the previous group's
+        decode span in sim time (the PR 1 behaviour the old serialized
+        trace export could not show)."""
+        stream = zipf_request_stream(library, 48, alpha=1.1, seed=7)
+        report = ServingEngine(
+            sn40l_platform(), library, policy="overlap"
+        ).run(stream)
+        decodes = report.timeline.spans("compute", category="decode")
+        assert any(
+            switch.overlap_s(decode) > 0
+            for switch in report.timeline.spans("switch")
+            for decode in decodes
+        )
+
+    def test_serial_policies_hide_nothing_on_the_timeline(self, library, stream):
+        report = ServingEngine(sn40l_platform(), library, policy="fifo").run(
+            stream
+        )
+        assert report.timeline.overlap_s("switch", "compute") == 0.0
+
+    def test_speculative_copies_live_on_the_prefetch_lane(self, library):
+        platform = sn40l_platform()
+        hot = library.experts[0]
+        rotation = library.experts[1:4]
+        reqs = []
+        for i in range(32):
+            expert = hot if i % 2 == 0 else rotation[(i // 2) % 3]
+            reqs.append(EngineRequest(i, expert))
+        budget = 3 * hot.weight_bytes
+        reserved = platform.hbm_capacity_bytes - budget
+        report = ServingEngine(
+            platform, library, policy="overlap", max_batch=1, window=1,
+            reserved_hbm_bytes=reserved,
+        ).run(reqs)
+        prefetches = report.timeline.spans("prefetch")
+        assert len(prefetches) == report.speculative_prefetches
+        assert all(s.category == "prefetch" for s in prefetches)

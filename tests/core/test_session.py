@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.compile import compile_model
-from repro.core.session import Session
+from repro.core.session import RunResult, Session
 from repro.models.catalog import LLAMA2_7B
 from repro.models.fftconv import fftconv_graph
 from repro.models.transformer import decode_graph
@@ -75,3 +75,30 @@ class TestScheduleReplay:
         hw = session.schedule(decode_models["streaming"], Orchestration.HARDWARE)
         assert hw.overhead_s < sw.overhead_s / 10
         assert hw.exec_s == pytest.approx(sw.exec_s)
+
+
+class TestRunResultTimeline:
+    def test_kernel_and_launch_spans_cover_the_cost(self, decode_models):
+        session = Session(sockets=8)
+        result = session.run(decode_models["streaming"], Orchestration.SOFTWARE)
+        timeline = result.to_timeline()
+        assert {"kernel", "orchestration"} <= set(timeline.lanes)
+        assert len(timeline.spans("kernel")) == result.cost.num_launches
+        assert timeline.end_s == pytest.approx(result.cost.total_s, rel=1e-9)
+
+    def test_spill_overhead_appears_as_memory_span(self, decode_models):
+        session = Session(sockets=8)
+        base = session.run(decode_models["streaming"])
+        spilled = RunResult(
+            model=base.model, cost=base.cost, spill_overhead_s=1.5e-3
+        )
+        timeline = spilled.to_timeline()
+        spans = timeline.spans("memory", category="spill")
+        assert len(spans) == 1
+        assert spans[0].duration_s == pytest.approx(1.5e-3)
+        assert timeline.end_s == pytest.approx(spilled.total_s, rel=1e-9)
+
+    def test_no_spill_no_memory_lane(self, decode_models):
+        result = Session(sockets=8).run(decode_models["streaming"])
+        if result.spill_overhead_s == 0:
+            assert "memory" not in result.to_timeline().lanes

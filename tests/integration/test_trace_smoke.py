@@ -1,0 +1,87 @@
+"""End-to-end trace smoke test: CLI -> Chrome trace file -> schema check.
+
+The same validation the CI trace-smoke step performs: generate a
+timeline through the real CLI (both the compiled-plan path and the
+serve-bench path) and verify the file is a well-formed Chrome trace a
+Perfetto UI would accept.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+_REQUIRED_X_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+
+
+def _validate_chrome_trace(path):
+    data = json.loads(path.read_text())
+    assert set(data) >= {"traceEvents", "displayTimeUnit"}
+    events = data["traceEvents"]
+    assert isinstance(events, list) and events
+    for event in events:
+        assert event["ph"] in {"X", "M"}
+        if event["ph"] == "X":
+            assert _REQUIRED_X_KEYS <= set(event)
+            assert isinstance(event["ts"], (int, float)) and event["ts"] >= 0
+            assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+            assert isinstance(event["tid"], int)
+    return events
+
+
+class TestPlanTraceSmoke:
+    def test_plan_trace_and_summary(self, tmp_path, capsys):
+        trace = tmp_path / "plan.json"
+        summary = tmp_path / "plan-summary.json"
+        rc = main(["trace", "llama2-7b", "decode", "--seq", "256",
+                   "-o", str(trace), "--summary", str(summary)])
+        assert rc == 0
+        events = _validate_chrome_trace(trace)
+        cats = {e["cat"] for e in events if e["ph"] == "X"}
+        assert "kernel" in cats
+
+        rollup = json.loads(summary.read_text())
+        assert rollup["num_spans"] == sum(e["ph"] == "X" for e in events)
+        assert "kernel" in rollup["lanes"]
+
+
+class TestServeTraceSmoke:
+    def test_serve_trace_hides_switches_behind_compute(self, tmp_path, capsys):
+        trace = tmp_path / "serve.json"
+        summary = tmp_path / "serve-summary.json"
+        rc = main(["trace", "--serve", "--experts", "24", "--requests", "32",
+                   "--policy", "overlap", "--seed", "7",
+                   "-o", str(trace), "--summary", str(summary)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hidden" in out
+
+        events = _validate_chrome_trace(trace)
+        xs = [e for e in events if e["ph"] == "X"]
+        switches = [e for e in xs if e["cat"] == "switch"]
+        computes = [e for e in xs if e["cat"] in ("prefill", "decode")]
+        assert switches and computes
+
+        # The acceptance bar: at least one expert-switch span demonstrably
+        # overlaps an execution span in the exported file itself.
+        def intersect(a, b):
+            lo = max(a["ts"], b["ts"])
+            hi = min(a["ts"] + a["dur"], b["ts"] + b["dur"])
+            return hi - lo
+
+        assert any(intersect(s, c) > 0 for s in switches for c in computes)
+
+        rollup = json.loads(summary.read_text())
+        assert {"compute", "switch"} <= set(rollup["lanes"])
+
+    def test_serve_trace_fifo_is_serial(self, tmp_path, capsys):
+        trace = tmp_path / "fifo.json"
+        rc = main(["trace", "--serve", "--experts", "12", "--requests", "16",
+                   "--policy", "fifo", "--seed", "7", "-o", str(trace)])
+        assert rc == 0
+        _validate_chrome_trace(trace)
+
+    def test_trace_without_model_or_serve_errors(self, capsys):
+        assert main(["trace"]) == 2
+        assert "required" in capsys.readouterr().err.lower()

@@ -1,0 +1,74 @@
+"""Chrome-trace and summary export of timelines."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Timeline,
+    lane_metadata_events,
+    to_chrome_events,
+    to_summary,
+    write_chrome_trace,
+    write_summary,
+)
+
+
+@pytest.fixture()
+def timeline():
+    t = Timeline()
+    t.record("exec", "compute", "decode", 0.0, 4e-3, args={"batch": 8})
+    t.record("copy", "switch", "switch", 1e-3, 3e-3)
+    return t
+
+
+class TestChromeEvents:
+    def test_events_are_complete_phase_microseconds(self, timeline):
+        events = to_chrome_events(timeline)
+        assert all(e["ph"] == "X" for e in events)
+        exec_event = next(e for e in events if e["name"] == "exec")
+        assert exec_event["ts"] == 0.0
+        assert exec_event["dur"] == pytest.approx(4e3)  # 4 ms in us
+        assert exec_event["args"] == {"batch": 8}
+
+    def test_lane_order_pins_tids(self, timeline):
+        events = to_chrome_events(timeline, lanes=("switch", "compute"))
+        by_name = {e["name"]: e["tid"] for e in events}
+        assert by_name == {"copy": 0, "exec": 1}
+
+    def test_unlisted_lanes_follow_pinned_ones(self, timeline):
+        timeline.record("extra", "spill", "spill", 5e-3, 6e-3)
+        events = to_chrome_events(timeline, lanes=("compute",))
+        tids = {e["name"]: e["tid"] for e in events}
+        assert tids["exec"] == 0
+        assert tids["copy"] != tids["extra"]
+
+    def test_metadata_names_lanes(self, timeline):
+        meta = lane_metadata_events(timeline)
+        assert {e["args"]["name"] for e in meta} == {"compute", "switch"}
+        assert all(e["ph"] == "M" for e in meta)
+
+    def test_write_is_perfetto_loadable_json(self, timeline, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(timeline, str(path))
+        assert count == 2
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in data["traceEvents"]}
+        assert phases == {"X", "M"}
+
+
+class TestSummary:
+    def test_summary_rollup(self, timeline):
+        summary = to_summary(timeline)
+        assert summary["num_spans"] == 2
+        assert summary["duration_s"] == pytest.approx(4e-3)
+        compute = summary["lanes"]["compute"]
+        assert compute["busy_s"] == pytest.approx(4e-3)
+        assert compute["busy_fraction"] == pytest.approx(1.0)
+        assert compute["categories"]["decode"]["spans"] == 1
+
+    def test_write_summary_round_trips(self, timeline, tmp_path):
+        path = tmp_path / "summary.json"
+        summary = write_summary(timeline, str(path))
+        assert json.loads(path.read_text()) == summary

@@ -1,0 +1,108 @@
+"""Timeline invariants and queries."""
+
+import pytest
+
+from repro.obs import Span, Timeline
+
+
+class TestSpan:
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            Span("x", "lane", "cat", start_s=2.0, end_s=1.0)
+
+    def test_zero_duration_allowed(self):
+        span = Span("x", "lane", "cat", start_s=1.0, end_s=1.0)
+        assert span.duration_s == 0.0
+
+    def test_overlap_between_spans(self):
+        a = Span("a", "l", "c", 0.0, 2.0)
+        b = Span("b", "m", "c", 1.0, 3.0)
+        c = Span("c", "m", "c", 5.0, 6.0)
+        assert a.overlap_s(b) == 1.0
+        assert a.overlap_s(c) == 0.0
+
+
+class TestLaneInvariants:
+    def test_overlap_within_a_lane_rejected(self):
+        timeline = Timeline()
+        timeline.record("a", "dma", "copy", 0.0, 2.0)
+        with pytest.raises(ValueError):
+            timeline.record("b", "dma", "copy", 1.0, 3.0)
+
+    def test_containment_within_a_lane_rejected(self):
+        timeline = Timeline()
+        timeline.record("a", "dma", "copy", 0.0, 10.0)
+        with pytest.raises(ValueError):
+            timeline.record("b", "dma", "copy", 2.0, 3.0)
+
+    def test_touching_spans_allowed(self):
+        timeline = Timeline()
+        timeline.record("a", "dma", "copy", 0.0, 2.0)
+        timeline.record("b", "dma", "copy", 2.0, 3.0)
+        assert [s.name for s in timeline.spans("dma")] == ["a", "b"]
+
+    def test_out_of_order_recording_sorted(self):
+        timeline = Timeline()
+        timeline.record("late", "l", "c", 5.0, 6.0)
+        timeline.record("early", "l", "c", 0.0, 1.0)
+        assert [s.name for s in timeline.spans("l")] == ["early", "late"]
+
+    def test_different_lanes_may_overlap(self):
+        timeline = Timeline()
+        timeline.record("a", "compute", "decode", 0.0, 5.0)
+        timeline.record("b", "switch", "switch", 1.0, 2.0)
+        assert len(timeline) == 2
+
+    def test_tolerance_absorbs_float_slop(self):
+        timeline = Timeline(tolerance_s=1e-9)
+        timeline.record("a", "l", "c", 0.0, 1.0)
+        timeline.record("b", "l", "c", 1.0 - 1e-10, 2.0)
+        assert len(timeline) == 2
+
+
+class TestQueries:
+    @pytest.fixture()
+    def timeline(self):
+        t = Timeline()
+        t.record("exec0", "compute", "decode", 0.0, 4.0)
+        t.record("exec1", "compute", "decode", 5.0, 8.0)
+        t.record("copy0", "switch", "switch", 1.0, 3.0)   # fully hidden
+        t.record("copy1", "switch", "switch", 4.0, 6.0)   # half hidden
+        return t
+
+    def test_bounds_and_duration(self, timeline):
+        assert timeline.start_s == 0.0
+        assert timeline.end_s == 8.0
+        assert timeline.duration_s == 8.0
+
+    def test_busy_time_is_sum_of_disjoint_spans(self, timeline):
+        assert timeline.busy_s("compute") == pytest.approx(7.0)
+        assert timeline.busy_s("switch") == pytest.approx(4.0)
+        assert timeline.busy_fraction("compute") == pytest.approx(7.0 / 8.0)
+
+    def test_overlap_is_symmetric(self, timeline):
+        ab = timeline.overlap_s("switch", "compute")
+        ba = timeline.overlap_s("compute", "switch")
+        assert ab == pytest.approx(3.0)
+        assert ab == pytest.approx(ba)
+
+    def test_hidden_fraction(self, timeline):
+        # copy0 contributes 2.0s, copy1 contributes 1.0s of hidden time.
+        assert timeline.hidden_fraction("switch", "compute") == pytest.approx(
+            3.0 / 4.0
+        )
+
+    def test_category_filters(self, timeline):
+        assert len(timeline.spans(category="switch")) == 2
+        assert timeline.busy_s("compute", category="nope") == 0.0
+
+    def test_gaps(self, timeline):
+        assert timeline.gaps("compute") == [(4.0, 5.0)]
+        assert timeline.gaps("switch") == [(3.0, 4.0)]
+
+    def test_empty_timeline(self):
+        empty = Timeline()
+        assert empty.duration_s == 0.0
+        assert empty.busy_fraction("anything") == 0.0
+        assert empty.hidden_fraction("a", "b") == 0.0
+        assert list(empty) == []

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.arch.config import SocketConfig
+from repro.coe.engine import ServingEngine, zipf_request_stream
 from repro.coe.expert import build_samba_coe_library
 from repro.coe.serving import CoEServer
 from repro.dataflow import fusion
@@ -70,3 +71,44 @@ class TestWriteTrace:
 
     def test_empty_trace_duration(self):
         assert total_duration_s([]) == 0.0
+
+
+class TestEngineReportTrace:
+    """Serving traces reflect real (overlapping) simulated time.
+
+    Regression for the old export, which laid every phase end-to-end and
+    could not show an expert switch hidden behind the previous group's
+    decode.
+    """
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        library = build_samba_coe_library(30)
+        stream = zipf_request_stream(library, 48, alpha=1.1, seed=7)
+        engine = ServingEngine(sn40l_platform(), library, policy="overlap")
+        return engine.run(stream)
+
+    def test_switch_overlaps_previous_groups_decode(self, report):
+        events = serve_result_trace(report)
+        decodes = [e for e in events if e["cat"] == "decode"]
+        switches = [e for e in events if e["cat"] == "switch"]
+        assert decodes and switches
+
+        def intersect(a, b):
+            lo = max(a["ts"], b["ts"])
+            hi = min(a["ts"] + a["dur"], b["ts"] + b["dur"])
+            return hi - lo
+
+        assert any(
+            intersect(s, d) > 0 for s in switches for d in decodes
+        ), "no switch event overlaps a decode event"
+
+    def test_timestamps_are_sim_times(self, report):
+        events = serve_result_trace(report)
+        last_end = max(e["ts"] + e["dur"] for e in events)
+        assert last_end / 1e6 == pytest.approx(report.makespan_s, rel=1e-9)
+
+    def test_lanes_match_engine_timeline(self, report):
+        events = serve_result_trace(report)
+        tids = {e["tid"] for e in events}
+        assert tids == set(range(len(report.timeline.lanes)))

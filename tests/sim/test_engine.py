@@ -82,3 +82,70 @@ class TestSimulator:
         sim.schedule(0.0, forever)
         with pytest.raises(RuntimeError):
             sim.run(max_events=100)
+
+
+class TestPerCallEventBudget:
+    def test_budget_is_per_call_not_cumulative(self):
+        """A second run() must not inherit the first call's spent budget."""
+        sim = Simulator()
+        for _ in range(60):
+            sim.schedule(1.0, lambda: None)
+        sim.run(until=100.0, max_events=100)
+        assert sim.events_run == 60
+        for _ in range(60):
+            sim.schedule(200.0, lambda: None)
+        # 60 + 60 > 100: the old cumulative guard tripped here.
+        sim.run(max_events=100)
+        assert sim.events_run == 120
+
+    def test_budget_still_trips_within_one_call(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+
+class TestSpanHooks:
+    def test_record_span_is_noop_without_timeline(self):
+        sim = Simulator()
+        assert sim.record_span("x", "lane", "cat", duration_s=1.0) is None
+
+    def test_spans_anchor_to_the_sim_clock(self):
+        from repro.obs import Timeline
+
+        timeline = Timeline()
+        sim = Simulator(timeline=timeline)
+        sim.schedule(2.5, lambda: sim.record_span("work", "l", "c", 1.0))
+        sim.run()
+        (span,) = timeline.spans("l")
+        assert span.start_s == 2.5
+        assert span.end_s == 3.5
+
+    def test_explicit_bounds_override_the_clock(self):
+        from repro.obs import Timeline
+
+        sim = Simulator(timeline=Timeline())
+        span = sim.record_span("w", "l", "c", start_s=1.0, end_s=4.0)
+        assert (span.start_s, span.end_s) == (1.0, 4.0)
+
+    def test_duration_or_end_required(self):
+        from repro.obs import Timeline
+
+        sim = Simulator(timeline=Timeline())
+        with pytest.raises(ValueError):
+            sim.record_span("w", "l", "c")
+
+    def test_attach_and_detach(self):
+        from repro.obs import Timeline
+
+        sim = Simulator()
+        timeline = Timeline()
+        sim.attach_timeline(timeline)
+        sim.record_span("w", "l", "c", duration_s=1.0)
+        sim.attach_timeline(None)
+        assert sim.record_span("x", "l", "c", duration_s=1.0) is None
+        assert len(timeline) == 1
