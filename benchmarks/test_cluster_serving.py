@@ -1,0 +1,166 @@
+"""Cluster scaling benchmark + partitioner microbenchmark.
+
+The paper's Section III-B argues scale-out CoE serving carries a
+load-balancing tax; this benchmark quantifies both the tax and its
+mitigation. Emitted to ``BENCH_cluster.json`` at the repo root:
+
+1. **Scaling curve** — tokens/s and load imbalance at 1/2/4/8 nodes
+   under Zipf-1.1 traffic, for static ``least_loaded`` dispatch vs
+   ``steal`` (work stealing + online hot-expert replication, with the
+   DDR->HBM replica copy paid on the simulated clock).
+2. **Partitioner microbenchmark** — wall-clock of the heapq bin packer
+   sharding 10k experts.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the workload for CI smoke runs.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import fmt_ms, print_table
+from repro.coe.cluster_engine import run_cluster
+from repro.coe.engine import zipf_request_stream
+from repro.coe.expert import ExpertLibrary, ExpertProfile, build_samba_coe_library
+from repro.systems.cluster import partition_experts
+from repro.systems.platforms import sn40l_platform
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+NODE_COUNTS = (1, 2, 4, 8)
+NUM_EXPERTS = 32 if SMOKE else 64
+NUM_REQUESTS = 128 if SMOKE else 256
+OUTPUT_TOKENS = 20
+ZIPF_ALPHA = 1.1
+SEED = 1234
+
+PACK_EXPERTS = 2_000 if SMOKE else 10_000
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+
+@pytest.fixture(scope="module")
+def scaling_reports():
+    library = build_samba_coe_library(NUM_EXPERTS)
+    requests = zipf_request_stream(
+        library, NUM_REQUESTS, alpha=ZIPF_ALPHA, seed=SEED,
+        output_tokens=OUTPUT_TOKENS,
+    )
+    results = {}
+    for policy, replication in (("least_loaded", False), ("steal", True)):
+        results[policy] = {
+            n: run_cluster(
+                sn40l_platform, library, requests, num_nodes=n,
+                policy=policy, online_replication=replication,
+            )
+            for n in NODE_COUNTS
+        }
+    return results
+
+
+@pytest.fixture(scope="module")
+def partition_microbench():
+    """Shard ``PACK_EXPERTS`` experts across 8 nodes with the heap packer."""
+    library = ExpertLibrary(experts=[
+        ExpertProfile(name=f"e{i:05d}", domain="chat")
+        for i in range(PACK_EXPERTS)
+    ])
+    start = time.perf_counter()
+    shards = partition_experts(library, 8, balanced=True)
+    wall_s = time.perf_counter() - start
+    loads = [sum(e.weight_bytes for e in shard) for shard in shards]
+    return {
+        "experts": PACK_EXPERTS,
+        "nodes": 8,
+        "wall_s": wall_s,
+        "max_over_mean_load": max(loads) / (sum(loads) / len(loads)),
+    }
+
+
+def test_scaling_report(benchmark, scaling_reports):
+    benchmark.pedantic(lambda: scaling_reports, rounds=1, iterations=1)
+    rows = []
+    for policy, by_nodes in scaling_reports.items():
+        base = by_nodes[1].tokens_per_second
+        for n, report in by_nodes.items():
+            rows.append([
+                policy, n,
+                f"{report.tokens_per_second:.1f}",
+                f"{report.tokens_per_second / base:.2f}x",
+                f"{report.load_imbalance:.2f}",
+                report.steals, report.replications,
+                fmt_ms(report.makespan_s),
+            ])
+    print_table(
+        f"Cluster scaling: {NUM_REQUESTS} Zipf-{ZIPF_ALPHA} requests, "
+        f"{NUM_EXPERTS} experts",
+        ["Policy", "Nodes", "tok/s", "scaling", "imbal", "steals",
+         "repl", "makespan"],
+        rows,
+    )
+
+
+def test_eight_nodes_scale_at_least_4x(scaling_reports):
+    """Acceptance: with stealing + online replication, 8 nodes must hold
+    at least half of perfect-linear scaling under Zipf-1.1 skew."""
+    steal = scaling_reports["steal"]
+    assert steal[8].tokens_per_second >= 4.0 * steal[1].tokens_per_second
+
+
+def test_stealing_beats_static_dispatch_on_imbalance(scaling_reports):
+    """Work stealing + replication must flatten the 8-node load skew that
+    static least-loaded owner dispatch is stuck with."""
+    static = scaling_reports["least_loaded"][8]
+    stealing = scaling_reports["steal"][8]
+    assert stealing.load_imbalance < static.load_imbalance
+    assert stealing.tokens_per_second >= static.tokens_per_second
+    assert stealing.steals > 0 and stealing.replications > 0
+
+
+def test_throughput_monotonic_in_nodes(scaling_reports):
+    for policy, by_nodes in scaling_reports.items():
+        rates = [by_nodes[n].tokens_per_second for n in NODE_COUNTS]
+        assert rates == sorted(rates), policy
+
+
+def test_partition_10k_experts_is_fast(partition_microbench):
+    """The heapq packer must shard 10k experts well under a second (the
+    old ``loads.index(min(loads))`` scan was quadratic in node count x
+    experts and showed up in cluster construction)."""
+    assert partition_microbench["wall_s"] < 1.0
+    assert partition_microbench["max_over_mean_load"] < 1.01
+
+
+def test_emit_bench_json(scaling_reports, partition_microbench):
+    payload = {
+        "workload": {
+            "experts": NUM_EXPERTS,
+            "requests": NUM_REQUESTS,
+            "output_tokens": OUTPUT_TOKENS,
+            "zipf_alpha": ZIPF_ALPHA,
+            "seed": SEED,
+            "node_counts": list(NODE_COUNTS),
+            "smoke": SMOKE,
+        },
+        "scaling": {
+            policy: {
+                str(n): {
+                    **{k: v for k, v in report.to_dict().items()
+                       if k != "nodes"},
+                    "scaling_vs_one_node": (
+                        report.tokens_per_second
+                        / by_nodes[1].tokens_per_second
+                    ),
+                }
+                for n, report in by_nodes.items()
+            }
+            for policy, by_nodes in scaling_reports.items()
+        },
+        "partition_microbenchmark": partition_microbench,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT_PATH}")
+    assert OUTPUT_PATH.exists()

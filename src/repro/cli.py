@@ -7,12 +7,15 @@ Commands:
 - ``fusion MODEL PHASE`` — fusion/orchestration speedups for one workload,
 - ``coe`` — CoE serving comparison across SN40L / DGX A100 / DGX H100,
 - ``serve-bench`` — throughput engine benchmark (batching/overlap policies),
+- ``cluster-bench`` — multi-node scaling curve (routing/stealing policies
+  with online hot-expert replication; optional ``-o`` JSON dump),
 - ``footprint`` — nodes required vs expert count (Figure 13),
 - ``intensity`` — the Table I operational-intensity analysis,
 - ``plan MODEL PHASE`` — print the fused kernel plan (stages/buffers),
 - ``trace MODEL PHASE -o FILE`` — write a Perfetto/Chrome trace of the
   kernel schedule; ``trace --serve`` traces a seeded serve-bench run at
-  real simulated timestamps instead (see docs/OBSERVABILITY.md).
+  real simulated timestamps instead, and ``trace --cluster`` traces a
+  multi-node run with per-node lanes (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -185,6 +188,73 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    from repro.coe.cluster_engine import CLUSTER_POLICIES, run_cluster
+    from repro.coe.engine import zipf_request_stream
+    from repro.coe.expert import build_samba_coe_library
+    from repro.systems.platforms import sn40l_platform
+
+    try:
+        node_counts = sorted({int(n) for n in args.nodes.split(",")})
+        if any(n < 1 for n in node_counts):
+            raise ValueError(f"node counts must be >= 1, got {args.nodes!r}")
+        library = build_samba_coe_library(args.experts)
+        requests = zipf_request_stream(
+            library, args.requests, alpha=args.zipf, seed=args.seed,
+            prompt_tokens=args.prompt, output_tokens=args.tokens,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    policies = (list(CLUSTER_POLICIES) if args.policy == "all"
+                else [args.policy])
+    replication = not args.no_replication
+    print(f"{args.requests} requests over {len(library)} experts "
+          f"(Zipf alpha={args.zipf}), node policy {args.node_policy}, "
+          f"online replication {'on' if replication else 'off'}")
+    header = (f"{'nodes':>5s} {'policy':<13s} {'tok/s':>9s} {'scaling':>8s} "
+              f"{'imbal':>6s} {'steals':>6s} {'repl':>5s} {'makespan':>9s}")
+    print(header)
+    print("-" * len(header))
+    results = []
+    baselines = {}
+    for policy in policies:
+        for n in node_counts:
+            report = run_cluster(
+                sn40l_platform, library, requests, num_nodes=n,
+                policy=policy, node_policy=args.node_policy,
+                max_batch=args.max_batch, window=args.window,
+                online_replication=replication,
+            )
+            base = baselines.setdefault(policy, report.tokens_per_second)
+            scaling = report.tokens_per_second / base if base > 0 else 0.0
+            print(f"{report.num_nodes:5d} {policy:<13s} "
+                  f"{report.tokens_per_second:9.1f} {scaling:7.2f}x "
+                  f"{report.load_imbalance:6.2f} {report.steals:6d} "
+                  f"{report.replications:5d} {fmt_time(report.makespan_s):>9s}")
+            entry = report.to_dict()
+            entry.pop("nodes", None)
+            entry["scaling_vs_one_node"] = scaling
+            results.append(entry)
+    if args.output:
+        import json
+
+        payload = {
+            "benchmark": "cluster_serving",
+            "experts": len(library),
+            "requests": args.requests,
+            "zipf_alpha": args.zipf,
+            "seed": args.seed,
+            "node_policy": args.node_policy,
+            "online_replication": replication,
+            "results": results,
+        }
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_footprint(args: argparse.Namespace) -> int:
     from repro.models.catalog import LLAMA2_7B
     from repro.systems.footprint import dgx_nodes_required, sn40l_nodes_required
@@ -252,11 +322,13 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.cluster:
+        return _trace_cluster(args)
     if args.serve:
         return _trace_serve(args)
     if not args.model or not args.phase:
-        print("trace: model and phase are required unless --serve is given",
-              file=sys.stderr)
+        print("trace: model and phase are required unless --serve or "
+              "--cluster is given", file=sys.stderr)
         return 2
     return _trace_plan(args)
 
@@ -331,6 +403,42 @@ def _trace_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_cluster(args: argparse.Namespace) -> int:
+    """Trace a multi-node cluster run: per-node lanes, one shared clock."""
+    from repro.coe.cluster_engine import cluster_lanes, run_cluster
+    from repro.coe.engine import zipf_request_stream
+    from repro.coe.expert import build_samba_coe_library
+    from repro.obs import write_chrome_trace, write_summary
+    from repro.systems.platforms import sn40l_platform
+
+    try:
+        library = build_samba_coe_library(args.experts)
+        requests = zipf_request_stream(
+            library, args.requests, alpha=args.zipf, seed=args.seed,
+            prompt_tokens=args.prompt, output_tokens=args.tokens,
+        )
+        report = run_cluster(
+            sn40l_platform, library, requests, num_nodes=args.num_nodes,
+            policy=args.cluster_policy, node_policy=args.policy,
+            max_batch=args.max_batch, window=args.window,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    lanes = cluster_lanes(report.num_nodes)
+    spans = write_chrome_trace(report.timeline, args.output, lanes=lanes)
+    print(f"wrote {spans} spans ({fmt_time(report.makespan_s)} makespan) "
+          f"to {args.output}")
+    print(f"  {report.num_nodes} nodes, {args.cluster_policy} dispatch: "
+          f"{report.tokens_per_second:.1f} tok/s, "
+          f"load imbalance {report.load_imbalance:.2f}, "
+          f"{report.steals} steals, {report.replications} replications")
+    if args.summary:
+        write_summary(report.timeline, args.summary)
+        print(f"wrote timeline summary to {args.summary}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -370,6 +478,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--zipf", type=float, default=1.1)
     serve_p.add_argument("--seed", type=int, default=1234)
     serve_p.set_defaults(fn=_cmd_serve_bench)
+
+    cluster_p = sub.add_parser(
+        "cluster-bench",
+        help="multi-node scaling curve: tokens/s and load imbalance vs nodes",
+    )
+    cluster_p.add_argument("--nodes", default="1,2,4,8",
+                           help="comma-separated node counts (default 1,2,4,8)")
+    cluster_p.add_argument("--policy", default="all",
+                           choices=["least_loaded", "affinity", "steal", "all"])
+    cluster_p.add_argument("--node-policy", default="overlap",
+                           choices=["fifo", "affinity", "overlap"])
+    cluster_p.add_argument("--experts", type=int, default=64)
+    cluster_p.add_argument("--requests", type=int, default=256)
+    cluster_p.add_argument("--tokens", type=int, default=20)
+    cluster_p.add_argument("--prompt", type=int, default=256)
+    cluster_p.add_argument("--max-batch", type=int, default=8)
+    cluster_p.add_argument("--window", type=int, default=16)
+    cluster_p.add_argument("--zipf", type=float, default=1.1)
+    cluster_p.add_argument("--seed", type=int, default=1234)
+    cluster_p.add_argument("--no-replication", action="store_true",
+                           help="disable online hot-expert replication")
+    cluster_p.add_argument("-o", "--output", metavar="FILE",
+                           help="write the scaling curve as JSON")
+    cluster_p.set_defaults(fn=_cmd_cluster_bench)
 
     foot_p = sub.add_parser("footprint", help="nodes required for a CoE")
     foot_p.add_argument("--experts", type=int, default=850)
@@ -411,6 +543,14 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--serve", action="store_true",
                          help="trace a throughput serve-bench run instead "
                               "of a compiled plan")
+    trace_p.add_argument("--cluster", action="store_true",
+                         help="trace a multi-node cluster run with per-node "
+                              "lanes instead of a compiled plan")
+    trace_p.add_argument("--num-nodes", type=int, default=4,
+                         help="cluster size for --cluster (default 4)")
+    trace_p.add_argument("--cluster-policy", default="steal",
+                         choices=["least_loaded", "affinity", "steal"],
+                         help="cluster dispatch policy for --cluster")
     trace_p.add_argument("--policy", default="overlap",
                          choices=["fifo", "affinity", "overlap"])
     trace_p.add_argument("--platform", default="sn40l",

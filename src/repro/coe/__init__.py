@@ -28,6 +28,15 @@ from repro.coe.engine import (
     compare_policies,
     zipf_request_stream,
 )
+from repro.coe.cluster_engine import (
+    CLUSTER_POLICIES,
+    ClusterEngine,
+    ClusterReport,
+    NodeSummary,
+    cluster_lanes,
+    run_cluster,
+    scaling_sweep,
+)
 from repro.coe.runtime import CoERuntime, RuntimeStats, SwitchEvent
 from repro.coe.serving import CoEServer, RequestLatency, ServeResult
 
@@ -40,5 +49,7 @@ __all__ = [
     "serve_with_prefetch", "ServingMetrics", "compute_metrics", "metrics_of",
     "RequestGroup", "coalesce_groups", "POLICIES", "CompletedRequest",
     "EngineReport", "EngineRequest", "ServingEngine", "compare_policies",
-    "zipf_request_stream",
+    "zipf_request_stream", "CLUSTER_POLICIES", "ClusterEngine",
+    "ClusterReport", "NodeSummary", "cluster_lanes", "run_cluster",
+    "scaling_sweep",
 ]

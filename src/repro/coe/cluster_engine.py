@@ -1,0 +1,473 @@
+"""Cluster-level CoE serving: event-driven multi-node dispatch.
+
+The paper's Section III-B motivates the single-node SN40L by the pain of
+the alternative: multi-machine CoE serving "increases costs, complicates
+deployment, and introduces load balancing challenges". This module makes
+that trade-off *measurable*: one :class:`repro.coe.engine.ServingEngine`
+per node, all on a **shared** :class:`repro.sim.engine.Simulator` clock,
+with every node's activity on its own lanes (``node0/compute``,
+``node0/switch``, ``node0/prefetch``, ``node1/...``) of a single
+:class:`repro.obs.Timeline` — so a Perfetto trace shows cross-node
+overlap directly, and the scaling curve is derived from the same spans.
+
+Cluster policies (:data:`CLUSTER_POLICIES`):
+
+- ``least_loaded`` — static admission: each group goes to the owner
+  replica with the smallest estimated backlog. The baseline: whatever
+  skew the sharding creates, the nodes keep.
+- ``affinity`` — least-loaded, but an owner whose queue tail already
+  ends in the group's expert wins ties: extending a same-expert run
+  avoids a future switch on that node.
+- ``steal`` — ``least_loaded`` admission plus *runtime* rebalancing:
+  when a node drains, it steals queued groups whose expert it hosts
+  from the deepest queue; when nothing is stealable and online
+  replication is on, it picks the hottest queued expert on the deepest
+  node, replicates it locally (paying the DDR->HBM copy span on the sim
+  clock via :meth:`ServingEngine.warm` — replication is *not* free),
+  and then pulls that expert's queued groups over.
+
+Under Zipf-skewed traffic the single-owner sharding of
+:func:`repro.systems.cluster.partition_experts` leaves most nodes idle
+while the hot expert's owner grinds through a long queue; online
+replication plus stealing is what converts those idle replicas into
+throughput, which is exactly the load-balancing machinery the paper says
+a scale-out CoE deployment must carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.coe.engine import (
+    CompletedRequest,
+    EngineRequest,
+    ServingEngine,
+    zipf_request_stream,
+)
+from repro.coe.expert import ExpertLibrary, ExpertProfile
+from repro.coe.scheduling import RequestGroup, affinity_schedule, coalesce_groups
+from repro.obs import Timeline
+from repro.sim.engine import Simulator
+from repro.systems.cluster import partition_experts
+
+CLUSTER_POLICIES = ("least_loaded", "affinity", "steal")
+
+#: Per-node lane bases, in the order traces should display them.
+NODE_LANES = ("compute", "switch", "prefetch")
+
+
+def cluster_lanes(num_nodes: int) -> List[str]:
+    """The lane names a ``num_nodes`` cluster records, in display order."""
+    return [
+        f"node{idx}/{base}" for idx in range(num_nodes) for base in NODE_LANES
+    ]
+
+
+@dataclass
+class _Node:
+    """One cluster node: its engine plus the scheduler's bookkeeping."""
+
+    index: int
+    name: str
+    engine: ServingEngine
+    hosted: Set[str]
+    steals_in: int = 0
+    replicas_hosted: int = 0
+
+
+@dataclass(frozen=True)
+class NodeSummary:
+    """Per-node slice of a cluster run."""
+
+    name: str
+    requests: int
+    groups: int
+    output_tokens: int
+    busy_s: float
+    switch_s: float
+    hidden_switch_s: float
+    steals_in: int
+    replicas_hosted: int
+    tokens_per_second: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "requests": self.requests,
+            "groups": self.groups,
+            "output_tokens": self.output_tokens,
+            "busy_s": self.busy_s,
+            "switch_s": self.switch_s,
+            "hidden_switch_s": self.hidden_switch_s,
+            "steals_in": self.steals_in,
+            "replicas_hosted": self.replicas_hosted,
+            "tokens_per_second": self.tokens_per_second,
+        }
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Aggregate result of one cluster run, timeline-derived."""
+
+    policy: str
+    node_policy: str
+    num_nodes: int
+    requests: int
+    groups: int
+    output_tokens: int
+    makespan_s: float
+    steals: int
+    replications: int
+    events_run: int
+    nodes: Tuple[NodeSummary, ...]
+    timeline: Timeline = field(repr=False)
+
+    @property
+    def tokens_per_second(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.output_tokens / self.makespan_s
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.requests / self.makespan_s
+
+    @property
+    def load_imbalance(self) -> float:
+        """Busiest-to-average node compute-busy ratio (1.0 = perfect)."""
+        times = [n.busy_s for n in self.nodes]
+        mean = sum(times) / len(times) if times else 0.0
+        if mean == 0.0:
+            return 1.0
+        return max(times) / mean
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "node_policy": self.node_policy,
+            "num_nodes": self.num_nodes,
+            "requests": self.requests,
+            "groups": self.groups,
+            "output_tokens": self.output_tokens,
+            "makespan_s": self.makespan_s,
+            "tokens_per_second": self.tokens_per_second,
+            "requests_per_second": self.requests_per_second,
+            "load_imbalance": self.load_imbalance,
+            "steals": self.steals,
+            "replications": self.replications,
+            "events_run": self.events_run,
+            "nodes": [n.to_dict() for n in self.nodes],
+        }
+
+
+class ClusterEngine:
+    """Runs one :class:`ServingEngine` per node on a shared clock."""
+
+    def __init__(
+        self,
+        platform_factory: Callable[[], object],
+        library: ExpertLibrary,
+        num_nodes: int,
+        policy: str = "steal",
+        node_policy: str = "overlap",
+        max_batch: int = 8,
+        window: int = 16,
+        balanced: bool = True,
+        online_replication: bool = True,
+        replication_depth: int = 3,
+        max_replicas: Optional[int] = None,
+    ) -> None:
+        if policy not in CLUSTER_POLICIES:
+            raise ValueError(
+                f"unknown cluster policy {policy!r}; "
+                f"expected one of {CLUSTER_POLICIES}"
+            )
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if replication_depth < 1:
+            raise ValueError(
+                f"replication_depth must be >= 1, got {replication_depth}"
+            )
+        self.policy = policy
+        self.node_policy = node_policy
+        self.library = library
+        self.max_batch = max_batch
+        self.window = window
+        self.online_replication = online_replication
+        self.replication_depth = replication_depth
+        self.max_replicas = num_nodes if max_replicas is None else max_replicas
+        self.timeline = Timeline()
+        self.sim = Simulator(timeline=self.timeline)
+        self.steals = 0
+        self.replications = 0
+
+        shards = [
+            s for s in partition_experts(library, num_nodes, balanced=balanced)
+            if s
+        ]
+        self.nodes: List[_Node] = []
+        #: Expert name -> indices of nodes hosting a replica.
+        self._owners: Dict[str, List[int]] = {}
+        for idx, shard in enumerate(shards):
+            engine = ServingEngine(
+                platform_factory(),
+                ExpertLibrary(experts=list(shard)),
+                policy=node_policy,
+                max_batch=max_batch,
+                window=window,
+                simulator=self.sim,
+                lane_prefix=f"node{idx}/",
+            )
+            node = _Node(
+                index=idx,
+                name=f"node{idx}",
+                engine=engine,
+                hosted={e.name for e in shard},
+            )
+            engine.on_idle = lambda _eng, n=node: self._node_idle(n)
+            engine.on_group_done = (
+                lambda _eng, _group, n=node: self._node_idle(n)
+                if not n.engine.busy
+                else None
+            )
+            self.nodes.append(node)
+            for expert in shard:
+                self._owners.setdefault(expert.name, []).append(idx)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Admission routing
+    # ------------------------------------------------------------------
+    def _owner_nodes(self, expert: ExpertProfile) -> List[_Node]:
+        try:
+            return [self.nodes[i] for i in self._owners[expert.name]]
+        except KeyError:
+            raise KeyError(f"no node hosts expert {expert.name!r}") from None
+
+    def _route(self, group: RequestGroup) -> _Node:
+        owners = self._owner_nodes(group.expert)
+        if self.policy == "affinity":
+            # An owner already ending in this expert extends its run for
+            # free (no switch); among those, and otherwise, least loaded.
+            tail_match = [
+                n for n in owners
+                if n.engine.last_queued_expert == group.expert.name
+            ]
+            pool = tail_match or owners
+        else:
+            pool = owners
+        return min(pool, key=lambda n: (n.engine.estimated_backlog_s(), n.index))
+
+    # ------------------------------------------------------------------
+    # Runtime rebalancing (the ``steal`` policy)
+    # ------------------------------------------------------------------
+    def _node_idle(self, node: _Node) -> None:
+        if self.policy != "steal":
+            return
+        if node.engine.queue_depth > 0:
+            return
+        if self._steal_into(node):
+            return
+        if self.online_replication:
+            self._replicate_into(node)
+
+    def _steal_into(self, node: _Node) -> bool:
+        """Pull one queued group this node can serve off the deepest queue."""
+        hosted = node.hosted
+        victims = sorted(
+            (v for v in self.nodes if v is not node and v.engine.queue_depth >= 2),
+            key=lambda v: -v.engine.estimated_backlog_s(),
+        )
+        for victim in victims:
+            group = victim.engine.steal(lambda e: e.name in hosted)
+            if group is not None:
+                self.steals += 1
+                node.steals_in += 1
+                node.engine.submit(group)
+                return True
+        return False
+
+    def _replicate_into(self, node: _Node) -> bool:
+        """Replicate the hottest queued expert of the deepest node here.
+
+        The replica's DDR->HBM copy is paid on the simulator clock via
+        :meth:`ServingEngine.warm` — replication is never free — and the
+        victim's queued groups of that expert then move to this node.
+        """
+        victims = sorted(
+            (
+                v for v in self.nodes
+                if v is not node
+                and v.engine.queue_depth >= self.replication_depth
+            ),
+            key=lambda v: -v.engine.estimated_backlog_s(),
+        )
+        for victim in victims:
+            counts = victim.engine.queued_expert_counts()
+            candidates = sorted(
+                (
+                    name for name, count in counts.items()
+                    if count >= 2
+                    and name not in node.hosted
+                    and len(self._owners.get(name, ())) < self.max_replicas
+                ),
+                key=lambda name: (-counts[name], name),
+            )
+            for name in candidates:
+                expert = self.library[name]
+                node.engine.host(expert)
+                node.hosted.add(name)
+                node.replicas_hosted += 1
+                self._owners.setdefault(name, []).append(node.index)
+                self.replications += 1
+                node.engine.warm(expert)
+                # Move roughly half the victim's queued groups of this
+                # expert; the owner keeps the rest so both replicas work.
+                move = max(1, counts[name] // 2)
+                for _ in range(move):
+                    group = victim.engine.steal(lambda e: e.name == name)
+                    if group is None:
+                        break
+                    self.steals += 1
+                    node.steals_in += 1
+                    node.engine.submit(group)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def serve(self, requests: Sequence[EngineRequest]) -> ClusterReport:
+        """Drain the whole backlog across the cluster; one shared clock."""
+        if not requests:
+            raise ValueError("empty request backlog")
+        if self.node_policy == "fifo":
+            ordered = list(requests)
+        else:
+            ordered = affinity_schedule(requests, window=self.window)
+        groups = coalesce_groups(ordered, self.max_batch)
+        for group in groups:
+            self._route(group).engine.submit(group)
+        makespan = self.sim.run()
+        for node in self.nodes:
+            node.engine.flush_speculation(makespan)
+        completed = sum(len(n.engine.completed) for n in self.nodes)
+        if completed != len(requests):
+            raise RuntimeError(
+                f"cluster lost requests: {completed} completed "
+                f"of {len(requests)} submitted"
+            )
+        summaries = []
+        for node in self.nodes:
+            tokens = sum(c.output_tokens for c in node.engine.completed)
+            summaries.append(
+                NodeSummary(
+                    name=node.name,
+                    requests=len(node.engine.completed),
+                    groups=node.engine.groups_done,
+                    output_tokens=tokens,
+                    busy_s=self.timeline.busy_s(node.engine.lane("compute")),
+                    switch_s=self.timeline.busy_s(node.engine.lane("switch")),
+                    hidden_switch_s=self.timeline.overlap_s(
+                        node.engine.lane("switch"), node.engine.lane("compute")
+                    ),
+                    steals_in=node.steals_in,
+                    replicas_hosted=node.replicas_hosted,
+                    tokens_per_second=(
+                        tokens / makespan if makespan > 0 else 0.0
+                    ),
+                )
+            )
+        return ClusterReport(
+            policy=self.policy,
+            node_policy=self.node_policy,
+            num_nodes=self.num_nodes,
+            requests=len(requests),
+            groups=len(groups),
+            output_tokens=sum(r.output_tokens for r in requests),
+            makespan_s=makespan,
+            steals=self.steals,
+            replications=self.replications,
+            events_run=self.sim.events_run,
+            nodes=tuple(summaries),
+            timeline=self.timeline,
+        )
+
+    def completed_requests(self) -> List[CompletedRequest]:
+        """All completions across nodes, in finish order."""
+        out: List[CompletedRequest] = []
+        for node in self.nodes:
+            out.extend(node.engine.completed)
+        out.sort(key=lambda c: (c.finish_s, c.request_id))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Convenience drivers
+# ----------------------------------------------------------------------
+def run_cluster(
+    platform_factory: Callable[[], object],
+    library: ExpertLibrary,
+    requests: Sequence[EngineRequest],
+    num_nodes: int,
+    policy: str = "steal",
+    node_policy: str = "overlap",
+    max_batch: int = 8,
+    window: int = 16,
+    online_replication: bool = True,
+) -> ClusterReport:
+    """One cluster run over a fresh engine (fresh timeline, fresh clock)."""
+    engine = ClusterEngine(
+        platform_factory,
+        library,
+        num_nodes,
+        policy=policy,
+        node_policy=node_policy,
+        max_batch=max_batch,
+        window=window,
+        online_replication=online_replication,
+    )
+    return engine.serve(requests)
+
+
+def scaling_sweep(
+    platform_factory: Callable[[], object],
+    library: ExpertLibrary,
+    requests: Sequence[EngineRequest],
+    node_counts: Sequence[int] = (1, 2, 4, 8),
+    policy: str = "steal",
+    node_policy: str = "overlap",
+    max_batch: int = 8,
+    online_replication: bool = True,
+) -> Dict[int, ClusterReport]:
+    """The scaling curve: the same backlog at each node count."""
+    reports: Dict[int, ClusterReport] = {}
+    for n in node_counts:
+        reports[n] = run_cluster(
+            platform_factory,
+            library,
+            requests,
+            num_nodes=n,
+            policy=policy,
+            node_policy=node_policy,
+            max_batch=max_batch,
+            online_replication=online_replication,
+        )
+    return reports
+
+
+__all__ = [
+    "CLUSTER_POLICIES",
+    "NODE_LANES",
+    "ClusterEngine",
+    "ClusterReport",
+    "NodeSummary",
+    "cluster_lanes",
+    "run_cluster",
+    "scaling_sweep",
+    "zipf_request_stream",
+]

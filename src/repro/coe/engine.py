@@ -27,17 +27,30 @@ t=0) feeds the SLO percentiles via :func:`repro.coe.metrics.percentile`.
 
 Every run records a :class:`repro.obs.Timeline`: router/prefill/decode
 spans on the ``compute`` lane, demand DDR->HBM copies on the ``switch``
-lane (recorded by the runtime at true simulated timestamps), and
-speculative warms on the ``prefetch`` lane. The report's switch totals
-and hidden-switch fraction are *derived from that timeline* — the
-hidden time is literally the overlap of the switch lane with the
-compute lane, so the stat and the exported trace cannot disagree.
+lane (recorded at true simulated timestamps), and speculative warms on
+the ``prefetch`` lane. The report's switch totals and hidden-switch
+fraction are *derived from that timeline* — the hidden time is literally
+the overlap of the switch lane with the compute lane, so the stat and
+the exported trace cannot disagree.
+
+The engine itself is incremental: groups are :meth:`ServingEngine.submit`-ted
+into a queue and drained by events on a simulator clock. A standalone
+:meth:`ServingEngine.run` creates a private clock and drains a whole
+backlog; the cluster engine (:mod:`repro.coe.cluster_engine`) instead
+constructs many engines over one *shared* simulator, each with a
+``lane_prefix`` (``node0/``, ``node1/``, ...) so every node's activity
+lands on its own lanes of a single cross-node timeline. The queue is
+also externally steerable — :meth:`ServingEngine.steal` removes queued
+work for another replica, :meth:`ServingEngine.host` /
+:meth:`ServingEngine.warm` land a replicated expert and pay its copy —
+which is what cluster-level work stealing and online replication drive.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.coe.expert import ExpertLibrary, ExpertProfile
 from repro.coe.metrics import percentile
@@ -78,6 +91,7 @@ class CompletedRequest:
     arrival_s: float
     start_s: float
     finish_s: float
+    output_tokens: int = 0
 
     @property
     def latency_s(self) -> float:
@@ -148,7 +162,16 @@ class EngineReport:
 
 
 class ServingEngine:
-    """Drains a backlog of pre-routed requests through one platform."""
+    """Drains a queue of pre-routed request groups through one platform.
+
+    Standalone use: :meth:`run` a whole backlog on a private simulator.
+    Cluster use: construct with an external (shared) ``simulator`` and a
+    ``lane_prefix``, then :meth:`submit` groups; a cluster-level policy
+    may additionally :meth:`steal` queued groups, :meth:`host` a
+    replicated expert, and :meth:`warm` its DDR->HBM copy. The ``on_idle``
+    and ``on_group_done`` hooks let that policy react to this engine
+    draining or finishing work, on the shared clock.
+    """
 
     def __init__(
         self,
@@ -158,6 +181,8 @@ class ServingEngine:
         max_batch: int = 8,
         window: int = 16,
         reserved_hbm_bytes: Optional[int] = None,
+        simulator: Optional[Simulator] = None,
+        lane_prefix: str = "",
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
@@ -166,10 +191,124 @@ class ServingEngine:
         self.policy = policy
         self.max_batch = max_batch
         self.window = window
+        self.lane_prefix = lane_prefix
         self.server = CoEServer(
             platform, library, reserved_hbm_bytes=reserved_hbm_bytes
         )
         self._predictor = ExpertPredictor()
+        #: Hooks a cluster-level scheduler installs: ``on_idle(engine)``
+        #: fires when the queue drains, ``on_group_done(engine, group)``
+        #: after every completed group. Both run on the simulator clock.
+        self.on_idle: Optional[Callable[["ServingEngine"], None]] = None
+        self.on_group_done: Optional[
+            Callable[["ServingEngine", RequestGroup], None]
+        ] = None
+        self._sim: Optional[Simulator] = None
+        self._reset_run_state()
+        if simulator is not None:
+            self.bind(simulator)
+
+    # ------------------------------------------------------------------
+    # Binding to a clock
+    # ------------------------------------------------------------------
+    def lane(self, base: str) -> str:
+        """The timeline lane this engine uses for ``base`` activity."""
+        return f"{self.lane_prefix}{base}"
+
+    def _reset_run_state(self) -> None:
+        self._queue: "deque[RequestGroup]" = deque()
+        self._busy = False
+        self._begin_scheduled = False
+        self._busy_until_s = 0.0
+        #: When the (single) DMA path last frees up: demand copies queue
+        #: behind each other so the switch lane stays physically serial.
+        self._dma_free_s = 0.0
+        #: Expert name -> completion time of its most recent demand copy;
+        #: execution of a freshly copied expert waits for this.
+        self._copy_done: Dict[str, float] = {}
+        #: At most one in-flight speculative copy: (name, start_s, copy_s).
+        self._spec_open: List[tuple] = []
+        self._groups_started = 0
+        self.groups_done = 0
+        self.speculative_prefetches = 0
+        self.completed: List[CompletedRequest] = []
+
+    def bind(self, simulator: Simulator) -> None:
+        """Attach to a (possibly shared) simulator clock, resetting state."""
+        self._sim = simulator
+        self._reset_run_state()
+
+    def unbind(self) -> None:
+        self._sim = None
+
+    # ------------------------------------------------------------------
+    # Queue introspection / steering (the cluster scheduler's surface)
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def last_queued_expert(self) -> Optional[str]:
+        """Expert of the queue tail (affinity routing extends its run)."""
+        return self._queue[-1].expert.name if self._queue else None
+
+    def queued_expert_counts(self) -> Dict[str, int]:
+        """Queued group count per expert name (replication signal)."""
+        counts: Dict[str, int] = {}
+        for group in self._queue:
+            counts[group.expert.name] = counts.get(group.expert.name, 0) + 1
+        return counts
+
+    def estimated_backlog_s(self) -> float:
+        """Closed-form estimate of queued + in-flight work (routing cost)."""
+        now = self._sim.now if self._sim is not None else 0.0
+        total = max(0.0, self._busy_until_s - now) if self._busy else 0.0
+        return total + sum(self._group_exec_time(g) for g in self._queue)
+
+    def submit(self, group: RequestGroup) -> None:
+        """Enqueue one group; starts it immediately if the engine is idle."""
+        self._queue.append(group)
+        self._kick()
+
+    def steal(self, wanted: Callable[[ExpertProfile], bool]) -> Optional[RequestGroup]:
+        """Remove and return the latest-queued group whose expert satisfies
+        ``wanted``, or None.
+
+        Scans from the tail (the work least likely to be prefetched). The
+        head is only up for grabs while the engine is busy executing —
+        when idle, the head's begin event is already on the clock.
+        """
+        floor = 0 if self._busy else 1
+        for i in range(len(self._queue) - 1, floor - 1, -1):
+            if wanted(self._queue[i].expert):
+                group = self._queue[i]
+                del self._queue[i]
+                return group
+        return None
+
+    def host(self, expert: ExpertProfile) -> None:
+        """Add a replicated expert to this node's library."""
+        self.server.library.add(expert)
+
+    def warm(self, expert: ExpertProfile) -> Optional[float]:
+        """Pay the DDR->HBM copy for a replicated expert on this node.
+
+        Returns the copy's completion time on the sim clock, or None when
+        copying now would evict an expert the pipeline still needs (the
+        copy then happens on demand when the expert's first group begins).
+        """
+        runtime = self.server.runtime
+        if runtime.is_resident(expert):
+            return self._sim.now
+        needed = {g.expert.name for g in list(self._queue)[:2]}
+        if not needed.isdisjoint(runtime.would_evict(expert)):
+            return None
+        return self._demand_copy(expert)
 
     # ------------------------------------------------------------------
     def _order(self, requests: Sequence[EngineRequest]) -> List[EngineRequest]:
@@ -198,137 +337,203 @@ class ServingEngine:
         return router + prefill + decode
 
     # ------------------------------------------------------------------
+    # The event pipeline
+    # ------------------------------------------------------------------
+    def flush_speculation(self, now: float) -> None:
+        """Close any in-flight speculative copy span at ``now``.
+
+        A new DMA transfer aborts an in-flight speculative copy; its span
+        ends at min(natural completion, abort time). Call once at end of
+        run to close a copy the makespan cut short.
+        """
+        while self._spec_open:
+            name, start, copy_s = self._spec_open.pop()
+            end = min(start + copy_s, now)
+            self._sim.record_span(
+                name, self.lane("prefetch"), "prefetch",
+                start_s=start, end_s=end,
+                args={"copy_s": copy_s, "abandoned": end < start + copy_s},
+            )
+
+    def _demand_copy(self, expert: ExpertProfile) -> float:
+        """Activate a non-resident expert; the copy takes the DMA's next
+        free slot and its span lands on this engine's switch lane."""
+        sim = self._sim
+        self.flush_speculation(sim.now)
+        start = max(sim.now, self._dma_free_s)
+        event = self.server.runtime.activate(expert, span=False)
+        done = start + event.time_s
+        if event.time_s > 0:
+            sim.record_span(
+                f"copy:{expert.name}", self.lane("switch"), "switch",
+                start_s=start, end_s=done,
+                args={
+                    "bytes_up": event.bytes_up,
+                    "bytes_down": event.bytes_down,
+                    "evicted": list(event.evicted),
+                },
+            )
+        self._dma_free_s = done
+        self._copy_done[expert.name] = done
+        return done
+
+    def _kick(self) -> None:
+        """Schedule the queue head's begin event if the engine is idle."""
+        if (self._sim is None or self._busy or self._begin_scheduled
+                or not self._queue):
+            return
+        sim = self._sim
+        head = self._queue[0].expert
+        start_at = sim.now
+        if self.server.runtime.is_resident(head):
+            start_at = max(start_at, self._copy_done.get(head.name, start_at))
+        self._begin_scheduled = True
+        sim.schedule_at(start_at, self._begin_next)
+
+    def _begin_next(self) -> None:
+        self._begin_scheduled = False
+        if self._busy:
+            return
+        if not self._queue:
+            self._notify_idle()
+            return
+        sim = self._sim
+        runtime = self.server.runtime
+        group = self._queue.popleft()
+        self._busy = True
+        index = self._groups_started
+        self._groups_started += 1
+        router_s, prefill_s, decode_s = self._group_phase_times(group)
+        if self.policy == "overlap":
+            self._predictor.observe(group.expert)
+        if runtime.is_resident(group.expert):
+            runtime.activate(group.expert)  # hit: free recency refresh
+            exec_start = max(
+                sim.now, self._copy_done.get(group.expert.name, sim.now)
+            )
+        else:
+            exec_start = self._demand_copy(group.expert)
+        if self.policy == "overlap" and self._queue:
+            # While this group executes, the DMA engines prefetch the
+            # next queued expert (or speculate when it is already here).
+            protect = group.expert.name
+            if exec_start <= sim.now:
+                self._prefetch_next(protect)
+            else:
+                sim.schedule_at(
+                    exec_start, lambda: self._prefetch_next(protect)
+                )
+        end = exec_start
+        phases = (("router", router_s), ("prefill", prefill_s),
+                  ("decode", decode_s))
+        for category, duration in phases:
+            if duration > 0:
+                sim.record_span(
+                    f"{category}:{group.expert.name}",
+                    self.lane("compute"), category,
+                    start_s=end, end_s=end + duration,
+                    args={"group": index, "batch": group.batch},
+                )
+            end += duration
+        self._busy_until_s = end
+        sim.schedule_at(end, lambda: self._finish_group(group, exec_start))
+
+    def _prefetch_next(self, protected_name: str) -> None:
+        """Warm the queue head's expert on the otherwise-idle DMA engines."""
+        if not self._queue:
+            return
+        sim = self._sim
+        runtime = self.server.runtime
+        nxt = self._queue[0].expert
+        if runtime.is_resident(nxt):
+            self.flush_speculation(sim.now)
+            runtime.activate(nxt)  # recency refresh, free hit
+            # The DMA is idle this window: warm the predictor's best
+            # non-resident guess. A speculative copy may evict cold LRU
+            # tails but must never displace the experts the pipeline
+            # still needs (the one executing and the one up next).
+            protected = {nxt.name, protected_name}
+            guess = next(
+                (c for c in self._predictor.candidates()
+                 if not runtime.is_resident(c)
+                 and protected.isdisjoint(runtime.would_evict(c))),
+                None,
+            )
+            if guess is not None:
+                event = runtime.activate(guess, span=False)
+                self._spec_open.append(
+                    (f"copy:{guess.name}", sim.now, event.time_s)
+                )
+                self.speculative_prefetches += 1
+        else:
+            self._demand_copy(nxt)
+
+    def _finish_group(self, group: RequestGroup, exec_started: float) -> None:
+        sim = self._sim
+        for req in group.requests:
+            self.completed.append(
+                CompletedRequest(
+                    request_id=req.request_id,
+                    expert=group.expert.name,
+                    batch=group.batch,
+                    arrival_s=req.arrival_s,
+                    start_s=exec_started,
+                    finish_s=sim.now,
+                    output_tokens=req.output_tokens,
+                )
+            )
+        self.groups_done += 1
+        self._busy = False
+        if self.on_group_done is not None:
+            self.on_group_done(self, group)
+        if self._queue:
+            self._kick()
+        else:
+            self._notify_idle()
+
+    def _notify_idle(self) -> None:
+        if self.on_idle is not None:
+            self.on_idle(self)
+        self._kick()  # the idle hook may have stolen work into the queue
+
+    # ------------------------------------------------------------------
     def run(self, requests: Sequence[EngineRequest]) -> EngineReport:
-        """Serve the whole backlog; returns the aggregate report."""
+        """Serve a whole backlog on a private clock; returns the report."""
         if not requests:
             raise ValueError("empty request backlog")
         groups = coalesce_groups(self._order(requests), self.max_batch)
         timeline = Timeline()
         sim = Simulator(timeline=timeline)
-        runtime = self.server.runtime
-        runtime.attach_timeline(timeline, clock=lambda: sim.now, lane="switch")
-        n = len(groups)
-        ready = [0.0] * n
-        completed: List[CompletedRequest] = []
-        totals = {"spec": 0}
-        #: At most one in-flight speculative copy: (name, start_s, copy_s).
-        spec_open: List[tuple] = []
-
-        def flush_spec(now: float) -> None:
-            # A new DMA transfer aborts any in-flight speculative copy;
-            # its span ends at min(natural completion, abort time).
-            while spec_open:
-                name, start, copy_s = spec_open.pop()
-                end = min(start + copy_s, now)
-                timeline.record(
-                    name, lane="prefetch", category="prefetch",
-                    start_s=start, end_s=end,
-                    args={"copy_s": copy_s, "abandoned": end < start + copy_s},
-                )
-
-        def prefetch(j: int) -> None:
-            # Runs on the DMA engines at sim.now, concurrent with compute.
-            flush_spec(sim.now)
-            expert = groups[j].expert
-            if runtime.is_resident(expert):
-                runtime.activate(expert)  # recency refresh, free hit
-                ready[j] = sim.now
-                # The DMA is idle this window: warm the predictor's best
-                # non-resident guess. A speculative copy may evict cold LRU
-                # tails but must never displace the experts the pipeline
-                # still needs (the one executing and the one up next).
-                protected = {expert.name}
-                if j > 0:
-                    protected.add(groups[j - 1].expert.name)
-                guess = next(
-                    (c for c in self._predictor.candidates()
-                     if not runtime.is_resident(c)
-                     and protected.isdisjoint(runtime.would_evict(c))),
-                    None,
-                )
-                if guess is not None:
-                    event = runtime.activate(guess, span=False)
-                    spec_open.append((f"copy:{guess.name}", sim.now, event.time_s))
-                    totals["spec"] += 1
-            else:
-                event = runtime.activate(expert)  # records the switch span
-                ready[j] = sim.now + event.time_s
-
-        def begin_group(i: int) -> None:
-            group = groups[i]
-            router_s, prefill_s, decode_s = self._group_phase_times(group)
-            if self.policy == "overlap":
-                self._predictor.observe(group.expert)
-                exec_start = sim.now
-                if i + 1 < n:
-                    prefetch(i + 1)
-            else:
-                event = runtime.activate(group.expert)
-                exec_start = sim.now + event.time_s
-            end = exec_start
-            phases = (("router", router_s), ("prefill", prefill_s),
-                      ("decode", decode_s))
-            for category, duration in phases:
-                if duration > 0:
-                    sim.record_span(
-                        f"{category}:{group.expert.name}", "compute", category,
-                        start_s=end, end_s=end + duration,
-                        args={"group": i, "batch": group.batch},
-                    )
-                end += duration
-            sim.schedule_at(end, lambda: finish_group(i, exec_start))
-
-        def finish_group(i: int, exec_started: float) -> None:
-            group = groups[i]
-            for req in group.requests:
-                completed.append(
-                    CompletedRequest(
-                        request_id=req.request_id,
-                        expert=group.expert.name,
-                        batch=group.batch,
-                        arrival_s=req.arrival_s,
-                        start_s=exec_started,
-                        finish_s=sim.now,
-                    )
-                )
-            nxt = i + 1
-            if nxt < n:
-                if self.policy == "overlap":
-                    start_at = max(sim.now, ready[nxt])
-                    sim.schedule_at(start_at, lambda: begin_group(nxt))
-                else:
-                    sim.schedule_at(sim.now, lambda: begin_group(nxt))
-
+        self.bind(sim)
         try:
-            if self.policy == "overlap":
-                prefetch(0)  # group 0's copy has nothing to hide behind
-                sim.schedule_at(ready[0], lambda: begin_group(0))
-            else:
-                sim.schedule_at(0.0, lambda: begin_group(0))
+            self._queue.extend(groups)
+            self._kick()
             makespan = sim.run()
-            flush_spec(makespan)
+            self.flush_speculation(makespan)
+            latencies = [c.latency_s for c in self.completed]
+            report = EngineReport(
+                policy=self.policy,
+                platform=self.server.platform.name,
+                requests=len(self.completed),
+                groups=len(groups),
+                makespan_s=makespan,
+                output_tokens=sum(r.output_tokens for r in requests),
+                switch_s=timeline.busy_s(self.lane("switch")),
+                hidden_switch_s=timeline.overlap_s(
+                    self.lane("switch"), self.lane("compute")
+                ),
+                speculative_prefetches=self.speculative_prefetches,
+                p50_s=percentile(latencies, 50),
+                p95_s=percentile(latencies, 95),
+                p99_s=percentile(latencies, 99),
+                mean_s=sum(latencies) / len(latencies),
+                events_run=sim.events_run,
+                completed=tuple(self.completed),
+                timeline=timeline,
+            )
         finally:
-            runtime.detach_timeline()
-
-        latencies = [c.latency_s for c in completed]
-        return EngineReport(
-            policy=self.policy,
-            platform=self.server.platform.name,
-            requests=len(completed),
-            groups=n,
-            makespan_s=makespan,
-            output_tokens=sum(r.output_tokens for r in requests),
-            switch_s=timeline.busy_s("switch"),
-            hidden_switch_s=timeline.overlap_s("switch", "compute"),
-            speculative_prefetches=totals["spec"],
-            p50_s=percentile(latencies, 50),
-            p95_s=percentile(latencies, 95),
-            p99_s=percentile(latencies, 99),
-            mean_s=sum(latencies) / len(latencies),
-            events_run=sim.events_run,
-            completed=tuple(completed),
-            timeline=timeline,
-        )
+            self.unbind()
+        return report
 
 
 # ----------------------------------------------------------------------

@@ -75,6 +75,21 @@ class ExpertLibrary:
         for expert in self.experts:
             self._by_domain.setdefault(expert.domain, []).append(expert)
 
+    def add(self, expert: ExpertProfile) -> None:
+        """Register one more expert (hot-expert replication, growth).
+
+        Keeps the name and domain indexes coherent, unlike appending to
+        ``experts`` and re-running ``__post_init__`` by hand.
+        """
+        if expert.name in self._by_name:
+            raise ValueError(f"duplicate expert name {expert.name!r}")
+        self.experts.append(expert)
+        self._by_name[expert.name] = expert
+        self._by_domain.setdefault(expert.domain, []).append(expert)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
     def __len__(self) -> int:
         return len(self.experts)
 

@@ -14,10 +14,18 @@ how a CoE scales *beyond* one node when it must:
 - :func:`replicate_hot_experts` — the classic mitigation: replicate the
   most-requested experts on every node so dispatch can pick the least
   loaded replica.
+
+:meth:`Cluster.dispatch` is the *analytic baseline*: one request at a
+time, serial switches, independent node clocks. The event-driven path —
+batched engines on a shared simulator clock, work stealing, and online
+replication that pays its DDR->HBM copy — lives in
+:mod:`repro.coe.cluster_engine` and is what the scaling benchmarks run.
 """
 
 from __future__ import annotations
 
+import heapq
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -33,23 +41,36 @@ def partition_experts(
     """Split a library across nodes.
 
     ``balanced`` assigns each expert to the currently lightest node by
-    weight bytes (greedy bin packing — near-optimal for equal-size
-    experts and good for heterogeneous ones); otherwise experts are dealt
-    out contiguously.
+    weight bytes (greedy bin packing over a min-heap — near-optimal for
+    equal-size experts and good for heterogeneous ones); otherwise experts
+    are dealt out contiguously in even runs (shard sizes differ by at most
+    one). Either way shards only come up empty when ``num_nodes`` exceeds
+    the library size, which draws a warning.
     """
     if num_nodes < 1:
         raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
-    shards: List[List[ExpertProfile]] = [[] for _ in range(num_nodes)]
+    if num_nodes > len(library):
+        warnings.warn(
+            f"num_nodes={num_nodes} exceeds the library size {len(library)}; "
+            f"{num_nodes - len(library)} shard(s) will be empty",
+            stacklevel=2,
+        )
+    shards: List[List["ExpertProfile"]] = [[] for _ in range(num_nodes)]
     if not balanced:
-        per_node = -(-len(library) // num_nodes)
-        for idx, expert in enumerate(library.experts):
-            shards[idx // per_node].append(expert)
+        base, extra = divmod(len(library), num_nodes)
+        start = 0
+        for idx in range(num_nodes):
+            size = base + (1 if idx < extra else 0)
+            shards[idx] = list(library.experts[start : start + size])
+            start += size
         return shards
-    loads = [0] * num_nodes
+    # (load, index) pairs of equal loads form a valid heap as-is; ties pop
+    # the lowest index, matching the old loads.index(min(loads)) scan.
+    heap: List[Tuple[int, int]] = [(0, idx) for idx in range(num_nodes)]
     for expert in sorted(library.experts, key=lambda e: -e.weight_bytes):
-        target = loads.index(min(loads))
+        load, target = heapq.heappop(heap)
         shards[target].append(expert)
-        loads[target] += expert.weight_bytes
+        heapq.heappush(heap, (load + expert.weight_bytes, target))
     return shards
 
 
@@ -96,15 +117,16 @@ class Cluster:
         shards = partition_experts(library, num_nodes, balanced=balanced)
         self.nodes: List[NodeState] = []
         self._owners: Dict[str, List[int]] = {}
-        for idx, shard in enumerate(shards):
+        for shard in shards:
             if not shard:
                 continue
             shard_library = ExpertLibrary(experts=list(shard))
+            # Node names stay dense even when empty shards were dropped.
+            node_index = len(self.nodes)
             node = NodeState(
-                name=f"node{idx}",
+                name=f"node{node_index}",
                 server=CoEServer(platform_factory(), shard_library),
             )
-            node_index = len(self.nodes)
             self.nodes.append(node)
             for expert in shard:
                 self._owners.setdefault(expert.name, []).append(node_index)
@@ -124,8 +146,7 @@ class Cluster:
         for idx, node in enumerate(self.nodes):
             if idx in self._owners.get(expert.name, []):
                 continue
-            node.server.library.experts.append(expert)
-            node.server.library.__post_init__()
+            node.server.library.add(expert)
             self._owners.setdefault(expert.name, []).append(idx)
 
     def dispatch(
@@ -134,11 +155,14 @@ class Cluster:
         output_tokens: int = 20,
         prompt_tokens: int = 256,
     ) -> List[DispatchRecord]:
-        """Serve a request stream, one request at a time.
+        """Serve a request stream, one request at a time (analytic baseline).
 
-        Each request goes to the least-loaded node hosting its expert;
-        node clocks advance independently, so skewed expert popularity
-        shows up directly as queueing delay on the hot node.
+        Each request goes to the least-loaded node hosting its expert
+        (ties resolve to the lowest node index, deterministically); node
+        clocks advance independently, so skewed expert popularity shows
+        up directly as queueing delay on the hot node. For the batched,
+        overlapped, shared-clock path use
+        :class:`repro.coe.cluster_engine.ClusterEngine`.
         """
         records: List[DispatchRecord] = []
         for expert in experts:

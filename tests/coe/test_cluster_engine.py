@@ -1,0 +1,193 @@
+"""The cluster serving engine: shared-clock dispatch, stealing, replication."""
+
+import json
+
+import pytest
+
+from repro.coe.cluster_engine import (
+    CLUSTER_POLICIES,
+    ClusterEngine,
+    cluster_lanes,
+    run_cluster,
+    scaling_sweep,
+)
+from repro.coe.engine import ServingEngine, zipf_request_stream
+from repro.coe.expert import build_samba_coe_library
+from repro.systems.platforms import sn40l_platform
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_samba_coe_library(32)
+
+
+@pytest.fixture(scope="module")
+def stream(library):
+    return zipf_request_stream(library, 96, alpha=1.1, seed=7)
+
+
+@pytest.fixture(scope="module")
+def steal_report(library, stream):
+    return run_cluster(
+        sn40l_platform, library, stream, num_nodes=4, policy="steal"
+    )
+
+
+class TestConstruction:
+    def test_rejects_unknown_policy(self, library):
+        with pytest.raises(ValueError, match="unknown cluster policy"):
+            ClusterEngine(sn40l_platform, library, 2, policy="random")
+
+    def test_rejects_bad_node_count(self, library):
+        with pytest.raises(ValueError, match="num_nodes"):
+            ClusterEngine(sn40l_platform, library, 0)
+
+    def test_rejects_bad_replication_depth(self, library):
+        with pytest.raises(ValueError, match="replication_depth"):
+            ClusterEngine(sn40l_platform, library, 2, replication_depth=0)
+
+    def test_rejects_empty_backlog(self, library):
+        engine = ClusterEngine(sn40l_platform, library, 2)
+        with pytest.raises(ValueError, match="empty"):
+            engine.serve([])
+
+    def test_empty_shards_dropped_names_dense(self):
+        small = build_samba_coe_library(3)
+        engine = ClusterEngine(sn40l_platform, small, 3)
+        assert [n.name for n in engine.nodes] == ["node0", "node1", "node2"]
+
+    def test_nodes_share_one_simulator(self, library):
+        engine = ClusterEngine(sn40l_platform, library, 4)
+        assert all(n.engine._sim is engine.sim for n in engine.nodes)
+        assert {n.engine.lane_prefix for n in engine.nodes} == {
+            "node0/", "node1/", "node2/", "node3/",
+        }
+
+
+class TestCompletion:
+    def test_every_request_completes_exactly_once(self, library, stream):
+        for policy in CLUSTER_POLICIES:
+            report = run_cluster(
+                sn40l_platform, library, stream, num_nodes=4, policy=policy
+            )
+            assert report.requests == len(stream)
+            engine = ClusterEngine(sn40l_platform, library, 4, policy=policy)
+            engine.serve(stream)
+            ids = [c.request_id for c in engine.completed_requests()]
+            assert sorted(ids) == sorted(r.request_id for r in stream)
+
+    def test_single_node_matches_standalone_engine(self, library, stream):
+        cluster = run_cluster(
+            sn40l_platform, library, stream, num_nodes=1, policy="steal"
+        )
+        standalone = ServingEngine(
+            sn40l_platform(), library, policy="overlap"
+        ).run(stream)
+        assert cluster.makespan_s == pytest.approx(standalone.makespan_s)
+        assert cluster.output_tokens == standalone.output_tokens
+
+    def test_makespan_covers_every_span(self, steal_report):
+        last = max(s.end_s for s in steal_report.timeline.spans())
+        assert steal_report.makespan_s == pytest.approx(last)
+
+
+class TestTimelineLanes:
+    def test_per_node_lanes_recorded(self, steal_report):
+        lanes = set(steal_report.timeline.lanes)
+        for idx in range(4):
+            assert f"node{idx}/compute" in lanes
+        assert lanes <= set(cluster_lanes(4))
+
+    def test_cross_node_compute_overlap(self, steal_report):
+        """Nodes genuinely run concurrently on the shared clock."""
+        tl = steal_report.timeline
+        assert tl.overlap_s("node0/compute", "node1/compute") > 0
+
+    def test_tokens_per_second_is_sum_of_node_rates(self, steal_report):
+        """Cluster throughput must equal the sum of per-node rates derived
+        from the same timeline — the report cannot drift from the trace."""
+        assert steal_report.tokens_per_second == pytest.approx(
+            sum(n.tokens_per_second for n in steal_report.nodes)
+        )
+        assert steal_report.output_tokens == sum(
+            n.output_tokens for n in steal_report.nodes
+        )
+
+    def test_node_stats_derive_from_timeline(self, steal_report):
+        tl = steal_report.timeline
+        for node in steal_report.nodes:
+            assert node.busy_s == pytest.approx(
+                tl.busy_s(f"{node.name}/compute")
+            )
+            assert node.switch_s == pytest.approx(
+                tl.busy_s(f"{node.name}/switch")
+            )
+
+
+class TestStealingAndReplication:
+    def test_skewed_traffic_triggers_steals_and_replication(self, steal_report):
+        assert steal_report.steals > 0
+        assert steal_report.replications > 0
+        assert sum(n.steals_in for n in steal_report.nodes) == steal_report.steals
+        assert (sum(n.replicas_hosted for n in steal_report.nodes)
+                == steal_report.replications)
+
+    def test_replication_disabled_means_none(self, library, stream):
+        report = run_cluster(
+            sn40l_platform, library, stream, num_nodes=4,
+            policy="steal", online_replication=False,
+        )
+        assert report.replications == 0
+
+    def test_replication_pays_copy_on_receiving_node(self, library, stream):
+        """A replica's DDR->HBM copy lands as a switch span on the node
+        that received it — replication is never free."""
+        engine = ClusterEngine(sn40l_platform, library, 4, policy="steal")
+        report = engine.serve(stream)
+        receivers = [n for n in engine.nodes if n.replicas_hosted > 0]
+        assert receivers
+        for node in receivers:
+            assert report.timeline.busy_s(f"{node.name}/switch") > 0
+
+    def test_stealing_beats_least_loaded_on_imbalance(self, library, stream):
+        static = run_cluster(
+            sn40l_platform, library, stream, num_nodes=4,
+            policy="least_loaded",
+        )
+        stealing = run_cluster(
+            sn40l_platform, library, stream, num_nodes=4, policy="steal"
+        )
+        assert stealing.load_imbalance <= static.load_imbalance
+        assert stealing.makespan_s <= static.makespan_s
+
+    def test_deterministic_across_runs(self, library, stream):
+        a = run_cluster(sn40l_platform, library, stream, num_nodes=4)
+        b = run_cluster(sn40l_platform, library, stream, num_nodes=4)
+        assert a.makespan_s == b.makespan_s
+        assert a.steals == b.steals
+        assert a.replications == b.replications
+
+
+class TestReporting:
+    def test_to_dict_json_round_trip(self, steal_report):
+        payload = json.loads(json.dumps(steal_report.to_dict()))
+        assert payload["num_nodes"] == 4
+        assert payload["requests"] == steal_report.requests
+        assert len(payload["nodes"]) == 4
+        assert payload["tokens_per_second"] == pytest.approx(
+            steal_report.tokens_per_second
+        )
+
+    def test_scaling_sweep_covers_counts(self, library, stream):
+        reports = scaling_sweep(
+            sn40l_platform, library, stream, node_counts=(1, 2)
+        )
+        assert set(reports) == {1, 2}
+        assert (reports[2].tokens_per_second
+                >= reports[1].tokens_per_second)
+
+    def test_cluster_lanes_order(self):
+        assert cluster_lanes(2) == [
+            "node0/compute", "node0/switch", "node0/prefetch",
+            "node1/compute", "node1/switch", "node1/prefetch",
+        ]

@@ -51,3 +51,24 @@ class TestSambaCoELibrary:
     def test_zero_experts_rejected(self):
         with pytest.raises(ValueError):
             build_samba_coe_library(0)
+
+
+class TestLibraryAdd:
+    def test_add_keeps_indexes_coherent(self):
+        lib = build_samba_coe_library(5)
+        extra = ExpertProfile("replica", "code")
+        lib.add(extra)
+        assert len(lib) == 6
+        assert "replica" in lib
+        assert lib["replica"] is extra
+        assert extra in lib.for_domain("code")
+
+    def test_add_rejects_duplicate_name(self):
+        lib = build_samba_coe_library(5)
+        with pytest.raises(ValueError, match="duplicate expert name"):
+            lib.add(ExpertProfile(lib.experts[0].name, "math"))
+
+    def test_contains_checks_names(self):
+        lib = build_samba_coe_library(3)
+        assert lib.experts[0].name in lib
+        assert "ghost" not in lib

@@ -85,3 +85,41 @@ class TestServeTraceSmoke:
     def test_trace_without_model_or_serve_errors(self, capsys):
         assert main(["trace"]) == 2
         assert "required" in capsys.readouterr().err.lower()
+
+
+class TestClusterTraceSmoke:
+    def test_cluster_trace_shows_cross_node_overlap(self, tmp_path, capsys):
+        trace = tmp_path / "cluster.json"
+        summary = tmp_path / "cluster-summary.json"
+        rc = main(["trace", "--cluster", "--num-nodes", "4",
+                   "--experts", "32", "--requests", "96", "--seed", "1234",
+                   "-o", str(trace), "--summary", str(summary)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 nodes" in out
+
+        events = _validate_chrome_trace(trace)
+        # Per-node lanes are pinned as thread names in the metadata.
+        lane_tids = {e["args"]["name"]: e["tid"] for e in events
+                     if e["ph"] == "M" and e.get("name") == "thread_name"}
+        for idx in range(4):
+            assert f"node{idx}/compute" in lane_tids
+            assert f"node{idx}/switch" in lane_tids
+
+        # Cross-node overlap must be visible in the exported file itself:
+        # compute spans of two different nodes intersect in time.
+        def compute_of(node):
+            tid = lane_tids[f"{node}/compute"]
+            return [e for e in events if e["ph"] == "X" and e["tid"] == tid]
+
+        def intersect(a, b):
+            lo = max(a["ts"], b["ts"])
+            hi = min(a["ts"] + a["dur"], b["ts"] + b["dur"])
+            return hi - lo
+
+        n0, n1 = compute_of("node0"), compute_of("node1")
+        assert n0 and n1
+        assert any(intersect(a, b) > 0 for a in n0 for b in n1)
+
+        rollup = json.loads(summary.read_text())
+        assert {"node0/compute", "node1/compute"} <= set(rollup["lanes"])

@@ -38,6 +38,33 @@ class TestPartitioning:
         with pytest.raises(ValueError):
             partition_experts(library, 0)
 
+    def test_contiguous_shard_sizes_differ_by_at_most_one(self):
+        library = build_samba_coe_library(10)
+        shards = partition_experts(library, 4, balanced=False)
+        sizes = [len(s) for s in shards]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+        assert all(sizes)  # no shard comes up empty when experts suffice
+
+    def test_oversubscribed_node_count_warns(self):
+        small = build_samba_coe_library(2)
+        with pytest.warns(UserWarning, match="exceeds the library size"):
+            partition_experts(small, 5, balanced=False)
+        with pytest.warns(UserWarning, match="exceeds the library size"):
+            partition_experts(small, 5, balanced=True)
+
+    def test_balanced_matches_greedy_scan_tie_breaking(self):
+        """The heap packer must keep the old scan's tie rule: equal loads
+        go to the lowest-index shard, so layouts stay reproducible."""
+        library = build_samba_coe_library(8)  # identical weight_bytes
+        shards = partition_experts(library, 4, balanced=True)
+        assert [len(s) for s in shards] == [2, 2, 2, 2]
+        # Round-robin under equal weights: expert i lands on shard i % 4.
+        for idx, shard in enumerate(shards):
+            assert [e.name for e in shard] == [
+                library.experts[idx].name, library.experts[idx + 4].name,
+            ]
+
 
 class TestCluster:
     def test_requests_route_to_owning_node(self, library):
@@ -81,6 +108,27 @@ class TestCluster:
         cluster = Cluster(sn40l_platform, library, num_nodes=2)
         with pytest.raises(ValueError):
             replicate_hot_experts(cluster, {}, top_n=-1)
+
+    def test_dispatch_tie_breaking_is_deterministic(self, library):
+        """Under fully replicated experts every node has load 0 at the
+        first request; min() must keep picking the same (first) node."""
+        hot = library.experts[0]
+        runs = []
+        for _ in range(3):
+            cluster = Cluster(sn40l_platform, library, num_nodes=4)
+            cluster.replicate(hot)
+            records = cluster.dispatch([hot] * 8, output_tokens=5)
+            runs.append([r.node for r in records])
+        assert runs[0] == runs[1] == runs[2]
+        assert runs[0][0] == "node0"  # ties resolve to the lowest index
+
+    def test_replicate_hot_experts_top_n_beyond_library(self, library):
+        cluster = Cluster(sn40l_platform, library, num_nodes=4)
+        counts = {e.name: 1 for e in library.experts}
+        hot = replicate_hot_experts(cluster, counts, top_n=10 * len(library))
+        assert len(hot) == len(library)  # clamps to what exists
+        for expert in library.experts:
+            assert len(cluster.owners_of(expert)) == 4
 
 
 class TestHeterogeneousLibrary:
@@ -142,5 +190,16 @@ class TestReplicationIdempotence:
 
     def test_more_nodes_than_experts(self):
         small = build_samba_coe_library(2)
-        cluster = Cluster(sn40l_platform, small, num_nodes=5)
+        with pytest.warns(UserWarning, match="exceeds the library size"):
+            cluster = Cluster(sn40l_platform, small, num_nodes=5)
         assert cluster.num_nodes == 2  # empty shards are dropped
+
+    def test_dropped_shards_keep_node_names_dense(self):
+        small = build_samba_coe_library(3)
+        with pytest.warns(UserWarning, match="exceeds the library size"):
+            cluster = Cluster(sn40l_platform, small, num_nodes=6)
+        assert [n.name for n in cluster.nodes] == ["node0", "node1", "node2"]
+        # Every expert's owner index points at a live node.
+        for expert in small.experts:
+            (owner,) = cluster.owners_of(expert)
+            assert owner in cluster.nodes
