@@ -19,7 +19,7 @@ from repro.coe.scheduling import (
     serve_schedule,
     serve_with_prefetch,
 )
-from repro.coe.serving import CoEServer
+from repro.coe.serving import ExpertServer
 from repro.systems.platforms import sn40l_platform
 from repro.units import GiB
 
@@ -27,7 +27,7 @@ from repro.units import GiB
 def _server(library, cache_slots):
     platform = sn40l_platform()
     budget = cache_slots * library.experts[0].weight_bytes + 1 * GiB
-    return CoEServer(platform, library,
+    return ExpertServer(platform, library,
                      reserved_hbm_bytes=platform.hbm_capacity_bytes - budget)
 
 

@@ -1,0 +1,165 @@
+"""Fault-tolerance benchmark: goodput retention through a node crash.
+
+A scale-out CoE deployment is only as good as its worst day. This
+benchmark drives the 8-node Zipf-1.1 workload through ``repro.serve``
+twice — once clean, once with a deterministic fault schedule that kills
+one node a quarter of the way into the clean makespan — and measures
+what the recovery machinery (heartbeat detection, exactly-once
+re-dispatch, replica promotion) preserves. Emitted to
+``BENCH_faults.json`` at the repo root:
+
+1. **Goodput retention** — faulty-run goodput (completed tokens/s) as a
+   fraction of the clean run's tokens/s. Acceptance: >= 80% after
+   losing 1 of 8 nodes.
+2. **Recovery time** — crash to last orphaned-expert promotion copy,
+   bounded by one heartbeat plus the DDR->HBM copies.
+3. **Determinism** — the same schedule must reproduce the same report.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the workload for CI smoke runs.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+import repro
+from benchmarks.conftest import fmt_ms, print_table
+from repro.coe.engine import zipf_request_stream
+from repro.coe.expert import build_samba_coe_library
+from repro.systems.platforms import sn40l_platform
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+NUM_NODES = 8
+NUM_EXPERTS = 32 if SMOKE else 64
+NUM_REQUESTS = 128 if SMOKE else 256
+OUTPUT_TOKENS = 20
+ZIPF_ALPHA = 1.1
+SEED = 1234
+CRASH_FRACTION = 0.25  # of the clean makespan
+HEARTBEAT_S = 0.05
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    library = build_samba_coe_library(NUM_EXPERTS)
+    requests = zipf_request_stream(
+        library, NUM_REQUESTS, alpha=ZIPF_ALPHA, seed=SEED,
+        output_tokens=OUTPUT_TOKENS,
+    )
+    return library, requests
+
+
+@pytest.fixture(scope="module")
+def clean_report(workload):
+    library, requests = workload
+    return repro.serve(
+        sn40l_platform, library, requests,
+        repro.ServeConfig(num_nodes=NUM_NODES),
+    )
+
+
+@pytest.fixture(scope="module")
+def fault_specs(clean_report):
+    return [f"crash:node3:{CRASH_FRACTION * clean_report.makespan_s!r}"]
+
+
+@pytest.fixture(scope="module")
+def faulty_report(workload, fault_specs):
+    library, requests = workload
+    return repro.serve(
+        sn40l_platform, library, requests,
+        repro.ServeConfig(num_nodes=NUM_NODES, faults=fault_specs,
+                          heartbeat_s=HEARTBEAT_S),
+    )
+
+
+def test_fault_report(benchmark, clean_report, faulty_report):
+    benchmark.pedantic(lambda: faulty_report, rounds=1, iterations=1)
+    rows = [
+        ["clean", f"{clean_report.tokens_per_second:.1f}",
+         f"{clean_report.goodput_tokens_per_second:.1f}",
+         fmt_ms(clean_report.makespan_s), "-", "-", "-"],
+        ["1-node crash", f"{faulty_report.tokens_per_second:.1f}",
+         f"{faulty_report.goodput_tokens_per_second:.1f}",
+         fmt_ms(faulty_report.makespan_s),
+         f"{faulty_report.availability:.3f}",
+         fmt_ms(faulty_report.recovery_s),
+         faulty_report.redispatched_groups],
+    ]
+    print_table(
+        f"Fault tolerance: {NUM_REQUESTS} Zipf-{ZIPF_ALPHA} requests, "
+        f"{NUM_NODES} nodes, crash at {CRASH_FRACTION:.0%} of makespan",
+        ["Run", "tok/s", "goodput", "makespan", "avail", "recovery",
+         "redisp"],
+        rows,
+    )
+
+
+def test_goodput_retention_at_least_80pct(clean_report, faulty_report):
+    """Acceptance: losing 1 of 8 nodes mid-run must keep goodput at
+    80%+ of the clean run — recovery, not collapse."""
+    retention = (faulty_report.goodput_tokens_per_second
+                 / clean_report.tokens_per_second)
+    assert retention >= 0.80, f"goodput retention {retention:.1%}"
+
+
+def test_no_request_lost(faulty_report):
+    assert faulty_report.requests == NUM_REQUESTS
+    assert faulty_report.rejected == 0
+    assert faulty_report.redispatched_groups > 0
+
+
+def test_recovery_time_bounded(faulty_report):
+    """Crash -> recovered must fit in one heartbeat (detection) plus a
+    generous allowance for the promotion DDR->HBM copies."""
+    assert faulty_report.crashes == 1
+    assert faulty_report.recovery_s <= HEARTBEAT_S + 0.2
+
+
+def test_outage_visible_in_trace(faulty_report):
+    names = [s.name for s in faulty_report.timeline.spans()
+             if s.lane == "node3/faults"]
+    assert any(n.startswith("crash:") for n in names)
+    assert any(n.startswith("recovery:") for n in names)
+
+
+def test_fault_run_is_deterministic(workload, fault_specs, faulty_report):
+    library, requests = workload
+    again = repro.serve(
+        sn40l_platform, library, requests,
+        repro.ServeConfig(num_nodes=NUM_NODES, faults=fault_specs,
+                          heartbeat_s=HEARTBEAT_S),
+    )
+    assert again.to_dict() == faulty_report.to_dict()
+
+
+def test_emit_bench_json(clean_report, faulty_report, fault_specs):
+    retention = (faulty_report.goodput_tokens_per_second
+                 / clean_report.tokens_per_second)
+    payload = {
+        "workload": {
+            "experts": NUM_EXPERTS,
+            "requests": NUM_REQUESTS,
+            "output_tokens": OUTPUT_TOKENS,
+            "zipf_alpha": ZIPF_ALPHA,
+            "seed": SEED,
+            "num_nodes": NUM_NODES,
+            "heartbeat_s": HEARTBEAT_S,
+            "faults": fault_specs,
+            "smoke": SMOKE,
+        },
+        "clean": {k: v for k, v in clean_report.to_dict().items()
+                  if k != "nodes"},
+        "faulty": faulty_report.to_dict(),
+        "goodput_retention": retention,
+        "recovery_s": faulty_report.recovery_s,
+        "availability": faulty_report.availability,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT_PATH}")
+    assert OUTPUT_PATH.exists()

@@ -18,7 +18,7 @@ import pytest
 
 from benchmarks.conftest import fmt_ms, print_table
 from repro.coe.expert import build_samba_coe_library
-from repro.coe.serving import CoEServer
+from repro.coe.serving import ExpertServer
 from repro.systems.platforms import (
     dgx_a100_platform,
     dgx_h100_platform,
@@ -43,7 +43,7 @@ def mean_latency(platform, library, batch, rng):
     )
     if len(library) > max_hosted:
         return None  # OOM: this expert count does not fit on the node
-    server = CoEServer(platform, library)
+    server = ExpertServer(platform, library)
     for expert in library.experts:
         server.runtime.activate(expert)
     totals = []

@@ -10,7 +10,7 @@ import pytest
 
 from benchmarks.conftest import fmt_ms, print_table
 from repro.coe.expert import build_samba_coe_library
-from repro.coe.serving import CoEServer
+from repro.coe.serving import ExpertServer
 from repro.systems.platforms import (
     dgx_a100_platform,
     dgx_h100_platform,
@@ -21,7 +21,7 @@ OUTPUT_TOKENS = 20
 
 
 def breakdown_for(platform, library):
-    server = CoEServer(platform, library)
+    server = ExpertServer(platform, library)
     # Cold expert: the request always pays the switch (the Figure 1 case).
     result = server.serve_experts([library.experts[0]],
                                   output_tokens=OUTPUT_TOKENS)

@@ -20,7 +20,7 @@ import pytest
 
 from benchmarks.conftest import fmt_x, print_table
 from repro.coe.expert import build_samba_coe_library
-from repro.coe.serving import CoEServer
+from repro.coe.serving import ExpertServer
 from repro.models.catalog import LLAMA2_7B
 from repro.systems.platforms import (
     dgx_a100_platform,
@@ -41,13 +41,13 @@ PAPER = {
 
 def _overall_time(platform, library, batch, tokens):
     """One cold batch: router + switches + executions."""
-    server = CoEServer(platform, library)
+    server = ExpertServer(platform, library)
     experts = library.experts[:batch]
     return server.serve_experts(experts, output_tokens=tokens).total_s
 
 
 def _expert_time(platform, library, tokens):
-    server = CoEServer(platform, library)
+    server = ExpertServer(platform, library)
     prefill, decode = server.expert_time(library.experts[0], tokens, 256)
     return prefill + decode
 

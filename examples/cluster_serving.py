@@ -3,9 +3,9 @@
 
 The paper (Section III-B) motivates the single-node SN40L by the load
 balancing pain of scale-out CoE serving. This example measures that
-pain — and its mitigation — with `repro.coe.cluster_engine`: one
-throughput engine per node on a shared simulated clock, Zipf-skewed
-traffic, and three cluster policies:
+pain — and its mitigation — through the unified `repro.serve` entry
+point: one throughput engine per node on a shared simulated clock,
+Zipf-skewed traffic, and three cluster policies:
 
 1. `least_loaded` — static owner dispatch; the hot expert's node grinds
    while its neighbours idle.
@@ -17,8 +17,8 @@ traffic, and three cluster policies:
 Run:  python examples/cluster_serving.py
 """
 
-from repro.coe import build_samba_coe_library
-from repro.coe.cluster_engine import CLUSTER_POLICIES, run_cluster
+import repro
+from repro.coe import ClusterPolicy, build_samba_coe_library
 from repro.coe.engine import zipf_request_stream
 from repro.systems import sn40l_platform
 
@@ -35,27 +35,27 @@ def main() -> None:
     print(f"{NUM_REQUESTS} Zipf-1.1 requests over {NUM_EXPERTS} experts, "
           f"SN40L nodes\n")
 
-    for policy in CLUSTER_POLICIES:
+    for policy in ClusterPolicy:
         print(f"--- {policy} ---")
         base = None
         for n in NODE_COUNTS:
-            report = run_cluster(
-                sn40l_platform, library, requests, num_nodes=n, policy=policy
-            )
+            # n == 1 gets the single-node engine (an EngineReport with no
+            # cluster columns); n > 1 gets the cluster engine.
+            config = repro.ServeConfig(num_nodes=n, cluster_policy=policy)
+            report = repro.serve(sn40l_platform, library, requests, config)
             if base is None:
                 base = report.tokens_per_second
-            print(
-                f"  {n} node(s): {report.tokens_per_second:8.1f} tok/s "
-                f"({report.tokens_per_second / base:4.2f}x vs 1 node)  "
-                f"imbalance {report.load_imbalance:4.2f}  "
-                f"steals {report.steals:3d}  "
-                f"replications {report.replications:2d}"
-            )
+            line = (f"  {n} node(s): {report.tokens_per_second:8.1f} tok/s "
+                    f"({report.tokens_per_second / base:4.2f}x vs 1 node)")
+            if n > 1:
+                line += (f"  imbalance {report.load_imbalance:4.2f}  "
+                         f"steals {report.steals:3d}  "
+                         f"replications {report.replications:2d}")
+            print(line)
         print()
 
-    report = run_cluster(
-        sn40l_platform, library, requests, num_nodes=8, policy="steal"
-    )
+    config = repro.ServeConfig(num_nodes=8, cluster_policy=ClusterPolicy.STEAL)
+    report = repro.serve(sn40l_platform, library, requests, config)
     busiest = max(report.nodes, key=lambda s: s.busy_s)
     print(f"8-node steal run: {report.groups} groups, makespan "
           f"{report.makespan_s * 1e3:.0f} ms; busiest node {busiest.name} "
@@ -64,6 +64,7 @@ def main() -> None:
           f"behind execution.")
     print("Export the per-node timeline with: "
           "python -m repro trace --cluster -o cluster.json")
+    print("Crash a node mid-run with: examples/fault_tolerance.py")
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ then replayed on a DGX-A100 model for the paper's comparison.
 Run:  python examples/coe_serving.py
 """
 
-from repro.coe import CoEServer, Router, build_samba_coe_library
+from repro.coe import ExpertServer, Router, build_samba_coe_library
 from repro.systems import dgx_a100_platform, sn40l_platform
 
 PROMPTS = [
@@ -26,7 +26,7 @@ PROMPTS = [
 
 
 def serve_on(platform_name: str, platform, library) -> None:
-    server = CoEServer(platform, library)
+    server = ExpertServer(platform, library)
     print(f"--- {platform_name} ---")
     result = server.serve_prompts(PROMPTS, output_tokens=20, prompt_tokens=256)
     for request in result.requests:

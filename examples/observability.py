@@ -21,7 +21,7 @@ Run:  python examples/observability.py
 from repro.arch.config import RDNConfig, SocketConfig
 from repro.arch.perfcounters import diagnose
 from repro.arch.rdn import Mesh
-from repro.coe import CoEServer, build_samba_coe_library, metrics_of
+from repro.coe import ExpertServer, build_samba_coe_library, metrics_of
 from repro.coe.engine import ServingEngine, zipf_request_stream
 from repro.dataflow import fusion
 from repro.dataflow.bandwidth import Channel, analyze_kernel_bandwidth
@@ -58,7 +58,7 @@ def main() -> None:
 
     print("4) CoE serving metrics:")
     library = build_samba_coe_library(60)
-    server = CoEServer(sn40l_platform(), library)
+    server = ExpertServer(sn40l_platform(), library)
     result = server.serve_experts(library.experts[:10], output_tokens=20)
     print(f"   {metrics_of(result, 20).summary()}\n")
 

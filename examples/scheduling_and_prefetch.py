@@ -17,7 +17,7 @@ Run:  python examples/scheduling_and_prefetch.py
 
 import random
 
-from repro.coe import CoEServer, build_samba_coe_library
+from repro.coe import ExpertServer, build_samba_coe_library
 from repro.coe.scheduling import (
     Request,
     affinity_schedule,
@@ -29,10 +29,10 @@ from repro.systems import sn40l_platform
 from repro.units import GiB
 
 
-def make_server(library, cache_slots: int) -> CoEServer:
+def make_server(library, cache_slots: int) -> ExpertServer:
     platform = sn40l_platform()
     budget = cache_slots * library.experts[0].weight_bytes + 1 * GiB
-    return CoEServer(platform, library,
+    return ExpertServer(platform, library,
                      reserved_hbm_bytes=platform.hbm_capacity_bytes - budget)
 
 

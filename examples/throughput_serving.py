@@ -12,7 +12,8 @@ Walks the three throughput levers of `repro.coe.engine` on a skewed
 Run:  python examples/throughput_serving.py
 """
 
-from repro.coe import POLICIES, build_samba_coe_library, compare_policies
+import repro
+from repro.coe import NodePolicy, build_samba_coe_library
 from repro.coe.engine import zipf_request_stream
 from repro.systems import dgx_a100_platform, sn40l_platform
 
@@ -30,11 +31,15 @@ def main() -> None:
     print(f"{NUM_REQUESTS} requests over {NUM_EXPERTS} experts "
           f"(hottest: {hot})\n")
 
-    for platform in (sn40l_platform(), dgx_a100_platform()):
-        print(f"--- {platform.name} ---")
-        reports = compare_policies(platform, library, requests)
-        fifo = reports["fifo"]
-        for policy in POLICIES:
+    for make_platform in (sn40l_platform, dgx_a100_platform):
+        print(f"--- {make_platform().name} ---")
+        reports = {
+            policy: repro.serve(make_platform, library, requests,
+                                repro.ServeConfig(policy=policy))
+            for policy in NodePolicy
+        }
+        fifo = reports[NodePolicy.FIFO]
+        for policy in NodePolicy:
             report = reports[policy]
             speedup = report.requests_per_second / fifo.requests_per_second
             print(
@@ -44,7 +49,7 @@ def main() -> None:
                 f"mean batch {report.mean_batch:.2f}  "
                 f"switch hidden {100 * report.switch_hidden_fraction:5.1f}%"
             )
-        hidden = reports["overlap"]
+        hidden = reports[NodePolicy.OVERLAP]
         print(
             f"  overlap hid {hidden.hidden_switch_s * 1e3:.0f} ms of "
             f"{hidden.switch_s * 1e3:.0f} ms switch time behind execution, "

@@ -28,11 +28,25 @@ Quickstart::
     model = compile_model(graph, sockets=8, policy="streaming")
     result = Session(sockets=8).run(model)
     print(result.summary())
+
+Serving (single node or fault-tolerant cluster, one entry point)::
+
+    import repro
+    from repro.coe import build_samba_coe_library, zipf_request_stream
+    from repro.systems.platforms import sn40l_platform
+
+    library = build_samba_coe_library(32)
+    requests = zipf_request_stream(library, 256, alpha=1.1, seed=7)
+    config = repro.ServeConfig(num_nodes=8, faults=["node3:2.5"])
+    report = repro.serve(sn40l_platform, library, requests, config)
+    print(report.goodput_tokens_per_second)
 """
 
 from repro.core.compile import CompiledModel, compile_model
 from repro.core.session import RunResult, Session
 from repro.perf.kernel_cost import Orchestration
+from repro.coe.api import ServeConfig, Server, build_server, serve
+from repro.coe.policies import ClusterPolicy, NodePolicy
 
 __version__ = "1.0.0"
 
@@ -42,5 +56,11 @@ __all__ = [
     "Session",
     "RunResult",
     "Orchestration",
+    "ServeConfig",
+    "Server",
+    "ClusterPolicy",
+    "NodePolicy",
+    "build_server",
+    "serve",
     "__version__",
 ]

@@ -16,6 +16,15 @@ Commands:
   kernel schedule; ``trace --serve`` traces a seeded serve-bench run at
   real simulated timestamps instead, and ``trace --cluster`` traces a
   multi-node run with per-node lanes (see docs/OBSERVABILITY.md).
+
+The serving subcommands (``serve-bench``, ``cluster-bench``, ``trace``)
+share one parent parser, so ``--platform``, ``--policy`` (node
+scheduling), ``--cluster-policy`` (cross-node dispatch), ``--num-nodes``,
+``--zipf``, ``-o/--output`` and friends are spelled identically
+everywhere, and they all route through :func:`repro.serve`. Cluster
+paths additionally take ``--inject-fault NODE:T`` (repeatable;
+``slow:``/``copyfail:`` variants too) and ``--deadline`` for the
+fault-tolerance machinery of docs/MODEL.md section 8.
 """
 
 from __future__ import annotations
@@ -94,7 +103,7 @@ def _cmd_fusion(args: argparse.Namespace) -> int:
 
 def _cmd_coe(args: argparse.Namespace) -> int:
     from repro.coe.expert import build_samba_coe_library
-    from repro.coe.serving import CoEServer
+    from repro.coe.serving import ExpertServer
     from repro.systems.platforms import (
         dgx_a100_platform,
         dgx_h100_platform,
@@ -113,7 +122,7 @@ def _cmd_coe(args: argparse.Namespace) -> int:
         if len(library) > hosted:
             print(f"  {platform.name:<12s}: OOM ({hosted} experts max)")
             continue
-        server = CoEServer(platform, library)
+        server = ExpertServer(platform, library)
         experts = library.experts[: args.batch]
         result = server.serve_experts(experts, output_tokens=args.tokens)
         note = ""
@@ -126,32 +135,53 @@ def _cmd_coe(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve_bench(args: argparse.Namespace) -> int:
-    from repro.coe.engine import POLICIES, compare_policies, zipf_request_stream
-    from repro.coe.expert import build_samba_coe_library
+def _platform_factories():
     from repro.systems.platforms import (
         dgx_a100_platform,
         dgx_h100_platform,
         sn40l_platform,
     )
 
-    platforms = {
+    return {
         "sn40l": sn40l_platform,
         "dgx-a100": dgx_a100_platform,
         "dgx-h100": dgx_h100_platform,
     }
+
+
+def _parse_node_counts(value) -> List[int]:
+    """``--num-nodes`` accepts one count or a comma list (cluster-bench)."""
+    counts = sorted({int(n) for n in str(value).split(",")})
+    if any(n < 1 for n in counts):
+        raise ValueError(f"node counts must be >= 1, got {value!r}")
+    return counts
+
+
+def _build_stream(args):
+    from repro.coe.engine import zipf_request_stream
+    from repro.coe.expert import build_samba_coe_library
+
+    library = build_samba_coe_library(args.experts)
+    requests = zipf_request_stream(
+        library, args.requests, alpha=args.zipf, seed=args.seed,
+        prompt_tokens=args.prompt, output_tokens=args.tokens,
+    )
+    return library, requests
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.coe.api import ServeConfig, serve
+    from repro.coe.engine import POLICIES
+
+    platforms = _platform_factories()
     selected = list(platforms) if args.platform == "all" else [args.platform]
     policies = list(POLICIES) if args.policy == "all" else [args.policy]
+    if args.inject_fault:
+        print("serve-bench is single-node; faults need cluster-bench or "
+              "trace --cluster", file=sys.stderr)
+        return 2
     try:
-        library = build_samba_coe_library(args.experts)
-        requests = zipf_request_stream(
-            library,
-            args.requests,
-            alpha=args.zipf,
-            seed=args.seed,
-            prompt_tokens=args.prompt,
-            output_tokens=args.tokens,
-        )
+        library, requests = _build_stream(args)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -161,6 +191,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               f"{'p50':>9s} {'p99':>9s} {'batch':>6s} {'hidden':>7s}")
     print(header)
     print("-" * len(header))
+    results = []
     for name in selected:
         platform = platforms[name]()
         hosted = platform.max_hosted_experts(
@@ -170,48 +201,64 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         if len(library) > hosted:
             print(f"{platform.name:<12s} OOM ({hosted} experts max)")
             continue
-        try:
-            reports = compare_policies(
-                platform, library, requests, policies=policies,
-                max_batch=args.max_batch, window=args.window,
-            )
-        except ValueError as exc:
-            print(exc, file=sys.stderr)
-            return 2
-        for policy, report in reports.items():
+        for policy in policies:
+            try:
+                config = ServeConfig(policy=policy, max_batch=args.max_batch,
+                                     window=args.window)
+                report = serve(platform, library, requests, config)
+            except ValueError as exc:
+                print(exc, file=sys.stderr)
+                return 2
             print(f"{platform.name:<12s} {policy:<9s} "
                   f"{report.requests_per_second:8.2f} "
                   f"{report.tokens_per_second:9.1f} "
                   f"{fmt_time(report.p50_s):>9s} {fmt_time(report.p99_s):>9s} "
                   f"{report.mean_batch:6.2f} "
                   f"{100 * report.switch_hidden_fraction:6.1f}%")
+            results.append(report.to_dict())
+    if args.output:
+        import json
+
+        payload = {
+            "benchmark": "serve_bench",
+            "experts": args.experts,
+            "requests": args.requests,
+            "zipf_alpha": args.zipf,
+            "seed": args.seed,
+            "results": results,
+        }
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.output}")
     return 0
 
 
 def _cmd_cluster_bench(args: argparse.Namespace) -> int:
-    from repro.coe.cluster_engine import CLUSTER_POLICIES, run_cluster
-    from repro.coe.engine import zipf_request_stream
-    from repro.coe.expert import build_samba_coe_library
-    from repro.systems.platforms import sn40l_platform
+    from repro.coe.api import ServeConfig, serve
+    from repro.coe.cluster_engine import CLUSTER_POLICIES
 
+    platforms = _platform_factories()
+    if args.platform == "all":
+        print("cluster-bench runs one platform; pick --platform",
+              file=sys.stderr)
+        return 2
+    if args.policy == "all":
+        print("cluster-bench sweeps --cluster-policy; pick one node "
+              "--policy (fifo|affinity|overlap)", file=sys.stderr)
+        return 2
     try:
-        node_counts = sorted({int(n) for n in args.nodes.split(",")})
-        if any(n < 1 for n in node_counts):
-            raise ValueError(f"node counts must be >= 1, got {args.nodes!r}")
-        library = build_samba_coe_library(args.experts)
-        requests = zipf_request_stream(
-            library, args.requests, alpha=args.zipf, seed=args.seed,
-            prompt_tokens=args.prompt, output_tokens=args.tokens,
-        )
+        node_counts = _parse_node_counts(args.num_nodes)
+        library, requests = _build_stream(args)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
-    policies = (list(CLUSTER_POLICIES) if args.policy == "all"
-                else [args.policy])
+    policies = (list(CLUSTER_POLICIES) if args.cluster_policy == "all"
+                else [args.cluster_policy])
     replication = not args.no_replication
     print(f"{args.requests} requests over {len(library)} experts "
-          f"(Zipf alpha={args.zipf}), node policy {args.node_policy}, "
-          f"online replication {'on' if replication else 'off'}")
+          f"(Zipf alpha={args.zipf}), node policy {args.policy}, "
+          f"online replication {'on' if replication else 'off'}"
+          + (f", faults {args.inject_fault}" if args.inject_fault else ""))
     header = (f"{'nodes':>5s} {'policy':<13s} {'tok/s':>9s} {'scaling':>8s} "
               f"{'imbal':>6s} {'steals':>6s} {'repl':>5s} {'makespan':>9s}")
     print(header)
@@ -220,18 +267,31 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     baselines = {}
     for policy in policies:
         for n in node_counts:
-            report = run_cluster(
-                sn40l_platform, library, requests, num_nodes=n,
-                policy=policy, node_policy=args.node_policy,
-                max_batch=args.max_batch, window=args.window,
-                online_replication=replication,
-            )
+            try:
+                config = ServeConfig(
+                    policy=args.policy, cluster_policy=policy, num_nodes=n,
+                    max_batch=args.max_batch, window=args.window,
+                    online_replication=replication,
+                    faults=args.inject_fault, deadline_s=args.deadline,
+                )
+                report = serve(platforms[args.platform], library, requests,
+                               config)
+            except ValueError as exc:
+                print(exc, file=sys.stderr)
+                return 2
             base = baselines.setdefault(policy, report.tokens_per_second)
             scaling = report.tokens_per_second / base if base > 0 else 0.0
             print(f"{report.num_nodes:5d} {policy:<13s} "
                   f"{report.tokens_per_second:9.1f} {scaling:7.2f}x "
                   f"{report.load_imbalance:6.2f} {report.steals:6d} "
                   f"{report.replications:5d} {fmt_time(report.makespan_s):>9s}")
+            if report.crashes or report.rejected:
+                print(f"      faults: {report.crashes} crash(es), "
+                      f"{report.redispatched_groups} groups re-dispatched, "
+                      f"{report.rejected} rejected, availability "
+                      f"{report.availability:.3f}, recovery "
+                      f"{fmt_time(report.recovery_s)}, goodput "
+                      f"{report.goodput_tokens_per_second:.1f} tok/s")
             entry = report.to_dict()
             entry.pop("nodes", None)
             entry["scaling_vs_one_node"] = scaling
@@ -245,8 +305,10 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
             "requests": args.requests,
             "zipf_alpha": args.zipf,
             "seed": args.seed,
-            "node_policy": args.node_policy,
+            "node_policy": args.policy,
             "online_replication": replication,
+            "faults": list(args.inject_fault),
+            "deadline_s": args.deadline,
             "results": results,
         }
         with open(args.output, "w") as fh:
@@ -361,32 +423,24 @@ def _trace_plan(args: argparse.Namespace) -> int:
 
 def _trace_serve(args: argparse.Namespace) -> int:
     """Trace a seeded serve-bench run: the engine's real sim timeline."""
-    from repro.coe.engine import ServingEngine, zipf_request_stream
-    from repro.coe.expert import build_samba_coe_library
+    from repro.coe.api import ServeConfig, serve
     from repro.obs import write_chrome_trace, write_summary
     from repro.perf.trace import ENGINE_LANES
-    from repro.systems.platforms import (
-        dgx_a100_platform,
-        dgx_h100_platform,
-        sn40l_platform,
-    )
 
-    platforms = {
-        "sn40l": sn40l_platform,
-        "dgx-a100": dgx_a100_platform,
-        "dgx-h100": dgx_h100_platform,
-    }
+    if args.platform == "all" or args.policy == "all":
+        print("trace runs one configuration; pick a single --platform "
+              "and --policy", file=sys.stderr)
+        return 2
+    if args.inject_fault:
+        print("faults need per-node recovery; use trace --cluster",
+              file=sys.stderr)
+        return 2
     try:
-        library = build_samba_coe_library(args.experts)
-        requests = zipf_request_stream(
-            library, args.requests, alpha=args.zipf, seed=args.seed,
-            prompt_tokens=args.prompt, output_tokens=args.tokens,
-        )
-        engine = ServingEngine(
-            platforms[args.platform](), library, policy=args.policy,
-            max_batch=args.max_batch, window=args.window,
-        )
-        report = engine.run(requests)
+        library, requests = _build_stream(args)
+        config = ServeConfig(policy=args.policy, max_batch=args.max_batch,
+                             window=args.window)
+        report = serve(_platform_factories()[args.platform], library,
+                       requests, config)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -405,23 +459,30 @@ def _trace_serve(args: argparse.Namespace) -> int:
 
 def _trace_cluster(args: argparse.Namespace) -> int:
     """Trace a multi-node cluster run: per-node lanes, one shared clock."""
-    from repro.coe.cluster_engine import cluster_lanes, run_cluster
-    from repro.coe.engine import zipf_request_stream
-    from repro.coe.expert import build_samba_coe_library
+    from repro.coe.api import ServeConfig, serve
+    from repro.coe.cluster_engine import cluster_lanes
     from repro.obs import write_chrome_trace, write_summary
-    from repro.systems.platforms import sn40l_platform
 
+    if args.platform == "all" or args.policy == "all":
+        print("trace runs one configuration; pick a single --platform "
+              "and --policy", file=sys.stderr)
+        return 2
     try:
-        library = build_samba_coe_library(args.experts)
-        requests = zipf_request_stream(
-            library, args.requests, alpha=args.zipf, seed=args.seed,
-            prompt_tokens=args.prompt, output_tokens=args.tokens,
+        (num_nodes,) = _parse_node_counts(args.num_nodes)
+    except ValueError:
+        print(f"trace --cluster needs one node count, got "
+              f"{args.num_nodes!r}", file=sys.stderr)
+        return 2
+    try:
+        library, requests = _build_stream(args)
+        config = ServeConfig(
+            policy=args.policy, cluster_policy=args.cluster_policy,
+            num_nodes=num_nodes, max_batch=args.max_batch,
+            window=args.window, faults=args.inject_fault,
+            deadline_s=args.deadline,
         )
-        report = run_cluster(
-            sn40l_platform, library, requests, num_nodes=args.num_nodes,
-            policy=args.cluster_policy, node_policy=args.policy,
-            max_batch=args.max_batch, window=args.window,
-        )
+        report = serve(_platform_factories()[args.platform], library,
+                       requests, config)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -433,6 +494,13 @@ def _trace_cluster(args: argparse.Namespace) -> int:
           f"{report.tokens_per_second:.1f} tok/s, "
           f"load imbalance {report.load_imbalance:.2f}, "
           f"{report.steals} steals, {report.replications} replications")
+    if report.crashes or report.rejected:
+        print(f"  faults: {report.crashes} crash(es), "
+              f"{report.redispatched_groups} groups re-dispatched, "
+              f"{report.rejected} rejected, availability "
+              f"{report.availability:.3f}, recovery "
+              f"{fmt_time(report.recovery_s)}, goodput "
+              f"{report.goodput_tokens_per_second:.1f} tok/s")
     if args.summary:
         write_summary(report.timeline, args.summary)
         print(f"wrote timeline summary to {args.summary}")
@@ -463,45 +531,66 @@ def build_parser() -> argparse.ArgumentParser:
     coe_p.add_argument("--tokens", type=int, default=20)
     coe_p.set_defaults(fn=_cmd_coe)
 
-    serve_p = sub.add_parser("serve-bench",
+    # One parent-parser definition for every serving-path subcommand so
+    # serve-bench, cluster-bench and trace accept identical flag
+    # spellings. Built fresh per subcommand (a factory, not one shared
+    # instance): argparse's set_defaults mutates the *shared action
+    # objects* of a reused parent, which would leak one subcommand's
+    # defaults into the others.
+    def serving_parent() -> argparse.ArgumentParser:
+        p = argparse.ArgumentParser(add_help=False)
+        p.add_argument(
+            "--platform", default="sn40l",
+            choices=["sn40l", "dgx-a100", "dgx-h100", "all"])
+        p.add_argument(
+            "--policy", default="overlap",
+            choices=["fifo", "affinity", "overlap", "all"],
+            help="node scheduling policy")
+        p.add_argument(
+            "--cluster-policy", default="steal",
+            choices=["least_loaded", "affinity", "steal", "all"],
+            help="cross-node dispatch policy (cluster paths)")
+        p.add_argument(
+            "--num-nodes", "--nodes", dest="num_nodes", default="4",
+            metavar="N[,N...]",
+            help="node count; cluster-bench accepts a comma-separated sweep")
+        p.add_argument("--experts", type=int, default=64)
+        p.add_argument("--requests", type=int, default=256)
+        p.add_argument("--tokens", type=int, default=20)
+        p.add_argument("--prompt", type=int, default=256)
+        p.add_argument("--max-batch", type=int, default=8)
+        p.add_argument("--window", type=int, default=16)
+        p.add_argument("--zipf", type=float, default=1.1)
+        p.add_argument("--seed", type=int, default=1234)
+        p.add_argument(
+            "--inject-fault", action="append", default=[], metavar="SPEC",
+            help="deterministic fault on the sim clock (repeatable): NODE:T "
+                 "crashes the node at T; also crash:NODE:T, "
+                 "slow:NODE:T:DURATION[:MULT], copyfail:NODE:T[:COUNT]")
+        p.add_argument(
+            "--deadline", type=float, default=None, metavar="SECONDS",
+            help="SLO deadline; work that cannot meet it is shed "
+                 "lowest-priority first and reported as rejected")
+        p.add_argument("-o", "--output", metavar="FILE",
+                       help="write results as JSON")
+        return p
+
+    serve_p = sub.add_parser("serve-bench", parents=[serving_parent()],
                              help="throughput serving engine benchmark")
-    serve_p.add_argument("--policy", default="all",
-                         choices=["fifo", "affinity", "overlap", "all"])
-    serve_p.add_argument("--platform", default="all",
-                         choices=["sn40l", "dgx-a100", "dgx-h100", "all"])
-    serve_p.add_argument("--experts", type=int, default=100)
-    serve_p.add_argument("--requests", type=int, default=256)
-    serve_p.add_argument("--tokens", type=int, default=20)
-    serve_p.add_argument("--prompt", type=int, default=256)
-    serve_p.add_argument("--max-batch", type=int, default=8)
-    serve_p.add_argument("--window", type=int, default=16)
-    serve_p.add_argument("--zipf", type=float, default=1.1)
-    serve_p.add_argument("--seed", type=int, default=1234)
-    serve_p.set_defaults(fn=_cmd_serve_bench)
+    serve_p.set_defaults(fn=_cmd_serve_bench, platform="all", policy="all",
+                         experts=100)
 
     cluster_p = sub.add_parser(
-        "cluster-bench",
+        "cluster-bench", parents=[serving_parent()],
         help="multi-node scaling curve: tokens/s and load imbalance vs nodes",
     )
-    cluster_p.add_argument("--nodes", default="1,2,4,8",
-                           help="comma-separated node counts (default 1,2,4,8)")
-    cluster_p.add_argument("--policy", default="all",
-                           choices=["least_loaded", "affinity", "steal", "all"])
-    cluster_p.add_argument("--node-policy", default="overlap",
-                           choices=["fifo", "affinity", "overlap"])
-    cluster_p.add_argument("--experts", type=int, default=64)
-    cluster_p.add_argument("--requests", type=int, default=256)
-    cluster_p.add_argument("--tokens", type=int, default=20)
-    cluster_p.add_argument("--prompt", type=int, default=256)
-    cluster_p.add_argument("--max-batch", type=int, default=8)
-    cluster_p.add_argument("--window", type=int, default=16)
-    cluster_p.add_argument("--zipf", type=float, default=1.1)
-    cluster_p.add_argument("--seed", type=int, default=1234)
+    cluster_p.add_argument("--node-policy", dest="policy",
+                           choices=["fifo", "affinity", "overlap"],
+                           help=argparse.SUPPRESS)  # legacy alias of --policy
     cluster_p.add_argument("--no-replication", action="store_true",
                            help="disable online hot-expert replication")
-    cluster_p.add_argument("-o", "--output", metavar="FILE",
-                           help="write the scaling curve as JSON")
-    cluster_p.set_defaults(fn=_cmd_cluster_bench)
+    cluster_p.set_defaults(fn=_cmd_cluster_bench, cluster_policy="all",
+                           num_nodes="1,2,4,8")
 
     foot_p = sub.add_parser("footprint", help="nodes required for a CoE")
     foot_p.add_argument("--experts", type=int, default=850)
@@ -524,7 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
     plan_p.set_defaults(fn=_cmd_plan)
 
     trace_p = sub.add_parser(
-        "trace",
+        "trace", parents=[serving_parent()],
         help="write a Perfetto/Chrome trace of a kernel schedule or a "
              "serve-bench run",
     )
@@ -535,7 +624,6 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--batch", type=int, default=1)
     trace_p.add_argument("--seq", type=int, default=2048)
     trace_p.add_argument("--sockets", type=int, default=8)
-    trace_p.add_argument("-o", "--output", default="schedule_trace.json")
     trace_p.add_argument("--summary", metavar="FILE",
                          help="also write a JSON timeline summary")
     trace_p.add_argument("--hardware", action="store_true",
@@ -546,24 +634,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--cluster", action="store_true",
                          help="trace a multi-node cluster run with per-node "
                               "lanes instead of a compiled plan")
-    trace_p.add_argument("--num-nodes", type=int, default=4,
-                         help="cluster size for --cluster (default 4)")
-    trace_p.add_argument("--cluster-policy", default="steal",
-                         choices=["least_loaded", "affinity", "steal"],
-                         help="cluster dispatch policy for --cluster")
-    trace_p.add_argument("--policy", default="overlap",
-                         choices=["fifo", "affinity", "overlap"])
-    trace_p.add_argument("--platform", default="sn40l",
-                         choices=["sn40l", "dgx-a100", "dgx-h100"])
-    trace_p.add_argument("--experts", type=int, default=40)
-    trace_p.add_argument("--requests", type=int, default=64)
-    trace_p.add_argument("--tokens", type=int, default=20)
-    trace_p.add_argument("--prompt", type=int, default=256)
-    trace_p.add_argument("--max-batch", type=int, default=8)
-    trace_p.add_argument("--window", type=int, default=16)
-    trace_p.add_argument("--zipf", type=float, default=1.1)
-    trace_p.add_argument("--seed", type=int, default=1234)
-    trace_p.set_defaults(fn=_cmd_trace)
+    trace_p.set_defaults(fn=_cmd_trace, output="schedule_trace.json",
+                         experts=40, requests=64)
 
     return parser
 

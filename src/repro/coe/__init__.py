@@ -38,12 +38,19 @@ from repro.coe.cluster_engine import (
     scaling_sweep,
 )
 from repro.coe.runtime import CoERuntime, RuntimeStats, SwitchEvent
-from repro.coe.serving import CoEServer, RequestLatency, ServeResult
+from repro.coe.policies import ClusterPolicy, NodePolicy, PolicyEnum
+from repro.coe.serving import (
+    CoEServer,
+    ExpertServer,
+    RequestLatency,
+    ServeResult,
+)
+from repro.coe.api import ServeConfig, Server, build_server, serve
 
 __all__ = [
     "DEFAULT_DOMAINS", "ExpertLibrary", "ExpertProfile",
     "build_samba_coe_library", "build_heterogeneous_library", "Router", "RoutingDecision", "embed_text",
-    "CoERuntime", "RuntimeStats", "SwitchEvent", "CoEServer",
+    "CoERuntime", "RuntimeStats", "SwitchEvent", "CoEServer", "ExpertServer",
     "RequestLatency", "ServeResult", "ExpertPredictor", "Request",
     "affinity_schedule", "fifo_schedule", "serve_schedule",
     "serve_with_prefetch", "ServingMetrics", "compute_metrics", "metrics_of",
@@ -51,5 +58,6 @@ __all__ = [
     "EngineReport", "EngineRequest", "ServingEngine", "compare_policies",
     "zipf_request_stream", "CLUSTER_POLICIES", "ClusterEngine",
     "ClusterReport", "NodeSummary", "cluster_lanes", "run_cluster",
-    "scaling_sweep",
+    "scaling_sweep", "ClusterPolicy", "NodePolicy", "PolicyEnum",
+    "ServeConfig", "Server", "build_server", "serve",
 ]

@@ -1,0 +1,219 @@
+"""The unified serving facade: one config, one entry point, two engines.
+
+Historically each serving layer had its own front door — the latency
+path's ``CoEServer`` (now :class:`repro.coe.serving.ExpertServer`), the
+single-node :class:`repro.coe.engine.ServingEngine`, and the scale-out
+:class:`repro.coe.cluster_engine.ClusterEngine` — with overlapping but
+differently-spelled knobs. This module is the one surface callers use:
+
+- :class:`Server` — the protocol both engines satisfy (``serve(requests)
+  -> report``), so schedulers, benchmarks and the CLI can hold either.
+- :class:`ServeConfig` — every serving knob in one validated, frozen
+  dataclass: typed policies (:class:`repro.coe.policies.NodePolicy`,
+  :class:`~repro.coe.policies.ClusterPolicy` — legacy strings coerce),
+  batching/prefetch, cluster shape, and the fault/SLO surface
+  (:class:`repro.sim.faults.FaultSchedule`, heartbeat, deadline).
+- :func:`serve` — ``repro.serve(platform, library, requests, config)``:
+  builds the right engine for the config and drains the backlog.
+
+The engine choice is a pure function of the config: anything that needs
+cross-node machinery (``num_nodes > 1``, a fault schedule, a deadline)
+runs on :class:`ClusterEngine`; otherwise the leaner single-node
+:class:`ServingEngine`. ``platform`` may be an instance or a zero-arg
+factory — a cluster builds one platform per node either way.
+
+Migration from ``CoEServer``: its latency-breakdown types
+(:class:`RequestLatency`, :class:`ServeResult`) are re-exported here and
+:class:`ExpertServer` remains available for the batch-of-one latency
+path; see ``docs/SERVING_API.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Protocol, Sequence, Union, runtime_checkable
+
+from repro.coe.cluster_engine import ClusterEngine, ClusterReport, _coerce_faults
+from repro.coe.engine import EngineReport, EngineRequest, ServingEngine
+from repro.coe.expert import ExpertLibrary
+from repro.coe.policies import ClusterPolicy, NodePolicy
+from repro.coe.serving import ExpertServer, RequestLatency, ServeResult
+from repro.sim.faults import FaultSchedule
+from repro.systems.platforms import Platform
+
+#: A platform instance, or a zero-arg factory of them (cluster nodes
+#: each get their own instance when a factory is given).
+PlatformLike = Union[Platform, Callable[[], Platform]]
+
+#: What a :class:`Server` returns.
+ServeReport = Union[EngineReport, ClusterReport]
+
+
+@runtime_checkable
+class Server(Protocol):
+    """Anything that drains a backlog of pre-routed requests.
+
+    Implemented by :class:`ServingEngine` (single node) and
+    :class:`ClusterEngine` (scale-out with fault tolerance); both return
+    a report whose common core is requests/tokens/makespan plus a
+    :class:`repro.obs.Timeline` of what actually happened.
+    """
+
+    def serve(self, requests: Sequence[EngineRequest]) -> ServeReport:
+        ...
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Every serving knob, validated once, in one place.
+
+    Policies accept enum members or their legacy string values
+    (coerced through :meth:`repro.coe.policies.PolicyEnum.coerce`, which
+    raises a :class:`ValueError` naming the valid members). ``faults``
+    accepts a :class:`FaultSchedule`, an iterable of fault events, or an
+    iterable of spec strings (``"node3:2.5"``, ``"slow:1:0.5:2"``...).
+    """
+
+    #: Single-node scheduling policy (also each cluster node's).
+    policy: NodePolicy = NodePolicy.OVERLAP
+    #: Cross-node dispatch policy (ignored on one node).
+    cluster_policy: ClusterPolicy = ClusterPolicy.STEAL
+    num_nodes: int = 1
+    max_batch: int = 8
+    window: int = 16
+    online_replication: bool = True
+    replication_depth: int = 3
+    max_replicas: Optional[int] = None
+    #: Single-node only: HBM reserved for router + KV cache.
+    reserved_hbm_bytes: Optional[int] = None
+    #: Deterministic fault schedule (forces the cluster engine).
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
+    #: Crash-detection sweep period (bounds detection latency).
+    heartbeat_s: float = 0.05
+    #: SLO deadline; admission sheds work that cannot meet it
+    #: (lowest priority first, reported as ``rejected``).
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "policy", NodePolicy.coerce(self.policy))
+        object.__setattr__(
+            self, "cluster_policy", ClusterPolicy.coerce(self.cluster_policy)
+        )
+        object.__setattr__(self, "faults", _coerce_faults(self.faults))
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.max_batch < 1 or self.window < 1:
+            raise ValueError("max_batch and window must be >= 1")
+        if self.replication_depth < 1:
+            raise ValueError(
+                f"replication_depth must be >= 1, got {self.replication_depth}"
+            )
+        if self.heartbeat_s <= 0:
+            raise ValueError(
+                f"heartbeat_s must be > 0, got {self.heartbeat_s}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
+
+    @property
+    def wants_cluster(self) -> bool:
+        """Whether this config needs cluster machinery: more than one
+        node, a fault schedule to survive, or a deadline to enforce."""
+        return (
+            self.num_nodes > 1
+            or bool(self.faults)
+            or self.deadline_s is not None
+        )
+
+    def with_(self, **changes) -> "ServeConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view (CLI/benchmark provenance)."""
+        return {
+            "policy": self.policy.value,
+            "cluster_policy": self.cluster_policy.value,
+            "num_nodes": self.num_nodes,
+            "max_batch": self.max_batch,
+            "window": self.window,
+            "online_replication": self.online_replication,
+            "replication_depth": self.replication_depth,
+            "max_replicas": self.max_replicas,
+            "reserved_hbm_bytes": self.reserved_hbm_bytes,
+            "faults": self.faults.specs(),
+            "heartbeat_s": self.heartbeat_s,
+            "deadline_s": self.deadline_s,
+        }
+
+
+def build_server(
+    platform: PlatformLike,
+    library: ExpertLibrary,
+    config: Optional[ServeConfig] = None,
+) -> Server:
+    """Construct the engine a config calls for, without running it.
+
+    Useful when the caller wants the engine itself (to inspect nodes,
+    reuse the timeline, drive incremental submission) rather than just
+    the report :func:`serve` returns.
+    """
+    config = config if config is not None else ServeConfig()
+    if config.wants_cluster:
+        factory = platform if callable(platform) else (lambda: platform)
+        return ClusterEngine(
+            factory,
+            library,
+            config.num_nodes,
+            policy=config.cluster_policy,
+            node_policy=config.policy,
+            max_batch=config.max_batch,
+            window=config.window,
+            online_replication=config.online_replication,
+            replication_depth=config.replication_depth,
+            max_replicas=config.max_replicas,
+            faults=config.faults,
+            heartbeat_s=config.heartbeat_s,
+            deadline_s=config.deadline_s,
+        )
+    instance = platform() if callable(platform) else platform
+    return ServingEngine(
+        instance,
+        library,
+        policy=config.policy,
+        max_batch=config.max_batch,
+        window=config.window,
+        reserved_hbm_bytes=config.reserved_hbm_bytes,
+    )
+
+
+def serve(
+    platform: PlatformLike,
+    library: ExpertLibrary,
+    requests: Sequence[EngineRequest],
+    config: Optional[ServeConfig] = None,
+) -> ServeReport:
+    """Serve a backlog end to end — the library's single entry point.
+
+    Exposed as ``repro.serve``. Returns an :class:`EngineReport` (one
+    node) or a :class:`ClusterReport` (cluster / faults / deadline);
+    both carry the run's :class:`repro.obs.Timeline`.
+    """
+    return build_server(platform, library, config).serve(requests)
+
+
+__all__ = [
+    "ClusterPolicy",
+    "ExpertServer",
+    "NodePolicy",
+    "PlatformLike",
+    "RequestLatency",
+    "ServeConfig",
+    "ServeReport",
+    "ServeResult",
+    "Server",
+    "build_server",
+    "serve",
+]

@@ -6,11 +6,13 @@ deployment, and introduces load balancing challenges". This module makes
 that trade-off *measurable*: one :class:`repro.coe.engine.ServingEngine`
 per node, all on a **shared** :class:`repro.sim.engine.Simulator` clock,
 with every node's activity on its own lanes (``node0/compute``,
-``node0/switch``, ``node0/prefetch``, ``node1/...``) of a single
-:class:`repro.obs.Timeline` — so a Perfetto trace shows cross-node
-overlap directly, and the scaling curve is derived from the same spans.
+``node0/switch``, ``node0/prefetch``, ``node0/faults``, ``node1/...``)
+of a single :class:`repro.obs.Timeline` — so a Perfetto trace shows
+cross-node overlap directly, and the scaling curve is derived from the
+same spans.
 
-Cluster policies (:data:`CLUSTER_POLICIES`):
+Cluster policies (:class:`repro.coe.policies.ClusterPolicy`; the legacy
+strings in :data:`CLUSTER_POLICIES` still coerce):
 
 - ``least_loaded`` — static admission: each group goes to the owner
   replica with the smallest estimated backlog. The baseline: whatever
@@ -32,12 +34,41 @@ while the hot expert's owner grinds through a long queue; online
 replication plus stealing is what converts those idle replicas into
 throughput, which is exactly the load-balancing machinery the paper says
 a scale-out CoE deployment must carry.
+
+Fault tolerance
+---------------
+
+A production-scale deployment also has to survive the unhealthy days.
+Passing a :class:`repro.sim.faults.FaultSchedule` arms deterministic
+faults on the shared clock:
+
+- **Node crash** — the node fail-stops (:meth:`ServingEngine.halt`); a
+  heartbeat sweep (period ``heartbeat_s``) detects the silence on its
+  next beat and runs recovery: the dead node's in-flight and queued
+  groups are drained and re-dispatched to surviving owners exactly once,
+  and any expert whose *only* replica died is promoted onto a survivor,
+  paying the DDR->HBM copy on the sim clock when orphaned work needs it.
+- **Slow node** — a transient straggler window; every group *started*
+  inside it runs ``multiplier``x slower (windows stack multiplicatively).
+- **Copy fault** — the node's next demand DDR->HBM copies fail once
+  each and retry, doubling those copies' DMA occupancy.
+
+With a ``deadline_s``, admission (initial and at re-dispatch) becomes
+deadline-aware: groups whose estimated finish would bust the deadline
+are shed lowest-priority first and reported as ``rejected`` — degraded
+service is explicit, never a silent loss. The outage and the rebalance
+are first-class spans on each node's ``faults`` lane (``crash`` between
+death and detection, ``recovery`` while copies land, ``slow`` windows),
+and :class:`ClusterReport` derives availability, goodput, recovery time
+and latency percentiles from the same record the trace exports.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union,
+)
 
 from repro.coe.engine import (
     CompletedRequest,
@@ -46,15 +77,29 @@ from repro.coe.engine import (
     zipf_request_stream,
 )
 from repro.coe.expert import ExpertLibrary, ExpertProfile
+from repro.coe.metrics import percentile
+from repro.coe.policies import ClusterPolicy, NodePolicy
 from repro.coe.scheduling import RequestGroup, affinity_schedule, coalesce_groups
 from repro.obs import Timeline
 from repro.sim.engine import Simulator
+from repro.sim.faults import (
+    CopyFault,
+    FaultInjector,
+    FaultSchedule,
+    NodeCrash,
+    SlowNode,
+)
 from repro.systems.cluster import partition_experts
 
-CLUSTER_POLICIES = ("least_loaded", "affinity", "steal")
+#: Legacy value-string tuple; :class:`repro.coe.policies.ClusterPolicy`
+#: is the typed source of truth and coerces these (kept for back-compat).
+CLUSTER_POLICIES = ClusterPolicy.values()
 
 #: Per-node lane bases, in the order traces should display them.
-NODE_LANES = ("compute", "switch", "prefetch")
+NODE_LANES = ("compute", "switch", "prefetch", "faults")
+
+#: What the constructor accepts as a fault schedule.
+FaultsLike = Union[FaultSchedule, Iterable]
 
 
 def cluster_lanes(num_nodes: int) -> List[str]:
@@ -62,6 +107,17 @@ def cluster_lanes(num_nodes: int) -> List[str]:
     return [
         f"node{idx}/{base}" for idx in range(num_nodes) for base in NODE_LANES
     ]
+
+
+def _coerce_faults(faults: Optional[FaultsLike]) -> FaultSchedule:
+    if faults is None:
+        return FaultSchedule()
+    if isinstance(faults, FaultSchedule):
+        return faults
+    items = tuple(faults)
+    if all(isinstance(item, str) for item in items):
+        return FaultSchedule.from_specs(items)
+    return FaultSchedule(faults=items)
 
 
 @dataclass
@@ -74,6 +130,16 @@ class _Node:
     hosted: Set[str]
     steals_in: int = 0
     replicas_hosted: int = 0
+    #: Fault-tolerance state: a crashed node flips ``alive`` at the
+    #: fault instant and is *detected* on the next heartbeat.
+    alive: bool = True
+    crashed_at: Optional[float] = None
+    detected_at: Optional[float] = None
+    recovered_at: Optional[float] = None
+    #: Groups this node lost to a crash that were re-dispatched.
+    redispatched: int = 0
+    #: Active straggler multipliers (windows stack multiplicatively).
+    slow_stack: List[float] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -90,6 +156,8 @@ class NodeSummary:
     steals_in: int
     replicas_hosted: int
     tokens_per_second: float
+    alive: bool = True
+    crashed_at: Optional[float] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -103,6 +171,8 @@ class NodeSummary:
             "steals_in": self.steals_in,
             "replicas_hosted": self.replicas_hosted,
             "tokens_per_second": self.tokens_per_second,
+            "alive": self.alive,
+            "crashed_at": self.crashed_at,
         }
 
 
@@ -120,14 +190,37 @@ class ClusterReport:
     steals: int
     replications: int
     events_run: int
-    nodes: Tuple[NodeSummary, ...]
-    timeline: Timeline = field(repr=False)
+    #: Fault-tolerance outcome. ``rejected`` counts requests shed by
+    #: deadline admission (never silently dropped), ``availability`` is
+    #: alive node-time over total node-time, ``recovery_s`` the worst
+    #: crash-to-recovered interval, and the percentiles cover completed
+    #: request latency (queueing included).
+    rejected: int = 0
+    rejected_tokens: int = 0
+    crashes: int = 0
+    promotions: int = 0
+    redispatched_groups: int = 0
+    availability: float = 1.0
+    recovery_s: float = 0.0
+    p50_s: float = 0.0
+    p99_s: float = 0.0
+    fault_specs: Tuple[str, ...] = ()
+    deadline_s: Optional[float] = None
+    nodes: Tuple[NodeSummary, ...] = ()
+    timeline: Timeline = field(repr=False, default_factory=Timeline)
 
     @property
     def tokens_per_second(self) -> float:
         if self.makespan_s <= 0:
             return 0.0
         return self.output_tokens / self.makespan_s
+
+    @property
+    def goodput_tokens_per_second(self) -> float:
+        """Throughput of *useful* work: shed tokens don't count."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return (self.output_tokens - self.rejected_tokens) / self.makespan_s
 
     @property
     def requests_per_second(self) -> float:
@@ -154,11 +247,23 @@ class ClusterReport:
             "output_tokens": self.output_tokens,
             "makespan_s": self.makespan_s,
             "tokens_per_second": self.tokens_per_second,
+            "goodput_tokens_per_second": self.goodput_tokens_per_second,
             "requests_per_second": self.requests_per_second,
             "load_imbalance": self.load_imbalance,
             "steals": self.steals,
             "replications": self.replications,
             "events_run": self.events_run,
+            "rejected": self.rejected,
+            "rejected_tokens": self.rejected_tokens,
+            "crashes": self.crashes,
+            "promotions": self.promotions,
+            "redispatched_groups": self.redispatched_groups,
+            "availability": self.availability,
+            "recovery_s": self.recovery_s,
+            "p50_s": self.p50_s,
+            "p99_s": self.p99_s,
+            "faults": list(self.fault_specs),
+            "deadline_s": self.deadline_s,
             "nodes": [n.to_dict() for n in self.nodes],
         }
 
@@ -171,38 +276,49 @@ class ClusterEngine:
         platform_factory: Callable[[], object],
         library: ExpertLibrary,
         num_nodes: int,
-        policy: str = "steal",
-        node_policy: str = "overlap",
+        policy: Union[str, ClusterPolicy] = "steal",
+        node_policy: Union[str, NodePolicy] = "overlap",
         max_batch: int = 8,
         window: int = 16,
         balanced: bool = True,
         online_replication: bool = True,
         replication_depth: int = 3,
         max_replicas: Optional[int] = None,
+        faults: Optional[FaultsLike] = None,
+        heartbeat_s: float = 0.05,
+        deadline_s: Optional[float] = None,
     ) -> None:
-        if policy not in CLUSTER_POLICIES:
-            raise ValueError(
-                f"unknown cluster policy {policy!r}; "
-                f"expected one of {CLUSTER_POLICIES}"
-            )
+        self.policy = ClusterPolicy.coerce(policy).value
+        self.node_policy = NodePolicy.coerce(node_policy).value
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
         if replication_depth < 1:
             raise ValueError(
                 f"replication_depth must be >= 1, got {replication_depth}"
             )
-        self.policy = policy
-        self.node_policy = node_policy
+        if heartbeat_s <= 0:
+            raise ValueError(f"heartbeat_s must be > 0, got {heartbeat_s}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
         self.library = library
         self.max_batch = max_batch
         self.window = window
         self.online_replication = online_replication
         self.replication_depth = replication_depth
         self.max_replicas = num_nodes if max_replicas is None else max_replicas
+        self.heartbeat_s = heartbeat_s
+        self.deadline_s = deadline_s
         self.timeline = Timeline()
         self.sim = Simulator(timeline=self.timeline)
         self.steals = 0
         self.replications = 0
+        self.promotions = 0
+        self.redispatches = 0
+        #: Requests shed by deadline admission (reported, never dropped).
+        self.rejected: List[EngineRequest] = []
+        self._injector: Optional[FaultInjector] = None
+        self._crashes_pending = 0
+        self._recovery_ends: List[float] = []
 
         shards = [
             s for s in partition_experts(library, num_nodes, balanced=balanced)
@@ -215,7 +331,7 @@ class ClusterEngine:
             engine = ServingEngine(
                 platform_factory(),
                 ExpertLibrary(experts=list(shard)),
-                policy=node_policy,
+                policy=self.node_policy,
                 max_batch=max_batch,
                 window=window,
                 simulator=self.sim,
@@ -236,6 +352,10 @@ class ClusterEngine:
             self.nodes.append(node)
             for expert in shard:
                 self._owners.setdefault(expert.name, []).append(idx)
+
+        self.faults = _coerce_faults(faults)
+        self.faults.validate_for(len(self.nodes))
+        self._crashes_pending = len(self.faults.crashes)
 
     @property
     def num_nodes(self) -> int:
@@ -264,11 +384,39 @@ class ClusterEngine:
             pool = owners
         return min(pool, key=lambda n: (n.engine.estimated_backlog_s(), n.index))
 
+    def _dispatch(self, group: RequestGroup, now: float) -> bool:
+        """Route + submit one group; returns False when it was shed.
+
+        With a ``deadline_s``, a group whose estimated completion (queue
+        backlog plus its own execution) would bust the deadline is shed
+        instead of submitted: its requests land in :attr:`rejected`.
+        Callers feed groups highest-priority first so degradation sheds
+        the lowest priorities.
+        """
+        node = self._route(group)
+        if self.deadline_s is not None:
+            eta = (now + node.engine.estimated_backlog_s()
+                   + node.engine._group_exec_time(group))
+            if eta > self.deadline_s:
+                self.rejected.extend(group.requests)
+                return False
+        node.engine.submit(group)
+        return True
+
+    @staticmethod
+    def _priority_order(groups: Sequence[RequestGroup]) -> List[RequestGroup]:
+        """Highest priority first, original order within a priority."""
+        indexed = list(enumerate(groups))
+        indexed.sort(key=lambda pair: (
+            -max((r.priority for r in pair[1].requests), default=0), pair[0]
+        ))
+        return [g for _, g in indexed]
+
     # ------------------------------------------------------------------
     # Runtime rebalancing (the ``steal`` policy)
     # ------------------------------------------------------------------
     def _node_idle(self, node: _Node) -> None:
-        if self.policy != "steal":
+        if self.policy != "steal" or not node.alive:
             return
         if node.engine.queue_depth > 0:
             return
@@ -281,7 +429,8 @@ class ClusterEngine:
         """Pull one queued group this node can serve off the deepest queue."""
         hosted = node.hosted
         victims = sorted(
-            (v for v in self.nodes if v is not node and v.engine.queue_depth >= 2),
+            (v for v in self.nodes
+             if v is not node and v.alive and v.engine.queue_depth >= 2),
             key=lambda v: -v.engine.estimated_backlog_s(),
         )
         for victim in victims:
@@ -303,7 +452,7 @@ class ClusterEngine:
         victims = sorted(
             (
                 v for v in self.nodes
-                if v is not node
+                if v is not node and v.alive
                 and v.engine.queue_depth >= self.replication_depth
             ),
             key=lambda v: -v.engine.estimated_backlog_s(),
@@ -341,26 +490,218 @@ class ClusterEngine:
         return False
 
     # ------------------------------------------------------------------
+    # Fault handling (driven by the FaultInjector on the shared clock)
+    # ------------------------------------------------------------------
+    def _record_fault_span(
+        self,
+        node: _Node,
+        name: str,
+        category: str,
+        start_s: float,
+        end_s: float,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record on the node's ``faults`` lane, clipped against what is
+        already there (a crash inside a straggler window, stacked slow
+        windows) so the lane's non-overlap invariant always holds."""
+        if end_s < start_s:
+            return
+        lane = f"{node.name}/faults"
+        pieces = [(start_s, end_s)]
+        for span in self.timeline.spans(lane):
+            clipped: List[Tuple[float, float]] = []
+            for a, b in pieces:
+                if b <= span.start_s or a >= span.end_s:
+                    clipped.append((a, b))
+                    continue
+                if a < span.start_s:
+                    clipped.append((a, span.start_s))
+                if b > span.end_s:
+                    clipped.append((span.end_s, b))
+            pieces = clipped
+        for a, b in pieces:
+            self.sim.record_span(
+                name, lane, category, start_s=a, end_s=b, args=args
+            )
+
+    def _on_crash(self, fault: NodeCrash) -> None:
+        self._crashes_pending -= 1
+        node = self.nodes[fault.node]
+        if not node.alive:
+            return
+        node.alive = False
+        node.crashed_at = self.sim.now
+        node.engine.halt()
+
+    def _on_slow_start(self, fault: SlowNode) -> None:
+        node = self.nodes[fault.node]
+        if not node.alive:
+            return
+        node.slow_stack.append(fault.multiplier)
+        factor = 1.0
+        for m in node.slow_stack:
+            factor *= m
+        node.engine.slow_factor = factor
+
+    def _on_slow_end(self, fault: SlowNode) -> None:
+        node = self.nodes[fault.node]
+        if node.alive and fault.multiplier in node.slow_stack:
+            node.slow_stack.remove(fault.multiplier)
+            factor = 1.0
+            for m in node.slow_stack:
+                factor *= m
+            node.engine.slow_factor = factor
+        end = fault.end_s
+        if node.crashed_at is not None:
+            end = min(end, node.crashed_at)
+        self._record_fault_span(
+            node, f"slow:{fault.multiplier:g}x", "slow", fault.at_s, end,
+            args={"multiplier": fault.multiplier},
+        )
+
+    def _on_copy_fault(self, fault: CopyFault) -> None:
+        node = self.nodes[fault.node]
+        if node.alive:
+            node.engine.inject_copy_faults(fault.count)
+
+    def _heartbeat(self) -> None:
+        """Periodic liveness sweep: a dead node is noticed on the first
+        beat after its crash, bounding detection latency by the period."""
+        now = self.sim.now
+        for node in self.nodes:
+            if not node.alive and node.detected_at is None:
+                node.detected_at = now
+                self._recover(node, now)
+        if self._crashes_pending > 0 or any(
+            not n.alive and n.detected_at is None for n in self.nodes
+        ):
+            self.sim.schedule_at(now + self.heartbeat_s, self._heartbeat)
+
+    def _recover(self, node: _Node, now: float) -> None:
+        """React to a detected crash: promote orphaned experts, then
+        re-dispatch the dead node's unfinished groups exactly once."""
+        self._record_fault_span(
+            node, f"crash:{node.name}", "fault",
+            node.crashed_at if node.crashed_at is not None else now, now,
+            args={"detected_s": now, "reason": "heartbeat timeout"},
+        )
+        drained = node.engine.drain()
+        for owners in self._owners.values():
+            if node.index in owners:
+                owners.remove(node.index)
+        alive = [n for n in self.nodes if n.alive]
+        if not alive:
+            raise RuntimeError("no surviving node to recover onto")
+        # Promote every expert whose only replica died; pay the DDR->HBM
+        # copy now only when orphaned work actually needs the expert —
+        # the rest land lazily (copy on first demand).
+        orphaned = sorted(
+            name for name, owners in self._owners.items() if not owners
+        )
+        needed = {g.expert.name for g in drained}
+        placed: Dict[int, int] = {n.index: 0 for n in alive}
+        copy_ends: List[float] = []
+        for name in orphaned:
+            expert = self.library[name]
+            target = min(alive, key=lambda n: (
+                n.engine.estimated_backlog_s(), placed[n.index], n.index
+            ))
+            placed[target.index] += 1
+            target.engine.host(expert)
+            target.hosted.add(name)
+            target.replicas_hosted += 1
+            self._owners[name].append(target.index)
+            self.promotions += 1
+            if name in needed:
+                done = target.engine.warm(expert)
+                if done is not None:
+                    copy_ends.append(done)
+        # Exactly-once re-dispatch: the halted engine completed none of
+        # these and can never finish them; survivors get each group once,
+        # highest priority first so any deadline shedding degrades
+        # gracefully from the bottom.
+        shed_before = len(self.rejected)
+        for group in self._priority_order(drained):
+            if self._dispatch(group, now):
+                node.redispatched += 1
+                self.redispatches += 1
+        recovery_end = max(copy_ends, default=now)
+        node.recovered_at = recovery_end
+        self._recovery_ends.append(recovery_end)
+        self._record_fault_span(
+            node, f"recovery:{node.name}", "recovery", now, recovery_end,
+            args={
+                "redispatched": node.redispatched,
+                "shed": len(self.rejected) - shed_before,
+                "promoted": len(orphaned),
+            },
+        )
+
+    # ------------------------------------------------------------------
     def serve(self, requests: Sequence[EngineRequest]) -> ClusterReport:
         """Drain the whole backlog across the cluster; one shared clock."""
         if not requests:
             raise ValueError("empty request backlog")
+        if self.faults:
+            self._injector = FaultInjector(
+                self.sim,
+                self.faults,
+                on_crash=self._on_crash,
+                on_slow_start=self._on_slow_start,
+                on_slow_end=self._on_slow_end,
+                on_copy_fault=self._on_copy_fault,
+            )
+            if self.faults.crashes:
+                self.sim.schedule_at(self.heartbeat_s, self._heartbeat)
         if self.node_policy == "fifo":
             ordered = list(requests)
         else:
             ordered = affinity_schedule(requests, window=self.window)
         groups = coalesce_groups(ordered, self.max_batch)
-        for group in groups:
-            self._route(group).engine.submit(group)
-        makespan = self.sim.run()
+        admit = (self._priority_order(groups) if self.deadline_s is not None
+                 else groups)
+        for group in admit:
+            self._dispatch(group, now=0.0)
+        end_clock = self.sim.run()
         for node in self.nodes:
-            node.engine.flush_speculation(makespan)
+            if not node.engine.halted:
+                node.engine.flush_speculation(end_clock)
         completed = sum(len(n.engine.completed) for n in self.nodes)
-        if completed != len(requests):
+        if completed + len(self.rejected) != len(requests):
             raise RuntimeError(
-                f"cluster lost requests: {completed} completed "
+                f"cluster lost requests: {completed} completed + "
+                f"{len(self.rejected)} rejected "
                 f"of {len(requests)} submitted"
             )
+        if self.faults:
+            # The raw clock runs to the last scheduled fault event even
+            # when traffic drained earlier; the makespan is when *work*
+            # (completions, recovery copies) actually ended.
+            work_end = max(
+                (c.finish_s for n in self.nodes for c in n.engine.completed),
+                default=0.0,
+            )
+            makespan = max([work_end] + self._recovery_ends)
+        else:
+            makespan = end_clock
+        latencies = sorted(
+            c.latency_s for n in self.nodes for c in n.engine.completed
+        )
+        crashed = [n for n in self.nodes if not n.alive]
+        alive_time = sum(
+            min(n.crashed_at, makespan) if n.crashed_at is not None
+            else makespan
+            for n in self.nodes
+        )
+        total_time = len(self.nodes) * makespan
+        recovery_s = max(
+            (
+                (n.recovered_at if n.recovered_at is not None else makespan)
+                - n.crashed_at
+                for n in crashed
+            ),
+            default=0.0,
+        )
         summaries = []
         for node in self.nodes:
             tokens = sum(c.output_tokens for c in node.engine.completed)
@@ -380,6 +721,8 @@ class ClusterEngine:
                     tokens_per_second=(
                         tokens / makespan if makespan > 0 else 0.0
                     ),
+                    alive=node.alive,
+                    crashed_at=node.crashed_at,
                 )
             )
         return ClusterReport(
@@ -393,6 +736,17 @@ class ClusterEngine:
             steals=self.steals,
             replications=self.replications,
             events_run=self.sim.events_run,
+            rejected=len(self.rejected),
+            rejected_tokens=sum(r.output_tokens for r in self.rejected),
+            crashes=len(crashed),
+            promotions=self.promotions,
+            redispatched_groups=self.redispatches,
+            availability=(alive_time / total_time if total_time > 0 else 1.0),
+            recovery_s=recovery_s,
+            p50_s=percentile(latencies, 50) if latencies else 0.0,
+            p99_s=percentile(latencies, 99) if latencies else 0.0,
+            fault_specs=tuple(self.faults.specs()),
+            deadline_s=self.deadline_s,
             nodes=tuple(summaries),
             timeline=self.timeline,
         )
@@ -414,11 +768,14 @@ def run_cluster(
     library: ExpertLibrary,
     requests: Sequence[EngineRequest],
     num_nodes: int,
-    policy: str = "steal",
-    node_policy: str = "overlap",
+    policy: Union[str, ClusterPolicy] = "steal",
+    node_policy: Union[str, NodePolicy] = "overlap",
     max_batch: int = 8,
     window: int = 16,
     online_replication: bool = True,
+    faults: Optional[FaultsLike] = None,
+    heartbeat_s: float = 0.05,
+    deadline_s: Optional[float] = None,
 ) -> ClusterReport:
     """One cluster run over a fresh engine (fresh timeline, fresh clock)."""
     engine = ClusterEngine(
@@ -430,6 +787,9 @@ def run_cluster(
         max_batch=max_batch,
         window=window,
         online_replication=online_replication,
+        faults=faults,
+        heartbeat_s=heartbeat_s,
+        deadline_s=deadline_s,
     )
     return engine.serve(requests)
 
@@ -439,8 +799,8 @@ def scaling_sweep(
     library: ExpertLibrary,
     requests: Sequence[EngineRequest],
     node_counts: Sequence[int] = (1, 2, 4, 8),
-    policy: str = "steal",
-    node_policy: str = "overlap",
+    policy: Union[str, ClusterPolicy] = "steal",
+    node_policy: Union[str, NodePolicy] = "overlap",
     max_batch: int = 8,
     online_replication: bool = True,
 ) -> Dict[int, ClusterReport]:

@@ -54,18 +54,21 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.coe.expert import ExpertLibrary, ExpertProfile
 from repro.coe.metrics import percentile
+from repro.coe.policies import NodePolicy
 from repro.coe.scheduling import (
     ExpertPredictor,
     RequestGroup,
     affinity_schedule,
     coalesce_groups,
 )
-from repro.coe.serving import CoEServer
+from repro.coe.serving import ExpertServer
 from repro.obs import Timeline
 from repro.sim.engine import Simulator
 from repro.systems.platforms import Platform
 
-POLICIES = ("fifo", "affinity", "overlap")
+#: Legacy value-string tuple; :class:`repro.coe.policies.NodePolicy` is
+#: the typed source of truth and coerces these (kept for back-compat).
+POLICIES = NodePolicy.values()
 
 
 @dataclass(frozen=True)
@@ -79,6 +82,9 @@ class EngineRequest:
     #: All requests are queued at t=0 (saturated-server regime); a later
     #: arrival only shrinks the reported queueing latency.
     arrival_s: float = 0.0
+    #: Admission-control rank: under deadline pressure (node loss, SLO
+    #: shedding) lower-priority requests are shed first.
+    priority: int = 0
 
 
 @dataclass(frozen=True)
@@ -184,15 +190,13 @@ class ServingEngine:
         simulator: Optional[Simulator] = None,
         lane_prefix: str = "",
     ) -> None:
-        if policy not in POLICIES:
-            raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
         if max_batch < 1 or window < 1:
             raise ValueError("max_batch and window must be >= 1")
-        self.policy = policy
+        self.policy = NodePolicy.coerce(policy).value
         self.max_batch = max_batch
         self.window = window
         self.lane_prefix = lane_prefix
-        self.server = CoEServer(
+        self.server = ExpertServer(
             platform, library, reserved_hbm_bytes=reserved_hbm_bytes
         )
         self._predictor = ExpertPredictor()
@@ -228,10 +232,25 @@ class ServingEngine:
         self._copy_done: Dict[str, float] = {}
         #: At most one in-flight speculative copy: (name, start_s, copy_s).
         self._spec_open: List[tuple] = []
+        #: The executing group: (group, exec_start, phase times, index).
+        #: Compute spans are recorded retrospectively at group finish so a
+        #: crashed node's partial work truncates at the crash instead of
+        #: painting phantom compute past its death.
+        self._current: Optional[tuple] = None
         self._groups_started = 0
         self.groups_done = 0
         self.speculative_prefetches = 0
         self.completed: List[CompletedRequest] = []
+        #: Fail-stop flag: a halted engine ignores every already-scheduled
+        #: simulator callback (crash semantics — see ``halt``).
+        self._halted = False
+        #: Transient straggler multiplier (>= 1.0) applied to the phase
+        #: times of every group *started* while it is raised.
+        self.slow_factor = 1.0
+        #: Armed DDR->HBM copy failures: the next N demand copies fail
+        #: once each and are retried on the DMA clock.
+        self._copy_faults_armed = 0
+        self.copy_retries = 0
 
     def bind(self, simulator: Simulator) -> None:
         """Attach to a (possibly shared) simulator clock, resetting state."""
@@ -272,6 +291,8 @@ class ServingEngine:
 
     def submit(self, group: RequestGroup) -> None:
         """Enqueue one group; starts it immediately if the engine is idle."""
+        if self._halted:
+            raise RuntimeError("cannot submit to a halted (crashed) engine")
         self._queue.append(group)
         self._kick()
 
@@ -311,6 +332,60 @@ class ServingEngine:
         return self._demand_copy(expert)
 
     # ------------------------------------------------------------------
+    # Fault surface (driven by the cluster's FaultInjector)
+    # ------------------------------------------------------------------
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def halt(self) -> None:
+        """Fail-stop this engine at the current simulated time.
+
+        Already-scheduled simulator callbacks become no-ops; the group
+        executing right now is cut short — its partial compute records as
+        a truncated ``lost`` span ending at the crash instant, and none
+        of its requests complete (they stay re-dispatchable, which is
+        what makes cluster-level recovery exactly-once). Queued work and
+        the interrupted group remain available via :meth:`drain`.
+        """
+        if self._halted:
+            return
+        self._halted = True
+        now = self._sim.now if self._sim is not None else 0.0
+        if self._sim is not None:
+            self.flush_speculation(now)
+        if self._current is not None:
+            _, exec_start, _, _ = self._current
+            if self._sim is not None and now > exec_start:
+                self._sim.record_span(
+                    f"lost:{self._current[0].expert.name}",
+                    self.lane("compute"), "lost",
+                    start_s=exec_start, end_s=now,
+                    args={"batch": self._current[0].batch,
+                          "reason": "node crash"},
+                )
+
+    def drain(self) -> List[RequestGroup]:
+        """Remove and return all unfinished groups (in-flight one first).
+
+        Only meaningful on a halted engine: the cluster's recovery path
+        re-dispatches exactly these groups to surviving nodes.
+        """
+        orphans: List[RequestGroup] = []
+        if self._current is not None:
+            orphans.append(self._current[0])
+            self._current = None
+        orphans.extend(self._queue)
+        self._queue.clear()
+        return orphans
+
+    def inject_copy_faults(self, count: int = 1) -> None:
+        """Arm ``count`` one-shot DDR->HBM demand-copy failures."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self._copy_faults_armed += count
+
+    # ------------------------------------------------------------------
     def _order(self, requests: Sequence[EngineRequest]) -> List[EngineRequest]:
         if self.policy == "fifo":
             return list(requests)
@@ -329,7 +404,10 @@ class ServingEngine:
         prefill, decode = self.server.expert_time(
             group.expert, output, prompt, batch=batch
         )
-        return router, prefill, decode
+        # A straggler window stretches every phase of a group started
+        # inside it (thermal throttling, a noisy neighbour, a flaky link).
+        factor = self.slow_factor
+        return router * factor, prefill * factor, decode * factor
 
     def _group_exec_time(self, group: RequestGroup) -> float:
         """Batched router + prefill + closed-form decode for one group."""
@@ -357,11 +435,28 @@ class ServingEngine:
 
     def _demand_copy(self, expert: ExpertProfile) -> float:
         """Activate a non-resident expert; the copy takes the DMA's next
-        free slot and its span lands on this engine's switch lane."""
+        free slot and its span lands on this engine's switch lane.
+
+        An armed copy fault makes the first attempt fail after consuming
+        its full DMA window (the transfer ran and was discarded); the
+        retry immediately follows, so one injected fault costs exactly
+        one extra copy duration and shows up as a ``fault`` span.
+        """
         sim = self._sim
         self.flush_speculation(sim.now)
         start = max(sim.now, self._dma_free_s)
         event = self.server.runtime.activate(expert, span=False)
+        if self._copy_faults_armed > 0 and event.time_s > 0:
+            self._copy_faults_armed -= 1
+            self.copy_retries += 1
+            self.server.runtime.stats.failures += 1
+            sim.record_span(
+                f"copy-failed:{expert.name}", self.lane("switch"), "fault",
+                start_s=start, end_s=start + event.time_s,
+                args={"bytes_up": event.bytes_up, "failed": True,
+                      "retried": True},
+            )
+            start += event.time_s
         done = start + event.time_s
         if event.time_s > 0:
             sim.record_span(
@@ -379,8 +474,8 @@ class ServingEngine:
 
     def _kick(self) -> None:
         """Schedule the queue head's begin event if the engine is idle."""
-        if (self._sim is None or self._busy or self._begin_scheduled
-                or not self._queue):
+        if (self._sim is None or self._halted or self._busy
+                or self._begin_scheduled or not self._queue):
             return
         sim = self._sim
         head = self._queue[0].expert
@@ -391,6 +486,8 @@ class ServingEngine:
         sim.schedule_at(start_at, self._begin_next)
 
     def _begin_next(self) -> None:
+        if self._halted:
+            return
         self._begin_scheduled = False
         if self._busy:
             return
@@ -423,24 +520,17 @@ class ServingEngine:
                 sim.schedule_at(
                     exec_start, lambda: self._prefetch_next(protect)
                 )
-        end = exec_start
-        phases = (("router", router_s), ("prefill", prefill_s),
-                  ("decode", decode_s))
-        for category, duration in phases:
-            if duration > 0:
-                sim.record_span(
-                    f"{category}:{group.expert.name}",
-                    self.lane("compute"), category,
-                    start_s=end, end_s=end + duration,
-                    args={"group": index, "batch": group.batch},
-                )
-            end += duration
+        end = exec_start + router_s + prefill_s + decode_s
+        # Phase spans are recorded at finish time (see halt): the same
+        # timestamps either way, but a crash truncates honestly.
+        self._current = (group, exec_start,
+                         (router_s, prefill_s, decode_s), index)
         self._busy_until_s = end
-        sim.schedule_at(end, lambda: self._finish_group(group, exec_start))
+        sim.schedule_at(end, self._finish_group)
 
     def _prefetch_next(self, protected_name: str) -> None:
         """Warm the queue head's expert on the otherwise-idle DMA engines."""
-        if not self._queue:
+        if self._halted or not self._queue:
             return
         sim = self._sim
         runtime = self.server.runtime
@@ -468,8 +558,23 @@ class ServingEngine:
         else:
             self._demand_copy(nxt)
 
-    def _finish_group(self, group: RequestGroup, exec_started: float) -> None:
+    def _finish_group(self) -> None:
+        if self._halted or self._current is None:
+            return
         sim = self._sim
+        group, exec_started, phase_times, index = self._current
+        self._current = None
+        end = exec_started
+        for category, duration in zip(("router", "prefill", "decode"),
+                                      phase_times):
+            if duration > 0:
+                sim.record_span(
+                    f"{category}:{group.expert.name}",
+                    self.lane("compute"), category,
+                    start_s=end, end_s=end + duration,
+                    args={"group": index, "batch": group.batch},
+                )
+            end += duration
         for req in group.requests:
             self.completed.append(
                 CompletedRequest(
@@ -534,6 +639,10 @@ class ServingEngine:
         finally:
             self.unbind()
         return report
+
+    def serve(self, requests: Sequence[EngineRequest]) -> EngineReport:
+        """Alias of :meth:`run` satisfying :class:`repro.coe.api.Server`."""
+        return self.run(requests)
 
 
 # ----------------------------------------------------------------------

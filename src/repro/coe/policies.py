@@ -1,0 +1,72 @@
+"""Typed serving policies for the CoE engines.
+
+Historically the engines took stringly-typed policies (``"fifo"``,
+``"affinity"``, ``"overlap"`` for one node; ``"least_loaded"``,
+``"affinity"``, ``"steal"`` for the cluster) and each constructor
+validated its own strings. These enums are now the single source of
+truth: :class:`repro.coe.api.ServeConfig` stores enum members, and both
+engines coerce whatever they are given — an enum member or its string
+value — through :meth:`PolicyEnum.coerce`, which raises a clear error
+listing the valid members. Plain strings therefore keep working
+everywhere a policy is accepted (back-compat), but typos fail with the
+full menu instead of a bare ``unknown policy``.
+
+The members' *values* are the legacy strings, so reports and JSON dumps
+are unchanged: engines store ``NodePolicy.coerce(p).value`` internally.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+
+class PolicyEnum(enum.Enum):
+    """Base for policy enums: string coercion with a helpful error."""
+
+    @classmethod
+    def coerce(cls, value: Union[str, "PolicyEnum"]) -> "PolicyEnum":
+        """Return the member for ``value`` (member or value string).
+
+        Raises ``ValueError`` naming every valid member, e.g.::
+
+            unknown NodePolicy 'fancy'; expected one of
+            'fifo', 'affinity', 'overlap'
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            for member in cls:
+                if member.value == value:
+                    return member
+        valid = ", ".join(repr(m.value) for m in cls)
+        raise ValueError(
+            f"unknown {cls.__name__} {value!r}; expected one of {valid}"
+        )
+
+    @classmethod
+    def values(cls) -> tuple:
+        """The member value strings, in declaration order."""
+        return tuple(m.value for m in cls)
+
+    def __str__(self) -> str:  # stable across Python versions
+        return self.value
+
+
+class NodePolicy(PolicyEnum):
+    """Single-node scheduling policy of :class:`ServingEngine`."""
+
+    FIFO = "fifo"
+    AFFINITY = "affinity"
+    OVERLAP = "overlap"
+
+
+class ClusterPolicy(PolicyEnum):
+    """Cross-node dispatch policy of :class:`ClusterEngine`."""
+
+    LEAST_LOADED = "least_loaded"
+    AFFINITY = "affinity"
+    STEAL = "steal"
+
+
+__all__ = ["ClusterPolicy", "NodePolicy", "PolicyEnum"]

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.coe.expert import ExpertProfile
-from repro.coe.serving import CoEServer
+from repro.coe.serving import ExpertServer
 
 
 @dataclass(frozen=True)
@@ -120,7 +120,7 @@ class ScheduleOutcome:
 
 
 def serve_schedule(
-    server: CoEServer,
+    server: ExpertServer,
     schedule: Sequence[Request],
     policy_name: str,
     output_tokens: int = 20,
@@ -236,7 +236,7 @@ class PrefetchOutcome:
 
 
 def serve_with_prefetch(
-    server: CoEServer,
+    server: ExpertServer,
     experts: Sequence[ExpertProfile],
     output_tokens: int = 20,
     prompt_tokens: int = 256,

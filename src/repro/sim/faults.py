@@ -1,0 +1,312 @@
+"""Deterministic fault injection on the simulated clock.
+
+Production-scale CoE serving has to survive the failures the happy-path
+scaling curve never sees: a node dying mid-decode, a straggler running
+hot, a DDR->HBM expert copy failing and retrying. This module is the
+*schedule* half of that story — a declarative, fully deterministic list
+of fault events anchored to simulated time — plus the
+:class:`FaultInjector` that arms them as ordinary events on a
+:class:`repro.sim.engine.Simulator`. The *reaction* half (heartbeat
+detection, re-dispatch, replica promotion, admission control) lives in
+:class:`repro.coe.cluster_engine.ClusterEngine`.
+
+Fault kinds:
+
+- :class:`NodeCrash` — the node halts at ``at_s`` and never recovers;
+  its in-flight and queued work must be re-dispatched by the cluster.
+- :class:`SlowNode` — a transient straggler: every group *started*
+  inside ``[at_s, at_s + duration_s)`` runs ``multiplier``x slower.
+- :class:`CopyFault` — the next ``count`` demand DDR->HBM copies on the
+  node (at or after ``at_s``) fail once each and are retried, doubling
+  the copy's DMA occupancy.
+
+Determinism: a :class:`FaultSchedule` is plain data; injection happens
+at exact simulated times through the simulator's deterministic event
+queue, so the same seed plus the same schedule reproduces the same run
+bit-for-bit — which is what makes outage benchmarks regression-testable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Permanent fail-stop of one node at ``at_s``."""
+
+    node: int
+    at_s: float
+
+    def __post_init__(self) -> None:
+        _check_node_time(self)
+
+    @property
+    def spec(self) -> str:
+        # repr() of a float round-trips exactly; :g would truncate to six
+        # significant digits and break schedule -> specs -> schedule.
+        return f"crash:node{self.node}:{self.at_s!r}"
+
+
+@dataclass(frozen=True)
+class SlowNode:
+    """Transient straggler: the node runs ``multiplier``x slower."""
+
+    node: int
+    at_s: float
+    duration_s: float
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        _check_node_time(self)
+        if self.duration_s <= 0:
+            raise ValueError(
+                f"slow-node duration must be > 0, got {self.duration_s}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"slow-node multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    @property
+    def end_s(self) -> float:
+        return self.at_s + self.duration_s
+
+    @property
+    def spec(self) -> str:
+        return (f"slow:node{self.node}:{self.at_s!r}:{self.duration_s!r}"
+                f":{self.multiplier!r}")
+
+
+@dataclass(frozen=True)
+class CopyFault:
+    """The next ``count`` DDR->HBM demand copies on the node fail once."""
+
+    node: int
+    at_s: float
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        _check_node_time(self)
+        if self.count < 1:
+            raise ValueError(f"copy-fault count must be >= 1, got {self.count}")
+
+    @property
+    def spec(self) -> str:
+        return f"copyfail:node{self.node}:{self.at_s!r}:{self.count}"
+
+
+FaultEvent = Union[NodeCrash, SlowNode, CopyFault]
+
+
+def _check_node_time(fault) -> None:
+    if fault.node < 0:
+        raise ValueError(f"fault node index must be >= 0, got {fault.node}")
+    if fault.at_s < 0:
+        raise ValueError(f"fault time must be >= 0, got {fault.at_s}")
+
+
+def parse_fault(spec: str) -> FaultEvent:
+    """Parse one fault spec string (the CLI's ``--inject-fault`` format).
+
+    Accepted forms (``NODE`` is an index, with or without a ``node``
+    prefix; times are seconds of simulated time):
+
+    - ``NODE:T``                      — crash NODE at T (the shorthand),
+    - ``crash:NODE:T``                — same, explicit,
+    - ``slow:NODE:T:DURATION[:MULT]`` — straggler window (default 2x),
+    - ``copyfail:NODE:T[:COUNT]``     — failing DDR->HBM copies.
+    """
+    parts = spec.split(":")
+    kind = parts[0].lower()
+    if kind not in ("crash", "slow", "copyfail"):
+        kind, parts = "crash", ["crash"] + parts
+    try:
+        node = int(parts[1].lower().removeprefix("node"))
+        if kind == "crash":
+            if len(parts) != 3:
+                raise ValueError
+            return NodeCrash(node=node, at_s=float(parts[2]))
+        if kind == "slow":
+            if len(parts) not in (4, 5):
+                raise ValueError
+            multiplier = float(parts[4]) if len(parts) == 5 else 2.0
+            return SlowNode(node=node, at_s=float(parts[2]),
+                            duration_s=float(parts[3]), multiplier=multiplier)
+        if len(parts) not in (3, 4):
+            raise ValueError
+        count = int(parts[3]) if len(parts) == 4 else 1
+        return CopyFault(node=node, at_s=float(parts[2]), count=count)
+    except (IndexError, ValueError) as exc:
+        detail = exc.args[0] if exc.args else None
+        raise ValueError(
+            f"bad fault spec {spec!r}; expected NODE:T, crash:NODE:T, "
+            f"slow:NODE:T:DURATION[:MULT], or copyfail:NODE:T[:COUNT]"
+            + (f" ({detail})" if isinstance(detail, str) and detail else "")
+        ) from None
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, time-sorted set of fault events."""
+
+    faults: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(
+            self.faults, key=lambda f: (f.at_s, f.node, type(f).__name__)
+        ))
+        object.__setattr__(self, "faults", ordered)
+
+    @classmethod
+    def from_specs(cls, specs: Iterable[str]) -> "FaultSchedule":
+        return cls(faults=tuple(parse_fault(s) for s in specs))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def for_node(self, node: int) -> Tuple[FaultEvent, ...]:
+        return tuple(f for f in self.faults if f.node == node)
+
+    @property
+    def crashes(self) -> Tuple[NodeCrash, ...]:
+        return tuple(f for f in self.faults if isinstance(f, NodeCrash))
+
+    @property
+    def max_node(self) -> int:
+        """Highest node index referenced (-1 when empty)."""
+        return max((f.node for f in self.faults), default=-1)
+
+    def specs(self) -> List[str]:
+        """Round-trippable spec strings (JSON-friendly)."""
+        return [f.spec for f in self.faults]
+
+    def validate_for(self, num_nodes: int) -> None:
+        """Reject faults targeting nodes the cluster does not have."""
+        if self.max_node >= num_nodes:
+            raise ValueError(
+                f"fault schedule targets node {self.max_node} but the "
+                f"cluster has only {num_nodes} node(s)"
+            )
+        if len({c.node for c in self.crashes}) >= num_nodes:
+            raise ValueError(
+                "fault schedule crashes every node; nothing could survive "
+                "to recover the work"
+            )
+
+
+def random_schedule(
+    num_nodes: int,
+    horizon_s: float,
+    seed: int = 0,
+    crashes: int = 1,
+    slow_nodes: int = 0,
+    copy_faults: int = 0,
+    slow_multiplier: float = 2.0,
+) -> FaultSchedule:
+    """A reproducible random schedule (chaos testing under a fixed seed).
+
+    Crash victims are sampled without replacement and never cover every
+    node; times are uniform over ``(0, horizon_s)``. Identical arguments
+    always produce the identical schedule.
+    """
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    if horizon_s <= 0:
+        raise ValueError(f"horizon_s must be > 0, got {horizon_s}")
+    if crashes >= num_nodes:
+        raise ValueError(
+            f"refusing to crash all {num_nodes} node(s); at most "
+            f"{num_nodes - 1} crash(es)"
+        )
+    rng = random.Random(seed)
+    victims = rng.sample(range(num_nodes), k=crashes)
+    faults: List[FaultEvent] = [
+        NodeCrash(node=v, at_s=rng.uniform(0.0, horizon_s) or horizon_s / 2)
+        for v in victims
+    ]
+    for _ in range(slow_nodes):
+        at = rng.uniform(0.0, 0.8 * horizon_s)
+        faults.append(SlowNode(
+            node=rng.randrange(num_nodes), at_s=at,
+            duration_s=rng.uniform(0.05, 0.5) * horizon_s,
+            multiplier=slow_multiplier,
+        ))
+    for _ in range(copy_faults):
+        faults.append(CopyFault(
+            node=rng.randrange(num_nodes),
+            at_s=rng.uniform(0.0, horizon_s),
+        ))
+    return FaultSchedule(faults=tuple(faults))
+
+
+class FaultInjector:
+    """Arms a :class:`FaultSchedule` as events on a simulator.
+
+    The injector is deliberately dumb: at each fault's time it calls the
+    matching handler and counts down :attr:`pending`. The cluster engine
+    uses ``pending`` to keep its heartbeat alive exactly as long as more
+    faults can still arrive (a drained event queue with pending faults
+    would otherwise end the simulation before the outage happens).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        schedule: FaultSchedule,
+        on_crash: Callable[[NodeCrash], None],
+        on_slow_start: Optional[Callable[[SlowNode], None]] = None,
+        on_slow_end: Optional[Callable[[SlowNode], None]] = None,
+        on_copy_fault: Optional[Callable[[CopyFault], None]] = None,
+    ) -> None:
+        self.schedule = schedule
+        self.pending = 0
+        self.delivered: List[FaultEvent] = []
+        for fault in schedule:
+            self.pending += 1
+            if isinstance(fault, NodeCrash):
+                sim.schedule_at(
+                    fault.at_s, lambda f=fault: self._fire(on_crash, f)
+                )
+            elif isinstance(fault, SlowNode):
+                if on_slow_start is not None:
+                    sim.schedule_at(
+                        fault.at_s, lambda f=fault: on_slow_start(f)
+                    )
+                # the *end* of the window retires the fault: the engine
+                # must stay responsive for its whole duration.
+                sim.schedule_at(
+                    fault.end_s, lambda f=fault: self._fire(on_slow_end, f)
+                )
+            else:
+                sim.schedule_at(
+                    fault.at_s, lambda f=fault: self._fire(on_copy_fault, f)
+                )
+
+    def _fire(self, handler: Optional[Callable], fault: FaultEvent) -> None:
+        self.pending -= 1
+        self.delivered.append(fault)
+        if handler is not None:
+            handler(fault)
+
+
+__all__ = [
+    "CopyFault",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "NodeCrash",
+    "SlowNode",
+    "parse_fault",
+    "random_schedule",
+]

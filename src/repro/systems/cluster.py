@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 if TYPE_CHECKING:  # the coe package imports systems.platforms, so cluster
     # defers its coe imports to call time to keep the layering acyclic.
     from repro.coe.expert import ExpertLibrary, ExpertProfile
-    from repro.coe.serving import CoEServer
+    from repro.coe.serving import ExpertServer
 
 
 def partition_experts(
@@ -79,7 +79,7 @@ class NodeState:
     """One serving node: its server plus a work-completion clock."""
 
     name: str
-    server: "CoEServer"
+    server: "ExpertServer"
     busy_until_s: float = 0.0
     requests_served: int = 0
 
@@ -109,7 +109,7 @@ class Cluster:
         balanced: bool = True,
     ) -> None:
         from repro.coe.expert import ExpertLibrary
-        from repro.coe.serving import CoEServer
+        from repro.coe.serving import ExpertServer
 
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -125,7 +125,7 @@ class Cluster:
             node_index = len(self.nodes)
             node = NodeState(
                 name=f"node{node_index}",
-                server=CoEServer(platform_factory(), shard_library),
+                server=ExpertServer(platform_factory(), shard_library),
             )
             self.nodes.append(node)
             for expert in shard:

@@ -1,0 +1,189 @@
+"""The unified serving facade: ServeConfig, engine choice, deprecation."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.coe.api import ServeConfig, Server, build_server, serve
+from repro.coe.cluster_engine import ClusterEngine, ClusterReport
+from repro.coe.engine import EngineReport, ServingEngine, zipf_request_stream
+from repro.coe.expert import build_samba_coe_library
+from repro.coe.policies import ClusterPolicy, NodePolicy, PolicyEnum
+from repro.coe.serving import CoEServer, ExpertServer
+from repro.sim.faults import FaultSchedule, NodeCrash
+from repro.systems.platforms import sn40l_platform
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_samba_coe_library(16)
+
+
+@pytest.fixture(scope="module")
+def stream(library):
+    return zipf_request_stream(library, 24, alpha=1.1, seed=7)
+
+
+class TestPolicyEnums:
+    def test_members_and_values(self):
+        assert NodePolicy.values() == ("fifo", "affinity", "overlap")
+        assert ClusterPolicy.values() == ("least_loaded", "affinity", "steal")
+
+    def test_strings_coerce(self):
+        assert NodePolicy.coerce("overlap") is NodePolicy.OVERLAP
+        assert ClusterPolicy.coerce("steal") is ClusterPolicy.STEAL
+
+    def test_members_pass_through(self):
+        assert NodePolicy.coerce(NodePolicy.FIFO) is NodePolicy.FIFO
+
+    def test_error_lists_valid_members(self):
+        with pytest.raises(ValueError) as err:
+            NodePolicy.coerce("bogus")
+        message = str(err.value)
+        assert "unknown NodePolicy 'bogus'" in message
+        for value in NodePolicy.values():
+            assert value in message
+
+    def test_str_is_the_wire_value(self):
+        assert str(NodePolicy.OVERLAP) == "overlap"
+        assert f"{ClusterPolicy.STEAL}" == "steal"
+
+    def test_both_are_policy_enums(self):
+        assert issubclass(NodePolicy, PolicyEnum)
+        assert issubclass(ClusterPolicy, PolicyEnum)
+
+
+class TestServeConfig:
+    def test_defaults(self):
+        config = ServeConfig()
+        assert config.policy is NodePolicy.OVERLAP
+        assert config.cluster_policy is ClusterPolicy.STEAL
+        assert config.num_nodes == 1
+        assert not config.wants_cluster
+
+    def test_strings_coerce_to_enums(self):
+        config = ServeConfig(policy="fifo", cluster_policy="affinity")
+        assert config.policy is NodePolicy.FIFO
+        assert config.cluster_policy is ClusterPolicy.AFFINITY
+
+    def test_fault_specs_coerce_to_schedule(self):
+        config = ServeConfig(num_nodes=4, faults=["node1:0.5"])
+        assert isinstance(config.faults, FaultSchedule)
+        assert config.faults.crashes == (NodeCrash(node=1, at_s=0.5),)
+
+    def test_unknown_policy_rejected_with_members(self):
+        with pytest.raises(ValueError, match="unknown NodePolicy.*overlap"):
+            ServeConfig(policy="turbo")
+        with pytest.raises(ValueError, match="unknown ClusterPolicy.*steal"):
+            ServeConfig(cluster_policy="turbo")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_nodes": 0},
+        {"max_batch": 0},
+        {"window": 0},
+        {"replication_depth": 0},
+        {"heartbeat_s": 0.0},
+        {"deadline_s": 0.0},
+    ])
+    def test_bad_numbers_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)
+
+    def test_wants_cluster_on_nodes_faults_or_deadline(self):
+        assert ServeConfig(num_nodes=2).wants_cluster
+        assert ServeConfig(faults=["node0:1.0"], num_nodes=2).wants_cluster
+        assert ServeConfig(deadline_s=1.0).wants_cluster
+        assert not ServeConfig().wants_cluster
+
+    def test_with_revalidates(self):
+        config = ServeConfig().with_(num_nodes=4)
+        assert config.num_nodes == 4
+        with pytest.raises(ValueError):
+            config.with_(num_nodes=-1)
+
+    def test_to_dict_is_json_friendly(self):
+        import json
+        config = ServeConfig(policy="fifo", num_nodes=2,
+                             faults=["node1:0.5"], deadline_s=2.0)
+        payload = json.loads(json.dumps(config.to_dict()))
+        assert payload["policy"] == "fifo"
+        assert payload["faults"] == ["crash:node1:0.5"]
+        assert payload["deadline_s"] == 2.0
+
+
+class TestBuildServer:
+    def test_single_node_builds_serving_engine(self, library):
+        server = build_server(sn40l_platform, library, ServeConfig())
+        assert isinstance(server, ServingEngine)
+        assert isinstance(server, Server)
+
+    def test_cluster_config_builds_cluster_engine(self, library):
+        server = build_server(
+            sn40l_platform, library, ServeConfig(num_nodes=4)
+        )
+        assert isinstance(server, ClusterEngine)
+        assert isinstance(server, Server)
+
+    def test_faults_force_the_cluster_engine(self, library):
+        server = build_server(
+            sn40l_platform, library,
+            ServeConfig(num_nodes=2, faults=["node1:0.5"]),
+        )
+        assert isinstance(server, ClusterEngine)
+
+    def test_platform_instance_or_factory(self, library):
+        for platform in (sn40l_platform, sn40l_platform()):
+            assert isinstance(
+                build_server(platform, library, ServeConfig()),
+                ServingEngine,
+            )
+            assert isinstance(
+                build_server(platform, library, ServeConfig(num_nodes=2)),
+                ClusterEngine,
+            )
+
+
+class TestServe:
+    def test_single_node_returns_engine_report(self, library, stream):
+        report = serve(sn40l_platform, library, stream)
+        assert isinstance(report, EngineReport)
+        assert report.requests == len(stream)
+
+    def test_cluster_returns_cluster_report(self, library, stream):
+        report = serve(
+            sn40l_platform, library, stream, ServeConfig(num_nodes=2)
+        )
+        assert isinstance(report, ClusterReport)
+        assert report.requests == len(stream)
+
+    def test_exposed_at_top_level(self, library, stream):
+        assert repro.serve is serve
+        assert repro.ServeConfig is ServeConfig
+        report = repro.serve(
+            sn40l_platform, library, stream, repro.ServeConfig(num_nodes=2)
+        )
+        assert report.requests == len(stream)
+
+    def test_matches_direct_engine_run(self, library, stream):
+        via_api = serve(sn40l_platform, library, stream,
+                        ServeConfig(policy="overlap"))
+        direct = ServingEngine(
+            sn40l_platform(), library, policy="overlap"
+        ).run(stream)
+        assert via_api.makespan_s == pytest.approx(direct.makespan_s)
+
+
+class TestDeprecationShim:
+    def test_coeserver_warns_and_still_works(self, library):
+        with pytest.warns(DeprecationWarning, match="repro.serve"):
+            server = CoEServer(sn40l_platform(), library)
+        assert isinstance(server, ExpertServer)
+        expert = library.experts[0]
+        result = server.serve_experts([expert])
+        assert result.total_s > 0
+
+    def test_expert_server_does_not_warn(self, library):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ExpertServer(sn40l_platform(), library)

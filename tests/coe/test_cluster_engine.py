@@ -35,7 +35,7 @@ def steal_report(library, stream):
 
 class TestConstruction:
     def test_rejects_unknown_policy(self, library):
-        with pytest.raises(ValueError, match="unknown cluster policy"):
+        with pytest.raises(ValueError, match="unknown ClusterPolicy"):
             ClusterEngine(sn40l_platform, library, 2, policy="random")
 
     def test_rejects_bad_node_count(self, library):
@@ -188,6 +188,6 @@ class TestReporting:
 
     def test_cluster_lanes_order(self):
         assert cluster_lanes(2) == [
-            "node0/compute", "node0/switch", "node0/prefetch",
-            "node1/compute", "node1/switch", "node1/prefetch",
+            "node0/compute", "node0/switch", "node0/prefetch", "node0/faults",
+            "node1/compute", "node1/switch", "node1/prefetch", "node1/faults",
         ]

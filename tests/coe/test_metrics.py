@@ -4,7 +4,7 @@ import pytest
 
 from repro.coe.expert import build_samba_coe_library
 from repro.coe.metrics import compute_metrics, metrics_of, percentile
-from repro.coe.serving import CoEServer, RequestLatency
+from repro.coe.serving import ExpertServer, RequestLatency
 from repro.systems.platforms import sn40l_platform
 
 
@@ -59,7 +59,7 @@ class TestComputeMetrics:
 class TestEndToEnd:
     def test_metrics_of_served_batch(self):
         library = build_samba_coe_library(20)
-        server = CoEServer(sn40l_platform(), library)
+        server = ExpertServer(sn40l_platform(), library)
         result = server.serve_experts(library.experts[:5], output_tokens=10)
         metrics = metrics_of(result, output_tokens_per_request=10)
         assert metrics.requests == 5
@@ -68,7 +68,7 @@ class TestEndToEnd:
 
     def test_cache_hits_shrink_p50(self):
         library = build_samba_coe_library(10)
-        server = CoEServer(sn40l_platform(), library)
+        server = ExpertServer(sn40l_platform(), library)
         expert = library.experts[0]
         cold = server.serve_experts([expert], output_tokens=10)
         warm = server.serve_experts([expert] * 5, output_tokens=10)

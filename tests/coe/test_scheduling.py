@@ -11,7 +11,7 @@ from repro.coe.scheduling import (
     serve_schedule,
     serve_with_prefetch,
 )
-from repro.coe.serving import CoEServer
+from repro.coe.serving import ExpertServer
 from repro.systems.platforms import sn40l_platform
 
 
@@ -66,8 +66,8 @@ class TestServeSchedule:
         # HBM holds ~37 experts; an interleaved stream over 50 experts
         # thrashes FIFO but affinity groups repeats into hits.
         reqs = _interleaved_requests(library, copies=3, experts=50)
-        fifo_server = CoEServer(sn40l_platform(), library)
-        affinity_server = CoEServer(sn40l_platform(), library)
+        fifo_server = ExpertServer(sn40l_platform(), library)
+        affinity_server = ExpertServer(sn40l_platform(), library)
         fifo = serve_schedule(fifo_server, fifo_schedule(reqs), "fifo",
                               output_tokens=5)
         grouped = serve_schedule(
@@ -78,7 +78,7 @@ class TestServeSchedule:
         assert grouped.total_s < fifo.total_s
 
     def test_outcome_accounting(self, library):
-        server = CoEServer(sn40l_platform(), library)
+        server = ExpertServer(sn40l_platform(), library)
         reqs = _interleaved_requests(library, copies=2, experts=2)
         outcome = serve_schedule(server, reqs, "fifo", output_tokens=5)
         assert outcome.requests == 4
@@ -86,7 +86,7 @@ class TestServeSchedule:
         assert outcome.hit_rate == pytest.approx(0.5)
 
     def test_empty_schedule_rejected(self, library):
-        server = CoEServer(sn40l_platform(), library)
+        server = ExpertServer(sn40l_platform(), library)
         with pytest.raises(ValueError):
             serve_schedule(server, [], "fifo")
 
@@ -138,7 +138,7 @@ class TestSpeculativePrefetch:
         stream = [a, b, c] * 6
         platform = sn40l_platform()
         one_slot = int(1.5 * a.weight_bytes)
-        server = CoEServer(platform, library,
+        server = ExpertServer(platform, library,
                            reserved_hbm_bytes=platform.hbm_capacity_bytes - one_slot)
         outcome = serve_with_prefetch(server, stream, output_tokens=5)
         assert outcome.predictor_accuracy > 0.5
@@ -147,11 +147,11 @@ class TestSpeculativePrefetch:
 
     def test_never_slower_than_baseline(self, library):
         stream = [library.experts[i % 7] for i in range(20)]
-        server = CoEServer(sn40l_platform(), library)
+        server = ExpertServer(sn40l_platform(), library)
         outcome = serve_with_prefetch(server, stream, output_tokens=5)
         assert outcome.total_s <= outcome.baseline_s + 1e-12
 
     def test_empty_stream_rejected(self, library):
-        server = CoEServer(sn40l_platform(), library)
+        server = ExpertServer(sn40l_platform(), library)
         with pytest.raises(ValueError):
             serve_with_prefetch(server, [])

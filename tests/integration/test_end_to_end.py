@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import Orchestration, Session, compile_model
-from repro.coe import CoEServer, Router, build_samba_coe_library
+from repro.coe import ExpertServer, Router, build_samba_coe_library
 from repro.core.executor import execute_graph, execute_plan, random_inputs
 from repro.dataflow import fusion
 from repro.dataflow.bandwidth import Channel, analyze_kernel_bandwidth
@@ -63,7 +63,7 @@ class TestServeWhatYouCompile:
 
     def test_router_to_serving_round_trip(self):
         library = build_samba_coe_library(40)
-        server = CoEServer(sn40l_platform(), library)
+        server = ExpertServer(sn40l_platform(), library)
         result = server.serve_prompts(
             ["debug this python function", "solve this equation: 2x + 4 = 10"],
             output_tokens=5,

@@ -7,7 +7,7 @@ import pytest
 from repro.arch.config import SocketConfig
 from repro.coe.engine import ServingEngine, zipf_request_stream
 from repro.coe.expert import build_samba_coe_library
-from repro.coe.serving import CoEServer
+from repro.coe.serving import ExpertServer
 from repro.dataflow import fusion
 from repro.models.fftconv import monarch_fft_graph
 from repro.perf.kernel_cost import ExecutionTarget, Orchestration, cost_plan
@@ -53,7 +53,7 @@ class TestPlanTrace:
 class TestServeTrace:
     def test_phases_appear_in_lanes(self):
         library = build_samba_coe_library(10)
-        server = CoEServer(sn40l_platform(), library)
+        server = ExpertServer(sn40l_platform(), library)
         result = server.serve_experts(library.experts[:2], output_tokens=5)
         events = serve_result_trace(result)
         categories = {e["cat"] for e in events}

@@ -1,0 +1,181 @@
+"""The fault-injection schedule: parsing, validation, determinism."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.faults import (
+    CopyFault,
+    FaultInjector,
+    FaultSchedule,
+    NodeCrash,
+    SlowNode,
+    parse_fault,
+    random_schedule,
+)
+
+
+class TestParseFault:
+    def test_bare_shorthand_is_a_crash(self):
+        fault = parse_fault("node3:2.5")
+        assert fault == NodeCrash(node=3, at_s=2.5)
+
+    def test_bare_index_works_too(self):
+        assert parse_fault("1:0.25") == NodeCrash(node=1, at_s=0.25)
+
+    def test_explicit_crash(self):
+        assert parse_fault("crash:node0:1.0") == NodeCrash(node=0, at_s=1.0)
+
+    def test_slow_with_default_multiplier(self):
+        fault = parse_fault("slow:node2:0.5:0.2")
+        assert fault == SlowNode(node=2, at_s=0.5, duration_s=0.2,
+                                 multiplier=2.0)
+
+    def test_slow_with_multiplier(self):
+        fault = parse_fault("slow:2:0.5:0.2:3.5")
+        assert fault.multiplier == 3.5
+        assert fault.end_s == pytest.approx(0.7)
+
+    def test_copyfail_with_count(self):
+        assert parse_fault("copyfail:node1:0.1:4") == CopyFault(
+            node=1, at_s=0.1, count=4
+        )
+
+    def test_copyfail_default_count(self):
+        assert parse_fault("copyfail:1:0.1").count == 1
+
+    @pytest.mark.parametrize("spec", [
+        "", "node3", "crash:node3", "slow:1:0.5", "bogus:stuff:here",
+        "crash:node3:1:extra", "copyfail:1:0.1:2:9",
+    ])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ValueError, match="bad fault spec"):
+            parse_fault(spec)
+
+    @pytest.mark.parametrize("spec", [
+        "node3:2.5", "crash:node0:1", "slow:node2:0.5:0.2:3.5",
+        "copyfail:node1:0.1:4",
+    ])
+    def test_spec_round_trips(self, spec):
+        assert parse_fault(parse_fault(spec).spec) == parse_fault(spec)
+
+
+class TestFaultEvents:
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError, match="node index"):
+            NodeCrash(node=-1, at_s=1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="time"):
+            NodeCrash(node=0, at_s=-0.1)
+
+    def test_nonpositive_slow_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            SlowNode(node=0, at_s=0.0, duration_s=0.0)
+
+    def test_speedup_multiplier_rejected(self):
+        with pytest.raises(ValueError, match="multiplier"):
+            SlowNode(node=0, at_s=0.0, duration_s=1.0, multiplier=0.5)
+
+    def test_zero_copy_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            CopyFault(node=0, at_s=0.0, count=0)
+
+
+class TestFaultSchedule:
+    def test_sorted_by_time_then_node(self):
+        schedule = FaultSchedule(faults=(
+            NodeCrash(node=2, at_s=3.0),
+            SlowNode(node=1, at_s=1.0, duration_s=0.5),
+            NodeCrash(node=0, at_s=1.0),
+        ))
+        assert [(f.at_s, f.node) for f in schedule] == [
+            (1.0, 0), (1.0, 1), (3.0, 2),
+        ]
+
+    def test_from_specs_and_back(self):
+        specs = ["crash:node3:2.5", "slow:node1:0.5:0.2:2",
+                 "copyfail:node0:0.1:1"]
+        schedule = FaultSchedule.from_specs(specs)
+        assert FaultSchedule.from_specs(schedule.specs()) == schedule
+
+    def test_len_bool_for_node(self):
+        schedule = FaultSchedule.from_specs(["node1:1.0", "node2:2.0"])
+        assert len(schedule) == 2 and schedule
+        assert not FaultSchedule()
+        assert [f.node for f in schedule.for_node(2)] == [2]
+
+    def test_crashes_filters_kind(self):
+        schedule = FaultSchedule.from_specs(
+            ["slow:0:0.1:0.2", "node1:1.0"]
+        )
+        assert [type(c) for c in schedule.crashes] == [NodeCrash]
+
+    def test_validate_rejects_out_of_range_node(self):
+        schedule = FaultSchedule.from_specs(["node7:1.0"])
+        with pytest.raises(ValueError, match="node 7"):
+            schedule.validate_for(4)
+
+    def test_validate_rejects_crashing_every_node(self):
+        schedule = FaultSchedule.from_specs(["node0:1.0", "node1:2.0"])
+        with pytest.raises(ValueError, match="every node"):
+            schedule.validate_for(2)
+        schedule.validate_for(3)  # one survivor is enough
+
+
+class TestRandomSchedule:
+    def test_same_seed_same_schedule(self):
+        a = random_schedule(8, 2.0, seed=7, crashes=2, slow_nodes=2,
+                            copy_faults=1)
+        b = random_schedule(8, 2.0, seed=7, crashes=2, slow_nodes=2,
+                            copy_faults=1)
+        assert a == b
+        assert a.specs() == b.specs()
+
+    def test_different_seed_differs(self):
+        a = random_schedule(8, 2.0, seed=1)
+        b = random_schedule(8, 2.0, seed=2)
+        assert a != b
+
+    def test_never_crashes_every_node(self):
+        with pytest.raises(ValueError, match="refusing"):
+            random_schedule(4, 1.0, crashes=4)
+        schedule = random_schedule(4, 1.0, seed=3, crashes=3)
+        schedule.validate_for(4)
+
+    def test_within_horizon(self):
+        schedule = random_schedule(8, 2.0, seed=5, crashes=3, slow_nodes=3,
+                                   copy_faults=3)
+        assert all(0 <= f.at_s <= 2.0 for f in schedule)
+
+
+class TestFaultInjector:
+    def test_fires_handlers_at_scheduled_times(self):
+        sim = Simulator()
+        schedule = FaultSchedule.from_specs(
+            ["crash:0:1.0", "slow:1:0.5:0.3", "copyfail:2:0.2"]
+        )
+        seen = []
+        injector = FaultInjector(
+            sim, schedule,
+            on_crash=lambda f: seen.append(("crash", sim.now)),
+            on_slow_start=lambda f: seen.append(("slow+", sim.now)),
+            on_slow_end=lambda f: seen.append(("slow-", sim.now)),
+            on_copy_fault=lambda f: seen.append(("copy", sim.now)),
+        )
+        assert injector.pending == 3
+        sim.run()
+        assert seen == [
+            ("copy", 0.2), ("slow+", 0.5), ("slow-", 0.8), ("crash", 1.0),
+        ]
+        assert injector.pending == 0
+        assert len(injector.delivered) == 3
+
+    def test_slow_fault_retires_at_window_end(self):
+        sim = Simulator()
+        schedule = FaultSchedule.from_specs(["slow:0:0.5:1.0"])
+        injector = FaultInjector(sim, schedule, on_crash=lambda f: None)
+        sim.schedule_at(0.6, lambda: pending_mid.append(injector.pending))
+        pending_mid = []
+        sim.run()
+        assert pending_mid == [1]  # still pending inside the window
+        assert injector.pending == 0

@@ -143,12 +143,12 @@ class TestHeterogeneousLibrary:
         assert len(sizes) == 3
 
     def test_serving_handles_mixed_sizes(self):
-        from repro.coe.serving import CoEServer
+        from repro.coe.serving import ExpertServer
 
         library = build_heterogeneous_library(
             size_mix=None,
         )
-        server = CoEServer(sn40l_platform(), library)
+        server = ExpertServer(sn40l_platform(), library)
         big = next(e for e in library.experts if "13b" in e.model.name)
         small = next(e for e in library.experts if "7b" in e.model.name)
         result = server.serve_experts([big, small], output_tokens=5)
