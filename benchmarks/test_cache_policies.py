@@ -1,0 +1,241 @@
+"""HBM expert-cache policy sweep against the offline Belady bound.
+
+The paper's Section V-B runtime manages its HBM expert region as an LRU
+cache. This benchmark measures how much of the attainable hit rate LRU
+actually captures on the SN40L node model, emitted to
+``BENCH_cache.json`` at the repo root:
+
+1. **Zipf-1.1 sweep** — the skewed steady-state workload every serving
+   benchmark in this repo uses. The Belady oracle (replayed from the
+   recorded demand trace) upper-bounds every online policy; the
+   frequency-aware heuristics close part of the LRU-to-Belady gap.
+2. **Drifting-hot-set sweep** — a slowly rotating hot set with uniform
+   scan pollution, the adversarial-for-LRU workload: one cold scan
+   evicts a hot expert LRU just served, while LFU/GDSF frequency
+   protection keeps the hot set resident.
+
+Methodology: the node runs the ``fifo`` scheduling policy so the demand
+access sequence is the coalesced group order — identical for every cache
+policy, which is what makes the Belady replay (trace recorded under LRU)
+a valid bound for all of them. HBM is reserved down to a
+``CACHE_EXPERTS``-slot expert region to put the cache under pressure.
+Everything is deterministic: the emitted payload is asserted
+byte-identical across two same-seed runs.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the workload for CI smoke runs.
+"""
+
+import json
+import os
+import random
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import fmt_ms, print_table
+from repro.coe.cache import CACHE_POLICIES, BeladyPolicy
+from repro.coe.engine import EngineRequest, ServingEngine, zipf_request_stream
+from repro.coe.expert import build_samba_coe_library
+from repro.systems.platforms import sn40l_platform
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+NUM_EXPERTS = 32 if SMOKE else 48
+NUM_REQUESTS = 160 if SMOKE else 400
+DRIFT_REQUESTS = 192 if SMOKE else 480
+CACHE_EXPERTS = 8       #: expert slots in the pressured HBM region
+HOT_SET = 8             #: drifting workload's hot-set size
+PHASE = 40              #: requests per drift phase (one member rotates)
+HOT_FRACTION = 0.85     #: hot draws; the rest is uniform scan pollution
+OUTPUT_TOKENS = 20
+ZIPF_ALPHA = 1.1
+SEED = 1234
+MAX_BATCH = 4
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cache.json"
+
+
+def _library():
+    return build_samba_coe_library(NUM_EXPERTS)
+
+
+def _reserved_bytes(platform, library):
+    """Reserve HBM down to a CACHE_EXPERTS-slot expert region."""
+    expert_bytes = library.experts[0].weight_bytes
+    budget = CACHE_EXPERTS * expert_bytes + expert_bytes // 2
+    return platform.hbm_capacity_bytes - budget
+
+
+def drifting_hot_set_stream(
+    library,
+    num_requests,
+    hot_set=HOT_SET,
+    phase=PHASE,
+    hot_fraction=HOT_FRACTION,
+    seed=SEED,
+    output_tokens=OUTPUT_TOKENS,
+):
+    """A rotating hot set with uniform scan pollution.
+
+    The hot set starts as experts ``0..hot_set-1``; each ``phase``
+    requests, its oldest member is replaced by the next never-hot expert
+    (wrapping), so popularity drifts slowly. Each request draws from the
+    current hot set with probability ``hot_fraction`` and uniformly from
+    the whole library otherwise (the scans that pollute an LRU cache).
+    Deterministic under ``seed``.
+    """
+    rng = random.Random(seed)
+    experts = library.experts
+    hot = list(range(hot_set))
+    next_new = hot_set
+    requests = []
+    for i in range(num_requests):
+        if i > 0 and i % phase == 0:
+            hot.pop(0)
+            hot.append(next_new % len(experts))
+            next_new += 1
+        if rng.random() < hot_fraction:
+            idx = hot[rng.randrange(len(hot))]
+        else:
+            idx = rng.randrange(len(experts))
+        requests.append(
+            EngineRequest(
+                request_id=i, expert=experts[idx],
+                output_tokens=output_tokens,
+            )
+        )
+    return requests
+
+
+def _run_policy(library, requests, cache_policy):
+    platform = sn40l_platform()
+    engine = ServingEngine(
+        platform, library, policy="fifo", max_batch=MAX_BATCH,
+        reserved_hbm_bytes=_reserved_bytes(platform, library),
+        cache_policy=cache_policy,
+    )
+    report = engine.run(requests)
+    stats = engine.server.runtime.stats
+    return {
+        "cache_policy": report.cache_policy,
+        "demand_hit_rate": report.demand_hit_rate,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "switch_time_s": stats.switch_time_s,
+        "bytes_up": stats.bytes_up,
+        "evictions": stats.evictions,
+        "makespan_s": report.makespan_s,
+        "tokens_per_second": report.tokens_per_second,
+    }, engine.server.runtime
+
+
+def _sweep(library, requests):
+    """Every online policy plus the Belady bound, on one workload."""
+    results = {}
+    lru_result, lru_runtime = _run_policy(library, requests, "lru")
+    results["lru"] = lru_result
+    for name in CACHE_POLICIES:
+        if name == "lru":
+            continue
+        results[name], _ = _run_policy(library, requests, name)
+    oracle = BeladyPolicy(lru_runtime.demand_trace)
+    results["belady"], _ = _run_policy(library, requests, oracle)
+    return results
+
+
+@pytest.fixture(scope="module")
+def cache_sweeps():
+    """Both workloads, run twice to pin byte-level determinism."""
+    library = _library()
+    zipf = zipf_request_stream(
+        library, NUM_REQUESTS, alpha=ZIPF_ALPHA, seed=SEED,
+        output_tokens=OUTPUT_TOKENS,
+    )
+    drift = drifting_hot_set_stream(library, DRIFT_REQUESTS)
+    first = {"zipf": _sweep(library, zipf), "drift": _sweep(library, drift)}
+    second = {"zipf": _sweep(library, zipf), "drift": _sweep(library, drift)}
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    ), "cache-policy sweep is not deterministic across same-seed runs"
+    return first
+
+
+def test_cache_policy_table(benchmark, cache_sweeps):
+    benchmark.pedantic(lambda: cache_sweeps, rounds=1, iterations=1)
+    for workload, results in cache_sweeps.items():
+        rows = [
+            [
+                name,
+                f"{r['demand_hit_rate']:.3f}",
+                f"{r['hits']}/{r['hits'] + r['misses']}",
+                f"{r['switch_time_s']:.3f} s",
+                r["evictions"],
+                fmt_ms(r["makespan_s"]),
+            ]
+            for name, r in results.items()
+        ]
+        print_table(
+            f"Cache policies, {workload} workload "
+            f"({CACHE_EXPERTS}-expert HBM region, {NUM_EXPERTS} experts)",
+            ["Policy", "hit rate", "hits", "demand switch", "evict",
+             "makespan"],
+            rows,
+        )
+
+
+def test_belady_bounds_every_online_policy(cache_sweeps):
+    """No online policy may beat the clairvoyant oracle on its trace."""
+    for workload, results in cache_sweeps.items():
+        bound = results["belady"]["demand_hit_rate"]
+        for name in CACHE_POLICIES:
+            assert results[name]["demand_hit_rate"] <= bound + 1e-12, (
+                workload, name
+            )
+
+
+def test_zipf_ladder_belady_best_heuristic_lru(cache_sweeps):
+    """Acceptance: belady >= best non-LRU heuristic >= lru on Zipf-1.1."""
+    zipf = cache_sweeps["zipf"]
+    best_heuristic = max(
+        zipf[name]["demand_hit_rate"]
+        for name in CACHE_POLICIES if name != "lru"
+    )
+    assert zipf["belady"]["demand_hit_rate"] >= best_heuristic
+    assert best_heuristic >= zipf["lru"]["demand_hit_rate"]
+
+
+def test_drift_some_policy_beats_lru_on_switch_time(cache_sweeps):
+    """Acceptance: under the drifting hot set, frequency/cost-aware
+    eviction spends strictly less total demand switch time than LRU."""
+    drift = cache_sweeps["drift"]
+    lru_switch = drift["lru"]["switch_time_s"]
+    best = min(
+        drift[name]["switch_time_s"]
+        for name in CACHE_POLICIES if name != "lru"
+    )
+    assert best < lru_switch
+
+
+def test_emit_bench_json(cache_sweeps):
+    payload = {
+        "workload": {
+            "experts": NUM_EXPERTS,
+            "cache_experts": CACHE_EXPERTS,
+            "zipf": {"requests": NUM_REQUESTS, "alpha": ZIPF_ALPHA},
+            "drift": {
+                "requests": DRIFT_REQUESTS,
+                "hot_set": HOT_SET,
+                "phase": PHASE,
+                "hot_fraction": HOT_FRACTION,
+            },
+            "seed": SEED,
+            "max_batch": MAX_BATCH,
+            "node_policy": "fifo",
+            "policies": list(CACHE_POLICIES) + ["belady"],
+            "smoke": SMOKE,
+        },
+        "sweeps": cache_sweeps,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT_PATH}")
+    assert OUTPUT_PATH.exists()

@@ -204,7 +204,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         for policy in policies:
             try:
                 config = ServeConfig(policy=policy, max_batch=args.max_batch,
-                                     window=args.window)
+                                     window=args.window,
+                                     cache_policy=args.cache_policy)
                 report = serve(platform, library, requests, config)
             except ValueError as exc:
                 print(exc, file=sys.stderr)
@@ -225,6 +226,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "requests": args.requests,
             "zipf_alpha": args.zipf,
             "seed": args.seed,
+            "cache_policy": args.cache_policy,
             "results": results,
         }
         with open(args.output, "w") as fh:
@@ -273,6 +275,7 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
                     max_batch=args.max_batch, window=args.window,
                     online_replication=replication,
                     faults=args.inject_fault, deadline_s=args.deadline,
+                    cache_policy=args.cache_policy,
                 )
                 report = serve(platforms[args.platform], library, requests,
                                config)
@@ -306,6 +309,7 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
             "zipf_alpha": args.zipf,
             "seed": args.seed,
             "node_policy": args.policy,
+            "cache_policy": args.cache_policy,
             "online_replication": replication,
             "faults": list(args.inject_fault),
             "deadline_s": args.deadline,
@@ -438,7 +442,8 @@ def _trace_serve(args: argparse.Namespace) -> int:
     try:
         library, requests = _build_stream(args)
         config = ServeConfig(policy=args.policy, max_batch=args.max_batch,
-                             window=args.window)
+                             window=args.window,
+                             cache_policy=args.cache_policy)
         report = serve(_platform_factories()[args.platform], library,
                        requests, config)
     except ValueError as exc:
@@ -479,7 +484,7 @@ def _trace_cluster(args: argparse.Namespace) -> int:
             policy=args.policy, cluster_policy=args.cluster_policy,
             num_nodes=num_nodes, max_batch=args.max_batch,
             window=args.window, faults=args.inject_fault,
-            deadline_s=args.deadline,
+            deadline_s=args.deadline, cache_policy=args.cache_policy,
         )
         report = serve(_platform_factories()[args.platform], library,
                        requests, config)
@@ -550,6 +555,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--cluster-policy", default="steal",
             choices=["least_loaded", "affinity", "steal", "all"],
             help="cross-node dispatch policy (cluster paths)")
+        p.add_argument(
+            "--cache-policy", default="lru",
+            choices=["lru", "lfu", "gdsf", "predictive"],
+            help="HBM expert-cache eviction policy (belady is offline-"
+                 "only; see benchmarks/test_cache_policies.py)")
         p.add_argument(
             "--num-nodes", "--nodes", dest="num_nodes", default="4",
             metavar="N[,N...]",

@@ -38,7 +38,22 @@ from repro.coe.cluster_engine import (
     scaling_sweep,
 )
 from repro.coe.runtime import CoERuntime, RuntimeStats, SwitchEvent
-from repro.coe.policies import ClusterPolicy, NodePolicy, PolicyEnum
+from repro.coe.cache import (
+    CACHE_POLICIES,
+    BeladyPolicy,
+    CachePolicy,
+    GDSFPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    PredictivePolicy,
+    make_policy,
+)
+from repro.coe.policies import (
+    CachePolicyName,
+    ClusterPolicy,
+    NodePolicy,
+    PolicyEnum,
+)
 from repro.coe.serving import (
     CoEServer,
     ExpertServer,
@@ -59,5 +74,8 @@ __all__ = [
     "zipf_request_stream", "CLUSTER_POLICIES", "ClusterEngine",
     "ClusterReport", "NodeSummary", "cluster_lanes", "run_cluster",
     "scaling_sweep", "ClusterPolicy", "NodePolicy", "PolicyEnum",
+    "CACHE_POLICIES", "BeladyPolicy", "CachePolicy", "CachePolicyName",
+    "GDSFPolicy", "LFUPolicy", "LRUPolicy", "PredictivePolicy",
+    "make_policy",
     "ServeConfig", "Server", "build_server", "serve",
 ]

@@ -36,7 +36,7 @@ from typing import Callable, Optional, Protocol, Sequence, Union, runtime_checka
 from repro.coe.cluster_engine import ClusterEngine, ClusterReport, _coerce_faults
 from repro.coe.engine import EngineReport, EngineRequest, ServingEngine
 from repro.coe.expert import ExpertLibrary
-from repro.coe.policies import ClusterPolicy, NodePolicy
+from repro.coe.policies import CachePolicyName, ClusterPolicy, NodePolicy
 from repro.coe.serving import ExpertServer, RequestLatency, ServeResult
 from repro.sim.faults import FaultSchedule
 from repro.systems.platforms import Platform
@@ -78,6 +78,12 @@ class ServeConfig:
     policy: NodePolicy = NodePolicy.OVERLAP
     #: Cross-node dispatch policy (ignored on one node).
     cluster_policy: ClusterPolicy = ClusterPolicy.STEAL
+    #: HBM expert-cache eviction policy (every node's runtime). The
+    #: offline ``belady`` oracle needs a recorded trace and cannot be
+    #: configured by name — build a
+    #: :class:`repro.coe.cache.BeladyPolicy` and pass it to the engine
+    #: directly instead.
+    cache_policy: CachePolicyName = CachePolicyName.LRU
     num_nodes: int = 1
     max_batch: int = 8
     window: int = 16
@@ -99,6 +105,15 @@ class ServeConfig:
         object.__setattr__(
             self, "cluster_policy", ClusterPolicy.coerce(self.cluster_policy)
         )
+        object.__setattr__(
+            self, "cache_policy", CachePolicyName.coerce(self.cache_policy)
+        )
+        if self.cache_policy is CachePolicyName.BELADY:
+            raise ValueError(
+                "cache_policy 'belady' is the offline oracle and needs a "
+                "recorded trace; build a repro.coe.cache.BeladyPolicy and "
+                "pass it to the engine directly"
+            )
         object.__setattr__(self, "faults", _coerce_faults(self.faults))
         if self.num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
@@ -136,6 +151,7 @@ class ServeConfig:
         return {
             "policy": self.policy.value,
             "cluster_policy": self.cluster_policy.value,
+            "cache_policy": self.cache_policy.value,
             "num_nodes": self.num_nodes,
             "max_batch": self.max_batch,
             "window": self.window,
@@ -177,6 +193,7 @@ def build_server(
             faults=config.faults,
             heartbeat_s=config.heartbeat_s,
             deadline_s=config.deadline_s,
+            cache_policy=config.cache_policy.value,
         )
     instance = platform() if callable(platform) else platform
     return ServingEngine(
@@ -186,6 +203,7 @@ def build_server(
         max_batch=config.max_batch,
         window=config.window,
         reserved_hbm_bytes=config.reserved_hbm_bytes,
+        cache_policy=config.cache_policy.value,
     )
 
 
@@ -205,6 +223,7 @@ def serve(
 
 
 __all__ = [
+    "CachePolicyName",
     "ClusterPolicy",
     "ExpertServer",
     "NodePolicy",

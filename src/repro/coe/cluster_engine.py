@@ -70,6 +70,7 @@ from typing import (
     Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union,
 )
 
+from repro.coe.cache import CachePolicy, CachePolicyLike
 from repro.coe.engine import (
     CompletedRequest,
     EngineRequest,
@@ -182,6 +183,7 @@ class ClusterReport:
 
     policy: str
     node_policy: str
+    cache_policy: str
     num_nodes: int
     requests: int
     groups: int
@@ -241,6 +243,7 @@ class ClusterReport:
         return {
             "policy": self.policy,
             "node_policy": self.node_policy,
+            "cache_policy": self.cache_policy,
             "num_nodes": self.num_nodes,
             "requests": self.requests,
             "groups": self.groups,
@@ -287,9 +290,19 @@ class ClusterEngine:
         faults: Optional[FaultsLike] = None,
         heartbeat_s: float = 0.05,
         deadline_s: Optional[float] = None,
+        cache_policy: CachePolicyLike = None,
     ) -> None:
         self.policy = ClusterPolicy.coerce(policy).value
         self.node_policy = NodePolicy.coerce(node_policy).value
+        if isinstance(cache_policy, CachePolicy) and num_nodes > 1:
+            # A policy instance carries per-cache mutable state; sharing
+            # one across nodes would corrupt every node's bookkeeping.
+            # Pass a name or a zero-arg factory to get one per node.
+            raise ValueError(
+                "cache_policy must be a name or factory (not a CachePolicy "
+                "instance) when num_nodes > 1: each node needs its own "
+                "stateful policy object"
+            )
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
         if replication_depth < 1:
@@ -308,6 +321,7 @@ class ClusterEngine:
         self.max_replicas = num_nodes if max_replicas is None else max_replicas
         self.heartbeat_s = heartbeat_s
         self.deadline_s = deadline_s
+        self.cache_policy_spec = cache_policy
         self.timeline = Timeline()
         self.sim = Simulator(timeline=self.timeline)
         self.steals = 0
@@ -336,6 +350,7 @@ class ClusterEngine:
                 window=window,
                 simulator=self.sim,
                 lane_prefix=f"node{idx}/",
+                cache_policy=cache_policy,
             )
             node = _Node(
                 index=idx,
@@ -728,6 +743,7 @@ class ClusterEngine:
         return ClusterReport(
             policy=self.policy,
             node_policy=self.node_policy,
+            cache_policy=self.nodes[0].engine.cache_policy,
             num_nodes=self.num_nodes,
             requests=len(requests),
             groups=len(groups),
@@ -776,6 +792,7 @@ def run_cluster(
     faults: Optional[FaultsLike] = None,
     heartbeat_s: float = 0.05,
     deadline_s: Optional[float] = None,
+    cache_policy: CachePolicyLike = None,
 ) -> ClusterReport:
     """One cluster run over a fresh engine (fresh timeline, fresh clock)."""
     engine = ClusterEngine(
@@ -790,6 +807,7 @@ def run_cluster(
         faults=faults,
         heartbeat_s=heartbeat_s,
         deadline_s=deadline_s,
+        cache_policy=cache_policy,
     )
     return engine.serve(requests)
 

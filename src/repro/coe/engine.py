@@ -52,6 +52,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.coe.cache import CachePolicyLike, PredictivePolicy
 from repro.coe.expert import ExpertLibrary, ExpertProfile
 from repro.coe.metrics import percentile
 from repro.coe.policies import NodePolicy
@@ -122,6 +123,10 @@ class EngineReport:
     p99_s: float
     mean_s: float
     events_run: int
+    #: HBM expert-cache policy of the run and its *demand* hit rate
+    #: (speculative prefetcher traffic excluded — see RuntimeStats).
+    cache_policy: str = "lru"
+    demand_hit_rate: float = 0.0
     completed: tuple = field(repr=False, default=())
     #: The run's full span record (compute / switch / prefetch lanes);
     #: export via :func:`repro.obs.write_chrome_trace`.
@@ -164,6 +169,8 @@ class EngineReport:
             "switch_hidden_fraction": self.switch_hidden_fraction,
             "speculative_prefetches": self.speculative_prefetches,
             "events_run": self.events_run,
+            "cache_policy": self.cache_policy,
+            "demand_hit_rate": self.demand_hit_rate,
         }
 
 
@@ -189,6 +196,7 @@ class ServingEngine:
         reserved_hbm_bytes: Optional[int] = None,
         simulator: Optional[Simulator] = None,
         lane_prefix: str = "",
+        cache_policy: CachePolicyLike = None,
     ) -> None:
         if max_batch < 1 or window < 1:
             raise ValueError("max_batch and window must be >= 1")
@@ -197,9 +205,17 @@ class ServingEngine:
         self.window = window
         self.lane_prefix = lane_prefix
         self.server = ExpertServer(
-            platform, library, reserved_hbm_bytes=reserved_hbm_bytes
+            platform, library, reserved_hbm_bytes=reserved_hbm_bytes,
+            cache_policy=cache_policy,
         )
         self._predictor = ExpertPredictor()
+        # A predictive cache policy without its own predictor reads the
+        # engine's — the same Markov model the overlap prefetcher uses.
+        runtime_policy = self.server.runtime.policy
+        if (isinstance(runtime_policy, PredictivePolicy)
+                and runtime_policy.predictor is None):
+            runtime_policy.predictor = self._predictor
+        self.cache_policy = runtime_policy.name
         #: Hooks a cluster-level scheduler installs: ``on_idle(engine)``
         #: fires when the queue drains, ``on_group_done(engine, group)``
         #: after every completed group. Both run on the simulator clock.
@@ -251,6 +267,11 @@ class ServingEngine:
         #: once each and are retried on the DMA clock.
         self._copy_faults_armed = 0
         self.copy_retries = 0
+        #: Extra DMA occupancy paid by injected-fault retries: the failed
+        #: attempt's transfer ran and was discarded. Explicitly separate
+        #: from RuntimeStats.switch_time_s, whose contract is that
+        #: failures contribute no bytes and no copy time.
+        self.retry_dma_s = 0.0
 
     def bind(self, simulator: Simulator) -> None:
         """Attach to a (possibly shared) simulator clock, resetting state."""
@@ -329,7 +350,7 @@ class ServingEngine:
         needed = {g.expert.name for g in list(self._queue)[:2]}
         if not needed.isdisjoint(runtime.would_evict(expert)):
             return None
-        return self._demand_copy(expert)
+        return self._demand_copy(expert, speculative=True)
 
     # ------------------------------------------------------------------
     # Fault surface (driven by the cluster's FaultInjector)
@@ -433,23 +454,34 @@ class ServingEngine:
                 args={"copy_s": copy_s, "abandoned": end < start + copy_s},
             )
 
-    def _demand_copy(self, expert: ExpertProfile) -> float:
+    def _demand_copy(
+        self, expert: ExpertProfile, *, speculative: bool = False
+    ) -> float:
         """Activate a non-resident expert; the copy takes the DMA's next
         free slot and its span lands on this engine's switch lane.
 
         An armed copy fault makes the first attempt fail after consuming
         its full DMA window (the transfer ran and was discarded); the
         retry immediately follows, so one injected fault costs exactly
-        one extra copy duration and shows up as a ``fault`` span.
+        one extra copy duration and shows up as a ``fault`` span. That
+        extra DMA time is accounted in :attr:`retry_dma_s` — never in
+        ``RuntimeStats``: the runtime's copy succeeded, so booking a
+        ``failures`` tick there would violate its contract that failures
+        contribute no bytes and no switch time.
+
+        ``speculative=True`` marks prefetcher/replication warms so the
+        runtime books them apart from demand traffic.
         """
         sim = self._sim
         self.flush_speculation(sim.now)
         start = max(sim.now, self._dma_free_s)
-        event = self.server.runtime.activate(expert, span=False)
+        event = self.server.runtime.activate(
+            expert, span=False, speculative=speculative
+        )
         if self._copy_faults_armed > 0 and event.time_s > 0:
             self._copy_faults_armed -= 1
             self.copy_retries += 1
-            self.server.runtime.stats.failures += 1
+            self.retry_dma_s += event.time_s
             sim.record_span(
                 f"copy-failed:{expert.name}", self.lane("switch"), "fault",
                 start_s=start, end_s=start + event.time_s,
@@ -463,9 +495,13 @@ class ServingEngine:
                 f"copy:{expert.name}", self.lane("switch"), "switch",
                 start_s=start, end_s=done,
                 args={
+                    "hit": False,
+                    "speculative": speculative,
+                    "policy": event.policy,
                     "bytes_up": event.bytes_up,
                     "bytes_down": event.bytes_down,
                     "evicted": list(event.evicted),
+                    "evicted_why": list(event.evicted_why),
                 },
             )
         self._dma_free_s = done
@@ -501,8 +537,9 @@ class ServingEngine:
         index = self._groups_started
         self._groups_started += 1
         router_s, prefill_s, decode_s = self._group_phase_times(group)
-        if self.policy == "overlap":
-            self._predictor.observe(group.expert)
+        # The predictor always observes the demand stream: a predictive
+        # cache policy needs it even when the overlap prefetcher is off.
+        self._predictor.observe(group.expert)
         if runtime.is_resident(group.expert):
             runtime.activate(group.expert)  # hit: free recency refresh
             exec_start = max(
@@ -537,7 +574,9 @@ class ServingEngine:
         nxt = self._queue[0].expert
         if runtime.is_resident(nxt):
             self.flush_speculation(sim.now)
-            runtime.activate(nxt)  # recency refresh, free hit
+            # Recency refresh, free hit — speculative: the demand access
+            # happens when the group actually begins.
+            runtime.activate(nxt, speculative=True)
             # The DMA is idle this window: warm the predictor's best
             # non-resident guess. A speculative copy may evict cold LRU
             # tails but must never displace the experts the pipeline
@@ -550,13 +589,13 @@ class ServingEngine:
                 None,
             )
             if guess is not None:
-                event = runtime.activate(guess, span=False)
+                event = runtime.activate(guess, span=False, speculative=True)
                 self._spec_open.append(
                     (f"copy:{guess.name}", sim.now, event.time_s)
                 )
                 self.speculative_prefetches += 1
         else:
-            self._demand_copy(nxt)
+            self._demand_copy(nxt, speculative=True)
 
     def _finish_group(self) -> None:
         if self._halted or self._current is None:
@@ -615,6 +654,8 @@ class ServingEngine:
             self._kick()
             makespan = sim.run()
             self.flush_speculation(makespan)
+            # A halted engine can finish with zero completions; the
+            # report must still aggregate instead of dividing by zero.
             latencies = [c.latency_s for c in self.completed]
             report = EngineReport(
                 policy=self.policy,
@@ -628,11 +669,14 @@ class ServingEngine:
                     self.lane("switch"), self.lane("compute")
                 ),
                 speculative_prefetches=self.speculative_prefetches,
-                p50_s=percentile(latencies, 50),
-                p95_s=percentile(latencies, 95),
-                p99_s=percentile(latencies, 99),
-                mean_s=sum(latencies) / len(latencies),
+                p50_s=percentile(latencies, 50) if latencies else 0.0,
+                p95_s=percentile(latencies, 95) if latencies else 0.0,
+                p99_s=percentile(latencies, 99) if latencies else 0.0,
+                mean_s=(sum(latencies) / len(latencies)) if latencies
+                       else 0.0,
                 events_run=sim.events_run,
+                cache_policy=self.cache_policy,
+                demand_hit_rate=self.server.runtime.stats.hit_rate,
                 completed=tuple(self.completed),
                 timeline=timeline,
             )

@@ -69,4 +69,20 @@ class ClusterPolicy(PolicyEnum):
     STEAL = "steal"
 
 
-__all__ = ["ClusterPolicy", "NodePolicy", "PolicyEnum"]
+class CachePolicyName(PolicyEnum):
+    """HBM expert-cache eviction policy of :class:`CoERuntime`.
+
+    The names resolve to implementations in :mod:`repro.coe.cache`;
+    ``BELADY`` is the offline oracle and needs a recorded trace, so it
+    can only be configured by passing a
+    :class:`~repro.coe.cache.BeladyPolicy` instance, never by name.
+    """
+
+    LRU = "lru"
+    LFU = "lfu"
+    GDSF = "gdsf"
+    PREDICTIVE = "predictive"
+    BELADY = "belady"
+
+
+__all__ = ["CachePolicyName", "ClusterPolicy", "NodePolicy", "PolicyEnum"]

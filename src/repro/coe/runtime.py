@@ -1,4 +1,4 @@
-"""The CoE runtime: dynamic expert linking/loading with an LRU HBM cache.
+"""The CoE runtime: dynamic expert linking/loading with a policy-driven HBM cache.
 
 Reproduces paper Section V-B:
 
@@ -7,10 +7,20 @@ Reproduces paper Section V-B:
 - all experts initially live in the capacity tier (DDR on the SN40L, host
   DRAM on a DGX); a region of HBM acts as a software-managed cache,
 - on request, the runtime "activates" the expert by copying its
-  HBM-destined segments up; if HBM is full, the **least recently used**
-  expert is evicted first,
+  HBM-destined segments up; if HBM is full, resident experts are evicted
+  first — **least recently used** by default (the paper's policy), or
+  whatever :class:`repro.coe.cache.CachePolicy` the runtime was built
+  with (LFU, cost-aware GDSF, predictor-driven, or the offline Belady
+  oracle),
 - read-only symbols (weights) are *not* copied back on eviction — only the
   mutable fraction pays the downgrade copy.
+
+The runtime distinguishes **demand** activations (a request needs the
+expert now) from **speculative** ones (a prefetcher warming a guess):
+speculative traffic is accounted in its own counters so the demand
+``hit_rate`` is not polluted by the cache talking to itself, and only
+demand accesses extend :attr:`CoERuntime.demand_trace` — the recorded
+access sequence the Belady oracle replays.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.coe.cache import CachePolicy, CachePolicyLike, make_policy
 from repro.coe.expert import ExpertProfile
 from repro.obs import Timeline
 
@@ -33,16 +44,30 @@ class SwitchEvent:
     bytes_down: int
     time_s: float
     evicted: tuple = ()
+    #: Which cache policy made the eviction decision.
+    policy: str = "lru"
+    #: Per-victim one-line reasons, parallel to ``evicted`` (span args).
+    evicted_why: tuple = ()
+    #: Whether this activation was speculative (prefetcher traffic).
+    speculative: bool = False
 
 
 @dataclass
 class RuntimeStats:
-    """Cumulative cache behaviour.
+    """Cumulative cache behaviour, demand and speculative separated.
 
-    Every ``activate`` call counts as one request, including calls whose
-    copy fails: those additionally increment ``failures`` and contribute
-    nothing to ``bytes_up``/``bytes_down``/``switch_time_s`` (the copy
-    never happened). Failed requests are a subset of ``misses``.
+    Every *demand* ``activate`` call counts as one request, including
+    calls whose copy fails: those additionally increment ``failures``
+    and contribute nothing to ``bytes_up``/``bytes_down``/
+    ``switch_time_s`` (the copy never happened). Failed requests are a
+    subset of ``misses``.
+
+    *Speculative* activations (``activate(..., speculative=True)`` —
+    prefetcher warms, online-replication copies) land exclusively in the
+    ``speculative_*`` counters, so ``hit_rate`` reflects what the
+    serving path actually experienced. ``evictions`` counts every
+    eviction regardless of which kind of copy forced it (an eviction is
+    a real state change either way).
     """
 
     requests: int = 0
@@ -52,6 +77,11 @@ class RuntimeStats:
     bytes_up: int = 0
     bytes_down: int = 0
     switch_time_s: float = 0.0
+    speculative_requests: int = 0
+    speculative_hits: int = 0
+    speculative_bytes_up: int = 0
+    speculative_bytes_down: int = 0
+    speculative_switch_time_s: float = 0.0
 
     @property
     def misses(self) -> int:
@@ -61,14 +91,22 @@ class RuntimeStats:
     def hit_rate(self) -> float:
         return self.hits / self.requests if self.requests else 0.0
 
+    @property
+    def speculative_misses(self) -> int:
+        return self.speculative_requests - self.speculative_hits
+
 
 class CoERuntime:
-    """LRU expert cache over a fixed HBM byte budget.
+    """Policy-driven expert cache over a fixed HBM byte budget.
 
     ``upgrade_time(num_bytes)`` and ``downgrade_time(num_bytes)`` supply
     the platform's copy costs (DDR->HBM and HBM->DDR respectively); the
     runtime is platform-agnostic, which is how the same code models both
-    the SN40L node and the DGX baselines.
+    the SN40L node and the DGX baselines. ``policy`` picks the eviction
+    policy (see :mod:`repro.coe.cache`): a name (``"lru"``, ``"lfu"``,
+    ``"gdsf"``, ``"predictive"``), a :class:`CachePolicy` instance, or a
+    zero-arg factory; unset means LRU, bit-identical to the historical
+    hard-coded behaviour.
     """
 
     def __init__(
@@ -76,21 +114,36 @@ class CoERuntime:
         hbm_budget_bytes: int,
         upgrade_time: Callable[[int], float],
         downgrade_time: Optional[Callable[[int], float]] = None,
+        policy: CachePolicyLike = None,
     ) -> None:
         if hbm_budget_bytes < 0:
             raise ValueError(f"negative HBM budget: {hbm_budget_bytes}")
         self.hbm_budget_bytes = hbm_budget_bytes
         self._upgrade_time = upgrade_time
         self._downgrade_time = downgrade_time or upgrade_time
-        #: name -> expert, in LRU order (oldest first).
+        self.policy: CachePolicy = make_policy(policy)
+        self.policy.bind_runtime(self)
+        #: name -> expert, in recency order (least recently used first).
         self._resident: "OrderedDict[str, ExpertProfile]" = OrderedDict()
         #: Running sum of resident weight bytes, maintained on insert and
         #: evict so the eviction loop is O(victims), not O(residents²).
         self._resident_bytes = 0
         self.stats = RuntimeStats()
+        #: Demand access sequence (expert names, in order) — the trace a
+        #: :class:`repro.coe.cache.BeladyPolicy` replays.
+        self.demand_trace: List[str] = []
         self._timeline: Optional[Timeline] = None
         self._clock: Optional[Callable[[], float]] = None
         self._span_lane = "dma"
+
+    # ------------------------------------------------------------------
+    def upgrade_time(self, num_bytes: int) -> float:
+        """The platform's DDR->HBM copy cost (policy cost models use it)."""
+        return self._upgrade_time(num_bytes)
+
+    def downgrade_time(self, num_bytes: int) -> float:
+        """The platform's HBM->DDR copy-back cost."""
+        return self._downgrade_time(num_bytes)
 
     # ------------------------------------------------------------------
     def attach_timeline(
@@ -126,42 +179,71 @@ class CoERuntime:
     def is_resident(self, expert: ExpertProfile) -> bool:
         return expert.name in self._resident
 
+    def _select_victims(self, expert: ExpertProfile) -> List[ExpertProfile]:
+        """The residents activating ``expert`` would evict, in policy
+        order. Pure — no mutation, no stats."""
+        victims: List[ExpertProfile] = []
+        free = self.hbm_budget_bytes - self._resident_bytes
+        if free >= expert.weight_bytes:
+            return victims
+        for name in self.policy.eviction_order(self._resident):
+            victims.append(self._resident[name])
+            free += self._resident[name].weight_bytes
+            if free >= expert.weight_bytes:
+                break
+        return victims
+
     def would_evict(self, expert: ExpertProfile) -> tuple:
-        """Names of the LRU victims activating ``expert`` would evict.
+        """Names of the victims activating ``expert`` would evict, under
+        the runtime's cache policy.
 
         Pure preview — no mutation. Lets a speculative prefetcher decline
         a guess whose eviction set includes experts it must keep resident.
         """
         if expert.name in self._resident:
             return ()
-        victims: List[str] = []
-        free = self.hbm_budget_bytes - self._resident_bytes
-        for name, resident in self._resident.items():  # oldest first
-            if free >= expert.weight_bytes:
-                break
-            victims.append(name)
-            free += resident.weight_bytes
-        return tuple(victims)
+        return tuple(v.name for v in self._select_victims(expert))
 
     # ------------------------------------------------------------------
-    def activate(self, expert: ExpertProfile, *, span: bool = True) -> SwitchEvent:
+    def activate(
+        self,
+        expert: ExpertProfile,
+        *,
+        span: bool = True,
+        speculative: bool = False,
+    ) -> SwitchEvent:
         """Make ``expert`` resident in HBM; returns the switch record.
 
         A hit refreshes recency and costs nothing ("if the next request is
         for the same model, it can resume immediately with no additional
-        overhead"). A miss evicts LRU victims until the expert fits, pays
-        the copy-back for their mutable state, then copies the expert up.
+        overhead"). A miss evicts policy-chosen victims until the expert
+        fits, pays the copy-back for their mutable state, then copies the
+        expert up. Nothing mutates until the copy cost is known to
+        succeed, so a failed copy leaves the cache exactly as it was.
 
-        With a timeline attached, each miss's copy is recorded as a span;
-        ``span=False`` suppresses that for callers (the speculative
-        prefetcher) that account for the copy's occupancy themselves.
+        ``speculative=True`` marks prefetcher traffic: it is accounted in
+        the separate ``speculative_*`` counters and does not extend the
+        demand trace. With a timeline attached, each miss's copy is
+        recorded as a span; ``span=False`` suppresses that for callers
+        (the speculative prefetcher) that account for the copy's
+        occupancy themselves.
         """
-        self.stats.requests += 1
+        if speculative:
+            self.stats.speculative_requests += 1
+        else:
+            self.stats.requests += 1
+            self.demand_trace.append(expert.name)
+        self.policy.on_access(expert, expert.name in self._resident,
+                              speculative=speculative)
         if expert.name in self._resident:
             self._resident.move_to_end(expert.name)
-            self.stats.hits += 1
+            if speculative:
+                self.stats.speculative_hits += 1
+            else:
+                self.stats.hits += 1
             return SwitchEvent(
-                expert=expert.name, hit=True, bytes_up=0, bytes_down=0, time_s=0.0
+                expert=expert.name, hit=True, bytes_up=0, bytes_down=0,
+                time_s=0.0, policy=self.policy.name, speculative=speculative,
             )
 
         if expert.weight_bytes > self.hbm_budget_bytes:
@@ -170,40 +252,39 @@ class CoERuntime:
                 f"HBM budget ({self.hbm_budget_bytes} B)"
             )
 
-        evicted: List[str] = []
-        victims: List[ExpertProfile] = []
-        bytes_down = 0
-        while self._resident_bytes + expert.weight_bytes > self.hbm_budget_bytes:
-            victim_name, victim = self._resident.popitem(last=False)
-            evicted.append(victim_name)
-            victims.append(victim)
-            self._resident_bytes -= victim.weight_bytes
-            bytes_down += victim.copyback_bytes
-            self.stats.evictions += 1
-
+        victims = self._select_victims(expert)
+        evicted = tuple(v.name for v in victims)
+        evicted_why = tuple(self.policy.why(v.name) for v in victims)
+        bytes_down = sum(v.copyback_bytes for v in victims)
         bytes_up = expert.weight_bytes
         try:
             time_s = self._upgrade_time(bytes_up)
             if bytes_down:
                 time_s += self._downgrade_time(bytes_down)
         except Exception:
-            # A failed copy must not corrupt the cache: reinstate the
-            # victims (oldest first, preserving LRU order) and undo the
-            # eviction accounting before propagating the failure. The
-            # request itself stays counted, as a failure.
-            for victim in reversed(victims):
-                self._resident[victim.name] = victim
-                self._resident.move_to_end(victim.name, last=False)
-                self._resident_bytes += victim.weight_bytes
-            self.stats.evictions -= len(victims)
-            self.stats.failures += 1
+            # A failed copy must not corrupt the cache: nothing was
+            # evicted or inserted yet, so only the failure is recorded.
+            # The request itself stays counted.
+            if not speculative:
+                self.stats.failures += 1
             raise
+        for victim in victims:
+            del self._resident[victim.name]
+            self._resident_bytes -= victim.weight_bytes
+            self.policy.on_evict(victim.name)
+            self.stats.evictions += 1
         self._resident[expert.name] = expert
         self._resident_bytes += expert.weight_bytes
+        self.policy.on_insert(expert)
 
-        self.stats.bytes_up += bytes_up
-        self.stats.bytes_down += bytes_down
-        self.stats.switch_time_s += time_s
+        if speculative:
+            self.stats.speculative_bytes_up += bytes_up
+            self.stats.speculative_bytes_down += bytes_down
+            self.stats.speculative_switch_time_s += time_s
+        else:
+            self.stats.bytes_up += bytes_up
+            self.stats.bytes_down += bytes_down
+            self.stats.switch_time_s += time_s
         if span and self._timeline is not None:
             now = self._clock()
             self._timeline.record(
@@ -213,9 +294,13 @@ class CoERuntime:
                 start_s=now,
                 end_s=now + time_s,
                 args={
+                    "hit": False,
+                    "speculative": speculative,
+                    "policy": self.policy.name,
                     "bytes_up": bytes_up,
                     "bytes_down": bytes_down,
                     "evicted": list(evicted),
+                    "evicted_why": list(evicted_why),
                 },
             )
         return SwitchEvent(
@@ -224,10 +309,14 @@ class CoERuntime:
             bytes_up=bytes_up,
             bytes_down=bytes_down,
             time_s=time_s,
-            evicted=tuple(evicted),
+            evicted=evicted,
+            policy=self.policy.name,
+            evicted_why=evicted_why,
+            speculative=speculative,
         )
 
     def flush(self) -> None:
         """Evict everything (between experiments)."""
         self._resident.clear()
         self._resident_bytes = 0
+        self.policy.reset()

@@ -207,11 +207,14 @@ class ExpertPredictor:
         return [self._experts[name] for name in self._ranked_names()]
 
     def score(self, actual: ExpertProfile, predicted: Optional[ExpertProfile]) -> bool:
-        """Record prediction accuracy; returns whether it was correct."""
-        if predicted is None:
-            return False
+        """Record prediction accuracy; returns whether it was correct.
+
+        A ``None`` prediction (no history yet) is still a prediction the
+        caller acted on — it counts as a miss, so ``accuracy`` is hits
+        over *all* scored predictions, not just the confident ones.
+        """
         self.predictions += 1
-        hit = predicted.name == actual.name
+        hit = predicted is not None and predicted.name == actual.name
         if hit:
             self.correct += 1
         return hit

@@ -81,7 +81,13 @@ class ServeResult:
 
 
 class ExpertServer:
-    """Serves a CoE on one platform with an LRU-cached HBM expert region."""
+    """Serves a CoE on one platform with a policy-cached HBM expert region.
+
+    ``cache_policy`` picks the HBM eviction policy (see
+    :mod:`repro.coe.cache`): a name (``"lru"``/``"lfu"``/``"gdsf"``/
+    ``"predictive"``), a :class:`~repro.coe.cache.CachePolicy` instance,
+    or a zero-arg factory; unset means the paper-faithful LRU.
+    """
 
     def __init__(
         self,
@@ -89,6 +95,7 @@ class ExpertServer:
         library: ExpertLibrary,
         router: Optional[Router] = None,
         reserved_hbm_bytes: Optional[int] = None,
+        cache_policy=None,
     ) -> None:
         self.platform = platform
         self.library = library
@@ -107,6 +114,7 @@ class ExpertServer:
         self.runtime = CoERuntime(
             hbm_budget_bytes=budget,
             upgrade_time=platform.switch_time,
+            policy=cache_policy,
         )
 
     # ------------------------------------------------------------------

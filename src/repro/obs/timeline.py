@@ -68,6 +68,10 @@ class Timeline:
         self.tolerance_s = tolerance_s
         #: lane -> spans sorted by start time (disjoint by invariant).
         self._lanes: "Dict[str, List[Span]]" = {}
+        #: lane -> start times, parallel to ``_lanes``: the bisect key
+        #: for record(), maintained incrementally so recording N spans
+        #: is O(N log N + inserts), not O(N^2) key-list rebuilds.
+        self._starts: "Dict[str, List[float]]" = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -91,7 +95,8 @@ class Timeline:
             args=dict(args or {}),
         )
         spans = self._lanes.setdefault(lane, [])
-        index = bisect_right([s.start_s for s in spans], span.start_s)
+        starts = self._starts.setdefault(lane, [])
+        index = bisect_right(starts, span.start_s)
         if index > 0:
             prev = spans[index - 1]
             if span.start_s < prev.end_s - self.tolerance_s:
@@ -109,6 +114,7 @@ class Timeline:
                     f"{nxt.name!r} [{nxt.start_s}, {nxt.end_s}]"
                 )
         spans.insert(index, span)
+        starts.insert(index, span.start_s)
         return span
 
     # ------------------------------------------------------------------

@@ -145,6 +145,29 @@ class TestSlowAndCopyFaults:
         )
         assert 0 < retries <= 3
 
+    def test_copy_fault_retries_never_booked_as_runtime_failures(
+        self, library, stream
+    ):
+        """An injected retry's copy ultimately *succeeds*: the runtime's
+        ``failures`` counter (copies that never happened, contributing no
+        bytes/time) must stay zero, and the discarded attempt's DMA time
+        is accounted explicitly on the engine instead."""
+        engine = ClusterEngine(
+            sn40l_platform, library, 4, faults=["copyfail:0:0.0:3"],
+        )
+        report = engine.serve(stream)
+        fault_spans = [
+            s for s in report.timeline.spans()
+            if s.name.startswith("copy-failed:")
+        ]
+        assert fault_spans
+        node0 = engine.nodes[0].engine
+        assert node0.server.runtime.stats.failures == 0
+        assert node0.copy_retries == len(fault_spans)
+        assert node0.retry_dma_s == pytest.approx(
+            sum(s.duration_s for s in fault_spans)
+        )
+
     def test_fault_specs_round_trip_in_report(self, crash_report):
         assert crash_report.fault_specs
         assert all(spec.startswith("crash:") for spec in

@@ -288,3 +288,55 @@ class TestRunTimeline:
         prefetches = report.timeline.spans("prefetch")
         assert len(prefetches) == report.speculative_prefetches
         assert all(s.category == "prefetch" for s in prefetches)
+
+
+class TestReportEdgeCases:
+    def test_zero_completions_report_has_no_division_error(self, library, stream):
+        """A node that crashes before starting any group still reports."""
+        engine = ServingEngine(sn40l_platform(), library, policy="fifo")
+        engine._begin_next = engine.halt  # fail-stop before the first group
+        report = engine.run(stream)
+        assert report.requests == 0
+        assert report.completed == ()
+        assert report.mean_s == 0.0
+        assert report.p50_s == report.p95_s == report.p99_s == 0.0
+        assert report.to_dict()["mean_s"] == 0.0
+
+    def test_report_carries_cache_policy_and_demand_hit_rate(
+        self, library, stream
+    ):
+        engine = ServingEngine(sn40l_platform(), library, policy="overlap",
+                               cache_policy="lfu")
+        report = engine.run(stream)
+        assert report.cache_policy == "lfu"
+        assert 0.0 <= report.demand_hit_rate <= 1.0
+        payload = report.to_dict()
+        assert payload["cache_policy"] == "lfu"
+        assert payload["demand_hit_rate"] == report.demand_hit_rate
+
+    def test_default_cache_policy_is_lru(self, library, stream):
+        report = ServingEngine(sn40l_platform(), library).run(stream)
+        assert report.cache_policy == "lru"
+
+
+class TestDemandAccounting:
+    def test_one_demand_activation_per_group(self, library, stream):
+        """Prefetches and warms are speculative: the runtime's demand
+        request count is exactly the number of groups served."""
+        for policy in POLICIES:
+            engine = ServingEngine(sn40l_platform(), library, policy=policy)
+            report = engine.run(stream)
+            stats = engine.server.runtime.stats
+            assert stats.requests == report.groups
+            assert stats.hits + stats.misses == report.groups
+
+    def test_speculative_copies_booked_separately(self, library):
+        # A resident-next pipeline with spare DMA time speculates; those
+        # copies must land in the speculative counters only.
+        stream = zipf_request_stream(library, 64, alpha=1.5, seed=3)
+        engine = ServingEngine(sn40l_platform(), library, policy="overlap")
+        engine.run(stream)
+        stats = engine.server.runtime.stats
+        if engine.speculative_prefetches:
+            assert stats.speculative_requests > 0
+        assert stats.bytes_up + stats.speculative_bytes_up > 0

@@ -128,6 +128,24 @@ class TestPredictor:
         assert p.score(b, p.predict())
         assert p.accuracy == 1.0
 
+    def test_none_prediction_scores_as_a_miss(self, library):
+        """A None prediction was still acted on (nothing prefetched);
+        skipping it would overstate accuracy."""
+        p = ExpertPredictor()
+        a = library.experts[0]
+        assert not p.score(a, None)
+        assert p.predictions == 1
+        assert p.correct == 0
+        assert p.accuracy == 0.0
+
+    def test_accuracy_averages_over_none_predictions(self, library):
+        p = ExpertPredictor()
+        a, b = library.experts[0], library.experts[1]
+        p.score(a, None)   # cold start: miss
+        p.score(a, a)      # hit
+        assert p.predictions == 2
+        assert p.accuracy == 0.5
+
 
 class TestSpeculativePrefetch:
     def test_workflow_chain_hides_switches(self, library):

@@ -106,3 +106,31 @@ class TestQueries:
         assert empty.busy_fraction("anything") == 0.0
         assert empty.hidden_fraction("a", "b") == 0.0
         assert list(empty) == []
+
+
+class TestRecordScaling:
+    """record() keeps a per-lane sorted start-time index; appending N
+    spans must not rebuild an N-element key list per call (O(N^2))."""
+
+    def test_ten_thousand_spans_on_one_lane_is_fast(self):
+        import time
+
+        timeline = Timeline()
+        start = time.perf_counter()
+        for i in range(10_000):
+            timeline.record(f"s{i}", "lane", "c", float(i), float(i) + 0.5)
+        elapsed = time.perf_counter() - start
+        assert len(timeline) == 10_000
+        # The quadratic key-rebuild implementation took tens of seconds
+        # here; the indexed one is comfortably under a second.
+        assert elapsed < 1.0, f"record() took {elapsed:.2f}s for 10k spans"
+
+    def test_index_survives_out_of_order_inserts(self):
+        timeline = Timeline()
+        for i in reversed(range(100)):
+            timeline.record(f"s{i}", "lane", "c", float(i), float(i) + 0.5)
+        spans = timeline.spans("lane")
+        assert [s.start_s for s in spans] == sorted(s.start_s for s in spans)
+        # Overlap detection still works against the maintained index.
+        with pytest.raises(ValueError):
+            timeline.record("bad", "lane", "c", 50.2, 50.4)
