@@ -33,6 +33,7 @@ from pathlib import Path
 import pytest
 
 from benchmarks.conftest import fmt_ms, print_table
+from repro.bench.sweep import SweepPoint, run_sweep
 from repro.coe.cache import CACHE_POLICIES, BeladyPolicy
 from repro.coe.engine import EngineRequest, ServingEngine, zipf_request_stream
 from repro.coe.expert import build_samba_coe_library
@@ -143,17 +144,27 @@ def _sweep(library, requests):
     return results
 
 
+def _workload_point(point: SweepPoint):
+    """One workload's full cache-policy sweep (every online policy plus
+    Belady); module-level so the sweep runner's fork pool can pickle
+    it. Streams rebuild from the fixed ``SEED`` inside the worker."""
+    library = _library()
+    if point["workload"] == "zipf":
+        requests = zipf_request_stream(
+            library, NUM_REQUESTS, alpha=ZIPF_ALPHA, seed=SEED,
+            output_tokens=OUTPUT_TOKENS,
+        )
+    else:
+        requests = drifting_hot_set_stream(library, DRIFT_REQUESTS)
+    return point["workload"], _sweep(library, requests)
+
+
 @pytest.fixture(scope="module")
 def cache_sweeps():
     """Both workloads, run twice to pin byte-level determinism."""
-    library = _library()
-    zipf = zipf_request_stream(
-        library, NUM_REQUESTS, alpha=ZIPF_ALPHA, seed=SEED,
-        output_tokens=OUTPUT_TOKENS,
-    )
-    drift = drifting_hot_set_stream(library, DRIFT_REQUESTS)
-    first = {"zipf": _sweep(library, zipf), "drift": _sweep(library, drift)}
-    second = {"zipf": _sweep(library, zipf), "drift": _sweep(library, drift)}
+    axes = {"workload": ("zipf", "drift")}
+    first = dict(run_sweep(_workload_point, axes, base_seed=SEED))
+    second = dict(run_sweep(_workload_point, axes, base_seed=SEED))
     assert json.dumps(first, sort_keys=True) == json.dumps(
         second, sort_keys=True
     ), "cache-policy sweep is not deterministic across same-seed runs"

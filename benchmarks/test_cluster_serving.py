@@ -22,6 +22,7 @@ from pathlib import Path
 import pytest
 
 from benchmarks.conftest import fmt_ms, print_table
+from repro.bench.sweep import SweepPoint, run_sweep
 from repro.coe.cluster_engine import run_cluster
 from repro.coe.engine import zipf_request_stream
 from repro.coe.expert import ExpertLibrary, ExpertProfile, build_samba_coe_library
@@ -42,22 +43,34 @@ PACK_EXPERTS = 2_000 if SMOKE else 10_000
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
 
 
-@pytest.fixture(scope="module")
-def scaling_reports():
+def _scaling_point(point: SweepPoint):
+    """One (policy, node-count) grid point; module-level so the sweep
+    runner's fork pool can pickle it. The workload stream is rebuilt
+    from the fixed ``SEED`` in each worker — identical at every point,
+    so the sweep measures policy and scale, nothing else."""
     library = build_samba_coe_library(NUM_EXPERTS)
     requests = zipf_request_stream(
         library, NUM_REQUESTS, alpha=ZIPF_ALPHA, seed=SEED,
         output_tokens=OUTPUT_TOKENS,
     )
+    return run_cluster(
+        sn40l_platform, library, requests, num_nodes=point["nodes"],
+        policy=point["policy"],
+        online_replication=point["policy"] == "steal",
+    )
+
+
+@pytest.fixture(scope="module")
+def scaling_reports():
+    axes = {"policy": ("least_loaded", "steal"), "nodes": NODE_COUNTS}
+    points = [
+        {"policy": p, "nodes": n}
+        for p in axes["policy"] for n in axes["nodes"]
+    ]
+    reports = run_sweep(_scaling_point, axes, base_seed=SEED)
     results = {}
-    for policy, replication in (("least_loaded", False), ("steal", True)):
-        results[policy] = {
-            n: run_cluster(
-                sn40l_platform, library, requests, num_nodes=n,
-                policy=policy, online_replication=replication,
-            )
-            for n in NODE_COUNTS
-        }
+    for params, report in zip(points, reports):
+        results.setdefault(params["policy"], {})[params["nodes"]] = report
     return results
 
 

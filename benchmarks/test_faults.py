@@ -26,6 +26,7 @@ import pytest
 
 import repro
 from benchmarks.conftest import fmt_ms, print_table
+from repro.bench.sweep import SweepPoint, run_sweep
 from repro.coe.engine import zipf_request_stream
 from repro.coe.expert import build_samba_coe_library
 from repro.systems.platforms import sn40l_platform
@@ -44,8 +45,7 @@ HEARTBEAT_S = 0.05
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
 
 
-@pytest.fixture(scope="module")
-def workload():
+def _build_workload():
     library = build_samba_coe_library(NUM_EXPERTS)
     requests = zipf_request_stream(
         library, NUM_REQUESTS, alpha=ZIPF_ALPHA, seed=SEED,
@@ -54,13 +54,43 @@ def workload():
     return library, requests
 
 
-@pytest.fixture(scope="module")
-def clean_report(workload):
-    library, requests = workload
-    return repro.serve(
+def _fault_point(point: SweepPoint):
+    """One scenario (clean / faulty); module-level so the sweep
+    runner's fork pool can pickle it. The faulty point replays the
+    clean run locally to place the crash at the same fraction of the
+    clean makespan — both points stay independent, so the pair can fan
+    out, at the cost of one cheap duplicate clean run."""
+    library, requests = _build_workload()
+    clean = repro.serve(
         sn40l_platform, library, requests,
         repro.ServeConfig(num_nodes=NUM_NODES),
     )
+    if point["run"] == "clean":
+        return clean
+    specs = [f"crash:node3:{CRASH_FRACTION * clean.makespan_s!r}"]
+    return repro.serve(
+        sn40l_platform, library, requests,
+        repro.ServeConfig(num_nodes=NUM_NODES, faults=specs,
+                          heartbeat_s=HEARTBEAT_S),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _build_workload()
+
+
+@pytest.fixture(scope="module")
+def fault_reports():
+    clean, faulty = run_sweep(
+        _fault_point, [{"run": "clean"}, {"run": "faulty"}], base_seed=SEED,
+    )
+    return clean, faulty
+
+
+@pytest.fixture(scope="module")
+def clean_report(fault_reports):
+    return fault_reports[0]
 
 
 @pytest.fixture(scope="module")
@@ -69,13 +99,8 @@ def fault_specs(clean_report):
 
 
 @pytest.fixture(scope="module")
-def faulty_report(workload, fault_specs):
-    library, requests = workload
-    return repro.serve(
-        sn40l_platform, library, requests,
-        repro.ServeConfig(num_nodes=NUM_NODES, faults=fault_specs,
-                          heartbeat_s=HEARTBEAT_S),
-    )
+def faulty_report(fault_reports):
+    return fault_reports[1]
 
 
 def test_fault_report(benchmark, clean_report, faulty_report):

@@ -1,0 +1,211 @@
+"""Sim-core performance benchmark: batched fast path vs the reference.
+
+The tentpole claim of the vectorized sim core is that cluster-scale
+sweeps stop being the bottleneck: a 1M-request, 8-node cluster sim
+completes in seconds on the batched fast path, where the event-by-event
+reference configuration (``event_batching=False`` — the pre-batching
+seed semantics, with per-route backlog sums and a recorded timeline)
+takes hours. Emitted to ``BENCH_simperf.json`` at the repo root:
+
+1. **Same-grid comparison** — the identical workload run through both
+   configurations. The two runs must agree on every simulated metric
+   (makespan, events, tokens/s, completions — the byte-level proof
+   lives in ``tests/coe/test_batched_equivalence.py``), and the fast
+   path must clear >= 10x the reference's events/sec.
+2. **Headline** — the 1M-request, 8-node fast-path run: wall-clock,
+   events/sec, simulated makespan.
+3. **Regression gate** — fast-path events/sec must stay within 30% of
+   the committed baseline (``benchmarks/simperf_baseline.json``); the
+   CI ``simperf-smoke`` job runs the shrunk grid against the same
+   file's ``smoke`` entry.
+
+Timing points run serially (``processes=1``): wall-clock measurements
+must not contend with each other, so this module uses the sweep runner
+for its deterministic seeding and ordering only.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the workload for CI smoke runs.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.bench.sweep import SweepPoint, run_sweep
+from repro.coe.cluster_engine import run_cluster
+from repro.coe.engine import zipf_request_stream
+from repro.coe.expert import build_samba_coe_library
+from repro.systems.platforms import sn40l_platform
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+NUM_NODES = 8
+NUM_EXPERTS = 48 if SMOKE else 150
+GRID_REQUESTS = 2_000 if SMOKE else 25_000   #: same-grid comparison size
+HEADLINE_REQUESTS = 100_000 if SMOKE else 1_000_000
+OUTPUT_TOKENS = 20
+ZIPF_ALPHA = 1.1
+SEED = 1234
+POLICY = "affinity"
+NODE_POLICY = "overlap"
+
+#: The >= 10x events/sec acceptance bound only applies at full size:
+#: the reference's per-route backlog scan is quadratic in queue depth,
+#: so its deficit grows with the grid (and shrinks on the smoke grid).
+MIN_SPEEDUP = 10.0
+
+#: Committed events/sec baseline; current must stay >= 70% of it.
+BASELINE_PATH = Path(__file__).resolve().parent / "simperf_baseline.json"
+BASELINE_RETENTION = 0.70
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_simperf.json"
+
+POINTS = [
+    {"run": "grid", "mode": "reference"},
+    {"run": "grid", "mode": "fast"},
+    {"run": "headline", "mode": "fast"},
+]
+
+
+def _simperf_point(point: SweepPoint) -> dict:
+    """Run one timed configuration; module-level for the sweep runner.
+
+    ``reference`` is the seed-equivalent configuration: one heap event
+    per step, a recorded timeline, and fresh per-route backlog sums.
+    ``fast`` is the batched default with tracing off — what a sweep
+    that only wants the report should use.
+    """
+    num_requests = (HEADLINE_REQUESTS if point["run"] == "headline"
+                    else GRID_REQUESTS)
+    fast = point["mode"] == "fast"
+    library = build_samba_coe_library(NUM_EXPERTS)
+    requests = zipf_request_stream(
+        library, num_requests, alpha=ZIPF_ALPHA, seed=SEED,
+        output_tokens=OUTPUT_TOKENS,
+    )
+    start = time.perf_counter()
+    report = run_cluster(
+        sn40l_platform, library, requests, num_nodes=NUM_NODES,
+        policy=POLICY, node_policy=NODE_POLICY,
+        event_batching=fast, record_timeline=not fast,
+    )
+    wall_s = time.perf_counter() - start
+    return {
+        "run": point["run"],
+        "mode": point["mode"],
+        "requests": num_requests,
+        "wall_s": wall_s,
+        "events_run": report.events_run,
+        "events_per_s": report.events_run / wall_s if wall_s > 0 else 0.0,
+        "makespan_s": report.makespan_s,
+        "tokens_per_second": report.tokens_per_second,
+        "completed": report.requests - report.rejected,
+    }
+
+
+@pytest.fixture(scope="module")
+def simperf_results():
+    reference, fast, headline = run_sweep(
+        _simperf_point, POINTS, base_seed=SEED, processes=1,
+    )
+    return {"reference": reference, "fast": fast, "headline": headline}
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    data = json.loads(BASELINE_PATH.read_text())
+    return data["smoke" if SMOKE else "full"]
+
+
+def test_simperf_report(benchmark, simperf_results):
+    benchmark.pedantic(lambda: simperf_results, rounds=1, iterations=1)
+    rows = [
+        [
+            r["run"], r["mode"], f"{r['requests']:,}",
+            f"{r['wall_s']:.2f} s", f"{r['events_run']:,}",
+            f"{r['events_per_s']:,.0f}", f"{r['makespan_s']:.1f} s",
+        ]
+        for r in simperf_results.values()
+    ]
+    speedup = (simperf_results["fast"]["events_per_s"]
+               / simperf_results["reference"]["events_per_s"])
+    print_table(
+        f"Sim-core perf: {NUM_NODES} nodes, Zipf-{ZIPF_ALPHA}, "
+        f"fast/reference = {speedup:.1f}x events/sec on the same grid",
+        ["Run", "Mode", "Requests", "Wall", "Events", "ev/s",
+         "Sim makespan"],
+        rows,
+    )
+
+
+def test_same_grid_simulated_metrics_identical(simperf_results):
+    """Batching must change wall-clock only, never the simulation."""
+    ref, fast = simperf_results["reference"], simperf_results["fast"]
+    assert ref["events_run"] == fast["events_run"]
+    assert ref["makespan_s"] == fast["makespan_s"]
+    assert ref["tokens_per_second"] == fast["tokens_per_second"]
+    assert ref["completed"] == fast["completed"]
+
+
+@pytest.mark.skipif(SMOKE, reason="speedup bound holds at full size "
+                    "(the reference's admission scan is quadratic)")
+def test_fast_path_at_least_10x_events_per_sec(simperf_results):
+    ref, fast = simperf_results["reference"], simperf_results["fast"]
+    speedup = fast["events_per_s"] / ref["events_per_s"]
+    assert speedup >= MIN_SPEEDUP, f"fast/reference only {speedup:.1f}x"
+
+
+@pytest.mark.skipif(SMOKE, reason="headline runs at full size only")
+def test_headline_million_requests_in_seconds(simperf_results):
+    headline = simperf_results["headline"]
+    assert headline["requests"] == 1_000_000
+    assert headline["completed"] == 1_000_000
+    assert headline["wall_s"] < 120.0, (
+        f"1M-request sim took {headline['wall_s']:.0f}s"
+    )
+
+
+def test_events_per_sec_vs_committed_baseline(simperf_results, baseline):
+    """The CI regression gate: >30% below baseline fails the job."""
+    current = simperf_results["fast"]["events_per_s"]
+    floor = BASELINE_RETENTION * baseline["fast_events_per_s"]
+    assert current >= floor, (
+        f"fast-path events/sec regressed: {current:,.0f} < "
+        f"{floor:,.0f} (70% of committed {baseline['fast_events_per_s']:,})"
+    )
+
+
+def test_emit_bench_json(simperf_results, baseline):
+    payload = {
+        "workload": {
+            "experts": NUM_EXPERTS,
+            "nodes": NUM_NODES,
+            "grid_requests": GRID_REQUESTS,
+            "headline_requests": HEADLINE_REQUESTS,
+            "output_tokens": OUTPUT_TOKENS,
+            "zipf_alpha": ZIPF_ALPHA,
+            "seed": SEED,
+            "policy": POLICY,
+            "node_policy": NODE_POLICY,
+            "smoke": SMOKE,
+        },
+        "same_grid": {
+            "reference": simperf_results["reference"],
+            "fast": simperf_results["fast"],
+            "speedup_events_per_s": (
+                simperf_results["fast"]["events_per_s"]
+                / simperf_results["reference"]["events_per_s"]
+            ),
+        },
+        "headline": simperf_results["headline"],
+        "baseline": {
+            "fast_events_per_s": baseline["fast_events_per_s"],
+            "retention_floor": BASELINE_RETENTION,
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT_PATH}")
+    assert OUTPUT_PATH.exists()

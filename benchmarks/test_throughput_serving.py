@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 from benchmarks.conftest import fmt_ms, print_table
+from repro.bench.sweep import SweepPoint, run_sweep
 from repro.coe.engine import POLICIES, compare_policies, zipf_request_stream
 from repro.coe.expert import build_samba_coe_library
 from repro.models.catalog import LLAMA2_7B
@@ -40,18 +41,33 @@ SWEEP_PROMPT = 256
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 
-@pytest.fixture(scope="module")
-def throughput_reports():
+_PLATFORM_FACTORIES = {
+    "sn40l": sn40l_platform,
+    "dgx_h100": dgx_h100_platform,
+    "dgx_a100": dgx_a100_platform,
+}
+
+
+def _throughput_point(point: SweepPoint):
+    """One platform's full policy ladder (fifo/affinity/overlap);
+    module-level so the sweep runner's fork pool can pickle it."""
+    platform = _PLATFORM_FACTORIES[point["platform"]]()
     library = build_samba_coe_library(NUM_EXPERTS)
     requests = zipf_request_stream(
         library, NUM_REQUESTS, alpha=ZIPF_ALPHA, seed=1234,
         output_tokens=OUTPUT_TOKENS,
     )
-    results = {}
-    for factory in (sn40l_platform, dgx_h100_platform, dgx_a100_platform):
-        platform = factory()
-        results[platform.name] = compare_policies(platform, library, requests)
-    return results
+    return platform.name, compare_policies(platform, library, requests)
+
+
+@pytest.fixture(scope="module")
+def throughput_reports():
+    swept = run_sweep(
+        _throughput_point,
+        {"platform": tuple(_PLATFORM_FACTORIES)},
+        base_seed=1234,
+    )
+    return dict(swept)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,26 @@
+"""Shared benchmark infrastructure: the parallel sweep runner.
+
+The repo's ``benchmarks/`` suites all have the same shape — a small
+parameter grid (policy x node count x workload), one deterministic
+simulation per grid point, results merged into a table and a
+``BENCH_*.json`` payload. :mod:`repro.bench.sweep` is the one runner
+they share: deterministic per-point seeding, optional multiprocess
+fan-out whose results are byte-identical to a serial run, and cost-cache
+hygiene between points.
+"""
+
+from repro.bench.sweep import (
+    SweepPoint,
+    derive_seed,
+    grid,
+    run_sweep,
+    sweep_points,
+)
+
+__all__ = [
+    "SweepPoint",
+    "derive_seed",
+    "grid",
+    "run_sweep",
+    "sweep_points",
+]

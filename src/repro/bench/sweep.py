@@ -1,0 +1,153 @@
+"""Deterministic parallel sweep runner for the benchmark grids.
+
+Every ``BENCH_*`` suite sweeps a small configuration grid and runs one
+deterministic simulation per point. This module factors that loop out:
+
+- :func:`grid` expands named axes into points in a fixed row-major
+  order (last axis fastest), so a grid's point order — and therefore
+  every merged result — is a pure function of the axes.
+- :func:`derive_seed` gives each point its own RNG seed from
+  ``(grid index, base seed)`` via SHA-256, so a point's randomness
+  depends only on *where it sits in the grid*, never on which worker
+  ran it or in what order. A parallel run is byte-identical to a
+  serial run by construction.
+- :func:`run_sweep` fans the points out over a ``fork`` process pool
+  (or runs them serially — the default on single-CPU boxes and the
+  fallback where ``fork`` is unavailable) and merges results back in
+  grid order. :func:`repro.systems.platforms.clear_cost_caches` runs
+  before every point, so one point's memoized cost entries neither
+  leak memory across a long sweep nor bleed cache state into another
+  point's measurement.
+
+The point function must be defined at module level (the pool pickles it
+by qualified name) and must be deterministic given its
+:class:`SweepPoint` — everything the repo's simulations already are.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.systems.platforms import clear_cost_caches
+
+__all__ = [
+    "SweepPoint",
+    "derive_seed",
+    "grid",
+    "run_sweep",
+    "sweep_points",
+]
+
+#: Environment override for the worker count (0 / unset = auto).
+PROCESSES_ENV = "REPRO_SWEEP_PROCESSES"
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Per-point RNG seed from ``(grid index, base seed)``.
+
+    SHA-256 of the pair, truncated to 63 bits (always non-negative, fits
+    any RNG that wants a C long). Adjacent indices get statistically
+    unrelated seeds — unlike ``base_seed + index``, two axes' streams
+    never collide — and the mapping is stable across Python versions and
+    platforms (no ``hash()`` randomization).
+    """
+    digest = hashlib.sha256(f"{base_seed}:{index}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: its position, parameters, and derived seed."""
+
+    index: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def __getitem__(self, key: str) -> Any:
+        return self.params[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.params.get(key, default)
+
+
+def grid(axes: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Expand named axes into the full cross product, row-major.
+
+    The last axis varies fastest (``itertools.product`` order), and axis
+    order follows the mapping's insertion order — so the same axes dict
+    always yields the same point sequence.
+    """
+    names = list(axes)
+    return [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(axes[name] for name in names))
+    ]
+
+
+def sweep_points(
+    axes_or_params: "Mapping[str, Sequence[Any]] | Sequence[Mapping[str, Any]]",
+    base_seed: int = 0,
+) -> List[SweepPoint]:
+    """Build the ordered :class:`SweepPoint` list for a grid.
+
+    Accepts either named axes (expanded via :func:`grid`) or an explicit
+    parameter-dict sequence for irregular grids.
+    """
+    if isinstance(axes_or_params, Mapping):
+        params = grid(axes_or_params)
+    else:
+        params = [dict(p) for p in axes_or_params]
+    return [
+        SweepPoint(index=i, params=p, seed=derive_seed(base_seed, i))
+        for i, p in enumerate(params)
+    ]
+
+
+def _run_point(job: "tuple[Callable[[SweepPoint], Any], SweepPoint]") -> Any:
+    """Run one point with clean cost caches (worker and serial path)."""
+    fn, point = job
+    clear_cost_caches()
+    return fn(point)
+
+
+def _resolve_processes(processes: Optional[int], num_points: int) -> int:
+    if processes is None:
+        env = os.environ.get(PROCESSES_ENV, "").strip()
+        processes = int(env) if env else 0
+        if processes <= 0:
+            processes = os.cpu_count() or 1
+    return max(1, min(processes, num_points))
+
+
+def run_sweep(
+    fn: Callable[[SweepPoint], Any],
+    axes_or_params: "Mapping[str, Sequence[Any]] | Sequence[Mapping[str, Any]]",
+    base_seed: int = 0,
+    processes: Optional[int] = None,
+) -> List[Any]:
+    """Run ``fn`` over every grid point; results merge in grid order.
+
+    ``processes=None`` honours ``REPRO_SWEEP_PROCESSES`` and otherwise
+    uses the CPU count; ``1`` (or a single-point grid) runs serially in
+    this process. The parallel path requires the ``fork`` start method —
+    where it is unavailable the sweep silently degrades to serial, which
+    produces byte-identical results anyway (that equivalence is pinned
+    by ``tests/bench/test_sweep.py``).
+    """
+    points = sweep_points(axes_or_params, base_seed=base_seed)
+    jobs = [(fn, p) for p in points]
+    nproc = _resolve_processes(processes, len(points))
+    if nproc > 1:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            ctx = None
+        if ctx is not None:
+            with ctx.Pool(nproc) as pool:
+                return pool.map(_run_point, jobs)
+    return [_run_point(job) for job in jobs]

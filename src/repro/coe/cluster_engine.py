@@ -72,9 +72,11 @@ from typing import (
 
 from repro.coe.cache import CachePolicy, CachePolicyLike
 from repro.coe.engine import (
+    DRAIN_EVENT_KIND,
     CompletedRequest,
     EngineRequest,
     ServingEngine,
+    _run_drain_batch,
     zipf_request_stream,
 )
 from repro.coe.expert import ExpertLibrary, ExpertProfile
@@ -209,7 +211,11 @@ class ClusterReport:
     fault_specs: Tuple[str, ...] = ()
     deadline_s: Optional[float] = None
     nodes: Tuple[NodeSummary, ...] = ()
-    timeline: Timeline = field(repr=False, default_factory=Timeline)
+    #: ``None`` when the run was traced with ``record_timeline=False``;
+    #: excluded from equality so batched and reference runs compare by
+    #: their simulated metrics (lane dict order differs — compare lanes
+    #: explicitly via :meth:`repro.obs.Timeline.spans` when needed).
+    timeline: Optional[Timeline] = field(repr=False, compare=False, default=None)
 
     @property
     def tokens_per_second(self) -> float:
@@ -291,6 +297,8 @@ class ClusterEngine:
         heartbeat_s: float = 0.05,
         deadline_s: Optional[float] = None,
         cache_policy: CachePolicyLike = None,
+        event_batching: bool = True,
+        record_timeline: bool = True,
     ) -> None:
         self.policy = ClusterPolicy.coerce(policy).value
         self.node_policy = NodePolicy.coerce(node_policy).value
@@ -322,8 +330,36 @@ class ClusterEngine:
         self.heartbeat_s = heartbeat_s
         self.deadline_s = deadline_s
         self.cache_policy_spec = cache_policy
-        self.timeline = Timeline()
+        self.record_timeline = record_timeline
+        self.timeline: Optional[Timeline] = (
+            Timeline() if record_timeline else None
+        )
         self.sim = Simulator(timeline=self.timeline)
+        self.sim.set_batch_handler(DRAIN_EVENT_KIND, _run_drain_batch)
+        self.faults = _coerce_faults(faults)
+        #: Whole-queue drains are only equivalent when nothing can
+        #: interleave with a node's queue mid-run: the steal policy's
+        #: hooks and every fault path (crash/slow/copy-fault events land
+        #: between a node's begin/finish events) force event-by-event.
+        self.event_batching = (
+            event_batching and self.policy != "steal" and not self.faults
+        )
+        #: The fast-path feature set follows the *requested* flag, not the
+        #: policy/fault-gated one: incremental admission backlog and bulk
+        #: phase precompute are bitwise-identical to the reference math,
+        #: so they stay on for steal/fault runs too. Only an explicit
+        #: ``event_batching=False`` (the seed-equivalent reference
+        #: configuration the equivalence tests and perf benchmarks
+        #: compare against) reverts admission to fresh per-route sums.
+        self._fast_admission = bool(event_batching)
+        #: During admission (before the clock runs) each engine's backlog
+        #: is the running sum of what was submitted to it; this tracker
+        #: keeps that sum incrementally — bitwise-identical to the fresh
+        #: left-to-right sum while queues are append-only — turning the
+        #: O(groups x queue) admission scan into O(groups). ``None``
+        #: outside admission: once the clock runs, queues pop and steal,
+        #: so routing falls back to the fresh estimate.
+        self._admission_backlog: Optional[Dict[int, float]] = None
         self.steals = 0
         self.replications = 0
         self.promotions = 0
@@ -351,6 +387,7 @@ class ClusterEngine:
                 simulator=self.sim,
                 lane_prefix=f"node{idx}/",
                 cache_policy=cache_policy,
+                event_batching=self.event_batching,
             )
             node = _Node(
                 index=idx,
@@ -358,17 +395,21 @@ class ClusterEngine:
                 engine=engine,
                 hosted={e.name for e in shard},
             )
-            engine.on_idle = lambda _eng, n=node: self._node_idle(n)
-            engine.on_group_done = (
-                lambda _eng, _group, n=node: self._node_idle(n)
-                if not n.engine.busy
-                else None
-            )
+            if self.policy == "steal":
+                # Only the steal policy reacts to these hooks
+                # (:meth:`_node_idle` is a no-op otherwise); leaving them
+                # uninstalled lets the other policies' engines take the
+                # batched-drain fast path.
+                engine.on_idle = lambda _eng, n=node: self._node_idle(n)
+                engine.on_group_done = (
+                    lambda _eng, _group, n=node: self._node_idle(n)
+                    if not n.engine.busy
+                    else None
+                )
             self.nodes.append(node)
             for expert in shard:
                 self._owners.setdefault(expert.name, []).append(idx)
 
-        self.faults = _coerce_faults(faults)
         self.faults.validate_for(len(self.nodes))
         self._crashes_pending = len(self.faults.crashes)
 
@@ -385,6 +426,12 @@ class ClusterEngine:
         except KeyError:
             raise KeyError(f"no node hosts expert {expert.name!r}") from None
 
+    def _backlog_s(self, node: _Node) -> float:
+        """Estimated backlog for routing; O(1) during admission."""
+        if self._admission_backlog is not None:
+            return self._admission_backlog[node.index]
+        return node.engine.estimated_backlog_s()
+
     def _route(self, group: RequestGroup) -> _Node:
         owners = self._owner_nodes(group.expert)
         if self.policy == "affinity":
@@ -397,7 +444,7 @@ class ClusterEngine:
             pool = tail_match or owners
         else:
             pool = owners
-        return min(pool, key=lambda n: (n.engine.estimated_backlog_s(), n.index))
+        return min(pool, key=lambda n: (self._backlog_s(n), n.index))
 
     def _dispatch(self, group: RequestGroup, now: float) -> bool:
         """Route + submit one group; returns False when it was shed.
@@ -410,12 +457,16 @@ class ClusterEngine:
         """
         node = self._route(group)
         if self.deadline_s is not None:
-            eta = (now + node.engine.estimated_backlog_s()
+            eta = (now + self._backlog_s(node)
                    + node.engine._group_exec_time(group))
             if eta > self.deadline_s:
                 self.rejected.extend(group.requests)
                 return False
         node.engine.submit(group)
+        if self._admission_backlog is not None:
+            self._admission_backlog[node.index] += (
+                node.engine._group_exec_time(group)
+            )
         return True
 
     @staticmethod
@@ -519,7 +570,7 @@ class ClusterEngine:
         """Record on the node's ``faults`` lane, clipped against what is
         already there (a crash inside a straggler window, stacked slow
         windows) so the lane's non-overlap invariant always holds."""
-        if end_s < start_s:
+        if end_s < start_s or self.timeline is None:
             return
         lane = f"{node.name}/faults"
         pieces = [(start_s, end_s)]
@@ -675,9 +726,30 @@ class ClusterEngine:
         groups = coalesce_groups(ordered, self.max_batch)
         admit = (self._priority_order(groups) if self.deadline_s is not None
                  else groups)
-        for group in admit:
-            self._dispatch(group, now=0.0)
+        # Fast path: seed every node's phase memo with one vectorized
+        # batch over the shapes it could be routed (the experts it
+        # hosts), and track the admission backlog incrementally; both
+        # turn admission from the sweep's dominant cost (a fresh
+        # O(queue) sum per routed group) into a linear pass, with
+        # bitwise-identical routing decisions.
+        if self._fast_admission:
+            for node in self.nodes:
+                hosted = node.hosted
+                node.engine.precompute_phases(
+                    [g for g in admit if g.expert.name in hosted]
+                )
+            self._admission_backlog = {n.index: 0.0 for n in self.nodes}
+        try:
+            for group in admit:
+                self._dispatch(group, now=0.0)
+        finally:
+            self._admission_backlog = None
         end_clock = self.sim.run()
+        # Batched drains finish their work on local clocks past the last
+        # shared-clock event; the cluster end is the latest of both.
+        end_clock = max(
+            [end_clock] + [n.engine._drained_until for n in self.nodes]
+        )
         for node in self.nodes:
             if not node.engine.halted:
                 node.engine.flush_speculation(end_clock)
@@ -726,10 +798,19 @@ class ClusterEngine:
                     requests=len(node.engine.completed),
                     groups=node.engine.groups_done,
                     output_tokens=tokens,
-                    busy_s=self.timeline.busy_s(node.engine.lane("compute")),
-                    switch_s=self.timeline.busy_s(node.engine.lane("switch")),
-                    hidden_switch_s=self.timeline.overlap_s(
-                        node.engine.lane("switch"), node.engine.lane("compute")
+                    busy_s=(
+                        self.timeline.busy_s(node.engine.lane("compute"))
+                        if self.timeline is not None else 0.0
+                    ),
+                    switch_s=(
+                        self.timeline.busy_s(node.engine.lane("switch"))
+                        if self.timeline is not None else 0.0
+                    ),
+                    hidden_switch_s=(
+                        self.timeline.overlap_s(
+                            node.engine.lane("switch"),
+                            node.engine.lane("compute"),
+                        ) if self.timeline is not None else 0.0
                     ),
                     steals_in=node.steals_in,
                     replicas_hosted=node.replicas_hosted,
@@ -793,6 +874,8 @@ def run_cluster(
     heartbeat_s: float = 0.05,
     deadline_s: Optional[float] = None,
     cache_policy: CachePolicyLike = None,
+    event_batching: bool = True,
+    record_timeline: bool = True,
 ) -> ClusterReport:
     """One cluster run over a fresh engine (fresh timeline, fresh clock)."""
     engine = ClusterEngine(
@@ -808,6 +891,8 @@ def run_cluster(
         heartbeat_s=heartbeat_s,
         deadline_s=deadline_s,
         cache_policy=cache_policy,
+        event_batching=event_batching,
+        record_timeline=record_timeline,
     )
     return engine.serve(requests)
 

@@ -50,7 +50,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple,
+)
 
 from repro.coe.cache import CachePolicyLike, PredictivePolicy
 from repro.coe.expert import ExpertLibrary, ExpertProfile
@@ -71,6 +73,22 @@ from repro.systems.platforms import Platform
 #: the typed source of truth and coerces these (kept for back-compat).
 POLICIES = NodePolicy.values()
 
+#: Event kind tag of a whole-queue drain. All engines sharing one
+#: simulator use the same tag, so back-to-back drains (e.g. every node's
+#: t=0 drain in a cluster) merge into a single batched handler call.
+DRAIN_EVENT_KIND = "coe-drain"
+
+
+def _run_drain_batch(batch) -> None:
+    """Batch handler for :data:`DRAIN_EVENT_KIND` events.
+
+    Each callback replays its own engine's queue on a local clock and
+    never touches the shared one, so running them back-to-back is
+    exactly the event-by-event execution order.
+    """
+    for _, callback in batch:
+        callback()
+
 
 @dataclass(frozen=True)
 class EngineRequest:
@@ -88,9 +106,14 @@ class EngineRequest:
     priority: int = 0
 
 
-@dataclass(frozen=True)
-class CompletedRequest:
-    """Completion record of one request, with its group context."""
+class CompletedRequest(NamedTuple):
+    """Completion record of one request, with its group context.
+
+    A NamedTuple rather than a dataclass: the engine materializes one of
+    these per request on the hottest loop of a million-request sim, and
+    tuple construction is several times cheaper than a frozen dataclass's
+    per-field ``object.__setattr__``.
+    """
 
     request_id: int
     expert: str
@@ -197,6 +220,8 @@ class ServingEngine:
         simulator: Optional[Simulator] = None,
         lane_prefix: str = "",
         cache_policy: CachePolicyLike = None,
+        event_batching: bool = True,
+        record_timeline: bool = True,
     ) -> None:
         if max_batch < 1 or window < 1:
             raise ValueError("max_batch and window must be >= 1")
@@ -204,6 +229,21 @@ class ServingEngine:
         self.max_batch = max_batch
         self.window = window
         self.lane_prefix = lane_prefix
+        #: Fast path: drain the whole queue in one simulator event with a
+        #: local clock instead of one begin/finish event pair per group.
+        #: Equivalent by construction (same state mutations, same order,
+        #: same timestamps — see docs/PERFORMANCE.md) and automatically
+        #: suppressed whenever an external party could interleave with
+        #: the queue mid-run (cluster steal hooks, fault injection).
+        self.event_batching = event_batching
+        #: ``False`` skips building a span timeline in :meth:`run` — the
+        #: report's timeline-derived switch stats then read 0.0.
+        self.record_timeline = record_timeline
+        #: (expert name, batch, prompt, output) -> base (router_s,
+        #: prefill_s, decode_s) with no slow factor applied. Seeded in
+        #: bulk by :meth:`precompute_phases`, filled lazily otherwise.
+        self._phase_cache: Dict[Tuple[str, int, int, int],
+                                Tuple[float, float, float]] = {}
         self.server = ExpertServer(
             platform, library, reserved_hbm_bytes=reserved_hbm_bytes,
             cache_policy=cache_policy,
@@ -272,6 +312,11 @@ class ServingEngine:
         #: from RuntimeStats.switch_time_s, whose contract is that
         #: failures contribute no bytes and no copy time.
         self.retry_dma_s = 0.0
+        #: End of the last group completed by a batched drain. Drains run
+        #: on a local clock and never advance a (possibly shared)
+        #: simulator clock, so the makespan is
+        #: ``max(sim.run(), drained_until)`` across engines.
+        self._drained_until = 0.0
 
     def bind(self, simulator: Simulator) -> None:
         """Attach to a (possibly shared) simulator clock, resetting state."""
@@ -412,23 +457,85 @@ class ServingEngine:
             return list(requests)
         return affinity_schedule(requests, window=self.window)
 
-    def _group_phase_times(self, group: RequestGroup) -> Tuple[float, float, float]:
-        """(router_s, prefill_s, decode_s) of one batched group.
+    def _base_phase_times(self, group: RequestGroup) -> Tuple[float, float, float]:
+        """Un-stretched (router_s, prefill_s, decode_s), memoized.
 
-        Requests in a group may differ in lengths; the batch pads to the
-        longest prompt and generation (standard static-batching cost).
+        The memo key is cheap (a name and three ints) where the platform
+        ``lru_cache``s hash whole model configs per call; on the drain
+        loop this is the difference between one dict probe and four
+        dataclass hashes per group.
         """
-        prompt = max(r.prompt_tokens for r in group.requests)
-        output = max(r.output_tokens for r in group.requests)
-        batch = group.batch
-        router = self.server.router_time(batch=batch, prompt_tokens=prompt)
-        prefill, decode = self.server.expert_time(
-            group.expert, output, prompt, batch=batch
-        )
+        key = group.phase_key
+        base = self._phase_cache.get(key)
+        if base is None:
+            _, batch, prompt, output = key
+            router = self.server.router_time(batch=batch, prompt_tokens=prompt)
+            prefill, decode = self.server.expert_time(
+                group.expert, output, prompt, batch=batch
+            )
+            base = (router, prefill, decode)
+            self._phase_cache[key] = base
+        return base
+
+    def _group_phase_times(self, group: RequestGroup) -> Tuple[float, float, float]:
+        """(router_s, prefill_s, decode_s) of one batched group."""
+        router, prefill, decode = self._base_phase_times(group)
         # A straggler window stretches every phase of a group started
         # inside it (thermal throttling, a noisy neighbour, a flaky link).
         factor = self.slow_factor
         return router * factor, prefill * factor, decode * factor
+
+    def precompute_phases(self, groups: Sequence[RequestGroup]) -> int:
+        """Seed the phase memo for ``groups`` with vectorized cost math.
+
+        One :meth:`Platform.prefill_time_batch` /
+        :meth:`Platform.decode_span_time_batch` call per distinct model
+        replaces four memoized scalar evaluations per distinct group
+        shape. The vectorized entry points are bitwise-equal to the
+        scalar ones, so seeding the memo this way cannot change a single
+        simulated timestamp. Returns the number of shapes computed.
+        """
+        pending: Dict[Tuple[str, int, int, int], RequestGroup] = {}
+        for group in groups:
+            key = group.phase_key
+            if key not in self._phase_cache and key not in pending:
+                pending[key] = group
+        if not pending:
+            return 0
+        platform = self.server.platform
+        router_model = self.server.router.model
+        keys = list(pending)
+        batches = [k[1] for k in keys]
+        prompts = [k[2] for k in keys]
+        outputs = [k[3] for k in keys]
+        router_s = (
+            platform.prefill_time_batch(router_model, batches, prompts)
+            + platform.decode_token_time_batch(router_model, batches, prompts)
+        )
+        # Expert phases vectorize per distinct model architecture.
+        prefill_s = [0.0] * len(keys)
+        decode_s = [0.0] * len(keys)
+        by_model: Dict[object, List[int]] = {}
+        for i, key in enumerate(keys):
+            by_model.setdefault(pending[key].expert.model, []).append(i)
+        for model, idxs in by_model.items():
+            pre = platform.prefill_time_batch(
+                model, [batches[i] for i in idxs], [prompts[i] for i in idxs]
+            )
+            dec = platform.decode_span_time_batch(
+                model,
+                [outputs[i] for i in idxs],
+                [batches[i] for i in idxs],
+                [prompts[i] for i in idxs],
+            )
+            for j, i in enumerate(idxs):
+                prefill_s[i] = float(pre[j])
+                decode_s[i] = float(dec[j])
+        for i, key in enumerate(keys):
+            self._phase_cache[key] = (
+                float(router_s[i]), prefill_s[i], decode_s[i]
+            )
+        return len(keys)
 
     def _group_exec_time(self, group: RequestGroup) -> float:
         """Batched router + prefill + closed-form decode for one group."""
@@ -455,7 +562,11 @@ class ServingEngine:
             )
 
     def _demand_copy(
-        self, expert: ExpertProfile, *, speculative: bool = False
+        self,
+        expert: ExpertProfile,
+        *,
+        speculative: bool = False,
+        now: Optional[float] = None,
     ) -> float:
         """Activate a non-resident expert; the copy takes the DMA's next
         free slot and its span lands on this engine's switch lane.
@@ -473,8 +584,10 @@ class ServingEngine:
         runtime books them apart from demand traffic.
         """
         sim = self._sim
-        self.flush_speculation(sim.now)
-        start = max(sim.now, self._dma_free_s)
+        if now is None:
+            now = sim.now  # event path; batched drains pass a local clock
+        self.flush_speculation(now)
+        start = max(now, self._dma_free_s)
         event = self.server.runtime.activate(
             expert, span=False, speculative=speculative
         )
@@ -508,6 +621,18 @@ class ServingEngine:
         self._copy_done[expert.name] = done
         return done
 
+    def _batch_ok(self) -> bool:
+        """Whether draining the whole queue in one event is equivalent.
+
+        Hooks are the cluster scheduler's surface for interleaving with
+        this queue mid-run (stealing, replication); with any installed,
+        every group must go through its own begin/finish events so the
+        hooks observe real intermediate states. Fault schedules disable
+        batching at construction time (see :class:`ClusterEngine`).
+        """
+        return (self.event_batching and self.on_idle is None
+                and self.on_group_done is None)
+
     def _kick(self) -> None:
         """Schedule the queue head's begin event if the engine is idle."""
         if (self._sim is None or self._halted or self._busy
@@ -519,7 +644,18 @@ class ServingEngine:
         if self.server.runtime.is_resident(head):
             start_at = max(start_at, self._copy_done.get(head.name, start_at))
         self._begin_scheduled = True
-        sim.schedule_at(start_at, self._begin_next)
+        if self._batch_ok():
+            # One tagged event drains the whole queue on a local clock;
+            # consecutive drains (one per node at t=0 in a cluster) merge
+            # into a single handler call via the simulator's batch-drain
+            # machinery.
+            sim.schedule_at(
+                start_at,
+                lambda: self._drain_batched(start_at),
+                kind=DRAIN_EVENT_KIND,
+            )
+        else:
+            sim.schedule_at(start_at, self._begin_next)
 
     def _begin_next(self) -> None:
         if self._halted:
@@ -565,15 +701,18 @@ class ServingEngine:
         self._busy_until_s = end
         sim.schedule_at(end, self._finish_group)
 
-    def _prefetch_next(self, protected_name: str) -> None:
+    def _prefetch_next(
+        self, protected_name: str, now: Optional[float] = None
+    ) -> None:
         """Warm the queue head's expert on the otherwise-idle DMA engines."""
         if self._halted or not self._queue:
             return
-        sim = self._sim
+        if now is None:
+            now = self._sim.now  # event path; drains pass a local clock
         runtime = self.server.runtime
         nxt = self._queue[0].expert
         if runtime.is_resident(nxt):
-            self.flush_speculation(sim.now)
+            self.flush_speculation(now)
             # Recency refresh, free hit — speculative: the demand access
             # happens when the group actually begins.
             runtime.activate(nxt, speculative=True)
@@ -583,7 +722,7 @@ class ServingEngine:
             # still needs (the one executing and the one up next).
             protected = {nxt.name, protected_name}
             guess = next(
-                (c for c in self._predictor.candidates()
+                (c for c in self._predictor.iter_candidates()
                  if not runtime.is_resident(c)
                  and protected.isdisjoint(runtime.would_evict(c))),
                 None,
@@ -591,42 +730,63 @@ class ServingEngine:
             if guess is not None:
                 event = runtime.activate(guess, span=False, speculative=True)
                 self._spec_open.append(
-                    (f"copy:{guess.name}", sim.now, event.time_s)
+                    (f"copy:{guess.name}", now, event.time_s)
                 )
                 self.speculative_prefetches += 1
         else:
-            self._demand_copy(nxt, speculative=True)
+            self._demand_copy(nxt, speculative=True, now=now)
+
+    def _complete_group(
+        self,
+        group: RequestGroup,
+        exec_started: float,
+        phase_times: Tuple[float, float, float],
+        index: int,
+        finish_s: float,
+    ) -> None:
+        """Record one finished group: phase spans + completion records.
+
+        Shared by the event path (``finish_s`` is the clock at the finish
+        event) and the batched drain (``finish_s`` is the local clock);
+        both pass ``exec_started + sum(phase_times)``, so the records are
+        bitwise-identical either way.
+        """
+        sim = self._sim
+        if sim.timeline is not None:
+            end = exec_started
+            for category, duration in zip(("router", "prefill", "decode"),
+                                          phase_times):
+                if duration > 0:
+                    sim.record_span(
+                        f"{category}:{group.expert.name}",
+                        self.lane("compute"), category,
+                        start_s=end, end_s=end + duration,
+                        args={"group": index, "batch": group.batch},
+                    )
+                end += duration
+        expert_name = group.expert.name
+        batch = group.batch
+        append = self.completed.append
+        for req in group.requests:
+            append(CompletedRequest(
+                request_id=req.request_id,
+                expert=expert_name,
+                batch=batch,
+                arrival_s=req.arrival_s,
+                start_s=exec_started,
+                finish_s=finish_s,
+                output_tokens=req.output_tokens,
+            ))
+        self.groups_done += 1
 
     def _finish_group(self) -> None:
         if self._halted or self._current is None:
             return
-        sim = self._sim
         group, exec_started, phase_times, index = self._current
         self._current = None
-        end = exec_started
-        for category, duration in zip(("router", "prefill", "decode"),
-                                      phase_times):
-            if duration > 0:
-                sim.record_span(
-                    f"{category}:{group.expert.name}",
-                    self.lane("compute"), category,
-                    start_s=end, end_s=end + duration,
-                    args={"group": index, "batch": group.batch},
-                )
-            end += duration
-        for req in group.requests:
-            self.completed.append(
-                CompletedRequest(
-                    request_id=req.request_id,
-                    expert=group.expert.name,
-                    batch=group.batch,
-                    arrival_s=req.arrival_s,
-                    start_s=exec_started,
-                    finish_s=sim.now,
-                    output_tokens=req.output_tokens,
-                )
-            )
-        self.groups_done += 1
+        self._complete_group(
+            group, exec_started, phase_times, index, finish_s=self._sim.now
+        )
         self._busy = False
         if self.on_group_done is not None:
             self.on_group_done(self, group)
@@ -634,6 +794,108 @@ class ServingEngine:
             self._kick()
         else:
             self._notify_idle()
+
+    def _drain_batched(self, start_at: float) -> None:
+        """Drain the whole queue in one simulator event on a local clock.
+
+        Replays exactly the begin -> (deferred prefetch) -> finish event
+        chain of the reference path, group by group, threading an
+        explicit ``now`` instead of reading the shared clock. State
+        mutations (predictor observations, runtime activations, DMA
+        bookkeeping, spans, completion records) happen in the identical
+        order with the identical timestamps, which is what the
+        batched-equivalence property test asserts. The shared clock is
+        never advanced — a later-scheduled drain of another engine on the
+        same simulator must still see its own scheduled time — so the run
+        end is published via :attr:`_drained_until` and folded into the
+        makespan as ``max(sim.run(), drained_until)``.
+        """
+        if self._halted:
+            return
+        self._begin_scheduled = False
+        if self._busy:
+            return
+        if not self._queue:
+            self._notify_idle()
+            return
+        # Everything touched per iteration is hoisted to a local — this
+        # loop replaces the whole event pipeline on million-group runs.
+        sim = self._sim
+        runtime = self.server.runtime
+        is_resident = runtime.is_resident
+        activate = runtime.activate
+        observe = self._predictor.observe
+        copy_done = self._copy_done
+        phase_cache = self._phase_cache
+        queue = self._queue
+        popleft = queue.popleft
+        completed_append = self.completed.append
+        overlap = self.policy == "overlap"
+        tracing = sim.timeline is not None
+        index = self._groups_started
+        groups_done = 0
+        now = start_at
+        #: Events the reference path would have run for this same work:
+        #: a begin + a finish per group, plus one per deferred prefetch.
+        logical = 0
+        while queue:
+            group = popleft()
+            expert = group.expert
+            expert_name = expert.name
+            base = phase_cache.get(group.phase_key)
+            if base is None:
+                base = self._base_phase_times(group)
+            factor = self.slow_factor
+            if factor != 1.0:
+                # x * 1.0 is bitwise x, so skipping the common no-op
+                # stretch cannot change a timestamp.
+                base = (base[0] * factor, base[1] * factor,
+                        base[2] * factor)
+            observe(expert)
+            if is_resident(expert):
+                activate(expert)  # hit: free recency refresh
+                done = copy_done.get(expert_name)
+                exec_start = now if done is None or done <= now else done
+            else:
+                exec_start = self._demand_copy(expert, now=now)
+            if overlap and queue:
+                if exec_start > now:
+                    # The reference path defers this to its own event at
+                    # exec_start; nothing else of this engine runs in
+                    # between, so replaying it inline at that time is
+                    # the same interleaving.
+                    logical += 1
+                    self._prefetch_next(expert_name, now=exec_start)
+                else:
+                    self._prefetch_next(expert_name, now=now)
+            end = exec_start + base[0] + base[1] + base[2]
+            self._busy_until_s = end
+            if tracing:
+                self._complete_group(group, exec_start, base, index,
+                                     finish_s=end)
+            else:
+                batch = len(group.requests)
+                for req in group.requests:
+                    completed_append(CompletedRequest(
+                        req.request_id, expert_name, batch, req.arrival_s,
+                        exec_start, end, req.output_tokens,
+                    ))
+                groups_done += 1
+            index += 1
+            logical += 2
+            now = end
+            if queue:
+                head_name = queue[0].expert.name
+                done = copy_done.get(head_name)
+                if done is not None and done > now and is_resident(
+                        queue[0].expert):
+                    now = done
+        self._groups_started = index
+        self.groups_done += groups_done
+        self._drained_until = max(self._drained_until, now)
+        # The drain event itself was already counted by the simulator.
+        sim.count_events(max(0, logical - 1))
+        self._notify_idle()
 
     def _notify_idle(self) -> None:
         if self.on_idle is not None:
@@ -646,13 +908,15 @@ class ServingEngine:
         if not requests:
             raise ValueError("empty request backlog")
         groups = coalesce_groups(self._order(requests), self.max_batch)
-        timeline = Timeline()
+        timeline = Timeline() if self.record_timeline else None
         sim = Simulator(timeline=timeline)
         self.bind(sim)
         try:
+            sim.set_batch_handler(DRAIN_EVENT_KIND, _run_drain_batch)
+            self.precompute_phases(groups)
             self._queue.extend(groups)
             self._kick()
-            makespan = sim.run()
+            makespan = max(sim.run(), self._drained_until)
             self.flush_speculation(makespan)
             # A halted engine can finish with zero completions; the
             # report must still aggregate instead of dividing by zero.
@@ -664,10 +928,11 @@ class ServingEngine:
                 groups=len(groups),
                 makespan_s=makespan,
                 output_tokens=sum(r.output_tokens for r in requests),
-                switch_s=timeline.busy_s(self.lane("switch")),
-                hidden_switch_s=timeline.overlap_s(
+                switch_s=(timeline.busy_s(self.lane("switch"))
+                          if timeline is not None else 0.0),
+                hidden_switch_s=(timeline.overlap_s(
                     self.lane("switch"), self.lane("compute")
-                ),
+                ) if timeline is not None else 0.0),
                 speculative_prefetches=self.speculative_prefetches,
                 p50_s=percentile(latencies, 50) if latencies else 0.0,
                 p95_s=percentile(latencies, 95) if latencies else 0.0,

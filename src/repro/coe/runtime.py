@@ -27,16 +27,21 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional
 
 from repro.coe.cache import CachePolicy, CachePolicyLike, make_policy
 from repro.coe.expert import ExpertProfile
 from repro.obs import Timeline
 
 
-@dataclass(frozen=True)
-class SwitchEvent:
-    """The outcome of one expert activation."""
+class SwitchEvent(NamedTuple):
+    """The outcome of one expert activation.
+
+    A NamedTuple rather than a frozen dataclass: one is constructed per
+    activation on the serving engines' hottest loop, where tuple
+    construction is several times cheaper than per-field
+    ``object.__setattr__``.
+    """
 
     expert: str
     hit: bool

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.coe.expert import ExpertProfile
 from repro.coe.serving import ExpertServer
@@ -72,6 +72,30 @@ class RequestGroup:
     @property
     def batch(self) -> int:
         return len(self.requests)
+
+    @property
+    def phase_key(self) -> tuple:
+        """Everything the group's phase times depend on, cached.
+
+        Requests in a group may differ in lengths; the batch pads to the
+        longest prompt and generation (standard static-batching cost).
+        Computed once per group — the serving engine keys its phase memo
+        on this from several hot paths (routing, admission, the drain
+        loop), and the max() scans over the requests dominate when
+        recomputed each time. The cache slot lives in ``__dict__`` only,
+        so the generated ``__eq__``/``__hash__``/``repr`` (fields only)
+        are unaffected.
+        """
+        key = self.__dict__.get("_phase_key")
+        if key is None:
+            key = (
+                self.expert.name,
+                len(self.requests),
+                max(r.prompt_tokens for r in self.requests),
+                max(r.output_tokens for r in self.requests),
+            )
+            object.__setattr__(self, "_phase_key", key)
+        return key
 
 
 def coalesce_groups(
@@ -178,33 +202,56 @@ class ExpertPredictor:
         self._last_seen[expert.name] = self._clock
         self._experts[expert.name] = expert
         if self._prev is not None:
-            self._transitions.setdefault(self._prev, Counter())[expert.name] += 1
+            transitions = self._transitions.get(self._prev)
+            if transitions is None:
+                transitions = self._transitions[self._prev] = Counter()
+            transitions[expert.name] += 1
         self._prev = expert.name
 
-    def _ranked_names(self) -> List[str]:
+    def _iter_ranked_names(self) -> Iterator[str]:
+        """Yield expert names most-likely-next first, lazily.
+
+        The global-frequency fallback ranking (a sort over *every* known
+        expert) is only computed if a consumer exhausts the
+        transition-ranked head — the overlap prefetcher usually accepts
+        one of the first few candidates, so the common case pays one
+        small sort instead of two full ones.
+        """
         def global_key(name: str):
             return (self._counts[name], self._last_seen[name])
 
-        ranked: List[str] = []
+        head: List[str] = []
         if self._prev is not None and self._prev in self._transitions:
             transitions = self._transitions[self._prev]
-            ranked.extend(
-                sorted(transitions, key=lambda n: (transitions[n],
-                                                   global_key(n)), reverse=True)
+            head = sorted(
+                transitions,
+                key=lambda n: (transitions[n], global_key(n)),
+                reverse=True,
             )
+            yield from head
+        seen = set(head)
         for name in sorted(self._counts, key=global_key, reverse=True):
-            if name not in ranked:
-                ranked.append(name)
-        return ranked
+            if name not in seen:
+                yield name
+
+    def _ranked_names(self) -> List[str]:
+        return list(self._iter_ranked_names())
 
     def predict(self) -> Optional[ExpertProfile]:
         """Single best guess for the next expert (None without history)."""
-        ranked = self._ranked_names()
-        return self._experts[ranked[0]] if ranked else None
+        return next(
+            (self._experts[n] for n in self._iter_ranked_names()), None
+        )
 
     def candidates(self) -> List[ExpertProfile]:
         """All known experts, most-likely-next first."""
         return [self._experts[name] for name in self._ranked_names()]
+
+    def iter_candidates(self) -> Iterator[ExpertProfile]:
+        """Lazy :meth:`candidates`: same order, ranking computed on
+        demand — the cheap path for consumers that stop at the first
+        acceptable candidate."""
+        return (self._experts[name] for name in self._iter_ranked_names())
 
     def score(self, actual: ExpertProfile, predicted: Optional[ExpertProfile]) -> bool:
         """Record prediction accuracy; returns whether it was correct.
@@ -265,7 +312,7 @@ def serve_with_prefetch(
         # Prefetch the most likely *non-resident* expert: a resident guess
         # would have nothing to copy, so it can never hide a switch.
         guess = next(
-            (c for c in predictor.candidates()
+            (c for c in predictor.iter_candidates()
              if not server.runtime.is_resident(c)),
             None,
         )

@@ -272,26 +272,28 @@ class FaultInjector:
         self.schedule = schedule
         self.pending = 0
         self.delivered: List[FaultEvent] = []
+        events: List[Tuple[float, Callable[[], None]]] = []
         for fault in schedule:
             self.pending += 1
             if isinstance(fault, NodeCrash):
-                sim.schedule_at(
-                    fault.at_s, lambda f=fault: self._fire(on_crash, f)
+                events.append(
+                    (fault.at_s, lambda f=fault: self._fire(on_crash, f))
                 )
             elif isinstance(fault, SlowNode):
                 if on_slow_start is not None:
-                    sim.schedule_at(
-                        fault.at_s, lambda f=fault: on_slow_start(f)
+                    events.append(
+                        (fault.at_s, lambda f=fault: on_slow_start(f))
                     )
                 # the *end* of the window retires the fault: the engine
                 # must stay responsive for its whole duration.
-                sim.schedule_at(
-                    fault.end_s, lambda f=fault: self._fire(on_slow_end, f)
+                events.append(
+                    (fault.end_s, lambda f=fault: self._fire(on_slow_end, f))
                 )
             else:
-                sim.schedule_at(
-                    fault.at_s, lambda f=fault: self._fire(on_copy_fault, f)
+                events.append(
+                    (fault.at_s, lambda f=fault: self._fire(on_copy_fault, f))
                 )
+        sim.schedule_many(events)
 
     def _fire(self, handler: Optional[Callable], fault: FaultEvent) -> None:
         self.pending -= 1

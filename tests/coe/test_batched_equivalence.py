@@ -1,0 +1,173 @@
+"""Property test: the batched fast path IS the event-by-event reference.
+
+``event_batching=True`` (the default) drains a node's whole queue in
+one simulator event with a local clock; ``event_batching=False`` is the
+seed-equivalent reference — one begin/finish event pair per group, the
+heap popped one event at a time. The two must be indistinguishable in
+every observable: report stats (including the logical ``events_run``
+count), completed-request records, and the byte-level timeline — across
+scheduling policies, cache policies, and randomized workloads.
+
+Timelines are compared per lane over sorted lane names: the batched
+path may *create* lanes in a different order (spans for a whole drain
+are recorded together), which is an artifact of dict insertion order,
+not of the simulation.
+"""
+
+import random
+
+import pytest
+
+from repro.coe.cluster_engine import run_cluster
+from repro.coe.engine import ServingEngine, zipf_request_stream
+from repro.coe.expert import build_samba_coe_library
+from repro.systems.platforms import sn40l_platform
+
+
+def _timeline_lanes(timeline):
+    """Per-lane span tuples keyed by lane name, order-insensitive
+    across lanes, order-preserving within a lane."""
+    if timeline is None:
+        return None
+    lanes = {}
+    for span in timeline.spans():
+        lanes.setdefault(span.lane, []).append(
+            (span.name, span.category, span.start_s, span.end_s,
+             repr(sorted(span.args.items())))
+        )
+    return {lane: lanes[lane] for lane in sorted(lanes)}
+
+
+def _random_workload(rng):
+    library = build_samba_coe_library(rng.randrange(24, 64))
+    requests = zipf_request_stream(
+        library,
+        rng.randrange(150, 400),
+        alpha=rng.uniform(1.05, 1.4),
+        seed=rng.randrange(1 << 30),
+        output_tokens=rng.randrange(4, 32),
+    )
+    return library, requests
+
+
+@pytest.mark.parametrize("policy", ["fifo", "affinity", "overlap"])
+@pytest.mark.parametrize("cache_policy", ["lru", "lfu", "gdsf"])
+def test_engine_batched_equals_reference(policy, cache_policy):
+    rng = random.Random(f"engine:{policy}:{cache_policy}")
+    library, requests = _random_workload(rng)
+
+    def run(batching):
+        engine = ServingEngine(
+            sn40l_platform(), library, policy=policy,
+            max_batch=rng_max_batch, window=rng_window,
+            cache_policy=cache_policy, event_batching=batching,
+        )
+        return engine.run(requests)
+
+    rng_max_batch = rng.randrange(1, 12)
+    rng_window = rng.randrange(1, 32)
+    fast, reference = run(True), run(False)
+
+    assert fast.to_dict() == reference.to_dict()
+    assert fast.events_run == reference.events_run
+    assert fast.completed == reference.completed
+    assert _timeline_lanes(fast.timeline) == _timeline_lanes(
+        reference.timeline
+    )
+
+
+@pytest.mark.parametrize("policy", ["least_loaded", "affinity", "steal"])
+@pytest.mark.parametrize("num_nodes", [2, 4])
+def test_cluster_batched_equals_reference(policy, num_nodes):
+    # ``steal`` disables batching internally (its hooks interleave with
+    # the queues), so that axis pins the gate itself: asking for
+    # batching under steal must still reproduce the reference exactly.
+    rng = random.Random(f"cluster:{policy}:{num_nodes}")
+    library, requests = _random_workload(rng)
+
+    def run(batching):
+        return run_cluster(
+            sn40l_platform, library, requests, num_nodes=num_nodes,
+            policy=policy, online_replication=policy == "steal",
+            event_batching=batching,
+        )
+
+    fast, reference = run(True), run(False)
+
+    assert fast.to_dict() == reference.to_dict()
+    assert fast.events_run == reference.events_run
+    assert _timeline_lanes(fast.timeline) == _timeline_lanes(
+        reference.timeline
+    )
+
+
+def test_cluster_deadline_shedding_batched_equals_reference():
+    rng = random.Random("deadline")
+    library, requests = _random_workload(rng)
+    makespan = run_cluster(
+        sn40l_platform, library, requests, num_nodes=2,
+        policy="least_loaded",
+    ).makespan_s
+
+    def run(batching):
+        return run_cluster(
+            sn40l_platform, library, requests, num_nodes=2,
+            policy="least_loaded", deadline_s=0.5 * makespan,
+            event_batching=batching,
+        )
+
+    fast, reference = run(True), run(False)
+    assert fast.rejected > 0
+    assert fast.to_dict() == reference.to_dict()
+    assert _timeline_lanes(fast.timeline) == _timeline_lanes(
+        reference.timeline
+    )
+
+
+def test_cluster_untraced_batched_matches_traced_reference_metrics():
+    """``record_timeline=False`` (the sweep fast path) must leave every
+    simulated metric identical — only timeline-derived per-node fields
+    (busy/switch seconds) and the trace itself go dark."""
+    rng = random.Random("untraced")
+    library, requests = _random_workload(rng)
+
+    def run(batching, record):
+        return run_cluster(
+            sn40l_platform, library, requests, num_nodes=4,
+            policy="affinity", event_batching=batching,
+            record_timeline=record,
+        )
+
+    fast, reference = run(True, False), run(False, True)
+    assert fast.timeline is None
+    assert fast.events_run == reference.events_run
+    assert fast.makespan_s == reference.makespan_s
+    assert fast.tokens_per_second == reference.tokens_per_second
+    # load_imbalance derives from per-node busy seconds, which are
+    # timeline-derived — dark in the untraced run along with the trace.
+    skip = {"nodes", "timeline", "load_imbalance"}
+    fast_d = {k: v for k, v in fast.to_dict().items() if k not in skip}
+    ref_d = {k: v for k, v in reference.to_dict().items() if k not in skip}
+    assert fast_d == ref_d
+
+
+def test_randomized_seeds_sweep():
+    """A seeded fuzz over the config space beyond the fixed grid."""
+    rng = random.Random(20260808)
+    for trial in range(6):
+        policy = rng.choice(["fifo", "affinity", "overlap"])
+        cache = rng.choice(["lru", "lfu", "gdsf", "predictive"])
+        library, requests = _random_workload(rng)
+        fast = ServingEngine(
+            sn40l_platform(), library, policy=policy, cache_policy=cache,
+            event_batching=True,
+        ).run(requests)
+        reference = ServingEngine(
+            sn40l_platform(), library, policy=policy, cache_policy=cache,
+            event_batching=False,
+        ).run(requests)
+        assert fast.to_dict() == reference.to_dict(), (trial, policy, cache)
+        assert fast.completed == reference.completed, (trial, policy, cache)
+        assert _timeline_lanes(fast.timeline) == _timeline_lanes(
+            reference.timeline
+        ), (trial, policy, cache)

@@ -293,7 +293,11 @@ class TestRunTimeline:
 class TestReportEdgeCases:
     def test_zero_completions_report_has_no_division_error(self, library, stream):
         """A node that crashes before starting any group still reports."""
-        engine = ServingEngine(sn40l_platform(), library, policy="fifo")
+        # Fault paths run event-by-event (batching is disabled under
+        # faults), so simulate the crash on the reference path.
+        engine = ServingEngine(
+            sn40l_platform(), library, policy="fifo", event_batching=False
+        )
         engine._begin_next = engine.halt  # fail-stop before the first group
         report = engine.run(stream)
         assert report.requests == 0

@@ -109,6 +109,199 @@ class TestPerCallEventBudget:
             sim.run(max_events=100)
 
 
+class TestScheduleMany:
+    def test_bulk_insert_runs_in_time_order(self):
+        sim = Simulator()
+        log = []
+        n = sim.schedule_many([
+            (3.0, lambda: log.append("c")),
+            (1.0, lambda: log.append("a")),
+            (2.0, lambda: log.append("b")),
+        ])
+        assert n == 3
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_iteration_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("pushed"))
+        sim.schedule_many([
+            (1.0, lambda: log.append("bulk-1")),
+            (1.0, lambda: log.append("bulk-2")),
+        ])
+        sim.run()
+        assert log == ["pushed", "bulk-1", "bulk-2"]
+
+    def test_interleaves_with_heappushed_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("push-2"))
+        sim.schedule_many([(1.0, lambda: log.append("bulk-1")),
+                           (3.0, lambda: log.append("bulk-3"))])
+        sim.schedule(2.5, lambda: log.append("push-2.5"))
+        sim.run()
+        assert log == ["bulk-1", "push-2", "push-2.5", "bulk-3"]
+
+    def test_past_times_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_many([(0.5, lambda: None)])
+
+    def test_empty_batch_is_a_noop(self):
+        sim = Simulator()
+        assert sim.schedule_many([]) == 0
+        assert sim.pending_events == 0
+
+    def test_three_tuples_carry_kinds(self):
+        sim = Simulator()
+        seen = []
+        sim.set_batch_handler("k", lambda batch: seen.append(len(batch)))
+        sim.schedule_many([
+            (1.0, lambda: None, "k"),
+            (1.5, lambda: None, "k"),
+        ])
+        sim.run()
+        assert seen == [2]
+
+
+class TestBatchDraining:
+    def test_consecutive_same_kind_events_drain_in_one_call(self):
+        sim = Simulator()
+        calls = []
+        sim.set_batch_handler(
+            "decode", lambda batch: calls.append([t for t, _ in batch])
+        )
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda: None, kind="decode")
+        sim.run()
+        assert calls == [[1.0, 2.0, 3.0]]
+        assert sim.events_run == 3
+
+    def test_interleaved_other_kind_splits_the_run(self):
+        sim = Simulator()
+        calls = []
+        log = []
+        sim.set_batch_handler(
+            "decode", lambda batch: calls.append([t for t, _ in batch])
+        )
+        sim.schedule_at(1.0, lambda: None, kind="decode")
+        sim.schedule_at(2.0, lambda: log.append("other"))
+        sim.schedule_at(3.0, lambda: None, kind="decode")
+        sim.run()
+        assert calls == [[1.0], [3.0]]
+        assert log == ["other"]
+
+    def test_untagged_events_never_batch(self):
+        sim = Simulator()
+        sim.set_batch_handler("k", lambda batch: pytest.fail("no tag"))
+        log = []
+        sim.schedule_at(1.0, lambda: log.append("a"))
+        sim.run()
+        assert log == ["a"]
+
+    def test_unregistered_kind_runs_event_by_event(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(1.0, lambda: log.append("a"), kind="unhandled")
+        sim.schedule_at(2.0, lambda: log.append("b"), kind="unhandled")
+        sim.run()
+        assert log == ["a", "b"]
+        assert sim.events_run == 2
+
+    def test_clock_lands_on_last_event_of_the_batch(self):
+        sim = Simulator()
+        sim.set_batch_handler("k", lambda batch: None)
+        sim.schedule_at(1.0, lambda: None, kind="k")
+        sim.schedule_at(4.0, lambda: None, kind="k")
+        assert sim.run() == 4.0
+
+    def test_handler_sees_clock_at_first_event(self):
+        sim = Simulator()
+        seen = []
+        sim.set_batch_handler("k", lambda batch: seen.append(sim.now))
+        sim.schedule_at(2.0, lambda: None, kind="k")
+        sim.schedule_at(5.0, lambda: None, kind="k")
+        sim.run()
+        assert seen == [2.0]
+
+    def test_until_truncates_the_batch(self):
+        sim = Simulator()
+        calls = []
+        sim.set_batch_handler(
+            "k", lambda batch: calls.append([t for t, _ in batch])
+        )
+        sim.schedule_at(1.0, lambda: None, kind="k")
+        sim.schedule_at(2.0, lambda: None, kind="k")
+        sim.schedule_at(9.0, lambda: None, kind="k")
+        assert sim.run(until=5.0) == 5.0
+        assert calls == [[1.0, 2.0]]
+        assert sim.pending_events == 1
+
+    def test_removing_the_handler_restores_event_by_event(self):
+        sim = Simulator()
+        log = []
+        sim.set_batch_handler("k", lambda batch: None)
+        sim.set_batch_handler("k", None)
+        sim.schedule_at(1.0, lambda: log.append("ran"), kind="k")
+        sim.run()
+        assert log == ["ran"]
+
+    def test_count_events_credits_lifetime_and_budget(self):
+        sim = Simulator()
+
+        def drain(batch):
+            sim.count_events(500)  # logical events replayed inside
+
+        sim.set_batch_handler("k", drain)
+        sim.schedule_at(1.0, lambda: None, kind="k")
+        sim.run()
+        assert sim.events_run == 501  # 1 popped + 500 credited
+        sim.schedule_at(2.0, lambda: None, kind="k")
+        sim.schedule_at(3.0, lambda: None)  # budget is checked before this
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)  # the credit trips the per-call budget
+
+    def test_negative_count_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.count_events(-1)
+
+
+class TestClockAccessors:
+    def test_peek_next_time(self):
+        sim = Simulator()
+        assert sim.peek_next_time() is None
+        sim.schedule(2.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        assert sim.peek_next_time() == 1.0
+        sim.run()
+        assert sim.peek_next_time() is None
+
+    def test_advance_to_is_monotonic(self):
+        sim = Simulator()
+        sim.advance_to(5.0)
+        assert sim.now == 5.0
+        sim.advance_to(3.0)  # earlier: no-op
+        assert sim.now == 5.0
+
+    def test_livelock_message_reports_queue_state(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError) as err:
+            sim.run(max_events=50)
+        message = str(err.value)
+        assert "pending_events=1" in message
+        assert "events_run=50" in message
+        assert "t=0.0" in message
+
+
 class TestSpanHooks:
     def test_record_span_is_noop_without_timeline(self):
         sim = Simulator()

@@ -1,0 +1,102 @@
+"""Vectorized platform cost math must be bitwise-equal to the scalar path.
+
+The batched entry points exist purely for speed: the serving engine and
+the sweep runner price whole request batches in one numpy call. Any
+numeric divergence from the memoized scalar methods would silently change
+simulated metrics, so equality here is exact (``==``), not approximate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.catalog import LLAMA2_7B, LLAMA2_13B
+from repro.systems.platforms import (
+    Platform,
+    clear_cost_caches,
+    cost_cache_info,
+    dgx_a100_platform,
+    dgx_h100_platform,
+    sn40l_platform,
+)
+
+PLATFORMS = [sn40l_platform(), dgx_a100_platform(), dgx_h100_platform()]
+MODELS = [LLAMA2_7B, LLAMA2_13B]
+
+
+@pytest.mark.parametrize("platform", PLATFORMS, ids=lambda p: p.name)
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+class TestBitwiseEquality:
+    def test_prefill_time_batch(self, platform, model):
+        batches = np.array([1, 1, 2, 4, 8, 8, 16])
+        seqs = np.array([1, 128, 256, 512, 1024, 4096, 32768])
+        out = platform.prefill_time_batch(model, batches, seqs)
+        for b, s, got in zip(batches, seqs, out):
+            assert got == platform.prefill_time(model, int(b), int(s))
+
+    def test_decode_token_time_batch(self, platform, model):
+        batches = np.array([1, 1, 2, 4, 8, 16, 8])
+        contexts = np.array([0, 1, 128, 1024, 4096, 16384, 131072])
+        out = platform.decode_token_time_batch(model, batches, contexts)
+        for b, c, got in zip(batches, contexts, out):
+            assert got == platform.decode_token_time(model, int(b), int(c))
+
+    def test_decode_span_time_batch(self, platform, model):
+        outputs = np.array([0, 1, 7, 64, 256, 1000, 8192, 100000])
+        batches = np.array([1, 2, 4, 8, 1, 8, 16, 4])
+        prompts = np.array([0, 1, 64, 256, 1024, 512, 4096, 32768])
+        out = platform.decode_span_time_batch(model, outputs, batches, prompts)
+        for t, b, p, got in zip(outputs, batches, prompts, out):
+            assert got == platform.decode_span_time(model, int(t), int(b), int(p))
+
+    def test_switch_time_batch(self, platform, model):
+        sizes = np.array([0, 1, model.weight_bytes, 7 * model.weight_bytes])
+        out = platform.switch_time_batch(sizes)
+        for size, got in zip(sizes, out):
+            assert got == platform.switch_time(int(size))
+
+
+class TestBatchValidationAndShape:
+    def test_scalar_broadcast(self):
+        platform = PLATFORMS[0]
+        model = MODELS[0]
+        out = platform.decode_span_time_batch(
+            model, np.array([16, 32]), 8, 256
+        )
+        assert out.shape == (2,)
+        assert out[0] == platform.decode_span_time(model, 16, 8, 256)
+
+    def test_invalid_inputs_rejected(self):
+        platform = PLATFORMS[0]
+        model = MODELS[0]
+        with pytest.raises(ValueError):
+            platform.prefill_time_batch(model, [0], [1])
+        with pytest.raises(ValueError):
+            platform.decode_token_time_batch(model, [1], [-1])
+        with pytest.raises(ValueError):
+            platform.decode_span_time_batch(model, [-1], [1], [0])
+        with pytest.raises(ValueError):
+            platform.switch_time_batch([-1])
+
+
+class TestBoundedCaches:
+    def test_caches_have_explicit_bounds(self):
+        for name, info in cost_cache_info().items():
+            assert info.maxsize is not None, f"{name} cache is unbounded"
+
+    def test_cache_stays_within_bound_under_churn(self):
+        clear_cost_caches()
+        platform = sn40l_platform()
+        model = LLAMA2_7B
+        for context in range(500):
+            platform.decode_token_time(model, 1, context)
+        info = Platform.decode_token_time.cache_info()
+        assert info.currsize <= info.maxsize
+
+    def test_clear_cost_caches_empties_everything(self):
+        platform = sn40l_platform()
+        model = LLAMA2_7B
+        platform.prefill_time(model, 1, 128)
+        platform.decode_span_time(model, 16, 1, 128)
+        clear_cost_caches()
+        for name, info in cost_cache_info().items():
+            assert info.currsize == 0, f"{name} cache survived the clear"
