@@ -45,8 +45,14 @@ Serving (single node or fault-tolerant cluster, one entry point)::
 from repro.core.compile import CompiledModel, compile_model
 from repro.core.session import RunResult, Session
 from repro.perf.kernel_cost import Orchestration
-from repro.coe.api import ServeConfig, Server, build_server, serve
-from repro.coe.policies import ClusterPolicy, NodePolicy
+from repro.coe.api import (
+    ServeConfig,
+    ServeModeError,
+    Server,
+    build_server,
+    serve,
+)
+from repro.coe.policies import ClusterPolicy, NodePolicy, ServeMode
 
 __version__ = "1.0.0"
 
@@ -57,6 +63,8 @@ __all__ = [
     "RunResult",
     "Orchestration",
     "ServeConfig",
+    "ServeMode",
+    "ServeModeError",
     "Server",
     "ClusterPolicy",
     "NodePolicy",

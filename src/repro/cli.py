@@ -321,6 +321,93 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_live(args: argparse.Namespace) -> int:
+    from repro.coe.api import ServeConfig, ServeModeError, serve
+    from repro.coe.crosscheck import cross_check
+    from repro.coe.expert import build_samba_coe_library
+    from repro.load import ArrivalSpec, ArrivalTrace, generate_trace
+
+    platforms = _platform_factories()
+    if args.platform == "all":
+        print("serve-live runs one platform; pick --platform",
+              file=sys.stderr)
+        return 2
+    if args.inject_fault:
+        print("fault injection is sim-only; use cluster-bench",
+              file=sys.stderr)
+        return 2
+    library = build_samba_coe_library(args.experts)
+    try:
+        if args.replay_trace:
+            trace = ArrivalTrace.load(args.replay_trace)
+            print(f"replaying {len(trace)} arrivals from "
+                  f"{args.replay_trace}")
+        else:
+            spec = ArrivalSpec(
+                process=args.process, rate_rps=args.rate,
+                duration_s=args.duration, seed=args.seed,
+                zipf_alpha=args.zipf, prompt_tokens=args.prompt,
+                output_tokens=args.tokens,
+            )
+            trace = generate_trace(spec, library)
+            print(f"{len(trace)} {args.process} arrivals over "
+                  f"{args.duration:g}s at {args.rate:g} req/s")
+    except (ValueError, OSError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.record_trace:
+        trace.save(args.record_trace)
+        print(f"recorded trace to {args.record_trace}")
+    requests = trace.to_requests(library)
+    num_nodes = int(str(args.num_nodes).split(",")[0])
+    try:
+        config = ServeConfig(
+            policy=args.policy, cluster_policy=args.cluster_policy,
+            cache_policy=args.cache_policy, num_nodes=num_nodes,
+            max_batch=args.max_batch, window=args.window,
+            deadline_s=args.deadline, mode="live",
+            max_queue=args.max_queue, time_scale=args.time_scale,
+        )
+    except (ServeModeError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    payload: dict
+    if args.cross_check:
+        result = cross_check(platforms[args.platform], library, requests,
+                             config)
+        report = result.live_report
+        verdict = "MATCH" if result.match else "MISMATCH"
+        print(f"sim/live decision cross-check: {verdict} "
+              f"({result.decisions} decisions on "
+              f"{len(result.streams)} streams)")
+        if not result.match:
+            print(f"  first divergence: {result.mismatch}", file=sys.stderr)
+        payload = {"benchmark": "live_serving",
+                   "cross_check": result.to_dict()}
+    else:
+        report = serve(platforms[args.platform], library, requests, config)
+        payload = {"benchmark": "live_serving"}
+    print(f"{report.completed_requests}/{report.requests} requests in "
+          f"{fmt_time(report.wall_s)} wall ({report.makespan_s:.2f} model-s "
+          f"at time_scale {report.time_scale:g})")
+    print(f"  goodput {report.goodput_tokens_per_second:.1f} tok/s, "
+          f"p50 {fmt_time(report.p50_s)}, p99 {fmt_time(report.p99_s)}, "
+          f"shed {report.shed_deadline} deadline + "
+          f"{report.shed_backpressure} backpressure, "
+          f"drained {report.drained}")
+    payload["config"] = config.to_dict()
+    payload["report"] = report.to_dict()
+    if args.output:
+        import json
+
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.output}")
+    if args.cross_check and not result.match:
+        return 1
+    return 0
+
+
 def _cmd_footprint(args: argparse.Namespace) -> int:
     from repro.models.catalog import LLAMA2_7B
     from repro.systems.footprint import dgx_nodes_required, sn40l_nodes_required
@@ -601,6 +688,38 @@ def build_parser() -> argparse.ArgumentParser:
                            help="disable online hot-expert replication")
     cluster_p.set_defaults(fn=_cmd_cluster_bench, cluster_policy="all",
                            num_nodes="1,2,4,8")
+
+    live_p = sub.add_parser(
+        "serve-live", parents=[serving_parent()],
+        help="wall-clock serving over an open-loop arrival trace, with an "
+             "optional sim/live decision cross-check",
+    )
+    live_p.add_argument(
+        "--process", default="poisson",
+        choices=["poisson", "diurnal", "bursty", "tenants"],
+        help="arrival process of the generated open-loop workload")
+    live_p.add_argument("--rate", type=float, default=100.0,
+                        help="mean arrival rate (requests/second)")
+    live_p.add_argument("--duration", type=float, default=10.0,
+                        help="trace duration in model seconds")
+    live_p.add_argument(
+        "--time-scale", type=float, default=None, metavar="S",
+        help="wall seconds per model second (1.0 = real time; small "
+             "values fast-forward the trace)")
+    live_p.add_argument("--max-queue", type=int, default=None, metavar="N",
+                        help="per-node admission queue bound (backpressure)")
+    live_p.add_argument("--record-trace", metavar="FILE",
+                        help="save the generated arrival trace as JSON")
+    live_p.add_argument("--replay-trace", metavar="FILE",
+                        help="replay a previously recorded arrival trace")
+    live_p.add_argument(
+        "--cross-check", action="store_true",
+        help="also run the sim backend on the same trace and diff every "
+             "policy decision (exit 1 on mismatch)")
+    # Live mode rejects overlap/steal (sim-only), so the shared parent's
+    # defaults are overridden with the live-valid equivalents.
+    live_p.set_defaults(fn=_cmd_serve_live, policy="affinity",
+                        cluster_policy="least_loaded", num_nodes="1")
 
     foot_p = sub.add_parser("footprint", help="nodes required for a CoE")
     foot_p.add_argument("--experts", type=int, default=850)

@@ -11,6 +11,7 @@ from repro.coe.metrics import ServingMetrics, compute_metrics, metrics_of
 from repro.coe.router import Router, RoutingDecision, embed_text
 from repro.coe.scheduling import (
     ExpertPredictor,
+    GroupAssembler,
     Request,
     RequestGroup,
     affinity_schedule,
@@ -53,6 +54,7 @@ from repro.coe.policies import (
     ClusterPolicy,
     NodePolicy,
     PolicyEnum,
+    ServeMode,
 )
 from repro.coe.serving import (
     CoEServer,
@@ -60,7 +62,22 @@ from repro.coe.serving import (
     RequestLatency,
     ServeResult,
 )
-from repro.coe.api import ServeConfig, Server, build_server, serve
+from repro.coe.decisions import Decision, DecisionLog
+from repro.coe.dispatch import admission_eta, choose_node, deadline_admits
+from repro.coe.api import (
+    ServeConfig,
+    ServeModeError,
+    Server,
+    build_server,
+    serve,
+)
+from repro.coe.live_engine import (
+    LiveEngine,
+    LiveReport,
+    ShedRequest,
+    TokenEvent,
+)
+from repro.coe.crosscheck import CrossCheckResult, cross_check
 
 __all__ = [
     "DEFAULT_DOMAINS", "ExpertLibrary", "ExpertProfile",
@@ -78,4 +95,9 @@ __all__ = [
     "GDSFPolicy", "LFUPolicy", "LRUPolicy", "PredictivePolicy",
     "make_policy",
     "ServeConfig", "Server", "build_server", "serve",
+    "ServeMode", "ServeModeError", "GroupAssembler",
+    "Decision", "DecisionLog",
+    "admission_eta", "choose_node", "deadline_admits",
+    "LiveEngine", "LiveReport", "ShedRequest", "TokenEvent",
+    "CrossCheckResult", "cross_check",
 ]

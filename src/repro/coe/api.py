@@ -34,10 +34,17 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Protocol, Sequence, Union, runtime_checkable
 
 from repro.coe.cluster_engine import ClusterEngine, ClusterReport, _coerce_faults
+from repro.coe.decisions import DecisionLog
 from repro.coe.engine import EngineReport, EngineRequest, ServingEngine
 from repro.coe.expert import ExpertLibrary
-from repro.coe.policies import CachePolicyName, ClusterPolicy, NodePolicy
+from repro.coe.policies import (
+    CachePolicyName,
+    ClusterPolicy,
+    NodePolicy,
+    ServeMode,
+)
 from repro.coe.serving import ExpertServer, RequestLatency, ServeResult
+from repro.load import ArrivalSpec, generate_trace
 from repro.sim.faults import FaultSchedule
 from repro.systems.platforms import Platform
 
@@ -45,8 +52,17 @@ from repro.systems.platforms import Platform
 #: each get their own instance when a factory is given).
 PlatformLike = Union[Platform, Callable[[], Platform]]
 
-#: What a :class:`Server` returns.
-ServeReport = Union[EngineReport, ClusterReport]
+#: What a :class:`Server` returns (``LiveReport`` when ``mode="live"``).
+ServeReport = Union[EngineReport, ClusterReport, "LiveReport"]
+
+
+class ServeModeError(ValueError):
+    """A config option was used in the wrong :class:`ServeMode`.
+
+    Raised instead of silently ignoring the option, matching the
+    belady-by-name rejection pattern: a knob that cannot take effect in
+    the requested mode is a caller bug, not a default to paper over.
+    """
 
 
 @runtime_checkable
@@ -99,6 +115,21 @@ class ServeConfig:
     #: SLO deadline; admission sheds work that cannot meet it
     #: (lowest priority first, reported as ``rejected``).
     deadline_s: Optional[float] = None
+    #: Which clock drives the run: the discrete-event simulator
+    #: (``"sim"``, the default) or the asyncio wall clock (``"live"``).
+    mode: ServeMode = ServeMode.SIM
+    #: Open-loop arrival workload (:class:`repro.load.ArrivalSpec` or
+    #: its dict form); lets :func:`serve` generate the request stream
+    #: itself (``requests=None``). Valid in both modes.
+    load: Optional[ArrivalSpec] = None
+    #: Live only — per-node admission queue bound; a full queue sheds
+    #: with a typed backpressure result instead of buffering unboundedly.
+    max_queue: Optional[int] = None
+    #: Live only — wall seconds per model second (1.0 = real time;
+    #: small values compress a long trace into a quick wall run).
+    time_scale: Optional[float] = None
+    #: Live only — wall-second budget for graceful drain at shutdown.
+    drain_timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy", NodePolicy.coerce(self.policy))
@@ -131,6 +162,57 @@ class ServeConfig:
             raise ValueError(
                 f"deadline_s must be > 0, got {self.deadline_s}"
             )
+        object.__setattr__(self, "mode", ServeMode.coerce(self.mode))
+        if self.load is not None and not isinstance(self.load, ArrivalSpec):
+            object.__setattr__(
+                self, "load", ArrivalSpec.from_dict(dict(self.load))
+            )
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ValueError(
+                f"max_queue must be >= 1, got {self.max_queue}"
+            )
+        if self.time_scale is not None and self.time_scale <= 0:
+            raise ValueError(
+                f"time_scale must be > 0, got {self.time_scale}"
+            )
+        if self.drain_timeout_s is not None and self.drain_timeout_s <= 0:
+            raise ValueError(
+                f"drain_timeout_s must be > 0, got {self.drain_timeout_s}"
+            )
+        if self.mode is ServeMode.SIM:
+            live_only = [
+                name for name, value in (
+                    ("max_queue", self.max_queue),
+                    ("time_scale", self.time_scale),
+                    ("drain_timeout_s", self.drain_timeout_s),
+                ) if value is not None
+            ]
+            if live_only:
+                raise ServeModeError(
+                    f"{', '.join(live_only)} only take effect in "
+                    f"mode='live'; they would be silently ignored by the "
+                    f"simulator — drop them or set mode='live'"
+                )
+        else:
+            if self.faults:
+                raise ServeModeError(
+                    "fault injection is a sim-clock feature (deterministic "
+                    "crash/slow/copyfail events need the discrete-event "
+                    "schedule); drop faults or set mode='sim'"
+                )
+            if self.policy is NodePolicy.OVERLAP:
+                raise ServeModeError(
+                    "policy 'overlap' (speculative prefetch on the modelled "
+                    "DMA clock) is sim-only; use 'fifo' or 'affinity' in "
+                    "mode='live'"
+                )
+            if (self.cluster_policy is ClusterPolicy.STEAL
+                    and self.num_nodes > 1):
+                raise ServeModeError(
+                    "cluster_policy 'steal' (runtime queue rebalancing on "
+                    "the sim clock) is sim-only; use 'least_loaded' or "
+                    "'affinity' in mode='live'"
+                )
 
     @property
     def wants_cluster(self) -> bool:
@@ -162,21 +244,59 @@ class ServeConfig:
             "faults": self.faults.specs(),
             "heartbeat_s": self.heartbeat_s,
             "deadline_s": self.deadline_s,
+            "mode": self.mode.value,
+            "load": self.load.to_dict() if self.load is not None else None,
+            "max_queue": self.max_queue,
+            "time_scale": self.time_scale,
+            "drain_timeout_s": self.drain_timeout_s,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeConfig":
+        """Rebuild a config from :meth:`to_dict` output (re-validated).
+
+        The round trip ``ServeConfig.from_dict(cfg.to_dict()) == cfg``
+        holds for every field — asserted by the serialization tests so
+        a newly added knob cannot silently drop out of provenance dumps.
+        """
+        return cls(**data)
 
 
 def build_server(
     platform: PlatformLike,
     library: ExpertLibrary,
     config: Optional[ServeConfig] = None,
+    *,
+    decision_log: Optional[DecisionLog] = None,
+    token_callback: Optional[Callable] = None,
 ) -> Server:
     """Construct the engine a config calls for, without running it.
 
     Useful when the caller wants the engine itself (to inspect nodes,
     reuse the timeline, drive incremental submission) rather than just
-    the report :func:`serve` returns.
+    the report :func:`serve` returns. ``decision_log`` records every
+    policy decision (dispatch, cache eviction, admission) for the
+    sim/live cross-check; ``token_callback`` streams decoded tokens and
+    is live-only (a :class:`ServeModeError` in sim mode — the simulator
+    produces no wall-clock token stream to subscribe to).
     """
     config = config if config is not None else ServeConfig()
+    if config.mode is ServeMode.LIVE:
+        from repro.coe.live_engine import LiveEngine
+
+        return LiveEngine(
+            platform,
+            library,
+            config,
+            decision_log=decision_log,
+            token_callback=token_callback,
+        )
+    if token_callback is not None:
+        raise ServeModeError(
+            "token_callback streams wall-clock decode tokens and only "
+            "takes effect in mode='live'; the simulator has no token "
+            "stream to subscribe to"
+        )
     if config.wants_cluster:
         factory = platform if callable(platform) else (lambda: platform)
         return ClusterEngine(
@@ -194,6 +314,7 @@ def build_server(
             heartbeat_s=config.heartbeat_s,
             deadline_s=config.deadline_s,
             cache_policy=config.cache_policy.value,
+            decision_log=decision_log,
         )
     instance = platform() if callable(platform) else platform
     return ServingEngine(
@@ -204,22 +325,46 @@ def build_server(
         window=config.window,
         reserved_hbm_bytes=config.reserved_hbm_bytes,
         cache_policy=config.cache_policy.value,
+        decision_log=decision_log,
     )
 
 
 def serve(
     platform: PlatformLike,
     library: ExpertLibrary,
-    requests: Sequence[EngineRequest],
+    requests: Optional[Sequence[EngineRequest]] = None,
     config: Optional[ServeConfig] = None,
+    *,
+    decision_log: Optional[DecisionLog] = None,
+    token_callback: Optional[Callable] = None,
 ) -> ServeReport:
     """Serve a backlog end to end — the library's single entry point.
 
     Exposed as ``repro.serve``. Returns an :class:`EngineReport` (one
-    node) or a :class:`ClusterReport` (cluster / faults / deadline);
-    both carry the run's :class:`repro.obs.Timeline`.
+    node), a :class:`ClusterReport` (cluster / faults / deadline), or a
+    :class:`repro.coe.live_engine.LiveReport` (``mode='live'``); all
+    carry the run's :class:`repro.obs.Timeline`.
+
+    ``requests`` may be omitted when ``config.load`` carries an
+    :class:`repro.load.ArrivalSpec`: the open-loop trace is then
+    generated here (deterministically, from the spec's seed) and both
+    modes see the identical arrival stream.
     """
-    return build_server(platform, library, config).serve(requests)
+    config = config if config is not None else ServeConfig()
+    if requests is None:
+        if config.load is None:
+            raise ValueError(
+                "serve() needs requests, or a config.load ArrivalSpec "
+                "to generate them from"
+            )
+        requests = generate_trace(config.load, library).to_requests(library)
+    return build_server(
+        platform,
+        library,
+        config,
+        decision_log=decision_log,
+        token_callback=token_callback,
+    ).serve(requests)
 
 
 __all__ = [
@@ -230,6 +375,8 @@ __all__ = [
     "PlatformLike",
     "RequestLatency",
     "ServeConfig",
+    "ServeMode",
+    "ServeModeError",
     "ServeReport",
     "ServeResult",
     "Server",

@@ -71,6 +71,8 @@ from typing import (
 )
 
 from repro.coe.cache import CachePolicy, CachePolicyLike
+from repro.coe.decisions import DecisionLog
+from repro.coe.dispatch import admission_eta, choose_node, deadline_admits
 from repro.coe.engine import (
     DRAIN_EVENT_KIND,
     CompletedRequest,
@@ -299,6 +301,7 @@ class ClusterEngine:
         cache_policy: CachePolicyLike = None,
         event_batching: bool = True,
         record_timeline: bool = True,
+        decision_log: Optional[DecisionLog] = None,
     ) -> None:
         self.policy = ClusterPolicy.coerce(policy).value
         self.node_policy = NodePolicy.coerce(node_policy).value
@@ -360,6 +363,10 @@ class ClusterEngine:
         #: outside admission: once the clock runs, queues pop and steal,
         #: so routing falls back to the fresh estimate.
         self._admission_backlog: Optional[Dict[int, float]] = None
+        #: Cross-check evidence: dispatch/admission verdicts land on the
+        #: ``"admission"`` stream, each node runtime's cache decisions on
+        #: its own ``"nodeN"`` stream (attached below).
+        self._decisions = decision_log
         self.steals = 0
         self.replications = 0
         self.promotions = 0
@@ -388,6 +395,7 @@ class ClusterEngine:
                 lane_prefix=f"node{idx}/",
                 cache_policy=cache_policy,
                 event_batching=self.event_batching,
+                decision_log=decision_log,
             )
             node = _Node(
                 index=idx,
@@ -433,18 +441,24 @@ class ClusterEngine:
         return node.engine.estimated_backlog_s()
 
     def _route(self, group: RequestGroup) -> _Node:
-        owners = self._owner_nodes(group.expert)
-        if self.policy == "affinity":
-            # An owner already ending in this expert extends its run for
-            # free (no switch); among those, and otherwise, least loaded.
-            tail_match = [
-                n for n in owners
-                if n.engine.last_queued_expert == group.expert.name
-            ]
-            pool = tail_match or owners
-        else:
-            pool = owners
-        return min(pool, key=lambda n: (self._backlog_s(n), n.index))
+        """Pick the owner node, through the shared pure dispatch core.
+
+        The decision math lives in :mod:`repro.coe.dispatch` so the
+        live backend makes the identical choice from its mirror of the
+        same state (admission backlog sums, queue-tail experts).
+        """
+        name = group.expert.name
+        owners = self._owners.get(name)
+        if not owners:
+            raise KeyError(f"no node hosts expert {name!r}")
+        index = choose_node(
+            owners,
+            name,
+            backlog_of=lambda i: self._backlog_s(self.nodes[i]),
+            tail_of=lambda i: self.nodes[i].engine.last_queued_expert,
+            affinity=self.policy == "affinity",
+        )
+        return self.nodes[index]
 
     def _dispatch(self, group: RequestGroup, now: float) -> bool:
         """Route + submit one group; returns False when it was shed.
@@ -456,12 +470,26 @@ class ClusterEngine:
         the lowest priorities.
         """
         node = self._route(group)
+        decisions = self._decisions
+        label = f"{group.expert.name}x{group.batch}"
         if self.deadline_s is not None:
-            eta = (now + self._backlog_s(node)
-                   + node.engine._group_exec_time(group))
-            if eta > self.deadline_s:
+            eta = admission_eta(
+                now, self._backlog_s(node), node.engine._group_exec_time(group)
+            )
+            admitted = deadline_admits(eta, self.deadline_s)
+            if decisions is not None:
+                # repr(eta) carries full float precision: one different
+                # bit in either backend's backlog math fails the check.
+                decisions.record(
+                    "admission", "admit", label,
+                    "admit" if admitted else "shed",
+                    detail=(node.name, repr(eta)),
+                )
+            if not admitted:
                 self.rejected.extend(group.requests)
                 return False
+        if decisions is not None:
+            decisions.record("admission", "dispatch", label, node.name)
         node.engine.submit(group)
         if self._admission_backlog is not None:
             self._admission_backlog[node.index] += (

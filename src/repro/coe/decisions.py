@@ -1,0 +1,166 @@
+"""Decision recording: the evidence that sim and live agree.
+
+The tentpole claim of the policy/clock split is that every serving
+*decision* — which node a group dispatches to, whether a deadline admits
+it, which residents the cache evicts — is a pure function of policy
+state, never of the clock that drives execution. This module records
+those decisions so the claim is checkable: run the same arrival trace
+through the simulator and the asyncio live backend, and the two
+:class:`DecisionLog`\\ s must compare equal record for record
+(:func:`repro.coe.crosscheck.cross_check`).
+
+Decisions are grouped into **streams**, each an ordered list:
+
+- ``"admission"`` — cluster-level dispatch/admission verdicts, in the
+  order groups were admitted (recorded by
+  :class:`~repro.coe.cluster_engine.ClusterEngine` and the live
+  dispatcher).
+- ``"node0"``, ``"node1"``, ... — each node runtime's demand cache
+  accesses (hit, or miss with the evicted victims), in the order that
+  node processed its queue (recorded inside
+  :meth:`repro.coe.runtime.CoERuntime.activate`).
+
+Per-stream ordering is the strongest property both backends actually
+share: the live backend's nodes run as concurrent asyncio tasks, so the
+*interleaving across* streams is wall-clock nondeterminism, while the
+order *within* each stream is fixed by dispatch order. A single global
+list would miscompare on scheduling noise; per-stream lists cannot.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+
+class Decision(NamedTuple):
+    """One recorded policy decision.
+
+    ``kind`` is the decision type (``"dispatch"``, ``"admit"``,
+    ``"cache"``), ``subject`` what was decided about (an expert or
+    group label), ``choice`` the verdict (a node name, ``"admit"`` /
+    ``"shed"``, ``"hit"`` / ``"miss"``), and ``detail`` any supporting
+    evidence worth comparing byte-for-byte (eviction victims, the
+    admission ETA's ``repr`` — full float precision, so a single
+    different bit in backlog math fails the cross-check).
+    """
+
+    kind: str
+    subject: str
+    choice: str
+    detail: Tuple[str, ...] = ()
+
+
+class DecisionLog:
+    """Ordered per-stream decision records with diffing.
+
+    Equality is exact: same streams, same records, same order. Use
+    :meth:`diff` for the first divergence as a human-readable string —
+    the cross-check's failure message.
+    """
+
+    def __init__(self) -> None:
+        self._streams: Dict[str, List[Decision]] = {}
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        stream: str,
+        kind: str,
+        subject: str,
+        choice: str,
+        detail: Tuple[str, ...] = (),
+    ) -> None:
+        """Append one decision to ``stream`` (created on first use)."""
+        self._streams.setdefault(stream, []).append(
+            Decision(kind, subject, choice, tuple(detail))
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def streams(self) -> Tuple[str, ...]:
+        """Stream names, sorted (creation order is backend-dependent)."""
+        return tuple(sorted(self._streams))
+
+    def stream(self, name: str) -> Tuple[Decision, ...]:
+        """The records of one stream, in decision order."""
+        return tuple(self._streams.get(name, ()))
+
+    def __len__(self) -> int:
+        return sum(len(records) for records in self._streams.values())
+
+    def __iter__(self) -> Iterator[Tuple[str, Decision]]:
+        for name in self.streams:
+            for decision in self._streams[name]:
+                yield name, decision
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DecisionLog):
+            return NotImplemented
+        return {k: v for k, v in self._streams.items()} == {
+            k: v for k, v in other._streams.items()
+        }
+
+    def __repr__(self) -> str:
+        counts = ", ".join(
+            f"{name}:{len(self._streams[name])}" for name in self.streams
+        )
+        return f"DecisionLog({counts or 'empty'})"
+
+    # ------------------------------------------------------------------
+    def diff(self, other: "DecisionLog") -> Optional[str]:
+        """First divergence vs ``other``, or None when identical.
+
+        Reported per stream: a stream missing entirely, a differing
+        record at an index, or one log having extra records — enough to
+        point at the exact decision where the backends split.
+        """
+        names = sorted(set(self._streams) | set(other._streams))
+        for name in names:
+            mine = self._streams.get(name, [])
+            theirs = other._streams.get(name, [])
+            for i, (a, b) in enumerate(zip(mine, theirs)):
+                if a != b:
+                    return (
+                        f"stream {name!r} record {i}: "
+                        f"{a!r} != {b!r}"
+                    )
+            if len(mine) != len(theirs):
+                longer = mine if len(mine) > len(theirs) else theirs
+                side = "self" if len(mine) > len(theirs) else "other"
+                i = min(len(mine), len(theirs))
+                return (
+                    f"stream {name!r}: lengths differ "
+                    f"({len(mine)} vs {len(theirs)}); first extra "
+                    f"record on {side} at {i}: {longer[i]!r}"
+                )
+        return None
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> dict:
+        return {
+            name: [list(d) for d in self._streams[name]]
+            for name in self.streams
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_jsonable(), fh)
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "DecisionLog":
+        log = cls()
+        for name, records in data.items():
+            log._streams[name] = [
+                Decision(kind, subject, choice, tuple(detail))
+                for kind, subject, choice, detail in records
+            ]
+        return log
+
+    @classmethod
+    def load(cls, path: str) -> "DecisionLog":
+        with open(path) as fh:
+            return cls.from_jsonable(json.load(fh))
+
+
+__all__ = ["Decision", "DecisionLog"]

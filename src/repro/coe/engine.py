@@ -55,6 +55,7 @@ from typing import (
 )
 
 from repro.coe.cache import CachePolicyLike, PredictivePolicy
+from repro.coe.decisions import DecisionLog
 from repro.coe.expert import ExpertLibrary, ExpertProfile
 from repro.coe.metrics import percentile
 from repro.coe.policies import NodePolicy
@@ -66,6 +67,7 @@ from repro.coe.scheduling import (
 )
 from repro.coe.serving import ExpertServer
 from repro.obs import Timeline
+from repro.sim.clock import EventSource
 from repro.sim.engine import Simulator
 from repro.systems.platforms import Platform
 
@@ -77,6 +79,34 @@ POLICIES = NodePolicy.values()
 #: simulator use the same tag, so back-to-back drains (e.g. every node's
 #: t=0 drain in a cluster) merge into a single batched handler call.
 DRAIN_EVENT_KIND = "coe-drain"
+
+
+def group_phase_times(
+    server: ExpertServer,
+    group: RequestGroup,
+    cache: Dict[Tuple[str, int, int, int], Tuple[float, float, float]],
+) -> Tuple[float, float, float]:
+    """Base (router_s, prefill_s, decode_s) of one group, memoized.
+
+    The module-level form of the engine's phase memo, shared with the
+    live backend (:mod:`repro.coe.live_engine`): both backends compute
+    a group's execution time through this one function over the same
+    :class:`ExpertServer` cost model, so every float that feeds a
+    dispatch or admission decision is bitwise-identical across clocks.
+    The memo key is cheap (a name and three ints) where the platform
+    ``lru_cache``\\ s hash whole model configs per call.
+    """
+    key = group.phase_key
+    base = cache.get(key)
+    if base is None:
+        _, batch, prompt, output = key
+        router = server.router_time(batch=batch, prompt_tokens=prompt)
+        prefill, decode = server.expert_time(
+            group.expert, output, prompt, batch=batch
+        )
+        base = (router, prefill, decode)
+        cache[key] = base
+    return base
 
 
 def _run_drain_batch(batch) -> None:
@@ -217,11 +247,12 @@ class ServingEngine:
         max_batch: int = 8,
         window: int = 16,
         reserved_hbm_bytes: Optional[int] = None,
-        simulator: Optional[Simulator] = None,
+        simulator: Optional[EventSource] = None,
         lane_prefix: str = "",
         cache_policy: CachePolicyLike = None,
         event_batching: bool = True,
         record_timeline: bool = True,
+        decision_log: Optional[DecisionLog] = None,
     ) -> None:
         if max_batch < 1 or window < 1:
             raise ValueError("max_batch and window must be >= 1")
@@ -256,6 +287,12 @@ class ServingEngine:
                 and runtime_policy.predictor is None):
             runtime_policy.predictor = self._predictor
         self.cache_policy = runtime_policy.name
+        if decision_log is not None:
+            # The node's demand cache decisions (hit / miss+victims)
+            # stream under its node name — ``"node0"`` standalone,
+            # matching what the live backend records for the same node.
+            stream = lane_prefix.rstrip("/") or "node0"
+            self.server.runtime.attach_decisions(decision_log, stream)
         #: Hooks a cluster-level scheduler installs: ``on_idle(engine)``
         #: fires when the queue drains, ``on_group_done(engine, group)``
         #: after every completed group. Both run on the simulator clock.
@@ -263,7 +300,7 @@ class ServingEngine:
         self.on_group_done: Optional[
             Callable[["ServingEngine", RequestGroup], None]
         ] = None
-        self._sim: Optional[Simulator] = None
+        self._sim: Optional[EventSource] = None
         self._reset_run_state()
         if simulator is not None:
             self.bind(simulator)
@@ -318,8 +355,18 @@ class ServingEngine:
         #: ``max(sim.run(), drained_until)`` across engines.
         self._drained_until = 0.0
 
-    def bind(self, simulator: Simulator) -> None:
-        """Attach to a (possibly shared) simulator clock, resetting state."""
+    def bind(self, simulator: EventSource) -> None:
+        """Attach to a (possibly shared) event source, resetting state.
+
+        The engine only ever uses the narrow
+        :class:`repro.sim.clock.EventSource` surface — ``now``,
+        ``schedule``/``schedule_at``, ``record_span``, the batching
+        accounting — never the concrete simulator, which is what keeps
+        every decision this engine makes clock-agnostic. (The
+        :class:`~repro.sim.engine.Simulator` satisfies the protocol
+        structurally; :meth:`run` still constructs one to *drive* a
+        standalone backlog, because something has to pump the events.)
+        """
         self._sim = simulator
         self._reset_run_state()
 
@@ -460,22 +507,10 @@ class ServingEngine:
     def _base_phase_times(self, group: RequestGroup) -> Tuple[float, float, float]:
         """Un-stretched (router_s, prefill_s, decode_s), memoized.
 
-        The memo key is cheap (a name and three ints) where the platform
-        ``lru_cache``s hash whole model configs per call; on the drain
-        loop this is the difference between one dict probe and four
-        dataclass hashes per group.
+        Delegates to the shared :func:`group_phase_times` so the live
+        backend computes the identical floats from the same memo shape.
         """
-        key = group.phase_key
-        base = self._phase_cache.get(key)
-        if base is None:
-            _, batch, prompt, output = key
-            router = self.server.router_time(batch=batch, prompt_tokens=prompt)
-            prefill, decode = self.server.expert_time(
-                group.expert, output, prompt, batch=batch
-            )
-            base = (router, prefill, decode)
-            self._phase_cache[key] = base
-        return base
+        return group_phase_times(self.server, group, self._phase_cache)
 
     def _group_phase_times(self, group: RequestGroup) -> Tuple[float, float, float]:
         """(router_s, prefill_s, decode_s) of one batched group."""

@@ -1,0 +1,583 @@
+"""Wall-clock CoE serving: the same policies, an asyncio backend.
+
+The simulator answers "what would this policy do"; this module answers
+"does the deployed loop actually do it". A :class:`LiveEngine` runs one
+asyncio worker task per node against a :class:`repro.sim.clock.WallClock`
+— real admission at arrival time, bounded per-node queues with
+backpressure shedding, streamed token callbacks as decode steps complete,
+and a graceful drain on shutdown — while making **byte-identical policy
+decisions** to the sim backend for the same request stream:
+
+- Grouping goes through :class:`repro.coe.scheduling.GroupAssembler`,
+  the proven streaming equivalent of the batch pipeline's
+  ``coalesce_groups(affinity_schedule(...))``.
+- Node choice and deadline admission go through the pure decision core
+  (:mod:`repro.coe.dispatch`) over a mirror of the sim's
+  admission-logical state: monotone per-node backlog sums and queue-tail
+  experts, fed by the same :func:`repro.coe.engine.group_phase_times`
+  floats. Like the sim (where every request is backlogged at t=0),
+  admission evaluates ETAs at logical ``now = 0.0`` — so the arithmetic
+  is bitwise-identical even though wall arrivals are spread in time.
+- Cache decisions happen inside :meth:`repro.coe.runtime.CoERuntime
+  .activate`, the single choke point both backends share.
+
+The cross-check (:mod:`repro.coe.crosscheck`) runs both backends over a
+recorded trace and diffs their :class:`~repro.coe.decisions.DecisionLog`
+streams — the correctness artifact for the whole policy/clock split.
+
+What live mode deliberately does *not* model: speculative prefetch
+(``overlap``), runtime stealing, and fault injection are sim-clock
+features; :class:`repro.coe.api.ServeConfig` rejects them with a typed
+:class:`~repro.coe.api.ServeModeError` rather than silently diverging.
+
+Timestamps: everything is **model seconds** (``time_scale`` wall seconds
+each — see :class:`~repro.sim.clock.WallClock`), so a live timeline's
+spans line up with a sim run of the same work, and a 10-model-second
+trace smoke-tests in a fraction of a wall second.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import (
+    Callable, Dict, List, NamedTuple, Optional, Sequence, Set,
+    TYPE_CHECKING, Tuple,
+)
+
+from repro.coe.cache import PredictivePolicy
+from repro.coe.decisions import DecisionLog
+from repro.coe.dispatch import admission_eta, choose_node, deadline_admits
+from repro.coe.engine import (
+    CompletedRequest,
+    EngineRequest,
+    group_phase_times,
+)
+from repro.coe.expert import ExpertLibrary
+from repro.coe.metrics import percentile
+from repro.coe.scheduling import ExpertPredictor, GroupAssembler, RequestGroup
+from repro.coe.serving import ExpertServer
+from repro.obs import Timeline
+from repro.sim.clock import WallClock
+from repro.systems.cluster import partition_experts
+
+if TYPE_CHECKING:  # avoid the api <-> live_engine import cycle
+    from repro.coe.api import PlatformLike, ServeConfig
+
+#: Live defaults, applied here so :class:`ServeConfig` can keep ``None``
+#: (= "not set") and reject the knobs in sim mode.
+DEFAULT_MAX_QUEUE = 64
+DEFAULT_TIME_SCALE = 1.0
+DEFAULT_DRAIN_TIMEOUT_S = 30.0
+
+#: Shed reasons a :class:`ShedRequest` can carry.
+SHED_REASONS = ("deadline", "backpressure")
+
+
+class ShedRequest(NamedTuple):
+    """One request the live engine refused, and why.
+
+    ``deadline`` mirrors the sim's admission shedding (the ETA busts the
+    SLO); ``backpressure`` is live-only (the chosen node's bounded queue
+    was full at arrival). Shed work is reported, never silently dropped
+    — the same contract as :attr:`ClusterEngine.rejected`.
+    """
+
+    request_id: int
+    expert: str
+    reason: str
+    output_tokens: int
+
+
+class TokenEvent(NamedTuple):
+    """One streamed decode token, delivered to the token callback."""
+
+    request_id: int
+    expert: str
+    #: 0-based index of this token within the request's generation.
+    index: int
+    #: Model-seconds timestamp of the decode step that produced it.
+    time_s: float
+    node: str
+
+
+@dataclass
+class _LiveNode:
+    """One live node: cost model + cache + its worker's queue."""
+
+    index: int
+    name: str
+    server: ExpertServer
+    predictor: ExpertPredictor
+    hosted: Set[str]
+    #: Shared-shape phase memo (see :func:`group_phase_times`).
+    phase_cache: Dict[Tuple[str, int, int, int], Tuple[float, float, float]] = (
+        field(default_factory=dict)
+    )
+    #: Admission-logical backlog: running sum of admitted groups'
+    #: execution times, the mirror of the sim's ``_admission_backlog``.
+    backlog_s: float = 0.0
+    #: Expert of the last admitted group (the sim's queue-tail expert).
+    tail: Optional[str] = None
+    queue: Optional[asyncio.Queue] = None
+    completed: List[CompletedRequest] = field(default_factory=list)
+    groups_done: int = 0
+
+    def lane(self, base: str) -> str:
+        return f"{self.name}/{base}"
+
+
+@dataclass(frozen=True)
+class LiveReport:
+    """Result of one wall-clock serving run.
+
+    Latencies and the makespan are model seconds (finish minus arrival,
+    queueing and wall jitter included); ``wall_s`` is the raw wall-clock
+    duration of the run. ``drained`` is False only when graceful
+    shutdown hit ``drain_timeout_s`` and in-flight work was cancelled.
+    """
+
+    policy: str
+    cluster_policy: str
+    cache_policy: str
+    num_nodes: int
+    requests: int
+    completed_requests: int
+    shed_deadline: int
+    shed_backpressure: int
+    #: Output tokens of *completed* requests only.
+    output_tokens: int
+    #: Tokens actually delivered through the streaming callback.
+    tokens_streamed: int
+    makespan_s: float
+    wall_s: float
+    time_scale: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    mean_s: float
+    drained: bool = True
+    demand_hit_rate: float = 0.0
+    completed: tuple = field(repr=False, default=())
+    shed: tuple = field(repr=False, default=())
+    timeline: Optional[Timeline] = field(repr=False, compare=False, default=None)
+
+    @property
+    def shed_requests(self) -> int:
+        return self.shed_deadline + self.shed_backpressure
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed_requests / self.requests if self.requests else 0.0
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.completed_requests / self.makespan_s
+
+    @property
+    def tokens_per_second(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.output_tokens / self.makespan_s
+
+    @property
+    def goodput_tokens_per_second(self) -> float:
+        """Completed-work throughput; shed tokens never count."""
+        return self.tokens_per_second
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (benchmark harness + CLI)."""
+        return {
+            "policy": self.policy,
+            "cluster_policy": self.cluster_policy,
+            "cache_policy": self.cache_policy,
+            "num_nodes": self.num_nodes,
+            "requests": self.requests,
+            "completed_requests": self.completed_requests,
+            "shed_deadline": self.shed_deadline,
+            "shed_backpressure": self.shed_backpressure,
+            "shed_rate": self.shed_rate,
+            "output_tokens": self.output_tokens,
+            "tokens_streamed": self.tokens_streamed,
+            "makespan_s": self.makespan_s,
+            "wall_s": self.wall_s,
+            "time_scale": self.time_scale,
+            "requests_per_second": self.requests_per_second,
+            "goodput_tokens_per_second": self.goodput_tokens_per_second,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "mean_s": self.mean_s,
+            "drained": self.drained,
+            "demand_hit_rate": self.demand_hit_rate,
+        }
+
+
+class LiveEngine:
+    """Serves an arrival stream on the wall clock, one task per node.
+
+    Construct via :func:`repro.coe.api.build_server` with a
+    ``mode="live"`` config (which has already vetted the policy subset),
+    then :meth:`serve` a backlog — or :meth:`aserve` from inside an
+    existing event loop. ``token_callback(event: TokenEvent)`` fires for
+    every decode token as its step completes; ``decision_log`` records
+    the same streams the sim backend would.
+    """
+
+    def __init__(
+        self,
+        platform: "PlatformLike",
+        library: ExpertLibrary,
+        config: "ServeConfig",
+        *,
+        decision_log: Optional[DecisionLog] = None,
+        token_callback: Optional[Callable[[TokenEvent], None]] = None,
+    ) -> None:
+        from repro.coe.api import ServeMode, ServeModeError
+
+        if config.mode is not ServeMode.LIVE:
+            raise ServeModeError(
+                "LiveEngine needs a mode='live' ServeConfig; use "
+                "repro.serve / build_server for sim configs"
+            )
+        self.config = config
+        self.library = library
+        self.policy = config.policy.value
+        self.cluster_policy = config.cluster_policy.value
+        self.deadline_s = config.deadline_s
+        self.max_queue = (
+            config.max_queue if config.max_queue is not None
+            else DEFAULT_MAX_QUEUE
+        )
+        self.time_scale = (
+            config.time_scale if config.time_scale is not None
+            else DEFAULT_TIME_SCALE
+        )
+        self.drain_timeout_s = (
+            config.drain_timeout_s if config.drain_timeout_s is not None
+            else DEFAULT_DRAIN_TIMEOUT_S
+        )
+        self._decisions = decision_log
+        #: The sim backend records admission decisions only when the
+        #: config selects the cluster engine; mirror that exactly so the
+        #: two logs have the same streams.
+        self._record_admission = config.wants_cluster
+        self._token_callback = token_callback
+        self.shed: List[ShedRequest] = []
+        self.timeline = Timeline()
+        self.clock = WallClock(
+            time_scale=self.time_scale, timeline=self.timeline
+        )
+
+        factory = platform if callable(platform) else (lambda: platform)
+        self.nodes: List[_LiveNode] = []
+        #: Expert name -> indices of nodes hosting a replica.
+        self._owners: Dict[str, List[int]] = {}
+        if config.wants_cluster:
+            # Mirror ClusterEngine's sharding (and its ExpertServer
+            # defaults — reserved_hbm_bytes is a single-node-only knob).
+            shards = [
+                s for s in partition_experts(
+                    library, config.num_nodes, balanced=True
+                ) if s
+            ]
+        else:
+            shards = [list(library.experts)]
+        for idx, shard in enumerate(shards):
+            server = ExpertServer(
+                factory(),
+                ExpertLibrary(experts=list(shard))
+                if config.wants_cluster else library,
+                reserved_hbm_bytes=(
+                    None if config.wants_cluster
+                    else config.reserved_hbm_bytes
+                ),
+                cache_policy=config.cache_policy.value,
+            )
+            predictor = ExpertPredictor()
+            runtime_policy = server.runtime.policy
+            if (isinstance(runtime_policy, PredictivePolicy)
+                    and runtime_policy.predictor is None):
+                runtime_policy.predictor = predictor
+            node = _LiveNode(
+                index=idx,
+                name=f"node{idx}",
+                server=server,
+                predictor=predictor,
+                hosted={e.name for e in shard},
+            )
+            if decision_log is not None:
+                server.runtime.attach_decisions(decision_log, node.name)
+            self.nodes.append(node)
+            for expert in shard:
+                self._owners.setdefault(expert.name, []).append(idx)
+        self.cache_policy = self.nodes[0].server.runtime.policy.name
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Admission (the dispatcher task)
+    # ------------------------------------------------------------------
+    def _group_exec_time(self, node: _LiveNode, group: RequestGroup) -> float:
+        router, prefill, decode = group_phase_times(
+            node.server, group, node.phase_cache
+        )
+        return router + prefill + decode
+
+    def _shed(self, group: RequestGroup, reason: str) -> None:
+        name = group.expert.name
+        for req in group.requests:
+            self.shed.append(
+                ShedRequest(req.request_id, name, reason, req.output_tokens)
+            )
+
+    def _admit(self, group: RequestGroup) -> None:
+        """Route one closed group — the sim's ``_dispatch``, re-clocked.
+
+        Same pure decision core, same logical state, same record shapes;
+        ETAs are evaluated at logical ``now = 0.0`` exactly like the
+        sim's all-backlogged-at-t0 admission, so ``repr(eta)`` matches
+        bit for bit. A full queue sheds with ``backpressure`` *after*
+        the dispatch decision and still advances the logical backlog and
+        tail — the decision stream stays sim-identical even under shed
+        (the cache streams cannot, which is why the cross-check pins
+        ``max_queue`` high enough to never shed).
+        """
+        name = group.expert.name
+        owners = self._owners.get(name)
+        if not owners:
+            raise KeyError(f"no node hosts expert {name!r}")
+        index = choose_node(
+            owners,
+            name,
+            backlog_of=lambda i: self.nodes[i].backlog_s,
+            tail_of=lambda i: self.nodes[i].tail,
+            affinity=self.cluster_policy == "affinity",
+        )
+        node = self.nodes[index]
+        decisions = self._decisions if self._record_admission else None
+        label = f"{name}x{group.batch}"
+        exec_s = self._group_exec_time(node, group)
+        if self.deadline_s is not None:
+            eta = admission_eta(0.0, node.backlog_s, exec_s)
+            admitted = deadline_admits(eta, self.deadline_s)
+            if decisions is not None:
+                decisions.record(
+                    "admission", "admit", label,
+                    "admit" if admitted else "shed",
+                    detail=(node.name, repr(eta)),
+                )
+            if not admitted:
+                self._shed(group, "deadline")
+                return
+        if decisions is not None:
+            decisions.record("admission", "dispatch", label, node.name)
+        try:
+            node.queue.put_nowait(group)
+        except asyncio.QueueFull:
+            self._shed(group, "backpressure")
+        node.backlog_s += exec_s
+        node.tail = name
+
+    async def _dispatch_all(self, requests: Sequence[EngineRequest]) -> None:
+        """Open-loop admission: release each arrival at its model time."""
+        assembler = GroupAssembler(
+            policy=self.policy,
+            window=self.config.window,
+            max_batch=self.config.max_batch,
+        )
+        clock = self.clock
+        for request in requests:
+            await clock.sleep_until(request.arrival_s)
+            for group in assembler.push(request):
+                self._admit(group)
+        for group in assembler.flush():
+            self._admit(group)
+
+    # ------------------------------------------------------------------
+    # Execution (one worker task per node)
+    # ------------------------------------------------------------------
+    async def _run_group(self, node: _LiveNode, group: RequestGroup) -> None:
+        clock = self.clock
+        server = node.server
+        runtime = server.runtime
+        expert = group.expert
+        # The predictor always observes the demand stream (it feeds a
+        # predictive cache policy), exactly as the sim engine does at
+        # group begin.
+        node.predictor.observe(expert)
+        router_s, prefill_s, decode_s = group_phase_times(
+            server, group, node.phase_cache
+        )
+        if runtime.is_resident(expert):
+            runtime.activate(expert)  # hit: free recency refresh
+        else:
+            event = runtime.activate(expert, span=False)
+            start = clock.now
+            await clock.sleep(event.time_s)
+            clock.record_span(
+                f"copy:{expert.name}", node.lane("switch"), "switch",
+                start_s=start, end_s=start + event.time_s,
+                args={
+                    "hit": False,
+                    "speculative": False,
+                    "policy": event.policy,
+                    "bytes_up": event.bytes_up,
+                    "bytes_down": event.bytes_down,
+                    "evicted": list(event.evicted),
+                    "evicted_why": list(event.evicted_why),
+                },
+            )
+        exec_start = clock.now
+        await clock.sleep(router_s + prefill_s)
+        callback = self._token_callback
+        steps = group.phase_key[3]
+        if callback is not None and steps > 0 and decode_s > 0:
+            # Stream: one decode step per output token position, the
+            # batch's tokens delivered as each step completes. Steps
+            # sleep to *absolute* model deadlines, so the event loop's
+            # ~1ms timer floor is paid once per behind-schedule stretch
+            # — late steps fire back to back — instead of compounding
+            # per token.
+            step_s = decode_s / steps
+            decode_start = clock.now
+            node_name = node.name
+            expert_name = expert.name
+            for step in range(steps):
+                await clock.sleep_until(decode_start + step_s * (step + 1))
+                now = clock.now
+                for req in group.requests:
+                    if step < req.output_tokens:
+                        callback(TokenEvent(
+                            req.request_id, expert_name, step, now, node_name,
+                        ))
+                        self._tokens_streamed += 1
+        else:
+            await clock.sleep(decode_s)
+        finish = clock.now
+        # Phase spans at their planned model durations, anchored at the
+        # actual start — wall jitter shifts spans, never stretches them.
+        end = exec_start
+        for category, duration in zip(
+            ("router", "prefill", "decode"), (router_s, prefill_s, decode_s)
+        ):
+            if duration > 0:
+                clock.record_span(
+                    f"{category}:{expert.name}", node.lane("compute"),
+                    category, start_s=end, end_s=end + duration,
+                    args={"group": node.groups_done, "batch": group.batch},
+                )
+            end += duration
+        expert_name = expert.name
+        batch = group.batch
+        for req in group.requests:
+            node.completed.append(CompletedRequest(
+                request_id=req.request_id,
+                expert=expert_name,
+                batch=batch,
+                arrival_s=req.arrival_s,
+                start_s=exec_start,
+                finish_s=finish,
+                output_tokens=req.output_tokens,
+            ))
+        node.groups_done += 1
+
+    async def _worker(self, node: _LiveNode) -> None:
+        while True:
+            group = await node.queue.get()
+            try:
+                if group is None:  # drain sentinel
+                    return
+                await self._run_group(node, group)
+            finally:
+                node.queue.task_done()
+
+    # ------------------------------------------------------------------
+    async def aserve(self, requests: Sequence[EngineRequest]) -> LiveReport:
+        """Serve the stream inside the caller's event loop."""
+        if not requests:
+            raise ValueError("empty request backlog")
+        requests = list(requests)
+        self._tokens_streamed = 0
+        self.clock.start()
+        for node in self.nodes:
+            node.queue = asyncio.Queue(maxsize=self.max_queue)
+        tasks = [
+            asyncio.create_task(self._worker(node), name=f"live-{node.name}")
+            for node in self.nodes
+        ]
+        drained = True
+        try:
+            await self._dispatch_all(requests)
+            for node in self.nodes:
+                await node.queue.put(None)  # waits for space: still bounded
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*tasks), timeout=self.drain_timeout_s
+                )
+            except asyncio.TimeoutError:
+                drained = False
+        finally:
+            # No task leaks, on any path: cancel whatever still runs and
+            # reap every task before returning.
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+        makespan = self.clock.now
+        wall_s = self.clock.wall_elapsed_s
+        completed = [c for node in self.nodes for c in node.completed]
+        if drained and len(completed) + len(self.shed) != len(requests):
+            raise RuntimeError(
+                f"live engine lost requests: {len(completed)} completed + "
+                f"{len(self.shed)} shed of {len(requests)} submitted"
+            )
+        latencies = sorted(c.latency_s for c in completed)
+        hits = sum(n.server.runtime.stats.hits for n in self.nodes)
+        demand = sum(n.server.runtime.stats.requests for n in self.nodes)
+        shed_deadline = sum(1 for s in self.shed if s.reason == "deadline")
+        shed_backpressure = len(self.shed) - shed_deadline
+        return LiveReport(
+            policy=self.policy,
+            cluster_policy=self.cluster_policy,
+            cache_policy=self.cache_policy,
+            num_nodes=self.num_nodes,
+            requests=len(requests),
+            completed_requests=len(completed),
+            shed_deadline=shed_deadline,
+            shed_backpressure=shed_backpressure,
+            output_tokens=sum(c.output_tokens for c in completed),
+            tokens_streamed=self._tokens_streamed,
+            makespan_s=makespan,
+            wall_s=wall_s,
+            time_scale=self.time_scale,
+            p50_s=percentile(latencies, 50) if latencies else 0.0,
+            p95_s=percentile(latencies, 95) if latencies else 0.0,
+            p99_s=percentile(latencies, 99) if latencies else 0.0,
+            mean_s=(sum(latencies) / len(latencies)) if latencies else 0.0,
+            drained=drained,
+            demand_hit_rate=(hits / demand if demand else 0.0),
+            completed=tuple(completed),
+            shed=tuple(self.shed),
+            timeline=self.timeline,
+        )
+
+    def serve(self, requests: Sequence[EngineRequest]) -> LiveReport:
+        """Run the stream to completion on a private event loop."""
+        return asyncio.run(self.aserve(requests))
+
+
+__all__ = [
+    "DEFAULT_DRAIN_TIMEOUT_S",
+    "DEFAULT_MAX_QUEUE",
+    "DEFAULT_TIME_SCALE",
+    "LiveEngine",
+    "LiveReport",
+    "SHED_REASONS",
+    "ShedRequest",
+    "TokenEvent",
+]

@@ -69,6 +69,21 @@ class ClusterPolicy(PolicyEnum):
     STEAL = "steal"
 
 
+class ServeMode(PolicyEnum):
+    """Which clock drives a :class:`repro.coe.api.ServeConfig` run.
+
+    ``SIM`` executes on the discrete-event simulator (the default and
+    the fast path); ``LIVE`` executes the same policies on an asyncio
+    wall clock (:mod:`repro.coe.live_engine`) with real admission,
+    bounded queues and streaming token emission. Mode-specific options
+    are rejected in the other mode with a typed
+    :class:`repro.coe.api.ServeModeError`.
+    """
+
+    SIM = "sim"
+    LIVE = "live"
+
+
 class CachePolicyName(PolicyEnum):
     """HBM expert-cache eviction policy of :class:`CoERuntime`.
 
@@ -85,4 +100,7 @@ class CachePolicyName(PolicyEnum):
     BELADY = "belady"
 
 
-__all__ = ["CachePolicyName", "ClusterPolicy", "NodePolicy", "PolicyEnum"]
+__all__ = [
+    "CachePolicyName", "ClusterPolicy", "NodePolicy", "PolicyEnum",
+    "ServeMode",
+]

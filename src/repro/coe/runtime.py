@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, NamedTuple, Optional
 
 from repro.coe.cache import CachePolicy, CachePolicyLike, make_policy
+from repro.coe.decisions import DecisionLog
 from repro.coe.expert import ExpertProfile
 from repro.obs import Timeline
 
@@ -140,6 +141,8 @@ class CoERuntime:
         self._timeline: Optional[Timeline] = None
         self._clock: Optional[Callable[[], float]] = None
         self._span_lane = "dma"
+        self._decisions: Optional[DecisionLog] = None
+        self._decision_stream = "node0"
 
     # ------------------------------------------------------------------
     def upgrade_time(self, num_bytes: int) -> float:
@@ -171,6 +174,24 @@ class CoERuntime:
         """Stop recording copy spans (e.g. when a sim's clock dies)."""
         self._timeline = None
         self._clock = None
+
+    # ------------------------------------------------------------------
+    def attach_decisions(self, log: DecisionLog, stream: str) -> None:
+        """Record every *demand* cache decision into ``log``.
+
+        This is the single choke point where cache hits and eviction
+        choices happen, for every backend — the sim engines and the
+        live asyncio engine all activate through here — so attaching a
+        :class:`~repro.coe.decisions.DecisionLog` captures the cache
+        half of the sim/live decision cross-check with no backend
+        branches. Speculative (prefetcher/replication) traffic is not a
+        policy decision about a request and is not recorded.
+        """
+        self._decisions = log
+        self._decision_stream = stream
+
+    def detach_decisions(self) -> None:
+        self._decisions = None
 
     # ------------------------------------------------------------------
     @property
@@ -246,6 +267,10 @@ class CoERuntime:
                 self.stats.speculative_hits += 1
             else:
                 self.stats.hits += 1
+                if self._decisions is not None:
+                    self._decisions.record(
+                        self._decision_stream, "cache", expert.name, "hit"
+                    )
             return SwitchEvent(
                 expert=expert.name, hit=True, bytes_up=0, bytes_down=0,
                 time_s=0.0, policy=self.policy.name, speculative=speculative,
@@ -290,6 +315,11 @@ class CoERuntime:
             self.stats.bytes_up += bytes_up
             self.stats.bytes_down += bytes_down
             self.stats.switch_time_s += time_s
+            if self._decisions is not None:
+                self._decisions.record(
+                    self._decision_stream, "cache", expert.name, "miss",
+                    detail=evicted,
+                )
         if span and self._timeline is not None:
             now = self._clock()
             self._timeline.record(

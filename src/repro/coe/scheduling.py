@@ -124,6 +124,89 @@ def coalesce_groups(
     return groups
 
 
+class GroupAssembler:
+    """Streaming equivalent of ``coalesce_groups(affinity_schedule(...))``.
+
+    The batch pipeline needs the whole backlog up front; an open-loop
+    front end (the live serving engine, or the sim fed by an arrival
+    trace) sees requests one at a time. This assembler ingests requests
+    incrementally and emits exactly the groups the batch pipeline would
+    have built — provably, because both halves of that pipeline are
+    already streaming-shaped: :func:`affinity_schedule` is chunk-local
+    (it only ever reorders within one ``window``-sized chunk), and
+    :func:`coalesce_groups` is a single left-to-right scan whose only
+    state is the open run. So buffering one window, reordering it, and
+    feeding it through a persistent run-coalescer reproduces the batch
+    output group for group — the equivalence property the scheduling
+    tests assert, and the reason sim and live backends see the same
+    group sequence for the same arrivals.
+
+    ``policy`` is a :class:`repro.coe.policies.NodePolicy` value;
+    ``fifo`` skips the window reorder entirely (matching
+    ``ServingEngine._order``).
+    """
+
+    def __init__(
+        self, policy: str = "affinity", window: int = 16, max_batch: int = 8
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.policy = policy
+        self.window = window
+        self.max_batch = max_batch
+        #: The partially-filled reordering window (non-fifo only).
+        self._pending: List[Request] = []
+        #: The open same-expert run, possibly spanning window boundaries.
+        self._run: List[Request] = []
+
+    def _close_run(self) -> RequestGroup:
+        group = RequestGroup(expert=self._run[0].expert,
+                             requests=tuple(self._run))
+        self._run = []
+        return group
+
+    def _feed(self, request: Request, out: List[RequestGroup]) -> None:
+        """One step of the streaming coalescer (coalesce_groups' loop)."""
+        if self._run and (
+            request.expert.name != self._run[0].expert.name
+            or len(self._run) >= self.max_batch
+        ):
+            out.append(self._close_run())
+        self._run.append(request)
+
+    def _drain_window(self, out: List[RequestGroup]) -> None:
+        chunk = self._pending
+        self._pending = []
+        groups: "OrderedDict[str, List[Request]]" = OrderedDict()
+        for request in chunk:
+            groups.setdefault(request.expert.name, []).append(request)
+        for run in groups.values():
+            for request in run:
+                self._feed(request, out)
+
+    def push(self, request: Request) -> List[RequestGroup]:
+        """Ingest one request; returns the groups this arrival closed."""
+        out: List[RequestGroup] = []
+        if self.policy == "fifo":
+            self._feed(request, out)
+            return out
+        self._pending.append(request)
+        if len(self._pending) >= self.window:
+            self._drain_window(out)
+        return out
+
+    def flush(self) -> List[RequestGroup]:
+        """End of stream: close the partial window and the open run."""
+        out: List[RequestGroup] = []
+        if self._pending:
+            self._drain_window(out)
+        if self._run:
+            out.append(self._close_run())
+        return out
+
+
 @dataclass
 class ScheduleOutcome:
     """Timing and cache behaviour of one served schedule."""

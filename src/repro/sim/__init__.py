@@ -1,5 +1,6 @@
 """Discrete-event simulation of streamed dataflow pipelines."""
 
+from repro.sim.clock import Clock, EventSource, WallClock
 from repro.sim.congestion import CongestionAnalyzer, PlacedFlow
 from repro.sim.engine import Simulator
 from repro.sim.streams import Pipeline, PipelineStage, bursty_stage, uniform_stage
@@ -7,4 +8,5 @@ from repro.sim.streams import Pipeline, PipelineStage, bursty_stage, uniform_sta
 __all__ = [
     "Simulator", "Pipeline", "PipelineStage", "bursty_stage",
     "uniform_stage", "CongestionAnalyzer", "PlacedFlow",
+    "Clock", "EventSource", "WallClock",
 ]

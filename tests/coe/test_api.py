@@ -1,16 +1,24 @@
 """The unified serving facade: ServeConfig, engine choice, deprecation."""
 
+import dataclasses
 import warnings
 
 import pytest
 
 import repro
-from repro.coe.api import ServeConfig, Server, build_server, serve
+from repro.coe.api import (
+    ServeConfig,
+    ServeModeError,
+    Server,
+    build_server,
+    serve,
+)
 from repro.coe.cluster_engine import ClusterEngine, ClusterReport
 from repro.coe.engine import EngineReport, ServingEngine, zipf_request_stream
 from repro.coe.expert import build_samba_coe_library
-from repro.coe.policies import ClusterPolicy, NodePolicy, PolicyEnum
+from repro.coe.policies import ClusterPolicy, NodePolicy, PolicyEnum, ServeMode
 from repro.coe.serving import CoEServer, ExpertServer
+from repro.load import ArrivalSpec
 from repro.sim.faults import FaultSchedule, NodeCrash
 from repro.systems.platforms import sn40l_platform
 
@@ -112,6 +120,117 @@ class TestServeConfig:
         assert payload["deadline_s"] == 2.0
 
 
+class TestServeConfigSerialization:
+    """to_dict / from_dict cover every field — none can silently drop."""
+
+    def test_to_dict_covers_every_field(self):
+        # A field added to ServeConfig without a to_dict entry would
+        # silently vanish from provenance dumps; this pins the contract.
+        payload = ServeConfig().to_dict()
+        for f in dataclasses.fields(ServeConfig):
+            assert f.name in payload, f"to_dict() is missing {f.name!r}"
+        assert set(payload) == {f.name for f in dataclasses.fields(ServeConfig)}
+
+    @pytest.mark.parametrize("config", [
+        ServeConfig(),
+        ServeConfig(policy="fifo", cluster_policy="affinity",
+                    cache_policy="gdsf", num_nodes=4, max_batch=4,
+                    window=8, online_replication=False,
+                    replication_depth=2, max_replicas=3,
+                    reserved_hbm_bytes=1 << 30,
+                    faults=["node1:0.5", "slow:0:1.0:2.0"],
+                    heartbeat_s=0.1, deadline_s=5.0),
+        ServeConfig(policy="affinity", cluster_policy="least_loaded",
+                    mode="live", num_nodes=2, max_queue=32,
+                    time_scale=0.01, drain_timeout_s=5.0,
+                    load=ArrivalSpec(process="bursty", rate_rps=10.0,
+                                     duration_s=3.0, seed=9)),
+    ])
+    def test_round_trip_is_identity(self, config):
+        assert ServeConfig.from_dict(config.to_dict()) == config
+
+    def test_round_trip_survives_json(self):
+        import json
+        config = ServeConfig(mode="live", policy="affinity",
+                             cluster_policy="least_loaded", max_queue=8,
+                             load=ArrivalSpec(rate_rps=5.0, duration_s=1.0))
+        wire = json.loads(json.dumps(config.to_dict()))
+        assert ServeConfig.from_dict(wire) == config
+
+    def test_from_dict_revalidates(self):
+        payload = ServeConfig().to_dict()
+        payload["num_nodes"] = 0
+        with pytest.raises(ValueError):
+            ServeConfig.from_dict(payload)
+
+    def test_load_dict_coerces_to_spec(self):
+        spec = ArrivalSpec(rate_rps=7.0, duration_s=2.0, seed=3)
+        config = ServeConfig(load=spec.to_dict())
+        assert config.load == spec
+
+
+class TestServeModeErrors:
+    """Mode-specific knobs fail typed, in both directions."""
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_queue": 8},
+        {"time_scale": 0.5},
+        {"drain_timeout_s": 1.0},
+        {"max_queue": 8, "time_scale": 0.5, "drain_timeout_s": 1.0},
+    ])
+    def test_live_only_knobs_rejected_in_sim_mode(self, kwargs):
+        with pytest.raises(ServeModeError, match="mode='live'"):
+            ServeConfig(**kwargs)
+
+    def test_sim_mode_error_names_the_offending_fields(self):
+        with pytest.raises(ServeModeError, match="max_queue.*time_scale"):
+            ServeConfig(max_queue=8, time_scale=0.5)
+
+    def test_faults_rejected_in_live_mode(self):
+        with pytest.raises(ServeModeError, match="sim"):
+            ServeConfig(mode="live", policy="affinity",
+                        cluster_policy="least_loaded", num_nodes=2,
+                        faults=["node1:0.5"])
+
+    def test_overlap_rejected_in_live_mode(self):
+        with pytest.raises(ServeModeError, match="overlap"):
+            ServeConfig(mode="live", cluster_policy="least_loaded")
+
+    def test_steal_rejected_in_live_multinode(self):
+        with pytest.raises(ServeModeError, match="steal"):
+            ServeConfig(mode="live", policy="affinity",
+                        cluster_policy="steal", num_nodes=2)
+        # ...but is harmless on one node (never consulted).
+        ServeConfig(mode="live", policy="affinity",
+                    cluster_policy="steal", num_nodes=1)
+
+    def test_serve_mode_error_is_a_value_error(self):
+        assert issubclass(ServeModeError, ValueError)
+        assert repro.ServeModeError is ServeModeError
+
+    def test_mode_coerces_from_string(self):
+        assert ServeConfig(mode="sim").mode is ServeMode.SIM
+        cfg = ServeConfig(mode="live", policy="affinity",
+                          cluster_policy="least_loaded")
+        assert cfg.mode is ServeMode.LIVE
+
+    def test_token_callback_rejected_in_sim_mode(self):
+        library = build_samba_coe_library(4)
+        with pytest.raises(ServeModeError, match="token_callback"):
+            build_server(sn40l_platform, library, ServeConfig(),
+                         token_callback=lambda event: None)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_queue": 0},
+        {"time_scale": 0.0},
+        {"drain_timeout_s": 0.0},
+    ])
+    def test_bad_live_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(mode="live", policy="affinity",
+                        cluster_policy="least_loaded", **kwargs)
+
+
 class TestBuildServer:
     def test_single_node_builds_serving_engine(self, library):
         server = build_server(sn40l_platform, library, ServeConfig())
@@ -131,6 +250,17 @@ class TestBuildServer:
             ServeConfig(num_nodes=2, faults=["node1:0.5"]),
         )
         assert isinstance(server, ClusterEngine)
+
+    def test_live_config_builds_live_engine(self, library):
+        from repro.coe.live_engine import LiveEngine
+
+        server = build_server(
+            sn40l_platform, library,
+            ServeConfig(mode="live", policy="affinity",
+                        cluster_policy="least_loaded"),
+        )
+        assert isinstance(server, LiveEngine)
+        assert isinstance(server, Server)
 
     def test_platform_instance_or_factory(self, library):
         for platform in (sn40l_platform, sn40l_platform()):
@@ -164,6 +294,17 @@ class TestServe:
             sn40l_platform, library, stream, repro.ServeConfig(num_nodes=2)
         )
         assert report.requests == len(stream)
+
+    def test_generates_requests_from_config_load(self, library):
+        spec = ArrivalSpec(rate_rps=40.0, duration_s=1.0, seed=5)
+        report = serve(sn40l_platform, library,
+                       config=ServeConfig(load=spec))
+        assert isinstance(report, EngineReport)
+        assert report.requests > 0
+
+    def test_requests_required_without_load(self, library):
+        with pytest.raises(ValueError, match="requests"):
+            serve(sn40l_platform, library, config=ServeConfig())
 
     def test_matches_direct_engine_run(self, library, stream):
         via_api = serve(sn40l_platform, library, stream,

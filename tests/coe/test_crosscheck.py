@@ -1,0 +1,117 @@
+"""The correctness artifact: sim and live decide byte-identically."""
+
+import pytest
+
+from repro.coe.api import ServeConfig
+from repro.coe.crosscheck import CrossCheckResult, cross_check
+from repro.coe.decisions import DecisionLog
+from repro.coe.engine import EngineRequest
+from repro.coe.expert import build_samba_coe_library
+from repro.load import ArrivalSpec, generate_trace
+from repro.systems.platforms import sn40l_platform
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_samba_coe_library(12)
+
+
+@pytest.fixture(scope="module")
+def requests(library):
+    # A realistic open-loop trace: Zipf-skewed Poisson arrivals.
+    spec = ArrivalSpec(rate_rps=40.0, duration_s=4.0, zipf_alpha=1.1, seed=7)
+    return generate_trace(spec, library).to_requests(library)
+
+
+class TestDecisionParity:
+    @pytest.mark.parametrize("config_kwargs", [
+        # Single node, each cache policy the live engine supports.
+        dict(policy="affinity", num_nodes=1, cache_policy="lru"),
+        dict(policy="affinity", num_nodes=1, cache_policy="gdsf"),
+        dict(policy="fifo", num_nodes=1, cache_policy="predictive"),
+        # Cluster dispatch, both live-legal cluster policies.
+        dict(policy="affinity", num_nodes=4, cluster_policy="least_loaded"),
+        dict(policy="affinity", num_nodes=4, cluster_policy="affinity",
+             cache_policy="gdsf"),
+        # Deadline admission in the loop (admit/shed ETA records).
+        dict(policy="affinity", num_nodes=2, cluster_policy="least_loaded",
+             cache_policy="predictive", deadline_s=0.5),
+    ], ids=["lru", "gdsf", "fifo-predictive", "least-loaded-4",
+            "affinity-4", "deadline-2"])
+    def test_identical_decisions(self, library, requests, config_kwargs):
+        config = ServeConfig(mode="live", **config_kwargs)
+        result = cross_check(sn40l_platform, library, requests, config)
+        assert result.match, result.mismatch
+        assert result.mismatch is None
+        assert result.decisions > 0
+        assert result.sim_log == result.live_log
+        # Cache streams exist per node; admission only for clusters.
+        nodes = config_kwargs.get("num_nodes", 1)
+        expected = {f"node{i}" for i in range(nodes)}
+        if nodes > 1:
+            expected.add("admission")
+        assert set(result.streams) <= expected
+        assert any(s.startswith("node") for s in result.streams)
+
+    def test_default_config_is_live_valid(self, library, requests):
+        result = cross_check(sn40l_platform, library, requests[:40])
+        assert result.match, result.mismatch
+
+    def test_sim_config_derives_its_live_twin(self, library, requests):
+        # The caller may hand over a sim-mode config; the check derives
+        # the live twin itself — one config, two clocks.
+        config = ServeConfig(policy="affinity", cluster_policy="affinity",
+                             num_nodes=3)
+        result = cross_check(sn40l_platform, library, requests[:60], config)
+        assert result.match, result.mismatch
+        assert "admission" in result.streams
+
+    def test_reports_come_back_from_both_backends(self, library, requests):
+        result = cross_check(sn40l_platform, library, requests[:30])
+        assert isinstance(result, CrossCheckResult)
+        assert result.live_report.completed_requests > 0
+        assert result.sim_report is not None
+        # The check pins max_queue above the backlog: nothing sheds.
+        assert result.live_report.shed_backpressure == 0
+
+    def test_to_dict_is_compact(self, library, requests):
+        result = cross_check(sn40l_platform, library, requests[:20])
+        payload = result.to_dict()
+        assert payload["match"] is True
+        assert payload["decisions"] == result.decisions
+        assert "sim_log" not in payload  # logs stay out of JSON summaries
+
+
+class TestPreconditions:
+    def test_mixed_priorities_rejected(self, library):
+        expert = library.experts[0]
+        reqs = [
+            EngineRequest(0, expert, priority=0),
+            EngineRequest(1, expert, priority=1),
+        ]
+        with pytest.raises(ValueError, match="uniform request priorities"):
+            cross_check(sn40l_platform, library, reqs)
+
+
+class TestTamperDetection:
+    def test_a_single_flipped_record_is_caught(self, library, requests):
+        # Corrupt one record of the live log and re-diff: the harness
+        # must localize the divergence, not just report a boolean.
+        result = cross_check(sn40l_platform, library, requests[:40])
+        assert result.match
+        data = result.live_log.to_jsonable()
+        stream = next(iter(data))
+        kind, subject, choice, detail = data[stream][0]
+        data[stream][0] = [kind, subject, "tampered", detail]
+        tampered = DecisionLog.from_jsonable(data)
+        diff = result.sim_log.diff(tampered)
+        assert diff is not None
+        assert stream in diff
+        assert "tampered" in diff
+
+    def test_a_missing_record_is_caught(self, library, requests):
+        result = cross_check(sn40l_platform, library, requests[:40])
+        data = result.live_log.to_jsonable()
+        stream = next(iter(data))
+        data[stream].pop()
+        assert result.sim_log.diff(DecisionLog.from_jsonable(data)) is not None

@@ -5,8 +5,10 @@ import pytest
 from repro.coe.expert import build_samba_coe_library
 from repro.coe.scheduling import (
     ExpertPredictor,
+    GroupAssembler,
     Request,
     affinity_schedule,
+    coalesce_groups,
     fifo_schedule,
     serve_schedule,
     serve_with_prefetch,
@@ -173,3 +175,72 @@ class TestSpeculativePrefetch:
         server = ExpertServer(sn40l_platform(), library)
         with pytest.raises(ValueError):
             serve_with_prefetch(server, [])
+
+
+class TestGroupAssembler:
+    """The streaming/batch equivalence property behind sim/live parity."""
+
+    def _streams(self, library, seed):
+        import random
+
+        rng = random.Random(seed)
+        experts = library.experts[:9]
+        reqs = []
+        rid = 0
+        # A mix of runs and churn: the shapes that stress both the
+        # window reorder and the run coalescer.
+        while rid < 120:
+            expert = rng.choice(experts)
+            for _ in range(rng.randint(1, 5)):
+                reqs.append(Request(rid, expert))
+                rid += 1
+        return reqs
+
+    @pytest.mark.parametrize("window,max_batch", [
+        (1, 1), (2, 8), (4, 2), (5, 3), (16, 8), (32, 4), (300, 8),
+    ])
+    def test_streaming_equals_batch_pipeline(self, library, window, max_batch):
+        for seed in range(3):
+            reqs = self._streams(library, seed)
+            batch = coalesce_groups(
+                affinity_schedule(reqs, window=window), max_batch=max_batch
+            )
+            assembler = GroupAssembler(
+                policy="affinity", window=window, max_batch=max_batch
+            )
+            streamed = [g for r in reqs for g in assembler.push(r)]
+            streamed += assembler.flush()
+            assert [
+                (g.expert.name, tuple(r.request_id for r in g.requests))
+                for g in streamed
+            ] == [
+                (g.expert.name, tuple(r.request_id for r in g.requests))
+                for g in batch
+            ], (window, max_batch, seed)
+
+    @pytest.mark.parametrize("max_batch", [1, 3, 8])
+    def test_fifo_streaming_equals_batch_pipeline(self, library, max_batch):
+        reqs = self._streams(library, 11)
+        batch = coalesce_groups(fifo_schedule(reqs), max_batch=max_batch)
+        assembler = GroupAssembler(policy="fifo", max_batch=max_batch)
+        streamed = [g for r in reqs for g in assembler.push(r)]
+        streamed += assembler.flush()
+        assert [tuple(r.request_id for r in g.requests) for g in streamed] \
+            == [tuple(r.request_id for r in g.requests) for g in batch]
+
+    def test_partial_window_only_emits_on_flush(self, library):
+        expert = library.experts[0]
+        assembler = GroupAssembler(policy="affinity", window=16, max_batch=8)
+        emitted = []
+        for rid in range(5):  # never fills the window
+            emitted += assembler.push(Request(rid, expert))
+        assert emitted == []
+        flushed = assembler.flush()
+        assert [len(g.requests) for g in flushed] == [5]
+        assert assembler.flush() == []  # idempotent once drained
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            GroupAssembler(window=0)
+        with pytest.raises(ValueError, match="max_batch"):
+            GroupAssembler(max_batch=0)

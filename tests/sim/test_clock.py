@@ -1,0 +1,110 @@
+"""The policy/clock split: protocols, conformance, and the wall clock."""
+
+import asyncio
+
+import pytest
+
+from repro.obs import Timeline
+from repro.sim.clock import Clock, EventSource, WallClock
+from repro.sim.engine import Simulator
+
+
+class TestProtocolConformance:
+    def test_simulator_satisfies_both_protocols(self):
+        sim = Simulator()
+        assert isinstance(sim, Clock)
+        assert isinstance(sim, EventSource)
+
+    def test_wallclock_is_a_clock_but_not_an_event_source(self):
+        clock = WallClock()
+        assert isinstance(clock, Clock)
+        assert not isinstance(clock, EventSource)
+
+    def test_engines_bind_to_the_protocol_not_the_class(self):
+        # The serving engines type their clock as EventSource; anything
+        # structurally conforming is accepted (the split's whole point).
+        from repro.coe.engine import ServingEngine
+        from repro.coe.expert import build_samba_coe_library
+        from repro.systems.platforms import sn40l_platform
+
+        engine = ServingEngine(
+            sn40l_platform(), build_samba_coe_library(4), policy="fifo"
+        )
+        engine.bind(Simulator())
+        assert isinstance(engine._sim, EventSource)
+
+
+class TestWallClock:
+    def test_rejects_bad_time_scale(self):
+        with pytest.raises(ValueError, match="time_scale"):
+            WallClock(time_scale=0.0)
+        with pytest.raises(ValueError, match="time_scale"):
+            WallClock(time_scale=-1.0)
+
+    def test_now_is_model_seconds(self):
+        async def run():
+            clock = WallClock(time_scale=0.01)
+            clock.start()
+            await clock.sleep(2.0)  # 2 model seconds = 20 wall ms
+            return clock.now, clock.wall_elapsed_s
+
+        model_now, wall = asyncio.run(run())
+        assert model_now >= 2.0
+        # now and wall_elapsed_s are separate monotonic reads
+        assert wall == pytest.approx(model_now * 0.01, abs=1e-3)
+
+    def test_sleep_until_past_time_is_a_noop(self):
+        async def run():
+            clock = WallClock(time_scale=0.001)
+            clock.start()
+            await clock.sleep(1.0)
+            before = clock.wall_elapsed_s
+            await clock.sleep_until(0.5)  # already in the past
+            return clock.wall_elapsed_s - before
+
+        assert asyncio.run(run()) < 0.05
+
+    def test_sleep_until_waits_to_the_model_deadline(self):
+        async def run():
+            clock = WallClock(time_scale=0.01)
+            clock.start()
+            await clock.sleep_until(3.0)
+            return clock.now
+
+        assert asyncio.run(run()) >= 3.0
+
+    def test_record_span_matches_simulator_contract(self):
+        timeline = Timeline()
+        clock = WallClock(time_scale=1.0, timeline=timeline)
+        span = clock.record_span(
+            "work", "lane", "compute", start_s=1.0, end_s=2.5,
+            args={"k": 1},
+        )
+        assert span is not None
+        spans = timeline.spans("lane")
+        assert len(spans) == 1
+        assert spans[0].start_s == 1.0 and spans[0].end_s == 2.5
+
+    def test_record_span_duration_form(self):
+        timeline = Timeline()
+        clock = WallClock(timeline=timeline)
+        clock.record_span("work", "lane", "compute", 0.5, start_s=1.0)
+        (span,) = timeline.spans("lane")
+        assert span.end_s == pytest.approx(1.5)
+
+    def test_record_span_requires_an_extent(self):
+        clock = WallClock(timeline=Timeline())
+        with pytest.raises(ValueError, match="duration_s or end_s"):
+            clock.record_span("work", "lane", "compute", start_s=1.0)
+
+    def test_record_span_without_timeline_is_free(self):
+        assert WallClock().record_span(
+            "work", "lane", "compute", start_s=0.0, end_s=1.0
+        ) is None
+
+    def test_reads_need_no_event_loop(self):
+        # Anchoring is monotonic-based, so reads (and protocol
+        # isinstance checks, which evaluate properties) work anywhere.
+        clock = WallClock()
+        assert clock.now >= 0.0
+        assert clock.wall_elapsed_s >= 0.0
