@@ -1,23 +1,30 @@
-"""Sim-core performance benchmark: batched fast path vs the reference.
+"""Sim-core performance benchmark: columnar and batched drains vs reference.
 
-The tentpole claim of the vectorized sim core is that cluster-scale
-sweeps stop being the bottleneck: a 1M-request, 8-node cluster sim
-completes in seconds on the batched fast path, where the event-by-event
-reference configuration (``event_batching=False`` — the pre-batching
-seed semantics, with per-route backlog sums and a recorded timeline)
-takes hours. Emitted to ``BENCH_simperf.json`` at the repo root:
+The tentpole claim of the drain fast paths is that cluster-scale sweeps
+stop being the bottleneck: a 1M-request, 8-node cluster sim completes in
+seconds on the columnar drain, where the event-by-event reference
+configuration (``drain_mode="reference"`` — the pre-batching seed
+semantics, with per-route backlog sums and a recorded timeline) takes
+hours. Emitted to ``BENCH_simperf.json`` at the repo root:
 
-1. **Same-grid comparison** — the identical workload run through both
-   configurations. The two runs must agree on every simulated metric
+1. **Same-grid comparison** — the identical workload run through all
+   three drain modes. The runs must agree on every simulated metric
    (makespan, events, tokens/s, completions — the byte-level proof
-   lives in ``tests/coe/test_batched_equivalence.py``), and the fast
-   path must clear >= 10x the reference's events/sec.
-2. **Headline** — the 1M-request, 8-node fast-path run: wall-clock,
-   events/sec, simulated makespan.
-3. **Regression gate** — fast-path events/sec must stay within 30% of
-   the committed baseline (``benchmarks/simperf_baseline.json``); the
-   CI ``simperf-smoke`` job runs the shrunk grid against the same
-   file's ``smoke`` entry.
+   lives in ``tests/coe/test_batched_equivalence.py``), and the
+   columnar drain must clear >= 10x the reference's events/sec.
+2. **Headline** — the 1M-request, 8-node run per fast mode: wall-clock,
+   events/sec, simulated makespan. The headline columnar run must also
+   clear 3x the events/sec floor committed when the batched drain
+   landed (PR 6) — the acceptance bound of the columnar PR.
+3. **Regression gate** — batched and columnar events/sec must each stay
+   within 30% of their committed baselines
+   (``benchmarks/simperf_baseline.json``); the CI ``simperf-smoke`` job
+   runs the shrunk grid against the same file's ``smoke`` entries.
+
+The node policy is ``affinity``, not ``overlap``: overlap's prefetch
+decisions interleave with the queue, so the columnar drain falls back
+to the batched loop there and the benchmark would never exercise the
+columnar core (the fallback equivalence is pinned in the test suite).
 
 Timing points run serially (``processes=1``): wall-clock measurements
 must not contend with each other, so this module uses the sweep runner
@@ -50,23 +57,30 @@ OUTPUT_TOKENS = 20
 ZIPF_ALPHA = 1.1
 SEED = 1234
 POLICY = "affinity"
-NODE_POLICY = "overlap"
+NODE_POLICY = "affinity"  # overlap would fall back to the batched drain
 
 #: The >= 10x events/sec acceptance bound only applies at full size:
 #: the reference's per-route backlog scan is quadratic in queue depth,
 #: so its deficit grows with the grid (and shrinks on the smoke grid).
 MIN_SPEEDUP = 10.0
 
-#: Committed events/sec baseline; current must stay >= 70% of it.
+#: Committed events/sec baselines; current must stay >= 70% of them.
 BASELINE_PATH = Path(__file__).resolve().parent / "simperf_baseline.json"
 BASELINE_RETENTION = 0.70
+
+#: Columnar-PR acceptance: the headline columnar run must clear this
+#: multiple of the events/sec floor committed when the batched drain
+#: landed (the ``pr6`` entry of the baseline file).
+COLUMNAR_ACCEPTANCE_MULTIPLE = 3.0
 
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_simperf.json"
 
 POINTS = [
     {"run": "grid", "mode": "reference"},
-    {"run": "grid", "mode": "fast"},
-    {"run": "headline", "mode": "fast"},
+    {"run": "grid", "mode": "batched"},
+    {"run": "grid", "mode": "columnar"},
+    {"run": "headline", "mode": "batched"},
+    {"run": "headline", "mode": "columnar"},
 ]
 
 
@@ -75,12 +89,12 @@ def _simperf_point(point: SweepPoint) -> dict:
 
     ``reference`` is the seed-equivalent configuration: one heap event
     per step, a recorded timeline, and fresh per-route backlog sums.
-    ``fast`` is the batched default with tracing off — what a sweep
-    that only wants the report should use.
+    ``batched`` and ``columnar`` are the fast drains with tracing off —
+    what a sweep that only wants the report should use.
     """
     num_requests = (HEADLINE_REQUESTS if point["run"] == "headline"
                     else GRID_REQUESTS)
-    fast = point["mode"] == "fast"
+    reference = point["mode"] == "reference"
     library = build_samba_coe_library(NUM_EXPERTS)
     requests = zipf_request_stream(
         library, num_requests, alpha=ZIPF_ALPHA, seed=SEED,
@@ -90,7 +104,7 @@ def _simperf_point(point: SweepPoint) -> dict:
     report = run_cluster(
         sn40l_platform, library, requests, num_nodes=NUM_NODES,
         policy=POLICY, node_policy=NODE_POLICY,
-        event_batching=fast, record_timeline=not fast,
+        drain_mode=point["mode"], record_timeline=reference,
     )
     wall_s = time.perf_counter() - start
     return {
@@ -108,16 +122,20 @@ def _simperf_point(point: SweepPoint) -> dict:
 
 @pytest.fixture(scope="module")
 def simperf_results():
-    reference, fast, headline = run_sweep(
-        _simperf_point, POINTS, base_seed=SEED, processes=1,
-    )
-    return {"reference": reference, "fast": fast, "headline": headline}
+    results = run_sweep(_simperf_point, POINTS, base_seed=SEED, processes=1)
+    return {f"{r['run']}_{r['mode']}": r for r in results}
 
 
 @pytest.fixture(scope="module")
 def baseline():
     data = json.loads(BASELINE_PATH.read_text())
     return data["smoke" if SMOKE else "full"]
+
+
+@pytest.fixture(scope="module")
+def pr6_baseline():
+    data = json.loads(BASELINE_PATH.read_text())
+    return data["pr6"]["smoke" if SMOKE else "full"]
 
 
 def test_simperf_report(benchmark, simperf_results):
@@ -130,11 +148,11 @@ def test_simperf_report(benchmark, simperf_results):
         ]
         for r in simperf_results.values()
     ]
-    speedup = (simperf_results["fast"]["events_per_s"]
-               / simperf_results["reference"]["events_per_s"])
+    speedup = (simperf_results["grid_columnar"]["events_per_s"]
+               / simperf_results["grid_reference"]["events_per_s"])
     print_table(
         f"Sim-core perf: {NUM_NODES} nodes, Zipf-{ZIPF_ALPHA}, "
-        f"fast/reference = {speedup:.1f}x events/sec on the same grid",
+        f"columnar/reference = {speedup:.1f}x events/sec on the same grid",
         ["Run", "Mode", "Requests", "Wall", "Events", "ev/s",
          "Sim makespan"],
         rows,
@@ -142,43 +160,63 @@ def test_simperf_report(benchmark, simperf_results):
 
 
 def test_same_grid_simulated_metrics_identical(simperf_results):
-    """Batching must change wall-clock only, never the simulation."""
-    ref, fast = simperf_results["reference"], simperf_results["fast"]
-    assert ref["events_run"] == fast["events_run"]
-    assert ref["makespan_s"] == fast["makespan_s"]
-    assert ref["tokens_per_second"] == fast["tokens_per_second"]
-    assert ref["completed"] == fast["completed"]
+    """Drain modes must change wall-clock only, never the simulation."""
+    ref = simperf_results["grid_reference"]
+    for mode in ("batched", "columnar"):
+        fast = simperf_results[f"grid_{mode}"]
+        assert ref["events_run"] == fast["events_run"], mode
+        assert ref["makespan_s"] == fast["makespan_s"], mode
+        assert ref["tokens_per_second"] == fast["tokens_per_second"], mode
+        assert ref["completed"] == fast["completed"], mode
 
 
 @pytest.mark.skipif(SMOKE, reason="speedup bound holds at full size "
                     "(the reference's admission scan is quadratic)")
-def test_fast_path_at_least_10x_events_per_sec(simperf_results):
-    ref, fast = simperf_results["reference"], simperf_results["fast"]
-    speedup = fast["events_per_s"] / ref["events_per_s"]
-    assert speedup >= MIN_SPEEDUP, f"fast/reference only {speedup:.1f}x"
+def test_columnar_at_least_10x_reference_events_per_sec(simperf_results):
+    ref = simperf_results["grid_reference"]
+    columnar = simperf_results["grid_columnar"]
+    speedup = columnar["events_per_s"] / ref["events_per_s"]
+    assert speedup >= MIN_SPEEDUP, f"columnar/reference only {speedup:.1f}x"
+
+
+@pytest.mark.skipif(SMOKE, reason="acceptance bound holds at full size only")
+def test_columnar_headline_clears_pr6_acceptance(simperf_results,
+                                                 pr6_baseline):
+    """The columnar PR's acceptance: 3x the committed PR 6 floor."""
+    current = simperf_results["headline_columnar"]["events_per_s"]
+    floor = COLUMNAR_ACCEPTANCE_MULTIPLE * pr6_baseline["fast_events_per_s"]
+    assert current >= floor, (
+        f"columnar headline {current:,.0f} ev/s < {floor:,.0f} "
+        f"({COLUMNAR_ACCEPTANCE_MULTIPLE}x the committed PR 6 floor "
+        f"{pr6_baseline['fast_events_per_s']:,})"
+    )
 
 
 @pytest.mark.skipif(SMOKE, reason="headline runs at full size only")
 def test_headline_million_requests_in_seconds(simperf_results):
-    headline = simperf_results["headline"]
-    assert headline["requests"] == 1_000_000
-    assert headline["completed"] == 1_000_000
-    assert headline["wall_s"] < 120.0, (
-        f"1M-request sim took {headline['wall_s']:.0f}s"
-    )
+    for mode in ("batched", "columnar"):
+        headline = simperf_results[f"headline_{mode}"]
+        assert headline["requests"] == 1_000_000, mode
+        assert headline["completed"] == 1_000_000, mode
+        assert headline["wall_s"] < 120.0, (
+            f"1M-request {mode} sim took {headline['wall_s']:.0f}s"
+        )
 
 
-def test_events_per_sec_vs_committed_baseline(simperf_results, baseline):
+@pytest.mark.parametrize("mode", ["batched", "columnar"])
+def test_events_per_sec_vs_committed_baseline(simperf_results, baseline,
+                                              mode):
     """The CI regression gate: >30% below baseline fails the job."""
-    current = simperf_results["fast"]["events_per_s"]
-    floor = BASELINE_RETENTION * baseline["fast_events_per_s"]
+    current = simperf_results[f"grid_{mode}"]["events_per_s"]
+    committed = baseline[f"{mode}_events_per_s"]
+    floor = BASELINE_RETENTION * committed
     assert current >= floor, (
-        f"fast-path events/sec regressed: {current:,.0f} < "
-        f"{floor:,.0f} (70% of committed {baseline['fast_events_per_s']:,})"
+        f"{mode} events/sec regressed: {current:,.0f} < "
+        f"{floor:,.0f} (70% of committed {committed:,})"
     )
 
 
-def test_emit_bench_json(simperf_results, baseline):
+def test_emit_bench_json(simperf_results, baseline, pr6_baseline):
     payload = {
         "workload": {
             "experts": NUM_EXPERTS,
@@ -193,17 +231,30 @@ def test_emit_bench_json(simperf_results, baseline):
             "smoke": SMOKE,
         },
         "same_grid": {
-            "reference": simperf_results["reference"],
-            "fast": simperf_results["fast"],
-            "speedup_events_per_s": (
-                simperf_results["fast"]["events_per_s"]
-                / simperf_results["reference"]["events_per_s"]
-            ),
+            "reference": simperf_results["grid_reference"],
+            "batched": simperf_results["grid_batched"],
+            "columnar": simperf_results["grid_columnar"],
+            "speedup_events_per_s": {
+                "batched_vs_reference": (
+                    simperf_results["grid_batched"]["events_per_s"]
+                    / simperf_results["grid_reference"]["events_per_s"]
+                ),
+                "columnar_vs_reference": (
+                    simperf_results["grid_columnar"]["events_per_s"]
+                    / simperf_results["grid_reference"]["events_per_s"]
+                ),
+            },
         },
-        "headline": simperf_results["headline"],
+        "headline": {
+            "batched": simperf_results["headline_batched"],
+            "columnar": simperf_results["headline_columnar"],
+        },
         "baseline": {
-            "fast_events_per_s": baseline["fast_events_per_s"],
+            "batched_events_per_s": baseline["batched_events_per_s"],
+            "columnar_events_per_s": baseline["columnar_events_per_s"],
             "retention_floor": BASELINE_RETENTION,
+            "pr6_fast_events_per_s": pr6_baseline["fast_events_per_s"],
+            "columnar_acceptance_multiple": COLUMNAR_ACCEPTANCE_MULTIPLE,
         },
     }
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -30,6 +30,7 @@ import hashlib
 import itertools
 import multiprocessing
 import os
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -39,6 +40,7 @@ __all__ = [
     "SweepPoint",
     "derive_seed",
     "grid",
+    "profile_point",
     "run_sweep",
     "sweep_points",
 ]
@@ -115,6 +117,26 @@ def _run_point(job: "tuple[Callable[[SweepPoint], Any], SweepPoint]") -> Any:
     return fn(point)
 
 
+def profile_point(fn: Callable[..., Any], *args: Any,
+                  top: int = 25, stream: Any = None) -> Any:
+    """Run ``fn(*args)`` under :mod:`cProfile` and print a hotspot table.
+
+    Prints the top ``top`` entries sorted by cumulative time to
+    ``stream`` (default stdout) and returns ``fn``'s result, so a
+    profiled point still feeds the sweep's merged results. Profiling
+    adds interpreter overhead — treat the printed times as relative
+    hotspots, not as the throughput numbers the unprofiled run reports.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args)
+    stats = pstats.Stats(profiler, stream=stream if stream is not None else sys.stdout)
+    stats.sort_stats("cumulative").print_stats(top)
+    return result
+
+
 def _resolve_processes(processes: Optional[int], num_points: int) -> int:
     if processes is None:
         env = os.environ.get(PROCESSES_ENV, "").strip()
@@ -129,6 +151,7 @@ def run_sweep(
     axes_or_params: "Mapping[str, Sequence[Any]] | Sequence[Mapping[str, Any]]",
     base_seed: int = 0,
     processes: Optional[int] = None,
+    profile: bool = False,
 ) -> List[Any]:
     """Run ``fn`` over every grid point; results merge in grid order.
 
@@ -138,9 +161,18 @@ def run_sweep(
     where it is unavailable the sweep silently degrades to serial, which
     produces byte-identical results anyway (that equivalence is pinned
     by ``tests/bench/test_sweep.py``).
+
+    ``profile=True`` forces a serial run and wraps the *first* point in
+    :func:`profile_point` (top-25 cumulative table on stdout); results
+    are unchanged since every point is deterministic.
     """
     points = sweep_points(axes_or_params, base_seed=base_seed)
     jobs = [(fn, p) for p in points]
+    if profile:
+        return [
+            profile_point(_run_point, job) if i == 0 else _run_point(job)
+            for i, job in enumerate(jobs)
+        ]
     nproc = _resolve_processes(processes, len(points))
     if nproc > 1:
         try:

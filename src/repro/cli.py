@@ -206,7 +206,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 config = ServeConfig(policy=policy, max_batch=args.max_batch,
                                      window=args.window,
                                      cache_policy=args.cache_policy)
-                report = serve(platform, library, requests, config)
+                if getattr(args, "profile", False) and not results:
+                    from repro.bench.sweep import profile_point
+
+                    report = profile_point(serve, platform, library,
+                                           requests, config)
+                else:
+                    report = serve(platform, library, requests, config)
             except ValueError as exc:
                 print(exc, file=sys.stderr)
                 return 2
@@ -277,8 +283,14 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
                     faults=args.inject_fault, deadline_s=args.deadline,
                     cache_policy=args.cache_policy,
                 )
-                report = serve(platforms[args.platform], library, requests,
-                               config)
+                if getattr(args, "profile", False) and not results:
+                    from repro.bench.sweep import profile_point
+
+                    report = profile_point(serve, platforms[args.platform],
+                                           library, requests, config)
+                else:
+                    report = serve(platforms[args.platform], library, requests,
+                                   config)
             except ValueError as exc:
                 print(exc, file=sys.stderr)
                 return 2
@@ -674,6 +686,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve_p = sub.add_parser("serve-bench", parents=[serving_parent()],
                              help="throughput serving engine benchmark")
+    serve_p.add_argument("--profile", action="store_true",
+                         help="cProfile the first benchmark point and print "
+                              "the top-25 cumulative-time table")
     serve_p.set_defaults(fn=_cmd_serve_bench, platform="all", policy="all",
                          experts=100)
 
@@ -686,6 +701,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help=argparse.SUPPRESS)  # legacy alias of --policy
     cluster_p.add_argument("--no-replication", action="store_true",
                            help="disable online hot-expert replication")
+    cluster_p.add_argument("--profile", action="store_true",
+                           help="cProfile the first benchmark point and print "
+                                "the top-25 cumulative-time table")
     cluster_p.set_defaults(fn=_cmd_cluster_bench, cluster_policy="all",
                            num_nodes="1,2,4,8")
 

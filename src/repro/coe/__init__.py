@@ -7,7 +7,14 @@ from repro.coe.expert import (
     build_heterogeneous_library,
     build_samba_coe_library,
 )
-from repro.coe.metrics import ServingMetrics, compute_metrics, metrics_of
+from repro.coe.metrics import (
+    LatencySummary,
+    ServingMetrics,
+    compute_metrics,
+    metrics_of,
+    summarize_latencies,
+)
+from repro.coe.columnar import CompletedLog
 from repro.coe.router import Router, RoutingDecision, embed_text
 from repro.coe.scheduling import (
     ExpertPredictor,
@@ -23,6 +30,7 @@ from repro.coe.scheduling import (
 from repro.coe.engine import (
     POLICIES,
     CompletedRequest,
+    EngineReentryError,
     EngineReport,
     EngineRequest,
     ServingEngine,
@@ -52,6 +60,7 @@ from repro.coe.cache import (
 from repro.coe.policies import (
     CachePolicyName,
     ClusterPolicy,
+    DrainMode,
     NodePolicy,
     PolicyEnum,
     ServeMode,
@@ -87,10 +96,12 @@ __all__ = [
     "affinity_schedule", "fifo_schedule", "serve_schedule",
     "serve_with_prefetch", "ServingMetrics", "compute_metrics", "metrics_of",
     "RequestGroup", "coalesce_groups", "POLICIES", "CompletedRequest",
-    "EngineReport", "EngineRequest", "ServingEngine", "compare_policies",
+    "CompletedLog", "LatencySummary", "summarize_latencies",
+    "EngineReentryError", "EngineReport", "EngineRequest", "ServingEngine",
+    "compare_policies",
     "zipf_request_stream", "CLUSTER_POLICIES", "ClusterEngine",
     "ClusterReport", "NodeSummary", "cluster_lanes", "run_cluster",
-    "scaling_sweep", "ClusterPolicy", "NodePolicy", "PolicyEnum",
+    "scaling_sweep", "ClusterPolicy", "DrainMode", "NodePolicy", "PolicyEnum",
     "CACHE_POLICIES", "BeladyPolicy", "CachePolicy", "CachePolicyName",
     "GDSFPolicy", "LFUPolicy", "LRUPolicy", "PredictivePolicy",
     "make_policy",

@@ -28,7 +28,9 @@ the eviction decision a policy object so those signals can compete:
 
 A policy only *ranks* victims; the runtime owns residency, byte
 accounting, and stats. The contract (see :class:`CachePolicy`): the
-runtime reports every activation via :meth:`~CachePolicy.on_access`,
+runtime reports every activation via :meth:`~CachePolicy.on_access` —
+or, for a columnar run of demand hits, in bulk via the order-equivalent
+:meth:`~CachePolicy.on_access_run` —
 successful insertions via :meth:`~CachePolicy.on_insert`, evictions via
 :meth:`~CachePolicy.on_evict`, and asks :meth:`~CachePolicy.eviction_order`
 for the full victim preference when it must free space. All policies are
@@ -39,6 +41,7 @@ hash or wall-clock order.
 from __future__ import annotations
 
 from bisect import bisect_left
+from collections import Counter
 from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.coe.expert import ExpertProfile
@@ -76,6 +79,27 @@ class CachePolicy:
         """Every ``activate`` call, demand and speculative, hit or miss."""
         self._seq += 1
         self._last_access[expert.name] = self._seq
+
+    def on_access_run(self, experts: Sequence[ExpertProfile]) -> None:
+        """Bulk ``on_access(expert, hit=True)`` for a run of demand hits.
+
+        The columnar drain's batch path: valid **only** for a stretch of
+        demand accesses that are all hits (no eviction decision can fall
+        between them, so no intermediate state is ever observed — the
+        run-segmentation invariant of :mod:`repro.coe.columnar`). Must
+        leave the policy in exactly the state the equivalent scalar call
+        sequence would; subclasses that override :meth:`on_access` must
+        override this too (order-equivalence is pinned per policy in
+        ``tests/coe/test_columnar.py``).
+
+        The base form assigns consecutive sequence numbers in run order;
+        on duplicate names ``dict.update`` keeps the last pair, exactly
+        as repeated scalar assignments would.
+        """
+        seq = self._seq
+        names = [e.name for e in experts]
+        self._last_access.update(zip(names, range(seq + 1, seq + len(names) + 1)))
+        self._seq = seq + len(names)
 
     def on_insert(self, expert: ExpertProfile) -> None:
         """The expert became resident (its copy succeeded)."""
@@ -138,6 +162,16 @@ class LFUPolicy(CachePolicy):
         if not speculative:
             self._freq[expert.name] = self._freq.get(expert.name, 0) + 1
 
+    def on_access_run(self, experts: Sequence[ExpertProfile]) -> None:
+        # Demand hits only (the run contract): every access counts.
+        # Summing each name's occurrences lands on the same final
+        # frequencies as n scalar increments; the intermediates are
+        # unobservable inside a hit run (no eviction_order call).
+        super().on_access_run(experts)
+        freq = self._freq
+        for name, count in Counter(e.name for e in experts).items():
+            freq[name] = freq.get(name, 0) + count
+
     def eviction_order(self, resident: Mapping[str, ExpertProfile]) -> List[str]:
         return sorted(
             resident,
@@ -184,6 +218,22 @@ class GDSFPolicy(CachePolicy):
         super().on_access(expert, hit, speculative=speculative)
         if not speculative:
             self._freq[expert.name] = self._freq.get(expert.name, 0) + 1
+            self._reprice(expert)
+
+    def on_access_run(self, experts: Sequence[ExpertProfile]) -> None:
+        # Frequencies bulk-sum like LFU; repricing once per distinct
+        # expert with its *final* run frequency writes the same priority
+        # the last scalar _reprice of the run would (the formula reads
+        # only the current frequency, inflation never moves on a hit,
+        # and intermediate priorities are unobservable inside a run).
+        super().on_access_run(experts)
+        freq = self._freq
+        distinct: Dict[str, ExpertProfile] = {}
+        for expert in experts:
+            distinct[expert.name] = expert
+        for name, count in Counter(e.name for e in experts).items():
+            freq[name] = freq.get(name, 0) + count
+        for expert in distinct.values():
             self._reprice(expert)
 
     def on_insert(self, expert: ExpertProfile) -> None:
@@ -282,6 +332,12 @@ class BeladyPolicy(CachePolicy):
         super().on_access(expert, hit, speculative=speculative)
         if not speculative:
             self._cursor += 1
+
+    def on_access_run(self, experts: Sequence[ExpertProfile]) -> None:
+        # A run is all demand accesses: the replay cursor advances once
+        # per access, exactly as the scalar path would step it.
+        super().on_access_run(experts)
+        self._cursor += len(experts)
 
     def _next_use(self, name: str) -> int:
         positions = self._positions.get(name)

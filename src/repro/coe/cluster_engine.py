@@ -71,19 +71,21 @@ from typing import (
 )
 
 from repro.coe.cache import CachePolicy, CachePolicyLike
+from repro.coe.columnar import latency_values, token_total
 from repro.coe.decisions import DecisionLog
 from repro.coe.dispatch import admission_eta, choose_node, deadline_admits
 from repro.coe.engine import (
     DRAIN_EVENT_KIND,
     CompletedRequest,
+    EngineReentryError,
     EngineRequest,
     ServingEngine,
     _run_drain_batch,
     zipf_request_stream,
 )
 from repro.coe.expert import ExpertLibrary, ExpertProfile
-from repro.coe.metrics import percentile
-from repro.coe.policies import ClusterPolicy, NodePolicy
+from repro.coe.metrics import summarize_latencies
+from repro.coe.policies import ClusterPolicy, DrainMode, NodePolicy
 from repro.coe.scheduling import RequestGroup, affinity_schedule, coalesce_groups
 from repro.obs import Timeline
 from repro.sim.engine import Simulator
@@ -302,6 +304,7 @@ class ClusterEngine:
         event_batching: bool = True,
         record_timeline: bool = True,
         decision_log: Optional[DecisionLog] = None,
+        drain_mode: "Union[str, DrainMode, None]" = None,
     ) -> None:
         self.policy = ClusterPolicy.coerce(policy).value
         self.node_policy = NodePolicy.coerce(node_policy).value
@@ -340,21 +343,33 @@ class ClusterEngine:
         self.sim = Simulator(timeline=self.timeline)
         self.sim.set_batch_handler(DRAIN_EVENT_KIND, _run_drain_batch)
         self.faults = _coerce_faults(faults)
+        #: Requested drain mode: an explicit ``drain_mode`` wins, else
+        #: the legacy ``event_batching`` flag maps True -> columnar and
+        #: False -> reference (see :class:`DrainMode`).
+        if drain_mode is None:
+            requested = (
+                DrainMode.COLUMNAR if event_batching else DrainMode.REFERENCE
+            )
+        else:
+            requested = DrainMode.coerce(drain_mode)
         #: Whole-queue drains are only equivalent when nothing can
         #: interleave with a node's queue mid-run: the steal policy's
         #: hooks and every fault path (crash/slow/copy-fault events land
         #: between a node's begin/finish events) force event-by-event.
-        self.event_batching = (
-            event_batching and self.policy != "steal" and not self.faults
-        )
-        #: The fast-path feature set follows the *requested* flag, not the
-        #: policy/fault-gated one: incremental admission backlog and bulk
-        #: phase precompute are bitwise-identical to the reference math,
-        #: so they stay on for steal/fault runs too. Only an explicit
-        #: ``event_batching=False`` (the seed-equivalent reference
-        #: configuration the equivalence tests and perf benchmarks
+        if self.policy == "steal" or self.faults:
+            effective = DrainMode.REFERENCE
+        else:
+            effective = requested
+        self.drain_mode = effective.value
+        self.event_batching = effective is not DrainMode.REFERENCE
+        #: The fast-path feature set follows the *requested* mode, not
+        #: the policy/fault-gated one: incremental admission backlog and
+        #: bulk phase precompute are bitwise-identical to the reference
+        #: math, so they stay on for steal/fault runs too. Only an
+        #: explicitly requested reference configuration (the
+        #: seed-equivalent one the equivalence tests and perf benchmarks
         #: compare against) reverts admission to fresh per-route sums.
-        self._fast_admission = bool(event_batching)
+        self._fast_admission = requested is not DrainMode.REFERENCE
         #: During admission (before the clock runs) each engine's backlog
         #: is the running sum of what was submitted to it; this tracker
         #: keeps that sum incrementally — bitwise-identical to the fresh
@@ -367,6 +382,11 @@ class ClusterEngine:
         #: ``"admission"`` stream, each node runtime's cache decisions on
         #: its own ``"nodeN"`` stream (attached below).
         self._decisions = decision_log
+        #: One-shot guard for :meth:`serve` (see EngineReentryError):
+        #: node caches, ``_drained_until`` markers and the shared
+        #: simulator's event count all survive a serve, so a second call
+        #: would fold a prior run's makespan and events into its report.
+        self._served = False
         self.steals = 0
         self.replications = 0
         self.promotions = 0
@@ -394,7 +414,7 @@ class ClusterEngine:
                 simulator=self.sim,
                 lane_prefix=f"node{idx}/",
                 cache_policy=cache_policy,
-                event_batching=self.event_batching,
+                drain_mode=self.drain_mode,
                 decision_log=decision_log,
             )
             node = _Node(
@@ -733,7 +753,22 @@ class ClusterEngine:
 
     # ------------------------------------------------------------------
     def serve(self, requests: Sequence[EngineRequest]) -> ClusterReport:
-        """Drain the whole backlog across the cluster; one shared clock."""
+        """Drain the whole backlog across the cluster; one shared clock.
+
+        Single-use, like :meth:`ServingEngine.run`: a second call raises
+        :class:`EngineReentryError` — node cache/predictor state, each
+        engine's ``_drained_until`` and the shared simulator's event
+        count persist, so a reused cluster would leak a prior run's
+        makespan into ``max(sim.run(), drained_until)`` and double-count
+        events. Construct a fresh :class:`ClusterEngine` per run.
+        """
+        if self._served:
+            raise EngineReentryError(
+                "this ClusterEngine already served a backlog; node caches, "
+                "drained-until markers and the shared simulator's event "
+                "count persist — construct a fresh ClusterEngine per run"
+            )
+        self._served = True
         if not requests:
             raise ValueError("empty request backlog")
         if self.faults:
@@ -799,9 +834,13 @@ class ClusterEngine:
             makespan = max([work_end] + self._recovery_ends)
         else:
             makespan = end_clock
-        latencies = sorted(
-            c.latency_s for n in self.nodes for c in n.engine.completed
-        )
+        # Columnar nodes aggregate straight off their completion
+        # columns; list-backed nodes take the scalar path. The summary
+        # sorts the pooled sample once for both quantiles.
+        latencies: List[float] = []
+        for n in self.nodes:
+            latencies.extend(latency_values(n.engine.completed))
+        latency_summary = summarize_latencies(latencies)
         crashed = [n for n in self.nodes if not n.alive]
         alive_time = sum(
             min(n.crashed_at, makespan) if n.crashed_at is not None
@@ -819,7 +858,7 @@ class ClusterEngine:
         )
         summaries = []
         for node in self.nodes:
-            tokens = sum(c.output_tokens for c in node.engine.completed)
+            tokens = token_total(node.engine.completed)
             summaries.append(
                 NodeSummary(
                     name=node.name,
@@ -868,8 +907,8 @@ class ClusterEngine:
             redispatched_groups=self.redispatches,
             availability=(alive_time / total_time if total_time > 0 else 1.0),
             recovery_s=recovery_s,
-            p50_s=percentile(latencies, 50) if latencies else 0.0,
-            p99_s=percentile(latencies, 99) if latencies else 0.0,
+            p50_s=latency_summary.p50_s,
+            p99_s=latency_summary.p99_s,
             fault_specs=tuple(self.faults.specs()),
             deadline_s=self.deadline_s,
             nodes=tuple(summaries),
@@ -904,6 +943,7 @@ def run_cluster(
     cache_policy: CachePolicyLike = None,
     event_batching: bool = True,
     record_timeline: bool = True,
+    drain_mode: "Union[str, DrainMode, None]" = None,
 ) -> ClusterReport:
     """One cluster run over a fresh engine (fresh timeline, fresh clock)."""
     engine = ClusterEngine(
@@ -921,6 +961,7 @@ def run_cluster(
         cache_policy=cache_policy,
         event_batching=event_batching,
         record_timeline=record_timeline,
+        drain_mode=drain_mode,
     )
     return engine.serve(requests)
 

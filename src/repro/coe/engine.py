@@ -51,14 +51,20 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
-    Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple,
+    Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union,
 )
 
 from repro.coe.cache import CachePolicyLike, PredictivePolicy
+from repro.coe.columnar import (
+    CompletedLog,
+    drain as _columnar_drain,
+    latency_values,
+    lower_queue,
+)
 from repro.coe.decisions import DecisionLog
 from repro.coe.expert import ExpertLibrary, ExpertProfile
-from repro.coe.metrics import percentile
-from repro.coe.policies import NodePolicy
+from repro.coe.metrics import summarize_latencies
+from repro.coe.policies import DrainMode, NodePolicy
 from repro.coe.scheduling import (
     ExpertPredictor,
     RequestGroup,
@@ -79,6 +85,20 @@ POLICIES = NodePolicy.values()
 #: simulator use the same tag, so back-to-back drains (e.g. every node's
 #: t=0 drain in a cluster) merge into a single batched handler call.
 DRAIN_EVENT_KIND = "coe-drain"
+
+
+class EngineReentryError(RuntimeError):
+    """A single-use engine was run a second time.
+
+    :meth:`ServingEngine.run` (and :meth:`ClusterEngine.serve`) rebinds
+    the simulator and resets the *queue* state, but the expert cache,
+    its policy bookkeeping, the predictor's transition counts and the
+    runtime stats all deliberately survive — so a second run on the
+    same instance would start warm and report numbers no fresh run can
+    reproduce (and before this guard, a stale ``_drained_until`` could
+    leak a prior run's makespan into ``max(sim.run(), _drained_until)``).
+    Construct a fresh engine per run instead.
+    """
 
 
 def group_phase_times(
@@ -253,6 +273,7 @@ class ServingEngine:
         event_batching: bool = True,
         record_timeline: bool = True,
         decision_log: Optional[DecisionLog] = None,
+        drain_mode: "Union[str, DrainMode, None]" = None,
     ) -> None:
         if max_batch < 1 or window < 1:
             raise ValueError("max_batch and window must be >= 1")
@@ -260,13 +281,24 @@ class ServingEngine:
         self.max_batch = max_batch
         self.window = window
         self.lane_prefix = lane_prefix
+        #: How queued groups execute (:class:`DrainMode`) — all modes
+        #: byte-identical, see docs/PERFORMANCE.md. An explicit
+        #: ``drain_mode`` wins; otherwise the legacy ``event_batching``
+        #: flag maps True -> columnar (the full fast path) and
+        #: False -> reference, preserving every existing call site's
+        #: meaning of "fast" and "event-by-event seed-equivalent".
+        if drain_mode is None:
+            mode = DrainMode.COLUMNAR if event_batching else DrainMode.REFERENCE
+        else:
+            mode = DrainMode.coerce(drain_mode)
+        self.drain_mode = mode.value
         #: Fast path: drain the whole queue in one simulator event with a
         #: local clock instead of one begin/finish event pair per group.
         #: Equivalent by construction (same state mutations, same order,
         #: same timestamps — see docs/PERFORMANCE.md) and automatically
         #: suppressed whenever an external party could interleave with
         #: the queue mid-run (cluster steal hooks, fault injection).
-        self.event_batching = event_batching
+        self.event_batching = mode is not DrainMode.REFERENCE
         #: ``False`` skips building a span timeline in :meth:`run` — the
         #: report's timeline-derived switch stats then read 0.0.
         self.record_timeline = record_timeline
@@ -301,6 +333,11 @@ class ServingEngine:
             Callable[["ServingEngine", RequestGroup], None]
         ] = None
         self._sim: Optional[EventSource] = None
+        #: One-shot guard for :meth:`run` (see EngineReentryError): the
+        #: runtime cache, policy bookkeeping and predictor survive a
+        #: rebind by design, so a reused engine cannot reproduce a fresh
+        #: run's numbers.
+        self._ran = False
         self._reset_run_state()
         if simulator is not None:
             self.bind(simulator)
@@ -333,7 +370,16 @@ class ServingEngine:
         self._groups_started = 0
         self.groups_done = 0
         self.speculative_prefetches = 0
-        self.completed: List[CompletedRequest] = []
+        #: Completion store. Columnar mode uses a :class:`CompletedLog`
+        #: so vectorized runs append whole column blocks; its bound
+        #: ``append`` keeps the scalar paths (decision points, the
+        #: batched fallback) as cheap as appending to the plain list the
+        #: other modes keep. Either way consumers see per-request
+        #: :class:`CompletedRequest` records in completion order.
+        self.completed: "Union[List[CompletedRequest], CompletedLog]" = (
+            CompletedLog() if self.drain_mode == DrainMode.COLUMNAR.value
+            else []
+        )
         #: Fail-stop flag: a halted engine ignores every already-scheduled
         #: simulator callback (crash semantics — see ``halt``).
         self._halted = False
@@ -686,7 +732,7 @@ class ServingEngine:
             # machinery.
             sim.schedule_at(
                 start_at,
-                lambda: self._drain_batched(start_at),
+                lambda: self._drain_queue(start_at),
                 kind=DRAIN_EVENT_KIND,
             )
         else:
@@ -830,6 +876,54 @@ class ServingEngine:
         else:
             self._notify_idle()
 
+    def _drain_queue(self, start_at: float) -> None:
+        """One whole-queue drain event: pick the fastest equivalent path.
+
+        ``columnar`` mode vectorizes the drain whenever no per-group
+        Python decision is inherent to the configuration; otherwise —
+        the speculative ``overlap`` policy (a prefetch decision per
+        group) or a span-traced run (a timeline record per phase) — it
+        falls back to the batched loop *for this drain*. Both paths are
+        byte-identical in every simulated output, so the fallback is a
+        pure implementation choice, invisible in reports.
+        """
+        if (self.drain_mode == "columnar" and self.policy != "overlap"
+                and self._sim.timeline is None):
+            self._drain_columnar(start_at)
+        else:
+            self._drain_batched(start_at)
+
+    def _drain_columnar(self, start_at: float) -> None:
+        """Drain the whole queue through the columnar (SoA) core.
+
+        Lowers the queue to parallel arrays and hands them to
+        :func:`repro.coe.columnar.drain`, which timestamps maximal
+        resident-hit runs with one cumsum each and replays the batched
+        loop's scalar code at cache-decision points. Event crediting and
+        end-of-drain bookkeeping mirror :meth:`_drain_batched`: two
+        logical events per group (begin + finish; no overlap prefetch
+        exists on this path by construction), the drain event itself
+        already counted by the simulator.
+        """
+        if self._halted:
+            return
+        self._begin_scheduled = False
+        if self._busy:
+            return
+        if not self._queue:
+            self._notify_idle()
+            return
+        groups = list(self._queue)
+        self._queue.clear()
+        cols = lower_queue(self, groups)
+        end = _columnar_drain(self, cols, start_at)
+        n = len(groups)
+        self._groups_started += n
+        self.groups_done += n
+        self._drained_until = max(self._drained_until, end)
+        self._sim.count_events(max(0, 2 * n - 1))
+        self._notify_idle()
+
     def _drain_batched(self, start_at: float) -> None:
         """Drain the whole queue in one simulator event on a local clock.
 
@@ -939,7 +1033,20 @@ class ServingEngine:
 
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[EngineRequest]) -> EngineReport:
-        """Serve a whole backlog on a private clock; returns the report."""
+        """Serve a whole backlog on a private clock; returns the report.
+
+        Engines are single-use: a second :meth:`run` raises
+        :class:`EngineReentryError` (cache/predictor/stats state
+        survives the rebind, so a reused engine starts warm and cannot
+        reproduce a fresh run). Construct a new engine per run.
+        """
+        if self._ran:
+            raise EngineReentryError(
+                "this ServingEngine already ran; cache, predictor and "
+                "stats state persists across rebinds — construct a fresh "
+                "engine per run"
+            )
+        self._ran = True
         if not requests:
             raise ValueError("empty request backlog")
         groups = coalesce_groups(self._order(requests), self.max_batch)
@@ -954,8 +1061,9 @@ class ServingEngine:
             makespan = max(sim.run(), self._drained_until)
             self.flush_speculation(makespan)
             # A halted engine can finish with zero completions; the
-            # report must still aggregate instead of dividing by zero.
-            latencies = [c.latency_s for c in self.completed]
+            # summary handles the empty sample (zeros, no div-by-zero).
+            latencies = latency_values(self.completed)
+            summary = summarize_latencies(latencies)
             report = EngineReport(
                 policy=self.policy,
                 platform=self.server.platform.name,
@@ -969,11 +1077,10 @@ class ServingEngine:
                     self.lane("switch"), self.lane("compute")
                 ) if timeline is not None else 0.0),
                 speculative_prefetches=self.speculative_prefetches,
-                p50_s=percentile(latencies, 50) if latencies else 0.0,
-                p95_s=percentile(latencies, 95) if latencies else 0.0,
-                p99_s=percentile(latencies, 99) if latencies else 0.0,
-                mean_s=(sum(latencies) / len(latencies)) if latencies
-                       else 0.0,
+                p50_s=summary.p50_s,
+                p95_s=summary.p95_s,
+                p99_s=summary.p99_s,
+                mean_s=summary.mean_s,
                 events_run=sim.events_run,
                 cache_policy=self.cache_policy,
                 demand_hit_rate=self.server.runtime.stats.hit_rate,

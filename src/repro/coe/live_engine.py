@@ -54,7 +54,7 @@ from repro.coe.engine import (
     group_phase_times,
 )
 from repro.coe.expert import ExpertLibrary
-from repro.coe.metrics import percentile
+from repro.coe.metrics import summarize_latencies
 from repro.coe.scheduling import ExpertPredictor, GroupAssembler, RequestGroup
 from repro.coe.serving import ExpertServer
 from repro.obs import Timeline
@@ -536,7 +536,9 @@ class LiveEngine:
                 f"live engine lost requests: {len(completed)} completed + "
                 f"{len(self.shed)} shed of {len(requests)} submitted"
             )
-        latencies = sorted(c.latency_s for c in completed)
+        # sorted first so mean_s accumulates in the same order as before the
+        # summarize_latencies migration (fp addition is order-sensitive)
+        latency_summary = summarize_latencies(sorted(c.latency_s for c in completed))
         hits = sum(n.server.runtime.stats.hits for n in self.nodes)
         demand = sum(n.server.runtime.stats.requests for n in self.nodes)
         shed_deadline = sum(1 for s in self.shed if s.reason == "deadline")
@@ -555,10 +557,10 @@ class LiveEngine:
             makespan_s=makespan,
             wall_s=wall_s,
             time_scale=self.time_scale,
-            p50_s=percentile(latencies, 50) if latencies else 0.0,
-            p95_s=percentile(latencies, 95) if latencies else 0.0,
-            p99_s=percentile(latencies, 99) if latencies else 0.0,
-            mean_s=(sum(latencies) / len(latencies)) if latencies else 0.0,
+            p50_s=latency_summary.p50_s,
+            p95_s=latency_summary.p95_s,
+            p99_s=latency_summary.p99_s,
+            mean_s=latency_summary.mean_s,
             drained=drained,
             demand_hit_rate=(hits / demand if demand else 0.0),
             completed=tuple(completed),

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, NamedTuple, Sequence
 
 from repro.coe.serving import RequestLatency, ServeResult
 
@@ -29,6 +29,40 @@ def percentile(values: Sequence[float], q: float) -> float:
         return ordered[0]
     rank = math.ceil(q / 100.0 * len(ordered))
     return ordered[rank - 1]
+
+
+class LatencySummary(NamedTuple):
+    """The p50/p95/p99/mean block every serving report carries."""
+
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    mean_s: float
+
+
+def summarize_latencies(values: Sequence[float]) -> LatencySummary:
+    """One-sort p50/p95/p99/mean of a latency sample.
+
+    The shared aggregation behind ``EngineReport``, ``ClusterReport``
+    and ``LiveReport``: the sample is sorted **once** and each quantile
+    is a nearest-rank index into that order — value-identical to three
+    separate :func:`percentile` calls (which re-sort per quantile; that
+    scalar form stays as the tested oracle). The mean is computed over
+    ``values`` exactly as passed, so a caller that fed ``sum()`` an
+    unsorted completion-order list before keeps the bitwise-identical
+    float. An empty sample summarizes to zeros (a halted engine can
+    finish with no completions; reports must not divide by zero).
+    """
+    if not values:
+        return LatencySummary(0.0, 0.0, 0.0, 0.0)
+    ordered = sorted(values)
+    n = len(ordered)
+    return LatencySummary(
+        p50_s=ordered[math.ceil(0.50 * n) - 1],
+        p95_s=ordered[math.ceil(0.95 * n) - 1],
+        p99_s=ordered[math.ceil(0.99 * n) - 1],
+        mean_s=sum(values) / n,
+    )
 
 
 @dataclass(frozen=True)

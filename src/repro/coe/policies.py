@@ -84,6 +84,32 @@ class ServeMode(PolicyEnum):
     LIVE = "live"
 
 
+class DrainMode(PolicyEnum):
+    """How a :class:`ServingEngine` executes its queued groups.
+
+    All three modes are byte-identical in every simulated output (the
+    equivalence grid in ``tests/coe/test_batched_equivalence.py`` pins
+    it); they differ only in how much Python runs per group:
+
+    - ``REFERENCE`` — one begin/finish simulator event pair per group,
+      the seed-equivalent event-by-event execution.
+    - ``BATCHED`` — the PR 6 fast path: the whole queue drains in one
+      simulator event on a local clock, one Python loop iteration per
+      group.
+    - ``COLUMNAR`` — the default: the queue is lowered to parallel
+      arrays (:mod:`repro.coe.columnar`) and maximal runs of resident-
+      expert groups are timestamped with one ``numpy`` cumsum instead of
+      a Python iteration each; only cache-decision points drop back to
+      Python. Falls back to ``BATCHED`` per drain whenever per-group
+      Python decisions are inherent (the speculative ``overlap`` policy,
+      span-traced runs) — see docs/PERFORMANCE.md.
+    """
+
+    REFERENCE = "reference"
+    BATCHED = "batched"
+    COLUMNAR = "columnar"
+
+
 class CachePolicyName(PolicyEnum):
     """HBM expert-cache eviction policy of :class:`CoERuntime`.
 
@@ -101,6 +127,6 @@ class CachePolicyName(PolicyEnum):
 
 
 __all__ = [
-    "CachePolicyName", "ClusterPolicy", "NodePolicy", "PolicyEnum",
-    "ServeMode",
+    "CachePolicyName", "ClusterPolicy", "DrainMode", "NodePolicy",
+    "PolicyEnum", "ServeMode",
 ]

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, NamedTuple, Optional
+from typing import Callable, Dict, List, Mapping, NamedTuple, Optional, Sequence
 
 from repro.coe.cache import CachePolicy, CachePolicyLike, make_policy
 from repro.coe.decisions import DecisionLog
@@ -202,6 +202,17 @@ class CoERuntime:
     def resident_experts(self) -> List[str]:
         return list(self._resident)
 
+    @property
+    def resident_map(self) -> Mapping[str, ExpertProfile]:
+        """The resident experts, name-keyed, recency-ordered (LRU first).
+
+        A live read-only view over the runtime's own mapping — the
+        columnar drain's run scanner does one membership probe per
+        group, and going through :meth:`is_resident` would put a Python
+        call back on the hottest loop. Callers must not mutate it.
+        """
+        return self._resident
+
     def is_resident(self, expert: ExpertProfile) -> bool:
         return expert.name in self._resident
 
@@ -349,6 +360,53 @@ class CoERuntime:
             evicted_why=evicted_why,
             speculative=speculative,
         )
+
+    def touch_run(self, experts: Sequence[ExpertProfile]) -> None:
+        """Bulk demand-hit path: ``activate`` a run of resident experts.
+
+        The columnar drain's batch form of n consecutive hit
+        ``activate`` calls (:mod:`repro.coe.columnar`); every expert
+        **must** be resident — a run, by construction, contains no miss,
+        so no eviction decision and no byte movement can occur, and the
+        final runtime/policy state is exactly what the scalar sequence
+        would leave: stats count every access, the demand trace extends
+        in order, :meth:`CachePolicy.on_access_run` applies the policy
+        bookkeeping, and recency ordering moves each *distinct* name to
+        the back in last-occurrence order (earlier moves of a repeated
+        name are overwritten by its last one, so only that one matters).
+        Demand decisions are still recorded one per access — the
+        decision stream is the sim/live cross-check's evidence and must
+        stay record-for-record identical.
+        """
+        resident = self._resident
+        names = [e.name for e in experts]
+        if not all(map(resident.__contains__, names)):
+            missing = [n for n in names if n not in resident]
+            raise ValueError(
+                f"touch_run requires resident experts; missing {missing!r}"
+            )
+        n = len(names)
+        self.stats.requests += n
+        self.stats.hits += n
+        self.demand_trace.extend(names)
+        self.policy.on_access_run(experts)
+        if n == 1:
+            resident.move_to_end(names[0])
+        else:
+            seen = set()
+            add = seen.add
+            distinct_rev = [
+                name for name in reversed(names)
+                if not (name in seen or add(name))
+            ]
+            move = resident.move_to_end
+            for name in reversed(distinct_rev):
+                move(name)
+        if self._decisions is not None:
+            record = self._decisions.record
+            stream = self._decision_stream
+            for name in names:
+                record(stream, "cache", name, "hit")
 
     def flush(self) -> None:
         """Evict everything (between experiments)."""

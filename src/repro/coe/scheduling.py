@@ -291,6 +291,40 @@ class ExpertPredictor:
             transitions[expert.name] += 1
         self._prev = expert.name
 
+    def observe_run(self, experts: Sequence[ExpertProfile]) -> None:
+        """Bulk :meth:`observe` of a run of consecutive routing decisions.
+
+        The columnar drain's batch path: leaves the predictor in exactly
+        the state n scalar ``observe`` calls would (counts summed per
+        name, ``last_seen`` at each name's final clock tick, transition
+        pairs — including the edge from the previous run's tail —
+        counted in bulk). Nothing reads predictor state mid-run by
+        construction (rankings are only consulted at prefetch/eviction
+        decision points, which end a run), so the intermediate states a
+        scalar sequence would pass through are unobservable.
+        """
+        if not experts:
+            return
+        names = [e.name for e in experts]
+        clock = self._clock
+        self._last_seen.update(
+            zip(names, range(clock + 1, clock + len(names) + 1))
+        )
+        self._clock = clock + len(names)
+        self._counts.update(names)
+        self._experts.update(zip(names, experts))
+        chain = names if self._prev is None else [self._prev] + names
+        if len(chain) > 1:
+            transitions = self._transitions
+            for (prev, nxt), count in Counter(
+                zip(chain, chain[1:])
+            ).items():
+                bucket = transitions.get(prev)
+                if bucket is None:
+                    bucket = transitions[prev] = Counter()
+                bucket[nxt] += count
+        self._prev = names[-1]
+
     def _iter_ranked_names(self) -> Iterator[str]:
         """Yield expert names most-likely-next first, lazily.
 

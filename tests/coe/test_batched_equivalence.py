@@ -18,10 +18,13 @@ import random
 
 import pytest
 
-from repro.coe.cluster_engine import run_cluster
+from repro.coe.cluster_engine import ClusterEngine, run_cluster
+from repro.coe.decisions import DecisionLog
 from repro.coe.engine import ServingEngine, zipf_request_stream
 from repro.coe.expert import build_samba_coe_library
 from repro.systems.platforms import sn40l_platform
+
+DRAIN_MODES = ("reference", "batched", "columnar")
 
 
 def _timeline_lanes(timeline):
@@ -149,6 +152,108 @@ def test_cluster_untraced_batched_matches_traced_reference_metrics():
     fast_d = {k: v for k, v in fast.to_dict().items() if k not in skip}
     ref_d = {k: v for k, v in reference.to_dict().items() if k not in skip}
     assert fast_d == ref_d
+
+
+@pytest.mark.parametrize("policy", ["fifo", "affinity", "overlap"])
+@pytest.mark.parametrize("cache_policy", ["lru", "lfu", "gdsf"])
+@pytest.mark.parametrize("record", [True, False], ids=["traced", "untraced"])
+def test_engine_three_way_equivalence(policy, cache_policy, record):
+    """reference == batched == columnar, byte for byte.
+
+    Reports, completion records, event counts, timelines, and the cache
+    DecisionLog must all agree. ``traced`` pins the columnar fallback
+    (timelines force the batched drain internally); ``untraced`` with a
+    non-overlap policy exercises the real columnar core.
+    """
+    rng = random.Random(f"threeway:{policy}:{cache_policy}:{record}")
+    library, requests = _random_workload(rng)
+    max_batch = rng.randrange(1, 12)
+    window = rng.randrange(1, 32)
+
+    def run(mode):
+        log = DecisionLog()
+        report = ServingEngine(
+            sn40l_platform(), library, policy=policy,
+            max_batch=max_batch, window=window,
+            cache_policy=cache_policy, drain_mode=mode,
+            record_timeline=record, decision_log=log,
+        ).run(requests)
+        return report, log
+
+    reference, reference_log = run("reference")
+    for mode in ("batched", "columnar"):
+        report, log = run(mode)
+        assert report.to_dict() == reference.to_dict(), mode
+        assert report.completed == reference.completed, mode
+        assert report.events_run == reference.events_run, mode
+        assert _timeline_lanes(report.timeline) == _timeline_lanes(
+            reference.timeline
+        ), mode
+        assert log == reference_log, (mode, log.diff(reference_log))
+
+
+@pytest.mark.parametrize("policy", ["least_loaded", "affinity", "steal"])
+@pytest.mark.parametrize("record", [True, False], ids=["traced", "untraced"])
+def test_cluster_three_way_equivalence(policy, record):
+    """Cluster-level three-way identity, decision log included.
+
+    ``steal`` forces the reference drain internally, so that axis pins
+    the fallback gate; the others exercise batched and columnar drains
+    per node.
+    """
+    rng = random.Random(f"cluster3:{policy}:{record}")
+    library, requests = _random_workload(rng)
+
+    def run(mode):
+        log = DecisionLog()
+        report = ClusterEngine(
+            sn40l_platform, library, num_nodes=3, policy=policy,
+            online_replication=policy == "steal", drain_mode=mode,
+            record_timeline=record, decision_log=log,
+        ).serve(requests)
+        return report, log
+
+    reference, reference_log = run("reference")
+    skip = {"nodes", "timeline", "load_imbalance"}
+    for mode in ("batched", "columnar"):
+        report, log = run(mode)
+        if record:
+            assert report.to_dict() == reference.to_dict(), mode
+            assert _timeline_lanes(report.timeline) == _timeline_lanes(
+                reference.timeline
+            ), mode
+        else:
+            got = {k: v for k, v in report.to_dict().items() if k not in skip}
+            want = {k: v for k, v in reference.to_dict().items()
+                    if k not in skip}
+            assert got == want, mode
+        assert report.events_run == reference.events_run, mode
+        assert log == reference_log, (mode, log.diff(reference_log))
+
+
+def test_randomized_drain_mode_fuzz():
+    """Seeded fuzz over the three-way config space beyond the fixed grid."""
+    rng = random.Random(20260809)
+    for trial in range(6):
+        policy = rng.choice(["fifo", "affinity", "overlap"])
+        cache = rng.choice(["lru", "lfu", "gdsf", "predictive"])
+        record = rng.random() < 0.5
+        library, requests = _random_workload(rng)
+        reports = {}
+        for mode in DRAIN_MODES:
+            reports[mode] = ServingEngine(
+                sn40l_platform(), library, policy=policy, cache_policy=cache,
+                drain_mode=mode, record_timeline=record,
+            ).run(requests)
+        key = (trial, policy, cache, record)
+        for mode in ("batched", "columnar"):
+            assert reports[mode].to_dict() == reports["reference"].to_dict(), (
+                key, mode)
+            assert reports[mode].completed == reports["reference"].completed, (
+                key, mode)
+            assert _timeline_lanes(reports[mode].timeline) == _timeline_lanes(
+                reports["reference"].timeline
+            ), (key, mode)
 
 
 def test_randomized_seeds_sweep():

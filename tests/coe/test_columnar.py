@@ -1,0 +1,321 @@
+"""Unit pins for the columnar drain core's building blocks.
+
+The three-way report identity lives in ``test_batched_equivalence.py``;
+this file pins the individual equivalences the columnar drain is built
+from, so a future regression points at the broken piece rather than at
+"some report byte differs":
+
+- the cumsum timestamp chain is *bitwise* the scalar accumulation loop,
+- ``CompletedLog`` presents exactly the records a plain list would,
+- each cache policy's ``on_access_run`` equals its scalar hit sequence,
+- ``CoERuntime.touch_run`` equals sequential hit ``activate`` calls,
+- ``ExpertPredictor.observe_run`` equals sequential ``observe`` calls,
+- ``summarize_latencies`` equals the scalar ``percentile`` oracle,
+- engines reject re-entry instead of leaking prior run state.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.coe.cache import BeladyPolicy, make_policy
+from repro.coe.cluster_engine import ClusterEngine
+from repro.coe.columnar import CompletedLog, latency_values, token_total
+from repro.coe.decisions import DecisionLog
+from repro.coe.engine import (
+    CompletedRequest,
+    EngineReentryError,
+    ServingEngine,
+    zipf_request_stream,
+)
+from repro.coe.expert import build_samba_coe_library
+from repro.coe.metrics import percentile, summarize_latencies
+from repro.coe.policies import DrainMode
+from repro.coe.runtime import CoERuntime
+from repro.coe.scheduling import ExpertPredictor
+from repro.systems.platforms import sn40l_platform
+
+
+# ---------------------------------------------------------------------------
+# cumsum timestamp chain
+
+
+def test_cumsum_chain_is_bitwise_scalar_accumulation():
+    """The drain's one float trick: seeding np.cumsum with ``now`` and the
+    flattened (compute, stage, overhead) triples reproduces the scalar
+    ``now = ((now + a) + b) + c`` chain *bitwise* — np.cumsum accumulates
+    strictly left to right (pairwise summation applies to np.sum only)."""
+    rng = random.Random(0xC0FFEE)
+    for _ in range(50):
+        m = rng.randrange(1, 40)
+        now = rng.uniform(0.0, 1e4)
+        phases = [
+            (rng.uniform(1e-6, 2.0), rng.uniform(1e-6, 2.0),
+             rng.uniform(1e-9, 0.1))
+            for _ in range(m)
+        ]
+        starts, ends, cursor = [], [], now
+        for a, b, c in phases:
+            starts.append(cursor)
+            cursor = ((cursor + a) + b) + c
+            ends.append(cursor)
+
+        acc = np.empty(3 * m + 1, dtype=np.float64)
+        acc[0] = now
+        acc[1:] = np.asarray(phases, dtype=np.float64).reshape(-1)
+        np.cumsum(acc, out=acc)
+        assert acc[0 : 3 * m : 3].tolist() == starts
+        assert acc[3::3].tolist() == ends
+        assert float(acc[-1]) == cursor
+
+
+# ---------------------------------------------------------------------------
+# CompletedLog
+
+
+def _record(i, expert="e0", batch=1, arrival=0.0, start=1.0, end=2.0, tok=3):
+    return CompletedRequest(i, expert, batch, arrival, start, end, tok)
+
+
+def _block_records(first_id, names_sizes, start0):
+    """Build extend_block arguments plus the equivalent scalar records."""
+    names = [n for n, _ in names_sizes]
+    sizes = [s for _, s in names_sizes]
+    starts, ends, cursor = [], [], start0
+    for _ in names:
+        starts.append(cursor)
+        cursor += 1.5
+        ends.append(cursor)
+    req_ids, arrivals, tokens, records = [], [], [], []
+    rid = first_id
+    for name, size, start, end in zip(names, sizes, starts, ends):
+        for _ in range(size):
+            req_ids.append(rid)
+            arrivals.append(0.25 * rid)
+            tokens.append(rid + 10)
+            records.append(
+                CompletedRequest(rid, name, size, 0.25 * rid, start, end,
+                                 rid + 10))
+            rid += 1
+    columns = (
+        names, np.asarray(sizes, dtype=np.int64),
+        np.asarray(starts), np.asarray(ends),
+        np.asarray(req_ids, dtype=np.int64), np.asarray(arrivals),
+        np.asarray(tokens, dtype=np.int64),
+    )
+    return columns, records
+
+
+def test_completed_log_mixes_scalars_and_blocks_in_order():
+    log = CompletedLog()
+    expected = []
+
+    log.append(_record(0))
+    expected.append(_record(0))
+    columns, records = _block_records(1, [("a", 2), ("b", 1)], start0=2.0)
+    log.extend_block(*columns)
+    expected.extend(records)
+    log.append(_record(4))
+    log.append(_record(5))
+    expected.extend([_record(4), _record(5)])
+    columns, records = _block_records(6, [("c", 3)], start0=9.0)
+    log.extend_block(*columns)
+    expected.extend(records)
+
+    assert len(log) == len(expected)
+    assert list(log) == expected
+    assert log.materialize() == expected
+    assert log[0] == expected[0] and log[-1] == expected[-1]
+
+
+def test_completed_log_block_first_keeps_append_bound():
+    """A block arriving before any scalar record must not orphan the
+    bound ``append`` (the empty-tail insert path)."""
+    log = CompletedLog()
+    columns, records = _block_records(0, [("a", 1), ("b", 2)], start0=0.0)
+    log.extend_block(*columns)
+    log.append(_record(99))
+    assert list(log) == records + [_record(99)]
+
+
+def test_completed_log_materialize_caches_until_grown():
+    log = CompletedLog()
+    log.append(_record(0))
+    first = log.materialize()
+    assert log.materialize() is first
+    log.append(_record(1))
+    second = log.materialize()
+    assert second is not first
+    assert len(second) == 2
+
+
+def test_completed_log_latency_and_tokens_match_scalar():
+    log = CompletedLog()
+    expected = []
+    log.append(_record(0, arrival=0.125, end=7.25, tok=11))
+    expected.append(_record(0, arrival=0.125, end=7.25, tok=11))
+    columns, records = _block_records(1, [("a", 2), ("b", 3)], start0=1.0)
+    log.extend_block(*columns)
+    expected.extend(records)
+
+    want_latencies = [c.latency_s for c in expected]
+    assert log.latency_values() == want_latencies  # bitwise, not approx
+    assert latency_values(log) == want_latencies
+    assert latency_values(expected) == want_latencies
+    assert log.token_total() == sum(c.output_tokens for c in expected)
+    assert token_total(log) == token_total(expected)
+
+
+# ---------------------------------------------------------------------------
+# policy / runtime / predictor batch-equivalence
+
+
+def _hit_run(rng, experts, length):
+    return [rng.choice(experts) for _ in range(length)]
+
+
+def _fresh_runtime(library, cache_policy):
+    budget = sum(e.weight_bytes for e in library.experts) * 2
+    return CoERuntime(budget, lambda b: b * 1e-9, policy=cache_policy)
+
+
+@pytest.mark.parametrize("cache_policy", ["lru", "lfu", "gdsf"])
+def test_touch_run_equals_sequential_hit_activates(cache_policy):
+    rng = random.Random(f"touch:{cache_policy}")
+    library = build_samba_coe_library(12)
+    experts = list(library.experts)
+
+    scalar = _fresh_runtime(library, cache_policy)
+    batched = _fresh_runtime(library, cache_policy)
+    scalar_log, batched_log = DecisionLog(), DecisionLog()
+    scalar.attach_decisions(scalar_log, "node0.cache")
+    batched.attach_decisions(batched_log, "node0.cache")
+    for runtime in (scalar, batched):
+        for expert in experts:
+            runtime.activate(expert)
+
+    for trial in range(20):
+        run = _hit_run(rng, experts, rng.randrange(1, 15))
+        for expert in run:
+            scalar.activate(expert)
+        batched.touch_run(run)
+
+        assert list(scalar.resident_map) == list(batched.resident_map), trial
+        assert scalar.stats == batched.stats, trial
+        assert scalar.demand_trace == batched.demand_trace, trial
+        assert scalar.policy.eviction_order(scalar.resident_map) == \
+            batched.policy.eviction_order(batched.resident_map), trial
+        assert scalar_log == batched_log, batched_log.diff(scalar_log)
+
+
+def test_touch_run_rejects_non_resident_experts():
+    library = build_samba_coe_library(4)
+    runtime = _fresh_runtime(library, "lru")
+    with pytest.raises(ValueError, match="resident"):
+        runtime.touch_run([library.experts[0]])
+
+
+def test_belady_on_access_run_advances_cursor_like_scalar():
+    library = build_samba_coe_library(6)
+    experts = list(library.experts)
+    trace = [e.name for e in experts] * 3
+    scalar, batched = BeladyPolicy(trace), BeladyPolicy(trace)
+    for expert in experts[:4]:
+        scalar.on_access(expert, True)
+    batched.on_access_run(experts[:4])
+    resident = {e.name: e for e in experts}
+    assert scalar.eviction_order(resident) == batched.eviction_order(resident)
+
+
+def test_observe_run_equals_sequential_observe():
+    rng = random.Random("observe")
+    library = build_samba_coe_library(10)
+    experts = list(library.experts)
+    scalar, batched = ExpertPredictor(), ExpertPredictor()
+
+    for trial in range(20):
+        run = _hit_run(rng, experts, rng.randrange(1, 12))
+        for expert in run:
+            scalar.observe(expert)
+        batched.observe_run(run)
+
+        assert scalar._counts == batched._counts, trial
+        assert scalar._last_seen == batched._last_seen, trial
+        assert scalar._transitions == batched._transitions, trial
+        assert scalar._clock == batched._clock, trial
+        assert scalar._prev == batched._prev, trial
+        assert [e.name for e in scalar.candidates()] == \
+            [e.name for e in batched.candidates()], trial
+
+
+def test_observe_run_empty_is_a_noop():
+    predictor = ExpertPredictor()
+    predictor.observe_run([])
+    assert predictor._clock == 0 and predictor._prev is None
+
+
+# ---------------------------------------------------------------------------
+# summarize_latencies
+
+
+def test_summarize_latencies_matches_percentile_oracle():
+    rng = random.Random("summary")
+    for _ in range(30):
+        values = [rng.uniform(0.0, 50.0) for _ in range(rng.randrange(1, 300))]
+        summary = summarize_latencies(values)
+        assert summary.p50_s == percentile(values, 50)
+        assert summary.p95_s == percentile(values, 95)
+        assert summary.p99_s == percentile(values, 99)
+        assert summary.mean_s == sum(values) / len(values)
+
+
+def test_summarize_latencies_empty_is_zero():
+    assert summarize_latencies([]) == (0.0, 0.0, 0.0, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# drain-mode plumbing and re-entry
+
+
+def _small_workload(seed=7):
+    library = build_samba_coe_library(16)
+    requests = zipf_request_stream(library, 40, seed=seed)
+    return library, requests
+
+
+def test_drain_mode_resolution_and_back_compat():
+    library, _ = _small_workload()
+    assert ServingEngine(sn40l_platform(), library).drain_mode == "columnar"
+    assert ServingEngine(
+        sn40l_platform(), library, event_batching=False
+    ).drain_mode == "reference"
+    engine = ServingEngine(
+        sn40l_platform(), library, event_batching=False,
+        drain_mode=DrainMode.BATCHED,
+    )
+    assert engine.drain_mode == "batched"  # explicit mode wins
+    assert engine.event_batching is True
+
+
+def test_drain_mode_rejects_unknown_names():
+    library, _ = _small_workload()
+    with pytest.raises(ValueError):
+        ServingEngine(sn40l_platform(), library, drain_mode="bogus")
+
+
+def test_serving_engine_rejects_reentry():
+    library, requests = _small_workload()
+    engine = ServingEngine(sn40l_platform(), library)
+    engine.run(requests)
+    with pytest.raises(EngineReentryError):
+        engine.run(requests)
+
+
+def test_cluster_engine_rejects_reentry():
+    library, requests = _small_workload()
+    engine = ClusterEngine(sn40l_platform, library, num_nodes=2)
+    engine.serve(requests)
+    with pytest.raises(EngineReentryError):
+        engine.serve(requests)
