@@ -1,0 +1,322 @@
+"""Constrained-memory CoE serving ladder: capacity vs switch cost.
+
+The paper's three-tier SN40L node (Section III) sizes DDR for the whole
+CoE working set; this benchmark asks what happens when it cannot — the
+CoServe scenario (arXiv:2503.02354) of serving a composition from less
+memory than it wants. Two ladders, emitted to ``BENCH_memwall.json`` at
+the repo root through :mod:`repro.bench.sweep`:
+
+1. **HBM ladder** — the HBM expert region swept from 2x the library
+   working set down to 0.1x, for every online cache policy plus the
+   offline Belady bound, under both admission schedulers (``fifo`` and
+   ``expert_reorder``). This charts the memory wall: how fast goodput
+   decays with capacity, and how much of the decay smarter eviction and
+   admission-time reordering buy back.
+2. **DDR ladder** — HBM pinned at 0.25x while DDR shrinks below the
+   working set, pushing the overflow onto the NVMe backing tier; the
+   interesting observable is the multi-hop promotion traffic
+   (``tier_promotions``, ``nvme_bytes_read``) that the
+   :class:`repro.memory.MemoryHierarchy` prices.
+
+Methodology: the node runs the ``fifo`` scheduling policy, so for a
+fixed admission scheduler the demand access sequence is the coalesced
+group order — identical for every cache policy and every capacity,
+which makes the Belady replay (trace recorded under LRU) a valid bound
+per (capacity, scheduler) point and makes LRU's hit rate monotone in
+capacity. Everything is deterministic: the payload is asserted
+byte-identical across two same-seed runs.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the workload for CI smoke runs.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import fmt_ms, print_table
+from repro.bench.sweep import SweepPoint, run_sweep
+from repro.coe.cache import BeladyPolicy
+from repro.coe.engine import ServingEngine, zipf_request_stream
+from repro.coe.expert import build_samba_coe_library
+from repro.systems.platforms import sn40l_platform
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+NUM_EXPERTS = 24 if SMOKE else 40
+NUM_REQUESTS = 160 if SMOKE else 360
+OUTPUT_TOKENS = 20
+ZIPF_ALPHA = 1.1
+SEED = 1234
+MAX_BATCH = 4
+
+#: HBM expert-region budget as a fraction of the library working set,
+#: 2x (everything fits twice over) down to 0.1x (brutal).
+HBM_FRACS = (2.0, 1.0, 0.5, 0.25, 0.1)
+#: DDR ladder: HBM pinned here while DDR shrinks below the working set.
+DDR_HBM_FRAC = 0.25
+DDR_FRACS = (1.0, 0.6, 0.35)
+CACHE_POLICIES_SWEPT = ("lru", "lfu", "gdsf")
+SCHEDULERS_SWEPT = ("fifo", "expert_reorder")
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_memwall.json"
+
+
+def _library():
+    return build_samba_coe_library(NUM_EXPERTS)
+
+
+def _requests(library):
+    return zipf_request_stream(
+        library, NUM_REQUESTS, alpha=ZIPF_ALPHA, seed=SEED,
+        output_tokens=OUTPUT_TOKENS,
+    )
+
+
+def _capacities(library, hbm_frac, ddr_frac=None):
+    """Fraction-of-working-set capacities, floored at one expert."""
+    working_set = sum(e.weight_bytes for e in library.experts)
+    biggest = max(e.weight_bytes for e in library.experts)
+    caps = {"hbm": max(int(hbm_frac * working_set), biggest)}
+    if ddr_frac is not None:
+        caps["ddr"] = max(int(ddr_frac * working_set), caps["hbm"])
+    return caps
+
+
+def _run_point(library, requests, caps, cache_policy, scheduler):
+    engine = ServingEngine(
+        sn40l_platform(), library, policy="fifo", max_batch=MAX_BATCH,
+        cache_policy=cache_policy, scheduler=scheduler,
+        tier_capacities=caps,
+    )
+    report = engine.run(requests)
+    stats = engine.server.runtime.stats
+    return {
+        "cache_policy": report.cache_policy,
+        "scheduler": report.scheduler,
+        "demand_hit_rate": report.demand_hit_rate,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "switch_time_s": stats.switch_time_s,
+        "bytes_up": stats.bytes_up,
+        "evictions": stats.evictions,
+        "tier_promotions": stats.tier_promotions,
+        "tier_demotions": stats.tier_demotions,
+        "nvme_bytes_read": stats.nvme_bytes_read,
+        "makespan_s": report.makespan_s,
+        "tokens_per_second": report.tokens_per_second,
+    }, engine.server.runtime
+
+
+def _ladder_point(point: SweepPoint):
+    """One (hbm_frac, scheduler) rung: every online policy plus Belady.
+
+    Module-level so the sweep runner's fork pool can pickle it; the
+    workload rebuilds deterministically from ``SEED`` in the worker.
+    """
+    library = _library()
+    requests = _requests(library)
+    caps = _capacities(library, point["hbm_frac"])
+    results = {}
+    lru_result, lru_runtime = _run_point(
+        library, requests, caps, "lru", point["scheduler"]
+    )
+    results["lru"] = lru_result
+    for name in CACHE_POLICIES_SWEPT:
+        if name == "lru":
+            continue
+        results[name], _ = _run_point(
+            library, requests, caps, name, point["scheduler"]
+        )
+    oracle = BeladyPolicy(lru_runtime.demand_trace)
+    results["belady"], _ = _run_point(
+        library, requests, caps, oracle, point["scheduler"]
+    )
+    key = f"hbm={point['hbm_frac']:g}x/{point['scheduler']}"
+    return key, {
+        "hbm_frac": point["hbm_frac"],
+        "scheduler": point["scheduler"],
+        "policies": results,
+    }
+
+
+def _ddr_point(point: SweepPoint):
+    """One DDR rung: HBM pinned, DDR shrinking, NVMe catching overflow."""
+    library = _library()
+    requests = _requests(library)
+    caps = _capacities(library, DDR_HBM_FRAC, ddr_frac=point["ddr_frac"])
+    results = {}
+    for scheduler in SCHEDULERS_SWEPT:
+        results[scheduler], _ = _run_point(
+            library, requests, caps, "lru", scheduler
+        )
+    key = f"ddr={point['ddr_frac']:g}x"
+    return key, {
+        "hbm_frac": DDR_HBM_FRAC,
+        "ddr_frac": point["ddr_frac"],
+        "schedulers": results,
+    }
+
+
+@pytest.fixture(scope="module")
+def memwall_sweeps():
+    """Both ladders, run twice to pin byte-level determinism."""
+    hbm_axes = {"hbm_frac": HBM_FRACS, "scheduler": SCHEDULERS_SWEPT}
+    ddr_axes = {"ddr_frac": DDR_FRACS}
+
+    def run_all():
+        return {
+            "hbm_ladder": dict(run_sweep(_ladder_point, hbm_axes,
+                                         base_seed=SEED)),
+            "ddr_ladder": dict(run_sweep(_ddr_point, ddr_axes,
+                                         base_seed=SEED)),
+        }
+
+    first, second = run_all(), run_all()
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    ), "memwall sweep is not deterministic across same-seed runs"
+    return first
+
+
+def test_memwall_ladder_table(benchmark, memwall_sweeps):
+    benchmark.pedantic(lambda: memwall_sweeps, rounds=1, iterations=1)
+    rows = []
+    for rung in memwall_sweeps["hbm_ladder"].values():
+        for name, r in rung["policies"].items():
+            rows.append([
+                f"{rung['hbm_frac']:g}x",
+                rung["scheduler"],
+                name,
+                f"{r['demand_hit_rate']:.3f}",
+                f"{r['switch_time_s']:.3f} s",
+                f"{r['tokens_per_second']:.0f}",
+                fmt_ms(r["makespan_s"]),
+            ])
+    print_table(
+        f"Constrained-HBM ladder ({NUM_EXPERTS} experts, "
+        f"{NUM_REQUESTS} Zipf-{ZIPF_ALPHA} requests)",
+        ["HBM", "scheduler", "policy", "hit rate", "demand switch",
+         "tok/s", "makespan"],
+        rows,
+    )
+    ddr_rows = []
+    for rung in memwall_sweeps["ddr_ladder"].values():
+        for sched, r in rung["schedulers"].items():
+            ddr_rows.append([
+                f"{rung['ddr_frac']:g}x",
+                sched,
+                f"{r['demand_hit_rate']:.3f}",
+                r["tier_promotions"],
+                f"{r['nvme_bytes_read'] / 1e9:.1f} GB",
+                f"{r['switch_time_s']:.3f} s",
+            ])
+    print_table(
+        f"Constrained-DDR ladder (HBM pinned at {DDR_HBM_FRAC:g}x, LRU)",
+        ["DDR", "scheduler", "hit rate", "NVMe promos", "NVMe read",
+         "demand switch"],
+        ddr_rows,
+    )
+
+
+def test_ladder_shape_meets_acceptance(memwall_sweeps):
+    """>=5 rungs from 2x to 0.1x, >=3 cache policies x >=2 schedulers."""
+    ladder = memwall_sweeps["hbm_ladder"]
+    fracs = sorted({rung["hbm_frac"] for rung in ladder.values()})
+    schedulers = {rung["scheduler"] for rung in ladder.values()}
+    assert len(fracs) >= 5
+    assert fracs[0] == 0.1 and fracs[-1] == 2.0
+    assert schedulers == set(SCHEDULERS_SWEPT)
+    for rung in ladder.values():
+        online = set(rung["policies"]) - {"belady"}
+        assert len(online) >= 3
+
+
+def test_belady_bounds_every_online_policy(memwall_sweeps):
+    """No online policy may beat the clairvoyant oracle on its rung."""
+    for key, rung in memwall_sweeps["hbm_ladder"].items():
+        bound = rung["policies"]["belady"]["demand_hit_rate"]
+        for name in CACHE_POLICIES_SWEPT:
+            assert rung["policies"][name]["demand_hit_rate"] <= bound + 1e-12, (
+                key, name
+            )
+
+
+def test_lru_hit_rate_monotone_in_capacity(memwall_sweeps):
+    """LRU is a stack algorithm and the demand trace is capacity-
+    independent, so more HBM can never hurt its hit rate."""
+    ladder = memwall_sweeps["hbm_ladder"]
+    for scheduler in SCHEDULERS_SWEPT:
+        rates = [
+            rung["policies"]["lru"]["demand_hit_rate"]
+            for rung in sorted(
+                (r for r in ladder.values() if r["scheduler"] == scheduler),
+                key=lambda r: r["hbm_frac"],
+            )
+        ]
+        assert rates == sorted(rates), scheduler
+
+
+def test_reordering_beats_fifo_at_half_capacity(memwall_sweeps):
+    """Acceptance: at 0.5x HBM, expert reordering beats FIFO admission
+    on total switch time or goodput for every cache policy."""
+    ladder = memwall_sweeps["hbm_ladder"]
+    fifo = ladder["hbm=0.5x/fifo"]["policies"]
+    reorder = ladder["hbm=0.5x/expert_reorder"]["policies"]
+    for name in CACHE_POLICIES_SWEPT:
+        assert (
+            reorder[name]["switch_time_s"] < fifo[name]["switch_time_s"]
+            or reorder[name]["tokens_per_second"]
+            > fifo[name]["tokens_per_second"]
+        ), name
+
+
+def test_ddr_ladder_exercises_nvme_promotions(memwall_sweeps):
+    """Shrinking DDR below the working set must produce real multi-hop
+    traffic; a full-working-set DDR must produce none."""
+    ladder = memwall_sweeps["ddr_ladder"]
+    full = ladder["ddr=1x"]["schedulers"]
+    for sched in SCHEDULERS_SWEPT:
+        assert full[sched]["tier_promotions"] == 0
+        assert full[sched]["nvme_bytes_read"] == 0
+    for key, rung in ladder.items():
+        if rung["ddr_frac"] >= 1.0:
+            continue
+        for sched in SCHEDULERS_SWEPT:
+            r = rung["schedulers"][sched]
+            assert r["tier_promotions"] > 0, (key, sched)
+            assert r["nvme_bytes_read"] > 0, (key, sched)
+            assert r["tier_demotions"] > 0, (key, sched)
+
+
+def test_reordering_cuts_nvme_traffic_under_constrained_ddr(memwall_sweeps):
+    """Grouping by expert amortizes promotions: under the tightest DDR,
+    expert_reorder reads no more NVMe bytes than FIFO admission."""
+    tightest = memwall_sweeps["ddr_ladder"][f"ddr={min(DDR_FRACS):g}x"]
+    fifo = tightest["schedulers"]["fifo"]
+    reorder = tightest["schedulers"]["expert_reorder"]
+    assert reorder["nvme_bytes_read"] <= fifo["nvme_bytes_read"]
+
+
+def test_emit_bench_json(memwall_sweeps):
+    payload = {
+        "workload": {
+            "experts": NUM_EXPERTS,
+            "requests": NUM_REQUESTS,
+            "zipf_alpha": ZIPF_ALPHA,
+            "seed": SEED,
+            "max_batch": MAX_BATCH,
+            "node_policy": "fifo",
+            "hbm_fracs": list(HBM_FRACS),
+            "ddr_hbm_frac": DDR_HBM_FRAC,
+            "ddr_fracs": list(DDR_FRACS),
+            "cache_policies": list(CACHE_POLICIES_SWEPT) + ["belady"],
+            "schedulers": list(SCHEDULERS_SWEPT),
+            "smoke": SMOKE,
+        },
+        "sweeps": memwall_sweeps,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT_PATH}")
+    assert OUTPUT_PATH.exists()

@@ -169,6 +169,22 @@ def _build_stream(args):
     return library, requests
 
 
+def _tier_caps_from_args(args, library):
+    """``--hbm-frac`` -> ``tier_capacities`` dict (or None when unset).
+
+    The budget is FRAC x the library working set, floored at the largest
+    single expert so at least one expert always fits in HBM.
+    """
+    frac = getattr(args, "hbm_frac", None)
+    if frac is None:
+        return None
+    if frac <= 0:
+        raise ValueError(f"--hbm-frac must be positive, got {frac}")
+    working_set = sum(e.weight_bytes for e in library.experts)
+    biggest = max(e.weight_bytes for e in library.experts)
+    return {"hbm": max(int(frac * working_set), biggest)}
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.coe.api import ServeConfig, serve
     from repro.coe.engine import POLICIES
@@ -182,11 +198,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         return 2
     try:
         library, requests = _build_stream(args)
+        tier_capacities = _tier_caps_from_args(args, library)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
     print(f"{args.requests} requests over {len(library)} experts "
-          f"(Zipf alpha={args.zipf}), {args.tokens} output tokens each")
+          f"(Zipf alpha={args.zipf}), {args.tokens} output tokens each"
+          + (f", hbm capped at {args.hbm_frac}x working set"
+             if tier_capacities else ""))
     header = (f"{'platform':<12s} {'policy':<9s} {'req/s':>8s} {'tok/s':>9s} "
               f"{'p50':>9s} {'p99':>9s} {'batch':>6s} {'hidden':>7s}")
     print(header)
@@ -205,7 +224,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             try:
                 config = ServeConfig(policy=policy, max_batch=args.max_batch,
                                      window=args.window,
-                                     cache_policy=args.cache_policy)
+                                     cache_policy=args.cache_policy,
+                                     scheduler=args.scheduler,
+                                     tier_capacities=tier_capacities)
                 if getattr(args, "profile", False) and not results:
                     from repro.bench.sweep import profile_point
 
@@ -233,6 +254,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "zipf_alpha": args.zipf,
             "seed": args.seed,
             "cache_policy": args.cache_policy,
+            "scheduler": args.scheduler,
+            "hbm_frac": args.hbm_frac,
             "results": results,
         }
         with open(args.output, "w") as fh:
@@ -257,6 +280,7 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     try:
         node_counts = _parse_node_counts(args.num_nodes)
         library, requests = _build_stream(args)
+        tier_capacities = _tier_caps_from_args(args, library)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -282,6 +306,8 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
                     online_replication=replication,
                     faults=args.inject_fault, deadline_s=args.deadline,
                     cache_policy=args.cache_policy,
+                    scheduler=args.scheduler,
+                    tier_capacities=tier_capacities,
                 )
                 if getattr(args, "profile", False) and not results:
                     from repro.bench.sweep import profile_point
@@ -322,6 +348,8 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "node_policy": args.policy,
             "cache_policy": args.cache_policy,
+            "scheduler": args.scheduler,
+            "hbm_frac": args.hbm_frac,
             "online_replication": replication,
             "faults": list(args.inject_fault),
             "deadline_s": args.deadline,
@@ -379,6 +407,8 @@ def _cmd_serve_live(args: argparse.Namespace) -> int:
             max_batch=args.max_batch, window=args.window,
             deadline_s=args.deadline, mode="live",
             max_queue=args.max_queue, time_scale=args.time_scale,
+            scheduler=args.scheduler,
+            tier_capacities=_tier_caps_from_args(args, library),
         )
     except (ServeModeError, ValueError) as exc:
         print(exc, file=sys.stderr)
@@ -659,6 +689,17 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["lru", "lfu", "gdsf", "predictive"],
             help="HBM expert-cache eviction policy (belady is offline-"
                  "only; see benchmarks/test_cache_policies.py)")
+        p.add_argument(
+            "--scheduler", default="fifo",
+            choices=["fifo", "expert_reorder"],
+            help="admission-time request reordering applied before node "
+                 "dispatch (expert_reorder groups by expert to cut "
+                 "switch traffic under constrained memory)")
+        p.add_argument(
+            "--hbm-frac", type=float, default=None, metavar="FRAC",
+            help="cap the HBM expert budget at FRAC x the library working "
+                 "set (constrained-memory ladder; spills to DDR/NVMe "
+                 "via the memory hierarchy)")
         p.add_argument(
             "--num-nodes", "--nodes", dest="num_nodes", default="4",
             metavar="N[,N...]",

@@ -17,13 +17,18 @@ from repro.coe.metrics import (
 from repro.coe.columnar import CompletedLog
 from repro.coe.router import Router, RoutingDecision, embed_text
 from repro.coe.scheduling import (
+    SCHEDULERS,
     ExpertPredictor,
+    ExpertReorderScheduler,
+    FifoScheduler,
     GroupAssembler,
     Request,
     RequestGroup,
+    Scheduler,
     affinity_schedule,
     coalesce_groups,
     fifo_schedule,
+    make_scheduler,
     serve_schedule,
     serve_with_prefetch,
 )
@@ -63,6 +68,7 @@ from repro.coe.policies import (
     DrainMode,
     NodePolicy,
     PolicyEnum,
+    SchedulerName,
     ServeMode,
 )
 from repro.coe.serving import (
@@ -105,6 +111,8 @@ __all__ = [
     "CACHE_POLICIES", "BeladyPolicy", "CachePolicy", "CachePolicyName",
     "GDSFPolicy", "LFUPolicy", "LRUPolicy", "PredictivePolicy",
     "make_policy",
+    "SCHEDULERS", "Scheduler", "SchedulerName", "FifoScheduler",
+    "ExpertReorderScheduler", "make_scheduler",
     "ServeConfig", "Server", "build_server", "serve",
     "ServeMode", "ServeModeError", "GroupAssembler",
     "Decision", "DecisionLog",

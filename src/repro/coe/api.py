@@ -41,9 +41,15 @@ from repro.coe.policies import (
     CachePolicyName,
     ClusterPolicy,
     NodePolicy,
+    SchedulerName,
     ServeMode,
 )
-from repro.coe.serving import ExpertServer, RequestLatency, ServeResult
+from repro.coe.serving import (
+    ExpertServer,
+    RequestLatency,
+    ServeResult,
+    validate_tier_capacities,
+)
 from repro.load import ArrivalSpec, generate_trace
 from repro.sim.faults import FaultSchedule
 from repro.systems.platforms import Platform
@@ -100,6 +106,19 @@ class ServeConfig:
     #: :class:`repro.coe.cache.BeladyPolicy` and pass it to the engine
     #: directly instead.
     cache_policy: CachePolicyName = CachePolicyName.LRU
+    #: Admission-time request reordering applied to the queued backlog
+    #: before node scheduling (:class:`repro.coe.policies.SchedulerName`;
+    #: implementations in :mod:`repro.coe.scheduling`). ``fifo`` is the
+    #: historical arrival order; ``expert_reorder`` batches the backlog
+    #: by expert to amortize tier switches. Valid in both modes.
+    scheduler: SchedulerName = SchedulerName.FIFO
+    #: Byte budgets per memory tier (``{"hbm": ..., "ddr": ...}``),
+    #: overriding the platform defaults — the constrained-memory ladder's
+    #: knob. ``"hbm"`` sizes the expert region directly (mutually
+    #: exclusive with ``reserved_hbm_bytes``); a bounded ``"ddr"`` turns
+    #: on NVMe backing with multi-hop promotion. ``None`` = platform
+    #: capacities, bitwise-identical to the legacy two-tier behaviour.
+    tier_capacities: Optional[dict] = None
     num_nodes: int = 1
     max_batch: int = 8
     window: int = 16
@@ -144,6 +163,21 @@ class ServeConfig:
                 "cache_policy 'belady' is the offline oracle and needs a "
                 "recorded trace; build a repro.coe.cache.BeladyPolicy and "
                 "pass it to the engine directly"
+            )
+        object.__setattr__(
+            self, "scheduler", SchedulerName.coerce(self.scheduler)
+        )
+        object.__setattr__(
+            self,
+            "tier_capacities",
+            validate_tier_capacities(self.tier_capacities),
+        )
+        if (self.tier_capacities is not None
+                and "hbm" in self.tier_capacities
+                and self.reserved_hbm_bytes is not None):
+            raise ValueError(
+                "reserved_hbm_bytes and tier_capacities['hbm'] both size "
+                "the HBM expert region; pass one or the other"
             )
         object.__setattr__(self, "faults", _coerce_faults(self.faults))
         if self.num_nodes < 1:
@@ -234,6 +268,11 @@ class ServeConfig:
             "policy": self.policy.value,
             "cluster_policy": self.cluster_policy.value,
             "cache_policy": self.cache_policy.value,
+            "scheduler": self.scheduler.value,
+            "tier_capacities": (
+                dict(self.tier_capacities)
+                if self.tier_capacities is not None else None
+            ),
             "num_nodes": self.num_nodes,
             "max_batch": self.max_batch,
             "window": self.window,
@@ -315,6 +354,8 @@ def build_server(
             deadline_s=config.deadline_s,
             cache_policy=config.cache_policy.value,
             decision_log=decision_log,
+            scheduler=config.scheduler.value,
+            tier_capacities=config.tier_capacities,
         )
     instance = platform() if callable(platform) else platform
     return ServingEngine(
@@ -326,6 +367,8 @@ def build_server(
         reserved_hbm_bytes=config.reserved_hbm_bytes,
         cache_policy=config.cache_policy.value,
         decision_log=decision_log,
+        scheduler=config.scheduler.value,
+        tier_capacities=config.tier_capacities,
     )
 
 
@@ -374,6 +417,7 @@ __all__ = [
     "NodePolicy",
     "PlatformLike",
     "RequestLatency",
+    "SchedulerName",
     "ServeConfig",
     "ServeMode",
     "ServeModeError",

@@ -202,7 +202,10 @@ class GDSFPolicy(CachePolicy):
 
     def _cost(self, expert: ExpertProfile) -> float:
         if self._runtime is not None:
-            return self._runtime.upgrade_time(expert.weight_bytes)
+            # The DDR->HBM edge, regardless of where the expert sits now:
+            # GDSF scores must not depend on transient NVMe residency or
+            # the three-way drain equivalence would break.
+            return self._runtime.transfer_time("ddr", "hbm", expert.weight_bytes)
         return float(expert.weight_bytes)
 
     def _reprice(self, expert: ExpertProfile) -> None:

@@ -86,7 +86,13 @@ from repro.coe.engine import (
 from repro.coe.expert import ExpertLibrary, ExpertProfile
 from repro.coe.metrics import summarize_latencies
 from repro.coe.policies import ClusterPolicy, DrainMode, NodePolicy
-from repro.coe.scheduling import RequestGroup, affinity_schedule, coalesce_groups
+from repro.coe.scheduling import (
+    RequestGroup,
+    SchedulerLike,
+    affinity_schedule,
+    coalesce_groups,
+    make_scheduler,
+)
 from repro.obs import Timeline
 from repro.sim.engine import Simulator
 from repro.sim.faults import (
@@ -198,6 +204,8 @@ class ClusterReport:
     steals: int
     replications: int
     events_run: int
+    #: Admission-time scheduler the backlog went through (SchedulerName).
+    scheduler: str = "fifo"
     #: Fault-tolerance outcome. ``rejected`` counts requests shed by
     #: deadline admission (never silently dropped), ``availability`` is
     #: alive node-time over total node-time, ``recovery_s`` the worst
@@ -254,6 +262,7 @@ class ClusterReport:
             "policy": self.policy,
             "node_policy": self.node_policy,
             "cache_policy": self.cache_policy,
+            "scheduler": self.scheduler,
             "num_nodes": self.num_nodes,
             "requests": self.requests,
             "groups": self.groups,
@@ -305,9 +314,17 @@ class ClusterEngine:
         record_timeline: bool = True,
         decision_log: Optional[DecisionLog] = None,
         drain_mode: "Union[str, DrainMode, None]" = None,
+        scheduler: SchedulerLike = None,
+        tier_capacities: Optional[Dict[str, int]] = None,
     ) -> None:
         self.policy = ClusterPolicy.coerce(policy).value
         self.node_policy = NodePolicy.coerce(node_policy).value
+        #: Admission-time backlog reordering, applied once in
+        #: :meth:`serve` before dispatch — cluster-global, so same-expert
+        #: runs stay contiguous through per-node routing. Schedulers are
+        #: stateless order functions, safe to share across nodes.
+        self.scheduler = make_scheduler(scheduler)
+        self.tier_capacities = tier_capacities
         if isinstance(cache_policy, CachePolicy) and num_nodes > 1:
             # A policy instance carries per-cache mutable state; sharing
             # one across nodes would corrupt every node's bookkeeping.
@@ -416,6 +433,7 @@ class ClusterEngine:
                 cache_policy=cache_policy,
                 drain_mode=self.drain_mode,
                 decision_log=decision_log,
+                tier_capacities=tier_capacities,
             )
             node = _Node(
                 index=idx,
@@ -782,10 +800,11 @@ class ClusterEngine:
             )
             if self.faults.crashes:
                 self.sim.schedule_at(self.heartbeat_s, self._heartbeat)
+        admitted = self.scheduler.order(requests)
         if self.node_policy == "fifo":
-            ordered = list(requests)
+            ordered = list(admitted)
         else:
-            ordered = affinity_schedule(requests, window=self.window)
+            ordered = affinity_schedule(admitted, window=self.window)
         groups = coalesce_groups(ordered, self.max_batch)
         admit = (self._priority_order(groups) if self.deadline_s is not None
                  else groups)
@@ -892,6 +911,7 @@ class ClusterEngine:
             policy=self.policy,
             node_policy=self.node_policy,
             cache_policy=self.nodes[0].engine.cache_policy,
+            scheduler=self.scheduler.name,
             num_nodes=self.num_nodes,
             requests=len(requests),
             groups=len(groups),
@@ -944,6 +964,8 @@ def run_cluster(
     event_batching: bool = True,
     record_timeline: bool = True,
     drain_mode: "Union[str, DrainMode, None]" = None,
+    scheduler: SchedulerLike = None,
+    tier_capacities: Optional[Dict[str, int]] = None,
 ) -> ClusterReport:
     """One cluster run over a fresh engine (fresh timeline, fresh clock)."""
     engine = ClusterEngine(
@@ -962,6 +984,8 @@ def run_cluster(
         event_batching=event_batching,
         record_timeline=record_timeline,
         drain_mode=drain_mode,
+        scheduler=scheduler,
+        tier_capacities=tier_capacities,
     )
     return engine.serve(requests)
 

@@ -68,8 +68,10 @@ from repro.coe.policies import DrainMode, NodePolicy
 from repro.coe.scheduling import (
     ExpertPredictor,
     RequestGroup,
+    SchedulerLike,
     affinity_schedule,
     coalesce_groups,
+    make_scheduler,
 )
 from repro.coe.serving import ExpertServer
 from repro.obs import Timeline
@@ -200,6 +202,8 @@ class EngineReport:
     #: (speculative prefetcher traffic excluded — see RuntimeStats).
     cache_policy: str = "lru"
     demand_hit_rate: float = 0.0
+    #: Admission-time scheduler the backlog went through (SchedulerName).
+    scheduler: str = "fifo"
     completed: tuple = field(repr=False, default=())
     #: The run's full span record (compute / switch / prefetch lanes);
     #: export via :func:`repro.obs.write_chrome_trace`.
@@ -244,6 +248,7 @@ class EngineReport:
             "events_run": self.events_run,
             "cache_policy": self.cache_policy,
             "demand_hit_rate": self.demand_hit_rate,
+            "scheduler": self.scheduler,
         }
 
 
@@ -274,10 +279,15 @@ class ServingEngine:
         record_timeline: bool = True,
         decision_log: Optional[DecisionLog] = None,
         drain_mode: "Union[str, DrainMode, None]" = None,
+        scheduler: SchedulerLike = None,
+        tier_capacities: Optional[Dict[str, int]] = None,
     ) -> None:
         if max_batch < 1 or window < 1:
             raise ValueError("max_batch and window must be >= 1")
         self.policy = NodePolicy.coerce(policy).value
+        #: Admission-time backlog reordering (:mod:`repro.coe.scheduling`)
+        #: — applied once in :meth:`run`, before the windowed node policy.
+        self.scheduler = make_scheduler(scheduler)
         self.max_batch = max_batch
         self.window = window
         self.lane_prefix = lane_prefix
@@ -309,7 +319,7 @@ class ServingEngine:
                                 Tuple[float, float, float]] = {}
         self.server = ExpertServer(
             platform, library, reserved_hbm_bytes=reserved_hbm_bytes,
-            cache_policy=cache_policy,
+            cache_policy=cache_policy, tier_capacities=tier_capacities,
         )
         self._predictor = ExpertPredictor()
         # A predictive cache policy without its own predictor reads the
@@ -1049,7 +1059,8 @@ class ServingEngine:
         self._ran = True
         if not requests:
             raise ValueError("empty request backlog")
-        groups = coalesce_groups(self._order(requests), self.max_batch)
+        admitted = self.scheduler.order(requests)
+        groups = coalesce_groups(self._order(admitted), self.max_batch)
         timeline = Timeline() if self.record_timeline else None
         sim = Simulator(timeline=timeline)
         self.bind(sim)
@@ -1084,6 +1095,7 @@ class ServingEngine:
                 events_run=sim.events_run,
                 cache_policy=self.cache_policy,
                 demand_hit_rate=self.server.runtime.stats.hit_rate,
+                scheduler=self.scheduler.name,
                 completed=tuple(self.completed),
                 timeline=timeline,
             )

@@ -55,7 +55,12 @@ from repro.coe.engine import (
 )
 from repro.coe.expert import ExpertLibrary
 from repro.coe.metrics import summarize_latencies
-from repro.coe.scheduling import ExpertPredictor, GroupAssembler, RequestGroup
+from repro.coe.scheduling import (
+    ExpertPredictor,
+    GroupAssembler,
+    RequestGroup,
+    make_scheduler,
+)
 from repro.coe.serving import ExpertServer
 from repro.obs import Timeline
 from repro.sim.clock import WallClock
@@ -158,6 +163,8 @@ class LiveReport:
     mean_s: float
     drained: bool = True
     demand_hit_rate: float = 0.0
+    #: Admission-time scheduler the backlog went through (SchedulerName).
+    scheduler: str = "fifo"
     completed: tuple = field(repr=False, default=())
     shed: tuple = field(repr=False, default=())
     timeline: Optional[Timeline] = field(repr=False, compare=False, default=None)
@@ -212,6 +219,7 @@ class LiveReport:
             "mean_s": self.mean_s,
             "drained": self.drained,
             "demand_hit_rate": self.demand_hit_rate,
+            "scheduler": self.scheduler,
         }
 
 
@@ -246,6 +254,7 @@ class LiveEngine:
         self.library = library
         self.policy = config.policy.value
         self.cluster_policy = config.cluster_policy.value
+        self.scheduler = make_scheduler(config.scheduler)
         self.deadline_s = config.deadline_s
         self.max_queue = (
             config.max_queue if config.max_queue is not None
@@ -295,6 +304,7 @@ class LiveEngine:
                     else config.reserved_hbm_bytes
                 ),
                 cache_policy=config.cache_policy.value,
+                tier_capacities=config.tier_capacities,
             )
             predictor = ExpertPredictor()
             runtime_policy = server.runtime.policy
@@ -501,7 +511,12 @@ class LiveEngine:
         """Serve the stream inside the caller's event loop."""
         if not requests:
             raise ValueError("empty request backlog")
-        requests = list(requests)
+        # Admission-time reordering over the known backlog, same as the
+        # sim engines. Dispatch still honours each request's arrival
+        # time (``sleep_until`` treats past deadlines as a no-op), so
+        # for an all-at-t0 backlog — the cross-check precondition — the
+        # live group stream matches the sim's exactly.
+        requests = self.scheduler.order(list(requests))
         self._tokens_streamed = 0
         self.clock.start()
         for node in self.nodes:
@@ -547,6 +562,7 @@ class LiveEngine:
             policy=self.policy,
             cluster_policy=self.cluster_policy,
             cache_policy=self.cache_policy,
+            scheduler=self.scheduler.name,
             num_nodes=self.num_nodes,
             requests=len(requests),
             completed_requests=len(completed),

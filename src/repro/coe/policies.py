@@ -126,7 +126,29 @@ class CachePolicyName(PolicyEnum):
     BELADY = "belady"
 
 
+class SchedulerName(PolicyEnum):
+    """Admission-time request-reordering scheduler of the engines.
+
+    Applied to the queued backlog *before* node scheduling and group
+    coalescing (see :mod:`repro.coe.scheduling`):
+
+    - ``FIFO`` — arrival order, the historical behaviour.
+    - ``EXPERT_REORDER`` — batch queued requests by expert over a long
+      horizon to amortize tier switches (the CoServe scenario,
+      arXiv:2503.02354): under a constrained HBM/DDR budget, runs of
+      same-expert requests turn k misses into 1 miss + (k-1) hits.
+
+    The names resolve to implementations through
+    :data:`repro.coe.scheduling.SCHEDULERS` /
+    :func:`repro.coe.scheduling.make_scheduler`, mirroring the
+    ``CACHE_POLICIES`` pattern.
+    """
+
+    FIFO = "fifo"
+    EXPERT_REORDER = "expert_reorder"
+
+
 __all__ = [
     "CachePolicyName", "ClusterPolicy", "DrainMode", "NodePolicy",
-    "PolicyEnum", "ServeMode",
+    "PolicyEnum", "SchedulerName", "ServeMode",
 ]

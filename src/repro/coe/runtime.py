@@ -25,6 +25,7 @@ access sequence the Belady oracle replays.
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, NamedTuple, Optional, Sequence
@@ -32,6 +33,7 @@ from typing import Callable, Dict, List, Mapping, NamedTuple, Optional, Sequence
 from repro.coe.cache import CachePolicy, CachePolicyLike, make_policy
 from repro.coe.decisions import DecisionLog
 from repro.coe.expert import ExpertProfile
+from repro.memory.hierarchy import MemoryHierarchy, TierLike
 from repro.obs import Timeline
 
 
@@ -56,6 +58,11 @@ class SwitchEvent(NamedTuple):
     evicted_why: tuple = ()
     #: Whether this activation was speculative (prefetcher traffic).
     speculative: bool = False
+    #: Which tier the expert was fetched from ("hbm" on a hit; "ddr" or
+    #: "nvme" on a miss, depending on where it was resident).
+    src_tier: str = "hbm"
+    #: Experts demoted DDR->NVMe to make room for an NVMe promotion.
+    demoted: tuple = ()
 
 
 @dataclass
@@ -88,6 +95,15 @@ class RuntimeStats:
     speculative_bytes_up: int = 0
     speculative_bytes_down: int = 0
     speculative_switch_time_s: float = 0.0
+    #: Multi-tier traffic (zero unless the runtime has a bounded DDR
+    #: tier): NVMe->DDR promotions riding a miss, DDR->NVMe demotions
+    #: forced by the DDR budget, and the bytes read off NVMe. Demotions
+    #: are free in time (expert weights are read-only on NVMe, and
+    #: DDR-only residents carry no mutable state) but are real state
+    #: changes, counted like ``evictions`` regardless of speculation.
+    tier_promotions: int = 0
+    tier_demotions: int = 0
+    nvme_bytes_read: int = 0
 
     @property
     def misses(self) -> int:
@@ -105,28 +121,69 @@ class RuntimeStats:
 class CoERuntime:
     """Policy-driven expert cache over a fixed HBM byte budget.
 
-    ``upgrade_time(num_bytes)`` and ``downgrade_time(num_bytes)`` supply
-    the platform's copy costs (DDR->HBM and HBM->DDR respectively); the
-    runtime is platform-agnostic, which is how the same code models both
-    the SN40L node and the DGX baselines. ``policy`` picks the eviction
-    policy (see :mod:`repro.coe.cache`): a name (``"lru"``, ``"lfu"``,
-    ``"gdsf"``, ``"predictive"``), a :class:`CachePolicy` instance, or a
-    zero-arg factory; unset means LRU, bit-identical to the historical
-    hard-coded behaviour.
+    Copy costs come from a :class:`repro.memory.MemoryHierarchy` —
+    ``hierarchy.transfer_time(src, dst, num_bytes)`` prices every edge,
+    which is how the same code models both the SN40L node and the DGX
+    baselines. The legacy ``upgrade_time``/``downgrade_time`` callables
+    are still accepted (they become the DDR<->HBM edges of a two-level
+    hierarchy, bit for bit); pass one form or the other, not both.
+
+    ``policy`` picks the eviction policy (see :mod:`repro.coe.cache`):
+    a name (``"lru"``, ``"lfu"``, ``"gdsf"``, ``"predictive"``), a
+    :class:`CachePolicy` instance, or a zero-arg factory; unset means
+    LRU, bit-identical to the historical hard-coded behaviour.
+
+    ``ddr_budget_bytes`` turns on the constrained-memory mode of the
+    CoServe scenario (arXiv:2503.02354): DDR holds only a bounded slice
+    of the library, the rest lives on the hierarchy's ``nvme`` backing
+    tier, and a miss on an NVMe-resident expert pays the multi-hop
+    promotion. The hierarchy is *inclusive*: an HBM-resident expert
+    keeps its DDR home copy (that's the copy-back target), so the DDR
+    budget must cover the HBM expert region and HBM residents are never
+    demotion victims.
     """
 
     def __init__(
         self,
         hbm_budget_bytes: int,
-        upgrade_time: Callable[[int], float],
+        upgrade_time: Optional[Callable[[int], float]] = None,
         downgrade_time: Optional[Callable[[int], float]] = None,
         policy: CachePolicyLike = None,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        ddr_budget_bytes: Optional[int] = None,
     ) -> None:
         if hbm_budget_bytes < 0:
             raise ValueError(f"negative HBM budget: {hbm_budget_bytes}")
+        if hierarchy is not None and upgrade_time is not None:
+            raise ValueError(
+                "pass either a MemoryHierarchy or upgrade/downgrade "
+                "callables, not both"
+            )
+        if hierarchy is None:
+            if upgrade_time is None:
+                raise ValueError(
+                    "CoERuntime needs a hierarchy or an upgrade_time callable"
+                )
+            hierarchy = MemoryHierarchy.from_edge_times(
+                upgrade_time, downgrade_time
+            )
         self.hbm_budget_bytes = hbm_budget_bytes
-        self._upgrade_time = upgrade_time
-        self._downgrade_time = downgrade_time or upgrade_time
+        self.hierarchy = hierarchy
+        if ddr_budget_bytes is not None:
+            if ddr_budget_bytes < 0:
+                raise ValueError(f"negative DDR budget: {ddr_budget_bytes}")
+            if ddr_budget_bytes < hbm_budget_bytes:
+                raise ValueError(
+                    f"DDR budget ({ddr_budget_bytes} B) must cover the HBM "
+                    f"expert region ({hbm_budget_bytes} B): the hierarchy is "
+                    "inclusive — every HBM resident keeps its DDR home copy"
+                )
+            if "nvme" not in hierarchy:
+                raise ValueError(
+                    "a DDR budget needs an 'nvme' backing tier to demote "
+                    f"into; hierarchy levels are {hierarchy.names}"
+                )
+        self.ddr_budget_bytes = ddr_budget_bytes
         self.policy: CachePolicy = make_policy(policy)
         self.policy.bind_runtime(self)
         #: name -> expert, in recency order (least recently used first).
@@ -134,6 +191,11 @@ class CoERuntime:
         #: Running sum of resident weight bytes, maintained on insert and
         #: evict so the eviction loop is O(victims), not O(residents²).
         self._resident_bytes = 0
+        #: DDR residency, recency-ordered — only consulted when the DDR
+        #: tier is bounded (``ddr_budget_bytes`` set). Unbounded DDR
+        #: means every non-HBM expert is DDR-resident, no bookkeeping.
+        self._ddr_resident: "OrderedDict[str, ExpertProfile]" = OrderedDict()
+        self._ddr_bytes = 0
         self.stats = RuntimeStats()
         #: Demand access sequence (expert names, in order) — the trace a
         #: :class:`repro.coe.cache.BeladyPolicy` replays.
@@ -145,13 +207,31 @@ class CoERuntime:
         self._decision_stream = "node0"
 
     # ------------------------------------------------------------------
+    def transfer_time(
+        self, src_tier: TierLike, dst_tier: TierLike, num_bytes: int
+    ) -> float:
+        """Edge-based copy cost between two tiers of the hierarchy."""
+        return self.hierarchy.transfer_time(src_tier, dst_tier, num_bytes)
+
     def upgrade_time(self, num_bytes: int) -> float:
-        """The platform's DDR->HBM copy cost (policy cost models use it)."""
-        return self._upgrade_time(num_bytes)
+        """Deprecated: use ``transfer_time("ddr", "hbm", num_bytes)``."""
+        warnings.warn(
+            "CoERuntime.upgrade_time is deprecated; use "
+            "transfer_time('ddr', 'hbm', num_bytes)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.hierarchy.transfer_time("ddr", "hbm", num_bytes)
 
     def downgrade_time(self, num_bytes: int) -> float:
-        """The platform's HBM->DDR copy-back cost."""
-        return self._downgrade_time(num_bytes)
+        """Deprecated: use ``transfer_time("hbm", "ddr", num_bytes)``."""
+        warnings.warn(
+            "CoERuntime.downgrade_time is deprecated; use "
+            "transfer_time('hbm', 'ddr', num_bytes)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.hierarchy.transfer_time("hbm", "ddr", num_bytes)
 
     # ------------------------------------------------------------------
     def attach_timeline(
@@ -215,6 +295,74 @@ class CoERuntime:
 
     def is_resident(self, expert: ExpertProfile) -> bool:
         return expert.name in self._resident
+
+    # ------------------------------------------------------------------
+    @property
+    def ddr_resident_experts(self) -> List[str]:
+        """DDR residents when the DDR tier is bounded (else empty)."""
+        return list(self._ddr_resident)
+
+    def _backing_tier(self, name: str) -> str:
+        """Where a non-HBM-resident expert currently lives."""
+        if self.ddr_budget_bytes is None or name in self._ddr_resident:
+            return "ddr"
+        return "nvme"
+
+    def tier_of(self, name: str) -> str:
+        """The fastest tier holding ``name`` right now."""
+        if name in self._resident:
+            return "hbm"
+        return self._backing_tier(name)
+
+    def place(self, experts: Sequence[ExpertProfile]) -> Dict[str, str]:
+        """Initial lower-tier placement; returns name -> tier.
+
+        With an unbounded DDR tier this is the legacy world: everything
+        is DDR-resident and nothing is recorded. With a bounded one,
+        DDR fills in the given order and the overflow lands on NVMe —
+        the cold-start state of the constrained-memory scenario.
+        """
+        if self.ddr_budget_bytes is None:
+            return {e.name: "ddr" for e in experts}
+        placement: Dict[str, str] = {}
+        for expert in experts:
+            if expert.name in self._ddr_resident:
+                placement[expert.name] = "ddr"
+                continue
+            if self._ddr_bytes + expert.weight_bytes <= self.ddr_budget_bytes:
+                self._ddr_resident[expert.name] = expert
+                self._ddr_bytes += expert.weight_bytes
+                placement[expert.name] = "ddr"
+            else:
+                placement[expert.name] = "nvme"
+        return placement
+
+    def _promote_to_ddr(self, expert: ExpertProfile) -> tuple:
+        """Give an NVMe resident a DDR home, demoting victims as needed.
+
+        Victim choice reuses the *same* cache policy that ranks HBM
+        evictions — the decision choke point cascades down the
+        hierarchy rather than growing a second policy. HBM residents
+        (and the incoming expert) are pinned: the inclusive hierarchy
+        needs their DDR copies as copy-back targets.
+        """
+        self._ddr_resident[expert.name] = expert
+        self._ddr_bytes += expert.weight_bytes
+        if self._ddr_bytes <= self.ddr_budget_bytes:
+            return ()
+        demoted: List[str] = []
+        # Materialize the order first: eviction_order may lazily iterate
+        # the mapping we are about to pop from.
+        for name in list(self.policy.eviction_order(self._ddr_resident)):
+            if name == expert.name or name in self._resident:
+                continue
+            victim = self._ddr_resident.pop(name)
+            self._ddr_bytes -= victim.weight_bytes
+            demoted.append(name)
+            self.stats.tier_demotions += 1
+            if self._ddr_bytes <= self.ddr_budget_bytes:
+                break
+        return tuple(demoted)
 
     def _select_victims(self, expert: ExpertProfile) -> List[ExpertProfile]:
         """The residents activating ``expert`` would evict, in policy
@@ -293,15 +441,20 @@ class CoERuntime:
                 f"HBM budget ({self.hbm_budget_bytes} B)"
             )
 
+        src_tier = self._backing_tier(expert.name)
+        if self.ddr_budget_bytes is not None and src_tier == "ddr":
+            # A DDR hit-on-the-way-up refreshes DDR recency so the
+            # policy's demotion ranking sees real reuse order.
+            self._ddr_resident.move_to_end(expert.name)
         victims = self._select_victims(expert)
         evicted = tuple(v.name for v in victims)
         evicted_why = tuple(self.policy.why(v.name) for v in victims)
         bytes_down = sum(v.copyback_bytes for v in victims)
         bytes_up = expert.weight_bytes
         try:
-            time_s = self._upgrade_time(bytes_up)
+            time_s = self.hierarchy.transfer_time(src_tier, "hbm", bytes_up)
             if bytes_down:
-                time_s += self._downgrade_time(bytes_down)
+                time_s += self.hierarchy.transfer_time("hbm", "ddr", bytes_down)
         except Exception:
             # A failed copy must not corrupt the cache: nothing was
             # evicted or inserted yet, so only the failure is recorded.
@@ -317,6 +470,11 @@ class CoERuntime:
         self._resident[expert.name] = expert
         self._resident_bytes += expert.weight_bytes
         self.policy.on_insert(expert)
+        demoted: tuple = ()
+        if src_tier == "nvme":
+            demoted = self._promote_to_ddr(expert)
+            self.stats.tier_promotions += 1
+            self.stats.nvme_bytes_read += bytes_up
 
         if speculative:
             self.stats.speculative_bytes_up += bytes_up
@@ -359,6 +517,8 @@ class CoERuntime:
             policy=self.policy.name,
             evicted_why=evicted_why,
             speculative=speculative,
+            src_tier=src_tier,
+            demoted=demoted,
         )
 
     def touch_run(self, experts: Sequence[ExpertProfile]) -> None:
@@ -409,7 +569,11 @@ class CoERuntime:
                 record(stream, "cache", name, "hit")
 
     def flush(self) -> None:
-        """Evict everything (between experiments)."""
+        """Evict everything from HBM (between experiments).
+
+        Lower-tier placement survives: the hierarchy is inclusive, so
+        every flushed resident already has its DDR (or NVMe) home copy.
+        """
         self._resident.clear()
         self._resident_bytes = 0
         self.policy.reset()

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.coe.expert import ExpertProfile
+from repro.coe.policies import SchedulerName
 from repro.coe.serving import ExpertServer
 
 
@@ -60,6 +61,109 @@ def affinity_schedule(requests: Sequence[Request], window: int = 16) -> List[Req
         for group in groups.values():
             scheduled.extend(group)
     return scheduled
+
+
+# ----------------------------------------------------------------------
+# Admission-time schedulers (registry mirrors repro.coe.cache's
+# CACHE_POLICIES / make_policy pattern)
+# ----------------------------------------------------------------------
+
+
+class Scheduler:
+    """Admission-time request reordering, applied to the whole backlog.
+
+    Runs *before* node scheduling: the engines hand the queued requests
+    to :meth:`order` once per run (or, live, once per admitted backlog)
+    and feed the result through the usual windowed node policy and group
+    coalescing. Schedulers are stateless — :meth:`order` is a pure
+    function of its input — which is what makes one instance safely
+    shareable across cluster nodes and across the sim and live engines
+    of a cross-check pair.
+    """
+
+    #: Registry key; subclasses set it to a :class:`SchedulerName` value.
+    name = "scheduler"
+
+    def order(self, requests: Sequence["Request"]) -> List["Request"]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FifoScheduler(Scheduler):
+    """Arrival order — the historical admission behaviour, untouched."""
+
+    name = "fifo"
+
+    def order(self, requests: Sequence["Request"]) -> List["Request"]:
+        return list(requests)
+
+
+class ExpertReorderScheduler(Scheduler):
+    """Batch the backlog by expert to amortize tier switches (CoServe).
+
+    :func:`affinity_schedule` with a long horizon: where the node
+    policy's ``window`` bounds per-request delay (fairness), the
+    admission horizon trades that fairness for switch amortization —
+    under a constrained HBM (or DDR) budget, a run of same-expert
+    requests turns k misses into one promotion plus k-1 hits, which is
+    the whole point of serving a CoE from less memory than its working
+    set.
+    """
+
+    name = "expert_reorder"
+
+    def __init__(self, horizon: int = 256) -> None:
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        self.horizon = horizon
+
+    def order(self, requests: Sequence["Request"]) -> List["Request"]:
+        return affinity_schedule(requests, window=self.horizon)
+
+    def __repr__(self) -> str:
+        return f"ExpertReorderScheduler(horizon={self.horizon})"
+
+
+#: What the engines accept wherever a scheduler is expected: a name, an
+#: enum member, an instance, a zero-arg factory, or None (FIFO).
+SchedulerLike = Optional[object]
+
+#: Every scheduler configurable by name.
+SCHEDULERS = SchedulerName.values()
+
+_SCHEDULER_FACTORIES = {
+    SchedulerName.FIFO: FifoScheduler,
+    SchedulerName.EXPERT_REORDER: ExpertReorderScheduler,
+}
+
+
+def make_scheduler(spec: SchedulerLike = None) -> Scheduler:
+    """Coerce a scheduler spec into a :class:`Scheduler` instance.
+
+    Accepts ``None`` (FIFO, the historical behaviour), a name or
+    :class:`SchedulerName` member, an existing instance (returned
+    as-is), or a zero-arg factory returning one.
+    """
+    if spec is None:
+        return FifoScheduler()
+    if isinstance(spec, Scheduler):
+        return spec
+    if isinstance(spec, (str, SchedulerName)):
+        return _SCHEDULER_FACTORIES[SchedulerName.coerce(spec)]()
+    if callable(spec):
+        scheduler = spec()
+        if not isinstance(scheduler, Scheduler):
+            raise TypeError(
+                f"scheduler factory returned {type(scheduler).__name__}, "
+                "expected a Scheduler"
+            )
+        return scheduler
+    raise TypeError(
+        f"cannot make a scheduler from {spec!r}; expected a name "
+        f"({', '.join(map(repr, SCHEDULERS))}), a Scheduler, or a factory"
+    )
 
 
 @dataclass(frozen=True)

@@ -22,11 +22,12 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.coe.expert import ExpertLibrary, ExpertProfile
 from repro.coe.router import Router, RoutingDecision
 from repro.coe.runtime import CoERuntime
+from repro.memory.hierarchy import MemoryHierarchy
 from repro.models.catalog import LLAMA2_7B
 from repro.systems.platforms import Platform
 from repro.units import GiB
@@ -80,6 +81,42 @@ class ServeResult:
         return self.switch_s / self.total_s if self.total_s > 0 else 0.0
 
 
+#: Tier names a ``tier_capacities`` override may size.
+TIER_CAPACITY_KEYS = ("hbm", "ddr", "nvme")
+
+
+def validate_tier_capacities(tier_capacities) -> Optional[Dict[str, int]]:
+    """Normalize/validate a ``tier_capacities`` mapping; None passes through.
+
+    Keys must be drawn from :data:`TIER_CAPACITY_KEYS`, values must be
+    positive integers, and a bounded DDR tier must cover the HBM region
+    (the hierarchy is inclusive — HBM residents keep DDR home copies).
+    """
+    if tier_capacities is None:
+        return None
+    caps = dict(tier_capacities)
+    unknown = set(caps) - set(TIER_CAPACITY_KEYS)
+    if unknown:
+        raise ValueError(
+            f"unknown tier_capacities keys {sorted(unknown)}; "
+            f"expected a subset of {TIER_CAPACITY_KEYS}"
+        )
+    for name, value in caps.items():
+        if isinstance(value, bool) or not isinstance(value, int) or value <= 0:
+            raise ValueError(
+                f"tier_capacities[{name!r}] must be a positive byte count, "
+                f"got {value!r}"
+            )
+    hbm, ddr = caps.get("hbm"), caps.get("ddr")
+    if hbm is not None and ddr is not None and ddr < hbm:
+        raise ValueError(
+            f"tier_capacities['ddr'] ({ddr}) must be >= the HBM expert "
+            f"region ({hbm}): the hierarchy is inclusive — every HBM "
+            "resident keeps its DDR home copy"
+        )
+    return caps
+
+
 class ExpertServer:
     """Serves a CoE on one platform with a policy-cached HBM expert region.
 
@@ -87,6 +124,12 @@ class ExpertServer:
     :mod:`repro.coe.cache`): a name (``"lru"``/``"lfu"``/``"gdsf"``/
     ``"predictive"``), a :class:`~repro.coe.cache.CachePolicy` instance,
     or a zero-arg factory; unset means the paper-faithful LRU.
+
+    ``tier_capacities`` overrides hierarchy byte budgets by tier name:
+    ``"hbm"`` sizes the expert region directly (mutually exclusive with
+    ``reserved_hbm_bytes``, which sizes it by subtraction), ``"ddr"``
+    bounds the capacity tier and turns on NVMe backing — the
+    constrained-memory ladder of the CoServe scenario sweeps both.
     """
 
     def __init__(
@@ -96,26 +139,59 @@ class ExpertServer:
         router: Optional[Router] = None,
         reserved_hbm_bytes: Optional[int] = None,
         cache_policy=None,
+        tier_capacities: Optional[Dict[str, int]] = None,
     ) -> None:
         self.platform = platform
         self.library = library
         self.router = router or Router(library)
-        if reserved_hbm_bytes is None:
-            # Router weights stay pinned in HBM; reserve headroom for the
-            # KV cache and activations as well (paper: "The router and
-            # KV-cache is always in HBM").
-            reserved_hbm_bytes = self.router.model.weight_bytes + 8 * GiB
-        self.reserved_hbm_bytes = reserved_hbm_bytes
-        budget = platform.hbm_capacity_bytes - reserved_hbm_bytes
-        if budget <= 0:
-            raise ValueError(
-                f"{platform.name}: reservation {reserved_hbm_bytes} exceeds HBM"
+        caps = validate_tier_capacities(tier_capacities) or {}
+        self.tier_capacities = caps or None
+        hbm_override = caps.get("hbm")
+        if hbm_override is not None:
+            if reserved_hbm_bytes is not None:
+                raise ValueError(
+                    "reserved_hbm_bytes and tier_capacities['hbm'] both size "
+                    "the HBM expert region; pass one or the other"
+                )
+            # The ladder sweeps capacities independent of the concrete
+            # platform (a what-if region may exceed physical HBM), so the
+            # implied reservation just floors at zero.
+            budget = hbm_override
+            reserved_hbm_bytes = max(
+                0, platform.hbm_capacity_bytes - hbm_override
             )
+        else:
+            if reserved_hbm_bytes is None:
+                # Router weights stay pinned in HBM; reserve headroom for
+                # the KV cache and activations as well (paper: "The router
+                # and KV-cache is always in HBM").
+                reserved_hbm_bytes = self.router.model.weight_bytes + 8 * GiB
+            budget = platform.hbm_capacity_bytes - reserved_hbm_bytes
+            if budget <= 0:
+                raise ValueError(
+                    f"{platform.name}: reservation {reserved_hbm_bytes} "
+                    "exceeds HBM"
+                )
+        self.reserved_hbm_bytes = reserved_hbm_bytes
+        ddr_budget = caps.get("ddr")
+        if ddr_budget is not None and ddr_budget < budget:
+            raise ValueError(
+                f"tier_capacities['ddr'] ({ddr_budget}) must cover the HBM "
+                f"expert region ({budget})"
+            )
+        self.hierarchy = MemoryHierarchy.from_platform(platform)
+        if caps:
+            self.hierarchy = self.hierarchy.with_capacities(caps)
         self.runtime = CoERuntime(
             hbm_budget_bytes=budget,
-            upgrade_time=platform.switch_time,
             policy=cache_policy,
+            hierarchy=self.hierarchy,
+            ddr_budget_bytes=ddr_budget,
         )
+        if ddr_budget is not None:
+            # Cold start: DDR fills in library order, the overflow is
+            # NVMe-resident until first demand promotes it.
+            self.runtime.place(library.experts)
 
     # ------------------------------------------------------------------
     def router_time(self, batch: int, prompt_tokens: int) -> float:

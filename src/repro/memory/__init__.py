@@ -16,6 +16,11 @@ from repro.memory.interleave import (
     units_for_bandwidth,
     units_for_capacity,
 )
+from repro.memory.hierarchy import (
+    EdgeCost,
+    MemoryHierarchy,
+    TierLevel,
+)
 from repro.memory.symbols import Symbol, lifetimes_overlap, peak_live_bytes
 from repro.memory.tiers import CapacityError, MemorySystem, MemoryTier, TierKind
 from repro.memory.translation import (
@@ -30,6 +35,7 @@ __all__ = [
     "naive_spill_order", "plan_memory", "spill_order", "Symbol",
     "lifetimes_overlap", "peak_live_bytes", "CapacityError", "MemorySystem",
     "MemoryTier", "TierKind", "TransferEngine", "TransferRecord",
+    "EdgeCost", "MemoryHierarchy", "TierLevel",
     "InterleaveMode", "InterleavePlan", "InterleavedTensor",
     "units_for_bandwidth", "units_for_capacity", "PageAllocator",
     "TranslationFault", "TranslationUnit",

@@ -31,6 +31,10 @@ class TierKind(enum.Enum):
     HBM = 1
     DDR = 2
     HOST = 3
+    #: NVMe/disk backing store below DDR — the constrained-memory
+    #: serving scenario (CoServe, arXiv:2503.02354) keeps cold experts
+    #: here and promotes through DDR on demand.
+    NVME = 4
 
     @property
     def is_on_chip(self) -> bool:

@@ -145,6 +145,8 @@ class TestServeConfigSerialization:
                     time_scale=0.01, drain_timeout_s=5.0,
                     load=ArrivalSpec(process="bursty", rate_rps=10.0,
                                      duration_s=3.0, seed=9)),
+        ServeConfig(scheduler="expert_reorder",
+                    tier_capacities={"hbm": 1 << 30, "ddr": 1 << 32}),
     ])
     def test_round_trip_is_identity(self, config):
         assert ServeConfig.from_dict(config.to_dict()) == config
@@ -167,6 +169,55 @@ class TestServeConfigSerialization:
         spec = ArrivalSpec(rate_rps=7.0, duration_s=2.0, seed=3)
         config = ServeConfig(load=spec.to_dict())
         assert config.load == spec
+
+
+class TestSchedulerAndTierCapacities:
+    """The constrained-memory knobs: typed, validated, serialized."""
+
+    def test_scheduler_string_coerces_to_enum(self):
+        from repro.coe.policies import SchedulerName
+
+        config = ServeConfig(scheduler="expert_reorder")
+        assert config.scheduler is SchedulerName.EXPERT_REORDER
+        assert config.to_dict()["scheduler"] == "expert_reorder"
+
+    def test_unknown_scheduler_rejected_with_members(self):
+        with pytest.raises(ValueError,
+                           match="'fifo', 'expert_reorder'"):
+            ServeConfig(scheduler="priority")
+
+    def test_with_changes_scheduler(self):
+        config = ServeConfig().with_(scheduler="expert_reorder")
+        assert config.scheduler.value == "expert_reorder"
+
+    def test_tier_capacities_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown tier"):
+            ServeConfig(tier_capacities={"sram": 1 << 20})
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "big"])
+    def test_tier_capacities_non_positive_int_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ServeConfig(tier_capacities={"hbm": bad})
+
+    def test_tier_capacities_ddr_must_cover_hbm(self):
+        with pytest.raises(ValueError, match="DDR"):
+            ServeConfig(tier_capacities={"hbm": 1 << 30, "ddr": 1 << 20})
+
+    def test_hbm_override_conflicts_with_reserved_bytes(self):
+        with pytest.raises(ValueError, match="reserved_hbm_bytes"):
+            ServeConfig(reserved_hbm_bytes=1 << 20,
+                        tier_capacities={"hbm": 1 << 30})
+
+    def test_tier_capacities_copied_not_aliased(self):
+        caps = {"hbm": 1 << 30}
+        config = ServeConfig(tier_capacities=caps)
+        caps["hbm"] = 0
+        assert config.tier_capacities == {"hbm": 1 << 30}
+
+    def test_defaults_are_off(self):
+        config = ServeConfig()
+        assert config.scheduler.value == "fifo"
+        assert config.tier_capacities is None
 
 
 class TestServeModeErrors:

@@ -256,6 +256,116 @@ def test_randomized_drain_mode_fuzz():
             ), (key, mode)
 
 
+def _tier_caps(library, hbm_frac=0.5, ddr_frac=0.75):
+    """Constrained-memory capacities as fractions of the working set."""
+    working_set = sum(e.weight_bytes for e in library.experts)
+    biggest = max(e.weight_bytes for e in library.experts)
+    hbm = max(int(hbm_frac * working_set), biggest)
+    return {"hbm": hbm, "ddr": max(int(ddr_frac * working_set), hbm)}
+
+
+@pytest.mark.parametrize("cache_policy", ["lru", "lfu", "gdsf"])
+def test_engine_three_way_equivalence_tiered(cache_policy):
+    """The three-way identity holds with the full memory hierarchy on:
+    a 3-tier capacity ladder (NVMe promotions in play) and the
+    expert-reorder admission scheduler."""
+    rng = random.Random(f"tiered:{cache_policy}")
+    library, requests = _random_workload(rng)
+    caps = _tier_caps(library)
+
+    def run(mode):
+        log = DecisionLog()
+        report = ServingEngine(
+            sn40l_platform(), library, policy="affinity",
+            cache_policy=cache_policy, drain_mode=mode,
+            scheduler="expert_reorder", tier_capacities=caps,
+            decision_log=log,
+        ).run(requests)
+        return report, log
+
+    reference, reference_log = run("reference")
+    assert reference.scheduler == "expert_reorder"
+    for mode in ("batched", "columnar"):
+        report, log = run(mode)
+        assert report.to_dict() == reference.to_dict(), mode
+        assert report.completed == reference.completed, mode
+        assert _timeline_lanes(report.timeline) == _timeline_lanes(
+            reference.timeline
+        ), mode
+        assert log == reference_log, (mode, log.diff(reference_log))
+
+
+@pytest.mark.parametrize("policy", ["least_loaded", "affinity"])
+def test_cluster_three_way_equivalence_tiered(policy):
+    rng = random.Random(f"cluster-tiered:{policy}")
+    library, requests = _random_workload(rng)
+    caps = _tier_caps(library)
+
+    def run(mode):
+        log = DecisionLog()
+        report = ClusterEngine(
+            sn40l_platform, library, num_nodes=3, policy=policy,
+            drain_mode=mode, scheduler="expert_reorder",
+            tier_capacities=caps, decision_log=log,
+        ).serve(requests)
+        return report, log
+
+    reference, reference_log = run("reference")
+    assert reference.scheduler == "expert_reorder"
+    for mode in ("batched", "columnar"):
+        report, log = run(mode)
+        assert report.to_dict() == reference.to_dict(), mode
+        assert report.events_run == reference.events_run, mode
+        assert _timeline_lanes(report.timeline) == _timeline_lanes(
+            reference.timeline
+        ), mode
+        assert log == reference_log, (mode, log.diff(reference_log))
+
+
+def test_randomized_tiered_drain_fuzz():
+    """Seeded fuzz with the hierarchy and scheduler axes in the mix."""
+    rng = random.Random(20260810)
+    for trial in range(4):
+        cache = rng.choice(["lru", "lfu", "gdsf"])
+        scheduler = rng.choice(["fifo", "expert_reorder"])
+        library, requests = _random_workload(rng)
+        caps = _tier_caps(library, hbm_frac=rng.uniform(0.2, 0.8),
+                          ddr_frac=rng.uniform(0.8, 1.2))
+        reports = {}
+        for mode in DRAIN_MODES:
+            reports[mode] = ServingEngine(
+                sn40l_platform(), library, policy="affinity",
+                cache_policy=cache, drain_mode=mode, scheduler=scheduler,
+                tier_capacities=caps,
+            ).run(requests)
+        key = (trial, cache, scheduler)
+        for mode in ("batched", "columnar"):
+            assert reports[mode].to_dict() == reports["reference"].to_dict(), (
+                key, mode)
+            assert reports[mode].completed == reports["reference"].completed, (
+                key, mode)
+
+
+def test_sim_live_cross_check_with_hierarchy_and_scheduler():
+    """The sim/live decision cross-check holds with the whole PR on:
+    3-tier capacities, NVMe promotions, and expert reordering."""
+    from repro.coe.api import ServeConfig
+    from repro.coe.crosscheck import cross_check
+    from repro.load import ArrivalSpec, generate_trace
+
+    library = build_samba_coe_library(16)
+    spec = ArrivalSpec(rate_rps=40.0, duration_s=2.0, zipf_alpha=1.1, seed=11)
+    requests = generate_trace(spec, library).to_requests(library)
+    config = ServeConfig(
+        policy="affinity", cluster_policy="least_loaded", mode="live",
+        num_nodes=2, scheduler="expert_reorder",
+        tier_capacities=_tier_caps(library),
+    )
+    result = cross_check(sn40l_platform, library, requests, config)
+    assert result.match, result.mismatch
+    assert result.decisions > 0
+
+
 def test_randomized_seeds_sweep():
     """A seeded fuzz over the config space beyond the fixed grid."""
     rng = random.Random(20260808)

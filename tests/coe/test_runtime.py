@@ -147,7 +147,7 @@ class TestFailureInjection:
         with pytest.raises(IOError):
             rt.activate(e2)
         # After recovery, a successful DMA evicts e0 (still the oldest).
-        rt._upgrade_time = lambda b: 0.0
+        dma.fail_after = float("inf")
         event = rt.activate(e3)
         assert event.evicted == ("e0",)
 
@@ -165,7 +165,7 @@ class TestFailureInjection:
         rt.activate(_expert(0))
         with pytest.raises(IOError):
             rt.activate(_expert(1))
-        rt._upgrade_time = lambda b: 0.0  # DMA recovered
+        dma.fail_after = float("inf")  # DMA recovered
         event = rt.activate(_expert(1))
         assert not event.hit
         assert rt.resident_experts == ["e1"]

@@ -1,0 +1,133 @@
+"""Admission-time scheduler registry and ordering semantics."""
+
+import pytest
+
+from repro.coe.expert import build_samba_coe_library
+from repro.coe.policies import SchedulerName
+from repro.coe.scheduling import (
+    SCHEDULERS,
+    ExpertReorderScheduler,
+    FifoScheduler,
+    Request,
+    Scheduler,
+    affinity_schedule,
+    make_scheduler,
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_samba_coe_library(24)
+
+
+def _interleaved(library, copies=5, experts=6):
+    reqs = []
+    rid = 0
+    for _ in range(copies):
+        for idx in range(experts):
+            reqs.append(Request(rid, library.experts[idx]))
+            rid += 1
+    return reqs
+
+
+class TestRegistry:
+    def test_registry_lists_every_name(self):
+        assert SCHEDULERS == ("fifo", "expert_reorder")
+        assert SCHEDULERS == SchedulerName.values()
+
+    def test_make_by_name(self):
+        assert isinstance(make_scheduler("fifo"), FifoScheduler)
+        assert isinstance(make_scheduler("expert_reorder"),
+                          ExpertReorderScheduler)
+
+    def test_make_by_enum(self):
+        sched = make_scheduler(SchedulerName.EXPERT_REORDER)
+        assert isinstance(sched, ExpertReorderScheduler)
+
+    def test_none_means_fifo(self):
+        assert isinstance(make_scheduler(None), FifoScheduler)
+        assert isinstance(make_scheduler(), FifoScheduler)
+
+    def test_instance_passthrough(self):
+        sched = ExpertReorderScheduler(horizon=8)
+        assert make_scheduler(sched) is sched
+
+    def test_factory(self):
+        sched = make_scheduler(lambda: ExpertReorderScheduler(horizon=4))
+        assert isinstance(sched, ExpertReorderScheduler)
+        assert sched.horizon == 4
+
+    def test_factory_returning_wrong_type_rejected(self):
+        with pytest.raises(TypeError, match="expected a Scheduler"):
+            make_scheduler(lambda: object())
+
+    def test_unknown_name_names_valid_members(self):
+        with pytest.raises(ValueError, match="'fifo', 'expert_reorder'"):
+            make_scheduler("sjf")
+
+    def test_garbage_spec_rejected(self):
+        with pytest.raises(TypeError, match="cannot make a scheduler"):
+            make_scheduler(42)
+
+    def test_names_match_registry_keys(self):
+        for name in SCHEDULERS:
+            assert make_scheduler(name).name == name
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Scheduler().order([])
+
+
+class TestFifoScheduler:
+    def test_preserves_arrival_order(self, library):
+        reqs = _interleaved(library)
+        assert FifoScheduler().order(reqs) == reqs
+
+    def test_returns_a_copy(self, library):
+        reqs = _interleaved(library)
+        out = FifoScheduler().order(reqs)
+        out.pop()
+        assert len(reqs) == 30
+
+
+class TestExpertReorderScheduler:
+    def test_groups_by_expert_within_horizon(self, library):
+        reqs = _interleaved(library, copies=5, experts=6)
+        out = ExpertReorderScheduler(horizon=30).order(reqs)
+        # Every expert's requests now form one contiguous run.
+        seen = []
+        for req in out:
+            if not seen or seen[-1] != req.expert.name:
+                seen.append(req.expert.name)
+        assert len(seen) == 6
+
+    def test_matches_affinity_schedule_with_horizon_window(self, library):
+        reqs = _interleaved(library)
+        sched = ExpertReorderScheduler(horizon=12)
+        assert sched.order(reqs) == affinity_schedule(reqs, window=12)
+
+    def test_permutation_not_mutation(self, library):
+        reqs = _interleaved(library)
+        out = ExpertReorderScheduler(horizon=30).order(reqs)
+        assert sorted(r.request_id for r in out) == \
+            [r.request_id for r in reqs]
+
+    def test_horizon_bounds_delay(self, library):
+        # With horizon=6 (one interleave period) no request moves more
+        # than horizon - 1 positions.
+        reqs = _interleaved(library, copies=4, experts=6)
+        out = ExpertReorderScheduler(horizon=6).order(reqs)
+        for pos, req in enumerate(out):
+            assert abs(pos - req.request_id) < 6
+
+    def test_stateless_reuse(self, library):
+        reqs = _interleaved(library)
+        sched = ExpertReorderScheduler(horizon=16)
+        assert sched.order(reqs) == sched.order(reqs)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon must be >= 1"):
+            ExpertReorderScheduler(horizon=0)
+
+    def test_repr_shows_horizon(self):
+        assert "horizon=9" in repr(ExpertReorderScheduler(horizon=9))

@@ -1,0 +1,224 @@
+"""Multi-tier CoERuntime: hierarchy costs, NVMe promotion, DDR demotion."""
+
+import pytest
+
+from repro.coe.expert import ExpertProfile
+from repro.coe.runtime import CoERuntime
+from repro.memory.hierarchy import EdgeCost, MemoryHierarchy, TierLevel
+from repro.models.transformer import TransformerConfig
+
+TINY = TransformerConfig("tiny", hidden=64, layers=2, heads=4, kv_heads=4,
+                         intermediate=128, vocab=100)
+EXPERT_BYTES = TINY.weight_bytes
+
+
+def _expert(i, mutable=0.0):
+    return ExpertProfile(f"e{i}", "chat", model=TINY, mutable_fraction=mutable)
+
+
+def _hierarchy(hbm_experts=2, ddr_experts=3):
+    return MemoryHierarchy(
+        levels=(
+            TierLevel("hbm", hbm_experts * EXPERT_BYTES),
+            TierLevel("ddr", ddr_experts * EXPERT_BYTES),
+            TierLevel("nvme", None),
+        ),
+        edges={
+            ("ddr", "hbm"): EdgeCost(bandwidth=1e9),
+            ("hbm", "ddr"): EdgeCost(bandwidth=1e9),
+            ("nvme", "ddr"): EdgeCost(bandwidth=1e8),
+            ("ddr", "nvme"): EdgeCost(bandwidth=1e8),
+        },
+    )
+
+
+def _tiered(hbm_experts=2, ddr_experts=3, **kw):
+    return CoERuntime(
+        hbm_budget_bytes=hbm_experts * EXPERT_BYTES,
+        hierarchy=_hierarchy(hbm_experts, ddr_experts),
+        ddr_budget_bytes=ddr_experts * EXPERT_BYTES,
+        **kw,
+    )
+
+
+class TestConstruction:
+    def test_hierarchy_and_callables_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            CoERuntime(
+                hbm_budget_bytes=EXPERT_BYTES,
+                upgrade_time=lambda b: 0.0,
+                hierarchy=_hierarchy(),
+            )
+
+    def test_one_cost_source_required(self):
+        with pytest.raises(ValueError, match="needs a hierarchy"):
+            CoERuntime(hbm_budget_bytes=EXPERT_BYTES)
+
+    def test_ddr_budget_must_cover_hbm(self):
+        with pytest.raises(ValueError, match="inclusive"):
+            CoERuntime(
+                hbm_budget_bytes=2 * EXPERT_BYTES,
+                hierarchy=_hierarchy(),
+                ddr_budget_bytes=EXPERT_BYTES,
+            )
+
+    def test_negative_ddr_budget_rejected(self):
+        with pytest.raises(ValueError, match="negative DDR budget"):
+            CoERuntime(
+                hbm_budget_bytes=0,
+                hierarchy=_hierarchy(),
+                ddr_budget_bytes=-1,
+            )
+
+    def test_ddr_budget_needs_nvme_tier(self):
+        two_level = MemoryHierarchy.from_edge_times(lambda b: 0.0)
+        with pytest.raises(ValueError, match="nvme"):
+            CoERuntime(
+                hbm_budget_bytes=EXPERT_BYTES,
+                hierarchy=two_level,
+                ddr_budget_bytes=EXPERT_BYTES,
+            )
+
+
+class TestDeprecatedShims:
+    def test_upgrade_time_warns_and_prices_ddr_to_hbm(self):
+        rt = CoERuntime(hbm_budget_bytes=EXPERT_BYTES,
+                        upgrade_time=lambda b: b / 1e9)
+        with pytest.warns(DeprecationWarning, match="upgrade_time"):
+            assert rt.upgrade_time(1000) == 1000 / 1e9
+
+    def test_downgrade_time_warns_and_prices_hbm_to_ddr(self):
+        rt = CoERuntime(hbm_budget_bytes=EXPERT_BYTES,
+                        upgrade_time=lambda b: b / 1e9,
+                        downgrade_time=lambda b: b / 5e8)
+        with pytest.warns(DeprecationWarning, match="downgrade_time"):
+            assert rt.downgrade_time(1000) == 1000 / 5e8
+
+    def test_transfer_time_does_not_warn(self, recwarn):
+        rt = _tiered()
+        assert rt.transfer_time("ddr", "hbm", 1000) == 1000 / 1e9
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestPlacement:
+    def test_unbounded_ddr_places_everything_on_ddr(self):
+        rt = CoERuntime(hbm_budget_bytes=EXPERT_BYTES,
+                        hierarchy=_hierarchy())
+        experts = [_expert(i) for i in range(4)]
+        assert set(rt.place(experts).values()) == {"ddr"}
+        assert rt.ddr_resident_experts == []
+
+    def test_bounded_ddr_fills_in_order_then_spills(self):
+        rt = _tiered(hbm_experts=2, ddr_experts=3)
+        experts = [_expert(i) for i in range(5)]
+        placement = rt.place(experts)
+        assert [placement[f"e{i}"] for i in range(5)] == \
+            ["ddr", "ddr", "ddr", "nvme", "nvme"]
+        assert rt.ddr_resident_experts == ["e0", "e1", "e2"]
+
+    def test_tier_of_tracks_residency(self):
+        rt = _tiered(hbm_experts=2, ddr_experts=3)
+        experts = [_expert(i) for i in range(5)]
+        rt.place(experts)
+        rt.activate(experts[0])
+        assert rt.tier_of("e0") == "hbm"
+        assert rt.tier_of("e1") == "ddr"
+        assert rt.tier_of("e4") == "nvme"
+
+
+class TestMultiTierActivation:
+    def test_ddr_miss_prices_single_hop(self):
+        rt = _tiered()
+        rt.place([_expert(i) for i in range(5)])
+        event = rt.activate(_expert(0))
+        assert not event.hit
+        assert event.src_tier == "ddr"
+        assert event.time_s == EXPERT_BYTES / 1e9
+        assert rt.stats.tier_promotions == 0
+
+    def test_nvme_miss_prices_two_hops_and_promotes(self):
+        rt = _tiered(hbm_experts=2, ddr_experts=3)
+        rt.place([_expert(i) for i in range(5)])
+        event = rt.activate(_expert(4))
+        assert event.src_tier == "nvme"
+        assert event.time_s == pytest.approx(
+            EXPERT_BYTES / 1e8 + EXPERT_BYTES / 1e9
+        )
+        assert rt.stats.tier_promotions == 1
+        assert rt.stats.nvme_bytes_read == EXPERT_BYTES
+        # e4 now has a DDR home; someone else was demoted to make room.
+        assert "e4" in rt.ddr_resident_experts
+        assert event.demoted == ("e0",)
+        assert rt.stats.tier_demotions == 1
+        assert rt.tier_of("e0") == "nvme"
+
+    def test_hbm_residents_are_never_demotion_victims(self):
+        rt = _tiered(hbm_experts=2, ddr_experts=2)
+        experts = [_expert(i) for i in range(4)]
+        rt.place(experts)  # e0, e1 on DDR; e2, e3 on NVMe
+        rt.activate(experts[0])
+        rt.activate(experts[1])
+        rt.activate(experts[0])  # HBM hit: refreshes HBM recency only,
+        # so e0 is now DDR-LRU *and* HBM-resident — the pinning case.
+        event = rt.activate(experts[2])  # evicts e1 from HBM, promotes e2
+        # The DDR demotion scan must skip e0 (HBM needs its copy-back
+        # target) despite it ranking first, and take e1 instead.
+        assert event.demoted == ("e1",)
+        assert set(rt.ddr_resident_experts) == {"e0", "e2"}
+
+    def test_second_access_after_promotion_is_ddr_sourced(self):
+        rt = _tiered(hbm_experts=1, ddr_experts=3)
+        experts = [_expert(i) for i in range(5)]
+        rt.place(experts)
+        assert rt.activate(experts[4]).src_tier == "nvme"
+        rt.activate(experts[1])  # evicts e4 from HBM; its DDR home stays
+        event = rt.activate(experts[4])
+        assert event.src_tier == "ddr"
+        assert rt.stats.tier_promotions == 1
+
+    def test_hit_reports_hbm_source(self):
+        rt = _tiered()
+        rt.place([_expert(0)])
+        rt.activate(_expert(0))
+        event = rt.activate(_expert(0))
+        assert event.hit and event.src_tier == "hbm" and event.demoted == ()
+
+    def test_ddr_recency_refreshed_on_way_up(self):
+        rt = _tiered(hbm_experts=1, ddr_experts=2)
+        experts = [_expert(i) for i in range(4)]
+        rt.place(experts)  # e0, e1 on DDR
+        rt.activate(experts[1])  # DDR hit-on-the-way-up: e1 refreshed
+        rt.activate(experts[2])  # e2 promoted; e1 evicted from HBM but
+        # the LRU DDR victim must be e0 (stale), not e1 (refreshed).
+        assert rt.tier_of("e0") == "nvme"
+        assert "e1" in rt.ddr_resident_experts
+
+
+class TestLegacyEquivalence:
+    """An unconstrained 3-tier runtime is bitwise the legacy 2-tier one."""
+
+    def test_trace_identical_without_ddr_budget(self):
+        legacy = CoERuntime(hbm_budget_bytes=2 * EXPERT_BYTES,
+                            upgrade_time=lambda b: b / 1e9)
+        tiered = CoERuntime(hbm_budget_bytes=2 * EXPERT_BYTES,
+                            hierarchy=_hierarchy(hbm_experts=2))
+        experts = [_expert(i) for i in range(4)]
+        tiered.place(experts)
+        pattern = [0, 1, 2, 0, 3, 1, 0, 2, 3, 1]
+        for idx in pattern:
+            a = legacy.activate(experts[idx])
+            b = tiered.activate(experts[idx])
+            assert a == b  # full SwitchEvent tuples, times included
+        assert legacy.stats == tiered.stats
+        assert legacy.resident_experts == tiered.resident_experts
+
+    def test_flush_preserves_lower_tier_placement(self):
+        rt = _tiered(hbm_experts=2, ddr_experts=3)
+        experts = [_expert(i) for i in range(5)]
+        rt.place(experts)
+        rt.activate(experts[4])
+        homes = rt.ddr_resident_experts
+        rt.flush()
+        assert rt.resident_experts == []
+        assert rt.ddr_resident_experts == homes
