@@ -170,19 +170,34 @@ def _build_stream(args):
 
 
 def _tier_caps_from_args(args, library):
-    """``--hbm-frac`` -> ``tier_capacities`` dict (or None when unset).
+    """``--hbm-frac``/``--ddr-frac`` -> ``tier_capacities`` (or None).
 
-    The budget is FRAC x the library working set, floored at the largest
-    single expert so at least one expert always fits in HBM.
+    The HBM budget is FRAC x the library working set, floored at the
+    largest single expert so at least one expert always fits in HBM.
+    ``--ddr-frac`` additionally bounds the DDR tier (spilling the rest
+    to NVMe); it is clamped up to the HBM budget so the inclusive
+    hierarchy invariant (DDR >= HBM) always holds, and it needs
+    ``--hbm-frac`` — an unbounded HBM tier never spills to DDR, so a
+    DDR cap alone would be dead configuration.
     """
     frac = getattr(args, "hbm_frac", None)
+    ddr_frac = getattr(args, "ddr_frac", None)
     if frac is None:
+        if ddr_frac is not None:
+            raise ValueError("--ddr-frac needs --hbm-frac: an unbounded "
+                             "HBM budget never spills to DDR")
         return None
     if frac <= 0:
         raise ValueError(f"--hbm-frac must be positive, got {frac}")
     working_set = sum(e.weight_bytes for e in library.experts)
     biggest = max(e.weight_bytes for e in library.experts)
-    return {"hbm": max(int(frac * working_set), biggest)}
+    caps = {"hbm": max(int(frac * working_set), biggest)}
+    if ddr_frac is not None:
+        if ddr_frac <= 0:
+            raise ValueError(
+                f"--ddr-frac must be positive, got {ddr_frac}")
+        caps["ddr"] = max(int(ddr_frac * working_set), caps["hbm"])
+    return caps
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
@@ -226,7 +241,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                                      window=args.window,
                                      cache_policy=args.cache_policy,
                                      scheduler=args.scheduler,
-                                     tier_capacities=tier_capacities)
+                                     tier_capacities=tier_capacities,
+                                     pipeline_promotions=args.pipelined)
                 if getattr(args, "profile", False) and not results:
                     from repro.bench.sweep import profile_point
 
@@ -256,6 +272,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "cache_policy": args.cache_policy,
             "scheduler": args.scheduler,
             "hbm_frac": args.hbm_frac,
+            "ddr_frac": args.ddr_frac,
+            "pipelined": args.pipelined,
             "results": results,
         }
         with open(args.output, "w") as fh:
@@ -308,6 +326,7 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
                     cache_policy=args.cache_policy,
                     scheduler=args.scheduler,
                     tier_capacities=tier_capacities,
+                    pipeline_promotions=args.pipelined,
                 )
                 if getattr(args, "profile", False) and not results:
                     from repro.bench.sweep import profile_point
@@ -350,6 +369,8 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
             "cache_policy": args.cache_policy,
             "scheduler": args.scheduler,
             "hbm_frac": args.hbm_frac,
+            "ddr_frac": args.ddr_frac,
+            "pipelined": args.pipelined,
             "online_replication": replication,
             "faults": list(args.inject_fault),
             "deadline_s": args.deadline,
@@ -409,6 +430,7 @@ def _cmd_serve_live(args: argparse.Namespace) -> int:
             max_queue=args.max_queue, time_scale=args.time_scale,
             scheduler=args.scheduler,
             tier_capacities=_tier_caps_from_args(args, library),
+            pipeline_promotions=args.pipelined,
         )
     except (ServeModeError, ValueError) as exc:
         print(exc, file=sys.stderr)
@@ -686,9 +708,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="cross-node dispatch policy (cluster paths)")
         p.add_argument(
             "--cache-policy", default="lru",
-            choices=["lru", "lfu", "gdsf", "predictive"],
+            choices=["lru", "lfu", "gdsf", "predictive", "lookahead"],
             help="HBM expert-cache eviction policy (belady is offline-"
-                 "only; see benchmarks/test_cache_policies.py)")
+                 "only; see benchmarks/test_cache_policies.py; lookahead "
+                 "ranks victims by next-use distance in the scheduler's "
+                 "reordered backlog)")
         p.add_argument(
             "--scheduler", default="fifo",
             choices=["fifo", "expert_reorder"],
@@ -700,6 +724,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="cap the HBM expert budget at FRAC x the library working "
                  "set (constrained-memory ladder; spills to DDR/NVMe "
                  "via the memory hierarchy)")
+        p.add_argument(
+            "--ddr-frac", type=float, default=None, metavar="FRAC",
+            help="additionally cap the DDR expert budget at FRAC x the "
+                 "working set (needs --hbm-frac; clamped up to the HBM "
+                 "budget; the remainder lives on NVMe)")
+        p.add_argument(
+            "--pipelined", action="store_true",
+            help="start the next queued group's NVMe->DDR promotion "
+                 "while the current group decodes (CoServe-style "
+                 "pipelining; needs a bounded DDR tier via --ddr-frac, "
+                 "incompatible with --policy overlap)")
         p.add_argument(
             "--num-nodes", "--nodes", dest="num_nodes", default="4",
             metavar="N[,N...]",

@@ -112,6 +112,15 @@ class ServeConfig:
     #: historical arrival order; ``expert_reorder`` batches the backlog
     #: by expert to amortize tier switches. Valid in both modes.
     scheduler: SchedulerName = SchedulerName.FIFO
+    #: CoServe-style promotion pipelining: when the scheduler's
+    #: reordered backlog shows an upcoming NVMe-resident expert, its
+    #: NVMe->DDR promotion starts on the prefetch lane while the current
+    #: group decodes, so the demand miss pays only the DDR->HBM hop.
+    #: Needs a bounded ``tier_capacities['ddr']`` to have any effect;
+    #: incompatible with the ``overlap`` node policy (both claim the
+    #: idle DMA). Valid in both modes — live runs cancel in-flight
+    #: promotions wall-clock-legally at shutdown.
+    pipeline_promotions: bool = False
     #: Byte budgets per memory tier (``{"hbm": ..., "ddr": ...}``),
     #: overriding the platform defaults — the constrained-memory ladder's
     #: knob. ``"hbm"`` sizes the expert region directly (mutually
@@ -180,6 +189,13 @@ class ServeConfig:
                 "the HBM expert region; pass one or the other"
             )
         object.__setattr__(self, "faults", _coerce_faults(self.faults))
+        if self.pipeline_promotions and self.policy is NodePolicy.OVERLAP:
+            raise ValueError(
+                "pipeline_promotions is incompatible with policy 'overlap': "
+                "overlap's speculative prefetches start at 'now' regardless "
+                "of DMA occupancy, so sharing the prefetch lane with "
+                "pipelined NVMe promotions would double-book the DMA"
+            )
         if self.num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
         if self.max_batch < 1 or self.window < 1:
@@ -269,6 +285,7 @@ class ServeConfig:
             "cluster_policy": self.cluster_policy.value,
             "cache_policy": self.cache_policy.value,
             "scheduler": self.scheduler.value,
+            "pipeline_promotions": self.pipeline_promotions,
             "tier_capacities": (
                 dict(self.tier_capacities)
                 if self.tier_capacities is not None else None
@@ -356,6 +373,7 @@ def build_server(
             decision_log=decision_log,
             scheduler=config.scheduler.value,
             tier_capacities=config.tier_capacities,
+            pipeline_promotions=config.pipeline_promotions,
         )
     instance = platform() if callable(platform) else platform
     return ServingEngine(
@@ -369,6 +387,7 @@ def build_server(
         decision_log=decision_log,
         scheduler=config.scheduler.value,
         tier_capacities=config.tier_capacities,
+        pipeline_promotions=config.pipeline_promotions,
     )
 
 

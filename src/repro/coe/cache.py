@@ -20,6 +20,10 @@ the eviction decision a policy object so those signals can compete:
 - :class:`PredictivePolicy` — evict the expert the serving layer's
   :class:`~repro.coe.scheduling.ExpertPredictor` ranks least likely to
   be needed next (never-predicted residents go first).
+- :class:`LookaheadPolicy` — the online Belady approximation: evict the
+  resident whose next use lies farthest in the admission scheduler's
+  reordered backlog (the CoServe lookahead window, arXiv:2503.02354).
+  Nameable, but only usable once an engine binds its backlog view.
 - :class:`BeladyPolicy` — the clairvoyant upper bound: evict the expert
   whose next use lies farthest in the future, replayed from a recorded
   demand trace (:attr:`CoERuntime.demand_trace` of a prior run). Not a
@@ -302,6 +306,91 @@ class PredictivePolicy(CachePolicy):
         return f"predictive: rank {rank} of next-use likelihood"
 
 
+class LookaheadUnboundError(ValueError):
+    """A :class:`LookaheadPolicy` was asked to rank victims with no
+    scheduler backlog attached.
+
+    Mirrors how ``"belady"`` is rejected by name in :func:`make_policy`:
+    lookahead *is* nameable (the serving engines bind their own queue
+    view automatically), but without a backlog there is no future to
+    look ahead into, so a bare runtime fails at the first eviction
+    decision instead of silently degrading to recency.
+    """
+
+
+class LookaheadPolicy(CachePolicy):
+    """Evict the resident whose next use lies farthest in the backlog.
+
+    The online approximation of :class:`BeladyPolicy`: instead of a
+    clairvoyant trace, it reads the admission scheduler's *reordered
+    backlog* — the queue of groups not yet begun — as a lookahead
+    window (the CoServe trick, arXiv:2503.02354). Within ``horizon``
+    upcoming accesses, each resident's distance to first use is exact;
+    residents not appearing in the window rank as farthest (ties broken
+    least-recent, then by name). Because the engines cascade one policy
+    down the hierarchy, the same ranking drives both HBM evictions and
+    DDR demotions.
+
+    The backlog supplier is attached by the owning engine
+    (:meth:`bind_backlog`): in sim mode it is the live view of the
+    engine's remaining queue, in live mode the node's pending-group
+    mirror — the cross-check pins that both views are identical at
+    every decision point. Standalone use without a backlog raises
+    :class:`LookaheadUnboundError`.
+    """
+
+    name = "lookahead"
+
+    #: Default scan depth — matches ExpertReorderScheduler's horizon, so
+    #: the window the policy reads is the window the scheduler sorted.
+    DEFAULT_HORIZON = 256
+
+    def __init__(self, horizon: int = DEFAULT_HORIZON) -> None:
+        super().__init__()
+        if horizon <= 0:
+            raise ValueError(f"lookahead horizon must be positive: {horizon}")
+        self.horizon = horizon
+        self._backlog: Optional[Callable[[], Sequence[str]]] = None
+
+    def bind_backlog(self, supplier: Callable[[], Sequence[str]]) -> None:
+        """Attach the engine's backlog view: a zero-arg callable yielding
+        upcoming expert names in scheduled order (soonest first)."""
+        self._backlog = supplier
+
+    def _distances(self) -> Dict[str, int]:
+        if self._backlog is None:
+            raise LookaheadUnboundError(
+                "the lookahead policy needs a scheduler backlog: serving "
+                "engines attach one automatically (bind_backlog); a bare "
+                "CoERuntime cannot rank victims by next-use distance"
+            )
+        distances: Dict[str, int] = {}
+        for index, name in enumerate(self._backlog()):
+            if index >= self.horizon:
+                break
+            if name not in distances:
+                distances[name] = index
+        return distances
+
+    def eviction_order(self, resident: Mapping[str, ExpertProfile]) -> List[str]:
+        distances = self._distances()
+        beyond = self.horizon + 1
+        return sorted(
+            resident,
+            key=lambda n: (
+                -distances.get(n, beyond), self._recency(n), n
+            ),
+        )
+
+    def why(self, name: str) -> str:
+        if self._backlog is None:
+            return "lookahead: no backlog bound"
+        distance = self._distances().get(name)
+        if distance is None:
+            return f"lookahead: unused within horizon {self.horizon}"
+        return f"lookahead: next use {distance} groups ahead"
+
+
 class BeladyPolicy(CachePolicy):
     """Clairvoyant (offline-optimal) eviction, replayed from a trace.
 
@@ -379,6 +468,7 @@ _FACTORIES: Dict[str, Callable[[], CachePolicy]] = {
     CachePolicyName.LFU.value: LFUPolicy,
     CachePolicyName.GDSF.value: GDSFPolicy,
     CachePolicyName.PREDICTIVE.value: PredictivePolicy,
+    CachePolicyName.LOOKAHEAD.value: LookaheadPolicy,
 }
 
 
@@ -424,6 +514,8 @@ __all__ = [
     "GDSFPolicy",
     "LFUPolicy",
     "LRUPolicy",
+    "LookaheadPolicy",
+    "LookaheadUnboundError",
     "PredictivePolicy",
     "make_policy",
 ]

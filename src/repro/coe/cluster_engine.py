@@ -316,6 +316,7 @@ class ClusterEngine:
         drain_mode: "Union[str, DrainMode, None]" = None,
         scheduler: SchedulerLike = None,
         tier_capacities: Optional[Dict[str, int]] = None,
+        pipeline_promotions: bool = False,
     ) -> None:
         self.policy = ClusterPolicy.coerce(policy).value
         self.node_policy = NodePolicy.coerce(node_policy).value
@@ -353,6 +354,7 @@ class ClusterEngine:
         self.heartbeat_s = heartbeat_s
         self.deadline_s = deadline_s
         self.cache_policy_spec = cache_policy
+        self.pipeline_promotions = bool(pipeline_promotions)
         self.record_timeline = record_timeline
         self.timeline: Optional[Timeline] = (
             Timeline() if record_timeline else None
@@ -434,6 +436,7 @@ class ClusterEngine:
                 drain_mode=self.drain_mode,
                 decision_log=decision_log,
                 tier_capacities=tier_capacities,
+                pipeline_promotions=pipeline_promotions,
             )
             node = _Node(
                 index=idx,
@@ -489,6 +492,15 @@ class ClusterEngine:
         owners = self._owners.get(name)
         if not owners:
             raise KeyError(f"no node hosts expert {name!r}")
+        if len(owners) == 1:
+            # Single-owner fast path: with one replica there is no
+            # choice to make, and under single-owner sharding (the
+            # default partition with replication off) this is *every*
+            # route — skipping the per-call closure construction and the
+            # dispatch-core scan is the admission profile's biggest win.
+            # choose_node() over a one-element owner list returns the
+            # same index unconditionally, so decisions are unchanged.
+            return self.nodes[owners[0]]
         index = choose_node(
             owners,
             name,
@@ -509,11 +521,18 @@ class ClusterEngine:
         """
         node = self._route(group)
         decisions = self._decisions
-        label = f"{group.expert.name}x{group.batch}"
+        # The per-group exec estimate is the same memoized float for the
+        # deadline ETA and the admission-backlog increment; compute it
+        # lazily and at most once per dispatch (it used to be evaluated
+        # twice, dominating the admission profile alongside routing).
+        exec_s: Optional[float] = None
+        label = (
+            f"{group.expert.name}x{group.batch}"
+            if decisions is not None else ""
+        )
         if self.deadline_s is not None:
-            eta = admission_eta(
-                now, self._backlog_s(node), node.engine._group_exec_time(group)
-            )
+            exec_s = node.engine._group_exec_time(group)
+            eta = admission_eta(now, self._backlog_s(node), exec_s)
             admitted = deadline_admits(eta, self.deadline_s)
             if decisions is not None:
                 # repr(eta) carries full float precision: one different
@@ -530,9 +549,9 @@ class ClusterEngine:
             decisions.record("admission", "dispatch", label, node.name)
         node.engine.submit(group)
         if self._admission_backlog is not None:
-            self._admission_backlog[node.index] += (
-                node.engine._group_exec_time(group)
-            )
+            if exec_s is None:
+                exec_s = node.engine._group_exec_time(group)
+            self._admission_backlog[node.index] += exec_s
         return True
 
     @staticmethod
@@ -966,6 +985,7 @@ def run_cluster(
     drain_mode: "Union[str, DrainMode, None]" = None,
     scheduler: SchedulerLike = None,
     tier_capacities: Optional[Dict[str, int]] = None,
+    pipeline_promotions: bool = False,
 ) -> ClusterReport:
     """One cluster run over a fresh engine (fresh timeline, fresh clock)."""
     engine = ClusterEngine(
@@ -986,6 +1006,7 @@ def run_cluster(
         drain_mode=drain_mode,
         scheduler=scheduler,
         tier_capacities=tier_capacities,
+        pipeline_promotions=pipeline_promotions,
     )
     return engine.serve(requests)
 

@@ -54,7 +54,7 @@ from typing import (
     Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union,
 )
 
-from repro.coe.cache import CachePolicyLike, PredictivePolicy
+from repro.coe.cache import CachePolicyLike, LookaheadPolicy, PredictivePolicy
 from repro.coe.columnar import (
     CompletedLog,
     drain as _columnar_drain,
@@ -204,6 +204,9 @@ class EngineReport:
     demand_hit_rate: float = 0.0
     #: Admission-time scheduler the backlog went through (SchedulerName).
     scheduler: str = "fifo"
+    #: NVMe->DDR promotions started ahead of demand by the pipelined
+    #: prefetch path (0 unless ``pipeline_promotions`` was enabled).
+    pipelined_promotions: int = 0
     completed: tuple = field(repr=False, default=())
     #: The run's full span record (compute / switch / prefetch lanes);
     #: export via :func:`repro.obs.write_chrome_trace`.
@@ -249,6 +252,7 @@ class EngineReport:
             "cache_policy": self.cache_policy,
             "demand_hit_rate": self.demand_hit_rate,
             "scheduler": self.scheduler,
+            "pipelined_promotions": self.pipelined_promotions,
         }
 
 
@@ -281,10 +285,18 @@ class ServingEngine:
         drain_mode: "Union[str, DrainMode, None]" = None,
         scheduler: SchedulerLike = None,
         tier_capacities: Optional[Dict[str, int]] = None,
+        pipeline_promotions: bool = False,
     ) -> None:
         if max_batch < 1 or window < 1:
             raise ValueError("max_batch and window must be >= 1")
         self.policy = NodePolicy.coerce(policy).value
+        if pipeline_promotions and self.policy == "overlap":
+            raise ValueError(
+                "pipeline_promotions is incompatible with the 'overlap' "
+                "policy: overlap's speculative prefetches start at 'now' "
+                "regardless of DMA occupancy, so sharing the prefetch lane "
+                "with pipelined NVMe promotions would double-book the DMA"
+            )
         #: Admission-time backlog reordering (:mod:`repro.coe.scheduling`)
         #: — applied once in :meth:`run`, before the windowed node policy.
         self.scheduler = make_scheduler(scheduler)
@@ -328,7 +340,22 @@ class ServingEngine:
         if (isinstance(runtime_policy, PredictivePolicy)
                 and runtime_policy.predictor is None):
             runtime_policy.predictor = self._predictor
+        #: A lookahead policy reads this engine's remaining queue as its
+        #: backlog window: the queue holds exactly the groups not yet
+        #: begun, in scheduled order, at every eviction decision point.
+        self._lookahead = isinstance(runtime_policy, LookaheadPolicy)
+        if self._lookahead:
+            runtime_policy.bind_backlog(
+                lambda: (g.expert.name for g in self._queue)
+            )
         self.cache_policy = runtime_policy.name
+        #: Whether the CoServe-style promotion pipeline is live: it needs
+        #: a bounded DDR tier (otherwise there is nothing to promote).
+        self.pipeline_promotions = bool(pipeline_promotions)
+        self._pipeline_active = (
+            self.pipeline_promotions
+            and self.server.runtime.ddr_budget_bytes is not None
+        )
         if decision_log is not None:
             # The node's demand cache decisions (hit / miss+victims)
             # stream under its node name — ``"node0"`` standalone,
@@ -712,6 +739,45 @@ class ServingEngine:
         self._copy_done[expert.name] = done
         return done
 
+    def _pipeline_promote(self, now: float) -> None:
+        """Start the queue head's NVMe->DDR promotion behind this group.
+
+        The CoServe pipelining trick: called right after the current
+        group's activation on every drain path, it peeks the scheduler's
+        reordered backlog and, if the next group's expert is still
+        NVMe-resident, commits its promotion
+        (:meth:`CoERuntime.promote_to_ddr`) and books the DMA occupancy
+        on the prefetch lane starting at the DMA's next free slot — so
+        the copy overlaps this group's compute and the upcoming demand
+        miss pays only the DDR->HBM hop. Pure bookkeeping on the local
+        clock (no new simulator events), so the reference and batched
+        drains stay bitwise-identical; promotions are never recorded in
+        the decision log (prefetcher traffic, not a policy decision), so
+        sim/live cross-check streams are unchanged.
+        """
+        if not self._pipeline_active or not self._queue:
+            return
+        nxt = self._queue[0].expert
+        runtime = self.server.runtime
+        if runtime.tier_of(nxt.name) != "nvme":
+            return
+        promo = runtime.promote_to_ddr(nxt)
+        if promo.time_s <= 0:
+            return
+        start = max(now, self._dma_free_s)
+        done = start + promo.time_s
+        self._dma_free_s = done
+        self._sim.record_span(
+            f"promote:{nxt.name}", self.lane("prefetch"), "promote",
+            start_s=start, end_s=done,
+            args={
+                "pipelined": True,
+                "bytes_read": promo.bytes_read,
+                "bytes_written": promo.bytes_written,
+                "demoted": list(promo.demoted),
+            },
+        )
+
     def _batch_ok(self) -> bool:
         """Whether draining the whole queue in one event is equivalent.
 
@@ -774,6 +840,7 @@ class ServingEngine:
             )
         else:
             exec_start = self._demand_copy(group.expert)
+        self._pipeline_promote(sim.now)
         if self.policy == "overlap" and self._queue:
             # While this group executes, the DMA engines prefetch the
             # next queued expert (or speculate when it is already here).
@@ -892,12 +959,16 @@ class ServingEngine:
         ``columnar`` mode vectorizes the drain whenever no per-group
         Python decision is inherent to the configuration; otherwise —
         the speculative ``overlap`` policy (a prefetch decision per
-        group) or a span-traced run (a timeline record per phase) — it
-        falls back to the batched loop *for this drain*. Both paths are
-        byte-identical in every simulated output, so the fallback is a
-        pure implementation choice, invisible in reports.
+        group), a span-traced run (a timeline record per phase),
+        pipelined NVMe promotions (a tier peek per group), or a
+        lookahead cache policy (whose backlog window is the live queue
+        the columnar path clears up front) — it falls back to the
+        batched loop *for this drain*. Both paths are byte-identical in
+        every simulated output, so the fallback is a pure implementation
+        choice, invisible in reports.
         """
         if (self.drain_mode == "columnar" and self.policy != "overlap"
+                and not self._pipeline_active and not self._lookahead
                 and self._sim.timeline is None):
             self._drain_columnar(start_at)
         else:
@@ -970,6 +1041,7 @@ class ServingEngine:
         popleft = queue.popleft
         completed_append = self.completed.append
         overlap = self.policy == "overlap"
+        pipelining = self._pipeline_active
         tracing = sim.timeline is not None
         index = self._groups_started
         groups_done = 0
@@ -997,6 +1069,8 @@ class ServingEngine:
                 exec_start = now if done is None or done <= now else done
             else:
                 exec_start = self._demand_copy(expert, now=now)
+            if pipelining:
+                self._pipeline_promote(now)
             if overlap and queue:
                 if exec_start > now:
                     # The reference path defers this to its own event at
@@ -1096,6 +1170,9 @@ class ServingEngine:
                 cache_policy=self.cache_policy,
                 demand_hit_rate=self.server.runtime.stats.hit_rate,
                 scheduler=self.scheduler.name,
+                pipelined_promotions=(
+                    self.server.runtime.stats.pipelined_promotions
+                ),
                 completed=tuple(self.completed),
                 timeline=timeline,
             )

@@ -39,13 +39,14 @@ trace smoke-tests in a fraction of a wall second.
 from __future__ import annotations
 
 import asyncio
+from collections import deque
 from dataclasses import dataclass, field
 from typing import (
-    Callable, Dict, List, NamedTuple, Optional, Sequence, Set,
+    Callable, Deque, Dict, List, NamedTuple, Optional, Sequence, Set,
     TYPE_CHECKING, Tuple,
 )
 
-from repro.coe.cache import PredictivePolicy
+from repro.coe.cache import LookaheadPolicy, PredictivePolicy
 from repro.coe.decisions import DecisionLog
 from repro.coe.dispatch import admission_eta, choose_node, deadline_admits
 from repro.coe.engine import (
@@ -125,6 +126,17 @@ class _LiveNode:
     #: Expert of the last admitted group (the sim's queue-tail expert).
     tail: Optional[str] = None
     queue: Optional[asyncio.Queue] = None
+    #: Mirror of the not-yet-begun groups in this node's queue, in
+    #: admission order — the live twin of the sim engine's ``_queue``
+    #: deque. A lookahead cache policy reads it as its backlog window,
+    #: and the pipelined-promotion peek reads its head; the worker pops
+    #: it at group *begin* so its contents match what the sim's queue
+    #: holds at every decision point.
+    pending: Deque[RequestGroup] = field(default_factory=deque)
+    #: Model-time point when this node's (single) DMA path frees up:
+    #: pipelined NVMe->DDR promotions and demand copies serialize
+    #: through it, mirroring the sim engine's ``_dma_free_s``.
+    dma_free_s: float = 0.0
     completed: List[CompletedRequest] = field(default_factory=list)
     groups_done: int = 0
 
@@ -165,6 +177,9 @@ class LiveReport:
     demand_hit_rate: float = 0.0
     #: Admission-time scheduler the backlog went through (SchedulerName).
     scheduler: str = "fifo"
+    #: NVMe->DDR promotions started ahead of demand by the pipelined
+    #: prefetch path (0 unless ``pipeline_promotions`` was enabled).
+    pipelined_promotions: int = 0
     completed: tuple = field(repr=False, default=())
     shed: tuple = field(repr=False, default=())
     timeline: Optional[Timeline] = field(repr=False, compare=False, default=None)
@@ -220,6 +235,7 @@ class LiveReport:
             "drained": self.drained,
             "demand_hit_rate": self.demand_hit_rate,
             "scheduler": self.scheduler,
+            "pipelined_promotions": self.pipelined_promotions,
         }
 
 
@@ -318,12 +334,28 @@ class LiveEngine:
                 predictor=predictor,
                 hosted={e.name for e in shard},
             )
+            if isinstance(runtime_policy, LookaheadPolicy):
+                # The live backlog window: this node's pending mirror
+                # holds exactly the groups not yet begun, in admission
+                # order — the same view the sim engine's queue gives its
+                # lookahead policy, so eviction decisions stay
+                # byte-identical across backends.
+                runtime_policy.bind_backlog(
+                    lambda n=node: (g.expert.name for g in n.pending)
+                )
             if decision_log is not None:
                 server.runtime.attach_decisions(decision_log, node.name)
             self.nodes.append(node)
             for expert in shard:
                 self._owners.setdefault(expert.name, []).append(idx)
         self.cache_policy = self.nodes[0].server.runtime.policy.name
+        #: CoServe-style promotion pipelining, wall-clocked: active only
+        #: with a bounded DDR tier, exactly like the sim engine.
+        self.pipeline_promotions = bool(config.pipeline_promotions)
+        self._pipeline_active = (
+            self.pipeline_promotions
+            and self.nodes[0].server.runtime.ddr_budget_bytes is not None
+        )
 
     @property
     def num_nodes(self) -> int:
@@ -390,6 +422,11 @@ class LiveEngine:
             node.queue.put_nowait(group)
         except asyncio.QueueFull:
             self._shed(group, "backpressure")
+        else:
+            # The pending mirror tracks the *work* queue only: a shed
+            # group never reaches the worker, so it must not appear in
+            # the lookahead/pipelining backlog window either.
+            node.pending.append(group)
         node.backlog_s += exec_s
         node.tail = name
 
@@ -416,6 +453,11 @@ class LiveEngine:
         server = node.server
         runtime = server.runtime
         expert = group.expert
+        # This group begins: drop it off the pending mirror so the
+        # lookahead backlog window and the pipelining peek see only the
+        # not-yet-begun groups, exactly like the sim's popped queue.
+        if node.pending:
+            node.pending.popleft()
         # The predictor always observes the demand stream (it feeds a
         # predictive cache policy), exactly as the sim engine does at
         # group begin.
@@ -427,11 +469,17 @@ class LiveEngine:
             runtime.activate(expert)  # hit: free recency refresh
         else:
             event = runtime.activate(expert, span=False)
-            start = clock.now
-            await clock.sleep(event.time_s)
+            # Demand copies queue behind any in-flight pipelined
+            # promotion on the node's single DMA path (the sim's
+            # ``_dma_free_s`` serialization); with pipelining off the
+            # cursor stays 0.0 and this is exactly the old sleep.
+            start = max(clock.now, node.dma_free_s)
+            done = start + event.time_s
+            node.dma_free_s = done
+            await clock.sleep_until(done)
             clock.record_span(
                 f"copy:{expert.name}", node.lane("switch"), "switch",
-                start_s=start, end_s=start + event.time_s,
+                start_s=start, end_s=done,
                 args={
                     "hit": False,
                     "speculative": False,
@@ -442,6 +490,7 @@ class LiveEngine:
                     "evicted_why": list(event.evicted_why),
                 },
             )
+        self._pipeline_promote(node)
         exec_start = clock.now
         await clock.sleep(router_s + prefill_s)
         callback = self._token_callback
@@ -496,6 +545,43 @@ class LiveEngine:
             ))
         node.groups_done += 1
 
+    def _pipeline_promote(self, node: _LiveNode) -> None:
+        """Start the pending head's NVMe->DDR promotion behind this group.
+
+        The live twin of :meth:`ServingEngine._pipeline_promote`: right
+        after the current group's activation, peek the node's pending
+        mirror and, if the next group's expert is still NVMe-resident,
+        commit its promotion and book the DMA occupancy from the DMA's
+        next free slot. Spans are *deferred* to shutdown rather than
+        recorded inline: a promotion whose copy window would outlive the
+        run is clipped at the makespan (the wall-clock-legal analogue of
+        the sim's speculation flush), so a cancelled drain never paints
+        DMA activity past the moment the engine stopped. Promotions are
+        never recorded in the decision log — prefetcher traffic, not a
+        policy decision — so cross-check streams are unchanged.
+        """
+        if not self._pipeline_active or not node.pending:
+            return
+        nxt = node.pending[0].expert
+        runtime = node.server.runtime
+        if runtime.tier_of(nxt.name) != "nvme":
+            return
+        promo = runtime.promote_to_ddr(nxt)
+        if promo.time_s <= 0:
+            return
+        start = max(self.clock.now, node.dma_free_s)
+        done = start + promo.time_s
+        node.dma_free_s = done
+        self._promo_spans.append((
+            f"promote:{nxt.name}", node.lane("prefetch"), start, done,
+            {
+                "pipelined": True,
+                "bytes_read": promo.bytes_read,
+                "bytes_written": promo.bytes_written,
+                "demoted": list(promo.demoted),
+            },
+        ))
+
     async def _worker(self, node: _LiveNode) -> None:
         while True:
             group = await node.queue.get()
@@ -518,6 +604,7 @@ class LiveEngine:
         # live group stream matches the sim's exactly.
         requests = self.scheduler.order(list(requests))
         self._tokens_streamed = 0
+        self._promo_spans: List[Tuple[str, str, float, float, dict]] = []
         self.clock.start()
         for node in self.nodes:
             node.queue = asyncio.Queue(maxsize=self.max_queue)
@@ -545,6 +632,19 @@ class LiveEngine:
             await asyncio.gather(*tasks, return_exceptions=True)
         makespan = self.clock.now
         wall_s = self.clock.wall_elapsed_s
+        # Flush the deferred promotion spans, clipped at the makespan: a
+        # promotion whose DMA window outlived the run (drain timeout, or
+        # simply the last compute finishing first) is truncated at the
+        # instant the engine stopped, and one that never got to start is
+        # dropped — the cancellation is visible in the trace instead of
+        # painting phantom DMA activity past shutdown.
+        for name, lane, start, done, args in self._promo_spans:
+            if start >= makespan:
+                continue
+            self.clock.record_span(
+                name, lane, "promote",
+                start_s=start, end_s=min(done, makespan), args=args,
+            )
         completed = [c for node in self.nodes for c in node.completed]
         if drained and len(completed) + len(self.shed) != len(requests):
             raise RuntimeError(
@@ -579,6 +679,10 @@ class LiveEngine:
             mean_s=latency_summary.mean_s,
             drained=drained,
             demand_hit_rate=(hits / demand if demand else 0.0),
+            pipelined_promotions=sum(
+                n.server.runtime.stats.pipelined_promotions
+                for n in self.nodes
+            ),
             completed=tuple(completed),
             shed=tuple(self.shed),
             timeline=self.timeline,

@@ -117,12 +117,17 @@ class CachePolicyName(PolicyEnum):
     ``BELADY`` is the offline oracle and needs a recorded trace, so it
     can only be configured by passing a
     :class:`~repro.coe.cache.BeladyPolicy` instance, never by name.
+    ``LOOKAHEAD`` is nameable but needs a scheduler backlog: the serving
+    engines attach their own queue view automatically, while a bare
+    :class:`CoERuntime` raises a typed error at the first eviction
+    decision (see :class:`~repro.coe.cache.LookaheadUnboundError`).
     """
 
     LRU = "lru"
     LFU = "lfu"
     GDSF = "gdsf"
     PREDICTIVE = "predictive"
+    LOOKAHEAD = "lookahead"
     BELADY = "belady"
 
 

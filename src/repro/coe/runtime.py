@@ -65,6 +65,34 @@ class SwitchEvent(NamedTuple):
     demoted: tuple = ()
 
 
+class PromotionEvent(NamedTuple):
+    """The outcome of one pipelined (ahead-of-demand) NVMe->DDR promotion.
+
+    Returned by :meth:`CoERuntime.promote_to_ddr`. ``time_s`` is the DMA
+    occupancy of the promotion read plus any demotion write-backs it
+    forced — the serving engine books it on the prefetch lane, where it
+    overlaps compute instead of stalling a switch.
+    """
+
+    expert: str
+    time_s: float
+    bytes_read: int
+    bytes_written: int
+    demoted: tuple = ()
+
+
+class TierOverrunError(RuntimeError):
+    """A bounded DDR tier cannot be brought back under its budget.
+
+    Raised (only with ``strict_tiers=True``) before any mutation when a
+    promotion needs room but every demotion candidate is HBM-pinned, or
+    the incoming expert alone exceeds the DDR budget. The default
+    runtime clamps instead: it commits the promotion, counts the event
+    in :attr:`RuntimeStats.tier_overruns`, and lets the tier run
+    transiently oversubscribed until HBM pins lift.
+    """
+
+
 @dataclass
 class RuntimeStats:
     """Cumulative cache behaviour, demand and speculative separated.
@@ -97,13 +125,30 @@ class RuntimeStats:
     speculative_switch_time_s: float = 0.0
     #: Multi-tier traffic (zero unless the runtime has a bounded DDR
     #: tier): NVMe->DDR promotions riding a miss, DDR->NVMe demotions
-    #: forced by the DDR budget, and the bytes read off NVMe. Demotions
-    #: are free in time (expert weights are read-only on NVMe, and
-    #: DDR-only residents carry no mutable state) but are real state
-    #: changes, counted like ``evictions`` regardless of speculation.
+    #: forced by the DDR budget, and the bytes moved to/from NVMe.
+    #: Demotions are **priced**: each demoted victim pays the
+    #: ``ddr -> nvme`` write-back edge, folded into the same switch time
+    #: as the promotion that forced it (the DMA engine that fills the
+    #: hole is the one that drained it). Like ``evictions``, tier moves
+    #: are real state changes and are counted regardless of speculation.
     tier_promotions: int = 0
     tier_demotions: int = 0
     nvme_bytes_read: int = 0
+    nvme_bytes_written: int = 0
+    #: Times a bounded DDR tier could not reach its budget because every
+    #: demotion candidate was HBM-pinned (or the incoming expert alone
+    #: exceeds the budget). The default behaviour is a documented clamp:
+    #: residency is committed anyway, the overrun is counted here, and
+    #: the tier runs transiently oversubscribed until pins lift. A
+    #: runtime built with ``strict_tiers=True`` raises
+    #: :class:`TierOverrunError` instead, before any mutation.
+    tier_overruns: int = 0
+    #: Promotions started ahead of demand by the pipelined prefetch path
+    #: (:meth:`CoERuntime.promote_to_ddr`) — kept separate from the
+    #: demand ``tier_promotions`` so a run without pipelining still pins
+    #: ``tier_promotions == 0`` at an unconstrained ladder point.
+    pipelined_promotions: int = 0
+    pipelined_promotion_time_s: float = 0.0
 
     @property
     def misses(self) -> int:
@@ -151,6 +196,7 @@ class CoERuntime:
         policy: CachePolicyLike = None,
         hierarchy: Optional[MemoryHierarchy] = None,
         ddr_budget_bytes: Optional[int] = None,
+        strict_tiers: bool = False,
     ) -> None:
         if hbm_budget_bytes < 0:
             raise ValueError(f"negative HBM budget: {hbm_budget_bytes}")
@@ -184,6 +230,7 @@ class CoERuntime:
                     f"into; hierarchy levels are {hierarchy.names}"
                 )
         self.ddr_budget_bytes = ddr_budget_bytes
+        self.strict_tiers = strict_tiers
         self.policy: CachePolicy = make_policy(policy)
         self.policy.bind_runtime(self)
         #: name -> expert, in recency order (least recently used first).
@@ -337,32 +384,103 @@ class CoERuntime:
                 placement[expert.name] = "nvme"
         return placement
 
-    def _promote_to_ddr(self, expert: ExpertProfile) -> tuple:
-        """Give an NVMe resident a DDR home, demoting victims as needed.
+    def _plan_ddr_demotions(
+        self, expert: ExpertProfile, pinned: frozenset
+    ) -> tuple:
+        """The DDR victims promoting ``expert`` would demote, in policy
+        order, plus whether the budget is unreachable. Pure — no
+        mutation, no stats — so it can run inside :meth:`activate`'s
+        pre-mutation pricing block.
 
         Victim choice reuses the *same* cache policy that ranks HBM
         evictions — the decision choke point cascades down the
-        hierarchy rather than growing a second policy. HBM residents
-        (and the incoming expert) are pinned: the inclusive hierarchy
-        needs their DDR copies as copy-back targets.
+        hierarchy rather than growing a second policy. ``pinned`` names
+        are skipped: the inclusive hierarchy needs HBM residents' DDR
+        copies as copy-back targets (and the incoming expert's own new
+        home). An expert that alone exceeds the DDR budget demotes
+        nothing — no amount of demotion could make it fit.
         """
+        victims: List[ExpertProfile] = []
+        if expert.weight_bytes > self.ddr_budget_bytes:
+            return victims, True
+        projected = self._ddr_bytes + expert.weight_bytes
+        if projected <= self.ddr_budget_bytes:
+            return victims, False
+        # Materialize the order first: eviction_order may lazily iterate
+        # the mapping the commit step will pop from.
+        for name in list(self.policy.eviction_order(self._ddr_resident)):
+            if name in pinned:
+                continue
+            victim = self._ddr_resident[name]
+            victims.append(victim)
+            projected -= victim.weight_bytes
+            if projected <= self.ddr_budget_bytes:
+                return victims, False
+        return victims, True
+
+    def _commit_ddr_promotion(
+        self,
+        expert: ExpertProfile,
+        victims: Sequence[ExpertProfile],
+        overrun: bool,
+    ) -> None:
+        """Apply a planned promotion: demote victims, seat the expert."""
+        for victim in victims:
+            del self._ddr_resident[victim.name]
+            self._ddr_bytes -= victim.weight_bytes
+            self.stats.tier_demotions += 1
         self._ddr_resident[expert.name] = expert
         self._ddr_bytes += expert.weight_bytes
-        if self._ddr_bytes <= self.ddr_budget_bytes:
-            return ()
-        demoted: List[str] = []
-        # Materialize the order first: eviction_order may lazily iterate
-        # the mapping we are about to pop from.
-        for name in list(self.policy.eviction_order(self._ddr_resident)):
-            if name == expert.name or name in self._resident:
-                continue
-            victim = self._ddr_resident.pop(name)
-            self._ddr_bytes -= victim.weight_bytes
-            demoted.append(name)
-            self.stats.tier_demotions += 1
-            if self._ddr_bytes <= self.ddr_budget_bytes:
-                break
-        return tuple(demoted)
+        if overrun:
+            self.stats.tier_overruns += 1
+
+    def promote_to_ddr(self, expert: ExpertProfile) -> PromotionEvent:
+        """Promote an NVMe resident to DDR ahead of demand (pipelined).
+
+        The serving engine's promotion-pipelining path: when the
+        scheduler's reordered backlog shows an upcoming NVMe-resident
+        expert, the engine starts this promotion on the prefetch lane
+        while the current group decodes, so the later demand miss pays
+        only the DDR->HBM hop. Residency commits immediately (the sim is
+        analytic — the returned ``time_s`` is the DMA occupancy the
+        caller must serialize on its copy lane); demotion write-backs
+        are priced exactly as on the demand path. Accounted in the
+        ``pipelined_*`` counters, never in ``tier_promotions`` and never
+        in the decision log: a promotion is prefetcher traffic, not a
+        policy decision about a request, so sim/live decision streams
+        stay identical with pipelining on or off.
+
+        No-op (zero-cost event) if the expert already has a DDR home or
+        is HBM-resident; raises unless the DDR tier is bounded.
+        """
+        if self.ddr_budget_bytes is None:
+            raise ValueError(
+                "promote_to_ddr needs a bounded DDR tier (ddr_budget_bytes)"
+            )
+        if expert.name in self._ddr_resident or expert.name in self._resident:
+            return PromotionEvent(expert.name, 0.0, 0, 0)
+        pinned = frozenset(self._resident) | {expert.name}
+        victims, overrun = self._plan_ddr_demotions(expert, pinned)
+        if overrun and self.strict_tiers:
+            raise TierOverrunError(
+                f"pipelined promotion of {expert.name} "
+                f"({expert.weight_bytes} B) cannot bring DDR back under its "
+                f"budget ({self.ddr_budget_bytes} B)"
+            )
+        bytes_read = expert.weight_bytes
+        bytes_written = sum(v.weight_bytes for v in victims)
+        time_s = self.hierarchy.transfer_time("nvme", "ddr", bytes_read)
+        if bytes_written:
+            time_s += self.hierarchy.transfer_time("ddr", "nvme", bytes_written)
+        demoted = tuple(v.name for v in victims)
+        self._commit_ddr_promotion(expert, victims, overrun)
+        self.stats.pipelined_promotions += 1
+        self.stats.pipelined_promotion_time_s += time_s
+        self.stats.nvme_bytes_read += bytes_read
+        self.stats.nvme_bytes_written += bytes_written
+        return PromotionEvent(
+            expert.name, time_s, bytes_read, bytes_written, demoted
+        )
 
     def _select_victims(self, expert: ExpertProfile) -> List[ExpertProfile]:
         """The residents activating ``expert`` would evict, in policy
@@ -451,14 +569,42 @@ class CoERuntime:
         evicted_why = tuple(self.policy.why(v.name) for v in victims)
         bytes_down = sum(v.copyback_bytes for v in victims)
         bytes_up = expert.weight_bytes
+        demote_victims: List[ExpertProfile] = []
+        demote_bytes = 0
+        overrun = False
+        if src_tier == "nvme":
+            # Plan the DDR demotions *before* anything mutates, so a
+            # failed copy (or a strict-mode overrun) leaves every tier
+            # untouched. Pinned: HBM residents that survive this
+            # activation (same-call HBM victims ARE demotable — their
+            # copy-back already happened by the time the hole opens) and
+            # the incoming expert's own new DDR home.
+            pinned = frozenset(
+                name for name in self._resident if name not in evicted
+            ) | {expert.name}
+            demote_victims, overrun = self._plan_ddr_demotions(expert, pinned)
+            demote_bytes = sum(v.weight_bytes for v in demote_victims)
         try:
+            if overrun and self.strict_tiers:
+                raise TierOverrunError(
+                    f"promoting {expert.name} ({expert.weight_bytes} B) "
+                    f"cannot bring DDR back under its budget "
+                    f"({self.ddr_budget_bytes} B): every demotion candidate "
+                    "is HBM-pinned or the expert alone exceeds the budget"
+                )
             time_s = self.hierarchy.transfer_time(src_tier, "hbm", bytes_up)
             if bytes_down:
                 time_s += self.hierarchy.transfer_time("hbm", "ddr", bytes_down)
+            if demote_bytes:
+                # Each demoted victim pays the DDR->NVMe write-back on
+                # the same DMA engine as the promotion that forced it.
+                time_s += self.hierarchy.transfer_time(
+                    "ddr", "nvme", demote_bytes
+                )
         except Exception:
             # A failed copy must not corrupt the cache: nothing was
-            # evicted or inserted yet, so only the failure is recorded.
-            # The request itself stays counted.
+            # evicted, inserted, promoted, or demoted yet, so only the
+            # failure is recorded. The request itself stays counted.
             if not speculative:
                 self.stats.failures += 1
             raise
@@ -472,9 +618,11 @@ class CoERuntime:
         self.policy.on_insert(expert)
         demoted: tuple = ()
         if src_tier == "nvme":
-            demoted = self._promote_to_ddr(expert)
+            demoted = tuple(v.name for v in demote_victims)
+            self._commit_ddr_promotion(expert, demote_victims, overrun)
             self.stats.tier_promotions += 1
             self.stats.nvme_bytes_read += bytes_up
+            self.stats.nvme_bytes_written += demote_bytes
 
         if speculative:
             self.stats.speculative_bytes_up += bytes_up

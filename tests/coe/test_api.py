@@ -110,6 +110,15 @@ class TestServeConfig:
         with pytest.raises(ValueError):
             config.with_(num_nodes=-1)
 
+    def test_pipelined_promotions_reject_overlap_policy(self):
+        # overlap's speculative prefetches ignore DMA occupancy; sharing
+        # the prefetch lane with pipelined promotions would double-book
+        # the DMA, so the combination fails at config time.
+        with pytest.raises(ValueError, match="overlap"):
+            ServeConfig(policy="overlap", pipeline_promotions=True)
+        config = ServeConfig(policy="fifo", pipeline_promotions=True)
+        assert config.pipeline_promotions
+
     def test_to_dict_is_json_friendly(self):
         import json
         config = ServeConfig(policy="fifo", num_nodes=2,
@@ -147,6 +156,10 @@ class TestServeConfigSerialization:
                                      duration_s=3.0, seed=9)),
         ServeConfig(scheduler="expert_reorder",
                     tier_capacities={"hbm": 1 << 30, "ddr": 1 << 32}),
+        ServeConfig(policy="fifo", cache_policy="lookahead",
+                    scheduler="expert_reorder",
+                    tier_capacities={"hbm": 1 << 30, "ddr": 1 << 31},
+                    pipeline_promotions=True),
     ])
     def test_round_trip_is_identity(self, config):
         assert ServeConfig.from_dict(config.to_dict()) == config

@@ -295,6 +295,37 @@ def test_engine_three_way_equivalence_tiered(cache_policy):
         assert log == reference_log, (mode, log.diff(reference_log))
 
 
+@pytest.mark.parametrize("cache_policy", ["gdsf", "lookahead"])
+def test_engine_three_way_equivalence_pipelined(cache_policy):
+    """The three-way identity holds with pipelined NVMe->DDR promotions
+    on (and with the lookahead policy, which — like pipelining — forces
+    the columnar mode's per-drain fallback to the batched path)."""
+    rng = random.Random(f"pipelined:{cache_policy}")
+    library, requests = _random_workload(rng)
+    caps = _tier_caps(library, hbm_frac=0.4, ddr_frac=0.55)
+
+    def run(mode):
+        log = DecisionLog()
+        report = ServingEngine(
+            sn40l_platform(), library, policy="affinity",
+            cache_policy=cache_policy, drain_mode=mode,
+            scheduler="expert_reorder", tier_capacities=caps,
+            decision_log=log, pipeline_promotions=True,
+        ).run(requests)
+        return report, log
+
+    reference, reference_log = run("reference")
+    assert reference.pipelined_promotions > 0
+    for mode in ("batched", "columnar"):
+        report, log = run(mode)
+        assert report.to_dict() == reference.to_dict(), mode
+        assert report.completed == reference.completed, mode
+        assert _timeline_lanes(report.timeline) == _timeline_lanes(
+            reference.timeline
+        ), mode
+        assert log == reference_log, (mode, log.diff(reference_log))
+
+
 @pytest.mark.parametrize("policy", ["least_loaded", "affinity"])
 def test_cluster_three_way_equivalence_tiered(policy):
     rng = random.Random(f"cluster-tiered:{policy}")

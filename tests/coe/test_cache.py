@@ -8,6 +8,8 @@ from repro.coe.cache import (
     CachePolicy,
     GDSFPolicy,
     LFUPolicy,
+    LookaheadPolicy,
+    LookaheadUnboundError,
     LRUPolicy,
     PredictivePolicy,
     make_policy,
@@ -75,7 +77,9 @@ class TestMakePolicy:
 
     def test_nameable_policies_exclude_belady(self):
         assert "belady" not in CACHE_POLICIES
-        assert set(CACHE_POLICIES) == {"lru", "lfu", "gdsf", "predictive"}
+        assert set(CACHE_POLICIES) == {
+            "lru", "lfu", "gdsf", "predictive", "lookahead",
+        }
 
 
 class TestLRUDefaultEquivalence:
@@ -204,6 +208,73 @@ class TestPredictive:
         rt.activate(_expert(1))
         event = rt.activate(_expert(2))
         assert event.evicted == ("e0",)
+
+
+class TestLookahead:
+    def test_resolves_by_name(self):
+        assert isinstance(make_policy("lookahead"), LookaheadPolicy)
+
+    def test_unbound_raises_at_first_eviction(self):
+        # Nameable, unlike belady — but a bare runtime has no backlog to
+        # look ahead into, so the first eviction decision fails typed.
+        rt = _runtime(capacity_experts=1, policy="lookahead")
+        rt.activate(_expert(0))  # empty cache: no eviction decision yet
+        with pytest.raises(LookaheadUnboundError, match="backlog"):
+            rt.activate(_expert(1))
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            LookaheadPolicy(horizon=0)
+
+    def test_evicts_farthest_next_use_in_backlog(self):
+        policy = LookaheadPolicy()
+        policy.bind_backlog(lambda: ["e1", "e0"])
+        rt = _runtime(capacity_experts=2, policy=policy)
+        rt.activate(_expert(0))
+        rt.activate(_expert(1))
+        # e1 is next (distance 0), e0 after it (distance 1); the
+        # incoming e2 never appears in the window, so the victim is the
+        # resident farthest from use: e0.
+        event = rt.activate(_expert(2))
+        assert event.evicted == ("e0",)
+        assert event.evicted_why == ("lookahead: next use 1 groups ahead",)
+
+    def test_absent_from_window_evicted_before_scheduled(self):
+        policy = LookaheadPolicy()
+        policy.bind_backlog(lambda: ["e0"])
+        rt = _runtime(capacity_experts=2, policy=policy)
+        rt.activate(_expert(0))
+        rt.activate(_expert(1))
+        # e1 was touched last (LRU would keep it), but only e0 appears
+        # in the backlog window — so e1 ranks as farthest and goes.
+        event = rt.activate(_expert(2))
+        assert event.evicted == ("e1",)
+        assert event.evicted_why == ("lookahead: unused within horizon 256",)
+
+    def test_horizon_bounds_the_scan(self):
+        policy = LookaheadPolicy(horizon=1)
+        # e0 appears in the backlog but beyond the 1-group horizon:
+        # invisible, so it ties with e1 as unused and least-recent wins.
+        policy.bind_backlog(lambda: ["e2", "e0"])
+        rt = _runtime(capacity_experts=2, policy=policy)
+        rt.activate(_expert(0))
+        rt.activate(_expert(1))
+        event = rt.activate(_expert(2))
+        assert event.evicted == ("e0",)
+
+    def test_engine_binds_its_queue(self):
+        from repro.coe.engine import ServingEngine
+        from repro.coe.expert import build_samba_coe_library
+        from repro.systems.platforms import sn40l_platform
+
+        engine = ServingEngine(
+            sn40l_platform(), build_samba_coe_library(4),
+            cache_policy="lookahead",
+        )
+        policy = engine.server.runtime.policy
+        assert isinstance(policy, LookaheadPolicy)
+        assert policy._backlog is not None
+        assert engine.cache_policy == "lookahead"
 
 
 class TestBelady:

@@ -53,6 +53,30 @@ class TestDecisionParity:
         assert set(result.streams) <= expected
         assert any(s.startswith("node") for s in result.streams)
 
+    def test_lookahead_pipelined_tiered_parity(self, library, requests):
+        # The CoServe scenario end to end: constrained HBM/DDR budgets,
+        # reordered backlog, lookahead eviction and pipelined NVMe->DDR
+        # promotions — both backends must still decide byte-identically
+        # (promotions are prefetcher traffic, never decision records).
+        working_set = sum(e.weight_bytes for e in library.experts)
+        biggest = max(e.weight_bytes for e in library.experts)
+        hbm = max(int(0.5 * working_set), biggest)
+        config = ServeConfig(
+            policy="fifo", num_nodes=1,
+            cache_policy="lookahead", scheduler="expert_reorder",
+            tier_capacities={
+                "hbm": hbm, "ddr": max(int(0.35 * working_set), hbm),
+            },
+            pipeline_promotions=True,
+        )
+        result = cross_check(sn40l_platform, library, requests, config)
+        assert result.match, result.mismatch
+        assert result.decisions > 0
+        # Both backends actually ran the pipelined path, identically.
+        assert result.sim_report.pipelined_promotions > 0
+        assert (result.live_report.pipelined_promotions
+                == result.sim_report.pipelined_promotions)
+
     def test_default_config_is_live_valid(self, library, requests):
         result = cross_check(sn40l_platform, library, requests[:40])
         assert result.match, result.mismatch

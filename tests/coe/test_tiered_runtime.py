@@ -142,15 +142,20 @@ class TestMultiTierActivation:
         rt.place([_expert(i) for i in range(5)])
         event = rt.activate(_expert(4))
         assert event.src_tier == "nvme"
+        # Promotion read (nvme->ddr + ddr->hbm) plus the demoted
+        # victim's ddr->nvme write-back — demotions are not free.
         assert event.time_s == pytest.approx(
-            EXPERT_BYTES / 1e8 + EXPERT_BYTES / 1e9
+            EXPERT_BYTES / 1e8 + EXPERT_BYTES / 1e9 + EXPERT_BYTES / 1e8
         )
         assert rt.stats.tier_promotions == 1
         assert rt.stats.nvme_bytes_read == EXPERT_BYTES
+        assert rt.stats.nvme_bytes_written == EXPERT_BYTES
+        assert rt.stats.switch_time_s == pytest.approx(event.time_s)
         # e4 now has a DDR home; someone else was demoted to make room.
         assert "e4" in rt.ddr_resident_experts
         assert event.demoted == ("e0",)
         assert rt.stats.tier_demotions == 1
+        assert rt.stats.tier_overruns == 0
         assert rt.tier_of("e0") == "nvme"
 
     def test_hbm_residents_are_never_demotion_victims(self):
@@ -193,6 +198,127 @@ class TestMultiTierActivation:
         # the LRU DDR victim must be e0 (stale), not e1 (refreshed).
         assert rt.tier_of("e0") == "nvme"
         assert "e1" in rt.ddr_resident_experts
+
+
+class TestTierOverruns:
+    def test_all_candidates_pinned_clamps_and_counts(self):
+        # DDR budget == HBM budget: once HBM is full, every DDR resident
+        # is an HBM copy-back target, so a pipelined promotion (which,
+        # unlike a demand miss, evicts nothing from HBM) has no demotion
+        # candidates at all.
+        rt = _tiered(hbm_experts=2, ddr_experts=2)
+        experts = [_expert(i) for i in range(3)]
+        rt.place(experts)  # e0, e1 on DDR; e2 on NVMe
+        rt.activate(experts[0])
+        rt.activate(experts[1])  # HBM now holds e0, e1 — both DDR-pinned
+        promo = rt.promote_to_ddr(experts[2])
+        assert promo.demoted == ()
+        assert rt.stats.tier_overruns == 1
+        assert "e2" in rt.ddr_resident_experts  # clamped, oversubscribed
+
+    def test_all_candidates_pinned_strict_raises(self):
+        from repro.coe.runtime import TierOverrunError
+        experts = [_expert(i) for i in range(3)]
+        rt = _tiered(hbm_experts=2, ddr_experts=2, strict_tiers=True)
+        rt.place(experts)
+        rt.activate(experts[0])
+        rt.activate(experts[1])
+        ddr_before = rt.ddr_resident_experts
+        with pytest.raises(TierOverrunError):
+            rt.promote_to_ddr(experts[2])
+        # Strict mode mutates nothing.
+        assert rt.ddr_resident_experts == ddr_before
+        assert rt.stats.tier_overruns == 0
+        assert rt.stats.pipelined_promotions == 0
+
+    def test_expert_larger_than_ddr_budget_clamps(self):
+        # ddr_budget >= hbm_budget is enforced and activate() rejects
+        # experts above the HBM budget, so the only route an oversized
+        # expert can reach a bounded DDR tier is the pipelined path.
+        big_model = TransformerConfig(
+            "big", hidden=128, layers=4, heads=4, kv_heads=4,
+            intermediate=256, vocab=100,
+        )
+        big = ExpertProfile("big", "chat", model=big_model)
+        assert big.weight_bytes > EXPERT_BYTES
+        rt = _tiered(hbm_experts=1, ddr_experts=1)
+        assert rt.place([big]) == {"big": "nvme"}
+        promo = rt.promote_to_ddr(big)
+        # Nothing to demote — no amount of demotion makes it fit.
+        assert promo.demoted == ()
+        assert rt.stats.tier_demotions == 0
+        assert rt.stats.tier_overruns == 1
+        assert "big" in rt.ddr_resident_experts
+
+
+class TestEdgeCases:
+    def test_failed_copy_leaves_all_tiers_untouched(self):
+        rt = _tiered(hbm_experts=2, ddr_experts=3)
+        experts = [_expert(i) for i in range(5)]
+        rt.place(experts)
+        ddr_before = rt.ddr_resident_experts
+
+        class ExplodingHierarchy:
+            """Fails the NVMe read after the demotion plan is made."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def transfer_time(self, src, dst, num_bytes):
+                if src == "nvme":
+                    raise RuntimeError("nvme read failed mid-promotion")
+                return self._inner.transfer_time(src, dst, num_bytes)
+
+        rt.hierarchy = ExplodingHierarchy(rt.hierarchy)
+        with pytest.raises(RuntimeError, match="mid-promotion"):
+            rt.activate(experts[4])
+        assert rt.ddr_resident_experts == ddr_before
+        assert rt.resident_experts == []
+        assert rt.stats.failures == 1
+        assert rt.stats.tier_promotions == 0
+        assert rt.stats.tier_demotions == 0
+        assert rt.stats.nvme_bytes_written == 0
+
+    def test_demote_then_repromote_same_expert_in_one_drain(self):
+        rt = _tiered(hbm_experts=1, ddr_experts=2)
+        experts = [_expert(i) for i in range(4)]
+        rt.place(experts)  # e0, e1 on DDR
+        rt.activate(experts[2])  # promotes e2, demotes e0 (LRU)
+        assert rt.tier_of("e0") == "nvme"
+        event = rt.activate(experts[0])  # immediately re-promote e0
+        assert event.src_tier == "nvme"
+        assert "e0" in rt.ddr_resident_experts
+        assert rt.stats.tier_promotions == 2
+        # Round trip priced both ways: one read per promotion, one
+        # write-back per demotion.
+        assert rt.stats.nvme_bytes_read == 2 * EXPERT_BYTES
+        assert rt.stats.tier_demotions == 2
+
+    def test_pipelined_promotion_commits_and_prices(self):
+        rt = _tiered(hbm_experts=2, ddr_experts=3)
+        experts = [_expert(i) for i in range(5)]
+        rt.place(experts)
+        promo = rt.promote_to_ddr(experts[4])
+        assert promo.time_s == pytest.approx(
+            EXPERT_BYTES / 1e8 + EXPERT_BYTES / 1e8
+        )
+        assert promo.demoted == ("e0",)
+        assert rt.stats.pipelined_promotions == 1
+        assert rt.stats.tier_promotions == 0  # demand counter untouched
+        assert rt.stats.switch_time_s == 0.0  # overlapped, not a stall
+        # The demand miss that follows is DDR-sourced and single-hop.
+        event = rt.activate(experts[4])
+        assert event.src_tier == "ddr"
+        assert event.time_s == pytest.approx(EXPERT_BYTES / 1e9)
+        # Idempotent: a second promote of a DDR resident is a no-op.
+        assert rt.promote_to_ddr(experts[4]).time_s == 0.0
+        assert rt.stats.pipelined_promotions == 1
+
+    def test_promote_to_ddr_requires_bounded_tier(self):
+        rt = CoERuntime(hbm_budget_bytes=EXPERT_BYTES,
+                        hierarchy=_hierarchy())
+        with pytest.raises(ValueError, match="bounded DDR"):
+            rt.promote_to_ddr(_expert(0))
 
 
 class TestLegacyEquivalence:
